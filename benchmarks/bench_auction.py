@@ -1,0 +1,49 @@
+"""M1 — macro-benchmark: the auction-site scenario end to end.
+
+Unlike the synthetic C-series, this measures a *realistic* policy (the
+XMark-inspired auction site: ~50 authorizations across schema and
+instance levels, weak grants, per-user rules) through the full server
+facade, for three requester classes, at two site sizes.
+"""
+
+import pytest
+
+from repro.server.request import AccessRequest
+from repro.workloads.auction import AUCTION_SITE_URI, auction_scenario
+
+SIZES = {
+    "small": dict(people=8),
+    "large": dict(people=40),
+}
+
+_SCENARIOS = {}
+
+
+def scenario(size: str):
+    if size not in _SCENARIOS:
+        _SCENARIOS[size] = auction_scenario(seed=3, **SIZES[size])
+    return _SCENARIOS[size]
+
+
+@pytest.mark.parametrize("size", sorted(SIZES))
+def test_visitor_view(benchmark, size):
+    s = scenario(size)
+    request = AccessRequest(s.visitor, AUCTION_SITE_URI)
+    response = benchmark(s.server.serve, request)
+    assert response.visible_nodes > 0
+
+
+@pytest.mark.parametrize("size", sorted(SIZES))
+def test_member_view(benchmark, size):
+    s = scenario(size)
+    request = AccessRequest(s.requester_for("p0"), AUCTION_SITE_URI)
+    response = benchmark(s.server.serve, request)
+    assert response.visible_nodes > 0
+
+
+@pytest.mark.parametrize("size", sorted(SIZES))
+def test_fraud_view(benchmark, size):
+    s = scenario(size)
+    request = AccessRequest(s.fraud_officer, AUCTION_SITE_URI)
+    response = benchmark(s.server.serve, request)
+    assert response.visible_nodes == response.total_nodes

@@ -1,0 +1,37 @@
+"""C2 — view-computation latency vs number of authorizations.
+
+initial_label evaluates every applicable authorization's path
+expression once against the document (Section 6.1, steps 1-2); cost
+should grow roughly linearly with |Auth| at fixed document size, for
+both the propagation algorithm and the baseline.
+"""
+
+import pytest
+
+from repro.core.baseline import compute_view_naive
+from repro.core.view import compute_view_from_auths
+
+from bench_common import auth_set, document_of_size, hierarchy
+
+NODES = 2000
+AUTH_COUNTS = [4, 16, 64, 256]
+
+
+@pytest.mark.parametrize("auths", AUTH_COUNTS)
+def test_compute_view_auth_scaling(benchmark, auths):
+    document = document_of_size(NODES)
+    instance, schema = auth_set(auths)
+    result = benchmark(
+        compute_view_from_auths, document, instance, schema, hierarchy()
+    )
+    assert result.total_nodes > 0
+
+
+@pytest.mark.parametrize("auths", [4, 64])
+def test_naive_auth_scaling(benchmark, auths):
+    document = document_of_size(NODES)
+    instance, schema = auth_set(auths)
+    result = benchmark(
+        compute_view_naive, document, instance, schema, hierarchy()
+    )
+    assert result.total_nodes > 0

@@ -1,0 +1,46 @@
+"""A3 — ablation: server view cache on/off.
+
+Not a paper experiment (the paper computes views per request); measures
+what the natural production optimization buys when many requesters
+resolve to the same applicable authorization set, and what one request
+costs end-to-end through the server facade either way.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.server.cache import ViewCache
+from repro.server.request import AccessRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.xml.serializer import serialize
+
+from bench_common import URI, document_of_size
+
+NODES = 4000
+
+
+def build_server(with_cache: bool) -> SecureXMLServer:
+    server = SecureXMLServer(view_cache=ViewCache() if with_cache else None)
+    document = document_of_size(NODES)
+    server.publish_document(URI, serialize(document))
+    server.grant(Authorization.build("Public", f"{URI}://archive", "+", "R"))
+    server.grant(
+        Authorization.build(
+            "Public", f'{URI}://section[./@kind="private"]', "-", "R"
+        )
+    )
+    return server
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["no-cache", "cache"])
+def test_serve_repeated(benchmark, cached):
+    server = build_server(cached)
+    requester = Requester("anonymous", "9.9.9.9", "h.example")
+    request = AccessRequest(requester, URI)
+    server.serve(request)  # warm (populates the cache when enabled)
+
+    response = benchmark(server.serve, request)
+    assert response.visible_nodes > 0
+    if cached:
+        assert server.view_cache.hits > 0

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures and workload builders.
+
+Workloads are built once per size (module-level cache) so the benchmark
+timer measures view computation, not workload construction. Every
+experiment id (C1..C7, A1, A2) from DESIGN.md's index maps to one
+``bench_*.py`` file here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.subjects.hierarchy import SubjectHierarchy, SubjectSpec
+from repro.workloads.generator import (
+    deep_document,
+    synthetic_authorizations,
+    synthetic_document,
+    wide_document,
+)
+
+URI = "http://bench.example/doc.xml"
+DTD_URI = "http://bench.example/doc.dtd"
+
+
+@lru_cache(maxsize=32)
+def document_of_size(nodes: int, fanout: int = 4, seed: int = 0):
+    return synthetic_document(nodes, fanout=fanout, seed=seed, uri=URI)
+
+
+@lru_cache(maxsize=32)
+def auth_set(count: int, seed: int = 0, schema_share: float = 0.25):
+    """(instance, schema) authorization lists over the 2000-node doc's
+    vocabulary; path shapes are size-independent so the same set is
+    reusable across document sizes."""
+    document = document_of_size(2000)
+    return synthetic_authorizations(
+        document,
+        count,
+        seed=seed,
+        dtd_uri=DTD_URI,
+        schema_share=schema_share,
+    )
+
+
+@lru_cache(maxsize=4)
+def hierarchy():
+    return SubjectHierarchy()
+
+
+def public_auth(path: str, sign: str = "+", auth_type: str = "R", uri: str = URI):
+    return Authorization(
+        SubjectSpec.parse("Public"),
+        AuthObject(uri, path),
+        "read",
+        Sign(sign),
+        AuthType(auth_type),
+    )
+
+
+@lru_cache(maxsize=8)
+def deep_doc(depth: int):
+    return deep_document(depth, uri=URI)
+
+
+@lru_cache(maxsize=8)
+def wide_doc(width: int):
+    return wide_document(width, uri=URI)

@@ -1,0 +1,54 @@
+"""C7 — DTD validation and loosening cost (Sections 2, 6.2).
+
+Validation cost should be linear in document size (Glushkov automata
+are compiled once per declaration); loosening is linear in DTD size and
+independent of any document.
+"""
+
+import pytest
+
+from repro.dtd.generator import InstanceGenerator
+from repro.dtd.loosen import loosen, validate_against_loosened
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import validate
+from repro.workloads.scenarios import LAB_DTD_TEXT
+
+REPEATS = {"small": 2.0, "large": 8.0}
+
+
+def instance(repeat_factor: float):
+    dtd = parse_dtd(LAB_DTD_TEXT)
+    return dtd, InstanceGenerator(dtd, seed=7, repeat_factor=repeat_factor).document()
+
+
+@pytest.mark.parametrize("size", sorted(REPEATS))
+def test_validate_instance(benchmark, size):
+    dtd, document = instance(REPEATS[size])
+    report = benchmark(validate, document, dtd)
+    assert report.valid
+
+
+def test_loosen_dtd(benchmark):
+    dtd = parse_dtd(LAB_DTD_TEXT)
+    loosened = benchmark(loosen, dtd)
+    assert loosened.elements
+
+
+def test_parse_dtd(benchmark):
+    dtd = benchmark(parse_dtd, LAB_DTD_TEXT)
+    assert dtd.element("laboratory") is not None
+
+
+def test_validate_pruned_view_against_loosened(benchmark):
+    from repro.core.view import compute_view_from_auths
+    from bench_common import public_auth
+
+    dtd, document = instance(4.0)
+    document.uri = "http://x/gen.xml"
+    view = compute_view_from_auths(
+        document,
+        [public_auth('//paper[./@category="public"]', uri="http://x/gen.xml")],
+        [],
+    ).document
+    report = benchmark(validate_against_loosened, view, dtd)
+    assert report.valid, report.violations

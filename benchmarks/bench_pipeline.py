@@ -1,0 +1,66 @@
+"""C3 — per-step cost of the four-step processor (paper, Section 7).
+
+One benchmark per pipeline step (parse / label / transform / unparse)
+plus the full cycle, on the same workload. Expected shape: parsing
+dominates; labeling and pruning — the paper's contribution — are a
+fraction of total request cost, supporting the "straightforward
+server-side security processor" claim.
+"""
+
+import pytest
+
+from repro.core.labeling import TreeLabeler
+from repro.core.processor import SecurityProcessor
+from repro.core.prune import build_view
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+from bench_common import URI, auth_set, document_of_size, hierarchy
+
+NODES = 4000
+
+
+def _workload():
+    document = document_of_size(NODES)
+    instance, schema = auth_set(24)
+    return document, instance, schema
+
+
+def test_step1_parse(benchmark):
+    document, _, _ = _workload()
+    text = serialize(document)
+    parsed = benchmark(parse_document, text, URI)
+    assert parsed.root is not None
+
+
+def test_step2_label(benchmark):
+    document, instance, schema = _workload()
+
+    def label():
+        return TreeLabeler(document, instance, schema, hierarchy()).run()
+
+    result = benchmark(label)
+    assert result.labeled_nodes > 0
+
+
+def test_step3_transform(benchmark):
+    document, instance, schema = _workload()
+    labels = TreeLabeler(document, instance, schema, hierarchy()).run().labels
+    view = benchmark(build_view, document, labels)
+    assert view is not None
+
+
+def test_step4_unparse(benchmark):
+    document, instance, schema = _workload()
+    labels = TreeLabeler(document, instance, schema, hierarchy()).run().labels
+    view = build_view(document, labels)
+    text = benchmark(serialize, view)
+    assert isinstance(text, str)
+
+
+def test_full_cycle(benchmark):
+    document, instance, schema = _workload()
+    text = serialize(document)
+    processor = SecurityProcessor(hierarchy=hierarchy())
+    output = benchmark(processor.process_text, text, instance, schema, URI)
+    assert output.xml_text is not None

@@ -1,0 +1,47 @@
+"""C4 — propagation cost vs tree shape at constant node count.
+
+The preorder labeling pass should be shape-insensitive (one visit per
+node regardless of depth), while the naive baseline's ancestor walks
+make deep chains pathological: on a depth-N chain the baseline is
+O(N^2). Expected shape: compute-view roughly equal on deep and wide
+trees; the baseline blows up on the deep one.
+"""
+
+import pytest
+
+from repro.core.baseline import compute_view_naive
+from repro.core.view import compute_view_from_auths
+
+from bench_common import deep_doc, hierarchy, public_auth, wide_doc
+
+SIZE = 1500
+
+AUTHS = [
+    public_auth("//level[./@n='3']", "+", "R"),
+    public_auth("//item", "+", "R"),
+    public_auth("//level[./@n='700']", "-", "R"),
+]
+
+
+def test_compute_view_deep(benchmark):
+    document = deep_doc(SIZE)
+    result = benchmark(compute_view_from_auths, document, AUTHS, [], hierarchy())
+    assert result.total_nodes > 0
+
+
+def test_compute_view_wide(benchmark):
+    document = wide_doc(SIZE)
+    result = benchmark(compute_view_from_auths, document, AUTHS, [], hierarchy())
+    assert result.total_nodes > 0
+
+
+def test_naive_deep(benchmark):
+    document = deep_doc(SIZE)
+    result = benchmark(compute_view_naive, document, AUTHS, [], hierarchy())
+    assert result.total_nodes > 0
+
+
+def test_naive_wide(benchmark):
+    document = wide_doc(SIZE)
+    result = benchmark(compute_view_naive, document, AUTHS, [], hierarchy())
+    assert result.total_nodes > 0

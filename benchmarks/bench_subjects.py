@@ -1,0 +1,67 @@
+"""C6 — subject hierarchy costs (paper, Section 3).
+
+Requester-dominance checks (``rq ≤ subject(a)``) run once per
+authorization per request; the most-specific-subject filter runs per
+conflicting node. Both should be microseconds-cheap and independent of
+document size.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.store import AuthorizationStore
+from repro.subjects.hierarchy import Requester, SubjectHierarchy, SubjectSpec
+from repro.workloads.generator import populate_directory
+
+
+def build_store(groups: int, auths: int):
+    store = AuthorizationStore()
+    users, group_names = populate_directory(
+        store.hierarchy.directory, users=50, groups=groups, nesting=groups - 1
+    )
+    for index in range(auths):
+        subject = SubjectSpec.parse(group_names[index % len(group_names)])
+        store.add(
+            Authorization.build(subject, f"http://x/d.xml://n{index}", "+", "R")
+        )
+    return store, users
+
+
+@pytest.mark.parametrize("groups", [4, 16])
+def test_applicable_filtering(benchmark, groups):
+    store, users = build_store(groups, auths=256)
+    requester = Requester(users[0], "150.1.2.3", "host0.lab.com")
+    result = benchmark(store.applicable, requester, "http://x/d.xml")
+    assert isinstance(result, list)
+
+
+def test_dominance_check(benchmark):
+    hierarchy = SubjectHierarchy()
+    populate_directory(hierarchy.directory, users=50, groups=8, nesting=7)
+    lower = SubjectSpec.parse("user3", "150.100.30.8", "pc.lab.com")
+    upper = SubjectSpec.parse("group0", "150.100.*", "*.lab.com")
+    result = benchmark(hierarchy.dominates, lower, upper)
+    assert isinstance(result, bool)
+
+
+def test_most_specific_filter(benchmark):
+    hierarchy = SubjectHierarchy()
+    populate_directory(hierarchy.directory, users=20, groups=8, nesting=7)
+    specs = [SubjectSpec.parse(f"group{i}") for i in range(8)]
+    specs += [SubjectSpec.parse(f"user{i}") for i in range(10)]
+    result = benchmark(hierarchy.most_specific, specs)
+    assert result
+
+
+def test_group_closure(benchmark):
+    from repro.subjects.users import Directory
+
+    directory = Directory()
+    populate_directory(directory, users=200, groups=12, nesting=11)
+
+    def closure():
+        # Invalidate-free repeated lookups hit the memo; measure a mix.
+        return [directory.expanded_groups(f"user{i}") for i in range(0, 200, 7)]
+
+    result = benchmark(closure)
+    assert result

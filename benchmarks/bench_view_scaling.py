@@ -1,0 +1,39 @@
+"""C1 — view-computation latency vs document size.
+
+Reproduces the paper's central performance claim (Sections 1, 6): the
+recursive propagation algorithm "ensures fast on-line computation" of
+per-requester views. The series compares the single-pass compute-view
+against the naive per-node baseline across document sizes; the expected
+shape is compute-view ~linear in nodes, baseline superlinear (nodes x
+depth ancestor walks).
+"""
+
+import pytest
+
+from repro.core.view import compute_view_from_auths
+from repro.core.baseline import compute_view_naive
+
+from bench_common import auth_set, document_of_size, hierarchy
+
+SIZES = [500, 2000, 8000]
+AUTHS = 24
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_compute_view_scaling(benchmark, nodes):
+    document = document_of_size(nodes)
+    instance, schema = auth_set(AUTHS)
+    result = benchmark(
+        compute_view_from_auths, document, instance, schema, hierarchy()
+    )
+    assert result.total_nodes > 0
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_naive_baseline_scaling(benchmark, nodes):
+    document = document_of_size(nodes)
+    instance, schema = auth_set(AUTHS)
+    result = benchmark(
+        compute_view_naive, document, instance, schema, hierarchy()
+    )
+    assert result.total_nodes > 0

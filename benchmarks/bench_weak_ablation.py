@@ -1,0 +1,58 @@
+"""A2 — ablation: weak vs strong instance authorizations (Section 5).
+
+Measures the cost and the view-size effect of declaring the same grants
+weak (overridable by DTD-level authorizations) versus strong, against a
+fixed set of schema-level denials. Shape: identical latency (weakness
+only reroutes label slots), strictly smaller views for weak grants.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.core.view import compute_view_from_auths
+from repro.subjects.hierarchy import SubjectHierarchy
+
+from bench_common import DTD_URI, URI, document_of_size
+
+NODES = 2000
+
+
+def grants(auth_type: str):
+    return [
+        Authorization.build(("Public", "*", "*"), f"{URI}://archive", "+", auth_type),
+    ]
+
+
+SCHEMA_DENIALS = [
+    Authorization.build(
+        ("Public", "*", "*"), f'{DTD_URI}://section[./@kind="private"]', "-", "R"
+    ),
+    Authorization.build(
+        ("Public", "*", "*"), f'{DTD_URI}://record[./@kind="restricted"]', "-", "R"
+    ),
+]
+
+
+@pytest.mark.parametrize("strength", ["R", "RW"])
+def test_weak_vs_strong(benchmark, strength):
+    document = document_of_size(NODES)
+    result = benchmark(
+        compute_view_from_auths,
+        document,
+        grants(strength),
+        SCHEMA_DENIALS,
+        SubjectHierarchy(),
+    )
+    assert result.total_nodes > 0
+
+
+def test_weak_view_smaller_than_strong():
+    """Not a timing benchmark: records the ablation's view-size shape."""
+    document = document_of_size(NODES)
+    strong = compute_view_from_auths(
+        document, grants("R"), SCHEMA_DENIALS, SubjectHierarchy()
+    )
+    weak = compute_view_from_auths(
+        document, grants("RW"), SCHEMA_DENIALS, SubjectHierarchy()
+    )
+    assert weak.visible_nodes < strong.visible_nodes

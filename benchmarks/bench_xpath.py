@@ -1,0 +1,55 @@
+"""C5 — evaluation cost of the paper's path-expression shapes (Section 4).
+
+One benchmark per representative construct: rooted child paths, ``//``
+descents, attribute conditions, positional predicates, upward axes, and
+compiled-expression reuse (the authorization engine's access pattern).
+"""
+
+import pytest
+
+from repro.xpath.compile import CompiledXPath
+from repro.xpath.evaluator import select
+from repro.xpath.parser import parse_xpath
+
+from bench_common import document_of_size
+
+NODES = 4000
+
+EXPRESSIONS = {
+    "child_path": "/archive/section/record",
+    "descendant": "//title",
+    "condition": '//section[./@kind="private"]',
+    "attribute": "//record/@id",
+    "positional": "//section[2]",
+    "ancestor": "//title/ancestor::section",
+    "union": "//title | //body",
+    "function": '//section[contains(@id, "1")]',
+}
+
+
+@pytest.mark.parametrize("shape", sorted(EXPRESSIONS))
+def test_xpath_evaluation(benchmark, shape):
+    document = document_of_size(NODES)
+    expression = EXPRESSIONS[shape]
+    result = benchmark(select, expression, document)
+    assert isinstance(result, list)
+
+
+def test_xpath_parse_only(benchmark):
+    expression = '/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]'
+    ast = benchmark(parse_xpath, expression)
+    assert ast is not None
+
+
+def test_compiled_reuse(benchmark):
+    """The labeling access pattern: same compiled expression, same root —
+    the per-root cache makes repeats O(1)."""
+    document = document_of_size(NODES)
+    compiled = CompiledXPath("//title")
+    compiled.select(document)  # warm
+
+    def reuse():
+        return compiled.select(document)
+
+    result = benchmark(reuse)
+    assert result

@@ -1,0 +1,6 @@
+"""Benchmark collection configuration.
+
+The shared workload builders live in ``bench_common.py`` (imported by
+each bench module); pytest inserts this directory on ``sys.path`` since
+benchmarks are not a package.
+"""

@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment series in EXPERIMENTS.md.
+
+Runs the C1-C7 / A1-A2 measurements of DESIGN.md's experiment index
+directly (median of repeated runs via ``time.perf_counter``) and prints
+the tables EXPERIMENTS.md records. For statistically rigorous numbers
+use the pytest-benchmark suite (``pytest benchmarks/ --benchmark-only``);
+this script favours one-command reproducibility of the *shapes*.
+
+Run:  python benchmarks/run_report.py [--fast]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+
+from bench_common import (  # noqa: E402
+    DTD_URI,
+    URI,
+    auth_set,
+    deep_doc,
+    document_of_size,
+    hierarchy,
+    public_auth,
+    wide_doc,
+)
+
+from repro.authz.conflict import (  # noqa: E402
+    DenialsTakePrecedence,
+    MajorityTakesPrecedence,
+    NothingTakesPrecedence,
+    PermissionsTakePrecedence,
+)
+from repro.core.baseline import compute_view_naive  # noqa: E402
+from repro.core.processor import SecurityProcessor  # noqa: E402
+from repro.core.view import compute_view_from_auths  # noqa: E402
+from repro.dtd.generator import InstanceGenerator  # noqa: E402
+from repro.dtd.loosen import loosen  # noqa: E402
+from repro.dtd.parser import parse_dtd  # noqa: E402
+from repro.dtd.validator import validate  # noqa: E402
+from repro.subjects.hierarchy import SubjectHierarchy  # noqa: E402
+from repro.workloads.scenarios import LAB_DTD_TEXT  # noqa: E402
+from repro.xml.serializer import serialize  # noqa: E402
+from repro.xml.traversal import count_nodes  # noqa: E402
+from repro.xpath.evaluator import select  # noqa: E402
+
+FAST = "--fast" in sys.argv
+ROUNDS = 3 if FAST else 7
+
+
+def timed(fn, *args, **kwargs) -> float:
+    """Median wall-clock milliseconds over ROUNDS runs."""
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        samples.append((time.perf_counter() - start) * 1000)
+    return statistics.median(samples)
+
+
+def table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    print()
+    print(f"### {title}")
+    print()
+    print("| " + " | ".join(header) + " |")
+    print("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        print("| " + " | ".join(row) + " |")
+
+
+def c1_view_scaling() -> None:
+    instance, schema = auth_set(24)
+    rows = []
+    for nodes in (500, 2000, 8000):
+        document = document_of_size(nodes)
+        fast = timed(
+            compute_view_from_auths, document, instance, schema, hierarchy()
+        )
+        naive = timed(compute_view_naive, document, instance, schema, hierarchy())
+        rows.append(
+            [str(nodes), f"{fast:.1f}", f"{naive:.1f}", f"{naive / fast:.2f}x"]
+        )
+    table(
+        "C1 — view computation vs document size (24 auths)",
+        ["nodes", "compute-view (ms)", "naive baseline (ms)", "baseline/view"],
+        rows,
+    )
+
+
+def c2_auth_scaling() -> None:
+    document = document_of_size(2000)
+    rows = []
+    for auths in (4, 16, 64, 256):
+        instance, schema = auth_set(auths)
+        fast = timed(
+            compute_view_from_auths, document, instance, schema, hierarchy()
+        )
+        rows.append([str(auths), f"{fast:.1f}"])
+    table(
+        "C2 — view computation vs |Auth| (2000-node document)",
+        ["authorizations", "compute-view (ms)"],
+        rows,
+    )
+
+
+def c3_pipeline() -> None:
+    document = document_of_size(4000)
+    instance, schema = auth_set(24)
+    text = serialize(document)
+    processor = SecurityProcessor(hierarchy=hierarchy())
+    output = processor.process_text(text, instance, schema, URI)
+    # Use the processor's own per-step timers, medianized.
+    steps = {"parse": [], "label": [], "transform": [], "unparse": []}
+    for _ in range(ROUNDS):
+        output = processor.process_text(text, instance, schema, URI)
+        for step, value in output.timings.as_dict().items():
+            if step in steps:
+                steps[step].append(value * 1000)
+    rows = [
+        [step, f"{statistics.median(values):.1f}"]
+        for step, values in steps.items()
+    ]
+    total = sum(statistics.median(values) for values in steps.values())
+    rows.append(["total", f"{total:.1f}"])
+    table(
+        "C3 — per-step cost of the 4-step processor (4000 nodes, 24 auths)",
+        ["step", "median (ms)"],
+        rows,
+    )
+
+
+def c4_shape() -> None:
+    auths = [
+        public_auth("//level[./@n='3']", "+", "R"),
+        public_auth("//item", "+", "R"),
+        public_auth("//level[./@n='700']", "-", "R"),
+    ]
+    rows = []
+    for label, document in (("deep (chain of 1500)", deep_doc(1500)),
+                            ("wide (1500 siblings)", wide_doc(1500))):
+        fast = timed(compute_view_from_auths, document, auths, [], hierarchy())
+        naive = timed(compute_view_naive, document, auths, [], hierarchy())
+        rows.append([label, f"{fast:.1f}", f"{naive:.1f}", f"{naive / fast:.1f}x"])
+    table(
+        "C4 — tree shape at constant size",
+        ["shape", "compute-view (ms)", "naive baseline (ms)", "baseline/view"],
+        rows,
+    )
+
+
+def c5_xpath() -> None:
+    document = document_of_size(4000)
+    expressions = {
+        "child path": "/archive/section/record",
+        "descendant //": "//title",
+        "condition [@kind=...]": '//section[./@kind="private"]',
+        "attribute step": "//record/@id",
+        "ancestor axis": "//title/ancestor::section",
+        "union": "//title | //body",
+    }
+    rows = []
+    for label, expression in expressions.items():
+        cost = timed(select, expression, document)
+        count = len(select(expression, document))
+        rows.append([label, f"{cost:.1f}", str(count)])
+    table(
+        "C5 — XPath evaluation on a 4000-node document",
+        ["expression shape", "median (ms)", "selected nodes"],
+        rows,
+    )
+
+
+def c6_subjects() -> None:
+    from repro.authz.store import AuthorizationStore
+    from repro.subjects.hierarchy import Requester, SubjectSpec
+    from repro.workloads.generator import populate_directory
+
+    store = AuthorizationStore()
+    users, groups = populate_directory(
+        store.hierarchy.directory, users=50, groups=16, nesting=15
+    )
+    for index in range(256):
+        store.add(
+            public_auth(f"//n{index}", uri="http://x/d.xml")
+        )
+    requester = Requester(users[0], "150.1.2.3", "host0.lab.com")
+    applicable = timed(store.applicable, requester, "http://x/d.xml")
+    lower = SubjectSpec.parse(users[3], "150.100.30.8", "pc.lab.com")
+    upper = SubjectSpec.parse(groups[0], "150.100.*", "*.lab.com")
+    dominance = timed(
+        lambda: [store.hierarchy.dominates(lower, upper) for _ in range(1000)]
+    )
+    table(
+        "C6 — subject hierarchy costs (16 nested groups, 256 auths)",
+        ["operation", "median (ms)"],
+        [
+            ["applicable(requester, uri) over 256 auths", f"{applicable:.2f}"],
+            ["1000 x dominates(rq, subject)", f"{dominance:.2f}"],
+        ],
+    )
+
+
+def c7_dtd() -> None:
+    dtd = parse_dtd(LAB_DTD_TEXT)
+    rows = []
+    for label, factor in (("small instance", 2.0), ("large instance", 8.0)):
+        document = InstanceGenerator(dtd, seed=7, repeat_factor=factor).document()
+        nodes = count_nodes(document.root)
+        cost = timed(validate, document, dtd)
+        rows.append([f"{label} ({nodes} nodes)", f"{cost:.2f}"])
+    rows.append(["loosen(DTD)", f"{timed(loosen, dtd):.3f}"])
+    table("C7 — DTD validation and loosening", ["operation", "median (ms)"], rows)
+
+
+def a1_policies() -> None:
+    from repro.authz.authorization import Authorization
+
+    document = document_of_size(2000)
+    sh = SubjectHierarchy()
+    for name in ("A", "B", "C"):
+        sh.directory.add_group(name)
+    auths = [
+        Authorization.build(("A", "*", "*"), f"{URI}://archive", "+", "R"),
+        Authorization.build(("B", "*", "*"), f"{URI}://archive", "-", "R"),
+        Authorization.build(("C", "*", "*"), f"{URI}://archive", "+", "R"),
+        Authorization.build(("A", "*", "*"), f'{URI}://section[./@kind="private"]', "-", "R"),
+        Authorization.build(("B", "*", "*"), f'{URI}://section[./@kind="private"]', "+", "R"),
+    ]
+    rows = []
+    for policy in (
+        DenialsTakePrecedence(),
+        PermissionsTakePrecedence(),
+        NothingTakesPrecedence(),
+        MajorityTakesPrecedence(),
+    ):
+        result = compute_view_from_auths(document, auths, [], sh, policy)
+        cost = timed(compute_view_from_auths, document, auths, [], sh, policy)
+        rows.append(
+            [policy.name, f"{cost:.1f}", f"{result.visible_nodes}/{result.total_nodes}"]
+        )
+    table(
+        "A1 — conflict-policy ablation (conflict-heavy workload)",
+        ["policy", "median (ms)", "visible nodes"],
+        rows,
+    )
+
+
+def a2_weak() -> None:
+    document = document_of_size(2000)
+    schema_denials = [
+        public_auth('//section[./@kind="private"]', "-", "R", uri=DTD_URI),
+        public_auth('//record[./@kind="restricted"]', "-", "R", uri=DTD_URI),
+    ]
+    rows = []
+    for strength in ("R", "RW"):
+        grants = [public_auth("//archive", "+", strength)]
+        result = compute_view_from_auths(
+            document, grants, schema_denials, SubjectHierarchy()
+        )
+        cost = timed(
+            compute_view_from_auths, document, grants, schema_denials,
+            SubjectHierarchy(),
+        )
+        rows.append(
+            [strength, f"{cost:.1f}", f"{result.visible_nodes}/{result.total_nodes}"]
+        )
+    table(
+        "A2 — weak vs strong grant against schema denials",
+        ["grant type", "median (ms)", "visible nodes"],
+        rows,
+    )
+
+
+def a3_cache() -> None:
+    from repro.authz.authorization import Authorization
+    from repro.server.cache import ViewCache
+    from repro.server.request import AccessRequest
+    from repro.server.service import SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+
+    rows = []
+    for label, cached in (("no cache", False), ("view cache", True)):
+        server = SecureXMLServer(view_cache=ViewCache() if cached else None)
+        server.publish_document(URI, serialize(document_of_size(4000)))
+        server.grant(Authorization.build("Public", f"{URI}://archive", "+", "R"))
+        request = AccessRequest(Requester("anonymous", "9.9.9.9", "h.x"), URI)
+        server.serve(request)  # warm
+        cost = timed(server.serve, request)
+        rows.append([label, f"{cost:.2f}"])
+    table(
+        "A3 — server view cache (repeated identical-entitlement requests, 4000 nodes)",
+        ["configuration", "median serve (ms)"],
+        rows,
+    )
+
+
+def a4_selectivity() -> None:
+    from repro.subjects.hierarchy import SubjectHierarchy
+
+    document = document_of_size(4000)
+    cases = {
+        "grant-none": [public_auth('//section[./@kind="nosuch"]', "+", "R")],
+        "grant-quarter": [public_auth('//section[./@kind="private"]', "+", "R")],
+        "grant-half": [
+            public_auth('//section[./@kind="private"]', "+", "R"),
+            public_auth('//section[./@kind="public"]', "+", "R"),
+        ],
+        "grant-all": [public_auth("//archive", "+", "R")],
+    }
+    rows = []
+    for label, auths in cases.items():
+        result = compute_view_from_auths(document, auths, [], SubjectHierarchy())
+        cost = timed(
+            compute_view_from_auths, document, auths, [], SubjectHierarchy()
+        )
+        rows.append(
+            [label, f"{cost:.1f}", f"{result.visible_nodes}/{result.total_nodes}"]
+        )
+    table(
+        "A4 — authorization selectivity sweep (4000 nodes)",
+        ["grant share", "median (ms)", "visible nodes"],
+        rows,
+    )
+
+
+def main() -> None:
+    print("# Experiment report (regenerated)")
+    print()
+    print(f"rounds per measurement: {ROUNDS}")
+    c1_view_scaling()
+    c2_auth_scaling()
+    c3_pipeline()
+    c4_shape()
+    c5_xpath()
+    c6_subjects()
+    c7_dtd()
+    a1_policies()
+    a2_weak()
+    a3_cache()
+    a4_selectivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Financial statement feeds: schema-level policies over many instances.
+
+The paper's introduction motivates XML with OFX (Open Financial
+Exchange). This example models a bank publishing one statement document
+per account, all instances of a single statement DTD:
+
+- **schema-level authorizations** on the DTD govern every statement at
+  once (tellers see transactions but never credit scores; the fraud
+  desk sees everything, but only from the secure subnet 10.9.9.*);
+- **instance-level authorizations** layer per-account rules on top
+  (each customer reads their own statement);
+- statements are **generated from the DTD** (Section 2: instances of
+  one schema that "widely differ in the number and structure of
+  elements") and every view is checked against the loosened DTD;
+- location patterns restrict where privileged roles may connect from.
+
+Run:  python examples/financial_feeds.py
+"""
+
+from repro import (
+    AccessRequest,
+    Authorization,
+    Requester,
+    SecureXMLServer,
+    pretty,
+)
+from repro.dtd.generator import InstanceGenerator
+from repro.dtd.loosen import validate_against_loosened
+from repro.dtd.parser import parse_dtd
+from repro.xml.builder import E, new_document
+from repro.xml.parser import parse_document
+
+BASE = "http://bank.example/"
+DTD_URI = BASE + "statement.dtd"
+
+STATEMENT_DTD = """\
+<!ELEMENT statement (holder, balance, transaction*, risk?)>
+<!ATTLIST statement account ID #REQUIRED currency (EUR|USD) "EUR">
+<!ELEMENT holder (#PCDATA)>
+<!ELEMENT balance (#PCDATA)>
+<!ELEMENT transaction (payee, amount)>
+<!ATTLIST transaction kind (debit|credit) #REQUIRED
+                      flagged (yes|no) "no">
+<!ELEMENT payee (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT risk (score, notes?)>
+<!ELEMENT score (#PCDATA)>
+<!ELEMENT notes (#PCDATA)>
+"""
+
+
+def statement(account: str, holder: str, transactions, score: str):
+    children = [
+        E("holder", holder),
+        E("balance", "1024.00"),
+    ]
+    for kind, payee, amount, flagged in transactions:
+        children.append(
+            E(
+                "transaction",
+                {"kind": kind, "flagged": flagged},
+                E("payee", payee),
+                E("amount", amount),
+            )
+        )
+    children.append(E("risk", E("score", score), E("notes", "internal only")))
+    root = E("statement", {"account": account}, *children)
+    return new_document(
+        root, uri=f"{BASE}statements/{account}.xml", system_id=DTD_URI
+    )
+
+
+def build_server() -> SecureXMLServer:
+    server = SecureXMLServer()
+    server.add_group("Tellers")
+    server.add_group("FraudDesk")
+    server.add_group("Customers")
+    server.add_user("tina", groups=["Tellers"])
+    server.add_user("frank", groups=["FraudDesk"])
+    server.add_user("carol", groups=["Customers"])
+    server.add_user("dave", groups=["Customers"])
+
+    server.publish_dtd(DTD_URI, STATEMENT_DTD)
+
+    documents = [
+        statement(
+            "acc-carol",
+            "Carol C.",
+            [
+                ("debit", "Grocer", "42.10", "no"),
+                ("credit", "Salary Inc", "2100.00", "no"),
+                ("debit", "Casino Royale", "900.00", "yes"),
+            ],
+            "71",
+        ),
+        statement(
+            "acc-dave",
+            "Dave D.",
+            [("debit", "Bookshop", "19.90", "no")],
+            "12",
+        ),
+    ]
+    for document in documents:
+        server.publish_document(
+            document.uri, document, dtd_uri=DTD_URI, validate_on_add=True
+        )
+
+    # -- schema-level policy: applies to every statement ------------------
+    schema_grants = [
+        # Tellers see statements recursively...
+        (("Tellers", "*", "*.bank.example"), f"{DTD_URI}://statement", "+", "R"),
+        # ...but the risk block is beyond everyone below the fraud desk.
+        (("Tellers", "*", "*"), f"{DTD_URI}://risk", "-", "R"),
+        # The fraud desk sees everything — only from the secure subnet.
+        (("FraudDesk", "10.9.9.*", "*"), f"{DTD_URI}://statement", "+", "R"),
+    ]
+    for subject, obj, sign, auth_type in schema_grants:
+        server.grant(Authorization.build(subject, obj, sign, auth_type))
+
+    # -- instance-level policy: each customer reads their own statement,
+    #    weakly, so schema rules (the risk denial) still dominate.
+    for account, customer in (("acc-carol", "carol"), ("acc-dave", "dave")):
+        uri = f"{BASE}statements/{account}.xml"
+        server.grant(Authorization.build((customer, "*", "*"), uri, "+", "RW"))
+        server.grant(
+            Authorization.build(
+                (customer, "*", "*"), f"{DTD_URI}://risk", "-", "R"
+            )
+        )
+    return server
+
+
+def show(server, title, requester, uri):
+    print()
+    print("-" * 72)
+    print(title)
+    print("-" * 72)
+    response = server.serve(AccessRequest(requester, uri))
+    if response.empty:
+        print("  (empty view — nothing released)")
+    else:
+        print(pretty(parse_document(response.xml_text)))
+    print(f"  [{response.visible_nodes}/{response.total_nodes} nodes]")
+    return response
+
+
+def main() -> None:
+    server = build_server()
+    carol_uri = f"{BASE}statements/acc-carol.xml"
+    dave_uri = f"{BASE}statements/acc-dave.xml"
+
+    show(server, "Teller tina (from a branch workstation): transactions, no risk",
+         Requester("tina", "10.4.1.7", "teller3.branch.bank.example"), carol_uri)
+    show(server, "Fraud desk frank, from the secure subnet: full statement",
+         Requester("frank", "10.9.9.2", "fraud1.bank.example"), carol_uri)
+    show(server, "Fraud desk frank, from home: schema grant does not apply",
+         Requester("frank", "84.12.0.9", "home.isp.example"), carol_uri)
+    show(server, "Customer carol: her own statement, minus the risk block",
+         Requester("carol", "84.9.0.1", "laptop.isp.example"), carol_uri)
+    show(server, "Customer carol requesting Dave's statement: nothing",
+         Requester("carol", "84.9.0.1", "laptop.isp.example"), dave_uri)
+
+    # Schema policies cover *future* documents automatically: generate a
+    # brand-new statement from the DTD and serve it immediately.
+    print()
+    print("-" * 72)
+    print("A freshly generated statement (instance of the same DTD)")
+    print("-" * 72)
+    dtd = server.repository.dtd(DTD_URI)
+    generated = InstanceGenerator(dtd, seed=4, repeat_factor=2.0).document(
+        uri=f"{BASE}statements/acc-generated.xml"
+    )
+    server.publish_document(generated.uri, generated, dtd_uri=DTD_URI)
+    tina = Requester("tina", "10.4.1.7", "teller3.branch.bank.example")
+    response = server.serve(AccessRequest(tina, generated.uri))
+    print(pretty(parse_document(response.xml_text)))
+    print(f"  [{response.visible_nodes}/{response.total_nodes} nodes; "
+          "the schema-level risk denial applied with no new configuration]")
+
+    view_doc = parse_document(response.xml_text)
+    report = validate_against_loosened(view_doc, parse_dtd(STATEMENT_DTD))
+    print(f"  view valid against loosened statement DTD: {report.valid}")
+
+    assert "<risk>" not in response.xml_text
+    assert "<score>" not in response.xml_text
+
+
+if __name__ == "__main__":
+    main()

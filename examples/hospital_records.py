@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Hospital records: element-level access control on medical documents.
+
+The scenario the paper's model is made for — one document, many
+stakeholders with different entitlements:
+
+- **Physicians** read full clinical content of their ward's records;
+- **Nurses** read care plans and allergies but not psychiatric notes;
+- **Billing** reads only administrative and insurance data;
+- **Researchers** get a weak grant on anonymized fields which the
+  hospital-wide schema policy (DTD-level denials) can override;
+- the **patient portal** (location-restricted to the intranet is NOT
+  required — patients connect from anywhere) lets the patient read
+  their own record except staff-only annotations.
+
+Demonstrates: nested groups, local vs recursive types, weak instance
+grants overridden at the schema level, per-document conflict policies,
+queries evaluated on views, and the loosened DTD.
+
+Run:  python examples/hospital_records.py
+"""
+
+from repro import (
+    AccessRequest,
+    Authorization,
+    QueryRequest,
+    Requester,
+    SecureXMLServer,
+    pretty,
+)
+from repro.xml.parser import parse_document
+
+BASE = "http://hospital.example/"
+DTD_URI = BASE + "record.dtd"
+RECORD_URI = BASE + "records/patient-117.xml"
+
+RECORD_DTD = """\
+<!ELEMENT record (admin, clinical, billing)>
+<!ATTLIST record id ID #REQUIRED ward CDATA #REQUIRED>
+<!ELEMENT admin (patient, insurance?)>
+<!ELEMENT patient (name, dob)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT dob (#PCDATA)>
+<!ELEMENT insurance (#PCDATA)>
+<!ATTLIST insurance provider CDATA #REQUIRED>
+<!ELEMENT clinical (allergies?, careplan?, note*)>
+<!ELEMENT allergies (#PCDATA)>
+<!ELEMENT careplan (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ATTLIST note kind (general|psychiatric|staff-only) #REQUIRED
+               author CDATA #IMPLIED>
+<!ELEMENT billing (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item amount CDATA #REQUIRED>
+"""
+
+RECORD_XML = """\
+<record id="p117" ward="cardiology">
+  <admin>
+    <patient><name>Jane Roe</name><dob>1961-04-02</dob></patient>
+    <insurance provider="ACME Health">policy 8812-42</insurance>
+  </admin>
+  <clinical>
+    <allergies>penicillin</allergies>
+    <careplan>beta blockers, follow-up in 6 weeks</careplan>
+    <note kind="general" author="dr-who">stable, responding well</note>
+    <note kind="psychiatric" author="dr-jung">anxiety episodes</note>
+    <note kind="staff-only" author="dr-who">VIP patient, discretion</note>
+  </clinical>
+  <billing>
+    <item amount="1200.00">angiography</item>
+    <item amount="80.00">consultation</item>
+  </billing>
+</record>
+"""
+
+
+def build_server() -> SecureXMLServer:
+    server = SecureXMLServer()
+
+    # Staff directory: nested, non-disjoint groups (Section 3).
+    server.add_group("Staff")
+    server.add_group("Clinical", parents=["Staff"])
+    server.add_group("Physicians", parents=["Clinical"])
+    server.add_group("Nurses", parents=["Clinical"])
+    server.add_group("Billing", parents=["Staff"])
+    server.add_group("Researchers")
+    server.add_user("drwho", groups=["Physicians"])
+    server.add_user("nancy", groups=["Nurses"])
+    server.add_user("bill", groups=["Billing"])
+    server.add_user("rita", groups=["Researchers"])
+    server.add_user("jroe")  # the patient
+
+    server.publish_dtd(DTD_URI, RECORD_DTD)
+    server.publish_document(
+        RECORD_URI, RECORD_XML, dtd_uri=DTD_URI, validate_on_add=True
+    )
+
+    grants = [
+        # Physicians: the whole clinical subtree, recursively.
+        (("Physicians", "*", "*"), f"{RECORD_URI}://clinical", "+", "R"),
+        # ...and the admin identity block, to know whom they treat.
+        (("Physicians", "*", "*"), f"{RECORD_URI}://patient", "+", "R"),
+        # Nurses: care plan and allergies only.
+        (("Nurses", "*", "*"), f"{RECORD_URI}://allergies", "+", "R"),
+        (("Nurses", "*", "*"), f"{RECORD_URI}://careplan", "+", "R"),
+        (("Nurses", "*", "*"), f"{RECORD_URI}://patient/name", "+", "R"),
+        # Billing: administrative + billing subtrees, but no clinical data.
+        (("Billing", "*", "*"), f"{RECORD_URI}://admin", "+", "R"),
+        (("Billing", "*", "*"), f"{RECORD_URI}://billing", "+", "R"),
+        # Researchers: weak grant on clinical content — the hospital-wide
+        # schema policy below can override it.
+        (("Researchers", "*", "*"), f"{RECORD_URI}://clinical", "+", "RW"),
+        # The patient: her whole record — granted *weakly*, so the
+        # hospital-wide schema denials below still apply to her...
+        (("jroe", "*", "*"), RECORD_URI, "+", "RW"),
+        # ...except staff-only annotations (exception via denial).
+        (("jroe", "*", "*"), f'{RECORD_URI}://note[./@kind="staff-only"]', "-", "R"),
+        # Nobody outside Clinical sees psychiatric notes: schema-level
+        # denial on every instance of the record DTD, overriding weak
+        # grants (e.g. the researchers') but not strong clinical ones.
+        (("Researchers", "*", "*"), f'{DTD_URI}://note[./@kind="psychiatric"]', "-", "R"),
+        (("jroe", "*", "*"), f'{DTD_URI}://note[./@kind="psychiatric"]', "-", "R"),
+    ]
+    for subject, obj, sign, auth_type in grants:
+        server.grant(Authorization.build(subject, obj, sign, auth_type))
+    return server
+
+
+def show(title: str, server: SecureXMLServer, requester: Requester) -> None:
+    print()
+    print("-" * 72)
+    print(title)
+    print("-" * 72)
+    response = server.serve(AccessRequest(requester, RECORD_URI))
+    if response.empty:
+        print("  (empty view)")
+    else:
+        print(pretty(parse_document(response.xml_text)))
+    print(f"  [{response.visible_nodes}/{response.total_nodes} nodes]")
+
+
+def main() -> None:
+    server = build_server()
+
+    show("Physician (drwho): full clinical + identity", server,
+         Requester("drwho", "10.1.0.5", "ward3.hospital.example"))
+    show("Nurse (nancy): care plan + allergies + name", server,
+         Requester("nancy", "10.1.0.9", "ward3.hospital.example"))
+    show("Billing (bill): admin + billing, no clinical", server,
+         Requester("bill", "10.2.0.2", "finance.hospital.example"))
+    show("Researcher (rita): weak clinical grant minus schema denial", server,
+         Requester("rita", "172.16.9.1", "lab.university.example"))
+    show("The patient (jroe), from home: everything except staff-only "
+         "and psychiatric notes", server,
+         Requester("jroe", "93.41.22.7", "home.isp.example"))
+
+    # Queries are answered on the requester's view, never the raw record.
+    print()
+    print("-" * 72)
+    print("Query safety: nurse asks for all notes")
+    print("-" * 72)
+    nancy = Requester("nancy", "10.1.0.9", "ward3.hospital.example")
+    response = server.query(QueryRequest(nancy, RECORD_URI, "//note"))
+    print(f"  matches: {response.matches or '(none — notes are not granted to nurses)'}")
+
+    response = server.query(
+        QueryRequest(nancy, RECORD_URI, '//*[contains(., "anxiety")]')
+    )
+    print(f"  probing hidden content: {response.matches or '(nothing leaks)'}")
+
+    print()
+    print("Audit trail:")
+    for record in server.audit.tail(8):
+        print(" ", record)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is configured entirely through ``pyproject.toml``; this file
+exists so fully offline environments (no wheel/build backend downloads)
+can still do an editable install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""repro — a reproduction of *Securing XML Documents* (EDBT 2000).
+
+An access-control processor for XML documents implementing the model of
+Damiani, De Capitani di Vimercati, Paraboschi and Samarati, together
+with every substrate it needs, from scratch: an XML parser and DOM-like
+node model, a DTD engine (validation, loosening, instance generation),
+an XPath 1.0 subset engine, the subject hierarchy (users, groups,
+location patterns), the authorization model with XACL markup, the
+compute-view tree-labeling algorithm, and a server facade.
+
+Quickstart::
+
+    from repro import SecureXMLServer, Requester, Authorization, AccessRequest
+
+    server = SecureXMLServer()
+    server.add_group("Staff")
+    server.add_user("alice", groups=["Staff"])
+    server.publish_document("http://example.org/notes.xml",
+                            "<notes><note owner='alice'>hi</note></notes>")
+    server.grant(Authorization.build(
+        ("Staff", "*", "*"), "http://example.org/notes.xml", "+", "R"))
+    response = server.serve(AccessRequest(
+        Requester("alice", "10.0.0.1", "pc.example.org"),
+        "http://example.org/notes.xml"))
+    print(response.xml_text)
+
+See ``examples/`` for complete scenarios including the paper's own
+laboratory example, and DESIGN.md / EXPERIMENTS.md for the reproduction
+methodology.
+"""
+
+from repro.authz import (
+    AuthObject,
+    AuthType,
+    Authorization,
+    AuthorizationStore,
+    Sign,
+    parse_xacl,
+    serialize_xacl,
+)
+from repro.core import (
+    Label,
+    SecurityProcessor,
+    ViewResult,
+    compute_view,
+    compute_view_from_auths,
+    compute_view_naive,
+)
+from repro.dtd import DTD, generate_instance, loosen, parse_dtd, validate
+from repro.errors import (
+    AuthorizationError,
+    DTDSyntaxError,
+    ParseError,
+    PatternError,
+    PolicyError,
+    ReproError,
+    RepositoryError,
+    SubjectError,
+    ValidationError,
+    XACLError,
+    XMLSyntaxError,
+    XPathEvaluationError,
+    XPathSyntaxError,
+)
+from repro.server import (
+    AccessLimitExceeded,
+    AccessRequest,
+    AccessResponse,
+    AuditLog,
+    DeleteNode,
+    InsertChild,
+    PolicyConfig,
+    QueryRequest,
+    RemoveAttribute,
+    Repository,
+    SecureXMLServer,
+    SetAttribute,
+    SetText,
+    UpdateDenied,
+    UpdateRequest,
+)
+from repro.subjects import (
+    Directory,
+    IPPattern,
+    Requester,
+    SubjectHierarchy,
+    SubjectSpec,
+    SymbolicPattern,
+)
+from repro.xml import (
+    Document,
+    E,
+    Element,
+    new_document,
+    parse_document,
+    pretty,
+    serialize,
+)
+from repro.xpath import compile_xpath, evaluate, parse_xpath, select
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessLimitExceeded",
+    "AccessRequest",
+    "AccessResponse",
+    "AuditLog",
+    "AuthObject",
+    "AuthType",
+    "Authorization",
+    "AuthorizationError",
+    "AuthorizationStore",
+    "DTD",
+    "DTDSyntaxError",
+    "DeleteNode",
+    "Directory",
+    "Document",
+    "E",
+    "Element",
+    "IPPattern",
+    "InsertChild",
+    "Label",
+    "ParseError",
+    "PatternError",
+    "PolicyConfig",
+    "PolicyError",
+    "QueryRequest",
+    "RemoveAttribute",
+    "Repository",
+    "RepositoryError",
+    "ReproError",
+    "Requester",
+    "SecureXMLServer",
+    "SecurityProcessor",
+    "SetAttribute",
+    "SetText",
+    "Sign",
+    "SubjectError",
+    "SubjectHierarchy",
+    "SubjectSpec",
+    "SymbolicPattern",
+    "UpdateDenied",
+    "UpdateRequest",
+    "ValidationError",
+    "ViewResult",
+    "XACLError",
+    "XMLSyntaxError",
+    "XPathEvaluationError",
+    "XPathSyntaxError",
+    "compile_xpath",
+    "compute_view",
+    "compute_view_from_auths",
+    "compute_view_naive",
+    "evaluate",
+    "generate_instance",
+    "loosen",
+    "new_document",
+    "parse_document",
+    "parse_dtd",
+    "parse_xacl",
+    "parse_xpath",
+    "pretty",
+    "select",
+    "serialize",
+    "serialize_xacl",
+    "validate",
+]

@@ -1,0 +1,54 @@
+"""Authorization model: 5-tuples, store, XACL markup, conflict policies.
+
+Public surface::
+
+    from repro.authz import (
+        Authorization, AuthObject, AuthType, Sign, AuthorizationStore,
+        parse_xacl, serialize_xacl,
+        DenialsTakePrecedence, PermissionsTakePrecedence,
+        NothingTakesPrecedence, MajorityTakesPrecedence, policy_by_name,
+    )
+"""
+
+from repro.authz.authorization import (
+    READ,
+    AuthObject,
+    AuthType,
+    Authorization,
+    Sign,
+)
+from repro.authz.conflict import (
+    EPSILON,
+    ConflictPolicy,
+    DenialsTakePrecedence,
+    MajorityTakesPrecedence,
+    NothingTakesPrecedence,
+    PermissionsTakePrecedence,
+    policy_by_name,
+)
+from repro.authz.restrictions import CredentialClause, HistoryLimit, ValidityWindow
+from repro.authz.store import AuthorizationStore
+from repro.authz.xacl import XACL_DTD, parse_xacl, serialize_xacl, xacl_document
+
+__all__ = [
+    "AuthObject",
+    "AuthType",
+    "Authorization",
+    "AuthorizationStore",
+    "ConflictPolicy",
+    "CredentialClause",
+    "HistoryLimit",
+    "DenialsTakePrecedence",
+    "EPSILON",
+    "MajorityTakesPrecedence",
+    "NothingTakesPrecedence",
+    "PermissionsTakePrecedence",
+    "READ",
+    "Sign",
+    "ValidityWindow",
+    "XACL_DTD",
+    "parse_xacl",
+    "policy_by_name",
+    "serialize_xacl",
+    "xacl_document",
+]

@@ -1,0 +1,239 @@
+"""Access authorizations (paper, Definition 3).
+
+An authorization is the 5-tuple ⟨subject, object, action, sign, type⟩:
+
+- *subject* — a :class:`~repro.subjects.SubjectSpec` (element of ASH);
+- *object* — a URI, optionally extended with a path expression
+  (``URI:PE``), wrapped as :class:`AuthObject`;
+- *action* — ``read`` in the paper; the field is kept generic so write
+  and update actions are expressible (the paper's future work);
+- *sign* — ``+`` (permission) or ``-`` (denial);
+- *type* — Local, Recursive, Local-Weak or Recursive-Weak. Whether the
+  authorization is instance- or schema-level is a property of where it
+  is attached (the document's or the DTD's XACL), not of the tuple: the
+  labeling algorithm maps schema-level L/R onto the LD/RD label slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import AuthorizationError
+from repro.authz.restrictions import CredentialClause, ValidityWindow
+from repro.subjects.hierarchy import SubjectSpec
+from repro.xml.nodes import Node
+from repro.xpath.compile import CompiledXPath, RelativeMode, compile_xpath
+
+__all__ = ["Sign", "AuthType", "AuthObject", "Authorization", "READ"]
+
+READ = "read"
+
+
+class Sign(str, Enum):
+    """The sign of an authorization: permission (+) or denial (−)."""
+
+    PLUS = "+"
+    MINUS = "-"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class AuthType(str, Enum):
+    """The four authorization types of Definition 3."""
+
+    LOCAL = "L"
+    RECURSIVE = "R"
+    LOCAL_WEAK = "LW"
+    RECURSIVE_WEAK = "RW"
+
+    @property
+    def recursive(self) -> bool:
+        return self in (AuthType.RECURSIVE, AuthType.RECURSIVE_WEAK)
+
+    @property
+    def weak(self) -> bool:
+        return self in (AuthType.LOCAL_WEAK, AuthType.RECURSIVE_WEAK)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AuthObject:
+    """The protected object: ``URI`` or ``URI:PE``.
+
+    Without a path expression the object denotes the document's root
+    element (DESIGN.md decision 4), so a Recursive authorization on a
+    bare URI covers the whole document.
+    """
+
+    uri: str
+    path: Optional[str] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "AuthObject":
+        """Parse the ``URI[:PE]`` notation used in the paper's examples.
+
+        The separator is the first ``:`` that is followed by a path
+        character (``/``, a name start, ``@`` or ``.``) *after* any URI
+        scheme — i.e. ``http://host/d.xml:/lab//paper`` splits at the
+        colon before ``/lab``.
+        """
+        if not text or not text.strip():
+            raise AuthorizationError("empty authorization object")
+        text = text.strip()
+        split = _find_path_separator(text)
+        if split is None:
+            return cls(text)
+        uri, path = text[:split], text[split + 1 :]
+        if not uri:
+            raise AuthorizationError(f"missing URI in object {text!r}")
+        if not path:
+            raise AuthorizationError(f"empty path expression in object {text!r}")
+        return cls(uri, path)
+
+    def unparse(self) -> str:
+        if self.path is None:
+            return self.uri
+        return f"{self.uri}:{self.path}"
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+def _find_path_separator(text: str) -> Optional[int]:
+    """Index of the ':' separating URI from path expression, if any.
+
+    The only ambiguity is a leading ``scheme://``: the colon there
+    belongs to the URI. We treat the first colon as a scheme separator
+    when it is followed by ``//`` and the prefix looks like a scheme
+    (letters/digits, no dot or slash — ``http``, ``https``, ``ftp``);
+    otherwise it separates the path expression, so a relative object
+    like ``doc.xml://a`` still means "all <a> elements of doc.xml".
+    """
+    first = text.find(":")
+    if first == -1:
+        return None
+    prefix = text[:first]
+    is_scheme = (
+        text.startswith("://", first)
+        and prefix.isalnum()
+        and "." not in prefix
+        and "/" not in prefix
+    )
+    if is_scheme:
+        nxt = text.find(":", first + 3)
+        return nxt if nxt != -1 else None
+    return first
+
+
+@dataclass
+class Authorization:
+    """One access authorization (the paper's 5-tuple).
+
+    ``compiled_path`` is created lazily on first use and reused for
+    every document the authorization is evaluated against.
+    """
+
+    subject: SubjectSpec
+    object: AuthObject
+    action: str = READ
+    sign: Sign = Sign.PLUS
+    type: AuthType = AuthType.RECURSIVE
+    #: Optional time window outside which the authorization is dormant
+    #: (Section 8 future work; see repro.authz.restrictions).
+    validity: Optional[ValidityWindow] = None
+    #: Conjunctive credential requirements on the requester.
+    credentials: tuple[CredentialClause, ...] = ()
+    # private: lazily compiled path expression
+    _compiled: Optional[CompiledXPath] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.action or not self.action.strip():
+            raise AuthorizationError("authorization action may not be empty")
+        if not isinstance(self.sign, Sign):
+            self.sign = Sign(self.sign)
+        if not isinstance(self.type, AuthType):
+            self.type = AuthType(self.type)
+
+    @classmethod
+    def build(
+        cls,
+        subject: SubjectSpec | tuple[str, str, str] | str,
+        obj: AuthObject | str,
+        sign: Sign | str,
+        type: AuthType | str,
+        action: str = READ,
+        validity: Optional[ValidityWindow] = None,
+        credentials: tuple[CredentialClause, ...] = (),
+    ) -> "Authorization":
+        """Forgiving constructor used by examples and the XACL parser.
+
+        *subject* may be a :class:`SubjectSpec`, a ``(ug, ip, sn)``
+        triple, or a bare user/group name (locations default to ``*``).
+        """
+        if isinstance(subject, str):
+            subject = SubjectSpec.parse(subject)
+        elif isinstance(subject, tuple):
+            subject = SubjectSpec.parse(*subject)
+        if isinstance(obj, str):
+            obj = AuthObject.parse(obj)
+        return cls(
+            subject,
+            obj,
+            action,
+            Sign(sign),
+            AuthType(type),
+            validity=validity,
+            credentials=tuple(credentials),
+        )
+
+    def is_active(self, at: Optional[float]) -> bool:
+        """Whether the validity window covers *at* (``None`` = ignore)."""
+        if self.validity is None or at is None:
+            return True
+        return self.validity.active(at)
+
+    def credentials_satisfied(self, presented) -> bool:
+        """Whether *presented* (a mapping) satisfies every clause."""
+        return all(clause.satisfied(presented) for clause in self.credentials)
+
+    def compiled_path(self, relative_mode: RelativeMode = "descendant") -> Optional[CompiledXPath]:
+        """The compiled path expression, or ``None`` for bare URIs."""
+        if self.object.path is None:
+            return None
+        if self._compiled is None or self._compiled.relative_mode != relative_mode:
+            self._compiled = compile_xpath(self.object.path, relative_mode)
+        return self._compiled
+
+    def select_nodes(
+        self, document_root: Node, relative_mode: RelativeMode = "descendant"
+    ) -> list[Node]:
+        """The node-set this authorization covers in one document.
+
+        A bare-URI object denotes the root element of the document.
+        """
+        compiled = self.compiled_path(relative_mode)
+        if compiled is None:
+            from repro.xml.nodes import Document
+
+            if isinstance(document_root, Document):
+                root = document_root.root
+                return [root] if root is not None else []
+            return [document_root]
+        return compiled.select(document_root)
+
+    def unparse(self) -> str:
+        """The paper's angle-bracket notation."""
+        return (
+            f"<{self.subject.unparse()},{self.object.unparse()},"
+            f"{self.action},{self.sign},{self.type}>"
+        )
+
+    def __str__(self) -> str:
+        return self.unparse()

@@ -1,0 +1,122 @@
+"""Conflict-resolution policies (paper, Section 5).
+
+When several authorizations of the same type apply to one node for one
+requester, the paper first keeps those with *most specific subjects* and
+then breaks remaining ties. The paper's own choice is **denials take
+precedence**; it explicitly notes the model supports alternatives, which
+are all implemented here:
+
+- :class:`DenialsTakePrecedence` — any ``-`` wins (the default);
+- :class:`PermissionsTakePrecedence` — any ``+`` wins;
+- :class:`NothingTakesPrecedence` — an unresolved conflict yields no
+  authorization (ε), deferring to lower-priority label slots;
+- :class:`MajorityTakesPrecedence` — "the sign of the authorizations
+  that are in larger number" (ties resolved by a configurable fallback).
+
+A policy resolves a *non-empty* list of signs into ``'+'``, ``'-'`` or
+``'ε'``; the most-specific-subject filtering happens in the labeling
+step before the policy is consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PolicyError
+from repro.authz.authorization import Sign
+
+__all__ = [
+    "ConflictPolicy",
+    "DenialsTakePrecedence",
+    "PermissionsTakePrecedence",
+    "NothingTakesPrecedence",
+    "MajorityTakesPrecedence",
+    "policy_by_name",
+    "EPSILON",
+]
+
+#: The "no authorization" sign used in labels.
+EPSILON = "ε"  # 'ε'
+
+
+class ConflictPolicy:
+    """Strategy interface: resolve concurrent signs on one node."""
+
+    name = "abstract"
+
+    def resolve(self, signs: Sequence[Sign]) -> str:
+        """Return ``'+'``, ``'-'`` or :data:`EPSILON` for *signs*.
+
+        *signs* contains one entry per surviving authorization (after
+        most-specific-subject filtering) and is never empty.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class DenialsTakePrecedence(ConflictPolicy):
+    """The paper's default: a single denial denies."""
+
+    name = "denials-take-precedence"
+
+    def resolve(self, signs: Sequence[Sign]) -> str:
+        return "-" if Sign.MINUS in signs else "+"
+
+
+class PermissionsTakePrecedence(ConflictPolicy):
+    """A single permission permits."""
+
+    name = "permissions-take-precedence"
+
+    def resolve(self, signs: Sequence[Sign]) -> str:
+        return "+" if Sign.PLUS in signs else "-"
+
+
+class NothingTakesPrecedence(ConflictPolicy):
+    """An actual conflict dissolves into 'no authorization'."""
+
+    name = "nothing-takes-precedence"
+
+    def resolve(self, signs: Sequence[Sign]) -> str:
+        has_plus = Sign.PLUS in signs
+        has_minus = Sign.MINUS in signs
+        if has_plus and has_minus:
+            return EPSILON
+        return "-" if has_minus else "+"
+
+
+class MajorityTakesPrecedence(ConflictPolicy):
+    """The sign in larger number wins; ties fall back to another policy."""
+
+    name = "majority-takes-precedence"
+
+    def __init__(self, tie_breaker: ConflictPolicy | None = None) -> None:
+        self._tie_breaker = tie_breaker or DenialsTakePrecedence()
+
+    def resolve(self, signs: Sequence[Sign]) -> str:
+        plus = sum(1 for sign in signs if sign is Sign.PLUS)
+        minus = len(signs) - plus
+        if plus > minus:
+            return "+"
+        if minus > plus:
+            return "-"
+        return self._tie_breaker.resolve(signs)
+
+
+_POLICIES: dict[str, type[ConflictPolicy]] = {
+    DenialsTakePrecedence.name: DenialsTakePrecedence,
+    PermissionsTakePrecedence.name: PermissionsTakePrecedence,
+    NothingTakesPrecedence.name: NothingTakesPrecedence,
+    MajorityTakesPrecedence.name: MajorityTakesPrecedence,
+}
+
+
+def policy_by_name(name: str) -> ConflictPolicy:
+    """Instantiate a policy from its registry name."""
+    policy_class = _POLICIES.get(name)
+    if policy_class is None:
+        known = ", ".join(sorted(_POLICIES))
+        raise PolicyError(f"unknown conflict policy {name!r} (known: {known})")
+    return policy_class()

@@ -1,0 +1,116 @@
+"""The authorization store: the server's set Auth.
+
+Authorizations are indexed by the URI of their object, so that steps 1
+and 2 of the compute-view algorithm —
+
+    Axml := {a ∈ Auth | rq ≤ subject(a), uri(object(a)) = URI}
+    Adtd := {a ∈ Auth | rq ≤ subject(a), uri(object(a)) = dtd(URI)}
+
+— are two indexed lookups followed by a subject-applicability filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.authz.authorization import Authorization
+from repro.subjects.hierarchy import Requester, SubjectHierarchy
+
+__all__ = ["AuthorizationStore"]
+
+
+class AuthorizationStore:
+    """All authorizations known to one server.
+
+    The store is also the place where the subject hierarchy lives: use
+    :attr:`hierarchy` (and its :attr:`~SubjectHierarchy.directory`) to
+    register users and groups.
+    """
+
+    def __init__(self, hierarchy: Optional[SubjectHierarchy] = None) -> None:
+        self.hierarchy = hierarchy if hierarchy is not None else SubjectHierarchy()
+        self._by_uri: dict[str, list[Authorization]] = {}
+        self._count = 0
+        self._version = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (cache guard)."""
+        return self._version
+
+    def add(self, authorization: Authorization) -> Authorization:
+        """Register one authorization."""
+        self._by_uri.setdefault(authorization.object.uri, []).append(authorization)
+        self._count += 1
+        self._version += 1
+        return authorization
+
+    def add_all(self, authorizations: Iterable[Authorization]) -> None:
+        for authorization in authorizations:
+            self.add(authorization)
+
+    def remove(self, authorization: Authorization) -> bool:
+        """Remove one authorization; returns whether it was present."""
+        bucket = self._by_uri.get(authorization.object.uri)
+        if not bucket:
+            return False
+        for index, existing in enumerate(bucket):
+            if existing is authorization:
+                del bucket[index]
+                self._count -= 1
+                self._version += 1
+                if not bucket:
+                    del self._by_uri[authorization.object.uri]
+                return True
+        return False
+
+    def clear_uri(self, uri: str) -> int:
+        """Drop every authorization attached to *uri*."""
+        bucket = self._by_uri.pop(uri, [])
+        self._count -= len(bucket)
+        if bucket:
+            self._version += 1
+        return len(bucket)
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Authorization]:
+        for bucket in self._by_uri.values():
+            yield from bucket
+
+    def for_uri(self, uri: str) -> list[Authorization]:
+        """Every authorization whose object URI is *uri*."""
+        return list(self._by_uri.get(uri, ()))
+
+    def uris(self) -> list[str]:
+        return list(self._by_uri)
+
+    def applicable(
+        self,
+        requester: Requester,
+        uri: str,
+        action: str = "read",
+        at: Optional[float] = None,
+    ) -> list[Authorization]:
+        """Authorizations on *uri* applying to *requester* and *action*.
+
+        This computes the paper's ``{a | rq ≤ subject(a),
+        uri(object(a)) = URI}`` restricted to the requested action, with
+        the future-work filters layered on: validity windows are checked
+        against *at* (skip by passing ``None``) and credential clauses
+        against the requester's presented credentials.
+        """
+        presented = requester.credential_map
+        return [
+            authorization
+            for authorization in self._by_uri.get(uri, ())
+            if authorization.action == action
+            and authorization.is_active(at)
+            and authorization.credentials_satisfied(presented)
+            and self.hierarchy.applies_to(authorization.subject, requester)
+        ]

@@ -1,0 +1,254 @@
+"""XACL: the XML markup for access-authorization lists.
+
+Paper, Section 7: the processor "takes as input a valid XML document ...
+together with its XML Access Control List (XACL) listing the associated
+access authorizations". Following the paper's rationale of "exploiting
+XML's own capabilities, defining an XML markup for a set of security
+elements", authorizations are stored as XML and parsed with this
+library's own XML parser. The markup::
+
+    <xacl base="http://www.lab.com/">
+      <authorization sign="-" type="R" action="read">
+        <subject user-group="Foreign" ip="*" sym="*"/>
+        <object uri="laboratory.xml"
+                path="/laboratory//paper[./@category='private']"/>
+      </authorization>
+    </xacl>
+
+``base`` is optional; relative object URIs are resolved against it.
+``action`` defaults to ``read``; ``ip``/``sym`` default to ``*``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AuthorizationError, XACLError
+from repro.authz.restrictions import CredentialClause, ValidityWindow
+from repro.subjects.hierarchy import SubjectSpec
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Document, Element
+from repro.xml.parser import parse_document
+from repro.xml.serializer import pretty, serialize
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+
+__all__ = ["parse_xacl", "serialize_xacl", "xacl_document", "XACL_DTD"]
+
+#: A DTD for XACL documents themselves (the security markup is, of
+#: course, also XML with a schema).
+XACL_DTD = """\
+<!ELEMENT xacl (authorization*)>
+<!ATTLIST xacl base CDATA #IMPLIED>
+<!ELEMENT authorization (subject, object, valid?, requires*)>
+<!ATTLIST authorization
+          sign CDATA #REQUIRED
+          type (L|R|LW|RW) #REQUIRED
+          action CDATA "read">
+<!ELEMENT subject EMPTY>
+<!ATTLIST subject
+          user-group CDATA #REQUIRED
+          ip CDATA "*"
+          sym CDATA "*">
+<!ELEMENT object EMPTY>
+<!ATTLIST object
+          uri CDATA #REQUIRED
+          path CDATA #IMPLIED>
+<!ELEMENT valid EMPTY>
+<!ATTLIST valid
+          not-before CDATA #IMPLIED
+          not-after CDATA #IMPLIED>
+<!ELEMENT requires EMPTY>
+<!ATTLIST requires
+          key CDATA #REQUIRED
+          op CDATA "present"
+          value CDATA "">
+"""
+
+
+def parse_xacl(source: str | Document) -> list[Authorization]:
+    """Parse an XACL document into authorizations.
+
+    Raises
+    ------
+    XACLError
+        When the markup does not follow the XACL structure (the
+        underlying XML syntax error, if any, propagates as-is).
+    """
+    document = parse_document(source) if isinstance(source, str) else source
+    root = document.root
+    if root is None or root.name != "xacl":
+        raise XACLError("XACL document must have an <xacl> root element")
+    base = root.get_attribute("base", "") or ""
+    authorizations: list[Authorization] = []
+    for child in root.child_elements():
+        if child.name != "authorization":
+            raise XACLError(f"unexpected element <{child.name}> inside <xacl>")
+        authorizations.append(_parse_authorization(child, base))
+    return authorizations
+
+
+def _parse_authorization(element: Element, base: str) -> Authorization:
+    sign = element.get_attribute("sign")
+    auth_type = element.get_attribute("type")
+    action = element.get_attribute("action", "read") or "read"
+    if sign not in ("+", "-"):
+        raise XACLError(f"authorization sign must be '+' or '-', got {sign!r}")
+    try:
+        parsed_type = AuthType(auth_type or "")
+    except ValueError:
+        raise XACLError(
+            f"authorization type must be one of L/R/LW/RW, got {auth_type!r}"
+        ) from None
+
+    subject_el = _single_child(element, "subject")
+    object_el = _single_child(element, "object")
+
+    user_group = subject_el.get_attribute("user-group")
+    if not user_group:
+        raise XACLError("<subject> requires a user-group attribute")
+    subject = SubjectSpec.parse(
+        user_group,
+        subject_el.get_attribute("ip", "*") or "*",
+        subject_el.get_attribute("sym", "*") or "*",
+    )
+
+    uri = object_el.get_attribute("uri")
+    if not uri:
+        raise XACLError("<object> requires a uri attribute")
+    resolved = _resolve(base, uri)
+    path = object_el.get_attribute("path")
+    obj = AuthObject(resolved, path)
+
+    validity = _parse_validity(element)
+    clauses = _parse_credential_clauses(element)
+    return Authorization(
+        subject,
+        obj,
+        action,
+        Sign(sign),
+        parsed_type,
+        validity=validity,
+        credentials=clauses,
+    )
+
+
+def _parse_validity(element: Element) -> Optional[ValidityWindow]:
+    found = list(element.find_children("valid"))
+    if not found:
+        return None
+    if len(found) > 1:
+        raise XACLError("<authorization> accepts at most one <valid>")
+    valid = found[0]
+    try:
+        not_before = _optional_float(valid.get_attribute("not-before"))
+        not_after = _optional_float(valid.get_attribute("not-after"))
+        return ValidityWindow(not_before, not_after)
+    except (ValueError, AuthorizationError) as exc:
+        raise XACLError(f"bad <valid> element: {exc}") from exc
+
+
+def _optional_float(value: Optional[str]) -> Optional[float]:
+    return float(value) if value not in (None, "") else None
+
+
+def _parse_credential_clauses(element: Element) -> tuple[CredentialClause, ...]:
+    clauses = []
+    for requires in element.find_children("requires"):
+        key = requires.get_attribute("key")
+        if not key:
+            raise XACLError("<requires> needs a key attribute")
+        op = requires.get_attribute("op", "present") or "present"
+        value = requires.get_attribute("value", "") or ""
+        try:
+            clauses.append(CredentialClause(key, op, value))
+        except AuthorizationError as exc:
+            raise XACLError(f"bad <requires> element: {exc}") from exc
+    return tuple(clauses)
+
+
+def _single_child(element: Element, name: str) -> Element:
+    found = list(element.find_children(name))
+    if len(found) != 1:
+        raise XACLError(
+            f"<authorization> requires exactly one <{name}>, found {len(found)}"
+        )
+    return found[0]
+
+
+def _resolve(base: str, uri: str) -> str:
+    if not base or "://" in uri or uri.startswith("/"):
+        return uri
+    if base.endswith("/"):
+        return base + uri
+    return f"{base}/{uri}"
+
+
+def xacl_document(
+    authorizations: list[Authorization], base: Optional[str] = None
+) -> Document:
+    """Build the XACL document tree for *authorizations*.
+
+    When *base* is given, object URIs underneath it are shortened to
+    relative form.
+    """
+    root = E("xacl", {"base": base} if base else None)
+    for authorization in authorizations:
+        uri = authorization.object.uri
+        if base and uri.startswith(base):
+            uri = uri[len(base) :].lstrip("/") or uri
+        object_attrs = {"uri": uri}
+        if authorization.object.path is not None:
+            object_attrs["path"] = authorization.object.path
+        root.append(
+            E(
+                "authorization",
+                {
+                    "sign": authorization.sign.value,
+                    "type": authorization.type.value,
+                    "action": authorization.action,
+                },
+                E(
+                    "subject",
+                    {
+                        "user-group": authorization.subject.user_group,
+                        "ip": str(authorization.subject.ip),
+                        "sym": str(authorization.subject.symbolic),
+                    },
+                ),
+                E("object", object_attrs),
+                _validity_element(authorization),
+                *_requires_elements(authorization),
+            )
+        )
+    return new_document(root)
+
+
+def _validity_element(authorization: Authorization) -> Optional[Element]:
+    window = authorization.validity
+    if window is None:
+        return None
+    attrs: dict[str, str] = {}
+    if window.not_before is not None:
+        attrs["not-before"] = repr(window.not_before)
+    if window.not_after is not None:
+        attrs["not-after"] = repr(window.not_after)
+    return E("valid", attrs)
+
+
+def _requires_elements(authorization: Authorization) -> list[Element]:
+    return [
+        E("requires", {"key": clause.key, "op": clause.op, "value": clause.value})
+        for clause in authorization.credentials
+    ]
+
+
+def serialize_xacl(
+    authorizations: list[Authorization],
+    base: Optional[str] = None,
+    indent: bool = True,
+) -> str:
+    """Serialize *authorizations* to XACL markup text."""
+    document = xacl_document(authorizations, base)
+    if indent:
+        return pretty(document)
+    return serialize(document, xml_declaration=False, doctype=False)

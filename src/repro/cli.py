@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points so the processor can be
+exercised without writing Python:
+
+- ``view``     — compute one requester's view of a document under an
+  XACL (the full Figure-2 pipeline);
+- ``validate`` — validate a document against a DTD;
+- ``xpath``    — evaluate a path expression against a document;
+- ``loosen``   — print the loosened version of a DTD (Section 6.2);
+- ``tree``     — print a DTD's labeled tree (Figure 1b);
+- ``xacl``     — check an XACL file and list the authorizations it
+  declares, in the paper's angle-bracket notation.
+
+The subject directory for ``view`` is a plain text file of lines::
+
+    group Staff
+    group Clinical Staff         # group + its parent groups
+    user alice Clinical          # user + its groups
+
+Exit status: 0 on success, 1 on any library error, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access-control processor for XML documents "
+        "(reproduction of 'Securing XML Documents', EDBT 2000).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    view = commands.add_parser(
+        "view", help="compute a requester's view of a document"
+    )
+    view.add_argument("document", help="path to the XML document")
+    view.add_argument("--uri", required=True, help="URI the document is stored under")
+    view.add_argument("--xacl", required=True, help="path to the XACL file")
+    view.add_argument("--dtd", help="path to the document's DTD")
+    view.add_argument("--dtd-uri", help="URI the DTD is published under")
+    view.add_argument("--directory", help="subject directory file (see --help)")
+    view.add_argument("--user", default="anonymous")
+    view.add_argument("--ip", default="0.0.0.0")
+    view.add_argument("--host", default="localhost")
+    view.add_argument(
+        "--credential",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="requester credential (repeatable)",
+    )
+    view.add_argument(
+        "--policy",
+        default="denials-take-precedence",
+        help="conflict-resolution policy name",
+    )
+    view.add_argument(
+        "--open", action="store_true", help="open policy (ε = permit)"
+    )
+    view.add_argument(
+        "--pretty", action="store_true", help="indent the output view"
+    )
+    view.add_argument(
+        "--emit-dtd", action="store_true", help="also print the loosened DTD"
+    )
+
+    val = commands.add_parser("validate", help="validate a document against a DTD")
+    val.add_argument("document")
+    val.add_argument("--dtd", help="external DTD (defaults to the internal subset)")
+
+    xp = commands.add_parser("xpath", help="evaluate a path expression")
+    xp.add_argument("document")
+    xp.add_argument("expression")
+
+    loos = commands.add_parser("loosen", help="print the loosened DTD")
+    loos.add_argument("dtd")
+
+    tree = commands.add_parser("tree", help="print a DTD's labeled tree (Figure 1b)")
+    tree.add_argument("dtd")
+    tree.add_argument("--root", help="root element (default: inferred)")
+
+    lint = commands.add_parser(
+        "lint", help="static checks on a DTD (determinism, dangling names)"
+    )
+    lint.add_argument("dtd")
+
+    xacl = commands.add_parser("xacl", help="check an XACL file, list authorizations")
+    xacl.add_argument("xacl")
+
+    exp = commands.add_parser(
+        "explain",
+        help="explain why a node is visible/hidden for a requester",
+    )
+    exp.add_argument("document")
+    exp.add_argument("node", help="XPath selecting exactly one node")
+    exp.add_argument("--uri", required=True)
+    exp.add_argument("--xacl", required=True)
+    exp.add_argument("--dtd-uri", help="URI the document's DTD is published under")
+    exp.add_argument("--directory")
+    exp.add_argument("--user", default="anonymous")
+    exp.add_argument("--ip", default="0.0.0.0")
+    exp.add_argument("--host", default="localhost")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        handler = _HANDLERS[args.command]
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    from repro.server.request import AccessRequest
+    from repro.server.service import PolicyConfig, SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+    from repro.xml.parser import parse_document
+    from repro.xml.serializer import pretty
+
+    server = SecureXMLServer(
+        default_policy=PolicyConfig(
+            conflict_policy=args.policy, open_policy=args.open
+        )
+    )
+    if args.directory:
+        _load_directory(server, args.directory)
+    dtd_uri = args.dtd_uri
+    if args.dtd:
+        dtd_uri = dtd_uri or (args.uri + ".dtd")
+        server.publish_dtd(dtd_uri, _read(args.dtd))
+    server.publish_document(args.uri, _read(args.document), dtd_uri=dtd_uri)
+    server.attach_xacl(_read(args.xacl))
+
+    requester = Requester(args.user, args.ip, args.host)
+    for pair in args.credential:
+        key, _, value = pair.partition("=")
+        if not key:
+            raise ReproError(f"bad credential {pair!r}; expected KEY=VALUE")
+        requester = requester.with_credentials(**{key: value})
+
+    response = server.serve(AccessRequest(requester, args.uri))
+    if response.empty:
+        print("<!-- empty view: nothing released -->")
+    elif args.pretty:
+        print(pretty(parse_document(response.xml_text)))
+    else:
+        print(response.xml_text)
+    if args.emit_dtd and response.loosened_dtd_text:
+        print()
+        print("<!-- loosened DTD -->")
+        print(response.loosened_dtd_text)
+    print(
+        f"released {response.visible_nodes}/{response.total_nodes} nodes "
+        f"in {response.elapsed_seconds * 1000:.2f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _load_directory(server, path: str) -> None:
+    """Load a subject directory file.
+
+    Two formats are accepted: XML markup (``<directory>...`` — see
+    :mod:`repro.subjects.markup`) and plain lines
+    ``group NAME [parents...]`` / ``user NAME [groups...]``.
+    """
+    content = _read(path)
+    if content.lstrip().startswith("<"):
+        from repro.subjects.markup import parse_directory
+
+        parse_directory(content, into=server.directory)
+        return
+    for line_number, raw in enumerate(content.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind, name, rest = parts[0], parts[1] if len(parts) > 1 else "", parts[2:]
+        if kind == "group" and name:
+            server.add_group(name, rest)
+        elif kind == "user" and name:
+            server.add_user(name, rest)
+        else:
+            raise ReproError(
+                f"{path}:{line_number}: expected 'group NAME ...' or "
+                f"'user NAME ...', got {raw!r}"
+            )
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.dtd.parser import parse_dtd
+    from repro.dtd.validator import validate
+    from repro.xml.parser import parse_document
+
+    document = parse_document(_read(args.document))
+    dtd = parse_dtd(_read(args.dtd)) if args.dtd else None
+    report = validate(document, dtd)
+    if report.valid:
+        print("valid")
+        return 0
+    for violation in report.violations:
+        print(f"invalid: {violation}")
+    return 1
+
+
+def _cmd_xpath(args: argparse.Namespace) -> int:
+    from repro.xml.parser import parse_document
+    from repro.xml.serializer import serialize
+    from repro.xpath.evaluator import evaluate
+    from repro.xpath.values import to_string
+
+    document = parse_document(_read(args.document))
+    value = evaluate(args.expression, document)
+    if isinstance(value, list):
+        for node in value:
+            print(serialize(node))
+        print(f"{len(value)} node(s)", file=sys.stderr)
+    else:
+        print(to_string(value))
+    return 0
+
+
+def _cmd_loosen(args: argparse.Namespace) -> int:
+    from repro.dtd.loosen import loosen
+    from repro.dtd.parser import parse_dtd
+    from repro.dtd.serializer import serialize_dtd
+
+    print(serialize_dtd(loosen(parse_dtd(_read(args.dtd)))))
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.dtd.parser import parse_dtd
+    from repro.dtd.tree import dtd_tree, render_tree
+
+    print(render_tree(dtd_tree(parse_dtd(_read(args.dtd)), root=args.root)))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.dtd.parser import parse_dtd
+    from repro.dtd.validator import lint_dtd
+
+    problems = lint_dtd(parse_dtd(_read(args.dtd)))
+    if not problems:
+        print("clean")
+        return 0
+    for problem in problems:
+        print(problem)
+    return 1
+
+
+def _cmd_xacl(args: argparse.Namespace) -> int:
+    from repro.authz.xacl import parse_xacl
+
+    authorizations = parse_xacl(_read(args.xacl))
+    for authorization in authorizations:
+        print(authorization.unparse())
+    print(f"{len(authorizations)} authorization(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.authz.store import AuthorizationStore
+    from repro.authz.xacl import parse_xacl
+    from repro.core.explain import explain
+    from repro.server.service import SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+    from repro.xml.parser import parse_document
+
+    # A throwaway server gives us the directory-file loader; only its
+    # store/hierarchy are used.
+    server = SecureXMLServer()
+    if args.directory:
+        _load_directory(server, args.directory)
+    store: AuthorizationStore = server.store
+    store.add_all(parse_xacl(_read(args.xacl)))
+    document = parse_document(_read(args.document), uri=args.uri)
+    requester = Requester(args.user, args.ip, args.host)
+    explanation = explain(
+        document, args.node, requester, store, dtd_uri=args.dtd_uri
+    )
+    print(explanation.describe())
+    return 0
+
+
+_HANDLERS = {
+    "view": _cmd_view,
+    "validate": _cmd_validate,
+    "xpath": _cmd_xpath,
+    "loosen": _cmd_loosen,
+    "tree": _cmd_tree,
+    "lint": _cmd_lint,
+    "xacl": _cmd_xacl,
+    "explain": _cmd_explain,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Naive per-node view computation — the benchmark baseline.
+
+The paper's contribution is that one preorder pass computes every node's
+sign ("a recursive propagation algorithm ... ensures fast on-line
+computation"). The obvious alternative computes each node's sign from
+first principles by walking its ancestor chain, i.e. O(nodes × depth)
+instead of O(nodes). This module implements that baseline with
+*identical semantics* (the equivalence is property-tested), so the
+benchmark comparison isolates exactly the algorithmic idea.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
+from repro.core.labeling import TreeLabeler
+from repro.core.labels import Label
+from repro.core.prune import build_view
+from repro.core.view import ViewResult
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.nodes import Attribute, Document, Element, Node
+from repro.xml.traversal import count_nodes, preorder
+from repro.xpath.compile import RelativeMode
+
+__all__ = ["NaiveLabeler", "compute_view_naive"]
+
+
+class NaiveLabeler(TreeLabeler):
+    """Per-node sign computation with an ancestor walk per node.
+
+    Reuses the parent class's authorization binning and initial_label
+    (the XPath work is identical in both algorithms — the comparison is
+    about the propagation strategy), but derives each node's final sign
+    independently, re-walking its ancestor chain.
+    """
+
+    def run(self):  # type: ignore[override]
+        from repro.core.labeling import LabelingResult
+
+        labels: dict[Node, Label] = {}
+        root = self._root
+        if root is None:
+            return LabelingResult(labels)
+        self._bin_authorizations()
+
+        # Cache of *initial* labels (pre-propagation) per node; the
+        # naive part is the per-node ancestor walk below, not redundant
+        # conflict resolution.
+        initial: dict[Node, Label] = {}
+
+        def initial_of(node: Node) -> Label:
+            found = initial.get(node)
+            if found is None:
+                found = self._initial_label(node)
+                initial[node] = found
+            return found
+
+        for node in preorder(root):
+            labels[node] = self._naive_label(node, root, initial_of)
+        return LabelingResult(labels, self._evaluated, len(labels))
+
+    # -- per-node derivation ------------------------------------------------
+
+    def _naive_label(self, node: Node, root: Element, initial_of) -> Label:
+        if isinstance(node, Element):
+            return self._naive_element(node, root, initial_of)
+        if isinstance(node, Attribute):
+            return self._naive_attribute(node, root, initial_of)
+        # Text/comment/PI: parent element's final sign.
+        parent = node.parent
+        label = Label()
+        if isinstance(parent, Element):
+            label.final = self._naive_element(parent, root, initial_of).final
+        return label
+
+    def _naive_element(self, element: Element, root: Element, initial_of) -> Label:
+        own = initial_of(element)
+        label = Label(own.L, own.R, own.LD, own.RD, own.LW, own.RW)
+        # Effective recursive pair: nearest ancestor-or-self carrying any
+        # recursive instance authorization (paired blocking).
+        r_eff, rw_eff = self._effective_recursive(element, root, initial_of)
+        label.R = r_eff
+        label.RW = rw_eff
+        # Effective schema recursion: nearest ancestor-or-self with RD.
+        label.RD = self._effective_rd(element, root, initial_of)
+        label.compute_final()
+        return label
+
+    def _effective_recursive(
+        self, element: Element, root: Element, initial_of
+    ) -> tuple[str, str]:
+        current: Optional[Node] = element
+        while isinstance(current, Element):
+            own = initial_of(current)
+            if own.R != EPSILON or own.RW != EPSILON:
+                return own.R, own.RW
+            if current is root:
+                break
+            current = current.parent
+        return EPSILON, EPSILON
+
+    def _effective_rd(self, element: Element, root: Element, initial_of) -> str:
+        current: Optional[Node] = element
+        while isinstance(current, Element):
+            own = initial_of(current)
+            if own.RD != EPSILON:
+                return own.RD
+            if current is root:
+                break
+            current = current.parent
+        return EPSILON
+
+    def _naive_attribute(self, attribute: Attribute, root: Element, initial_of) -> Label:
+        own = initial_of(attribute)
+        label = Label(own.L, own.R, own.LD, own.RD, own.LW, own.RW)
+        parent = attribute.element
+        if parent is None:
+            label.compute_final()
+            return label
+        parent_label = self._naive_element(parent, root, initial_of)
+        self._propagate_to_attribute(label, parent_label)
+        return label
+
+
+def compute_view_naive(
+    document: Document,
+    instance_auths: list[Authorization],
+    schema_auths: list[Authorization],
+    hierarchy: Optional[SubjectHierarchy] = None,
+    policy: Optional[ConflictPolicy] = None,
+    open_policy: bool = False,
+    relative_mode: RelativeMode = "descendant",
+) -> ViewResult:
+    """compute_view using the naive per-node baseline labeler."""
+    labeler = NaiveLabeler(
+        document,
+        instance_auths,
+        schema_auths,
+        hierarchy if hierarchy is not None else SubjectHierarchy(),
+        policy=policy if policy is not None else DenialsTakePrecedence(),
+        relative_mode=relative_mode,
+    )
+    labeling = labeler.run()
+    view = build_view(document, labeling.labels, open_policy=open_policy)
+    total = count_nodes(document.root) if document.root is not None else 0
+    visible = count_nodes(view.root) if view.root is not None else 0
+    return ViewResult(
+        document=view,
+        labels=labeling.labels,
+        instance_auths=list(instance_auths),
+        schema_auths=list(schema_auths),
+        total_nodes=total,
+        visible_nodes=visible,
+    )

@@ -1,0 +1,313 @@
+"""Decision explanation: *why* is this node visible (or not)?
+
+Policy debugging is the first thing an administrator of this model
+needs: with propagation, overriding, weak types and two specification
+levels, "why can Tom see this?" has a non-obvious answer. This module
+re-runs the labeling for one requester with provenance tracking and
+renders, per node:
+
+- the final sign and which label slot decided it,
+- for slots set directly: every authorization that survived the
+  most-specific-subject filter (and the ones it eliminated),
+- for inherited slots: which ancestor the sign propagated from,
+- why the node is/isn't in the emitted view (own sign vs structural
+  survivor).
+
+Entry points: :func:`explain` (one node) and :func:`explain_view`
+(whole-document report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import ConflictPolicy, EPSILON
+from repro.authz.store import AuthorizationStore
+from repro.core.labeling import SLOTS, TreeLabeler
+from repro.core.labels import Label
+from repro.errors import ReproError
+from repro.subjects.hierarchy import Requester
+from repro.xml.nodes import Document, Element, Node
+from repro.xml.traversal import node_path, preorder
+from repro.xpath.compile import RelativeMode, compile_xpath
+
+__all__ = ["SlotOrigin", "NodeExplanation", "explain", "explain_view", "TracingLabeler"]
+
+
+@dataclass
+class SlotOrigin:
+    """Where one slot's sign came from."""
+
+    slot: str
+    sign: str
+    #: "direct" (authorizations on the node), "inherited" (propagated
+    #: from an ancestor) or "none".
+    kind: str
+    winners: list[Authorization] = field(default_factory=list)
+    overridden: list[Authorization] = field(default_factory=list)
+    inherited_from: Optional[Node] = None
+
+    def describe(self) -> str:
+        if self.kind == "none":
+            return f"{self.slot}: ε"
+        if self.kind == "direct":
+            winners = "; ".join(a.unparse() for a in self.winners) or "(policy)"
+            text = f"{self.slot}: {self.sign} from {winners}"
+            if self.overridden:
+                text += (
+                    " [overrode: "
+                    + "; ".join(a.unparse() for a in self.overridden)
+                    + "]"
+                )
+            return text
+        source = node_path(self.inherited_from) if self.inherited_from else "?"
+        return f"{self.slot}: {self.sign} inherited from {source}"
+
+
+@dataclass
+class NodeExplanation:
+    """The full story for one node."""
+
+    path: str
+    final: str
+    deciding_slot: Optional[str]
+    origins: list[SlotOrigin]
+    in_view: bool
+    structural_only: bool  # kept only because a descendant is visible
+
+    def describe(self) -> str:
+        lines = [f"{self.path}: final={self.final}"]
+        if self.deciding_slot:
+            deciding = next(
+                origin for origin in self.origins if origin.slot == self.deciding_slot
+            )
+            lines.append(f"  decided by {deciding.describe()}")
+        elif self.final != EPSILON:
+            # Attributes can receive their final sign straight from the
+            # parent element's composed instance signs (no slot records it).
+            lines.append(
+                f"  decided by the parent element's sign ({self.final})"
+            )
+        else:
+            lines.append("  no authorization applies (ε)")
+        for origin in self.origins:
+            if origin.slot != self.deciding_slot and origin.kind != "none":
+                lines.append(f"  also {origin.describe()}")
+        if self.in_view and self.structural_only:
+            lines.append(
+                "  in view as a bare tag only (a descendant is visible)"
+            )
+        elif self.in_view:
+            lines.append("  in view")
+        else:
+            lines.append("  not in view")
+        return "\n".join(lines)
+
+
+class TracingLabeler(TreeLabeler):
+    """A TreeLabeler that records per-slot provenance."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # node -> slot -> ("direct", winners, overridden)
+        self.direct: dict[Node, dict[str, tuple[list, list]]] = {}
+        # node -> slot -> ancestor the value propagated from
+        self.inherited: dict[Node, dict[str, Node]] = {}
+        self._current_parent: Optional[Node] = None
+        self._parents: dict[Node, Node] = {}
+
+    # -- provenance capture ---------------------------------------------------
+
+    def _initial_label(self, node):  # type: ignore[override]
+        label = Label()
+        slots = self._node_slot_auths.get(node)
+        if not slots:
+            return label
+        per_slot: dict[str, tuple[list, list]] = {}
+        for slot, authorizations in slots.items():
+            survivors = self._most_specific(authorizations)
+            overridden = [a for a in authorizations if a not in survivors]
+            sign = self._policy.resolve([a.sign for a in survivors])
+            setattr(label, slot, sign)
+            if sign != EPSILON:
+                per_slot[slot] = (survivors, overridden)
+        if per_slot:
+            self.direct[node] = per_slot
+        return label
+
+    def _label_node(self, node, parent_label):  # type: ignore[override]
+        before = self._initial_label(node)
+        snapshot = {slot: getattr(before, slot) for slot in SLOTS}
+        label = super()._label_node(node, parent_label)
+        parent = self._parents.get(node)
+        changed = {
+            slot: getattr(label, slot)
+            for slot in SLOTS
+            if getattr(label, slot) != snapshot[slot]
+            and getattr(label, slot) != EPSILON
+        }
+        if changed and parent is not None:
+            record = self.inherited.setdefault(node, {})
+            for slot in changed:
+                record[slot] = self._find_propagation_source(parent, slot)
+        return label
+
+    def run(self):  # type: ignore[override]
+        # Build a parent map first (the base class walks with a stack).
+        root = self._root
+        if root is not None:
+            for node in preorder(root):
+                if isinstance(node, Element):
+                    for attribute in node.attributes.values():
+                        self._parents[attribute] = node
+                    for child in node.children:
+                        self._parents[child] = node
+        return super().run()
+
+    def _find_propagation_source(self, parent: Node, slot: str) -> Node:
+        """The nearest ancestor-or-self of *parent* that set *slot*
+        directly (attributes inherit via composed slots; approximate to
+        the nearest ancestor carrying any direct recursive sign)."""
+        current: Optional[Node] = parent
+        while current is not None:
+            direct = self.direct.get(current, {})
+            if slot in direct:
+                return current
+            # Attribute slots compose from recursive parents.
+            if slot in ("LD", "LW") and any(
+                composed in direct for composed in (slot, "RD", "RW", "L", "R")
+            ):
+                return current
+            current = self._parents.get(current)
+        return parent
+
+
+def explain(
+    document: Document,
+    target: str | Node,
+    requester: Requester,
+    store: AuthorizationStore,
+    dtd_uri: Optional[str] = None,
+    policy: Optional[ConflictPolicy] = None,
+    open_policy: bool = False,
+    relative_mode: RelativeMode = "descendant",
+    action: str = "read",
+) -> NodeExplanation:
+    """Explain the decision for one node (an XPath string or a node).
+
+    Raises :class:`ReproError` when the path selects no node or more
+    than one (explanations are per node — refine the path).
+    """
+    if isinstance(target, str):
+        nodes = compile_xpath(target, relative_mode).select(document)
+        if len(nodes) != 1:
+            raise ReproError(
+                f"explain() needs exactly one node; {target!r} selected "
+                f"{len(nodes)}"
+            )
+        node = nodes[0]
+    else:
+        node = target
+    report = explain_view(
+        document,
+        requester,
+        store,
+        dtd_uri=dtd_uri,
+        policy=policy,
+        open_policy=open_policy,
+        relative_mode=relative_mode,
+        action=action,
+    )
+    found = report.get(node)
+    if found is None:
+        raise ReproError("target node does not belong to the document")
+    return found
+
+
+def explain_view(
+    document: Document,
+    requester: Requester,
+    store: AuthorizationStore,
+    dtd_uri: Optional[str] = None,
+    policy: Optional[ConflictPolicy] = None,
+    open_policy: bool = False,
+    relative_mode: RelativeMode = "descendant",
+    action: str = "read",
+) -> dict[Node, NodeExplanation]:
+    """Explanations for every node of *document* under one request."""
+    uri = document.uri or ""
+    instance = store.applicable(requester, uri, action) if uri else []
+    resolved = dtd_uri or (document.dtd.uri if document.dtd else None) or document.system_id
+    schema = store.applicable(requester, resolved, action) if resolved else []
+    labeler = TracingLabeler(
+        document,
+        instance,
+        schema,
+        store.hierarchy,
+        policy=policy,
+        relative_mode=relative_mode,
+    )
+    result = labeler.run()
+    labels = result.labels
+
+    # Visibility including structural survival.
+    visible_subtree: dict[Node, bool] = {}
+    root = document.root
+    if root is not None:
+        for node in _postorder(root):
+            own = labels[node].permitted_under(open_policy)
+            child_visible = False
+            if isinstance(node, Element):
+                child_visible = any(
+                    visible_subtree.get(child, False)
+                    for child in list(node.attributes.values()) + node.children
+                )
+            visible_subtree[node] = own or child_visible
+
+    explanations: dict[Node, NodeExplanation] = {}
+    for node, label in labels.items():
+        origins: list[SlotOrigin] = []
+        deciding: Optional[str] = None
+        for slot in SLOTS:
+            sign = getattr(label, slot)
+            direct = labeler.direct.get(node, {}).get(slot)
+            inherited = labeler.inherited.get(node, {}).get(slot)
+            if direct is not None:
+                winners, overridden = direct
+                origins.append(SlotOrigin(slot, sign, "direct", winners, overridden))
+            elif inherited is not None and sign != EPSILON:
+                origins.append(
+                    SlotOrigin(slot, sign, "inherited", inherited_from=inherited)
+                )
+            else:
+                origins.append(SlotOrigin(slot, sign, "none" if sign == EPSILON else "direct"))
+            if deciding is None and sign != EPSILON and sign == label.final:
+                deciding = slot
+        own_visible = label.permitted_under(open_policy)
+        in_view = visible_subtree.get(node, own_visible)
+        explanations[node] = NodeExplanation(
+            path=node_path(node),
+            final=label.final,
+            deciding_slot=deciding,
+            origins=origins,
+            in_view=in_view,
+            structural_only=in_view and not own_visible,
+        )
+    return explanations
+
+
+def _postorder(root: Element):
+    stack: list[tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        if isinstance(node, Element):
+            for child in reversed(node.children):
+                stack.append((child, False))
+            for attribute in reversed(list(node.attributes.values())):
+                stack.append((attribute, False))

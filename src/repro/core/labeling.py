@@ -1,0 +1,272 @@
+"""The tree-labeling pass of the compute-view algorithm (Figure 2).
+
+Given a document and the applicable instance-level (Axml) and
+schema-level (Adtd) authorizations for one requester, :class:`TreeLabeler`
+computes a :class:`~repro.core.labels.Label` for every element,
+attribute and text node:
+
+1. **initial_label** — each authorization's path expression is evaluated
+   once against the document; for every selected node the authorization
+   is binned into its label slot (L/R/LW/RW for instance authorizations,
+   LD/RD for schema ones). Per node and slot, authorizations with
+   non-most-specific subjects are discarded and the conflict policy
+   resolves the surviving signs (the paper's step 1b/1c, with
+   denials-take-precedence as the default policy).
+2. **label** — a preorder walk propagates signs downward with
+   most-specific-object overriding. The propagation rules follow the
+   paper's prose; see DESIGN.md ("Faithfulness notes") for the exact
+   reconstruction, in particular the paired blocking of R/RW.
+
+Text nodes (the paper's "values") inherit their parent's final sign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.authz.authorization import AuthType, Authorization
+from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
+from repro.core.labels import Label, first_def
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.nodes import Attribute, Document, Element, Node
+from repro.xpath.compile import RelativeMode
+
+__all__ = ["TreeLabeler", "LabelingResult", "SLOTS"]
+
+#: The six label slots, in final-sign priority order.
+SLOTS = ("L", "R", "LD", "RD", "LW", "RW")
+
+# Instance-level authorization type -> slot.
+_INSTANCE_SLOT = {
+    AuthType.LOCAL: "L",
+    AuthType.RECURSIVE: "R",
+    AuthType.LOCAL_WEAK: "LW",
+    AuthType.RECURSIVE_WEAK: "RW",
+}
+
+# Schema-level authorization type -> slot. Weak types are meaningless at
+# the schema level (strength only inverts instance/schema priority), so
+# they degrade to their strong counterparts.
+_SCHEMA_SLOT = {
+    AuthType.LOCAL: "LD",
+    AuthType.RECURSIVE: "RD",
+    AuthType.LOCAL_WEAK: "LD",
+    AuthType.RECURSIVE_WEAK: "RD",
+}
+
+
+@dataclass
+class LabelingResult:
+    """Labels per node, plus bookkeeping used by tests and benchmarks."""
+
+    labels: dict[Node, Label]
+    evaluated_authorizations: int = 0
+    labeled_nodes: int = 0
+
+    def final(self, node: Node) -> str:
+        label = self.labels.get(node)
+        return label.final if label is not None else EPSILON
+
+    def counts(self) -> dict[str, int]:
+        """How many nodes ended '+', '-' and ε (for reports)."""
+        out = {"+": 0, "-": 0, EPSILON: 0}
+        for label in self.labels.values():
+            out[label.final] += 1
+        return out
+
+
+class TreeLabeler:
+    """One labeling run: a document against two authorization sets.
+
+    Parameters
+    ----------
+    document:
+        The requested document (not mutated).
+    instance_auths:
+        Axml — authorizations attached to the document's URI, already
+        filtered for the requester.
+    schema_auths:
+        Adtd — authorizations attached to the DTD's URI, already
+        filtered for the requester. Their path expressions are evaluated
+        against the instance document (DESIGN.md decision 6).
+    hierarchy:
+        The subject hierarchy (for the most-specific-subject filter).
+    policy:
+        Conflict-resolution policy; defaults to denials-take-precedence.
+    relative_mode:
+        How relative path expressions anchor (DESIGN.md decision 5).
+    """
+
+    def __init__(
+        self,
+        document: Document | Element,
+        instance_auths: list[Authorization],
+        schema_auths: list[Authorization],
+        hierarchy: SubjectHierarchy,
+        policy: Optional[ConflictPolicy] = None,
+        relative_mode: RelativeMode = "descendant",
+    ) -> None:
+        self._document = document
+        self._root = (
+            document.root if isinstance(document, Document) else document
+        )
+        self._instance_auths = instance_auths
+        self._schema_auths = schema_auths
+        self._hierarchy = hierarchy
+        self._policy = policy if policy is not None else DenialsTakePrecedence()
+        self._relative_mode = relative_mode
+        # node -> slot -> authorizations covering that node
+        self._node_slot_auths: dict[Node, dict[str, list[Authorization]]] = {}
+        self._evaluated = 0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> LabelingResult:
+        """Label the whole tree; returns labels for every node."""
+        labels: dict[Node, Label] = {}
+        root = self._root
+        if root is None:
+            return LabelingResult(labels)
+        self._bin_authorizations()
+
+        # Figure 2 steps 4-5: initial label of the root, final by first_def.
+        root_label = self._initial_label(root)
+        root_label.compute_final()
+        labels[root] = root_label
+
+        # Step 6: label(c, r) for each child (attributes included: the
+        # paper's tree model hangs attributes off their element).
+        stack: list[tuple[Node, Element]] = []
+        self._push_children(root, stack)
+        while stack:
+            node, parent = stack.pop()
+            parent_label = labels[parent]
+            label = self._label_node(node, parent_label)
+            labels[node] = label
+            if isinstance(node, Element):
+                self._push_children(node, stack)
+        return LabelingResult(labels, self._evaluated, len(labels))
+
+    # -- authorization binning ------------------------------------------------
+
+    def _bin_authorizations(self) -> None:
+        root_context: Node = self._document
+        for authorization in self._instance_auths:
+            slot = _INSTANCE_SLOT[authorization.type]
+            self._bin_one(authorization, slot, root_context)
+        for authorization in self._schema_auths:
+            slot = _SCHEMA_SLOT[authorization.type]
+            self._bin_one(authorization, slot, root_context)
+
+    # On attributes — terminal nodes with "no propagation possible"
+    # (Section 6.1) — recursive slots degrade to their local
+    # counterparts, so an R authorization naming an attribute directly
+    # behaves like the L it effectively is.
+    _ATTRIBUTE_SLOT = {"R": "L", "RW": "LW", "RD": "LD"}
+
+    def _bin_one(self, authorization: Authorization, slot: str, context: Node) -> None:
+        nodes = authorization.select_nodes(context, self._relative_mode)
+        self._evaluated += 1
+        for node in nodes:
+            node_slot = slot
+            if isinstance(node, Attribute):
+                node_slot = self._ATTRIBUTE_SLOT.get(slot, slot)
+            slots = self._node_slot_auths.get(node)
+            if slots is None:
+                slots = {}
+                self._node_slot_auths[node] = slots
+            slots.setdefault(node_slot, []).append(authorization)
+
+    # -- initial_label ------------------------------------------------------------
+
+    def _initial_label(self, node: Node) -> Label:
+        """Paper's initial_label(n): per-slot most-specific filtering and
+        conflict resolution."""
+        label = Label()
+        slots = self._node_slot_auths.get(node)
+        if not slots:
+            return label
+        for slot, authorizations in slots.items():
+            sign = self._resolve_slot(authorizations)
+            setattr(label, slot, sign)
+        return label
+
+    def _resolve_slot(self, authorizations: list[Authorization]) -> str:
+        if len(authorizations) == 1:
+            return authorizations[0].sign.value
+        survivors = self._most_specific(authorizations)
+        return self._policy.resolve([a.sign for a in survivors])
+
+    def _most_specific(self, authorizations: list[Authorization]) -> list[Authorization]:
+        """Step 1b: discard authorizations whose subject is strictly
+        dominated by another applicable authorization's subject."""
+        hierarchy = self._hierarchy
+        return [
+            a
+            for a in authorizations
+            if not any(
+                other is not a
+                and hierarchy.strictly_dominates(other.subject, a.subject)
+                for other in authorizations
+            )
+        ]
+
+    # -- label(n, p) ------------------------------------------------------------
+
+    def _label_node(self, node: Node, parent_label: Label) -> Label:
+        label = self._initial_label(node)
+        if isinstance(node, Attribute):
+            self._propagate_to_attribute(label, parent_label)
+        elif isinstance(node, Element):
+            self._propagate_to_element(label, parent_label)
+        else:
+            # Text/comment/PI nodes ("values"): visibility follows the
+            # parent element's final sign.
+            label.final = parent_label.final
+        return label
+
+    def _propagate_to_element(self, label: Label, parent: Label) -> None:
+        """Element propagation (paper prose, Section 6.1).
+
+        The recursive pair (R, RW) propagates from the parent only when
+        the node carries no recursive authorization of either strength —
+        "most specific overrides", with a node's weak recursive
+        authorization also blocking the parent's strong one. Schema
+        recursion propagates independently. Local signs never propagate
+        to sub-elements.
+        """
+        if label.R == EPSILON and label.RW == EPSILON:
+            label.R = parent.R
+            label.RW = parent.RW
+        label.RD = first_def(label.RD, parent.RD)
+        label.compute_final()
+
+    def _propagate_to_attribute(self, label: Label, parent: Label) -> None:
+        """Attribute propagation (DESIGN.md decision 2).
+
+        R/RW/RD are always ε on attributes. The parent contributes, in
+        order local-before-recursive at each level: instance-strong
+        (L_p, R_p), schema (LD_p, RD_p) and weak (LW_p, RW_p) signs.
+        An attribute's own weak authorization blocks parent *instance*
+        propagation but still yields to schema signs.
+        """
+        own_weak = label.LW
+        label.LD = first_def(label.LD, parent.LD, parent.RD)
+        label.LW = first_def(label.LW, parent.LW, parent.RW)
+        if own_weak != EPSILON:
+            label.final = first_def(label.L, label.LD, own_weak)
+        else:
+            label.final = first_def(
+                label.L, parent.L, parent.R, label.LD, label.LW
+            )
+        # Recursive slots stay ε: attributes are terminal nodes.
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _push_children(element: Element, stack: list[tuple[Node, Element]]) -> None:
+        for attribute in element.attributes.values():
+            stack.append((attribute, element))
+        for child in element.children:
+            stack.append((child, element))

@@ -1,0 +1,82 @@
+"""Node labels for the tree-labeling process (paper, Section 6.1).
+
+Each node carries a 6-tuple ⟨L, R, LD, RD, LW, RW⟩ over the domain
+{'+', '-', 'ε'}:
+
+====  ==========================================================
+L     Local, instance level
+R     Recursive, instance level
+LD    Local, DTD (schema) level
+RD    Recursive, DTD (schema) level
+LW    Local Weak, instance level
+RW    Recursive Weak, instance level
+====  ==========================================================
+
+(Weak types exist only at the instance level: "the strength of the
+authorization is only used to invert the priority between instance and
+schema authorizations".)
+
+The paper overwrites L with the winning sign at the end of each node's
+visit; we keep the per-type signs intact and store the winner in a
+separate :attr:`Label.final` field, which makes the propagation rules
+(which read the parent's *pre-overwrite* local sign) direct to express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.authz.conflict import EPSILON
+
+__all__ = ["Label", "first_def", "PLUS", "MINUS", "EPSILON"]
+
+PLUS = "+"
+MINUS = "-"
+
+
+def first_def(*signs: str) -> str:
+    """The first sign in *signs* different from ε (paper's first_def).
+
+    Returns ε when every argument is ε.
+    """
+    for sign in signs:
+        if sign != EPSILON:
+            return sign
+    return EPSILON
+
+
+@dataclass
+class Label:
+    """The 6-tuple of one node plus the computed final sign."""
+
+    L: str = EPSILON
+    R: str = EPSILON
+    LD: str = EPSILON
+    RD: str = EPSILON
+    LW: str = EPSILON
+    RW: str = EPSILON
+    final: str = EPSILON
+
+    def as_tuple(self) -> tuple[str, str, str, str, str, str]:
+        return (self.L, self.R, self.LD, self.RD, self.LW, self.RW)
+
+    def compute_final(self) -> str:
+        """first_def over the six slots in priority order (Section 6.1):
+        instance-strong, then schema, then weak."""
+        self.final = first_def(self.L, self.R, self.LD, self.RD, self.LW, self.RW)
+        return self.final
+
+    @property
+    def permitted(self) -> bool:
+        """Closed-policy reading of the final sign."""
+        return self.final == PLUS
+
+    def permitted_under(self, open_policy: bool) -> bool:
+        """Open policy treats ε as a permission, closed as a denial."""
+        if self.final == PLUS:
+            return True
+        return open_policy and self.final == EPSILON
+
+    def __str__(self) -> str:
+        slots = ",".join(self.as_tuple())
+        return f"⟨{slots}⟩→{self.final}"

@@ -1,0 +1,75 @@
+"""DTD substrate: parser, model, validator, loosening, tree, generator.
+
+Public surface::
+
+    from repro.dtd import (
+        parse_dtd, validate, apply_defaults, loosen, dtd_tree, render_tree,
+        generate_instance, DTD, ElementDecl, AttributeDecl, ContentModel,
+    )
+"""
+
+from repro.dtd.content_model import (
+    ContentAutomaton,
+    check_deterministic,
+    compile_model,
+    match_children,
+)
+from repro.dtd.generator import InstanceGenerator, generate_instance
+from repro.dtd.loosen import loosen, validate_against_loosened
+from repro.dtd.model import (
+    AttributeDecl,
+    AttributeType,
+    ChoiceParticle,
+    ContentModel,
+    DTD,
+    DefaultKind,
+    ElementDecl,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    SequenceParticle,
+)
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.serializer import serialize_dtd, serialize_element_decl
+from repro.dtd.tree import DTDTreeNode, dtd_tree, render_tree
+from repro.dtd.validator import (
+    ValidationReport,
+    apply_defaults,
+    lint_dtd,
+    normalize_attributes,
+    validate,
+)
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeType",
+    "ChoiceParticle",
+    "ContentAutomaton",
+    "ContentModel",
+    "DTD",
+    "DTDTreeNode",
+    "DefaultKind",
+    "ElementDecl",
+    "InstanceGenerator",
+    "ModelKind",
+    "NameParticle",
+    "Occurrence",
+    "SequenceParticle",
+    "ValidationReport",
+    "apply_defaults",
+    "check_deterministic",
+    "compile_model",
+    "dtd_tree",
+    "generate_instance",
+    "lint_dtd",
+    "loosen",
+    "match_children",
+    "normalize_attributes",
+    "parse_content_model",
+    "parse_dtd",
+    "render_tree",
+    "serialize_dtd",
+    "serialize_element_decl",
+    "validate",
+    "validate_against_loosened",
+]

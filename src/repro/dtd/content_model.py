@@ -1,0 +1,300 @@
+"""Content-model matching via Glushkov position automata.
+
+A DTD children model such as ``(manager, (paper | report)*, fund?)`` is a
+regular expression over element names. To validate an element's child
+sequence we compile the model, once per element declaration, into a
+Glushkov automaton: every *occurrence* of a name in the expression
+becomes a position; the automaton's states are positions, with
+
+- ``first``  — positions that can start a match,
+- ``follow(p)`` — positions that can follow position ``p``,
+- ``last``   — positions that can end a match,
+- ``nullable`` — whether the empty sequence matches.
+
+Matching a child sequence is then a simple NFA simulation over sets of
+positions, linear in the sequence length (times the automaton fan-out).
+The compiled automaton is cached on first use per :class:`ContentModel`
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dtd.model import (
+    ChoiceParticle,
+    ContentModel,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+
+__all__ = [
+    "ContentAutomaton",
+    "compile_model",
+    "match_children",
+    "explain_mismatch",
+    "check_deterministic",
+]
+
+
+@dataclass
+class _Glushkov:
+    """first/last/follow computation result for one particle."""
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+
+
+@dataclass
+class ContentAutomaton:
+    """A compiled children content model.
+
+    Attributes
+    ----------
+    names:
+        Position -> element name at that position.
+    first:
+        Start positions.
+    follow:
+        Position -> set of possible successor positions.
+    last:
+        Accepting positions.
+    nullable:
+        Whether the empty child sequence is accepted.
+    """
+
+    names: tuple[str, ...]
+    first: frozenset[int]
+    follow: tuple[frozenset[int], ...]
+    last: frozenset[int]
+    nullable: bool
+    # name -> positions carrying that name, precomputed for the simulation
+    positions_by_name: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.positions_by_name:
+            by_name: dict[str, set[int]] = {}
+            for position, name in enumerate(self.names):
+                by_name.setdefault(name, set()).add(position)
+            self.positions_by_name = {
+                name: frozenset(positions) for name, positions in by_name.items()
+            }
+
+    def matches(self, sequence: Sequence[str]) -> bool:
+        """Whether the element-name *sequence* conforms to the model."""
+        return self._run(sequence)[0]
+
+    def _run(self, sequence: Sequence[str]) -> tuple[bool, int]:
+        """Simulate; returns (accepted, index of first failing item).
+
+        When accepted, the failing index is ``len(sequence)``.
+        """
+        if not sequence:
+            return self.nullable, 0
+        current = self.first
+        for index, name in enumerate(sequence):
+            allowed = self.positions_by_name.get(name)
+            if allowed is None:
+                return False, index
+            current = current & allowed
+            if not current:
+                return False, index
+            next_states: set[int] = set()
+            for position in current:
+                next_states |= self.follow[position]
+            previous, current = current, frozenset(next_states)
+            if index == len(sequence) - 1:
+                return bool(previous & self.last), len(sequence)
+        return False, len(sequence)  # pragma: no cover - loop always returns
+
+    def expected_after(self, sequence: Sequence[str], upto: int) -> set[str]:
+        """Element names acceptable at position *upto* given the prefix.
+
+        Used to build actionable validation messages ("expected one of
+        {paper, fund} after 'manager'").
+        """
+        current = self.first
+        for name in sequence[:upto]:
+            allowed = self.positions_by_name.get(name, frozenset())
+            current = current & allowed
+            if not current:
+                return set()
+            next_states: set[int] = set()
+            for position in current:
+                next_states |= self.follow[position]
+            current = frozenset(next_states)
+        return {self.names[position] for position in current}
+
+
+def compile_model(model: ContentModel) -> Optional[ContentAutomaton]:
+    """Compile *model* to an automaton (``None`` for EMPTY/ANY/MIXED).
+
+    The result is memoized on the model object (attribute
+    ``_automaton``), so repeated validation of large documents pays the
+    construction cost once per declaration.
+    """
+    if model.kind is not ModelKind.CHILDREN or model.particle is None:
+        return None
+    cached = getattr(model, "_automaton", None)
+    if cached is not None:
+        return cached
+    builder = _Builder()
+    info = builder.build(model.particle)
+    automaton = ContentAutomaton(
+        names=tuple(builder.names),
+        first=info.first,
+        follow=tuple(frozenset(s) for s in builder.follow),
+        last=info.last,
+        nullable=info.nullable,
+    )
+    # Caching on a dataclass instance: plain attribute, underscore-private.
+    object.__setattr__(model, "_automaton", automaton)
+    return automaton
+
+
+class _Builder:
+    """Recursive Glushkov construction over the particle AST."""
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.follow: list[set[int]] = []
+
+    def build(self, particle: Particle) -> _Glushkov:
+        info = self._build_base(particle)
+        return self._apply_occurrence(info, particle.occurrence)
+
+    def _build_base(self, particle: Particle) -> _Glushkov:
+        if isinstance(particle, NameParticle):
+            position = len(self.names)
+            self.names.append(particle.name)
+            self.follow.append(set())
+            only = frozenset((position,))
+            return _Glushkov(nullable=False, first=only, last=only)
+        if isinstance(particle, ChoiceParticle):
+            nullable = False
+            first: set[int] = set()
+            last: set[int] = set()
+            for item in particle.items:
+                info = self.build(item)
+                nullable = nullable or info.nullable
+                first |= info.first
+                last |= info.last
+            return _Glushkov(nullable, frozenset(first), frozenset(last))
+        if isinstance(particle, SequenceParticle):
+            nullable = True
+            first: set[int] = set()
+            last: set[int] = set()
+            previous_last: set[int] = set()
+            for index, item in enumerate(particle.items):
+                info = self.build(item)
+                for position in previous_last:
+                    self.follow[position] |= info.first
+                if index == 0:
+                    first = set(info.first)
+                elif nullable:
+                    first |= info.first
+                if info.nullable:
+                    previous_last |= info.last
+                    last |= info.last
+                else:
+                    previous_last = set(info.last)
+                    last = set(info.last)
+                nullable = nullable and info.nullable
+            return _Glushkov(nullable, frozenset(first), frozenset(last))
+        raise TypeError(f"unknown particle type: {type(particle).__name__}")
+
+    def _apply_occurrence(self, info: _Glushkov, occurrence: Occurrence) -> _Glushkov:
+        if occurrence is Occurrence.ONCE:
+            return info
+        if occurrence is Occurrence.OPTIONAL:
+            return _Glushkov(True, info.first, info.last)
+        # '*' and '+': last positions loop back to first positions.
+        for position in info.last:
+            self.follow[position] |= info.first
+        nullable = info.nullable or occurrence is Occurrence.ZERO_OR_MORE
+        return _Glushkov(nullable, info.first, info.last)
+
+
+def match_children(model: ContentModel, child_names: Sequence[str]) -> bool:
+    """Whether *child_names* (in order) conforms to *model*.
+
+    EMPTY accepts only the empty sequence; ANY accepts everything; MIXED
+    accepts any interleaving restricted to the declared names (text is
+    checked separately by the validator).
+    """
+    if model.kind is ModelKind.EMPTY:
+        return not child_names
+    if model.kind is ModelKind.ANY:
+        return True
+    if model.kind is ModelKind.MIXED:
+        allowed = set(model.mixed_names)
+        return all(name in allowed for name in child_names)
+    automaton = compile_model(model)
+    assert automaton is not None
+    return automaton.matches(child_names)
+
+
+def check_deterministic(model: ContentModel) -> Optional[str]:
+    """Return the offending element name if *model* is ambiguous.
+
+    XML 1.0 (section 3.2.1, "deterministic content models") requires
+    that an element in the document can match only one position of the
+    model without look-ahead. In Glushkov terms the model is
+    deterministic iff no two positions carrying the same name coexist in
+    ``first`` or in any ``follow`` set. ``(a?, a)`` and ``((a|b)*, a)``
+    are the classic violations.
+
+    Returns ``None`` for deterministic (or EMPTY/ANY/mixed) models.
+    """
+    automaton = compile_model(model)
+    if automaton is None:
+        return None  # EMPTY/ANY/MIXED are trivially deterministic
+
+    def duplicate_name(positions) -> Optional[str]:
+        seen: set[str] = set()
+        for position in positions:
+            name = automaton.names[position]
+            if name in seen:
+                return name
+            seen.add(name)
+        return None
+
+    offender = duplicate_name(automaton.first)
+    if offender is not None:
+        return offender
+    for follow_set in automaton.follow:
+        offender = duplicate_name(follow_set)
+        if offender is not None:
+            return offender
+    return None
+
+
+def explain_mismatch(model: ContentModel, child_names: Sequence[str]) -> str:
+    """A human-readable reason why *child_names* fails *model*."""
+    if model.kind is ModelKind.EMPTY:
+        return f"declared EMPTY but has child elements {list(child_names)!r}"
+    if model.kind is ModelKind.MIXED:
+        allowed = set(model.mixed_names)
+        bad = sorted({name for name in child_names if name not in allowed})
+        return f"mixed content allows {sorted(allowed)!r} but found {bad!r}"
+    automaton = compile_model(model)
+    assert automaton is not None
+    accepted, index = automaton._run(child_names)
+    if accepted:
+        return "content matches"
+    expected = sorted(automaton.expected_after(child_names, index))
+    if index >= len(child_names):
+        return (
+            f"content ended too early; expected one of {expected!r} "
+            f"to continue {model.unparse()}"
+        )
+    found = child_names[index]
+    return (
+        f"child #{index + 1} is <{found}> but the model {model.unparse()} "
+        f"expects one of {expected!r} there"
+    )

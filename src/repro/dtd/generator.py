@@ -1,0 +1,220 @@
+"""Random generation of valid instances from a DTD.
+
+Benchmarks and property tests need documents "of the same schema [that]
+may widely differ in the number and structure of elements" (Section 2).
+:class:`InstanceGenerator` walks a DTD's content models and emits valid
+documents, with knobs for target size, repetition factors and recursion
+depth. Generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.xml.nodes import Document, Element, Text
+from repro.dtd.model import (
+    AttributeDecl,
+    AttributeType,
+    ChoiceParticle,
+    ContentModel,
+    DTD,
+    DefaultKind,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+
+__all__ = ["InstanceGenerator", "generate_instance"]
+
+_WORDS = (
+    "access", "control", "model", "secure", "document", "query", "server",
+    "policy", "schema", "element", "subject", "object", "view", "label",
+    "markup", "semantics", "web", "data", "internal", "public",
+)
+
+
+class InstanceGenerator:
+    """Generates valid documents conforming to a DTD.
+
+    Parameters
+    ----------
+    dtd:
+        The schema to generate from.
+    seed:
+        Seed for the internal PRNG (generation is reproducible).
+    repeat_factor:
+        Expected number of repetitions chosen for ``*`` / ``+``
+        particles (geometric-ish distribution capped at 4x).
+    max_depth:
+        Hard recursion cut-off: below this depth the generator always
+        picks absence/minimal branches, guaranteeing termination on
+        recursive DTDs.
+    optional_probability:
+        Chance of materializing a ``?`` particle or implied attribute.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        seed: int = 0,
+        repeat_factor: float = 1.5,
+        max_depth: int = 30,
+        optional_probability: float = 0.5,
+    ) -> None:
+        if repeat_factor < 0:
+            raise ReproError("repeat_factor must be non-negative")
+        self._dtd = dtd
+        self._rng = random.Random(seed)
+        self._repeat_factor = repeat_factor
+        self._max_depth = max_depth
+        self._optional_probability = optional_probability
+        self._id_counter = 0
+        self._issued_ids: list[str] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def document(self, root: Optional[str] = None, uri: Optional[str] = None) -> Document:
+        """Generate one document; *root* defaults to a root candidate."""
+        if root is None:
+            root = self._dtd.root_candidates()[0]
+        self._issued_ids.clear()
+        element = self.element(root)
+        document = Document()
+        document.doctype_name = root
+        document.dtd = self._dtd
+        document.uri = uri
+        document.append(element)
+        return document
+
+    def element(self, name: str, depth: int = 0) -> Element:
+        """Generate one element subtree for declaration *name*."""
+        decl = self._dtd.element(name)
+        if decl is None:
+            raise ReproError(f"element {name!r} is not declared in the DTD")
+        element = Element(name)
+        for attr_decl in decl.attributes.values():
+            self._maybe_attribute(element, attr_decl)
+        self._fill_content(element, decl.content, depth)
+        return element
+
+    # -- internals -----------------------------------------------------------
+
+    def _maybe_attribute(self, element: Element, decl: AttributeDecl) -> None:
+        if decl.default_kind is DefaultKind.IMPLIED:
+            if self._rng.random() >= self._optional_probability:
+                return
+        if decl.default_kind is DefaultKind.FIXED:
+            element.set_attribute(decl.name, decl.default_value or "")
+            return
+        if (
+            decl.default_kind is DefaultKind.DEFAULT
+            and self._rng.random() < 0.5
+            and decl.default_value is not None
+        ):
+            element.set_attribute(decl.name, decl.default_value)
+            return
+        element.set_attribute(decl.name, self._attribute_value(decl))
+
+    def _attribute_value(self, decl: AttributeDecl) -> str:
+        kind = decl.type
+        if kind in (AttributeType.ENUMERATION, AttributeType.NOTATION):
+            return self._rng.choice(decl.enumeration)
+        if kind is AttributeType.ID:
+            self._id_counter += 1
+            new_id = f"id{self._id_counter}"
+            self._issued_ids.append(new_id)
+            return new_id
+        if kind in (AttributeType.IDREF, AttributeType.IDREFS):
+            if self._issued_ids:
+                return self._rng.choice(self._issued_ids)
+            # No ID issued yet: issue one implicitly-consistent token;
+            # validator tolerance is exercised separately in tests.
+            self._id_counter += 1
+            new_id = f"id{self._id_counter}"
+            self._issued_ids.append(new_id)
+            return new_id
+        if kind in (AttributeType.NMTOKEN, AttributeType.NMTOKENS):
+            return self._rng.choice(_WORDS)
+        return self._phrase(1, 3)
+
+    def _phrase(self, low: int, high: int) -> str:
+        count = self._rng.randint(low, high)
+        return " ".join(self._rng.choice(_WORDS) for _ in range(count))
+
+    def _fill_content(self, element: Element, model: ContentModel, depth: int) -> None:
+        if model.kind is ModelKind.EMPTY:
+            return
+        if model.kind is ModelKind.ANY:
+            element.append(Text(self._phrase(1, 4)))
+            return
+        if model.kind is ModelKind.MIXED:
+            element.append(Text(self._phrase(1, 5)))
+            if model.mixed_names and depth < self._max_depth:
+                for _ in range(self._repetitions(minimum=0)):
+                    child_name = self._rng.choice(model.mixed_names)
+                    element.append(self.element(child_name, depth + 1))
+                    element.append(Text(self._phrase(0, 2)))
+            return
+        assert model.particle is not None
+        self._emit_particle(element, model.particle, depth)
+
+    def _emit_particle(self, element: Element, particle: Particle, depth: int) -> None:
+        occurrence = particle.occurrence
+        if occurrence is Occurrence.OPTIONAL:
+            if depth >= self._max_depth or self._rng.random() >= self._optional_probability:
+                return
+            count = 1
+        elif occurrence is Occurrence.ZERO_OR_MORE:
+            count = 0 if depth >= self._max_depth else self._repetitions(minimum=0)
+        elif occurrence is Occurrence.ONE_OR_MORE:
+            count = 1 if depth >= self._max_depth else self._repetitions(minimum=1)
+        else:
+            count = 1
+        for _ in range(count):
+            self._emit_once(element, particle, depth)
+
+    def _emit_once(self, element: Element, particle: Particle, depth: int) -> None:
+        if isinstance(particle, NameParticle):
+            element.append(self.element(particle.name, depth + 1))
+        elif isinstance(particle, SequenceParticle):
+            for item in particle.items:
+                self._emit_particle(element, item, depth)
+        elif isinstance(particle, ChoiceParticle):
+            choice = self._pick_branch(particle, depth)
+            self._emit_particle(element, choice, depth)
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(type(particle).__name__)
+
+    def _pick_branch(self, particle: ChoiceParticle, depth: int) -> Particle:
+        if depth >= self._max_depth:
+            # Prefer a branch that can be empty, if any, to terminate.
+            for item in particle.items:
+                if item.occurrence.allows_absence:
+                    return item
+        return self._rng.choice(particle.items)
+
+    def _repetitions(self, minimum: int) -> int:
+        count = minimum
+        # Geometric-ish: each extra repetition is progressively less likely.
+        probability = min(0.95, self._repeat_factor / (self._repeat_factor + 1.0))
+        while count < minimum + int(4 * self._repeat_factor) + 1:
+            if self._rng.random() >= probability:
+                break
+            count += 1
+        return count
+
+
+def generate_instance(
+    dtd: DTD,
+    seed: int = 0,
+    root: Optional[str] = None,
+    uri: Optional[str] = None,
+    repeat_factor: float = 1.5,
+) -> Document:
+    """One-shot convenience wrapper around :class:`InstanceGenerator`."""
+    generator = InstanceGenerator(dtd, seed=seed, repeat_factor=repeat_factor)
+    return generator.document(root=root, uri=uri)

@@ -1,0 +1,51 @@
+"""DTD loosening (paper, Section 6.2).
+
+"Loosening a DTD simply means to define as optional all the elements and
+attributes marked as required in the original DTD. The DTD loosening
+prevents users from detecting whether information was hidden by the
+security enforcement or simply missing in the original document."
+
+The transformation itself lives on the model classes
+(:meth:`repro.dtd.model.DTD.loosened` and friends); this module provides
+the public entry point plus helpers tying loosening to view emission.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xml.nodes import Document
+from repro.dtd.model import DTD
+from repro.dtd.validator import ValidationReport, validate
+
+__all__ = ["loosen", "validate_against_loosened"]
+
+
+def loosen(dtd: DTD) -> DTD:
+    """Return the loosened version of *dtd* (the input is not mutated).
+
+    - every child particle marked exactly-once becomes ``?`` and every
+      ``+`` becomes ``*`` (absence always allowed);
+    - every ``#REQUIRED`` attribute becomes ``#IMPLIED``.
+    """
+    return dtd.loosened()
+
+
+def validate_against_loosened(
+    view: Document, dtd: Optional[DTD] = None
+) -> ValidationReport:
+    """Validate a computed *view* against the loosened version of *dtd*.
+
+    This is the guarantee of Section 7 step 3: "this pruning preserves
+    the validity of the document with respect to the loosened version of
+    its original DTD". IDREF checks are skipped: pruning may legitimately
+    remove the element an IDREF pointed to, and revealing that the target
+    existed would leak hidden information.
+    """
+    if dtd is None:
+        dtd = view.dtd
+    if dtd is None:
+        report = ValidationReport()
+        report.violations.append("no DTD available to loosen")
+        return report
+    return validate(view, loosen(dtd), check_ids=False)

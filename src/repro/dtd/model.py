@@ -1,0 +1,345 @@
+"""Object model for Document Type Definitions.
+
+A :class:`DTD` holds element declarations (with their content models),
+attribute-list declarations, and entity declarations — the components the
+paper uses (Section 2; entities/notations are parsed but, as in the
+paper, not part of the authorization model).
+
+Content models are an AST mirroring the extended-BNF notation of DTDs:
+
+- :class:`NameParticle` — a child element name;
+- :class:`SequenceParticle` — ``(a, b, c)``;
+- :class:`ChoiceParticle` — ``(a | b | c)``;
+
+each carrying an *occurrence* indicator: ``""`` exactly once, ``"?"``
+zero-or-one, ``"*"`` zero-or-more, ``"+"`` one-or-more. The special
+models ``EMPTY``, ``ANY`` and mixed content ``(#PCDATA | a | ...)*`` are
+represented by :class:`ContentModel` kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "Occurrence",
+    "NameParticle",
+    "SequenceParticle",
+    "ChoiceParticle",
+    "Particle",
+    "ModelKind",
+    "ContentModel",
+    "AttributeType",
+    "DefaultKind",
+    "AttributeDecl",
+    "ElementDecl",
+    "DTD",
+]
+
+
+class Occurrence(str, Enum):
+    """Occurrence indicator of a content particle."""
+
+    ONCE = ""
+    OPTIONAL = "?"
+    ZERO_OR_MORE = "*"
+    ONE_OR_MORE = "+"
+
+    @property
+    def allows_absence(self) -> bool:
+        return self in (Occurrence.OPTIONAL, Occurrence.ZERO_OR_MORE)
+
+    @property
+    def allows_repetition(self) -> bool:
+        return self in (Occurrence.ZERO_OR_MORE, Occurrence.ONE_OR_MORE)
+
+    def loosened(self) -> "Occurrence":
+        """The occurrence after DTD loosening: absence always allowed."""
+        if self is Occurrence.ONCE:
+            return Occurrence.OPTIONAL
+        if self is Occurrence.ONE_OR_MORE:
+            return Occurrence.ZERO_OR_MORE
+        return self
+
+
+@dataclass
+class NameParticle:
+    """A single child element name with an occurrence indicator."""
+
+    name: str
+    occurrence: Occurrence = Occurrence.ONCE
+
+    def unparse(self) -> str:
+        return f"{self.name}{self.occurrence.value}"
+
+    def loosened(self) -> "NameParticle":
+        return NameParticle(self.name, self.occurrence.loosened())
+
+    def names(self) -> Iterator[str]:
+        yield self.name
+
+
+@dataclass
+class SequenceParticle:
+    """An ordered group ``(p1, p2, ...)`` with an occurrence indicator."""
+
+    items: list["Particle"]
+    occurrence: Occurrence = Occurrence.ONCE
+
+    def unparse(self) -> str:
+        inner = ", ".join(item.unparse() for item in self.items)
+        return f"({inner}){self.occurrence.value}"
+
+    def loosened(self) -> "SequenceParticle":
+        return SequenceParticle(
+            [item.loosened() for item in self.items], self.occurrence.loosened()
+        )
+
+    def names(self) -> Iterator[str]:
+        for item in self.items:
+            yield from item.names()
+
+
+@dataclass
+class ChoiceParticle:
+    """An alternative group ``(p1 | p2 | ...)`` with an occurrence."""
+
+    items: list["Particle"]
+    occurrence: Occurrence = Occurrence.ONCE
+
+    def unparse(self) -> str:
+        inner = " | ".join(item.unparse() for item in self.items)
+        return f"({inner}){self.occurrence.value}"
+
+    def loosened(self) -> "ChoiceParticle":
+        # Loosening the group is enough to allow absence, but loosening
+        # the branches too keeps the transformation uniform ("define as
+        # optional all the elements ... marked as required").
+        return ChoiceParticle(
+            [item.loosened() for item in self.items], self.occurrence.loosened()
+        )
+
+    def names(self) -> Iterator[str]:
+        for item in self.items:
+            yield from item.names()
+
+
+Particle = Union[NameParticle, SequenceParticle, ChoiceParticle]
+
+
+class ModelKind(Enum):
+    """The four flavours of element content in XML 1.0."""
+
+    EMPTY = "EMPTY"
+    ANY = "ANY"
+    MIXED = "MIXED"
+    CHILDREN = "CHILDREN"
+
+
+@dataclass
+class ContentModel:
+    """The declared content of an element.
+
+    ``kind == CHILDREN`` uses :attr:`particle`; ``kind == MIXED`` uses
+    :attr:`mixed_names` (possibly empty for pure ``(#PCDATA)``).
+    """
+
+    kind: ModelKind
+    particle: Optional[Particle] = None
+    mixed_names: tuple[str, ...] = ()
+
+    def unparse(self) -> str:
+        if self.kind is ModelKind.EMPTY:
+            return "EMPTY"
+        if self.kind is ModelKind.ANY:
+            return "ANY"
+        if self.kind is ModelKind.MIXED:
+            if not self.mixed_names:
+                return "(#PCDATA)"
+            names = " | ".join(self.mixed_names)
+            return f"(#PCDATA | {names})*"
+        assert self.particle is not None
+        rendered = self.particle.unparse()
+        # A bare name particle needs the grammar's mandatory parentheses:
+        # '<!ELEMENT a (b+)>', never '<!ELEMENT a b+>'.
+        if isinstance(self.particle, NameParticle):
+            return f"({rendered})"
+        return rendered
+
+    def loosened(self) -> "ContentModel":
+        """The content model after loosening (Section 6.2).
+
+        Child particles become omissible; EMPTY/ANY/mixed models already
+        allow absence of any specific child, so they are unchanged.
+        """
+        if self.kind is ModelKind.CHILDREN:
+            assert self.particle is not None
+            particle = self.particle.loosened()
+            # Guarantee the whole content may be absent (a fully pruned
+            # element must still be valid as a bare tag).
+            if particle.occurrence is Occurrence.ONCE:
+                particle = _with_occurrence(particle, Occurrence.OPTIONAL)
+            return ContentModel(ModelKind.CHILDREN, particle)
+        return self
+
+    def allowed_child_names(self) -> set[str]:
+        """Every element name that may appear as a direct child."""
+        if self.kind is ModelKind.MIXED:
+            return set(self.mixed_names)
+        if self.kind is ModelKind.CHILDREN and self.particle is not None:
+            return set(self.particle.names())
+        return set()
+
+
+def _with_occurrence(particle: Particle, occurrence: Occurrence) -> Particle:
+    if isinstance(particle, NameParticle):
+        return NameParticle(particle.name, occurrence)
+    if isinstance(particle, SequenceParticle):
+        return SequenceParticle(particle.items, occurrence)
+    return ChoiceParticle(particle.items, occurrence)
+
+
+class AttributeType(Enum):
+    """Declared attribute types (tokenized types beyond those used by
+    the paper are included for completeness)."""
+
+    CDATA = "CDATA"
+    ID = "ID"
+    IDREF = "IDREF"
+    IDREFS = "IDREFS"
+    ENTITY = "ENTITY"
+    ENTITIES = "ENTITIES"
+    NMTOKEN = "NMTOKEN"
+    NMTOKENS = "NMTOKENS"
+    NOTATION = "NOTATION"
+    ENUMERATION = "ENUMERATION"
+
+
+class DefaultKind(Enum):
+    """Attribute default declarations (Section 2 of the paper)."""
+
+    REQUIRED = "#REQUIRED"
+    IMPLIED = "#IMPLIED"
+    FIXED = "#FIXED"
+    DEFAULT = ""  # a plain default value
+
+
+@dataclass
+class AttributeDecl:
+    """One attribute definition inside an ``<!ATTLIST>``."""
+
+    name: str
+    type: AttributeType
+    default_kind: DefaultKind
+    default_value: Optional[str] = None
+    enumeration: tuple[str, ...] = ()
+
+    @property
+    def required(self) -> bool:
+        return self.default_kind is DefaultKind.REQUIRED
+
+    def loosened(self) -> "AttributeDecl":
+        """Required attributes become implied; others are unchanged."""
+        if self.default_kind is DefaultKind.REQUIRED:
+            return AttributeDecl(
+                self.name, self.type, DefaultKind.IMPLIED, None, self.enumeration
+            )
+        return self
+
+    def unparse(self) -> str:
+        if self.type is AttributeType.ENUMERATION:
+            type_text = "(" + " | ".join(self.enumeration) + ")"
+        elif self.type is AttributeType.NOTATION:
+            type_text = "NOTATION (" + " | ".join(self.enumeration) + ")"
+        else:
+            type_text = self.type.value
+        if self.default_kind is DefaultKind.FIXED:
+            default = f'#FIXED "{self.default_value}"'
+        elif self.default_kind is DefaultKind.DEFAULT:
+            default = f'"{self.default_value}"'
+        else:
+            default = self.default_kind.value
+        return f"{self.name} {type_text} {default}"
+
+
+@dataclass
+class ElementDecl:
+    """An ``<!ELEMENT>`` declaration plus its attribute list."""
+
+    name: str
+    content: ContentModel
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+
+    def loosened(self) -> "ElementDecl":
+        return ElementDecl(
+            self.name,
+            self.content.loosened(),
+            {name: attr.loosened() for name, attr in self.attributes.items()},
+        )
+
+
+@dataclass
+class DTD:
+    """A parsed Document Type Definition.
+
+    Attributes
+    ----------
+    elements:
+        Element declarations keyed by name.
+    general_entities:
+        ``<!ENTITY name "value">`` declarations (made available to the
+        XML parser for reference expansion).
+    parameter_entities:
+        ``<!ENTITY % name "value">`` declarations (expanded at DTD parse
+        time only, as the spec requires).
+    notations:
+        Notation names (declaration bodies are not modelled; the paper
+        excludes them from the authorization model).
+    uri:
+        Where this DTD lives; authorization objects reference it.
+    """
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+    general_entities: dict[str, str] = field(default_factory=dict)
+    parameter_entities: dict[str, str] = field(default_factory=dict)
+    notations: dict[str, str] = field(default_factory=dict)
+    uri: Optional[str] = None
+
+    def element(self, name: str) -> Optional[ElementDecl]:
+        return self.elements.get(name)
+
+    def declare_element(self, decl: ElementDecl) -> ElementDecl:
+        self.elements[decl.name] = decl
+        return decl
+
+    def root_candidates(self) -> list[str]:
+        """Element names never referenced as children — likely roots.
+
+        A DTD does not name its root (the DOCTYPE does); this heuristic
+        is used by the instance generator and the tree renderer.
+        """
+        referenced: set[str] = set()
+        for decl in self.elements.values():
+            referenced |= decl.content.allowed_child_names()
+        roots = [name for name in self.elements if name not in referenced]
+        return roots or list(self.elements)
+
+    def loosened(self) -> "DTD":
+        """The loosened DTD of Section 6.2.
+
+        Every element marked required in a content model becomes
+        optional and every ``#REQUIRED`` attribute becomes ``#IMPLIED``,
+        so views with pruned nodes remain valid and requesters cannot
+        tell security pruning from genuinely absent data.
+        """
+        return DTD(
+            elements={
+                name: decl.loosened() for name, decl in self.elements.items()
+            },
+            general_entities=dict(self.general_entities),
+            parameter_entities=dict(self.parameter_entities),
+            notations=dict(self.notations),
+            uri=self.uri,
+        )

@@ -1,0 +1,514 @@
+"""Parser for Document Type Definitions.
+
+Accepts the body of a DTD — either a standalone external subset or the
+internal subset between ``[`` and ``]`` of a DOCTYPE declaration — and
+produces a :class:`repro.dtd.model.DTD`.
+
+Supported declarations:
+
+- ``<!ELEMENT name content-model>`` with ``EMPTY``, ``ANY``, mixed
+  content ``(#PCDATA | a | b)*`` and full children models with nested
+  sequences/choices and ``? * +`` occurrence indicators;
+- ``<!ATTLIST name (attr type default)*>`` with all ten attribute types
+  and the four default kinds;
+- ``<!ENTITY name "value">`` and parameter entities
+  ``<!ENTITY % name "value">`` (parameter entities are expanded inside
+  subsequent declarations, with cycle detection);
+- ``<!NOTATION name SYSTEM "...">`` (recorded by name only);
+- comments and processing instructions (skipped).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DTDSyntaxError
+from repro.xml.chars import WHITESPACE, is_name, is_name_char, is_name_start_char, is_nmtoken
+from repro.dtd.model import (
+    AttributeDecl,
+    AttributeType,
+    ChoiceParticle,
+    ContentModel,
+    DTD,
+    DefaultKind,
+    ElementDecl,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+
+__all__ = ["parse_dtd", "parse_content_model", "DTDParser"]
+
+_MAX_PE_EXPANSIONS = 10_000
+
+
+def _resolve_char_refs(value: str) -> str:
+    """Expand ``&#NN;`` / ``&#xHH;`` in an entity value.
+
+    The XML spec includes character references in entity literal values
+    at declaration time, while general-entity references stay textual
+    (they expand lazily at the point of use).
+    """
+    if "&#" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        if value.startswith("&#", i):
+            end = value.find(";", i)
+            if end != -1:
+                body = value[i + 2 : end]
+                try:
+                    code = int(body[1:], 16) if body[:1] in "xX" else int(body)
+                    out.append(chr(code))
+                    i = end + 1
+                    continue
+                except ValueError:
+                    pass
+        out.append(value[i])
+        i += 1
+    return "".join(out)
+
+
+def parse_dtd(text: str, uri: Optional[str] = None) -> DTD:
+    """Parse DTD *text* into a :class:`DTD` object.
+
+    Raises
+    ------
+    DTDSyntaxError
+        On any syntactic problem, duplicate element declaration, or
+        parameter-entity expansion cycle.
+    """
+    dtd = DTDParser(text).parse()
+    dtd.uri = uri
+    return dtd
+
+
+def parse_content_model(text: str) -> ContentModel:
+    """Parse a content-model fragment such as ``(a, (b | c)*, d?)``.
+
+    Exposed for tests and for programmatic DTD construction.
+    """
+    parser = DTDParser(text)
+    model = parser._parse_content_model()
+    parser._skip_space()
+    if parser._pos < parser._len:
+        parser._fail("trailing input after content model")
+    return model
+
+
+class DTDParser:
+    """Single-use parser over a DTD subset string."""
+
+    def __init__(self, text: str) -> None:
+        if "\r" in text:
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
+        self._text = text
+        self._pos = 0
+        self._len = len(text)
+        self._dtd = DTD()
+        self._pe_expansions = 0
+        self._declared_elements: set[str] = set()
+
+    # -- scanning helpers ---------------------------------------------------
+
+    def _fail(self, message: str, pos: Optional[int] = None) -> None:
+        index = self._pos if pos is None else pos
+        line = self._text.count("\n", 0, index) + 1
+        column = index - self._text.rfind("\n", 0, index)
+        raise DTDSyntaxError(message, line, column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < self._len else ""
+
+    def _starts_with(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._starts_with(token):
+            self._fail(f"expected {token!r}")
+        self._pos += len(token)
+
+    def _skip_space(self, required: bool = False) -> None:
+        start = self._pos
+        while self._pos < self._len:
+            ch = self._text[self._pos]
+            if ch in WHITESPACE:
+                self._pos += 1
+            elif ch == "%" and is_name_start_char(self._peek(1)):
+                self._expand_parameter_entity()
+            else:
+                break
+        if required and self._pos == start:
+            self._fail("expected whitespace")
+
+    def _expand_parameter_entity(self) -> None:
+        start = self._pos
+        self._pos += 1  # '%'
+        name = self._read_name()
+        if self._peek() != ";":
+            self._fail("unterminated parameter-entity reference", start)
+        self._pos += 1
+        replacement = self._dtd.parameter_entities.get(name)
+        if replacement is None:
+            self._fail(f"unknown parameter entity %{name};", start)
+        self._pe_expansions += 1
+        if self._pe_expansions > _MAX_PE_EXPANSIONS:
+            self._fail("parameter-entity expansion limit exceeded (cycle?)", start)
+        # Splice the replacement text in place, padded with spaces as the
+        # spec requires for declarations.
+        self._text = (
+            self._text[:start] + " " + replacement + " " + self._text[self._pos :]
+        )
+        self._len = len(self._text)
+        self._pos = start
+
+    def _read_name(self) -> str:
+        start = self._pos
+        if self._pos >= self._len or not is_name_start_char(self._text[self._pos]):
+            self._fail("expected a name")
+        self._pos += 1
+        while self._pos < self._len and is_name_char(self._text[self._pos]):
+            self._pos += 1
+        return self._text[start : self._pos]
+
+    def _read_nmtoken(self) -> str:
+        start = self._pos
+        while self._pos < self._len and is_name_char(self._text[self._pos]):
+            self._pos += 1
+        token = self._text[start : self._pos]
+        if not is_nmtoken(token):
+            self._fail("expected a name token", start)
+        return token
+
+    def _read_quoted(self) -> str:
+        quote = self._peek()
+        if quote not in "'\"":
+            self._fail("expected a quoted literal")
+        self._pos += 1
+        end = self._text.find(quote, self._pos)
+        if end == -1:
+            self._fail("unterminated literal")
+        value = self._text[self._pos : end]
+        self._pos = end + 1
+        return value
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse(self) -> DTD:
+        while True:
+            self._skip_space()
+            if self._pos >= self._len:
+                return self._dtd
+            if self._starts_with("<!--"):
+                self._skip_comment()
+            elif self._starts_with("<!ELEMENT"):
+                self._parse_element_decl()
+            elif self._starts_with("<!ATTLIST"):
+                self._parse_attlist_decl()
+            elif self._starts_with("<!ENTITY"):
+                self._parse_entity_decl()
+            elif self._starts_with("<!NOTATION"):
+                self._parse_notation_decl()
+            elif self._starts_with("<?"):
+                self._skip_pi()
+            else:
+                self._fail("expected a markup declaration")
+
+    def _skip_comment(self) -> None:
+        start = self._pos
+        end = self._text.find("-->", self._pos + 4)
+        if end == -1:
+            self._fail("unterminated comment", start)
+        self._pos = end + 3
+
+    def _skip_pi(self) -> None:
+        start = self._pos
+        end = self._text.find("?>", self._pos + 2)
+        if end == -1:
+            self._fail("unterminated processing instruction", start)
+        self._pos = end + 2
+
+    def _parse_element_decl(self) -> None:
+        self._expect("<!ELEMENT")
+        self._skip_space(required=True)
+        name = self._read_name()
+        # ATTLIST may pre-create the entry; a second <!ELEMENT> for the
+        # same name is an error.
+        if name in self._declared_elements:
+            self._fail(f"duplicate declaration of element {name!r}")
+        self._declared_elements.add(name)
+        self._skip_space(required=True)
+        model = self._parse_content_model()
+        self._skip_space()
+        self._expect(">")
+        existing = self._dtd.elements.get(name)
+        if existing is not None:
+            existing.content = model
+        else:
+            self._dtd.declare_element(ElementDecl(name, model))
+
+    def _parse_content_model(self) -> ContentModel:
+        if self._starts_with("EMPTY"):
+            self._pos += 5
+            return ContentModel(ModelKind.EMPTY)
+        if self._starts_with("ANY"):
+            self._pos += 3
+            return ContentModel(ModelKind.ANY)
+        if self._peek() != "(":
+            self._fail("expected a content model")
+        # Look ahead for mixed content.
+        save = self._pos
+        self._pos += 1
+        self._skip_space()
+        if self._starts_with("#PCDATA"):
+            self._pos += 7
+            return self._parse_mixed_tail()
+        self._pos = save
+        particle = self._parse_group()
+        return ContentModel(ModelKind.CHILDREN, particle)
+
+    def _parse_mixed_tail(self) -> ContentModel:
+        names: list[str] = []
+        while True:
+            self._skip_space()
+            ch = self._peek()
+            if ch == ")":
+                self._pos += 1
+                if names:
+                    if self._peek() != "*":
+                        self._fail("mixed content with names must end with ')*'")
+                    self._pos += 1
+                elif self._peek() == "*":
+                    self._pos += 1
+                return ContentModel(ModelKind.MIXED, mixed_names=tuple(names))
+            if ch != "|":
+                self._fail("expected '|' or ')' in mixed content")
+            self._pos += 1
+            self._skip_space()
+            name = self._read_name()
+            if name in names:
+                self._fail(f"duplicate name {name!r} in mixed content")
+            names.append(name)
+
+    def _parse_group(self) -> Particle:
+        """Parse a parenthesized group ``( cp (sep cp)* )`` + occurrence."""
+        self._expect("(")
+        items: list[Particle] = []
+        separator: Optional[str] = None
+        while True:
+            self._skip_space()
+            items.append(self._parse_cp())
+            self._skip_space()
+            ch = self._peek()
+            if ch == ")":
+                self._pos += 1
+                break
+            if ch not in "|,":
+                self._fail("expected ',', '|' or ')' in content model")
+            if separator is None:
+                separator = ch
+            elif ch != separator:
+                self._fail("cannot mix ',' and '|' in one group")
+            self._pos += 1
+        occurrence = self._read_occurrence()
+        if separator == "|":
+            return ChoiceParticle(items, occurrence)
+        if len(items) == 1 and occurrence is Occurrence.ONCE:
+            return items[0]
+        return SequenceParticle(items, occurrence)
+
+    def _parse_cp(self) -> Particle:
+        if self._peek() == "(":
+            return self._parse_group()
+        name = self._read_name()
+        return NameParticle(name, self._read_occurrence())
+
+    def _read_occurrence(self) -> Occurrence:
+        ch = self._peek()
+        if ch == "?":
+            self._pos += 1
+            return Occurrence.OPTIONAL
+        if ch == "*":
+            self._pos += 1
+            return Occurrence.ZERO_OR_MORE
+        if ch == "+":
+            self._pos += 1
+            return Occurrence.ONE_OR_MORE
+        return Occurrence.ONCE
+
+    # -- ATTLIST -----------------------------------------------------------------
+
+    _SIMPLE_ATTR_TYPES = (
+        ("IDREFS", AttributeType.IDREFS),
+        ("IDREF", AttributeType.IDREF),
+        ("ID", AttributeType.ID),
+        ("ENTITIES", AttributeType.ENTITIES),
+        ("ENTITY", AttributeType.ENTITY),
+        ("NMTOKENS", AttributeType.NMTOKENS),
+        ("NMTOKEN", AttributeType.NMTOKEN),
+        ("CDATA", AttributeType.CDATA),
+    )
+
+    def _parse_attlist_decl(self) -> None:
+        self._expect("<!ATTLIST")
+        self._skip_space(required=True)
+        element_name = self._read_name()
+        decl = self._dtd.elements.get(element_name)
+        if decl is None:
+            # ATTLIST may legally precede the ELEMENT declaration; create
+            # a placeholder with ANY content, replaced when ELEMENT shows up.
+            decl = self._dtd.declare_element(
+                ElementDecl(element_name, ContentModel(ModelKind.ANY))
+            )
+        while True:
+            before = self._pos
+            self._skip_space()
+            if self._peek() == ">":
+                self._pos += 1
+                return
+            if before == self._pos:
+                self._fail("expected whitespace before attribute definition")
+            attr = self._parse_attribute_def()
+            # Later redefinitions of the same attribute are ignored (XML
+            # 1.0: "the first declaration is binding").
+            decl.attributes.setdefault(attr.name, attr)
+
+    def _parse_attribute_def(self) -> AttributeDecl:
+        name = self._read_name()
+        self._skip_space(required=True)
+        attr_type, enumeration = self._parse_attribute_type()
+        self._skip_space(required=True)
+        default_kind, default_value = self._parse_default_decl(attr_type, enumeration)
+        return AttributeDecl(name, attr_type, default_kind, default_value, enumeration)
+
+    def _parse_attribute_type(self) -> tuple[AttributeType, tuple[str, ...]]:
+        for token, attr_type in self._SIMPLE_ATTR_TYPES:
+            if self._starts_with(token):
+                after = self._peek(len(token))
+                if after == "" or not is_name_char(after):
+                    self._pos += len(token)
+                    return attr_type, ()
+        if self._starts_with("NOTATION"):
+            self._pos += 8
+            self._skip_space(required=True)
+            return AttributeType.NOTATION, self._parse_enumeration(names_only=True)
+        if self._peek() == "(":
+            return AttributeType.ENUMERATION, self._parse_enumeration(names_only=False)
+        self._fail("expected an attribute type")
+        raise AssertionError  # unreachable; _fail always raises
+
+    def _parse_enumeration(self, names_only: bool) -> tuple[str, ...]:
+        self._expect("(")
+        values: list[str] = []
+        while True:
+            self._skip_space()
+            token = self._read_name() if names_only else self._read_nmtoken()
+            if token in values:
+                self._fail(f"duplicate token {token!r} in enumeration")
+            values.append(token)
+            self._skip_space()
+            ch = self._peek()
+            if ch == ")":
+                self._pos += 1
+                return tuple(values)
+            if ch != "|":
+                self._fail("expected '|' or ')' in enumeration")
+            self._pos += 1
+
+    def _parse_default_decl(
+        self, attr_type: AttributeType, enumeration: tuple[str, ...]
+    ) -> tuple[DefaultKind, Optional[str]]:
+        if self._starts_with("#REQUIRED"):
+            self._pos += 9
+            return DefaultKind.REQUIRED, None
+        if self._starts_with("#IMPLIED"):
+            self._pos += 8
+            return DefaultKind.IMPLIED, None
+        if self._starts_with("#FIXED"):
+            self._pos += 6
+            self._skip_space(required=True)
+            value = self._read_quoted()
+            self._check_default_against_type(value, attr_type, enumeration)
+            return DefaultKind.FIXED, value
+        value = self._read_quoted()
+        self._check_default_against_type(value, attr_type, enumeration)
+        return DefaultKind.DEFAULT, value
+
+    def _check_default_against_type(
+        self, value: str, attr_type: AttributeType, enumeration: tuple[str, ...]
+    ) -> None:
+        if attr_type in (AttributeType.ENUMERATION, AttributeType.NOTATION):
+            if value not in enumeration:
+                self._fail(
+                    f"default value {value!r} is not among the enumerated tokens"
+                )
+        elif attr_type in (AttributeType.ID, AttributeType.IDREF, AttributeType.ENTITY):
+            if not is_name(value):
+                self._fail(f"default value {value!r} is not a valid name")
+
+    # -- ENTITY / NOTATION ----------------------------------------------------------
+
+    def _parse_entity_decl(self) -> None:
+        self._expect("<!ENTITY")
+        self._skip_space(required=True)
+        is_parameter = False
+        if self._peek() == "%":
+            self._pos += 1
+            is_parameter = True
+            self._skip_space(required=True)
+        name = self._read_name()
+        self._skip_space(required=True)
+        if self._starts_with("SYSTEM") or self._starts_with("PUBLIC"):
+            # External entities: record an empty replacement (no network
+            # access in this library; see DESIGN.md non-goals).
+            if self._starts_with("PUBLIC"):
+                self._pos += 6
+                self._skip_space(required=True)
+                self._read_quoted()
+            else:
+                self._pos += 6
+            self._skip_space(required=True)
+            self._read_quoted()
+            self._skip_space()
+            if self._starts_with("NDATA"):
+                self._pos += 5
+                self._skip_space(required=True)
+                self._read_name()
+                self._skip_space()
+            value = ""
+        else:
+            value = _resolve_char_refs(self._read_quoted())
+            self._skip_space()
+        self._expect(">")
+        store = (
+            self._dtd.parameter_entities if is_parameter else self._dtd.general_entities
+        )
+        # First declaration is binding.
+        store.setdefault(name, value)
+
+    def _parse_notation_decl(self) -> None:
+        self._expect("<!NOTATION")
+        self._skip_space(required=True)
+        name = self._read_name()
+        self._skip_space(required=True)
+        if self._starts_with("PUBLIC"):
+            self._pos += 6
+            self._skip_space(required=True)
+            identifier = self._read_quoted()
+            self._skip_space()
+            if self._peek() in "'\"":
+                identifier = self._read_quoted()
+        elif self._starts_with("SYSTEM"):
+            self._pos += 6
+            self._skip_space(required=True)
+            identifier = self._read_quoted()
+        else:
+            self._fail("expected SYSTEM or PUBLIC in notation declaration")
+            raise AssertionError  # unreachable
+        self._skip_space()
+        self._expect(">")
+        self._dtd.notations.setdefault(name, identifier)

@@ -1,0 +1,41 @@
+"""Serialization of DTD objects back to declaration syntax.
+
+Used to emit the loosened DTD that accompanies a computed view
+(Section 6.2: the view "together with the loosened DTD, can then be
+transmitted to the user") and to round-trip DTDs in tests.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD, ElementDecl
+
+__all__ = ["serialize_dtd", "serialize_element_decl"]
+
+
+def serialize_element_decl(decl: ElementDecl, indent: str = "") -> str:
+    """Render one element declaration (plus its ATTLIST, if any)."""
+    lines = [f"{indent}<!ELEMENT {decl.name} {decl.content.unparse()}>"]
+    if decl.attributes:
+        body = "\n".join(
+            f"{indent}          {attr.unparse()}" for attr in decl.attributes.values()
+        )
+        lines.append(f"{indent}<!ATTLIST {decl.name}\n{body}>")
+    return "\n".join(lines)
+
+
+def serialize_dtd(dtd: DTD, indent: str = "") -> str:
+    """Render a full DTD as markup declarations, one per line."""
+    lines: list[str] = []
+    for name, value in dtd.parameter_entities.items():
+        lines.append(f'{indent}<!ENTITY % {name} "{_escape_entity(value)}">')
+    for name, value in dtd.general_entities.items():
+        lines.append(f'{indent}<!ENTITY {name} "{_escape_entity(value)}">')
+    for decl in dtd.elements.values():
+        lines.append(serialize_element_decl(decl, indent))
+    for name, identifier in dtd.notations.items():
+        lines.append(f'{indent}<!NOTATION {name} SYSTEM "{identifier}">')
+    return "\n".join(lines)
+
+
+def _escape_entity(value: str) -> str:
+    return value.replace("&", "&#38;").replace('"', "&#34;").replace("%", "&#37;")

@@ -1,0 +1,157 @@
+"""The labeled-tree representation of a DTD (paper, Figure 1b).
+
+"A DTD is represented as a labeled tree containing a node for each
+attribute and element in the DTD. There is an arc between elements and
+each element/attribute belonging to them, labeled with the cardinality of
+the relationship. Elements are represented as circles and attributes as
+squares."
+
+:func:`dtd_tree` builds that tree (recursion through the content model,
+with cycle cut-off for recursive DTDs) and :func:`render_tree` draws it
+as indented ASCII, which the quickstart example prints to regenerate
+Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dtd.model import DTD, ModelKind, NameParticle, Particle
+
+__all__ = ["DTDTreeNode", "dtd_tree", "render_tree"]
+
+
+@dataclass
+class DTDTreeNode:
+    """One node of the DTD tree.
+
+    Attributes
+    ----------
+    name:
+        Element or attribute name.
+    kind:
+        ``"element"`` (circle) or ``"attribute"`` (square).
+    cardinality:
+        Label of the arc from the parent: ``""``, ``"?"``, ``"*"`` or
+        ``"+"`` for elements; attributes use ``""`` when required and
+        ``"?"`` when implied (an attribute occurs at most once).
+    recursive:
+        True when this element already appears on the path from the root
+        (the subtree is not expanded again).
+    """
+
+    name: str
+    kind: str
+    cardinality: str = ""
+    children: list["DTDTreeNode"] = field(default_factory=list)
+    recursive: bool = False
+
+    def element_count(self) -> int:
+        own = 1 if self.kind == "element" else 0
+        return own + sum(child.element_count() for child in self.children)
+
+    def attribute_count(self) -> int:
+        own = 1 if self.kind == "attribute" else 0
+        return own + sum(child.attribute_count() for child in self.children)
+
+
+def dtd_tree(dtd: DTD, root: Optional[str] = None) -> DTDTreeNode:
+    """Build the labeled tree of *dtd* starting from *root*.
+
+    When *root* is omitted, the first root candidate (an element never
+    referenced as a child) is used.
+    """
+    if root is None:
+        candidates = dtd.root_candidates()
+        root = candidates[0]
+    return _build(dtd, root, "", path=())
+
+
+def _build(dtd: DTD, name: str, cardinality: str, path: tuple[str, ...]) -> DTDTreeNode:
+    node = DTDTreeNode(name, "element", cardinality)
+    if name in path:
+        node.recursive = True
+        return node
+    decl = dtd.element(name)
+    if decl is None:
+        return node
+    for attr in decl.attributes.values():
+        node.children.append(
+            DTDTreeNode(attr.name, "attribute", "" if attr.required else "?")
+        )
+    model = decl.content
+    if model.kind is ModelKind.MIXED:
+        for child_name in model.mixed_names:
+            node.children.append(_build(dtd, child_name, "*", path + (name,)))
+    elif model.kind is ModelKind.CHILDREN and model.particle is not None:
+        for child_name, card in _particle_children(model.particle, ""):
+            node.children.append(_build(dtd, child_name, card, path + (name,)))
+    return node
+
+
+def _particle_children(
+    particle: Particle, outer: str
+) -> list[tuple[str, str]]:
+    """Flatten a particle to (name, effective-cardinality) pairs.
+
+    Nested group occurrences compose: a name occurring once inside a
+    ``*`` group is effectively ``*``; ``?`` inside ``+`` is ``*``; etc.
+    """
+    combined = _combine(outer, particle.occurrence.value)
+    if isinstance(particle, NameParticle):
+        return [(particle.name, combined)]
+    pairs: list[tuple[str, str]] = []
+    for item in particle.items:
+        pairs.extend(_particle_children(item, combined))
+    return pairs
+
+
+_CARD_ORDER = {"": 0, "?": 1, "+": 2, "*": 3}
+
+
+def _combine(outer: str, inner: str) -> str:
+    """Compose two occurrence indicators (outer group, inner particle)."""
+    if outer == "" or outer == inner:
+        return inner
+    if inner == "":
+        return outer
+    if {outer, inner} == {"?", "+"}:
+        return "*"
+    # Any combination involving '*' is '*'; '?'+'?'='?', '+'+'+'='+'
+    if "*" in (outer, inner):
+        return "*"
+    return inner if _CARD_ORDER[inner] > _CARD_ORDER[outer] else outer
+
+
+def render_tree(node: DTDTreeNode, indent: str = "", is_last: bool = True) -> str:
+    """Render the tree as ASCII, one node per line.
+
+    Elements print as ``(name)`` (circles), attributes as ``[name]``
+    (squares); the arc label (cardinality) precedes the node.
+    """
+    lines: list[str] = []
+    _render(node, "", True, lines, is_root=True)
+    return "\n".join(lines)
+
+
+def _render(
+    node: DTDTreeNode,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    is_root: bool = False,
+) -> None:
+    shape = f"({node.name})" if node.kind == "element" else f"[{node.name}]"
+    if node.recursive:
+        shape += " (recursive)"
+    label = f"{node.cardinality} " if node.cardinality else ""
+    if is_root:
+        lines.append(shape)
+        child_prefix = ""
+    else:
+        connector = "`--" if is_last else "|--"
+        lines.append(f"{prefix}{connector}{label}{shape}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+    for index, child in enumerate(node.children):
+        _render(child, child_prefix, index == len(node.children) - 1, lines)

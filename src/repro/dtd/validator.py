@@ -1,0 +1,356 @@
+"""Validation of documents against a DTD.
+
+The paper's processor parses "a valid XML document" (Section 7, step 1)
+and guarantees the emitted view is "valid with respect to the loosened
+version of its original DTD" (step 3). This module provides both checks:
+
+- :func:`validate` — full validation returning a :class:`ValidationReport`
+  (or raising :class:`~repro.errors.ValidationError`);
+- :func:`apply_defaults` — injects declared attribute defaults into a
+  parsed document, as a validating parser would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.xml.chars import is_name, is_nmtoken
+from repro.xml.nodes import Document, Element, Node, Text
+from repro.xml.traversal import iter_elements, node_path
+from repro.dtd.content_model import explain_mismatch, match_children
+from repro.dtd.model import (
+    AttributeDecl,
+    AttributeType,
+    DTD,
+    DefaultKind,
+    ElementDecl,
+    ModelKind,
+)
+
+__all__ = [
+    "ValidationReport",
+    "validate",
+    "apply_defaults",
+    "normalize_attributes",
+    "lint_dtd",
+]
+
+
+def lint_dtd(dtd: DTD) -> list[str]:
+    """Static checks on a DTD itself (not on any instance).
+
+    Reports:
+
+    - non-deterministic content models (an XML 1.0 compatibility
+      error, e.g. ``(a?, a)``);
+    - child names referenced in a content model but never declared;
+    - more than one ID attribute on one element (forbidden by the spec).
+    """
+    from repro.dtd.content_model import check_deterministic
+
+    problems: list[str] = []
+    for name, decl in dtd.elements.items():
+        offender = check_deterministic(decl.content)
+        if offender is not None:
+            problems.append(
+                f"element {name!r}: content model {decl.content.unparse()} is "
+                f"not deterministic (ambiguous on <{offender}>)"
+            )
+        for child in sorted(decl.content.allowed_child_names()):
+            if dtd.element(child) is None:
+                problems.append(
+                    f"element {name!r}: child <{child}> is never declared"
+                )
+        id_attrs = [
+            attr.name
+            for attr in decl.attributes.values()
+            if attr.type is AttributeType.ID
+        ]
+        if len(id_attrs) > 1:
+            problems.append(
+                f"element {name!r}: more than one ID attribute "
+                f"({', '.join(id_attrs)})"
+            )
+    return problems
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one document against one DTD."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    def add(self, node: Node, message: str) -> None:
+        self.violations.append(f"{node_path(node)}: {message}")
+
+    def raise_if_invalid(self) -> None:
+        if self.violations:
+            raise ValidationError(self.violations)
+
+    def __bool__(self) -> bool:  # truthiness == validity, reads naturally
+        return self.valid
+
+
+def validate(
+    document: Document | Element,
+    dtd: Optional[DTD] = None,
+    raise_on_error: bool = False,
+    check_ids: bool = True,
+) -> ValidationReport:
+    """Validate *document* against *dtd*.
+
+    Parameters
+    ----------
+    document:
+        A document (its attached ``dtd`` is used when *dtd* is omitted)
+        or a bare element subtree.
+    dtd:
+        The DTD to validate against; overrides the attached one.
+    raise_on_error:
+        Raise :class:`ValidationError` instead of returning a failing
+        report.
+    check_ids:
+        Perform ID-uniqueness and IDREF-resolution checks.
+    """
+    report = ValidationReport()
+    if dtd is None and isinstance(document, Document):
+        dtd = document.dtd
+    if dtd is None:
+        report.violations.append("no DTD available to validate against")
+        if raise_on_error:
+            report.raise_if_invalid()
+        return report
+
+    root: Optional[Element]
+    if isinstance(document, Document):
+        root = document.root
+        if root is None:
+            report.violations.append("document has no root element")
+        elif document.doctype_name and root.name != document.doctype_name:
+            report.violations.append(
+                f"root element <{root.name}> does not match DOCTYPE "
+                f"{document.doctype_name!r}"
+            )
+    else:
+        root = document
+
+    ids_seen: dict[str, Element] = {}
+    idrefs: list[tuple[Element, str]] = []
+    if root is not None:
+        for element in iter_elements(root):
+            decl = dtd.element(element.name)
+            if decl is None:
+                report.add(element, f"element <{element.name}> is not declared")
+                continue
+            _check_content(element, decl, report)
+            _check_attributes(element, decl, report, ids_seen, idrefs)
+
+    if check_ids:
+        for element, ref in idrefs:
+            if ref not in ids_seen:
+                report.add(element, f"IDREF {ref!r} does not match any ID")
+
+    if raise_on_error:
+        report.raise_if_invalid()
+    return report
+
+
+def _check_content(element: Element, decl: ElementDecl, report: ValidationReport) -> None:
+    model = decl.content
+    child_names = [child.name for child in element.child_elements()]
+    has_text = any(
+        isinstance(child, Text) and child.data.strip() for child in element.children
+    )
+    if model.kind is ModelKind.EMPTY:
+        if element.children:
+            report.add(element, "declared EMPTY but has content")
+        return
+    if model.kind is ModelKind.ANY:
+        return
+    if model.kind is ModelKind.MIXED:
+        if not match_children(model, child_names):
+            report.add(element, explain_mismatch(model, child_names))
+        return
+    # CHILDREN model: no significant character data allowed.
+    if has_text:
+        report.add(element, "element content may not contain character data")
+    if not match_children(model, child_names):
+        report.add(element, explain_mismatch(model, child_names))
+
+
+def _check_attributes(
+    element: Element,
+    decl: ElementDecl,
+    report: ValidationReport,
+    ids_seen: dict[str, Element],
+    idrefs: list[tuple[Element, str]],
+) -> None:
+    for attr_name, attr in element.attributes.items():
+        attr_decl = decl.attributes.get(attr_name)
+        if attr_decl is None:
+            report.add(
+                element,
+                f"attribute {attr_name!r} is not declared for <{element.name}>",
+            )
+            continue
+        _check_attribute_value(element, attr_decl, attr.value, report, ids_seen, idrefs)
+    for attr_decl in decl.attributes.values():
+        if attr_decl.required and not element.has_attribute(attr_decl.name):
+            report.add(
+                element,
+                f"required attribute {attr_decl.name!r} is missing",
+            )
+
+
+def _check_attribute_value(
+    element: Element,
+    attr_decl: AttributeDecl,
+    value: str,
+    report: ValidationReport,
+    ids_seen: dict[str, Element],
+    idrefs: list[tuple[Element, str]],
+) -> None:
+    name = attr_decl.name
+    kind = attr_decl.type
+    if attr_decl.default_kind is DefaultKind.FIXED and value != attr_decl.default_value:
+        report.add(
+            element,
+            f"attribute {name!r} is #FIXED to {attr_decl.default_value!r} "
+            f"but has value {value!r}",
+        )
+    if kind is AttributeType.CDATA:
+        return
+    if kind in (AttributeType.ENUMERATION, AttributeType.NOTATION):
+        if value not in attr_decl.enumeration:
+            report.add(
+                element,
+                f"attribute {name!r} value {value!r} not in "
+                f"{list(attr_decl.enumeration)!r}",
+            )
+        return
+    if kind is AttributeType.ID:
+        if not is_name(value):
+            report.add(element, f"ID attribute {name!r} value {value!r} is not a name")
+        elif value in ids_seen:
+            report.add(element, f"duplicate ID {value!r}")
+        else:
+            ids_seen[value] = element
+        return
+    if kind is AttributeType.IDREF:
+        if not is_name(value):
+            report.add(
+                element, f"IDREF attribute {name!r} value {value!r} is not a name"
+            )
+        else:
+            idrefs.append((element, value))
+        return
+    if kind is AttributeType.IDREFS:
+        tokens = value.split()
+        if not tokens:
+            report.add(element, f"IDREFS attribute {name!r} is empty")
+        for token in tokens:
+            if not is_name(token):
+                report.add(
+                    element, f"IDREFS attribute {name!r} token {token!r} is not a name"
+                )
+            else:
+                idrefs.append((element, token))
+        return
+    if kind in (AttributeType.ENTITY,):
+        if not is_name(value):
+            report.add(
+                element, f"ENTITY attribute {name!r} value {value!r} is not a name"
+            )
+        return
+    if kind is AttributeType.ENTITIES:
+        for token in value.split() or [""]:
+            if not is_name(token):
+                report.add(
+                    element,
+                    f"ENTITIES attribute {name!r} token {token!r} is not a name",
+                )
+        return
+    if kind is AttributeType.NMTOKEN:
+        if not is_nmtoken(value):
+            report.add(
+                element, f"NMTOKEN attribute {name!r} value {value!r} is not a token"
+            )
+        return
+    if kind is AttributeType.NMTOKENS:
+        for token in value.split() or [""]:
+            if not is_nmtoken(token):
+                report.add(
+                    element,
+                    f"NMTOKENS attribute {name!r} token {token!r} is not a token",
+                )
+        return
+
+
+def normalize_attributes(
+    document: Document | Element, dtd: Optional[DTD] = None
+) -> int:
+    """Tokenized-type attribute-value normalization (XML 1.0 §3.3.3).
+
+    A validating parser further normalizes attribute values whose
+    declared type is *not* CDATA: leading/trailing spaces are stripped
+    and internal space runs collapse to a single space. Our parser is
+    non-validating, so this is an explicit post-pass like
+    :func:`apply_defaults`. Returns the number of values changed.
+    """
+    if dtd is None and isinstance(document, Document):
+        dtd = document.dtd
+    if dtd is None:
+        return 0
+    root = document.root if isinstance(document, Document) else document
+    if root is None:
+        return 0
+    changed = 0
+    for element in iter_elements(root):
+        decl = dtd.element(element.name)
+        if decl is None:
+            continue
+        for attr_name, attr in element.attributes.items():
+            attr_decl = decl.attributes.get(attr_name)
+            if attr_decl is None or attr_decl.type is AttributeType.CDATA:
+                continue
+            normalized = " ".join(attr.value.split())
+            if normalized != attr.value:
+                attr.value = normalized
+                changed += 1
+    return changed
+
+
+def apply_defaults(document: Document | Element, dtd: Optional[DTD] = None) -> int:
+    """Add declared default/fixed attribute values missing from elements.
+
+    Returns the number of attributes added. A validating parser performs
+    this augmentation; ours keeps it as an explicit post-pass so parsed
+    trees stay byte-faithful unless the caller opts in.
+    """
+    if dtd is None and isinstance(document, Document):
+        dtd = document.dtd
+    if dtd is None:
+        return 0
+    root = document.root if isinstance(document, Document) else document
+    if root is None:
+        return 0
+    added = 0
+    for element in iter_elements(root):
+        decl = dtd.element(element.name)
+        if decl is None:
+            continue
+        for attr_decl in decl.attributes.values():
+            has_default = attr_decl.default_kind in (
+                DefaultKind.DEFAULT,
+                DefaultKind.FIXED,
+            )
+            if has_default and not element.has_attribute(attr_decl.name):
+                element.set_attribute(attr_decl.name, attr_decl.default_value or "")
+                added += 1
+    return added

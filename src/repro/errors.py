@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems narrow it further:
+parsing problems (XML, DTD, XPath) derive from :class:`ParseError` and
+carry a source position; semantic problems (validation, authorization
+specification, policy configuration) have their own branches.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """A syntactic error found while parsing some textual input.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based source position where the problem was detected. ``0``
+        means the position is unknown (e.g. end of input of an empty
+        string).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XMLSyntaxError(ParseError):
+    """The input is not a well-formed XML document."""
+
+
+class DTDSyntaxError(ParseError):
+    """The input is not a syntactically correct DTD."""
+
+
+class XPathSyntaxError(ParseError):
+    """The input is not a valid path expression."""
+
+
+class XPathEvaluationError(ReproError):
+    """A path expression failed at evaluation time (e.g. type error)."""
+
+
+class ValidationError(ReproError):
+    """A well-formed document does not conform to its DTD.
+
+    The full list of violations is available as :attr:`violations`; the
+    exception message shows the first few.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        shown = "; ".join(self.violations[:3])
+        extra = len(self.violations) - 3
+        if extra > 0:
+            shown += f"; ... and {extra} more"
+        super().__init__(f"document is not valid: {shown}")
+
+
+class SubjectError(ReproError):
+    """An invalid subject specification (bad pattern, unknown user...)."""
+
+
+class PatternError(SubjectError):
+    """A malformed IP or symbolic-name location pattern."""
+
+
+class AuthorizationError(ReproError):
+    """An invalid access authorization specification."""
+
+
+class XACLError(ParseError):
+    """An XACL document does not follow the expected security markup."""
+
+
+class RepositoryError(ReproError):
+    """A server repository problem (unknown URI, duplicate binding...)."""
+
+
+class PolicyError(ReproError):
+    """An invalid access-control policy configuration."""

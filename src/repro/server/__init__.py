@@ -1,0 +1,65 @@
+"""Server architecture: repository, requests, service facade, audit.
+
+Public surface::
+
+    from repro.server import (
+        SecureXMLServer, PolicyConfig, Repository,
+        AccessRequest, QueryRequest, AccessResponse, AuditLog,
+    )
+"""
+
+from repro.server.analysis import (
+    Audience,
+    AudienceReport,
+    audience_report,
+    authorization_impact,
+    dead_authorizations,
+)
+from repro.server.audit import AuditLog, AuditRecord
+from repro.server.cache import CachedView, ViewCache
+from repro.server.persistence import load_server, save_server
+from repro.server.repository import Repository, StoredDocument
+from repro.server.request import AccessRequest, AccessResponse, QueryRequest
+from repro.server.service import AccessLimitExceeded, PolicyConfig, SecureXMLServer
+from repro.server.updates import (
+    DeleteNode,
+    InsertChild,
+    RemoveAttribute,
+    SetAttribute,
+    SetText,
+    UpdateDenied,
+    UpdateEngine,
+    UpdateOutcome,
+    UpdateRequest,
+)
+
+__all__ = [
+    "AccessLimitExceeded",
+    "AccessRequest",
+    "AccessResponse",
+    "Audience",
+    "AudienceReport",
+    "AuditLog",
+    "AuditRecord",
+    "CachedView",
+    "DeleteNode",
+    "InsertChild",
+    "PolicyConfig",
+    "QueryRequest",
+    "RemoveAttribute",
+    "Repository",
+    "SecureXMLServer",
+    "SetAttribute",
+    "SetText",
+    "StoredDocument",
+    "UpdateDenied",
+    "UpdateEngine",
+    "UpdateOutcome",
+    "UpdateRequest",
+    "ViewCache",
+    "audience_report",
+    "authorization_impact",
+    "dead_authorizations",
+    "load_server",
+    "save_server",
+]

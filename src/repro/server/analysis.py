@@ -1,0 +1,217 @@
+"""Policy analysis: audiences, coverage, and reachability reports.
+
+Administrators of the paper's model need answers to questions the
+enforcement path never asks:
+
+- **Who sees what?** :func:`audience_report` partitions the directory's
+  users into *audiences* — groups of users receiving byte-identical
+  views of a document — and shows each audience's visible share.
+- **What does a tuple do?** :func:`authorization_impact` measures how
+  many nodes an authorization decides (wins on), and how many of those
+  decisions change the emitted view.
+- **Is anything unreachable?** :func:`dead_authorizations` lists tuples
+  that currently select no node of the stored document (typo'd paths,
+  stale conditions).
+
+All analyses are read-only and reuse the enforcement code paths, so
+their answers are exactly what enforcement would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.authz.authorization import Authorization
+from repro.subjects.hierarchy import Requester
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.service import SecureXMLServer
+
+__all__ = [
+    "Audience",
+    "AudienceReport",
+    "audience_report",
+    "authorization_impact",
+    "dead_authorizations",
+]
+
+
+@dataclass
+class Audience:
+    """Users receiving one identical view."""
+
+    users: list[str]
+    visible_nodes: int
+    total_nodes: int
+    sample_xml: str
+
+    @property
+    def share(self) -> float:
+        return self.visible_nodes / self.total_nodes if self.total_nodes else 0.0
+
+
+@dataclass
+class AudienceReport:
+    uri: str
+    audiences: list[Audience] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"audiences for {self.uri}: {len(self.audiences)}"]
+        for index, audience in enumerate(
+            sorted(self.audiences, key=lambda a: -a.visible_nodes), start=1
+        ):
+            users = ", ".join(sorted(audience.users)[:6])
+            if len(audience.users) > 6:
+                users += f", ... (+{len(audience.users) - 6})"
+            lines.append(
+                f"  #{index}: {audience.visible_nodes}/{audience.total_nodes} "
+                f"nodes ({audience.share:.0%}) — {users}"
+            )
+        return "\n".join(lines)
+
+
+def audience_report(
+    server: "SecureXMLServer",
+    uri: str,
+    ip: str = "0.0.0.0",
+    hostname: str = "localhost",
+) -> AudienceReport:
+    """Partition every directory user by the view they would receive.
+
+    Location components are fixed (*ip*/*hostname*) — the report answers
+    "who sees what from this vantage point"; run it per vantage point to
+    analyze location-restricted policies.
+    """
+    from repro.xml.serializer import serialize
+
+    by_view: dict[str, Audience] = {}
+    for user in sorted(server.directory.users()):
+        requester = Requester(user, ip, hostname)
+        view = server.view(requester, uri)
+        xml_text = serialize(view.document, doctype=False)
+        existing = by_view.get(xml_text)
+        if existing is None:
+            by_view[xml_text] = Audience(
+                users=[user],
+                visible_nodes=view.visible_nodes,
+                total_nodes=view.total_nodes,
+                sample_xml=xml_text,
+            )
+        else:
+            existing.users.append(user)
+    return AudienceReport(uri=uri, audiences=list(by_view.values()))
+
+
+@dataclass
+class AuthorizationImpact:
+    """What one authorization decides for one requester on one document."""
+
+    authorization: Authorization
+    selected_nodes: int
+    deciding_nodes: int
+    view_delta: int  # |visible with| - |visible without|
+
+    def describe(self) -> str:
+        return (
+            f"{self.authorization.unparse()}: selects {self.selected_nodes} "
+            f"node(s), decides {self.deciding_nodes}, view delta "
+            f"{self.view_delta:+d}"
+        )
+
+
+def authorization_impact(
+    server: "SecureXMLServer",
+    uri: str,
+    authorization: Authorization,
+    requester: Requester,
+) -> AuthorizationImpact:
+    """Measure *authorization*'s effect on *requester*'s view of *uri*.
+
+    ``deciding_nodes`` counts nodes whose final sign this tuple's slot
+    produced (it appears among the surviving winners); ``view_delta``
+    compares view sizes with the tuple present vs removed.
+    """
+    from repro.core.explain import explain_view
+
+    document = server.repository.document(uri)
+    selected = len(authorization.select_nodes(document))
+
+    report = explain_view(
+        document,
+        requester,
+        server.store,
+        dtd_uri=server.repository.dtd_uri_of(uri),
+        policy=server.policy_for(uri).build_policy(),
+        open_policy=server.policy_for(uri).open_policy,
+        relative_mode=server.policy_for(uri).relative_paths,
+    )
+    deciding = 0
+    for explanation in report.values():
+        if explanation.deciding_slot is None:
+            continue
+        origin = next(
+            o for o in explanation.origins if o.slot == explanation.deciding_slot
+        )
+        if any(winner is authorization for winner in origin.winners):
+            deciding += 1
+
+    with_view = server.view(requester, uri)
+    removed = server.store.remove(authorization)
+    try:
+        without_view = server.view(requester, uri)
+    finally:
+        if removed:
+            server.store.add(authorization)
+    return AuthorizationImpact(
+        authorization=authorization,
+        selected_nodes=selected,
+        deciding_nodes=deciding,
+        view_delta=with_view.visible_nodes - without_view.visible_nodes,
+    )
+
+
+def dead_authorizations(
+    server: "SecureXMLServer", uri: Optional[str] = None
+) -> list[Authorization]:
+    """Authorizations whose object selects nothing in the stored content.
+
+    With *uri* given, only tuples attached to that document (or its DTD)
+    are checked, against that document; otherwise every stored document
+    is checked against its own tuples. Schema-level tuples are evaluated
+    against every instance of their DTD and count as dead only if they
+    select nothing in *any* of them.
+    """
+    documents = (
+        [uri] if uri is not None else list(server.repository.documents())
+    )
+    dead: list[Authorization] = []
+    checked: set[int] = set()
+    for document_uri in documents:
+        document = server.repository.document(document_uri)
+        dtd_uri = server.repository.dtd_uri_of(document_uri)
+        candidates = server.store.for_uri(document_uri)
+        schema_candidates = server.store.for_uri(dtd_uri) if dtd_uri else []
+        for authorization in candidates:
+            if id(authorization) in checked:
+                continue
+            checked.add(id(authorization))
+            if not authorization.select_nodes(document):
+                dead.append(authorization)
+        for authorization in schema_candidates:
+            if id(authorization) in checked:
+                continue
+            # Schema tuples apply to every instance: alive if any
+            # instance of the DTD matches.
+            alive = False
+            for other_uri in documents:
+                other = server.repository.document(other_uri)
+                if server.repository.dtd_uri_of(other_uri) != dtd_uri:
+                    continue
+                if authorization.select_nodes(other):
+                    alive = True
+                    break
+            checked.add(id(authorization))
+            if not alive:
+                dead.append(authorization)
+    return dead

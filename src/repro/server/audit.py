@@ -1,0 +1,91 @@
+"""Audit logging of access-control decisions.
+
+Every request through the :class:`~repro.server.service.SecureXMLServer`
+leaves an :class:`AuditRecord` — who asked for what, how much of it was
+released, and how long enforcement took. A bounded in-memory ring is the
+default sink; a callable sink can forward records elsewhere.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.subjects.hierarchy import Requester
+
+__all__ = ["AuditRecord", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforcement decision."""
+
+    timestamp: float
+    requester: str
+    uri: str
+    action: str
+    outcome: str  # "released" | "empty" | "denied" | "error"
+    visible_nodes: int = 0
+    total_nodes: int = 0
+    elapsed_seconds: float = 0.0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(self.timestamp))
+        return (
+            f"{stamp} {self.requester} {self.action} {self.uri} -> "
+            f"{self.outcome} ({self.visible_nodes}/{self.total_nodes} nodes, "
+            f"{self.elapsed_seconds * 1000:.2f} ms)"
+        )
+
+
+@dataclass
+class AuditLog:
+    """A bounded record buffer with an optional forwarding sink."""
+
+    capacity: int = 1024
+    sink: Optional[Callable[[AuditRecord], None]] = None
+    _records: deque = field(default_factory=deque, repr=False)
+
+    def record(
+        self,
+        requester: Requester,
+        uri: str,
+        action: str,
+        outcome: str,
+        visible_nodes: int = 0,
+        total_nodes: int = 0,
+        elapsed_seconds: float = 0.0,
+        detail: str = "",
+    ) -> AuditRecord:
+        entry = AuditRecord(
+            timestamp=time.time(),
+            requester=str(requester),
+            uri=uri,
+            action=action,
+            outcome=outcome,
+            visible_nodes=visible_nodes,
+            total_nodes=total_nodes,
+            elapsed_seconds=elapsed_seconds,
+            detail=detail,
+        )
+        self._records.append(entry)
+        while len(self._records) > self.capacity:
+            self._records.popleft()
+        if self.sink is not None:
+            self.sink(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def tail(self, count: int = 10) -> list[AuditRecord]:
+        return list(self._records)[-count:]
+
+    def clear(self) -> None:
+        self._records.clear()

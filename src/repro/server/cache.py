@@ -1,0 +1,102 @@
+"""Server-side view cache.
+
+A view is a pure function of (document tree, applicable authorization
+set, policy knobs) — so repeated requests by requesters who resolve to
+the *same* applicable authorizations (e.g. every anonymous visitor, or
+all members of one group from unrestricted locations) can share one
+computed view. This is the natural production optimization for the
+paper's architecture: enforcement stays server-side and per-request,
+only the tree work is amortized.
+
+Correctness is guarded by versioning, not by invalidation hooks: the
+authorization store and each stored document carry monotonic version
+counters; a cache hit is only honoured when both versions still match.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["CachedView", "ViewCache"]
+
+
+@dataclass
+class CachedView:
+    """One memoized serialization of a computed view."""
+
+    xml_text: str
+    loosened_dtd_text: Optional[str]
+    empty: bool
+    visible_nodes: int
+    total_nodes: int
+    store_version: int
+    document_version: int
+
+
+class ViewCache:
+    """A bounded LRU keyed by (uri, applicable-auth identity, knobs)."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("view cache needs at least one entry")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, CachedView]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        uri: str,
+        instance_auths,
+        schema_auths,
+        action: str,
+        policy_marker: Hashable,
+    ) -> Hashable:
+        """Build a cache key from the *identities* of the applicable
+        authorizations (5-tuples are shared objects in the store, so
+        identity equality is exact)."""
+        return (
+            uri,
+            tuple(id(a) for a in instance_auths),
+            tuple(id(a) for a in schema_auths),
+            action,
+            policy_marker,
+        )
+
+    def get(
+        self, key: Hashable, store_version: int, document_version: int
+    ) -> Optional[CachedView]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if (
+            entry.store_version != store_version
+            or entry.document_version != document_version
+        ):
+            # Stale: the policy or the document changed underneath it.
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, entry: CachedView) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

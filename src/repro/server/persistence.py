@@ -1,0 +1,167 @@
+"""Server state persistence: save/load a complete server to disk.
+
+Everything the paper's architecture keeps at the server — documents,
+DTDs, XACLs, the subject directory, per-document policies — serializes
+to a plain directory of XML files (using this library's own markup
+formats throughout):
+
+    state/
+      repository.xml     index: URIs -> files, dtd links
+      directory.xml      users and groups (repro.subjects.markup)
+      policy.xacl        every authorization (repro.authz.xacl)
+      policies.xml       per-document PolicyConfig entries
+      dtds/<n>.dtd       DTD declaration text
+      documents/<n>.xml  document text
+
+:func:`save_server` writes the directory; :func:`load_server` rebuilds
+an equivalent :class:`~repro.server.service.SecureXMLServer` (views
+served before and after a round-trip are byte-identical — tested).
+Audit logs and caches are runtime state and are not persisted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.authz.restrictions import HistoryLimit
+from repro.authz.xacl import parse_xacl, serialize_xacl
+from repro.errors import RepositoryError, XACLError
+from repro.server.cache import ViewCache
+from repro.server.service import PolicyConfig, SecureXMLServer
+from repro.subjects.markup import parse_directory, serialize_directory
+from repro.xml.builder import E, new_document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import pretty, serialize
+from repro.dtd.serializer import serialize_dtd
+
+__all__ = ["save_server", "load_server"]
+
+
+def save_server(server: SecureXMLServer, path: str) -> None:
+    """Write *server*'s durable state under directory *path*.
+
+    The directory is created if needed; existing state files are
+    overwritten (documents/DTDs are re-enumerated).
+    """
+    os.makedirs(os.path.join(path, "dtds"), exist_ok=True)
+    os.makedirs(os.path.join(path, "documents"), exist_ok=True)
+
+    index = E("repository")
+    for position, uri in enumerate(server.repository.dtds()):
+        filename = f"dtds/{position}.dtd"
+        _write(path, filename, serialize_dtd(server.repository.dtd(uri)) + "\n")
+        index.append(E("dtd", {"uri": uri, "file": filename}))
+    for position, uri in enumerate(server.repository.documents()):
+        stored = server.repository.stored(uri)
+        filename = f"documents/{position}.xml"
+        _write(path, filename, serialize(stored.document(), doctype=False))
+        attrs = {"uri": uri, "file": filename}
+        if stored.dtd_uri:
+            attrs["dtd-uri"] = stored.dtd_uri
+        index.append(E("document", attrs))
+    _write(path, "repository.xml", pretty(new_document(index)) + "\n")
+
+    _write(path, "directory.xml", serialize_directory(server.directory) + "\n")
+    _write(path, "policy.xacl", serialize_xacl(list(server.store)) + "\n")
+
+    policies = E("policies")
+    for uri in server.repository.documents():
+        config = server.policy_for(uri)
+        if config == PolicyConfig():
+            continue
+        attrs = {
+            "uri": uri,
+            "conflict": config.conflict_policy,
+            "open": "yes" if config.open_policy else "no",
+            "relative": config.relative_paths,
+        }
+        if config.history_limit is not None:
+            attrs["history-max"] = str(config.history_limit.max_accesses)
+            attrs["history-window"] = repr(config.history_limit.window_seconds)
+        policies.append(E("policy", attrs))
+    _write(path, "policies.xml", pretty(new_document(policies)) + "\n")
+
+
+def load_server(
+    path: str, view_cache: Optional[ViewCache] = None
+) -> SecureXMLServer:
+    """Rebuild a server from a directory written by :func:`save_server`."""
+    server = SecureXMLServer(view_cache=view_cache)
+
+    directory_path = os.path.join(path, "directory.xml")
+    if os.path.exists(directory_path):
+        parse_directory(_read(directory_path), into=server.directory)
+
+    index_path = os.path.join(path, "repository.xml")
+    if not os.path.exists(index_path):
+        raise RepositoryError(f"no repository.xml under {path!r}")
+    index = parse_document(_read(index_path))
+    root = index.root
+    if root is None or root.name != "repository":
+        raise XACLError("repository.xml must have a <repository> root")
+    for entry in root.child_elements():
+        uri = entry.get_attribute("uri")
+        filename = entry.get_attribute("file")
+        if not uri or not filename:
+            raise XACLError(f"<{entry.name}> entry needs uri and file attributes")
+        content = _read(os.path.join(path, filename))
+        if entry.name == "dtd":
+            server.publish_dtd(uri, content)
+        elif entry.name == "document":
+            server.publish_document(
+                uri, content, dtd_uri=entry.get_attribute("dtd-uri")
+            )
+        else:
+            raise XACLError(f"unexpected <{entry.name}> in repository.xml")
+
+    xacl_path = os.path.join(path, "policy.xacl")
+    if os.path.exists(xacl_path):
+        server.store.add_all(parse_xacl(_read(xacl_path)))
+
+    policies_path = os.path.join(path, "policies.xml")
+    if os.path.exists(policies_path):
+        _load_policies(server, _read(policies_path))
+    return server
+
+
+def _load_policies(server: SecureXMLServer, text: str) -> None:
+    document = parse_document(text)
+    root = document.root
+    if root is None or root.name != "policies":
+        raise XACLError("policies.xml must have a <policies> root")
+    for entry in root.child_elements():
+        if entry.name != "policy":
+            raise XACLError(f"unexpected <{entry.name}> in policies.xml")
+        uri = entry.get_attribute("uri")
+        if not uri:
+            raise XACLError("<policy> entry needs a uri attribute")
+        history = None
+        if entry.has_attribute("history-max"):
+            history = HistoryLimit(
+                int(entry.get_attribute("history-max") or "1"),
+                float(entry.get_attribute("history-window") or "3600"),
+            )
+        server.set_policy(
+            uri,
+            PolicyConfig(
+                conflict_policy=entry.get_attribute(
+                    "conflict", "denials-take-precedence"
+                )
+                or "denials-take-precedence",
+                open_policy=(entry.get_attribute("open") == "yes"),
+                relative_paths=entry.get_attribute("relative", "descendant")
+                or "descendant",  # type: ignore[arg-type]
+                history_limit=history,
+            ),
+        )
+
+
+def _write(base: str, relative: str, content: str) -> None:
+    with open(os.path.join(base, relative), "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

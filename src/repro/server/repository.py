@@ -1,0 +1,134 @@
+"""The server's document/DTD repository.
+
+Binds URIs to stored resources: XML documents, their DTDs, and the
+XACLs carrying instance- and schema-level authorizations (paper,
+Section 7: "the processor operation also involves the document's DTD
+and the associated XACL"). Documents can be stored parsed or as text
+(parsed lazily and cached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import RepositoryError
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import validate
+from repro.xml.nodes import Document
+from repro.xml.parser import parse_document
+
+__all__ = ["Repository", "StoredDocument"]
+
+
+@dataclass
+class StoredDocument:
+    """One document binding: source text and/or parsed tree."""
+
+    uri: str
+    text: Optional[str] = None
+    parsed: Optional[Document] = None
+    dtd_uri: Optional[str] = None
+    #: bumped whenever the stored tree is replaced (cache guard)
+    version: int = 0
+
+    def document(self) -> Document:
+        if self.parsed is None:
+            if self.text is None:
+                raise RepositoryError(f"document {self.uri!r} has no content")
+            self.parsed = parse_document(self.text, uri=self.uri)
+        return self.parsed
+
+
+class Repository:
+    """URI-keyed storage for documents and DTDs."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, StoredDocument] = {}
+        self._dtds: dict[str, DTD] = {}
+
+    # -- DTDs -----------------------------------------------------------------
+
+    def add_dtd(self, uri: str, dtd: DTD | str) -> DTD:
+        """Publish a DTD under *uri* (text is parsed)."""
+        if uri in self._dtds:
+            raise RepositoryError(f"a DTD is already published at {uri!r}")
+        parsed = parse_dtd(dtd, uri=uri) if isinstance(dtd, str) else dtd
+        if parsed.uri is None:
+            parsed.uri = uri
+        self._dtds[uri] = parsed
+        return parsed
+
+    def dtd(self, uri: str) -> DTD:
+        found = self._dtds.get(uri)
+        if found is None:
+            raise RepositoryError(f"no DTD published at {uri!r}")
+        return found
+
+    def has_dtd(self, uri: str) -> bool:
+        return uri in self._dtds
+
+    # -- documents ----------------------------------------------------------------
+
+    def add_document(
+        self,
+        uri: str,
+        content: Document | str,
+        dtd_uri: Optional[str] = None,
+        validate_on_add: bool = False,
+    ) -> StoredDocument:
+        """Store a document (parsed or text) under *uri*.
+
+        *dtd_uri* links the document to a published DTD, which defines
+        ``dtd(URI)`` for schema-level authorization lookup. When the
+        document declares a SYSTEM identifier and *dtd_uri* is omitted,
+        the SYSTEM identifier is used.
+        """
+        if uri in self._documents:
+            raise RepositoryError(f"a document is already stored at {uri!r}")
+        if isinstance(content, Document):
+            stored = StoredDocument(uri, parsed=content)
+            content.uri = uri
+        else:
+            stored = StoredDocument(uri, text=content)
+        document = stored.document()
+        stored.dtd_uri = dtd_uri or document.system_id
+        if stored.dtd_uri and self.has_dtd(stored.dtd_uri):
+            published = self.dtd(stored.dtd_uri)
+            if document.dtd is None:
+                document.dtd = published
+        if validate_on_add and document.dtd is not None:
+            validate(document, raise_on_error=True)
+        self._documents[uri] = stored
+        return stored
+
+    def document(self, uri: str) -> Document:
+        stored = self._documents.get(uri)
+        if stored is None:
+            raise RepositoryError(f"no document stored at {uri!r}")
+        return stored.document()
+
+    def stored(self, uri: str) -> StoredDocument:
+        found = self._documents.get(uri)
+        if found is None:
+            raise RepositoryError(f"no document stored at {uri!r}")
+        return found
+
+    def dtd_uri_of(self, uri: str) -> Optional[str]:
+        """``dtd(URI)``: the URI of the DTD governing document *uri*."""
+        return self.stored(uri).dtd_uri
+
+    def has_document(self, uri: str) -> bool:
+        return uri in self._documents
+
+    def remove_document(self, uri: str) -> None:
+        if uri not in self._documents:
+            raise RepositoryError(f"no document stored at {uri!r}")
+        del self._documents[uri]
+
+    def documents(self) -> Iterator[str]:
+        yield from self._documents
+
+    def dtds(self) -> Iterator[str]:
+        yield from self._dtds

@@ -1,0 +1,54 @@
+"""Access requests and responses exchanged with the server facade.
+
+The main usage scenario (paper, Section 7) is "a user requesting a set
+of XML documents from a remote site, either through an HTTP request or
+as the result of a query". :class:`AccessRequest` models the former;
+:class:`QueryRequest` the latter (a path expression selecting documents
+or fragments, each of which is then filtered through compute-view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.subjects.hierarchy import Requester
+
+__all__ = ["AccessRequest", "QueryRequest", "AccessResponse"]
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A request to read one document."""
+
+    requester: Requester
+    uri: str
+    action: str = "read"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A request to evaluate a path expression over one document.
+
+    The query runs against the *requester's view*, never the raw
+    document — enforcing that query answers cannot leak pruned content.
+    """
+
+    requester: Requester
+    uri: str
+    xpath: str
+    action: str = "read"
+
+
+@dataclass
+class AccessResponse:
+    """What the server returns for an access request."""
+
+    uri: str
+    xml_text: str
+    loosened_dtd_text: Optional[str] = None
+    empty: bool = False
+    visible_nodes: int = 0
+    total_nodes: int = 0
+    elapsed_seconds: float = 0.0
+    matches: list[str] = field(default_factory=list)  # query responses only

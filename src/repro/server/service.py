@@ -1,0 +1,400 @@
+"""The server facade: documents in, per-requester views out.
+
+:class:`SecureXMLServer` wires together the repository, the
+authorization store, per-document policy configuration and the security
+processor — the "service component in the framework of a complete
+architecture" of Section 7. Enforcement is strictly server-side: the
+only way to read a stored document through the facade is as a computed
+view.
+
+One policy applies per document ("the only restriction we impose is
+that a single policy applies to each specific document", Section 5);
+different documents may use different policies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import ConflictPolicy, policy_by_name
+from repro.authz.restrictions import HistoryLimit
+from repro.authz.store import AuthorizationStore
+from repro.errors import PolicyError
+from repro.authz.xacl import parse_xacl
+from repro.core.processor import SecurityProcessor
+from repro.core.view import ViewResult, compute_view, compute_view_from_auths
+from repro.errors import RepositoryError
+from repro.server.audit import AuditLog
+from repro.server.cache import CachedView, ViewCache
+from repro.server.repository import Repository
+from repro.server.request import AccessRequest, AccessResponse, QueryRequest
+from repro.server.updates import UpdateEngine, UpdateOutcome, UpdateRequest
+from repro.subjects.hierarchy import Requester, SubjectHierarchy
+from repro.xml.nodes import Document
+from repro.xml.serializer import serialize
+from repro.xpath.compile import RelativeMode
+from repro.xpath.evaluator import select
+from repro.dtd.serializer import serialize_dtd
+
+__all__ = ["PolicyConfig", "SecureXMLServer"]
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Access-control configuration for one document (or the default).
+
+    ``history_limit`` enforces the paper's future-work "history-based
+    restrictions": at most N granted reads per requester within a
+    sliding window, counted against the server's audit log.
+    """
+
+    conflict_policy: str = "denials-take-precedence"
+    open_policy: bool = False
+    relative_paths: RelativeMode = "descendant"
+    history_limit: Optional[HistoryLimit] = None
+
+    def build_policy(self) -> ConflictPolicy:
+        return policy_by_name(self.conflict_policy)
+
+
+class AccessLimitExceeded(PolicyError):
+    """The requester exhausted the document's history limit."""
+
+
+class SecureXMLServer:
+    """A complete in-process server enforcing the paper's model."""
+
+    def __init__(
+        self,
+        default_policy: Optional[PolicyConfig] = None,
+        audit: Optional[AuditLog] = None,
+        view_cache: Optional[ViewCache] = None,
+    ) -> None:
+        self.repository = Repository()
+        self.store = AuthorizationStore()
+        self.audit = audit if audit is not None else AuditLog()
+        self.view_cache = view_cache
+        self._default_policy = default_policy or PolicyConfig()
+        self._document_policies: dict[str, PolicyConfig] = {}
+
+    # -- administration -----------------------------------------------------
+
+    @property
+    def hierarchy(self) -> SubjectHierarchy:
+        return self.store.hierarchy
+
+    @property
+    def directory(self):
+        return self.store.hierarchy.directory
+
+    def add_user(self, name: str, groups: tuple[str, ...] | list[str] = ()) -> str:
+        return self.directory.add_user(name, groups)
+
+    def add_group(self, name: str, parents: tuple[str, ...] | list[str] = ()) -> str:
+        return self.directory.add_group(name, parents)
+
+    def publish_dtd(self, uri: str, dtd) -> None:
+        self.repository.add_dtd(uri, dtd)
+
+    def publish_document(
+        self,
+        uri: str,
+        content: Document | str,
+        dtd_uri: Optional[str] = None,
+        policy: Optional[PolicyConfig] = None,
+        validate_on_add: bool = False,
+    ) -> None:
+        self.repository.add_document(
+            uri, content, dtd_uri=dtd_uri, validate_on_add=validate_on_add
+        )
+        if policy is not None:
+            self._document_policies[uri] = policy
+
+    def set_policy(self, uri: str, policy: PolicyConfig) -> None:
+        """Configure the (single) policy governing document *uri*."""
+        self._document_policies[uri] = policy
+
+    def policy_for(self, uri: str) -> PolicyConfig:
+        return self._document_policies.get(uri, self._default_policy)
+
+    def grant(self, authorization: Authorization) -> Authorization:
+        """Register one authorization (instance- or schema-level,
+        depending on the object URI)."""
+        return self.store.add(authorization)
+
+    def attach_xacl(self, xacl_text: str) -> list[Authorization]:
+        """Load an XACL document into the authorization store."""
+        authorizations = parse_xacl(xacl_text)
+        self.store.add_all(authorizations)
+        return authorizations
+
+    # -- serving --------------------------------------------------------------
+
+    def serve(self, request: AccessRequest) -> AccessResponse:
+        """Serve one document request as the requester's view.
+
+        When a :class:`~repro.server.cache.ViewCache` is configured,
+        requests whose *applicable authorization set* matches a cached
+        entry (and whose store/document versions are unchanged) are
+        answered from the cache — the entitlement computation still
+        happens per request; only tree labeling/pruning is amortized.
+        """
+        self._enforce_history_limit(request.requester, request.uri)
+        started = time.perf_counter()
+        try:
+            stored = self.repository.stored(request.uri)
+        except RepositoryError:
+            self.audit.record(
+                request.requester,
+                request.uri,
+                request.action,
+                "error",
+                detail="unknown document",
+            )
+            raise
+        document = stored.document()
+        config = self.policy_for(request.uri)
+        now = time.time()
+        instance_auths = self.store.applicable(
+            request.requester, request.uri, request.action, at=now
+        )
+        dtd_uri = self.repository.dtd_uri_of(request.uri)
+        schema_auths = (
+            self.store.applicable(request.requester, dtd_uri, request.action, at=now)
+            if dtd_uri
+            else []
+        )
+
+        cache_key = None
+        if self.view_cache is not None:
+            cache_key = ViewCache.key(
+                request.uri,
+                instance_auths,
+                schema_auths,
+                request.action,
+                (config.conflict_policy, config.open_policy, config.relative_paths),
+            )
+            hit = self.view_cache.get(cache_key, self.store.version, stored.version)
+            if hit is not None:
+                elapsed = time.perf_counter() - started
+                self.audit.record(
+                    request.requester,
+                    request.uri,
+                    request.action,
+                    "empty" if hit.empty else "released",
+                    visible_nodes=hit.visible_nodes,
+                    total_nodes=hit.total_nodes,
+                    elapsed_seconds=elapsed,
+                    detail="cache hit",
+                )
+                return AccessResponse(
+                    uri=request.uri,
+                    xml_text=hit.xml_text,
+                    loosened_dtd_text=hit.loosened_dtd_text,
+                    empty=hit.empty,
+                    visible_nodes=hit.visible_nodes,
+                    total_nodes=hit.total_nodes,
+                    elapsed_seconds=elapsed,
+                )
+
+        view = compute_view_from_auths(
+            document,
+            instance_auths,
+            schema_auths,
+            self.hierarchy,
+            policy=config.build_policy(),
+            open_policy=config.open_policy,
+            relative_mode=config.relative_paths,
+        )
+        elapsed = time.perf_counter() - started
+        xml_text = serialize(view.document, doctype=False)
+        loosened = view.document.dtd
+        loosened_text = serialize_dtd(loosened) if loosened else None
+        if self.view_cache is not None and cache_key is not None:
+            self.view_cache.put(
+                cache_key,
+                CachedView(
+                    xml_text=xml_text,
+                    loosened_dtd_text=loosened_text,
+                    empty=view.empty,
+                    visible_nodes=view.visible_nodes,
+                    total_nodes=view.total_nodes,
+                    store_version=self.store.version,
+                    document_version=stored.version,
+                ),
+            )
+        response = AccessResponse(
+            uri=request.uri,
+            xml_text=xml_text,
+            loosened_dtd_text=loosened_text,
+            empty=view.empty,
+            visible_nodes=view.visible_nodes,
+            total_nodes=view.total_nodes,
+            elapsed_seconds=elapsed,
+        )
+        self.audit.record(
+            request.requester,
+            request.uri,
+            request.action,
+            "empty" if view.empty else "released",
+            visible_nodes=view.visible_nodes,
+            total_nodes=view.total_nodes,
+            elapsed_seconds=elapsed,
+        )
+        return response
+
+    def query(self, request: QueryRequest) -> AccessResponse:
+        """Answer a path-expression query against the requester's view.
+
+        The expression is evaluated on the *pruned* view, so results can
+        never mention nodes the requester is not entitled to see.
+        """
+        started = time.perf_counter()
+        view = self._view_for(request.requester, request.uri, request.action)
+        nodes = select(request.xpath, view.document) if view.document.root else []
+        matches = [serialize(node) for node in nodes]
+        elapsed = time.perf_counter() - started
+        self.audit.record(
+            request.requester,
+            request.uri,
+            f"query[{request.xpath}]",
+            "released" if matches else "empty",
+            visible_nodes=len(matches),
+            total_nodes=view.total_nodes,
+            elapsed_seconds=elapsed,
+        )
+        return AccessResponse(
+            uri=request.uri,
+            xml_text="\n".join(matches),
+            empty=not matches,
+            visible_nodes=view.visible_nodes,
+            total_nodes=view.total_nodes,
+            elapsed_seconds=elapsed,
+            matches=matches,
+        )
+
+    def view(self, requester: Requester, uri: str, action: str = "read") -> ViewResult:
+        """The full :class:`ViewResult` (labels included) for one request."""
+        return self._view_for(requester, uri, action)
+
+    def update(self, request: UpdateRequest) -> UpdateOutcome:
+        """Apply a write/update batch under ``action="write"`` labels.
+
+        The operations are enforced node-by-node against the requester's
+        write authorizations (paper, Section 8 future work; see
+        :mod:`repro.server.updates`), applied atomically to the stored
+        document, and re-validated against its DTD. On denial or
+        validation failure nothing is changed and the exception
+        propagates; every outcome is audited.
+        """
+        stored = self.repository.stored(request.uri)
+        document = stored.document()
+        now = time.time()
+        instance_auths = self.store.applicable(
+            request.requester, request.uri, request.action, at=now
+        )
+        dtd_uri = self.repository.dtd_uri_of(request.uri)
+        schema_auths = (
+            self.store.applicable(request.requester, dtd_uri, request.action, at=now)
+            if dtd_uri
+            else []
+        )
+        config = self.policy_for(request.uri)
+        engine = UpdateEngine(
+            self.hierarchy,
+            policy=config.build_policy(),
+            relative_mode=config.relative_paths,
+        )
+        started = time.perf_counter()
+        try:
+            updated, outcome = engine.apply(
+                document, request, instance_auths, schema_auths
+            )
+        except Exception as exc:
+            self.audit.record(
+                request.requester,
+                request.uri,
+                request.action,
+                "denied",
+                elapsed_seconds=time.perf_counter() - started,
+                detail=str(exc),
+            )
+            raise
+        # Commit: swap the stored tree; drop any stale source text and
+        # bump the version so cached views of the old tree go stale.
+        updated.uri = request.uri
+        stored.parsed = updated
+        stored.text = None
+        stored.version += 1
+        self.audit.record(
+            request.requester,
+            request.uri,
+            request.action,
+            "released",
+            visible_nodes=outcome.touched_nodes,
+            elapsed_seconds=time.perf_counter() - started,
+            detail=f"{outcome.operations} operation(s) applied",
+        )
+        return outcome
+
+    def processor_for(self, uri: str) -> SecurityProcessor:
+        """A :class:`SecurityProcessor` configured with *uri*'s policy."""
+        config = self.policy_for(uri)
+        return SecurityProcessor(
+            hierarchy=self.hierarchy,
+            policy=config.build_policy(),
+            open_policy=config.open_policy,
+            relative_mode=config.relative_paths,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _view_for(self, requester: Requester, uri: str, action: str) -> ViewResult:
+        document = self.repository.document(uri)
+        config = self.policy_for(uri)
+        return compute_view(
+            document,
+            requester,
+            self.store,
+            dtd_uri=self.repository.dtd_uri_of(uri),
+            policy=config.build_policy(),
+            open_policy=config.open_policy,
+            relative_mode=config.relative_paths,
+            action=action,
+            at=time.time(),
+        )
+
+    def _enforce_history_limit(self, requester: Requester, uri: str) -> None:
+        limit = self.policy_for(uri).history_limit
+        if limit is None:
+            return
+        horizon = time.time() - limit.window_seconds
+        granted = sum(
+            1
+            for record in self.audit
+            if record.uri == uri
+            and record.requester == str(requester)
+            and record.action == "read"
+            # Every *served* request counts — an empty view still reveals
+            # that the document exists and costs a view computation.
+            and record.outcome in ("released", "empty")
+            and record.timestamp >= horizon
+        )
+        if granted >= limit.max_accesses:
+            self.audit.record(
+                requester,
+                uri,
+                "read",
+                "denied",
+                detail=(
+                    f"history limit: {limit.max_accesses} accesses per "
+                    f"{limit.window_seconds:.0f}s exhausted"
+                ),
+            )
+            raise AccessLimitExceeded(
+                f"{requester} exceeded {limit.max_accesses} accesses on {uri} "
+                f"within {limit.window_seconds:.0f}s"
+            )

@@ -1,0 +1,35 @@
+"""Authorization subjects: users/groups, location patterns, ASH.
+
+Public surface::
+
+    from repro.subjects import (
+        Directory, SubjectSpec, Requester, SubjectHierarchy,
+        IPPattern, SymbolicPattern,
+    )
+"""
+
+from repro.subjects.hierarchy import Requester, SubjectHierarchy, SubjectSpec
+from repro.subjects.location import (
+    ANY_IP,
+    ANY_SYMBOLIC,
+    IPPattern,
+    SymbolicPattern,
+)
+from repro.subjects.markup import DIRECTORY_DTD, parse_directory, serialize_directory
+from repro.subjects.users import ANONYMOUS_USER, PUBLIC_GROUP, Directory
+
+__all__ = [
+    "ANONYMOUS_USER",
+    "ANY_IP",
+    "ANY_SYMBOLIC",
+    "DIRECTORY_DTD",
+    "Directory",
+    "IPPattern",
+    "PUBLIC_GROUP",
+    "Requester",
+    "SubjectHierarchy",
+    "SubjectSpec",
+    "SymbolicPattern",
+    "parse_directory",
+    "serialize_directory",
+]

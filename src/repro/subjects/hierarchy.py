@@ -1,0 +1,167 @@
+"""The authorization subject hierarchy ASH (paper, Definition 1).
+
+AS = UG × IP × SN: a subject specification combines a user-or-group
+identifier, an IP pattern and a symbolic-name pattern. The partial order
+is component-wise:
+
+    ⟨ug_i, ip_i, sn_i⟩ ≤ ⟨ug_j, ip_j, sn_j⟩  iff
+        ug_i is a member of ug_j  ∧  ip_i ≤ip ip_j  ∧  sn_i ≤sn sn_j
+
+Requesters — always a concrete (user, IP address, hostname) triple — are
+the minimal elements of ASH; authorizations may reference any element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SubjectError
+from repro.subjects.location import IPPattern, SymbolicPattern
+from repro.subjects.users import ANONYMOUS_USER, Directory
+
+__all__ = ["SubjectSpec", "Requester", "SubjectHierarchy"]
+
+
+@dataclass(frozen=True)
+class SubjectSpec:
+    """An element of AS: whom an authorization applies to.
+
+    Built with :meth:`parse` from the paper's triple notation::
+
+        SubjectSpec.parse("Foreign", "*", "*")
+        SubjectSpec.parse("Sam", "*", "*.lab.com")
+        SubjectSpec.parse("Public", "150.100.30.8", "*")
+    """
+
+    user_group: str
+    ip: IPPattern
+    symbolic: SymbolicPattern
+
+    @classmethod
+    def parse(
+        cls,
+        user_group: str,
+        ip: str = "*",
+        symbolic: str = "*",
+    ) -> "SubjectSpec":
+        if not user_group or not user_group.strip():
+            raise SubjectError("subject must name a user or group")
+        return cls(
+            user_group.strip(),
+            IPPattern.parse(ip),
+            SymbolicPattern.parse(symbolic),
+        )
+
+    def unparse(self) -> str:
+        return f"<{self.user_group},{self.ip},{self.symbolic}>"
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+@dataclass(frozen=True)
+class Requester:
+    """A concrete access requester: minimal element of ASH.
+
+    ``user`` defaults to the anonymous identity; ``ip`` and
+    ``hostname`` are the machine the connection originates from.
+    ``credentials`` are attribute/value pairs established by the
+    authentication layer (e.g. ``role=physician``), consumed by
+    credential-restricted authorizations
+    (:mod:`repro.authz.restrictions`).
+    """
+
+    user: str = ANONYMOUS_USER
+    ip: str = "0.0.0.0"
+    hostname: str = "localhost"
+    credentials: tuple[tuple[str, str], ...] = ()
+
+    def as_spec(self) -> SubjectSpec:
+        return SubjectSpec.parse(self.user, self.ip, self.hostname)
+
+    @property
+    def credential_map(self) -> dict[str, str]:
+        return dict(self.credentials)
+
+    def with_credentials(self, **attributes: str) -> "Requester":
+        """A copy of this requester carrying extra credentials."""
+        merged = dict(self.credentials)
+        merged.update({key: str(value) for key, value in attributes.items()})
+        return Requester(
+            self.user, self.ip, self.hostname, tuple(sorted(merged.items()))
+        )
+
+    def __str__(self) -> str:
+        return f"{self.user}@{self.hostname}({self.ip})"
+
+
+class SubjectHierarchy:
+    """ASH: the partial order over subject specifications.
+
+    Wraps a :class:`Directory` (for the UG component) and the pattern
+    orders (for the location components).
+    """
+
+    def __init__(self, directory: Optional[Directory] = None) -> None:
+        self.directory = directory if directory is not None else Directory()
+
+    # -- the partial order -------------------------------------------------
+
+    def dominates(self, lower: SubjectSpec, upper: SubjectSpec) -> bool:
+        """``lower ≤ upper`` in ASH."""
+        return (
+            self.directory.is_member(lower.user_group, upper.user_group)
+            and lower.ip.dominated_by(upper.ip)
+            and lower.symbolic.dominated_by(upper.symbolic)
+        )
+
+    def strictly_dominates(self, lower: SubjectSpec, upper: SubjectSpec) -> bool:
+        """``lower < upper``: dominated and not equal.
+
+        This is the "more specific subject" relation used to discard
+        overridden authorizations in ``initial_label`` (see DESIGN.md
+        decision 3 on strictness).
+        """
+        if lower == upper:
+            return False
+        return self.dominates(lower, upper)
+
+    def comparable(self, a: SubjectSpec, b: SubjectSpec) -> bool:
+        return self.dominates(a, b) or self.dominates(b, a)
+
+    # -- requester applicability ----------------------------------------------
+
+    def applies_to(self, spec: SubjectSpec, requester: Requester) -> bool:
+        """Whether an authorization for *spec* applies to *requester*.
+
+        This is ``requester ≤ spec``: the user is (in) the user/group
+        and the machine matches both location patterns. Unknown users
+        are treated as not matching anything but the anonymous identity
+        and ``Public``.
+        """
+        user = requester.user
+        if self.directory.exists(user):
+            if not self.directory.is_member(user, spec.user_group):
+                return False
+        else:
+            # Unknown identity: only subject specs for that literal
+            # identifier or for Public apply.
+            if spec.user_group not in (user, "Public"):
+                return False
+        if not spec.ip.matches(requester.ip):
+            return False
+        if not spec.symbolic.matches(requester.hostname):
+            return False
+        return True
+
+    def most_specific(self, specs: list[SubjectSpec]) -> list[SubjectSpec]:
+        """The minimal (most specific) elements among *specs*."""
+        return [
+            spec
+            for spec in specs
+            if not any(
+                other is not spec and self.strictly_dominates(other, spec)
+                for other in specs
+            )
+        ]

@@ -1,0 +1,204 @@
+"""Location patterns: IP and symbolic-name patterns with partial orders.
+
+Paper, Section 3: "A location pattern is an expression identifying a set
+of physical locations ... Patterns are specified by using the wild card
+character * instead of a specific name or number (or sequence of them)."
+
+The two syntactic rules stated there are enforced:
+
+- multiple wildcards must be contiguous (``151.*.30.*`` is rejected);
+- wildcards are right-most in IP patterns (specificity grows left to
+  right) and left-most in symbolic patterns (specificity grows right to
+  left). ``151.100.*`` is shorthand for ``151.100.*.*``.
+
+The orders ``≤ip`` and ``≤sn`` compare component-wise, the wildcard
+dominating everything (Definition in Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import PatternError
+
+__all__ = ["IPPattern", "SymbolicPattern", "ANY_IP", "ANY_SYMBOLIC"]
+
+
+def _is_ip_component(component: str) -> bool:
+    if not component.isdigit():
+        return False
+    return 0 <= int(component) <= 255
+
+
+def _is_symbolic_component(component: str) -> bool:
+    if not component:
+        return False
+    return all(ch.isalnum() or ch in "-_" for ch in component)
+
+
+@dataclass(frozen=True)
+class IPPattern:
+    """A numeric location pattern such as ``151.100.*.*``.
+
+    Stored as exactly four components; the abbreviated form with fewer
+    than four (``151.100.*``) is padded with wildcards on the right. A
+    fully concrete pattern (no wildcard) denotes a single machine.
+    """
+
+    components: tuple[str, str, str, str]
+
+    @classmethod
+    def parse(cls, pattern: str) -> "IPPattern":
+        return _parse_ip(pattern)
+
+    @property
+    def is_concrete(self) -> bool:
+        return "*" not in self.components
+
+    def matches(self, address: str) -> bool:
+        """Whether concrete *address* falls under this pattern."""
+        try:
+            other = _parse_ip(address)
+        except PatternError:
+            return False
+        if not other.is_concrete:
+            raise PatternError(f"expected a concrete IP address, got {address!r}")
+        return other.dominated_by(self)
+
+    def dominated_by(self, other: "IPPattern") -> bool:
+        """``self ≤ip other``: every component equal or ``*`` in other."""
+        return all(
+            theirs == "*" or ours == theirs
+            for ours, theirs in zip(self.components, other.components)
+        )
+
+    def specificity(self) -> int:
+        """Number of concrete components (4 = a single machine)."""
+        return sum(1 for component in self.components if component != "*")
+
+    def __str__(self) -> str:
+        return ".".join(self.components)
+
+
+@lru_cache(maxsize=4096)
+def _parse_ip(pattern: str) -> IPPattern:
+    if not pattern or not pattern.strip():
+        raise PatternError("empty IP pattern")
+    parts = pattern.strip().split(".")
+    if len(parts) > 4:
+        raise PatternError(f"IP pattern {pattern!r} has more than 4 components")
+    # Pad short patterns with wildcards: '151.100.*' == '151.100.*.*'.
+    if len(parts) < 4:
+        if parts[-1] != "*":
+            raise PatternError(
+                f"short IP pattern {pattern!r} must end with a wildcard"
+            )
+        parts = parts + ["*"] * (4 - len(parts))
+    seen_wildcard = False
+    for part in parts:
+        if part == "*":
+            seen_wildcard = True
+        else:
+            if seen_wildcard:
+                raise PatternError(
+                    f"wildcards must be right-most in IP pattern {pattern!r}"
+                )
+            if not _is_ip_component(part):
+                raise PatternError(
+                    f"invalid component {part!r} in IP pattern {pattern!r}"
+                )
+    return IPPattern((parts[0], parts[1], parts[2], parts[3]))
+
+
+@dataclass(frozen=True)
+class SymbolicPattern:
+    """A symbolic location pattern such as ``*.lab.com`` or ``*.it``.
+
+    Components are stored in source order (``("*", "lab", "com")``);
+    comparison proceeds right to left, mirroring DNS specificity. A
+    pattern with no wildcard denotes a single host. The bare ``*``
+    matches every host.
+    """
+
+    components: tuple[str, ...]
+
+    @classmethod
+    def parse(cls, pattern: str) -> "SymbolicPattern":
+        return _parse_symbolic(pattern)
+
+    @property
+    def is_concrete(self) -> bool:
+        return "*" not in self.components
+
+    def matches(self, hostname: str) -> bool:
+        try:
+            other = _parse_symbolic(hostname)
+        except PatternError:
+            return False
+        if not other.is_concrete:
+            raise PatternError(f"expected a concrete hostname, got {hostname!r}")
+        return other.dominated_by(self)
+
+    def dominated_by(self, other: "SymbolicPattern") -> bool:
+        """``self ≤sn other``: component-wise from the right.
+
+        Wildcards in *other* are contiguous and left-most; each inner
+        ``*`` stands for exactly one label, while the final (left-most)
+        ``*`` absorbs one or more remaining labels — so ``*.it`` covers
+        ``infosys.bld1.it`` (the paper's Example 2) but not ``it``
+        itself. The bare ``*`` covers every host.
+        """
+        if other.components == ("*",):
+            return True
+        ours = list(self.components)
+        theirs = list(other.components)
+        while theirs:
+            their_part = theirs.pop()
+            if their_part == "*":
+                if not theirs:
+                    # Left-most wildcard: one or more labels remain.
+                    return len(ours) >= 1
+                # Inner wildcard of a contiguous block: exactly one label
+                # (which may itself be a wildcard of ours).
+                if not ours:
+                    return False
+                ours.pop()
+                continue
+            if not ours:
+                return False
+            if ours.pop() != their_part:
+                return False
+        return not ours
+
+    def specificity(self) -> int:
+        return sum(1 for component in self.components if component != "*")
+
+    def __str__(self) -> str:
+        return ".".join(self.components)
+
+
+@lru_cache(maxsize=4096)
+def _parse_symbolic(pattern: str) -> SymbolicPattern:
+    if not pattern or not pattern.strip():
+        raise PatternError("empty symbolic pattern")
+    parts = tuple(pattern.strip().lower().split("."))
+    seen_concrete = False
+    for part in parts:
+        if part == "*":
+            if seen_concrete:
+                raise PatternError(
+                    f"wildcards must be left-most in symbolic pattern {pattern!r}"
+                )
+        else:
+            seen_concrete = True
+            if not _is_symbolic_component(part):
+                raise PatternError(
+                    f"invalid component {part!r} in symbolic pattern {pattern!r}"
+                )
+    return SymbolicPattern(parts)
+
+
+#: The pattern matching every machine, numerically / symbolically.
+ANY_IP = IPPattern(("*", "*", "*", "*"))
+ANY_SYMBOLIC = SymbolicPattern(("*",))

@@ -1,0 +1,105 @@
+"""XML markup for the subject directory.
+
+The paper's rationale — "exploiting XML's own capabilities, defining an
+XML markup for a set of security elements" — extends naturally to the
+user/group database. This module round-trips a :class:`Directory`
+through a small markup (parsed, of course, with this library's own XML
+parser)::
+
+    <directory>
+      <group name="Staff"/>
+      <group name="Clinical" in="Staff"/>
+      <user name="alice" in="Clinical"/>
+      <user name="bob" in="Staff Clinical"/>
+    </directory>
+
+``in`` lists space-separated parent groups. Declarations may appear in
+any order (groups are created before memberships are linked). The
+built-in ``Public`` group and ``anonymous`` user are implicit and never
+serialized.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XACLError
+from repro.subjects.users import ANONYMOUS_USER, PUBLIC_GROUP, Directory
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import pretty
+
+__all__ = ["DIRECTORY_DTD", "parse_directory", "serialize_directory"]
+
+DIRECTORY_DTD = """\
+<!ELEMENT directory (group | user)*>
+<!ELEMENT group EMPTY>
+<!ATTLIST group name CDATA #REQUIRED in CDATA #IMPLIED>
+<!ELEMENT user EMPTY>
+<!ATTLIST user name CDATA #REQUIRED in CDATA #IMPLIED>
+"""
+
+
+def parse_directory(
+    source: str | Document, into: Directory | None = None
+) -> Directory:
+    """Parse directory markup, optionally extending an existing one."""
+    document = parse_document(source) if isinstance(source, str) else source
+    root = document.root
+    if root is None or root.name != "directory":
+        raise XACLError("directory markup must have a <directory> root element")
+    directory = into if into is not None else Directory()
+
+    entries: list[tuple[str, str, list[str]]] = []
+    for child in root.child_elements():
+        if child.name not in ("group", "user"):
+            raise XACLError(f"unexpected element <{child.name}> inside <directory>")
+        name = child.get_attribute("name")
+        if not name:
+            raise XACLError(f"<{child.name}> requires a name attribute")
+        parents = (child.get_attribute("in") or "").split()
+        entries.append((child.name, name, parents))
+
+    # First pass: declare every subject (order-independence).
+    for kind, name, _ in entries:
+        if kind == "group":
+            directory.add_group(name)
+        else:
+            directory.add_user(name)
+    # Second pass: link memberships.
+    for _, name, parents in entries:
+        for parent in parents:
+            directory.add_member(parent, name)
+    return directory
+
+
+def serialize_directory(directory: Directory, indent: bool = True) -> str:
+    """Render *directory* as markup (implicit subjects omitted)."""
+    root = E("directory")
+    # Groups first so a future order-sensitive consumer still works.
+    for group in sorted(directory.groups()):
+        if group == PUBLIC_GROUP:
+            continue
+        parents = sorted(
+            parent
+            for parent in directory.expanded_groups(group)
+            if parent != group
+            and parent != PUBLIC_GROUP
+            and group in directory.direct_members(parent)
+        )
+        attrs = {"name": group}
+        if parents:
+            attrs["in"] = " ".join(parents)
+        root.append(E("group", attrs))
+    for user in sorted(directory.users()):
+        if user == ANONYMOUS_USER:
+            continue
+        parents = sorted(
+            group
+            for group in directory.groups()
+            if group != PUBLIC_GROUP and user in directory.direct_members(group)
+        )
+        attrs = {"name": user}
+        if parents:
+            attrs["in"] = " ".join(parents)
+        root.append(E("user", attrs))
+    return pretty(new_document(root))

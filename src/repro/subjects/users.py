@@ -1,0 +1,205 @@
+"""Users and groups: the server-side directory.
+
+Paper, Section 3: "A group is a set of users defined at the server.
+Groups do not need to be disjoint and can be nested." The
+:class:`Directory` therefore stores a DAG of group memberships (users
+and groups may belong to several groups; cycles are rejected) and
+answers the reflexive-transitive membership queries the ASH partial
+order needs.
+
+Conventional identifiers:
+
+- ``Public`` — the implicit group every user (including the anonymous
+  user) belongs to; created automatically.
+- ``anonymous`` — the identity of unauthenticated requesters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import SubjectError
+
+__all__ = ["Directory", "PUBLIC_GROUP", "ANONYMOUS_USER"]
+
+PUBLIC_GROUP = "Public"
+ANONYMOUS_USER = "anonymous"
+
+
+@dataclass
+class _Entry:
+    name: str
+    is_group: bool
+    parents: set[str] = field(default_factory=set)   # groups this belongs to
+    members: set[str] = field(default_factory=set)   # direct members (groups only)
+
+
+class Directory:
+    """The user/group database of one server.
+
+    All queries are by identifier string; :meth:`expanded_groups`
+    memoizes the reflexive-transitive closure and is invalidated on any
+    mutation.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self._closure_cache: dict[str, frozenset[str]] = {}
+        self.add_group(PUBLIC_GROUP)
+        self.add_user(ANONYMOUS_USER)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_user(self, name: str, groups: tuple[str, ...] | list[str] = ()) -> str:
+        """Register user *name*, optionally inside *groups*.
+
+        Every user is implicitly a member of ``Public``.
+        """
+        self._add_entry(name, is_group=False)
+        self.add_member(PUBLIC_GROUP, name)
+        for group in groups:
+            self.add_member(group, name)
+        return name
+
+    def add_group(self, name: str, parents: tuple[str, ...] | list[str] = ()) -> str:
+        """Register group *name*, optionally nested inside *parents*."""
+        self._add_entry(name, is_group=True)
+        for parent in parents:
+            self.add_member(parent, name)
+        return name
+
+    def _add_entry(self, name: str, is_group: bool) -> None:
+        if not name or not name.strip():
+            raise SubjectError("empty subject identifier")
+        existing = self._entries.get(name)
+        if existing is not None:
+            if existing.is_group != is_group:
+                kind = "group" if existing.is_group else "user"
+                raise SubjectError(f"{name!r} already exists as a {kind}")
+            return
+        self._entries[name] = _Entry(name, is_group)
+        self._closure_cache.clear()
+
+    def add_member(self, group: str, member: str) -> None:
+        """Make *member* (a user or a group) a direct member of *group*."""
+        group_entry = self._entries.get(group)
+        if group_entry is None or not group_entry.is_group:
+            raise SubjectError(f"unknown group {group!r}")
+        member_entry = self._entries.get(member)
+        if member_entry is None:
+            raise SubjectError(f"unknown subject {member!r}")
+        if member == group:
+            raise SubjectError(f"group {group!r} cannot contain itself")
+        if member_entry.is_group and self._would_cycle(group, member):
+            raise SubjectError(
+                f"membership of {member!r} in {group!r} would create a cycle"
+            )
+        group_entry.members.add(member)
+        member_entry.parents.add(group)
+        self._closure_cache.clear()
+
+    def _would_cycle(self, group: str, member: str) -> bool:
+        # A cycle appears iff group is (transitively) a member of member.
+        return member in self._ancestors_of(group)
+
+    # -- queries ------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._entries
+
+    def is_group(self, name: str) -> bool:
+        entry = self._entries.get(name)
+        return entry is not None and entry.is_group
+
+    def is_user(self, name: str) -> bool:
+        entry = self._entries.get(name)
+        return entry is not None and not entry.is_group
+
+    def users(self) -> Iterator[str]:
+        for entry in self._entries.values():
+            if not entry.is_group:
+                yield entry.name
+
+    def groups(self) -> Iterator[str]:
+        for entry in self._entries.values():
+            if entry.is_group:
+                yield entry.name
+
+    def direct_members(self, group: str) -> frozenset[str]:
+        entry = self._entries.get(group)
+        if entry is None or not entry.is_group:
+            raise SubjectError(f"unknown group {group!r}")
+        return frozenset(entry.members)
+
+    def expanded_groups(self, name: str) -> frozenset[str]:
+        """The reflexive-transitive group closure of *name*.
+
+        For a user: the user itself plus every group it (transitively)
+        belongs to. For a group: the group plus its ancestors. This is
+        exactly the set of ``ug`` identifiers whose authorizations apply
+        to *name*.
+        """
+        cached = self._closure_cache.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._entries:
+            raise SubjectError(f"unknown subject {name!r}")
+        closure = frozenset(self._ancestors_of(name) | {name})
+        self._closure_cache[name] = closure
+        return closure
+
+    def _ancestors_of(self, name: str) -> set[str]:
+        result: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            entry = self._entries.get(current)
+            if entry is None:
+                continue
+            for parent in entry.parents:
+                if parent not in result:
+                    result.add(parent)
+                    frontier.append(parent)
+        return result
+
+    def is_member(self, subject: str, group: str, strict: bool = False) -> bool:
+        """Reflexive-transitive membership test (``ug_i member of ug_j``).
+
+        With ``strict=True`` the reflexive case is excluded.
+        """
+        if subject == group:
+            return not strict
+        if subject not in self._entries:
+            return False
+        return group in self.expanded_groups(subject)
+
+    def members_recursive(self, group: str) -> frozenset[str]:
+        """Every user transitively inside *group*."""
+        entry = self._entries.get(group)
+        if entry is None or not entry.is_group:
+            raise SubjectError(f"unknown group {group!r}")
+        users: set[str] = set()
+        frontier = [group]
+        visited: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            current_entry = self._entries[current]
+            for member in current_entry.members:
+                member_entry = self._entries[member]
+                if member_entry.is_group:
+                    frontier.append(member)
+                else:
+                    users.add(member)
+        return frozenset(users)
+
+    def ensure_user(self, name: Optional[str]) -> str:
+        """Normalize an authenticated identity: ``None`` -> anonymous."""
+        if name is None:
+            return ANONYMOUS_USER
+        if not self.is_user(name):
+            raise SubjectError(f"unknown user {name!r}")
+        return name

@@ -1,0 +1,67 @@
+"""Workloads: the paper's running example plus synthetic generators.
+
+Public surface::
+
+    from repro.workloads import (
+        lab_scenario, LabScenario,
+        synthetic_document, synthetic_authorizations, build_workload,
+    )
+"""
+
+from repro.workloads.auction import (
+    AUCTION_DTD_TEXT,
+    AUCTION_DTD_URI,
+    AUCTION_SITE_URI,
+    AuctionScenario,
+    auction_document,
+    auction_scenario,
+)
+from repro.workloads.generator import (
+    SyntheticWorkload,
+    build_workload,
+    deep_document,
+    populate_directory,
+    requester_pool,
+    synthetic_authorizations,
+    synthetic_document,
+    wide_document,
+)
+from repro.workloads.scenarios import (
+    LAB_BASE_URI,
+    LAB_DOCUMENT_URI,
+    LAB_DTD_TEXT,
+    LAB_DTD_URI,
+    LabScenario,
+    lab_authorizations,
+    lab_directory,
+    lab_document,
+    lab_dtd,
+    lab_scenario,
+)
+
+__all__ = [
+    "AUCTION_DTD_TEXT",
+    "AUCTION_DTD_URI",
+    "AUCTION_SITE_URI",
+    "AuctionScenario",
+    "auction_document",
+    "auction_scenario",
+    "LAB_BASE_URI",
+    "LAB_DOCUMENT_URI",
+    "LAB_DTD_TEXT",
+    "LAB_DTD_URI",
+    "LabScenario",
+    "SyntheticWorkload",
+    "build_workload",
+    "deep_document",
+    "lab_authorizations",
+    "lab_directory",
+    "lab_document",
+    "lab_dtd",
+    "lab_scenario",
+    "populate_directory",
+    "requester_pool",
+    "synthetic_authorizations",
+    "synthetic_document",
+    "wide_document",
+]

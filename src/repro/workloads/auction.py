@@ -1,0 +1,233 @@
+"""An XMark-inspired auction-site workload.
+
+The XML benchmarking literature standardized on auction-site documents
+(XMark); this module provides a compatible-in-spirit scenario for
+macro-benchmarks and realistic integration tests: one large document
+with people (including private profile data), open and closed auctions,
+bids, and seller-only reserve prices — plus a realistic policy:
+
+- everyone browses items and *open* auction states;
+- a bidder sees their own bids and profile;
+- sellers see the reserve prices of their own auctions;
+- the fraud team (group) sees everything, including closed auctions;
+- profile income data is denied site-wide at the schema level and only
+  the fraud team's strong grant overrides it.
+
+Everything is seeded/deterministic. :func:`auction_scenario` wires a
+ready :class:`~repro.server.service.SecureXMLServer`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.authz.authorization import Authorization
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Document
+
+__all__ = [
+    "AUCTION_DTD_TEXT",
+    "AUCTION_DTD_URI",
+    "AUCTION_SITE_URI",
+    "AuctionScenario",
+    "auction_document",
+    "auction_scenario",
+]
+
+AUCTION_BASE = "http://auctions.example/"
+AUCTION_DTD_URI = AUCTION_BASE + "site.dtd"
+AUCTION_SITE_URI = AUCTION_BASE + "site.xml"
+
+AUCTION_DTD_TEXT = """\
+<!ELEMENT site (people, items, auctions)>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, email, profile?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT profile (income?, interests?)>
+<!ELEMENT income (#PCDATA)>
+<!ELEMENT interests (#PCDATA)>
+<!ELEMENT items (item*)>
+<!ELEMENT item (title, description?)>
+<!ATTLIST item id ID #REQUIRED category CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT auctions (auction*)>
+<!ELEMENT auction (itemref, reserve?, bid*)>
+<!ATTLIST auction id ID #REQUIRED
+                  seller IDREF #REQUIRED
+                  status (open|closed) #REQUIRED>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref ref IDREF #REQUIRED>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bid (amount)>
+<!ATTLIST bid bidder IDREF #REQUIRED>
+<!ELEMENT amount (#PCDATA)>
+"""
+
+_FIRST = ("ada", "bob", "cleo", "dan", "eva", "fritz", "gina", "hugo")
+_CATEGORIES = ("books", "audio", "tools", "art")
+_INTERESTS = ("xml", "security", "databases", "hiking", "chess")
+
+
+def auction_document(
+    people: int = 8,
+    items: int = 12,
+    auctions: int = 10,
+    seed: int = 0,
+    uri: str = AUCTION_SITE_URI,
+) -> Document:
+    """Build one deterministic auction-site document."""
+    rng = random.Random(seed)
+    person_ids = [f"p{index}" for index in range(people)]
+    item_ids = [f"i{index}" for index in range(items)]
+
+    people_el = E("people")
+    for index, person_id in enumerate(person_ids):
+        name = _FIRST[index % len(_FIRST)] + str(index)
+        children = [E("name", name), E("email", f"{name}@mail.example")]
+        if rng.random() < 0.8:
+            profile_children = []
+            if rng.random() < 0.7:
+                profile_children.append(E("income", str(rng.randint(20, 200) * 1000)))
+            profile_children.append(
+                E("interests", " ".join(rng.sample(_INTERESTS, k=2)))
+            )
+            children.append(E("profile", *profile_children))
+        people_el.append(E("person", {"id": person_id}, *children))
+
+    items_el = E("items")
+    for item_id in item_ids:
+        children = [E("title", f"lot {item_id}")]
+        if rng.random() < 0.6:
+            children.append(E("description", f"description of {item_id}"))
+        items_el.append(
+            E("item", {"id": item_id, "category": rng.choice(_CATEGORIES)}, *children)
+        )
+
+    auctions_el = E("auctions")
+    for index in range(auctions):
+        seller = rng.choice(person_ids)
+        status = "open" if rng.random() < 0.7 else "closed"
+        children = [E("itemref", {"ref": rng.choice(item_ids)})]
+        if rng.random() < 0.8:
+            children.append(E("reserve", str(rng.randint(10, 500))))
+        for _ in range(rng.randint(0, 4)):
+            children.append(
+                E(
+                    "bid",
+                    {"bidder": rng.choice(person_ids)},
+                    E("amount", str(rng.randint(5, 600))),
+                )
+            )
+        auctions_el.append(
+            E(
+                "auction",
+                {"id": f"a{index}", "seller": seller, "status": status},
+                *children,
+            )
+        )
+
+    root = E("site", people_el, items_el, auctions_el)
+    return new_document(root, uri=uri, system_id=AUCTION_DTD_URI)
+
+
+@dataclass
+class AuctionScenario:
+    """A populated server plus convenient requesters."""
+
+    server: SecureXMLServer
+    document: Document
+    person_ids: list[str] = field(default_factory=list)
+
+    def requester_for(self, person_id: str) -> Requester:
+        return Requester(person_id, "10.0.0.5", "web.auctions.example")
+
+    @property
+    def fraud_officer(self) -> Requester:
+        return Requester("fraud-officer", "10.9.9.1", "ops.auctions.example")
+
+    @property
+    def visitor(self) -> Requester:
+        return Requester("anonymous", "93.1.1.1", "somewhere.example")
+
+
+def auction_scenario(seed: int = 0, people: int = 8) -> AuctionScenario:
+    """Build the complete scenario: document, users, policy."""
+    server = SecureXMLServer()
+    document = auction_document(people=people, seed=seed)
+    server.publish_dtd(AUCTION_DTD_URI, AUCTION_DTD_TEXT)
+    server.publish_document(
+        AUCTION_SITE_URI, document, dtd_uri=AUCTION_DTD_URI, validate_on_add=True
+    )
+
+    person_ids = [f"p{index}" for index in range(people)]
+    server.add_group("FraudTeam")
+    server.add_user("fraud-officer", groups=["FraudTeam"])
+    for person_id in person_ids:
+        server.add_user(person_id)
+
+    uri, dtd = AUCTION_SITE_URI, AUCTION_DTD_URI
+    grants: list[Authorization] = [
+        # Everyone browses the catalogue and open auctions (weakly:
+        # schema-level restrictions below stay authoritative).
+        Authorization.build("Public", f"{uri}://items", "+", "RW"),
+        Authorization.build("Public", f'{uri}://auction[@status="open"]', "+", "RW"),
+        Authorization.build("Public", f"{uri}://person/name", "+", "RW"),
+        # Reserve prices are seller-only: site-wide schema denial...
+        Authorization.build("Public", f"{dtd}://reserve", "-", "R"),
+        # Income is private: site-wide schema denial.
+        Authorization.build("Public", f"{dtd}://income", "-", "R"),
+        # The fraud team sees the whole site, strongly (overrides the
+        # schema denials), including closed auctions.
+        Authorization.build(("FraudTeam", "*", "*"), uri, "+", "R"),
+        # ...including reserves and incomes. The explicit node-level
+        # grants are needed because the Public weak grant on open
+        # auctions *blocks* the root R+ from propagating past the
+        # auction element (paired R/RW blocking, Section 6.1), after
+        # which the schema denials would win. A policy-authoring pitfall
+        # worth modeling — `repro.core.explain` diagnoses it directly.
+        Authorization.build(("FraudTeam", "*", "*"), f"{uri}://reserve", "+", "R"),
+        Authorization.build(("FraudTeam", "*", "*"), f"{uri}://income", "+", "R"),
+    ]
+    for person_id in person_ids:
+        grants.extend(
+            [
+                # Own profile, weakly (income still hidden by schema).
+                Authorization.build(
+                    (person_id, "*", "*"),
+                    f'{uri}://person[@id="{person_id}"]',
+                    "+",
+                    "RW",
+                ),
+                # Own income: a strong grant on one's own data overrides
+                # the site-wide schema denial.
+                Authorization.build(
+                    (person_id, "*", "*"),
+                    f'{uri}://person[@id="{person_id}"]/profile/income',
+                    "+",
+                    "R",
+                ),
+                # Own bids, anywhere.
+                Authorization.build(
+                    (person_id, "*", "*"),
+                    f'{uri}://bid[@bidder="{person_id}"]',
+                    "+",
+                    "R",
+                ),
+                # Reserve prices of auctions one sells.
+                Authorization.build(
+                    (person_id, "*", "*"),
+                    f'{uri}://auction[@seller="{person_id}"]/reserve',
+                    "+",
+                    "R",
+                ),
+            ]
+        )
+    for grant in grants:
+        server.grant(grant)
+    return AuctionScenario(server=server, document=document, person_ids=person_ids)

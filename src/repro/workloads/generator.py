@@ -1,0 +1,262 @@
+"""Synthetic workload generation for benchmarks and stress tests.
+
+Three kinds of generators:
+
+- **documents** — trees with controlled node count, depth and fan-out
+  (:func:`synthetic_document`, :func:`deep_document`,
+  :func:`wide_document`), plus DTD-driven generation re-exported from
+  :mod:`repro.dtd.generator`;
+- **authorizations** — random but *well-formed* authorization sets over
+  a document's actual structure (:func:`synthetic_authorizations`),
+  with adjustable shares of denials, weak and schema-level tuples;
+- **subjects** — user/group populations with nested groups
+  (:func:`populate_directory`) and requester pools.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.authz.store import AuthorizationStore
+from repro.subjects.hierarchy import Requester, SubjectSpec
+from repro.subjects.users import Directory
+from repro.xml.builder import new_document
+from repro.xml.nodes import Document, Element, Text
+
+__all__ = [
+    "synthetic_document",
+    "deep_document",
+    "wide_document",
+    "synthetic_authorizations",
+    "populate_directory",
+    "requester_pool",
+    "SyntheticWorkload",
+    "build_workload",
+]
+
+_SECTION_NAMES = ("section", "record", "item", "entry", "block")
+_FIELD_NAMES = ("title", "body", "note", "value", "info")
+_ATTR_NAMES = ("id", "kind", "level", "owner")
+_KINDS = ("public", "internal", "private", "restricted")
+
+
+def synthetic_document(
+    nodes: int,
+    fanout: int = 4,
+    seed: int = 0,
+    uri: str = "http://bench.example/doc.xml",
+) -> Document:
+    """A document with approximately *nodes* nodes (elements +
+    attributes + text), breadth-first with the given *fanout*.
+
+    Element names cycle through a small vocabulary and every element
+    carries a ``kind`` attribute drawn from public/internal/private/
+    restricted — the hooks the synthetic authorizations condition on.
+    """
+    rng = random.Random(seed)
+    root = Element("archive")
+    root.set_attribute("kind", "public")
+    document = new_document(root, uri=uri)
+    count = 3  # root + attribute + implicit doc accounting headroom
+    frontier: list[Element] = [root]
+    serial = 0
+    while count < nodes and frontier:
+        parent = frontier.pop(0)
+        for _ in range(fanout):
+            if count >= nodes:
+                break
+            serial += 1
+            name = _SECTION_NAMES[serial % len(_SECTION_NAMES)]
+            child = Element(name)
+            child.set_attribute("id", f"n{serial}")
+            child.set_attribute("kind", rng.choice(_KINDS))
+            field = Element(_FIELD_NAMES[serial % len(_FIELD_NAMES)])
+            field.append(Text(f"content {serial}"))
+            child.append(field)
+            parent.append(child)
+            frontier.append(child)
+            # element + 2 attributes + field element + text
+            count += 5
+    return document
+
+
+def deep_document(
+    depth: int, uri: str = "http://bench.example/deep.xml"
+) -> Document:
+    """A chain of *depth* nested elements (propagation-depth stress)."""
+    root = Element("level")
+    root.set_attribute("n", "0")
+    current = root
+    for index in range(1, depth):
+        child = Element("level")
+        child.set_attribute("n", str(index))
+        current.append(child)
+        current = child
+    current.append(Text("leaf"))
+    return new_document(root, uri=uri)
+
+
+def wide_document(
+    width: int, uri: str = "http://bench.example/wide.xml"
+) -> Document:
+    """One root with *width* leaf children (fan-out stress)."""
+    root = Element("list")
+    for index in range(width):
+        item = Element("item")
+        item.set_attribute("n", str(index))
+        item.append(Text(f"item {index}"))
+        root.append(item)
+    return new_document(root, uri=uri)
+
+
+def synthetic_authorizations(
+    document: Document,
+    count: int,
+    seed: int = 0,
+    denial_share: float = 0.3,
+    weak_share: float = 0.2,
+    recursive_share: float = 0.7,
+    subjects: Optional[list[SubjectSpec]] = None,
+    dtd_uri: Optional[str] = None,
+    schema_share: float = 0.0,
+) -> tuple[list[Authorization], list[Authorization]]:
+    """Generate *count* authorizations targeting *document*'s structure.
+
+    Returns ``(instance_auths, schema_auths)``; the schema list is
+    non-empty only when *dtd_uri* and *schema_share* are given. Path
+    expressions are built from the element names and ``kind`` attribute
+    values actually present, so most authorizations select real nodes.
+    """
+    rng = random.Random(seed)
+    uri = document.uri or "http://bench.example/doc.xml"
+    if subjects is None:
+        subjects = [SubjectSpec.parse("Public", "*", "*")]
+    names = sorted({el.name for el in _elements(document)})
+    instance: list[Authorization] = []
+    schema: list[Authorization] = []
+    for _ in range(count):
+        name = rng.choice(names)
+        shape = rng.random()
+        if shape < 0.4:
+            path = f"//{name}"
+        elif shape < 0.7:
+            kind = rng.choice(_KINDS)
+            path = f'//{name}[./@kind="{kind}"]'
+        elif shape < 0.85:
+            path = f"//{name}/@{rng.choice(_ATTR_NAMES)}"
+        else:
+            other = rng.choice(names)
+            path = f"//{name}//{other}"
+        sign = Sign.MINUS if rng.random() < denial_share else Sign.PLUS
+        weak = rng.random() < weak_share
+        recursive = rng.random() < recursive_share
+        if weak:
+            auth_type = AuthType.RECURSIVE_WEAK if recursive else AuthType.LOCAL_WEAK
+        else:
+            auth_type = AuthType.RECURSIVE if recursive else AuthType.LOCAL
+        subject = rng.choice(subjects)
+        is_schema = dtd_uri is not None and rng.random() < schema_share
+        target_uri = dtd_uri if is_schema else uri
+        authorization = Authorization(
+            subject, AuthObject(target_uri, path), "read", sign, auth_type
+        )
+        (schema if is_schema else instance).append(authorization)
+    return instance, schema
+
+
+def _elements(document: Document):
+    from repro.xml.traversal import iter_elements
+
+    root = document.root
+    if root is None:
+        return []
+    return iter_elements(root)
+
+
+def populate_directory(
+    directory: Directory,
+    users: int = 20,
+    groups: int = 6,
+    nesting: int = 2,
+    seed: int = 0,
+) -> tuple[list[str], list[str]]:
+    """Fill *directory* with a seeded population of users and groups.
+
+    Groups form ``nesting`` chained layers (``g0 ⊇ g1 ⊇ ...``) plus
+    free-standing groups; each user joins one to three groups.
+    """
+    rng = random.Random(seed)
+    group_names = [f"group{index}" for index in range(groups)]
+    for index, name in enumerate(group_names):
+        parents: list[str] = []
+        if index and index <= nesting:
+            parents = [group_names[index - 1]]
+        directory.add_group(name, parents)
+    user_names = [f"user{index}" for index in range(users)]
+    for name in user_names:
+        memberships = rng.sample(group_names, k=min(len(group_names), rng.randint(1, 3)))
+        directory.add_user(name, memberships)
+    return user_names, group_names
+
+
+def requester_pool(
+    user_names: list[str], seed: int = 0, count: Optional[int] = None
+) -> list[Requester]:
+    """Concrete requesters (user, IP, hostname) over *user_names*."""
+    rng = random.Random(seed)
+    domains = ("lab.com", "bld1.it", "example.org", "mil")
+    pool: list[Requester] = []
+    for index, name in enumerate(user_names[: count or len(user_names)]):
+        ip = f"150.{rng.randint(0, 255)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+        host = f"host{index}.{rng.choice(domains)}"
+        pool.append(Requester(name, ip, host))
+    return pool
+
+
+@dataclass
+class SyntheticWorkload:
+    """A ready-to-run benchmark workload."""
+
+    document: Document
+    instance_auths: list[Authorization]
+    schema_auths: list[Authorization]
+    store: AuthorizationStore
+    requesters: list[Requester]
+
+
+def build_workload(
+    nodes: int = 2000,
+    auth_count: int = 32,
+    seed: int = 0,
+    users: int = 10,
+    schema_share: float = 0.25,
+    dtd_uri: str = "http://bench.example/doc.dtd",
+) -> SyntheticWorkload:
+    """Document + authorizations + directory + requesters, in one call."""
+    document = synthetic_document(nodes, seed=seed)
+    store = AuthorizationStore()
+    user_names, group_names = populate_directory(
+        store.hierarchy.directory, users=users, seed=seed
+    )
+    subject_pool = [SubjectSpec.parse("Public", "*", "*")]
+    subject_pool += [SubjectSpec.parse(group, "*", "*") for group in group_names]
+    subject_pool += [
+        SubjectSpec.parse(user, "*", "*") for user in user_names[: max(2, users // 3)]
+    ]
+    instance, schema = synthetic_authorizations(
+        document,
+        auth_count,
+        seed=seed,
+        subjects=subject_pool,
+        dtd_uri=dtd_uri,
+        schema_share=schema_share,
+    )
+    store.add_all(instance)
+    store.add_all(schema)
+    requesters = requester_pool(user_names, seed=seed)
+    return SyntheticWorkload(document, instance, schema, store, requesters)

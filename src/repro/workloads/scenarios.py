@@ -1,0 +1,216 @@
+"""The paper's running example, built programmatically.
+
+Reconstruction of Figure 1 (the laboratory DTD), Figure 3(a) (the
+CSlab.xml instance) and Example 1 (the four authorizations). The
+original figures are images in the available scan; this reconstruction
+uses exactly the element/attribute names and conditions appearing in the
+paper's text (see DESIGN.md decision 11):
+
+- path expressions: ``/laboratory/project``, ``/laboratory//flname``,
+  ``fund/ancestor::project``;
+- conditions: ``paper[./@category="private"]``,
+  ``paper[./@category="public"]``, ``paper[./@type="internal"]``,
+  ``project[./@type="internal"]``, ``project[./@type="public"]``,
+  ``project[./@name="Access Models"]``;
+- Example 2's requester: Tom, member of group Foreign, connected from
+  ``infosys.bld1.it`` (the scan prints the IP as 130.100.50.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.authz.authorization import Authorization
+from repro.authz.store import AuthorizationStore
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.subjects.hierarchy import Requester, SubjectHierarchy
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Document
+
+__all__ = [
+    "LAB_BASE_URI",
+    "LAB_DOCUMENT_URI",
+    "LAB_DTD_TEXT",
+    "LAB_DTD_URI",
+    "LabScenario",
+    "lab_authorizations",
+    "lab_directory",
+    "lab_document",
+    "lab_dtd",
+    "lab_scenario",
+]
+
+LAB_BASE_URI = "http://www.lab.com/"
+LAB_DTD_URI = LAB_BASE_URI + "laboratory.xml"
+LAB_DOCUMENT_URI = LAB_BASE_URI + "CSlab.xml"
+
+#: Figure 1(a): the DTD for XML documents describing laboratory projects.
+LAB_DTD_TEXT = """\
+<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, paper*, fund?)>
+<!ATTLIST project name CDATA #REQUIRED
+                  type (public|internal) #REQUIRED>
+<!ELEMENT manager (flname, email?)>
+<!ELEMENT flname (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT paper (title, authors?)>
+<!ATTLIST paper category (public|private|internal) #REQUIRED
+                type CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authors (#PCDATA)>
+<!ELEMENT fund (#PCDATA)>
+<!ATTLIST fund amount CDATA #IMPLIED
+               sponsor CDATA #IMPLIED>
+"""
+
+
+@dataclass
+class LabScenario:
+    """Everything of the running example, wired together."""
+
+    dtd: DTD
+    document: Document
+    store: AuthorizationStore
+    authorizations: list[Authorization] = field(default_factory=list)
+    tom: Requester = field(
+        default_factory=lambda: Requester("Tom", "130.100.50.8", "infosys.bld1.it")
+    )
+    alice: Requester = field(
+        default_factory=lambda: Requester("Alice", "130.89.56.8", "rome.admin.lab.com")
+    )
+    sam: Requester = field(
+        default_factory=lambda: Requester("Sam", "150.100.30.8", "tweety.lab.com")
+    )
+
+    @property
+    def hierarchy(self) -> SubjectHierarchy:
+        return self.store.hierarchy
+
+
+def lab_dtd() -> DTD:
+    """Parse Figure 1(a)'s DTD, published at :data:`LAB_DTD_URI`."""
+    return parse_dtd(LAB_DTD_TEXT, uri=LAB_DTD_URI)
+
+
+def lab_document(dtd: DTD | None = None) -> Document:
+    """Figure 3(a): the CSlab.xml instance.
+
+    Two projects: the public "Access Models" project (with one private,
+    one public and one internal paper, and a fund) and the internal
+    "Secure Kernel" project (with one private paper).
+    """
+    root = E(
+        "laboratory",
+        {"name": "CSlab"},
+        E(
+            "project",
+            {"name": "Access Models", "type": "public"},
+            E("manager", E("flname", "Bob White"), E("email", "bob@lab.com")),
+            E(
+                "paper",
+                {"category": "private"},
+                E("title", "Security Internals"),
+                E("authors", "B. White, C. Green"),
+            ),
+            E(
+                "paper",
+                {"category": "public", "type": "conference"},
+                E("title", "An Access Control Model for XML"),
+                E("authors", "B. White"),
+            ),
+            E(
+                "paper",
+                {"category": "internal", "type": "internal"},
+                E("title", "Implementation Notes"),
+            ),
+            E("fund", {"amount": "100000", "sponsor": "EC"}, "FASTER project"),
+        ),
+        E(
+            "project",
+            {"name": "Secure Kernel", "type": "internal"},
+            E("manager", E("flname", "Carol Green")),
+            E(
+                "paper",
+                {"category": "private"},
+                E("title", "Kernel Hardening"),
+            ),
+        ),
+    )
+    document = new_document(
+        root,
+        uri=LAB_DOCUMENT_URI,
+        doctype_name="laboratory",
+        system_id=LAB_DTD_URI,
+        dtd=dtd if dtd is not None else lab_dtd(),
+    )
+    return document
+
+
+def lab_authorizations() -> list[Authorization]:
+    """Example 1's four authorizations, verbatim.
+
+    1. Foreign members are explicitly denied private papers —
+       schema-level (the object URI is the DTD's), Recursive.
+    2. Public papers of CSlab are publicly accessible unless otherwise
+       specified at the DTD level — instance-level, Recursive Weak.
+    3. Admin members connected from 130.89.56.8 can access internal
+       projects — instance-level, Recursive.
+    4. Users connected from the ``it`` domain can access information
+       about managers of public projects — instance-level, weak (the
+       scan prints the type as ``W``; encoded Recursive-Weak so manager
+       content is readable — DESIGN.md decision 10).
+    """
+    return [
+        Authorization.build(
+            ("Foreign", "*", "*"),
+            LAB_DTD_URI + ':/laboratory//paper[./@category="private"]',
+            "-",
+            "R",
+        ),
+        Authorization.build(
+            ("Public", "*", "*"),
+            LAB_DOCUMENT_URI + ':/laboratory//paper[./@category="public"]',
+            "+",
+            "RW",
+        ),
+        Authorization.build(
+            ("Admin", "130.89.56.8", "*"),
+            LAB_DOCUMENT_URI + ':project[./@type="internal"]',
+            "+",
+            "R",
+        ),
+        Authorization.build(
+            ("Public", "*", "*.it"),
+            LAB_DOCUMENT_URI + ':project[./@type="public"]/manager',
+            "+",
+            "RW",
+        ),
+    ]
+
+
+def lab_directory(hierarchy: SubjectHierarchy) -> None:
+    """Example 2's users and groups."""
+    directory = hierarchy.directory
+    directory.add_group("Foreign")
+    directory.add_group("Admin")
+    directory.add_user("Tom", groups=["Foreign"])
+    directory.add_user("Alice", groups=["Admin"])
+    directory.add_user("Sam")
+
+
+def lab_scenario() -> LabScenario:
+    """Build the complete running example: DTD, document, store, users."""
+    dtd = lab_dtd()
+    document = lab_document(dtd)
+    store = AuthorizationStore()
+    lab_directory(store.hierarchy)
+    authorizations = lab_authorizations()
+    store.add_all(authorizations)
+    return LabScenario(
+        dtd=dtd,
+        document=document,
+        store=store,
+        authorizations=authorizations,
+    )

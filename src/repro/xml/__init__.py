@@ -1,0 +1,65 @@
+"""XML substrate: node model, parser, serializer, builder, traversal.
+
+This package is the from-scratch replacement for the DOM library the
+paper assumes (Section 7). Public surface::
+
+    from repro.xml import (
+        parse_document, serialize, pretty, E, new_document,
+        Document, Element, Attribute, Text, Comment, ProcessingInstruction,
+    )
+"""
+
+from repro.xml.builder import E, comment, new_document, pi, text
+from repro.xml.diff import tree_diff, trees_equal
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xml.serializer import pretty, serialize
+from repro.xml.traversal import (
+    count_nodes,
+    depth,
+    descendants,
+    document_order,
+    iter_attributes,
+    iter_elements,
+    node_path,
+    postorder,
+    preorder,
+)
+
+__all__ = [
+    "Attribute",
+    "Comment",
+    "Document",
+    "E",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "comment",
+    "count_nodes",
+    "depth",
+    "descendants",
+    "document_order",
+    "iter_attributes",
+    "iter_elements",
+    "new_document",
+    "node_path",
+    "parse_document",
+    "parse_fragment",
+    "pi",
+    "postorder",
+    "preorder",
+    "pretty",
+    "serialize",
+    "text",
+    "tree_diff",
+    "trees_equal",
+]

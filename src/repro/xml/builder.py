@@ -1,0 +1,100 @@
+"""A fluent programmatic API for building document trees.
+
+Workloads, examples and tests build documents with :func:`E` instead of
+string templates::
+
+    doc = new_document(
+        E("laboratory", {"name": "CSlab"},
+          E("project", {"name": "Access Models", "type": "public"},
+            E("manager", E("flname", "Alice Smith")),
+            E("paper", {"category": "public"}, E("title", "An XML paper")),
+          ),
+        ),
+        uri="http://www.lab.com/CSlab.xml",
+    )
+
+:func:`E` accepts, after the tag name, an optional attribute dict and any
+number of children: elements, strings (turned into text nodes), or other
+node objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.xml.nodes import Comment, Document, Element, Node, ProcessingInstruction, Text
+
+__all__ = ["E", "new_document", "text", "comment", "pi"]
+
+Child = Union[Node, str, None]
+
+
+def E(name: str, *items: Union[Child, dict[str, str]]) -> Element:
+    """Build an :class:`Element` named *name*.
+
+    Parameters
+    ----------
+    name:
+        Element tag name.
+    items:
+        Any mix of: one or more ``dict`` arguments (merged into the
+        attribute set), strings (appended as text nodes), nodes
+        (appended as children), and ``None`` (skipped, convenient for
+        conditional construction).
+    """
+    element = Element(name)
+    for item in items:
+        if item is None:
+            continue
+        if isinstance(item, dict):
+            for attr_name, attr_value in item.items():
+                element.set_attribute(attr_name, str(attr_value))
+        elif isinstance(item, str):
+            element.append(Text(item))
+        elif isinstance(item, Node):
+            if isinstance(item, Document):
+                raise ReproError("cannot nest a document inside an element")
+            element.append(item)
+        else:
+            raise ReproError(
+                f"cannot add {type(item).__name__} as element content"
+            )
+    return element
+
+
+def new_document(
+    root: Element,
+    uri: Optional[str] = None,
+    doctype_name: Optional[str] = None,
+    system_id: Optional[str] = None,
+    dtd=None,
+) -> Document:
+    """Wrap *root* in a :class:`Document`.
+
+    *doctype_name* defaults to the root element name whenever a
+    *system_id* or a *dtd* object is supplied.
+    """
+    document = Document()
+    document.uri = uri
+    if system_id is not None or dtd is not None or doctype_name is not None:
+        document.doctype_name = doctype_name or root.name
+    document.system_id = system_id
+    document.dtd = dtd
+    document.append(root)
+    return document
+
+
+def text(data: str) -> Text:
+    """Build a text node (alias for readability in builder expressions)."""
+    return Text(data)
+
+
+def comment(data: str) -> Comment:
+    """Build a comment node."""
+    return Comment(data)
+
+
+def pi(target: str, data: str = "") -> ProcessingInstruction:
+    """Build a processing-instruction node."""
+    return ProcessingInstruction(target, data)

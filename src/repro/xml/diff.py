@@ -1,0 +1,161 @@
+"""Structural diffing of document trees.
+
+:func:`tree_diff` walks two trees in parallel and reports every
+difference as a human-readable line anchored at a node path. Used by
+tests to produce actionable failures and by users to compare two
+requesters' views ("what exactly does Alice see that Bob doesn't?").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xml.nodes import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.traversal import node_path
+
+__all__ = ["tree_diff", "trees_equal"]
+
+
+def tree_diff(
+    left: Optional[Node],
+    right: Optional[Node],
+    max_differences: int = 50,
+) -> list[str]:
+    """Differences between two trees, as ``path: description`` lines.
+
+    Whitespace-only text nodes are ignored (views and pretty-printed
+    documents differ in insignificant whitespace); attribute *order* is
+    ignored (XML gives it no meaning); everything else — names, values,
+    text, child order — is compared.
+    """
+    differences: list[str] = []
+    _diff(left, right, differences, max_differences)
+    return differences
+
+
+def trees_equal(left: Optional[Node], right: Optional[Node]) -> bool:
+    """Whether the two trees are structurally identical (see tree_diff)."""
+    return not tree_diff(left, right, max_differences=1)
+
+
+def _significant_children(node: Node) -> list[Node]:
+    if not isinstance(node, (Element, Document)):
+        return []
+    return [
+        child
+        for child in node.children
+        if not (isinstance(child, Text) and not child.data.strip())
+    ]
+
+
+def _describe(node: Optional[Node]) -> str:
+    if node is None:
+        return "(absent)"
+    if isinstance(node, Element):
+        return f"<{node.name}>"
+    if isinstance(node, Text):
+        preview = node.data if len(node.data) <= 30 else node.data[:27] + "..."
+        return f"text {preview!r}"
+    if isinstance(node, Comment):
+        return f"comment {node.data!r}"
+    if isinstance(node, ProcessingInstruction):
+        return f"PI <?{node.target}?>"
+    if isinstance(node, Document):
+        return "(document)"
+    return type(node).__name__
+
+
+def _diff(
+    left: Optional[Node],
+    right: Optional[Node],
+    out: list[str],
+    limit: int,
+) -> None:
+    if len(out) >= limit:
+        return
+    if left is None and right is None:
+        return
+    if left is None or right is None:
+        anchor = left if left is not None else right
+        out.append(
+            f"{node_path(anchor)}: only in "
+            f"{'left' if left is not None else 'right'}: {_describe(anchor)}"
+        )
+        return
+    if type(left) is not type(right):
+        out.append(
+            f"{node_path(left)}: node kinds differ: "
+            f"{_describe(left)} vs {_describe(right)}"
+        )
+        return
+    if isinstance(left, Element):
+        assert isinstance(right, Element)
+        if left.name != right.name:
+            out.append(
+                f"{node_path(left)}: element names differ: "
+                f"<{left.name}> vs <{right.name}>"
+            )
+            return
+        _diff_attributes(left, right, out, limit)
+        left_children = _significant_children(left)
+        right_children = _significant_children(right)
+        for l_child, r_child in zip(left_children, right_children):
+            _diff(l_child, r_child, out, limit)
+            if len(out) >= limit:
+                return
+        for extra in left_children[len(right_children):]:
+            out.append(f"{node_path(extra)}: only in left: {_describe(extra)}")
+            if len(out) >= limit:
+                return
+        for extra in right_children[len(left_children):]:
+            out.append(f"{node_path(extra)}: only in right: {_describe(extra)}")
+            if len(out) >= limit:
+                return
+    elif isinstance(left, Text):
+        assert isinstance(right, Text)
+        if left.data.strip() != right.data.strip():
+            out.append(
+                f"{node_path(left)}: text differs: "
+                f"{left.data!r} vs {right.data!r}"
+            )
+    elif isinstance(left, Comment):
+        assert isinstance(right, Comment)
+        if left.data != right.data:
+            out.append(f"{node_path(left)}: comment differs")
+    elif isinstance(left, ProcessingInstruction):
+        assert isinstance(right, ProcessingInstruction)
+        if (left.target, left.data) != (right.target, right.data):
+            out.append(f"{node_path(left)}: processing instruction differs")
+    elif isinstance(left, Document):
+        assert isinstance(right, Document)
+        _diff(left.root, right.root, out, limit)
+
+
+def _diff_attributes(left: Element, right: Element, out: list[str], limit: int) -> None:
+    left_attrs = {name: attr.value for name, attr in left.attributes.items()}
+    right_attrs = {name: attr.value for name, attr in right.attributes.items()}
+    for name in sorted(set(left_attrs) | set(right_attrs)):
+        if len(out) >= limit:
+            return
+        if name not in left_attrs:
+            out.append(
+                f"{node_path(left)}/@{name}: only in right "
+                f"(= {right_attrs[name]!r})"
+            )
+        elif name not in right_attrs:
+            out.append(
+                f"{node_path(left)}/@{name}: only in left "
+                f"(= {left_attrs[name]!r})"
+            )
+        elif left_attrs[name] != right_attrs[name]:
+            out.append(
+                f"{node_path(left)}/@{name}: values differ: "
+                f"{left_attrs[name]!r} vs {right_attrs[name]!r}"
+            )

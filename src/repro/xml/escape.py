@@ -1,0 +1,208 @@
+"""Escaping and unescaping of XML character data and attribute values.
+
+The serializer uses :func:`escape_text` and :func:`escape_attribute` to
+produce well-formed output for arbitrary string content; the parser uses
+:func:`resolve_references` to expand character references and the five
+predefined entities (plus caller-supplied general entities).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+from repro.xml.chars import is_name, is_xml_char
+
+__all__ = [
+    "PREDEFINED_ENTITIES",
+    "escape_text",
+    "escape_attribute",
+    "resolve_references",
+]
+
+#: The five entities every XML processor must know.
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_TEXT_REPLACEMENTS = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_REPLACEMENTS = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "\n": "&#10;",
+    "\t": "&#9;",
+    "\r": "&#13;",
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape *text* for use as element character data.
+
+    ``&``, ``<`` and ``>`` are replaced by entity references (``>`` is
+    only mandatory in the ``]]>`` sequence but escaping it always is
+    harmless and simpler).
+    """
+    if not any(ch in text for ch in "&<>"):
+        return text
+    return "".join(_TEXT_REPLACEMENTS.get(ch, ch) for ch in text)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape *value* for use inside a double-quoted attribute value.
+
+    Beyond markup characters, literal whitespace other than a space is
+    escaped as a character reference so it survives attribute-value
+    normalization on re-parse.
+    """
+    if not any(ch in value for ch in '&<>"\n\t\r'):
+        return value
+    return "".join(_ATTR_REPLACEMENTS.get(ch, ch) for ch in value)
+
+
+#: Hard cap on the total characters one reference-resolution call may
+#: produce, defeating exponential ("billion laughs") entity bombs.
+MAX_EXPANSION_CHARS = 10_000_000
+#: Hard cap on nested entity expansion depth, defeating reference cycles.
+MAX_EXPANSION_DEPTH = 64
+
+
+class _ExpansionBudget:
+    """Shared accounting across one resolve_references call tree."""
+
+    __slots__ = ("chars",)
+
+    def __init__(self) -> None:
+        self.chars = 0
+
+    def charge(self, amount: int, line: int, column: int) -> None:
+        self.chars += amount
+        if self.chars > MAX_EXPANSION_CHARS:
+            raise XMLSyntaxError(
+                "entity expansion exceeds the "
+                f"{MAX_EXPANSION_CHARS}-character limit (entity bomb?)",
+                line,
+                column,
+            )
+
+
+def resolve_references(
+    text: str,
+    entities: dict[str, str] | None = None,
+    line: int = 0,
+    column: int = 0,
+) -> str:
+    """Expand character and entity references in *text*.
+
+    Parameters
+    ----------
+    text:
+        Raw character data possibly containing ``&name;``, ``&#NN;`` or
+        ``&#xHH;`` references.
+    entities:
+        Extra general entities (name -> replacement text) declared by the
+        document's DTD. Predefined entities are always available and
+        cannot be overridden.
+    line, column:
+        Position of *text* in the source, used for error messages only.
+
+    Raises
+    ------
+    XMLSyntaxError
+        On an unterminated reference, an unknown entity name, a
+        character reference denoting a character outside the XML range,
+        an entity-reference cycle, or an expansion exceeding
+        :data:`MAX_EXPANSION_CHARS` (the classic entity-bomb DoS).
+    """
+    if "&" not in text:
+        return text
+    return _resolve(text, entities, line, column, _ExpansionBudget(), depth=0)
+
+
+def _resolve(
+    text: str,
+    entities: dict[str, str] | None,
+    line: int,
+    column: int,
+    budget: _ExpansionBudget,
+    depth: int,
+) -> str:
+    if depth > MAX_EXPANSION_DEPTH:
+        raise XMLSyntaxError(
+            "entity references nest too deeply (reference cycle?)", line, column
+        )
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            budget.charge(1, line, column)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", line, column)
+        body = text[i + 1 : end]
+        expansion = _expand_one(body, entities, line, column, budget, depth)
+        out.append(expansion)
+        i = end + 1
+    return "".join(out)
+
+
+def _expand_one(
+    body: str,
+    entities: dict[str, str] | None,
+    line: int,
+    column: int,
+    budget: _ExpansionBudget,
+    depth: int,
+) -> str:
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            code = int(body[2:], 16)
+        except ValueError:
+            raise XMLSyntaxError(
+                f"bad hexadecimal character reference '&{body};'", line, column
+            ) from None
+        budget.charge(1, line, column)
+        return _char_from_code(code, body, line, column)
+    if body.startswith("#"):
+        try:
+            code = int(body[1:], 10)
+        except ValueError:
+            raise XMLSyntaxError(
+                f"bad decimal character reference '&{body};'", line, column
+            ) from None
+        budget.charge(1, line, column)
+        return _char_from_code(code, body, line, column)
+    if body in PREDEFINED_ENTITIES:
+        budget.charge(1, line, column)
+        return PREDEFINED_ENTITIES[body]
+    if entities and body in entities:
+        # General entities may themselves contain references; expand
+        # recursively under the shared depth/size budget.
+        return _resolve(entities[body], entities, line, column, budget, depth + 1)
+    if not is_name(body):
+        raise XMLSyntaxError(f"malformed entity reference '&{body};'", line, column)
+    raise XMLSyntaxError(f"unknown entity '&{body};'", line, column)
+
+
+def _char_from_code(code: int, body: str, line: int, column: int) -> str:
+    try:
+        ch = chr(code)
+    except (ValueError, OverflowError):
+        raise XMLSyntaxError(
+            f"character reference '&{body};' out of range", line, column
+        ) from None
+    if not is_xml_char(ch):
+        raise XMLSyntaxError(
+            f"character reference '&{body};' is not a valid XML character",
+            line,
+            column,
+        )
+    return ch

@@ -1,0 +1,481 @@
+"""A well-formedness XML 1.0 parser producing :mod:`repro.xml.nodes` trees.
+
+This is the "parsing step" of the paper's security processor (Section 7,
+step 1): syntax-check the requested document and compile it into an
+object tree. The parser handles:
+
+- the XML declaration and prolog,
+- ``<!DOCTYPE name SYSTEM "...">`` with an optional internal subset,
+  which is handed to :mod:`repro.dtd.parser` (general entities declared
+  there become available to the document),
+- elements, attributes (with value normalization), character data,
+- CDATA sections, comments, processing instructions,
+- character references and entity references,
+- end-of-line normalization (CR and CRLF become LF, per the spec).
+
+It enforces well-formedness: matching tags, a single root element, no
+duplicate attributes, legal characters, ``]]>`` not appearing in
+character data, and so on. Validity (conformance to a DTD) is a separate
+concern handled by :mod:`repro.dtd.validator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XMLSyntaxError
+from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char, is_xml_char
+from repro.xml.escape import resolve_references
+from repro.xml.nodes import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+
+__all__ = ["parse_document", "parse_fragment", "XMLParser"]
+
+
+def parse_document(
+    text: str,
+    uri: Optional[str] = None,
+    keep_comments: bool = True,
+    keep_ignorable_whitespace: bool = True,
+) -> Document:
+    """Parse *text* into a :class:`Document`.
+
+    Parameters
+    ----------
+    text:
+        The complete XML document as a string.
+    uri:
+        Recorded on the resulting document (used later to select the
+        applicable XACLs).
+    keep_comments:
+        When false, comments are dropped from the tree.
+    keep_ignorable_whitespace:
+        When false, text nodes that are pure whitespace are dropped;
+        convenient for structural comparisons in tests.
+
+    Raises
+    ------
+    XMLSyntaxError
+        If *text* is not a well-formed XML document.
+    """
+    parser = XMLParser(
+        text,
+        keep_comments=keep_comments,
+        keep_ignorable_whitespace=keep_ignorable_whitespace,
+    )
+    document = parser.parse()
+    document.uri = uri
+    return document
+
+
+def parse_fragment(text: str) -> Element:
+    """Parse a single-element fragment and return its root element.
+
+    A convenience for tests and examples; equivalent to wrapping the
+    fragment as a document and taking the root.
+    """
+    document = parse_document(text)
+    root = document.root
+    if root is None:
+        raise XMLSyntaxError("fragment has no root element")
+    return root
+
+
+class XMLParser:
+    """Single-use recursive-descent parser over an input string."""
+
+    def __init__(
+        self,
+        text: str,
+        keep_comments: bool = True,
+        keep_ignorable_whitespace: bool = True,
+    ) -> None:
+        # Normalize line endings once, up front (XML 1.0 section 2.11).
+        if "\r" in text:
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
+        self._text = text
+        self._pos = 0
+        self._len = len(text)
+        self._keep_comments = keep_comments
+        self._keep_ws = keep_ignorable_whitespace
+        self._entities: dict[str, str] = {}
+
+    # -- public entry ------------------------------------------------------
+
+    def parse(self) -> Document:
+        document = Document()
+        self._parse_prolog(document)
+        if self._pos >= self._len or self._peek() != "<":
+            self._fail("expected root element")
+        root = self._parse_element()
+        document.append(root)
+        self._parse_misc_trailer(document)
+        if self._pos < self._len:
+            self._fail("unexpected content after root element")
+        return document
+
+    # -- low-level scanning -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < self._len else ""
+
+    def _advance(self, count: int = 1) -> None:
+        self._pos += count
+
+    def _starts_with(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._starts_with(token):
+            self._fail(f"expected {token!r}")
+        self._pos += len(token)
+
+    def _skip_whitespace(self, required: bool = False) -> None:
+        start = self._pos
+        while self._pos < self._len and self._text[self._pos] in WHITESPACE:
+            self._pos += 1
+        if required and self._pos == start:
+            self._fail("expected whitespace")
+
+    def _position(self, pos: Optional[int] = None) -> tuple[int, int]:
+        index = self._pos if pos is None else pos
+        line = self._text.count("\n", 0, index) + 1
+        last_newline = self._text.rfind("\n", 0, index)
+        column = index - last_newline
+        return line, column
+
+    def _fail(self, message: str, pos: Optional[int] = None) -> None:
+        line, column = self._position(pos)
+        raise XMLSyntaxError(message, line, column)
+
+    def _read_name(self) -> str:
+        start = self._pos
+        if self._pos >= self._len or not is_name_start_char(self._text[self._pos]):
+            self._fail("expected a name")
+        self._pos += 1
+        while self._pos < self._len and is_name_char(self._text[self._pos]):
+            self._pos += 1
+        return self._text[start : self._pos]
+
+    # -- prolog ---------------------------------------------------------------
+
+    def _parse_prolog(self, document: Document) -> None:
+        if self._starts_with("<?xml") and self._peek(5) in WHITESPACE:
+            self._parse_xml_declaration(document)
+        while True:
+            self._skip_whitespace()
+            if self._starts_with("<!--"):
+                comment = self._parse_comment()
+                if self._keep_comments:
+                    document.append(comment)
+            elif self._starts_with("<!DOCTYPE"):
+                if document.doctype_name is not None:
+                    self._fail("multiple DOCTYPE declarations")
+                self._parse_doctype(document)
+            elif self._starts_with("<?"):
+                document.append(self._parse_pi())
+            else:
+                return
+
+    def _parse_xml_declaration(self, document: Document) -> None:
+        self._expect("<?xml")
+        attrs = self._parse_pseudo_attributes(terminator="?>")
+        version = attrs.get("version")
+        if version is None:
+            self._fail("XML declaration must specify a version")
+        document.xml_version = version
+        document.encoding = attrs.get("encoding")
+        standalone = attrs.get("standalone")
+        if standalone is not None:
+            if standalone not in ("yes", "no"):
+                self._fail("standalone must be 'yes' or 'no'")
+            document.standalone = standalone == "yes"
+        self._expect("?>")
+
+    def _parse_pseudo_attributes(self, terminator: str) -> dict[str, str]:
+        attrs: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            if self._starts_with(terminator):
+                return attrs
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            attrs[name] = self._read_quoted_literal()
+
+    def _read_quoted_literal(self) -> str:
+        quote = self._peek()
+        if quote not in "'\"":
+            self._fail("expected a quoted literal")
+        self._advance()
+        end = self._text.find(quote, self._pos)
+        if end == -1:
+            self._fail("unterminated literal")
+        value = self._text[self._pos : end]
+        self._pos = end + 1
+        return value
+
+    def _parse_doctype(self, document: Document) -> None:
+        self._expect("<!DOCTYPE")
+        self._skip_whitespace(required=True)
+        document.doctype_name = self._read_name()
+        self._skip_whitespace()
+        if self._starts_with("SYSTEM"):
+            self._advance(6)
+            self._skip_whitespace(required=True)
+            document.system_id = self._read_quoted_literal()
+            self._skip_whitespace()
+        elif self._starts_with("PUBLIC"):
+            self._advance(6)
+            self._skip_whitespace(required=True)
+            self._read_quoted_literal()  # public id (kept out of the model)
+            self._skip_whitespace(required=True)
+            document.system_id = self._read_quoted_literal()
+            self._skip_whitespace()
+        if self._peek() == "[":
+            self._advance()
+            subset_start = self._pos
+            depth = 1
+            while self._pos < self._len:
+                ch = self._text[self._pos]
+                if ch == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif ch == "[":
+                    depth += 1
+                elif ch in "'\"":
+                    closing = self._text.find(ch, self._pos + 1)
+                    if closing == -1:
+                        self._fail("unterminated literal in internal subset")
+                    self._pos = closing
+                self._pos += 1
+            if self._pos >= self._len:
+                self._fail("unterminated internal DTD subset")
+            subset = self._text[subset_start : self._pos]
+            self._advance()  # the closing ']'
+            self._attach_internal_subset(document, subset, subset_start)
+            self._skip_whitespace()
+        self._expect(">")
+
+    def _attach_internal_subset(
+        self, document: Document, subset: str, subset_start: int
+    ) -> None:
+        # Imported lazily: repro.dtd depends on repro.xml.nodes, so a
+        # top-level import here would be circular.
+        from repro.dtd.parser import parse_dtd
+
+        try:
+            dtd = parse_dtd(subset)
+        except Exception as exc:  # re-anchor DTD errors in this document
+            line, column = self._position(subset_start)
+            raise XMLSyntaxError(
+                f"error in internal DTD subset: {exc}", line, column
+            ) from exc
+        document.dtd = dtd
+        self._entities.update(dtd.general_entities)
+
+    def _parse_misc_trailer(self, document: Document) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._starts_with("<!--"):
+                comment = self._parse_comment()
+                if self._keep_comments:
+                    document.append(comment)
+            elif self._starts_with("<?"):
+                document.append(self._parse_pi())
+            else:
+                return
+
+    # -- elements -----------------------------------------------------------
+
+    def _parse_element(self) -> Element:
+        """Parse one element (and its whole subtree), iteratively.
+
+        An explicit open-element stack instead of recursion keeps
+        arbitrarily deep documents (a classic parser DoS vector) within
+        constant Python stack usage.
+        """
+        element, closed = self._parse_start_tag()
+        if closed:
+            return element
+        stack: list[Element] = [element]
+        while stack:
+            current = stack[-1]
+            closed_name = self._parse_content_until_tag(current)
+            if closed_name is not None:
+                if closed_name != current.name:
+                    self._fail(
+                        f"mismatched end tag: expected </{current.name}>, "
+                        f"found </{closed_name}>"
+                    )
+                stack.pop()
+                continue
+            child, child_closed = self._parse_start_tag()
+            current.append(child)
+            if not child_closed:
+                stack.append(child)
+        return element
+
+    def _parse_start_tag(self) -> tuple[Element, bool]:
+        """Parse ``<name attrs...>`` or ``<name attrs.../>``.
+
+        Returns (element, already-closed) — closed for the empty-tag
+        form.
+        """
+        start_pos = self._pos
+        self._expect("<")
+        name = self._read_name()
+        try:
+            element = Element(name)
+        except Exception:
+            self._fail(f"invalid element name {name!r}", start_pos)
+        self._parse_attributes(element)
+        if self._starts_with("/>"):
+            self._advance(2)
+            return element, True
+        self._expect(">")
+        return element, False
+
+    def _parse_content_until_tag(self, element: Element) -> Optional[str]:
+        """Consume content of *element* until a start tag or its end tag.
+
+        Returns the end-tag name when ``</name>`` was consumed, or
+        ``None`` when stopping just before a child start tag (not
+        consumed).
+        """
+        while True:
+            if self._pos >= self._len:
+                self._fail(f"unterminated element <{element.name}>")
+            next_tag = self._text.find("<", self._pos)
+            if next_tag == -1:
+                self._fail(f"unterminated element <{element.name}>")
+            if next_tag > self._pos:
+                self._add_text(element, self._text[self._pos : next_tag], self._pos)
+                self._pos = next_tag
+            if self._starts_with("</"):
+                self._advance(2)
+                closing = self._read_name()
+                self._skip_whitespace()
+                self._expect(">")
+                return closing
+            if self._starts_with("<!--"):
+                comment = self._parse_comment()
+                if self._keep_comments:
+                    element.append(comment)
+            elif self._starts_with("<![CDATA["):
+                self._parse_cdata(element)
+            elif self._starts_with("<?"):
+                element.append(self._parse_pi())
+            elif self._starts_with("<!"):
+                self._fail("declarations are not allowed in content")
+            else:
+                return None
+
+    def _parse_attributes(self, element: Element) -> None:
+        while True:
+            before = self._pos
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in (">", "") or self._starts_with("/>"):
+                return
+            if before == self._pos:
+                self._fail("expected whitespace before attribute")
+            attr_pos = self._pos
+            name = self._read_name()
+            if element.has_attribute(name):
+                self._fail(f"duplicate attribute {name!r}", attr_pos)
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            value = self._read_attribute_value(attr_pos)
+            element.set_attribute(name, value)
+
+    def _read_attribute_value(self, attr_pos: int) -> str:
+        quote = self._peek()
+        if quote not in "'\"":
+            self._fail("attribute value must be quoted")
+        self._advance()
+        end = self._text.find(quote, self._pos)
+        if end == -1:
+            self._fail("unterminated attribute value", attr_pos)
+        raw = self._text[self._pos : end]
+        if "<" in raw:
+            self._fail("'<' not allowed in attribute value", attr_pos)
+        self._pos = end + 1
+        line, column = self._position(attr_pos)
+        # Attribute-value normalization: *literal* whitespace becomes a
+        # plain space; whitespace produced by character references (e.g.
+        # '&#10;') survives, so normalize before resolving.
+        raw = raw.replace("\t", " ").replace("\n", " ")
+        return resolve_references(raw, self._entities, line, column)
+
+    def _add_text(self, element: Element, raw: str, raw_pos: int) -> None:
+        if "]]>" in raw:
+            self._fail("']]>' not allowed in character data", raw_pos)
+        for ch in raw:
+            if not is_xml_char(ch):
+                self._fail(
+                    f"invalid character U+{ord(ch):04X} in character data", raw_pos
+                )
+        line, column = self._position(raw_pos)
+        data = resolve_references(raw, self._entities, line, column)
+        if not self._keep_ws and (not data or data.strip() == ""):
+            return
+        # Merge adjacent text nodes (references may split runs).
+        last = element.children[-1] if element.children else None
+        if isinstance(last, Text):
+            last.data += data
+        else:
+            element.append(Text(data))
+
+    # -- comments / CDATA / PIs ------------------------------------------------
+
+    def _parse_comment(self) -> Comment:
+        start = self._pos
+        self._expect("<!--")
+        end = self._text.find("--", self._pos)
+        if end == -1:
+            self._fail("unterminated comment", start)
+        data = self._text[self._pos : end]
+        self._pos = end
+        self._expect("-->")
+        return Comment(data)
+
+    def _parse_cdata(self, element: Element) -> None:
+        start = self._pos
+        self._expect("<![CDATA[")
+        end = self._text.find("]]>", self._pos)
+        if end == -1:
+            self._fail("unterminated CDATA section", start)
+        data = self._text[self._pos : end]
+        self._pos = end + 3
+        last = element.children[-1] if element.children else None
+        if isinstance(last, Text):
+            last.data += data
+        else:
+            element.append(Text(data))
+
+    def _parse_pi(self) -> ProcessingInstruction:
+        start = self._pos
+        self._expect("<?")
+        target = self._read_name()
+        if target.lower() == "xml":
+            self._fail("processing instruction target may not be 'xml'", start)
+        data = ""
+        if self._peek() in WHITESPACE:
+            self._skip_whitespace()
+            end = self._text.find("?>", self._pos)
+            if end == -1:
+                self._fail("unterminated processing instruction", start)
+            data = self._text[self._pos : end]
+            self._pos = end
+        self._expect("?>")
+        return ProcessingInstruction(target, data)

@@ -1,0 +1,163 @@
+"""Tree traversal utilities.
+
+The compute-view algorithm is a preorder labeling pass followed by a
+postorder pruning pass (paper, Sections 6.1-6.2); the XPath evaluator
+needs document-order enumeration. All of those walks live here so every
+subsystem agrees on what "document order" means: an element precedes its
+attributes, attributes precede the element's children, and attributes of
+one element are ordered by declaration order (a deterministic refinement
+of XML's "attribute order is implementation-defined").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.xml.nodes import (
+    Attribute,
+    Document,
+    Element,
+    Node,
+    Text,
+    _ParentNode,
+)
+
+__all__ = [
+    "preorder",
+    "postorder",
+    "document_order",
+    "descendants",
+    "iter_elements",
+    "iter_attributes",
+    "count_nodes",
+    "node_path",
+    "depth",
+]
+
+
+def preorder(node: Node, include_attributes: bool = True) -> Iterator[Node]:
+    """Yield *node* and its descendants in preorder.
+
+    Attributes of an element are yielded right after the element itself,
+    before its children, when *include_attributes* is true.
+    """
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Element):
+            stack.extend(reversed(current.children))
+            if include_attributes:
+                # Pushed last (reversed) so attributes pop first, in
+                # declaration order, before the element's children.
+                stack.extend(reversed(list(current.attributes.values())))
+        elif isinstance(current, _ParentNode):
+            stack.extend(reversed(current.children))
+
+
+def postorder(node: Node, include_attributes: bool = True) -> Iterator[Node]:
+    """Yield *node* and its descendants in postorder (children first)."""
+    # Iterative two-stack postorder keeps recursion limits out of the way
+    # for very deep synthetic documents used in benchmarks.
+    stack: list[tuple[Node, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            yield current
+            continue
+        stack.append((current, True))
+        if isinstance(current, Element):
+            for child in reversed(current.children):
+                stack.append((child, False))
+            if include_attributes:
+                for attr in reversed(list(current.attributes.values())):
+                    stack.append((attr, False))
+        elif isinstance(current, _ParentNode):
+            for child in reversed(current.children):
+                stack.append((child, False))
+
+
+def document_order(root: Node) -> dict[Node, int]:
+    """Return a mapping node -> position in document order under *root*.
+
+    Used by the XPath evaluator to sort node-sets; computed per query so
+    tree mutations never leave a stale cache behind.
+    """
+    return {node: i for i, node in enumerate(preorder(root))}
+
+
+def descendants(node: Node, include_self: bool = False) -> Iterator[Node]:
+    """Yield the descendants of *node* (elements/text/comments/PIs only,
+    no attributes), optionally starting with *node* itself."""
+    walker = preorder(node, include_attributes=False)
+    first = next(walker)
+    if include_self:
+        yield first
+    yield from walker
+
+
+def iter_elements(node: Node) -> Iterator[Element]:
+    """Yield every element at or under *node*, in document order."""
+    for current in preorder(node, include_attributes=False):
+        if isinstance(current, Element):
+            yield current
+
+
+def iter_attributes(node: Node) -> Iterator[Attribute]:
+    """Yield every attribute at or under *node*, in document order."""
+    for element in iter_elements(node):
+        yield from element.attributes.values()
+
+
+def count_nodes(node: Node, include_attributes: bool = True) -> int:
+    """Number of nodes in the subtree rooted at *node*."""
+    return sum(1 for _ in preorder(node, include_attributes=include_attributes))
+
+
+def depth(node: Node) -> int:
+    """Number of ancestors between *node* and the document node."""
+    return sum(1 for _ in node.ancestors())
+
+
+def node_path(node: Node) -> str:
+    """A human-readable absolute path for *node* (for messages/tests).
+
+    Elements are identified by name and 1-based sibling position among
+    same-named siblings (``/laboratory/project[2]``); attributes append
+    ``/@name``; text nodes append ``/text()``.
+    """
+    parts: list[str] = []
+    current: Optional[Node] = node
+    while current is not None and not isinstance(current, Document):
+        parent = current.parent
+        if isinstance(current, Element):
+            label = current.name
+            if isinstance(parent, _ParentNode):
+                same = [
+                    child
+                    for child in parent.children
+                    if isinstance(child, Element) and child.name == current.name
+                ]
+                if len(same) > 1:
+                    index = next(
+                        i for i, child in enumerate(same, 1) if child is current
+                    )
+                    label = f"{current.name}[{index}]"
+            parts.append(label)
+        elif isinstance(current, Attribute):
+            parts.append(f"@{current.name}")
+        elif isinstance(current, Text):
+            parts.append("text()")
+        else:
+            parts.append(type(current).__name__.lower())
+        current = parent
+    return "/" + "/".join(reversed(parts))
+
+
+def walk_filter(
+    node: Node, predicate: Callable[[Node], bool]
+) -> Iterator[Node]:
+    """Yield the nodes under *node* (preorder) satisfying *predicate*."""
+    for current in preorder(node):
+        if predicate(current):
+            yield current

@@ -1,0 +1,77 @@
+"""XPath substrate: tokenizer, parser, evaluator, compiled expressions.
+
+Public surface::
+
+    from repro.xpath import parse_xpath, evaluate, select, compile_xpath
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Number,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.compile import CompiledXPath, compile_xpath
+from repro.xpath.evaluator import Context, evaluate, evaluate_parsed, matches, select
+from repro.xpath.functions import DEFAULT_REGISTRY, FunctionRegistry, default_registry
+from repro.xpath.parser import parse_xpath
+from repro.xpath.tokens import Token, TokenKind, tokenize
+from repro.xpath.values import (
+    XPathValue,
+    compare,
+    number_to_string,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+__all__ = [
+    "Axis",
+    "BinaryExpr",
+    "CompiledXPath",
+    "Context",
+    "DEFAULT_REGISTRY",
+    "Expr",
+    "FilterExpr",
+    "FunctionCall",
+    "FunctionRegistry",
+    "Literal",
+    "LocationPath",
+    "NodeTest",
+    "NodeTestKind",
+    "Number",
+    "PathExpr",
+    "Step",
+    "Token",
+    "TokenKind",
+    "UnaryMinus",
+    "UnionExpr",
+    "VariableRef",
+    "XPathValue",
+    "compare",
+    "compile_xpath",
+    "default_registry",
+    "evaluate",
+    "evaluate_parsed",
+    "matches",
+    "number_to_string",
+    "parse_xpath",
+    "select",
+    "string_value",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "tokenize",
+]

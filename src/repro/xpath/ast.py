@@ -1,0 +1,235 @@
+"""AST node classes for the XPath subset.
+
+Every node knows how to ``unparse()`` itself back to expression syntax;
+the property-based tests check that ``parse(unparse(parse(e)))`` is
+stable. Evaluation lives in :mod:`repro.xpath.evaluator` (a visitor over
+these classes), keeping the AST a passive data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+__all__ = [
+    "Axis",
+    "NodeTestKind",
+    "NodeTest",
+    "Step",
+    "LocationPath",
+    "FilterExpr",
+    "PathExpr",
+    "UnionExpr",
+    "BinaryExpr",
+    "UnaryMinus",
+    "FunctionCall",
+    "Literal",
+    "Number",
+    "VariableRef",
+    "Expr",
+]
+
+
+class Axis(Enum):
+    """The supported XPath axes.
+
+    The paper explicitly uses ``child``, ``descendant`` and ``ancestor``
+    (Section 4); the rest of the XPath 1.0 axes needed for realistic
+    policies are implemented as well.
+    """
+
+    CHILD = "child"
+    ATTRIBUTE = "attribute"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    SELF = "self"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+
+
+class NodeTestKind(Enum):
+    NAME = "name"          # a specific element/attribute name
+    WILDCARD = "*"         # any name
+    TEXT = "text()"        # text nodes
+    NODE = "node()"        # any node
+    COMMENT = "comment()"  # comment nodes
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    kind: NodeTestKind
+    name: Optional[str] = None
+
+    def unparse(self) -> str:
+        if self.kind is NodeTestKind.NAME:
+            return self.name or ""
+        return self.kind.value
+
+
+@dataclass
+class Step:
+    """One location step: ``axis::node-test[predicate]*``."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: list["Expr"] = field(default_factory=list)
+
+    def unparse(self) -> str:
+        if self.axis is Axis.ATTRIBUTE:
+            base = f"@{self.test.unparse()}"
+        elif self.axis is Axis.CHILD:
+            base = self.test.unparse()
+        elif self.axis is Axis.SELF and self.test.kind is NodeTestKind.NODE:
+            base = "."
+        elif self.axis is Axis.PARENT and self.test.kind is NodeTestKind.NODE:
+            base = ".."
+        else:
+            base = f"{self.axis.value}::{self.test.unparse()}"
+        for predicate in self.predicates:
+            base += f"[{predicate.unparse()}]"
+        return base
+
+
+@dataclass
+class LocationPath:
+    """A sequence of steps, absolute (``/a/b``) or relative (``a/b``).
+
+    A ``//`` between steps is desugared at parse time into an explicit
+    ``descendant-or-self::node()`` step, as the XPath grammar specifies.
+    """
+
+    steps: list[Step]
+    absolute: bool = False
+
+    def unparse(self) -> str:
+        rendered: list[str] = []
+        index = 0
+        steps = self.steps
+        while index < len(steps):
+            step = steps[index]
+            if (
+                step.axis is Axis.DESCENDANT_OR_SELF
+                and step.test.kind is NodeTestKind.NODE
+                and not step.predicates
+                and index + 1 < len(steps)
+            ):
+                rendered.append("")  # produces '//' when joined
+                index += 1
+                continue
+            rendered.append(step.unparse())
+            index += 1
+        body = "/".join(rendered)
+        if self.absolute:
+            return "/" + body
+        return body
+
+
+@dataclass
+class FilterExpr:
+    """A primary expression with optional predicates: ``f(x)[2]``."""
+
+    primary: "Expr"
+    predicates: list["Expr"] = field(default_factory=list)
+
+    def unparse(self) -> str:
+        base = self.primary.unparse()
+        for predicate in self.predicates:
+            base += f"[{predicate.unparse()}]"
+        return base
+
+
+@dataclass
+class PathExpr:
+    """A filter expression continued by a path: ``f(x)/a//b``."""
+
+    filter: FilterExpr
+    tail: LocationPath
+
+    def unparse(self) -> str:
+        return f"{self.filter.unparse()}/{self.tail.unparse()}"
+
+
+@dataclass
+class UnionExpr:
+    parts: list["Expr"]
+
+    def unparse(self) -> str:
+        return " | ".join(part.unparse() for part in self.parts)
+
+
+@dataclass
+class BinaryExpr:
+    """Binary operator application (comparisons, arithmetic, and/or)."""
+
+    op: str  # 'or' 'and' '=' '!=' '<' '<=' '>' '>=' '+' '-' '*' 'div' 'mod'
+    left: "Expr"
+    right: "Expr"
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass
+class UnaryMinus:
+    operand: "Expr"
+
+    def unparse(self) -> str:
+        return f"-{self.operand.unparse()}"
+
+
+@dataclass
+class FunctionCall:
+    name: str
+    args: list["Expr"] = field(default_factory=list)
+
+    def unparse(self) -> str:
+        rendered = ", ".join(arg.unparse() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: str
+
+    def unparse(self) -> str:
+        if '"' in self.value:
+            return f"'{self.value}'"
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+    def unparse(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    name: str
+
+    def unparse(self) -> str:
+        return f"${self.name}"
+
+
+Expr = Union[
+    LocationPath,
+    FilterExpr,
+    PathExpr,
+    UnionExpr,
+    BinaryExpr,
+    UnaryMinus,
+    FunctionCall,
+    Literal,
+    Number,
+    VariableRef,
+]

@@ -1,0 +1,123 @@
+"""Compiled path expressions with caching and relative-path policy.
+
+Authorization objects carry path expressions that are evaluated against
+every requested document (paper, Section 6.1: ``n ∈ object(a)``).
+:class:`CompiledXPath` parses once, optionally rewrites relative paths
+per the configured policy (see DESIGN.md decision 5), and caches the
+selected node-set per document root so that ``initial_label`` — which
+asks about every node of the tree — performs one evaluation per
+authorization, not one per node.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Literal as TypingLiteral, Optional
+
+from repro.xml.nodes import Node
+from repro.xpath.ast import (
+    Axis,
+    Expr,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Step,
+    UnionExpr,
+)
+from repro.xpath.evaluator import evaluate_parsed, select
+from repro.xpath.functions import FunctionRegistry
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["CompiledXPath", "compile_xpath", "RelativeMode"]
+
+RelativeMode = TypingLiteral["descendant", "root"]
+
+
+def _anchor_relative(expr: Expr) -> Expr:
+    """Rewrite relative location paths to descendant-or-self searches.
+
+    ``project/manager`` becomes ``//project/manager`` so that relative
+    authorization objects match anywhere in the document, which is what
+    the paper's examples (e.g. ``CSlab.xml:project[@type="internal"]``)
+    clearly intend. Absolute paths and non-path expressions are left
+    untouched; unions are rewritten element-wise.
+    """
+    if isinstance(expr, LocationPath):
+        if expr.absolute or not expr.steps:
+            return expr
+        first = expr.steps[0]
+        already_anchored = (
+            first.axis is Axis.DESCENDANT_OR_SELF
+            and first.test.kind is NodeTestKind.NODE
+        )
+        if already_anchored:
+            return LocationPath(expr.steps, absolute=True)
+        steps = [Step(Axis.DESCENDANT_OR_SELF, NodeTest(NodeTestKind.NODE))]
+        steps.extend(expr.steps)
+        return LocationPath(steps, absolute=True)
+    if isinstance(expr, UnionExpr):
+        return UnionExpr([_anchor_relative(part) for part in expr.parts])
+    return expr
+
+
+class CompiledXPath:
+    """A parsed, policy-adjusted, result-cached path expression."""
+
+    __slots__ = ("source", "ast", "relative_mode", "_cache_root", "_cache_nodes")
+
+    def __init__(self, source: str, relative_mode: RelativeMode = "descendant"):
+        self.source = source
+        self.relative_mode = relative_mode
+        ast = parse_xpath(source)
+        if relative_mode == "descendant":
+            ast = _anchor_relative(ast)
+        self.ast = ast
+        self._cache_root: Optional[Node] = None
+        self._cache_nodes: Optional[list[Node]] = None
+
+    def select(self, context: Node, registry: Optional[FunctionRegistry] = None) -> list[Node]:
+        """Evaluate against *context*, caching per context node.
+
+        The cache holds the most recent (context, result) pair — exactly
+        the pattern of the labeling algorithm, which evaluates every
+        authorization against the same document root.
+        """
+        if context is self._cache_root and self._cache_nodes is not None:
+            return self._cache_nodes
+        nodes = select(self.ast, context, registry)
+        self._cache_root = context
+        self._cache_nodes = nodes
+        return nodes
+
+    def node_set(self, context: Node) -> set[Node]:
+        """The selected nodes as an identity set (membership tests)."""
+        return set(self.select(context))
+
+    def evaluate(self, context: Node, registry: Optional[FunctionRegistry] = None):
+        """Evaluate without requiring a node-set result."""
+        return evaluate_parsed(self.ast, context, registry)
+
+    def invalidate(self) -> None:
+        """Drop the cached node-set (call after mutating the document)."""
+        self._cache_root = None
+        self._cache_nodes = None
+
+    def __repr__(self) -> str:
+        return f"<CompiledXPath {self.source!r} mode={self.relative_mode}>"
+
+
+@lru_cache(maxsize=4096)
+def _compile_cached(source: str, relative_mode: RelativeMode) -> CompiledXPath:
+    return CompiledXPath(source, relative_mode)
+
+
+def compile_xpath(
+    source: str, relative_mode: RelativeMode = "descendant"
+) -> CompiledXPath:
+    """Parse (with memoization) a path expression.
+
+    Repeated compilation of the same authorization object across
+    requests hits an LRU cache; the returned object is shared, so its
+    per-root node-set cache also amortizes across calls.
+    """
+    return _compile_cached(source, relative_mode)

@@ -1,0 +1,445 @@
+"""Evaluation of XPath ASTs over document trees.
+
+The evaluator follows XPath 1.0 semantics: a location step maps each
+context node through an axis, a node test and a predicate list; a
+predicate evaluating to a number is a position test; node-sets keep
+document order. Reverse axes (``ancestor``, ``parent``,
+``preceding-sibling``) count positions in reverse document order, as the
+spec requires.
+
+Entry points:
+
+- :func:`evaluate` — any expression, returns an XPath value;
+- :func:`select` — expression expected to yield a node-set;
+- :func:`matches` — membership test used by the authorization engine
+  ("n ∈ object(a)" in the paper's initial_label procedure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import XPathEvaluationError
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    Text,
+)
+from repro.xml.traversal import preorder
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Number,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.functions import DEFAULT_REGISTRY, FunctionRegistry
+from repro.xpath.parser import parse_xpath
+from repro.xpath.values import XPathValue, compare, to_boolean, to_number
+
+__all__ = ["Context", "evaluate", "select", "matches", "evaluate_parsed"]
+
+_REVERSE_AXES = frozenset(
+    (
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.PARENT,
+        Axis.PRECEDING_SIBLING,
+        Axis.PRECEDING,
+    )
+)
+
+
+@dataclass
+class _Evaluation:
+    """Per-call shared state: function registry, variables, order cache."""
+
+    registry: FunctionRegistry
+    variables: dict[str, XPathValue] = field(default_factory=dict)
+    _order: Optional[dict[Node, int]] = None
+    _root: Optional[Node] = None
+
+    def order_index(self, any_node: Node) -> dict[Node, int]:
+        if self._order is None:
+            root = self.tree_root(any_node)
+            self._order = {n: i for i, n in enumerate(preorder(root))}
+        return self._order
+
+    def tree_root(self, node: Node) -> Node:
+        if self._root is None:
+            current = node
+            while current.parent is not None:
+                current = current.parent
+            self._root = current
+        return self._root
+
+
+@dataclass
+class Context:
+    """The XPath evaluation context: node, position, size, shared state."""
+
+    node: Node
+    position: int
+    size: int
+    shared: _Evaluation
+
+    def root(self) -> Node:
+        """The root node of the tree (a Document when one exists)."""
+        return self.shared.tree_root(self.node)
+
+    def with_node(self, node: Node, position: int, size: int) -> "Context":
+        return Context(node, position, size, self.shared)
+
+
+def evaluate(
+    expression: str | Expr,
+    node: Node,
+    registry: Optional[FunctionRegistry] = None,
+    variables: Optional[dict[str, XPathValue]] = None,
+) -> XPathValue:
+    """Evaluate *expression* with *node* as the context node."""
+    parsed = parse_xpath(expression) if isinstance(expression, str) else expression
+    return evaluate_parsed(parsed, node, registry, variables)
+
+
+def evaluate_parsed(
+    parsed: Expr,
+    node: Node,
+    registry: Optional[FunctionRegistry] = None,
+    variables: Optional[dict[str, XPathValue]] = None,
+) -> XPathValue:
+    shared = _Evaluation(registry or DEFAULT_REGISTRY, dict(variables or {}))
+    context = Context(node, 1, 1, shared)
+    return _eval(parsed, context)
+
+
+def select(
+    expression: str | Expr,
+    node: Node,
+    registry: Optional[FunctionRegistry] = None,
+    variables: Optional[dict[str, XPathValue]] = None,
+) -> list[Node]:
+    """Evaluate *expression* and require a node-set result."""
+    value = evaluate(expression, node, registry, variables)
+    if not isinstance(value, list):
+        raise XPathEvaluationError(
+            f"expression does not produce a node-set (got {type(value).__name__})"
+        )
+    return value
+
+
+def matches(expression: str | Expr, node: Node, candidate: Node) -> bool:
+    """Whether *candidate* is in the node-set selected from *node*."""
+    return any(selected is candidate for selected in select(expression, node))
+
+
+# -- AST dispatch -------------------------------------------------------------
+
+
+def _eval(expr: Expr, context: Context) -> XPathValue:
+    if isinstance(expr, LocationPath):
+        return _eval_location_path(expr, context)
+    if isinstance(expr, BinaryExpr):
+        return _eval_binary(expr, context)
+    if isinstance(expr, FunctionCall):
+        args = [_eval(arg, context) for arg in expr.args]
+        return context.shared.registry.call(expr.name, context, args)
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, UnaryMinus):
+        return -to_number(_eval(expr.operand, context))
+    if isinstance(expr, UnionExpr):
+        return _eval_union(expr, context)
+    if isinstance(expr, FilterExpr):
+        return _eval_filter(expr, context)
+    if isinstance(expr, PathExpr):
+        return _eval_path_expr(expr, context)
+    if isinstance(expr, VariableRef):
+        if expr.name not in context.shared.variables:
+            raise XPathEvaluationError(f"unbound variable ${expr.name}")
+        return context.shared.variables[expr.name]
+    raise XPathEvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_binary(expr: BinaryExpr, context: Context) -> XPathValue:
+    op = expr.op
+    if op == "or":
+        return to_boolean(_eval(expr.left, context)) or to_boolean(
+            _eval(expr.right, context)
+        )
+    if op == "and":
+        return to_boolean(_eval(expr.left, context)) and to_boolean(
+            _eval(expr.right, context)
+        )
+    left = _eval(expr.left, context)
+    right = _eval(expr.right, context)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return compare(op, left, right)
+    a = to_number(left)
+    b = to_number(right)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "div":
+        try:
+            return a / b
+        except ZeroDivisionError:
+            if a == 0:
+                return float("nan")
+            return float("inf") if a > 0 else float("-inf")
+    if op == "mod":
+        try:
+            # XPath mod keeps the sign of the dividend (unlike Python %).
+            return float(a - b * int(a / b))
+        except (ZeroDivisionError, ValueError, OverflowError):
+            return float("nan")
+    raise XPathEvaluationError(f"unknown operator {op!r}")
+
+
+def _eval_union(expr: UnionExpr, context: Context) -> list[Node]:
+    seen: dict[Node, None] = {}
+    for part in expr.parts:
+        value = _eval(part, context)
+        if not isinstance(value, list):
+            raise XPathEvaluationError("union operands must be node-sets")
+        for node in value:
+            seen.setdefault(node, None)
+    return _sorted_nodes(list(seen), context)
+
+
+def _eval_filter(expr: FilterExpr, context: Context) -> XPathValue:
+    value = _eval(expr.primary, context)
+    if not expr.predicates:
+        return value
+    if not isinstance(value, list):
+        raise XPathEvaluationError("predicates may only filter node-sets")
+    nodes = _sorted_nodes(value, context)
+    for predicate in expr.predicates:
+        nodes = _apply_predicate(nodes, predicate, context, reverse=False)
+    return nodes
+
+
+def _eval_path_expr(expr: PathExpr, context: Context) -> list[Node]:
+    value = _eval_filter(expr.filter, context)
+    if not isinstance(value, list):
+        raise XPathEvaluationError("a path may only continue from a node-set")
+    return _walk_steps(value, expr.tail.steps, context)
+
+
+def _eval_location_path(path: LocationPath, context: Context) -> list[Node]:
+    if path.absolute:
+        start: list[Node] = [context.root()]
+    else:
+        start = [context.node]
+    return _walk_steps(start, path.steps, context)
+
+
+def _walk_steps(start: list[Node], steps: list[Step], context: Context) -> list[Node]:
+    current = start
+    for step in steps:
+        if not current:
+            return []
+        collected: dict[Node, None] = {}
+        multiple_contexts = len(current) > 1
+        for context_node in current:
+            for node in _step_results(step, context_node, context):
+                collected.setdefault(node, None)
+        result = list(collected)
+        if multiple_contexts or step.axis in _REVERSE_AXES:
+            result = _sorted_nodes(result, context)
+        current = result
+    return current
+
+
+def _step_results(step: Step, context_node: Node, context: Context) -> list[Node]:
+    candidates = [
+        node
+        for node in _axis_nodes(step.axis, context_node)
+        if _node_test(step.test, step.axis, node)
+    ]
+    reverse = step.axis in _REVERSE_AXES
+    for predicate in step.predicates:
+        candidates = _apply_predicate(candidates, predicate, context, reverse)
+    return candidates
+
+
+def _apply_predicate(
+    nodes: list[Node], predicate: Expr, context: Context, reverse: bool
+) -> list[Node]:
+    """Filter *nodes* by *predicate*; *nodes* are in axis order already.
+
+    For reverse axes the axis order *is* the position order, so no
+    re-sorting happens here; `_walk_steps` restores document order after
+    the whole step.
+    """
+    size = len(nodes)
+    kept: list[Node] = []
+    for index, node in enumerate(nodes, start=1):
+        sub_context = context.with_node(node, index, size)
+        value = _eval(predicate, sub_context)
+        if isinstance(value, float):
+            if float(index) == value:
+                kept.append(node)
+        elif to_boolean(value):
+            kept.append(node)
+    return kept
+
+
+def _sorted_nodes(nodes: list[Node], context: Context) -> list[Node]:
+    if len(nodes) <= 1:
+        return nodes
+    order = context.shared.order_index(nodes[0])
+    return sorted(nodes, key=lambda node: order.get(node, -1))
+
+
+# -- axes -----------------------------------------------------------------------
+
+
+def _axis_nodes(axis: Axis, node: Node) -> Iterator[Node]:
+    if axis is Axis.CHILD:
+        if isinstance(node, (Element, Document)):
+            yield from node.children
+        return
+    if axis is Axis.ATTRIBUTE:
+        if isinstance(node, Element):
+            yield from node.attributes.values()
+        return
+    if axis is Axis.SELF:
+        yield node
+        return
+    if axis is Axis.PARENT:
+        if node.parent is not None:
+            yield node.parent
+        return
+    if axis is Axis.DESCENDANT:
+        yield from _descendants(node)
+        return
+    if axis is Axis.DESCENDANT_OR_SELF:
+        yield node
+        yield from _descendants(node)
+        return
+    if axis is Axis.ANCESTOR:
+        yield from node.ancestors()
+        return
+    if axis is Axis.ANCESTOR_OR_SELF:
+        yield node
+        yield from node.ancestors()
+        return
+    if axis is Axis.FOLLOWING_SIBLING:
+        yield from _siblings(node, following=True)
+        return
+    if axis is Axis.PRECEDING_SIBLING:
+        yield from _siblings(node, following=False)
+        return
+    if axis is Axis.FOLLOWING:
+        yield from _following(node)
+        return
+    if axis is Axis.PRECEDING:
+        yield from _preceding(node)
+        return
+    raise XPathEvaluationError(f"unsupported axis {axis.value!r}")  # pragma: no cover
+
+
+def _descendants(node: Node) -> Iterator[Node]:
+    if isinstance(node, (Element, Document)):
+        stack: list[Node] = list(reversed(node.children))
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, Element):
+                stack.extend(reversed(current.children))
+
+
+def _siblings(node: Node, following: bool) -> Iterator[Node]:
+    parent = node.parent
+    if isinstance(node, Attribute) or parent is None:
+        return
+    if not isinstance(parent, (Element, Document)):
+        return
+    siblings = parent.children
+    index = next((i for i, sibling in enumerate(siblings) if sibling is node), None)
+    if index is None:
+        return
+    if following:
+        yield from siblings[index + 1 :]
+    else:
+        # Reverse axis: nearest sibling first.
+        yield from reversed(siblings[:index])
+
+
+def _following(node: Node) -> Iterator[Node]:
+    """Everything after *node* in document order, minus descendants
+    (spec: following-siblings of self and ancestors, expanded)."""
+    if isinstance(node, Attribute):
+        element = node.element
+        if element is not None:
+            # Attributes have no following axis of their own; per common
+            # processor behaviour, use the owning element's.
+            yield from _descendants(element)
+            node = element
+        else:
+            return
+    current: Optional[Node] = node
+    while current is not None and not isinstance(current, Document):
+        for sibling in _siblings(current, following=True):
+            yield sibling
+            yield from _descendants(sibling)
+        current = current.parent
+
+
+def _preceding(node: Node) -> Iterator[Node]:
+    """Everything before *node* in document order, minus ancestors.
+
+    Yielded in reverse document order (this is a reverse axis)."""
+    if isinstance(node, Attribute):
+        element = node.element
+        if element is None:
+            return
+        node = element
+    current: Optional[Node] = node
+    while current is not None and not isinstance(current, Document):
+        for sibling in _siblings(current, following=False):
+            # Reverse document order within the sibling's subtree:
+            # deepest-last content first.
+            subtree = [sibling, *_descendants(sibling)]
+            yield from reversed(subtree)
+        current = current.parent
+
+
+def _node_test(test: NodeTest, axis: Axis, node: Node) -> bool:
+    kind = test.kind
+    if kind is NodeTestKind.NODE:
+        return True
+    if kind is NodeTestKind.TEXT:
+        return isinstance(node, Text)
+    if kind is NodeTestKind.COMMENT:
+        return isinstance(node, Comment)
+    # NAME and WILDCARD select the axis's principal node type only.
+    if axis is Axis.ATTRIBUTE:
+        if not isinstance(node, Attribute):
+            return False
+    else:
+        if not isinstance(node, Element):
+            return False
+    if kind is NodeTestKind.WILDCARD:
+        return True
+    return node.name == test.name

@@ -1,0 +1,364 @@
+"""The XPath core function library.
+
+A :class:`FunctionRegistry` maps function names to implementations with
+arity checking. The default registry implements the XPath 1.0 core
+library (minus namespace-related functions, which are out of scope —
+see DESIGN.md). Servers can register extra functions on a private
+registry without affecting the global one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import XPathEvaluationError
+from repro.xml.nodes import Attribute, Element, Node, ProcessingInstruction
+from repro.xpath.values import (
+    XPathValue,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xpath.evaluator import Context
+
+__all__ = ["FunctionRegistry", "default_registry"]
+
+FunctionImpl = Callable[["Context", list[XPathValue]], XPathValue]
+
+
+@dataclass(frozen=True)
+class _Signature:
+    impl: FunctionImpl
+    min_args: int
+    max_args: Optional[int]  # None = unlimited
+
+
+class FunctionRegistry:
+    """Name -> implementation mapping with arity validation."""
+
+    def __init__(self, parent: Optional["FunctionRegistry"] = None) -> None:
+        self._functions: dict[str, _Signature] = {}
+        self._parent = parent
+
+    def register(
+        self,
+        name: str,
+        impl: FunctionImpl,
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+    ) -> None:
+        """Register *impl* under *name* (overrides an inherited one)."""
+        self._functions[name] = _Signature(impl, min_args, max_args)
+
+    def lookup(self, name: str) -> Optional[_Signature]:
+        found = self._functions.get(name)
+        if found is None and self._parent is not None:
+            return self._parent.lookup(name)
+        return found
+
+    def call(self, name: str, context: "Context", args: list[XPathValue]) -> XPathValue:
+        signature = self.lookup(name)
+        if signature is None:
+            raise XPathEvaluationError(f"unknown function {name}()")
+        if len(args) < signature.min_args:
+            raise XPathEvaluationError(
+                f"{name}() requires at least {signature.min_args} argument(s)"
+            )
+        if signature.max_args is not None and len(args) > signature.max_args:
+            raise XPathEvaluationError(
+                f"{name}() accepts at most {signature.max_args} argument(s)"
+            )
+        return signature.impl(context, args)
+
+    def child(self) -> "FunctionRegistry":
+        """A new registry inheriting from this one."""
+        return FunctionRegistry(parent=self)
+
+
+def _require_node_set(name: str, value: XPathValue) -> list[Node]:
+    if not isinstance(value, list):
+        raise XPathEvaluationError(f"{name}() requires a node-set argument")
+    return value
+
+
+# -- node-set functions ---------------------------------------------------------
+
+
+def _fn_last(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return float(context.size)
+
+
+def _fn_position(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return float(context.position)
+
+
+def _fn_count(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return float(len(_require_node_set("count", args[0])))
+
+
+def _fn_name(context: "Context", args: list[XPathValue]) -> XPathValue:
+    if args:
+        nodes = _require_node_set("name", args[0])
+        if not nodes:
+            return ""
+        node = nodes[0]
+    else:
+        node = context.node
+    if isinstance(node, (Element, Attribute)):
+        return node.name
+    if isinstance(node, ProcessingInstruction):
+        return node.target
+    return ""
+
+
+def _fn_id(context: "Context", args: list[XPathValue]) -> XPathValue:
+    """id(): looks up elements by ID attribute value.
+
+    When the document carries a DTD, attributes *declared* of type ID
+    are authoritative (per element type); without one, the attribute
+    named ``id`` is treated as the ID attribute — a common processor
+    fallback.
+    """
+    from repro.xml.nodes import Document
+    from repro.xml.traversal import iter_elements
+
+    value = args[0]
+    if isinstance(value, list):
+        tokens: set[str] = set()
+        for node in value:
+            tokens.update(string_value(node).split())
+    else:
+        tokens = set(to_string(value).split())
+    root = context.root()
+    dtd = root.dtd if isinstance(root, Document) else None
+    id_attrs: dict[str, list[str]] = {}
+    if dtd is not None:
+        from repro.dtd.model import AttributeType
+
+        for decl in dtd.elements.values():
+            names = [
+                attr.name
+                for attr in decl.attributes.values()
+                if attr.type is AttributeType.ID
+            ]
+            if names:
+                id_attrs[decl.name] = names
+
+    def element_ids(element) -> list[str]:
+        if dtd is not None:
+            return [
+                value
+                for name in id_attrs.get(element.name, ())
+                if (value := element.get_attribute(name)) is not None
+            ]
+        fallback = element.get_attribute("id")
+        return [fallback] if fallback is not None else []
+
+    return [
+        element
+        for element in iter_elements(root)
+        if any(identifier in tokens for identifier in element_ids(element))
+    ]
+
+
+# -- string functions ------------------------------------------------------------
+
+
+def _fn_string(context: "Context", args: list[XPathValue]) -> XPathValue:
+    if not args:
+        return string_value(context.node)
+    return to_string(args[0])
+
+
+def _fn_concat(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return "".join(to_string(arg) for arg in args)
+
+
+def _fn_starts_with(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return to_string(args[0]).startswith(to_string(args[1]))
+
+
+def _fn_contains(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return to_string(args[1]) in to_string(args[0])
+
+
+def _fn_substring_before(context: "Context", args: list[XPathValue]) -> XPathValue:
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(context: "Context", args: list[XPathValue]) -> XPathValue:
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[index + len(needle) :] if index >= 0 else ""
+
+
+def _fn_substring(context: "Context", args: list[XPathValue]) -> XPathValue:
+    # XPath substring() has famously quirky rounding/NaN/infinity
+    # semantics: positions are compared with round(start) <= p <
+    # round(start) + round(length), and NaN anywhere yields "".
+    text = to_string(args[0])
+    start = to_number(args[1])
+    if math.isnan(start):
+        return ""
+    if math.isinf(start):
+        if start > 0:
+            return ""  # every position is below +inf's start
+        start = -math.inf
+    else:
+        start = round(start)
+    if len(args) >= 3:
+        length = to_number(args[2])
+        if math.isnan(length):
+            return ""
+        if math.isinf(length):
+            # -inf start + inf length is NaN per IEEE: empty result.
+            end = math.nan if math.isinf(start) else math.inf
+        else:
+            end = start + round(length)  # -inf start stays -inf
+        if math.isnan(end):
+            return ""
+    else:
+        end = math.inf
+    chars = [
+        ch
+        for position, ch in enumerate(text, start=1)
+        if position >= start and position < end
+    ]
+    return "".join(chars)
+
+
+def _fn_string_length(context: "Context", args: list[XPathValue]) -> XPathValue:
+    text = to_string(args[0]) if args else string_value(context.node)
+    return float(len(text))
+
+
+def _fn_normalize_space(context: "Context", args: list[XPathValue]) -> XPathValue:
+    text = to_string(args[0]) if args else string_value(context.node)
+    return " ".join(text.split())
+
+
+def _fn_translate(context: "Context", args: list[XPathValue]) -> XPathValue:
+    text = to_string(args[0])
+    source = to_string(args[1])
+    target = to_string(args[2])
+    mapping: dict[str, Optional[str]] = {}
+    for index, ch in enumerate(source):
+        if ch not in mapping:
+            mapping[ch] = target[index] if index < len(target) else None
+    out: list[str] = []
+    for ch in text:
+        if ch in mapping:
+            replacement = mapping[ch]
+            if replacement is not None:
+                out.append(replacement)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+# -- boolean functions --------------------------------------------------------------
+
+
+def _fn_boolean(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return to_boolean(args[0])
+
+
+def _fn_not(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return not to_boolean(args[0])
+
+
+def _fn_true(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return True
+
+
+def _fn_false(context: "Context", args: list[XPathValue]) -> XPathValue:
+    return False
+
+
+def _fn_lang(context: "Context", args: list[XPathValue]) -> XPathValue:
+    """lang(): tests the xml:lang in scope for the context node."""
+    wanted = to_string(args[0]).lower()
+    node: Optional[Node] = context.node
+    while node is not None:
+        if isinstance(node, Element):
+            lang = node.get_attribute("xml:lang")
+            if lang is not None:
+                lang = lang.lower()
+                return lang == wanted or lang.startswith(wanted + "-")
+        node = node.parent
+    return False
+
+
+# -- number functions -----------------------------------------------------------------
+
+
+def _fn_number(context: "Context", args: list[XPathValue]) -> XPathValue:
+    if not args:
+        return to_number(string_value(context.node))
+    return to_number(args[0])
+
+
+def _fn_sum(context: "Context", args: list[XPathValue]) -> XPathValue:
+    nodes = _require_node_set("sum", args[0])
+    return float(sum(to_number(string_value(node)) for node in nodes))
+
+
+def _fn_floor(context: "Context", args: list[XPathValue]) -> XPathValue:
+    value = to_number(args[0])
+    return value if math.isnan(value) or math.isinf(value) else float(math.floor(value))
+
+
+def _fn_ceiling(context: "Context", args: list[XPathValue]) -> XPathValue:
+    value = to_number(args[0])
+    return value if math.isnan(value) or math.isinf(value) else float(math.ceil(value))
+
+
+def _fn_round(context: "Context", args: list[XPathValue]) -> XPathValue:
+    value = to_number(args[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    # XPath rounds halves toward positive infinity.
+    return float(math.floor(value + 0.5))
+
+
+def default_registry() -> FunctionRegistry:
+    """Build a registry with the complete core function library."""
+    registry = FunctionRegistry()
+    registry.register("last", _fn_last, 0, 0)
+    registry.register("position", _fn_position, 0, 0)
+    registry.register("count", _fn_count, 1, 1)
+    registry.register("id", _fn_id, 1, 1)
+    registry.register("name", _fn_name, 0, 1)
+    registry.register("local-name", _fn_name, 0, 1)  # no namespaces: same
+    registry.register("string", _fn_string, 0, 1)
+    registry.register("concat", _fn_concat, 2, None)
+    registry.register("starts-with", _fn_starts_with, 2, 2)
+    registry.register("contains", _fn_contains, 2, 2)
+    registry.register("substring-before", _fn_substring_before, 2, 2)
+    registry.register("substring-after", _fn_substring_after, 2, 2)
+    registry.register("substring", _fn_substring, 2, 3)
+    registry.register("string-length", _fn_string_length, 0, 1)
+    registry.register("normalize-space", _fn_normalize_space, 0, 1)
+    registry.register("translate", _fn_translate, 3, 3)
+    registry.register("boolean", _fn_boolean, 1, 1)
+    registry.register("not", _fn_not, 1, 1)
+    registry.register("true", _fn_true, 0, 0)
+    registry.register("false", _fn_false, 0, 0)
+    registry.register("lang", _fn_lang, 1, 1)
+    registry.register("number", _fn_number, 0, 1)
+    registry.register("sum", _fn_sum, 1, 1)
+    registry.register("floor", _fn_floor, 1, 1)
+    registry.register("ceiling", _fn_ceiling, 1, 1)
+    registry.register("round", _fn_round, 1, 1)
+    return registry
+
+
+#: Shared default registry; treat as read-only (use ``child()`` to extend).
+DEFAULT_REGISTRY = default_registry()

@@ -1,0 +1,340 @@
+"""Recursive-descent parser for the XPath subset.
+
+Implements the XPath 1.0 expression grammar over the token stream from
+:mod:`repro.xpath.tokens`, producing the AST of :mod:`repro.xpath.ast`.
+Abbreviations are desugared during parsing:
+
+- ``//`` becomes a ``descendant-or-self::node()`` step,
+- ``@name`` becomes ``attribute::name``,
+- ``.`` becomes ``self::node()`` and ``..`` becomes ``parent::node()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Number,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.tokens import Token, TokenKind, tokenize
+
+__all__ = ["parse_xpath", "XPathParser"]
+
+_AXES = {axis.value: axis for axis in Axis}
+_NODE_TYPE_TESTS = {
+    "text": NodeTestKind.TEXT,
+    "node": NodeTestKind.NODE,
+    "comment": NodeTestKind.COMMENT,
+}
+
+
+def parse_xpath(expression: str) -> Expr:
+    """Parse *expression* into an AST.
+
+    Raises
+    ------
+    XPathSyntaxError
+        On any lexical or grammatical problem, with the character offset
+        of the failure.
+    """
+    if not expression or not expression.strip():
+        raise XPathSyntaxError("empty path expression")
+    return XPathParser(expression).parse()
+
+
+class XPathParser:
+    def __init__(self, expression: str) -> None:
+        self._expression = expression
+        self._tokens = tokenize(expression)
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek_kind(self, offset: int = 0) -> TokenKind:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index].kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def _accept(self, kind: TokenKind) -> Optional[Token]:
+        if self._current.kind is kind:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._accept(kind)
+        if token is None:
+            self._fail(f"expected {kind.value!r}")
+        return token
+
+    def _fail(self, message: str) -> None:
+        token = self._current
+        raise XPathSyntaxError(
+            f"{message}, found {token.value!r} at offset {token.position} "
+            f"in {self._expression!r}"
+        )
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._parse_or()
+        if self._current.kind is not TokenKind.END:
+            self._fail("unexpected trailing input")
+        return expr
+
+    # -- expression levels ------------------------------------------------------
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._at_operator_name("or"):
+            self._advance()
+            left = BinaryExpr("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self._at_operator_name("and"):
+            self._advance()
+            left = BinaryExpr("and", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_relational()
+        while self._current.kind in (TokenKind.EQ, TokenKind.NEQ):
+            op = self._advance().value
+            left = BinaryExpr(op, left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while self._current.kind in (
+            TokenKind.LT,
+            TokenKind.LTE,
+            TokenKind.GT,
+            TokenKind.GTE,
+        ):
+            op = self._advance().value
+            left = BinaryExpr(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().value
+            left = BinaryExpr(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self._current.kind is TokenKind.STAR:
+                self._advance()
+                left = BinaryExpr("*", left, self._parse_unary())
+            elif self._at_operator_name("div") or self._at_operator_name("mod"):
+                op = self._advance().value
+                left = BinaryExpr(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _at_operator_name(self, name: str) -> bool:
+        """An operator NAME only counts when an operand precedes it
+        (XPath disambiguation rule); since we only call these helpers in
+        operator position, checking the token is sufficient."""
+        token = self._current
+        return token.kind is TokenKind.NAME and token.value == name
+
+    def _parse_unary(self) -> Expr:
+        if self._accept(TokenKind.MINUS):
+            return UnaryMinus(self._parse_unary())
+        return self._parse_union()
+
+    def _parse_union(self) -> Expr:
+        first = self._parse_path()
+        if self._current.kind is not TokenKind.PIPE:
+            return first
+        parts = [first]
+        while self._accept(TokenKind.PIPE):
+            parts.append(self._parse_path())
+        return UnionExpr(parts)
+
+    # -- paths -------------------------------------------------------------------
+
+    def _parse_path(self) -> Expr:
+        kind = self._current.kind
+        if kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            return self._parse_absolute_path()
+        if self._starts_filter_expr():
+            filter_expr = self._parse_filter()
+            if self._current.kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+                tail = self._parse_relative_path(
+                    leading_double=self._current.kind is TokenKind.DOUBLE_SLASH,
+                    consume_leading=True,
+                )
+                return PathExpr(filter_expr, tail)
+            if not filter_expr.predicates:
+                return filter_expr.primary
+            return filter_expr
+        return self._parse_relative_path(leading_double=False, consume_leading=False)
+
+    def _starts_filter_expr(self) -> bool:
+        kind = self._current.kind
+        if kind in (TokenKind.LITERAL, TokenKind.NUMBER, TokenKind.LPAREN, TokenKind.DOLLAR):
+            return True
+        if kind is TokenKind.NAME and self._peek_kind(1) is TokenKind.LPAREN:
+            # A name before '(' is a function call unless it is a node-type
+            # test, which belongs to a location step.
+            return self._current.value not in _NODE_TYPE_TESTS
+        return False
+
+    def _parse_absolute_path(self) -> LocationPath:
+        if self._accept(TokenKind.DOUBLE_SLASH):
+            steps = [_descendant_or_self_step()]
+            steps.extend(
+                self._parse_relative_path(
+                    leading_double=False, consume_leading=False
+                ).steps
+            )
+            return LocationPath(steps, absolute=True)
+        self._expect(TokenKind.SLASH)
+        if self._at_step_start():
+            tail = self._parse_relative_path(leading_double=False, consume_leading=False)
+            return LocationPath(tail.steps, absolute=True)
+        return LocationPath([], absolute=True)  # bare '/' = the root
+
+    def _parse_relative_path(
+        self, leading_double: bool, consume_leading: bool
+    ) -> LocationPath:
+        steps: list[Step] = []
+        if consume_leading:
+            self._advance()  # the '/' or '//' that continued a filter expr
+        if leading_double:
+            steps.append(_descendant_or_self_step())
+        steps.append(self._parse_step())
+        while self._current.kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            if self._advance().kind is TokenKind.DOUBLE_SLASH:
+                steps.append(_descendant_or_self_step())
+            steps.append(self._parse_step())
+        return LocationPath(steps, absolute=False)
+
+    def _at_step_start(self) -> bool:
+        kind = self._current.kind
+        return kind in (
+            TokenKind.NAME,
+            TokenKind.STAR,
+            TokenKind.AT,
+            TokenKind.DOT,
+            TokenKind.DOTDOT,
+        )
+
+    def _parse_step(self) -> Step:
+        if self._accept(TokenKind.DOT):
+            return Step(Axis.SELF, NodeTest(NodeTestKind.NODE))
+        if self._accept(TokenKind.DOTDOT):
+            return Step(Axis.PARENT, NodeTest(NodeTestKind.NODE))
+        axis = Axis.CHILD
+        if self._accept(TokenKind.AT):
+            axis = Axis.ATTRIBUTE
+        elif (
+            self._current.kind is TokenKind.NAME
+            and self._peek_kind(1) is TokenKind.AXIS_SEP
+        ):
+            axis_name = self._advance().value
+            self._advance()  # '::'
+            resolved = _AXES.get(axis_name)
+            if resolved is None:
+                self._fail(f"unknown axis {axis_name!r}")
+                raise AssertionError  # unreachable
+            axis = resolved
+            if self._accept(TokenKind.AT):
+                # 'child::@x' is not grammatical; '@' only abbreviates.
+                self._fail("'@' may not follow an explicit axis")
+        test = self._parse_node_test(axis)
+        step = Step(axis, test)
+        while self._accept(TokenKind.LBRACKET):
+            step.predicates.append(self._parse_or())
+            self._expect(TokenKind.RBRACKET)
+        return step
+
+    def _parse_node_test(self, axis: Axis) -> NodeTest:
+        if self._accept(TokenKind.STAR):
+            return NodeTest(NodeTestKind.WILDCARD)
+        token = self._expect(TokenKind.NAME)
+        if self._current.kind is TokenKind.LPAREN:
+            kind = _NODE_TYPE_TESTS.get(token.value)
+            if kind is None:
+                self._fail(f"unknown node type {token.value!r}")
+                raise AssertionError  # unreachable
+            self._advance()
+            self._expect(TokenKind.RPAREN)
+            return NodeTest(kind)
+        return NodeTest(NodeTestKind.NAME, token.value)
+
+    # -- filter expressions -----------------------------------------------------
+
+    def _parse_filter(self) -> FilterExpr:
+        primary = self._parse_primary()
+        filter_expr = FilterExpr(primary)
+        while self._accept(TokenKind.LBRACKET):
+            filter_expr.predicates.append(self._parse_or())
+            self._expect(TokenKind.RBRACKET)
+        return filter_expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.LITERAL:
+            self._advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Number(float(token.value))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_or()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.DOLLAR:
+            self._advance()
+            name = self._expect(TokenKind.NAME)
+            return VariableRef(name.value)
+        if token.kind is TokenKind.NAME and self._peek_kind(1) is TokenKind.LPAREN:
+            return self._parse_function_call()
+        self._fail("expected a primary expression")
+        raise AssertionError  # unreachable
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self._advance().value
+        self._expect(TokenKind.LPAREN)
+        args: list[Expr] = []
+        if self._current.kind is not TokenKind.RPAREN:
+            args.append(self._parse_or())
+            while self._accept(TokenKind.COMMA):
+                args.append(self._parse_or())
+        self._expect(TokenKind.RPAREN)
+        return FunctionCall(name, args)
+
+
+def _descendant_or_self_step() -> Step:
+    return Step(Axis.DESCENDANT_OR_SELF, NodeTest(NodeTestKind.NODE))

@@ -1,0 +1,204 @@
+"""Tokenizer for the XPath subset (paper, Section 4).
+
+Produces a flat token stream for the recursive-descent parser. The
+lexical rules follow XPath 1.0, including the special disambiguation
+rules (section 3.7 of the XPath recommendation):
+
+- a name followed by ``(`` is a function name (except the node-type
+  tests ``text``, ``node``, ``comment``, ``processing-instruction``);
+- a name followed by ``::`` is an axis name;
+- ``*`` is the multiply operator when preceded by an operand, a name
+  test otherwise (same for the operator names ``and or div mod``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import XPathSyntaxError
+from repro.xml.chars import is_name_char, is_name_start_char
+
+__all__ = ["TokenKind", "Token", "tokenize"]
+
+
+class TokenKind(Enum):
+    NAME = "name"                    # element/attribute/axis/function name
+    NUMBER = "number"
+    LITERAL = "literal"              # quoted string
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    AXIS_SEP = "::"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    PIPE = "|"
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    DOLLAR = "$"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int  # character offset in the expression, for error messages
+
+
+_SINGLE_CHAR = {
+    "@": TokenKind.AT,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "|": TokenKind.PIPE,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "=": TokenKind.EQ,
+    "$": TokenKind.DOLLAR,
+}
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize *expression*, always ending with an END token.
+
+    Raises
+    ------
+    XPathSyntaxError
+        On an unterminated literal or an unexpected character.
+    """
+    return list(_scan(expression))
+
+
+def _scan(expression: str) -> Iterator[Token]:
+    pos = 0
+    length = len(expression)
+    while pos < length:
+        ch = expression[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "/":
+            if expression.startswith("//", pos):
+                yield Token(TokenKind.DOUBLE_SLASH, "//", pos)
+                pos += 2
+            else:
+                yield Token(TokenKind.SLASH, "/", pos)
+                pos += 1
+            continue
+        if ch == ".":
+            if expression.startswith("..", pos):
+                yield Token(TokenKind.DOTDOT, "..", pos)
+                pos += 2
+                continue
+            # A dot starting a number, e.g. '.5'
+            if pos + 1 < length and expression[pos + 1].isdigit():
+                pos = yield from _number(expression, pos)
+                continue
+            yield Token(TokenKind.DOT, ".", pos)
+            pos += 1
+            continue
+        if ch == ":":
+            if expression.startswith("::", pos):
+                yield Token(TokenKind.AXIS_SEP, "::", pos)
+                pos += 2
+                continue
+            raise XPathSyntaxError(f"unexpected ':' at offset {pos}")
+        if ch == "!":
+            if expression.startswith("!=", pos):
+                yield Token(TokenKind.NEQ, "!=", pos)
+                pos += 2
+                continue
+            raise XPathSyntaxError(f"'!' must be followed by '=' at offset {pos}")
+        if ch == "<":
+            if expression.startswith("<=", pos):
+                yield Token(TokenKind.LTE, "<=", pos)
+                pos += 2
+            else:
+                yield Token(TokenKind.LT, "<", pos)
+                pos += 1
+            continue
+        if ch == ">":
+            if expression.startswith(">=", pos):
+                yield Token(TokenKind.GTE, ">=", pos)
+                pos += 2
+            else:
+                yield Token(TokenKind.GT, ">", pos)
+                pos += 1
+            continue
+        if ch in "'\"":
+            end = expression.find(ch, pos + 1)
+            if end == -1:
+                raise XPathSyntaxError(f"unterminated literal at offset {pos}")
+            yield Token(TokenKind.LITERAL, expression[pos + 1 : end], pos)
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            pos = yield from _number(expression, pos)
+            continue
+        if ch in _SINGLE_CHAR:
+            yield Token(_SINGLE_CHAR[ch], ch, pos)
+            pos += 1
+            continue
+        if is_name_start_char(ch) and ch != ":":
+            start = pos
+            pos += 1
+            while pos < length:
+                current = expression[pos]
+                if current == ":":
+                    # Allow qualified-looking names like xml:lang as one
+                    # token, but never swallow the '::' axis separator.
+                    if (
+                        not expression.startswith("::", pos)
+                        and pos + 1 < length
+                        and is_name_start_char(expression[pos + 1])
+                        and expression[pos + 1] != ":"
+                    ):
+                        pos += 1
+                        continue
+                    break
+                if is_name_char(current):
+                    pos += 1
+                    continue
+                break
+            yield Token(TokenKind.NAME, expression[start:pos], start)
+            continue
+        raise XPathSyntaxError(f"unexpected character {ch!r} at offset {pos}")
+    yield Token(TokenKind.END, "", length)
+
+
+def _number(expression: str, pos: int) -> Iterator[Token]:
+    """Scan a Number token; returns the new position via StopIteration.
+
+    XPath numbers: digits, optionally one decimal point (no exponent).
+    """
+    start = pos
+    length = len(expression)
+    seen_dot = False
+    while pos < length:
+        ch = expression[pos]
+        if ch.isdigit():
+            pos += 1
+        elif ch == "." and not seen_dot and not expression.startswith("..", pos):
+            seen_dot = True
+            pos += 1
+        else:
+            break
+    yield Token(TokenKind.NUMBER, expression[start:pos], start)
+    return pos

@@ -1,0 +1,194 @@
+"""The XPath 1.0 value model and type conversions.
+
+Four value types exist: node-sets (Python lists of nodes), booleans,
+numbers (Python floats, including NaN/inf) and strings. The conversion
+rules implemented here follow sections 3.2-3.5 of the XPath 1.0
+recommendation; the comparison rules (including the existential
+semantics of node-set comparisons) live in :func:`compare`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import XPathEvaluationError
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+__all__ = [
+    "XPathValue",
+    "string_value",
+    "to_string",
+    "to_number",
+    "to_boolean",
+    "number_to_string",
+    "compare",
+]
+
+XPathValue = Union[list, bool, float, str]
+
+
+def string_value(node: Node) -> str:
+    """The XPath string-value of *node* (spec section 5)."""
+    if isinstance(node, Element):
+        return node.text()
+    if isinstance(node, Attribute):
+        return node.value
+    if isinstance(node, Text):
+        return node.data
+    if isinstance(node, (Comment, ProcessingInstruction)):
+        return node.data
+    if isinstance(node, Document):
+        root = node.root
+        return root.text() if root is not None else ""
+    raise XPathEvaluationError(f"no string-value for {type(node).__name__}")
+
+
+def to_string(value: XPathValue) -> str:
+    """Convert any XPath value to a string (function ``string()``)."""
+    if isinstance(value, list):
+        return string_value(value[0]) if value else ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return number_to_string(value)
+    return value
+
+
+def number_to_string(value: float) -> str:
+    """Format a number the way XPath does (integers without '.0')."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_number(value: XPathValue) -> float:
+    """Convert any XPath value to a number (function ``number()``)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, list):
+        return to_number(to_string(value))
+    text = value.strip()
+    try:
+        return float(text)
+    except ValueError:
+        return math.nan
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """Convert any XPath value to a boolean (function ``boolean()``)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return bool(value) and not math.isnan(value)
+    if isinstance(value, list):
+        return bool(value)
+    return bool(value)
+
+
+def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """Evaluate ``left op right`` with XPath 1.0 comparison semantics.
+
+    Node-set comparisons are existential: a node-set compares true if
+    *some* node in it satisfies the comparison. When both operands are
+    node-sets, some pair of nodes must satisfy it.
+    """
+    # Booleans win first (spec 3.4): '=' / '!=' against a boolean compare
+    # boolean(other side), even for node-sets — so ([] = false()) is true.
+    if op in ("=", "!=") and (isinstance(left, bool) or isinstance(right, bool)):
+        result = to_boolean(left) == to_boolean(right)
+        return result if op == "=" else not result
+    left_is_set = isinstance(left, list)
+    right_is_set = isinstance(right, list)
+    if left_is_set and right_is_set:
+        right_strings = {string_value(node) for node in right}
+        return any(
+            _atomic_compare(op, string_value(node), candidate)
+            for node in left
+            for candidate in right_strings
+        )
+    if left_is_set:
+        return any(
+            _atomic_compare_mixed(op, string_value(node), right) for node in left
+        )
+    if right_is_set:
+        return any(
+            _atomic_compare_mixed(_flip(op), string_value(node), left)
+            for node in right
+        )
+    return _atomic_compare_scalars(op, left, right)
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]
+
+
+def _atomic_compare_mixed(op: str, node_string: str, other: XPathValue) -> bool:
+    """Compare one node's string-value against a non-node-set value."""
+    if isinstance(other, bool):
+        # boolean(node-set-member-as-singleton) is true.
+        return _relational_or_equality(op, 1.0, 1.0 if other else 0.0)
+    if isinstance(other, float):
+        return _relational_or_equality(op, to_number(node_string), other)
+    if op in ("=", "!="):
+        return _atomic_compare(op, node_string, other)
+    return _relational_or_equality(op, to_number(node_string), to_number(other))
+
+
+def _atomic_compare_scalars(op: str, left: XPathValue, right: XPathValue) -> bool:
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = to_boolean(left) == to_boolean(right)
+        elif isinstance(left, float) or isinstance(right, float):
+            result = _numbers_equal(to_number(left), to_number(right))
+        else:
+            result = left == right
+        return result if op == "=" else not result
+    return _relational_or_equality(op, to_number(left), to_number(right))
+
+
+def _atomic_compare(op: str, left: str, right: str) -> bool:
+    """String-vs-string comparison (both from node string-values)."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    return _relational_or_equality(op, to_number(left), to_number(right))
+
+
+def _numbers_equal(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False
+    return a == b
+
+
+def _relational_or_equality(op: str, a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return False
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    raise XPathEvaluationError(f"unknown comparison operator {op!r}")

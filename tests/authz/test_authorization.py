@@ -1,0 +1,138 @@
+"""Tests for the authorization 5-tuple (Definition 3)."""
+
+import pytest
+
+from repro.errors import AuthorizationError
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.subjects.hierarchy import SubjectSpec
+from repro.xml.parser import parse_document
+
+
+class TestAuthObject:
+    def test_bare_uri(self):
+        obj = AuthObject.parse("http://www.lab.com/CSlab.xml")
+        assert obj.uri == "http://www.lab.com/CSlab.xml"
+        assert obj.path is None
+
+    def test_uri_with_path(self):
+        obj = AuthObject.parse(
+            "http://www.lab.com/CSlab.xml:/laboratory//paper"
+        )
+        assert obj.uri == "http://www.lab.com/CSlab.xml"
+        assert obj.path == "/laboratory//paper"
+
+    def test_relative_uri_with_path(self):
+        obj = AuthObject.parse('CSlab.xml:project[./@type="internal"]')
+        assert obj.uri == "CSlab.xml"
+        assert obj.path == 'project[./@type="internal"]'
+
+    def test_scheme_colon_not_a_separator(self):
+        obj = AuthObject.parse("https://host/doc.xml")
+        assert obj.path is None
+
+    def test_double_slash_path(self):
+        obj = AuthObject.parse("http://host/doc.xml://note")
+        assert obj.uri == "http://host/doc.xml"
+        assert obj.path == "//note"
+
+    def test_unparse_round_trip(self):
+        for text in (
+            "doc.xml",
+            "doc.xml:/a/b",
+            "http://h/d.xml://x",
+        ):
+            assert AuthObject.parse(text).unparse() == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AuthorizationError):
+            AuthObject.parse("")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(AuthorizationError):
+            AuthObject.parse("doc.xml:")
+
+
+class TestAuthType:
+    def test_recursive_flag(self):
+        assert AuthType.RECURSIVE.recursive
+        assert AuthType.RECURSIVE_WEAK.recursive
+        assert not AuthType.LOCAL.recursive
+        assert not AuthType.LOCAL_WEAK.recursive
+
+    def test_weak_flag(self):
+        assert AuthType.LOCAL_WEAK.weak
+        assert AuthType.RECURSIVE_WEAK.weak
+        assert not AuthType.LOCAL.weak
+        assert not AuthType.RECURSIVE.weak
+
+    def test_from_string(self):
+        assert AuthType("L") is AuthType.LOCAL
+        assert AuthType("RW") is AuthType.RECURSIVE_WEAK
+
+
+class TestAuthorizationBuild:
+    def test_build_from_strings(self):
+        auth = Authorization.build("Public", "doc.xml://a", "+", "R")
+        assert auth.subject.user_group == "Public"
+        assert auth.sign is Sign.PLUS
+        assert auth.type is AuthType.RECURSIVE
+
+    def test_build_from_triple(self):
+        auth = Authorization.build(("Admin", "130.89.56.8", "*"), "doc.xml", "-", "L")
+        assert str(auth.subject.ip) == "130.89.56.8"
+
+    def test_build_from_spec(self):
+        subject = SubjectSpec.parse("CS")
+        auth = Authorization.build(subject, "doc.xml", "+", "LW")
+        assert auth.subject is subject
+
+    def test_sign_and_type_coerced(self):
+        auth = Authorization(
+            SubjectSpec.parse("Public"), AuthObject("d.xml"), "read", "+", "RW"
+        )
+        assert auth.sign is Sign.PLUS
+        assert auth.type is AuthType.RECURSIVE_WEAK
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(AuthorizationError):
+            Authorization(
+                SubjectSpec.parse("Public"), AuthObject("d.xml"), "", Sign.PLUS,
+                AuthType.LOCAL,
+            )
+
+    def test_unparse_paper_notation(self):
+        auth = Authorization.build(
+            ("Foreign", "*", "*"),
+            'lab.xml:/laboratory//paper[./@category="private"]',
+            "-",
+            "R",
+        )
+        rendered = auth.unparse()
+        assert rendered.startswith("<<Foreign,")
+        assert rendered.endswith(",read,-,R>")
+
+
+class TestSelectNodes:
+    def test_path_selection(self):
+        document = parse_document("<a><b/><b/><c/></a>", uri="d.xml")
+        auth = Authorization.build("Public", "d.xml://b", "+", "R")
+        assert len(auth.select_nodes(document)) == 2
+
+    def test_bare_uri_selects_root(self):
+        document = parse_document("<a><b/></a>", uri="d.xml")
+        auth = Authorization.build("Public", "d.xml", "+", "R")
+        assert auth.select_nodes(document) == [document.root]
+
+    def test_relative_mode_respected(self):
+        document = parse_document("<a><b/></a>", uri="d.xml")
+        auth = Authorization.build("Public", "d.xml:b", "+", "R")
+        assert len(auth.select_nodes(document)) == 1
+        assert auth.select_nodes(document, relative_mode="root") == []
+
+    def test_compiled_path_cached(self):
+        auth = Authorization.build("Public", "d.xml://b", "+", "R")
+        assert auth.compiled_path() is auth.compiled_path()
+
+    def test_compiled_none_for_bare_uri(self):
+        auth = Authorization.build("Public", "d.xml", "+", "R")
+        assert auth.compiled_path() is None

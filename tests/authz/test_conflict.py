@@ -1,0 +1,86 @@
+"""Tests for conflict-resolution policies (paper, Section 5)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.authz.authorization import Sign
+from repro.authz.conflict import (
+    EPSILON,
+    DenialsTakePrecedence,
+    MajorityTakesPrecedence,
+    NothingTakesPrecedence,
+    PermissionsTakePrecedence,
+    policy_by_name,
+)
+
+P = Sign.PLUS
+M = Sign.MINUS
+
+
+class TestDenialsTakePrecedence:
+    def test_single_signs(self):
+        policy = DenialsTakePrecedence()
+        assert policy.resolve([P]) == "+"
+        assert policy.resolve([M]) == "-"
+
+    def test_any_denial_wins(self):
+        policy = DenialsTakePrecedence()
+        assert policy.resolve([P, P, M]) == "-"
+        assert policy.resolve([M, P]) == "-"
+
+    def test_all_permissions(self):
+        assert DenialsTakePrecedence().resolve([P, P, P]) == "+"
+
+
+class TestPermissionsTakePrecedence:
+    def test_any_permission_wins(self):
+        policy = PermissionsTakePrecedence()
+        assert policy.resolve([M, M, P]) == "+"
+        assert policy.resolve([M, M]) == "-"
+
+
+class TestNothingTakesPrecedence:
+    def test_conflict_dissolves(self):
+        assert NothingTakesPrecedence().resolve([P, M]) == EPSILON
+
+    def test_agreement_stands(self):
+        policy = NothingTakesPrecedence()
+        assert policy.resolve([P, P]) == "+"
+        assert policy.resolve([M]) == "-"
+
+
+class TestMajority:
+    def test_plain_majorities(self):
+        policy = MajorityTakesPrecedence()
+        assert policy.resolve([P, P, M]) == "+"
+        assert policy.resolve([M, M, P]) == "-"
+
+    def test_tie_defaults_to_denial(self):
+        assert MajorityTakesPrecedence().resolve([P, M]) == "-"
+
+    def test_tie_breaker_configurable(self):
+        policy = MajorityTakesPrecedence(tie_breaker=PermissionsTakePrecedence())
+        assert policy.resolve([P, M]) == "+"
+
+    def test_tie_breaker_nothing(self):
+        policy = MajorityTakesPrecedence(tie_breaker=NothingTakesPrecedence())
+        assert policy.resolve([P, M]) == EPSILON
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "denials-take-precedence",
+            "permissions-take-precedence",
+            "nothing-takes-precedence",
+            "majority-takes-precedence",
+        ],
+    )
+    def test_lookup_by_name(self, name):
+        policy = policy_by_name(name)
+        assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError, match="unknown conflict policy"):
+            policy_by_name("coin-flip")

@@ -1,0 +1,286 @@
+"""Tests for credential, time- and history-based restrictions
+(the paper's Section-8 future-work items)."""
+
+import time
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.restrictions import CredentialClause, HistoryLimit, ValidityWindow
+from repro.authz.store import AuthorizationStore
+from repro.authz.xacl import parse_xacl, serialize_xacl
+from repro.errors import AuthorizationError, XACLError
+from repro.server.request import AccessRequest
+from repro.server.service import AccessLimitExceeded, PolicyConfig, SecureXMLServer
+from repro.subjects.hierarchy import Requester
+
+
+class TestValidityWindow:
+    def test_open_window_always_active(self):
+        window = ValidityWindow()
+        assert window.active(0)
+        assert window.active(1e12)
+
+    def test_bounds(self):
+        window = ValidityWindow(not_before=100.0, not_after=200.0)
+        assert not window.active(99.9)
+        assert window.active(100.0)
+        assert window.active(150.0)
+        assert window.active(200.0)
+        assert not window.active(200.1)
+
+    def test_half_open(self):
+        assert ValidityWindow(not_before=100.0).active(1e12)
+        assert not ValidityWindow(not_after=100.0).active(101.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(AuthorizationError):
+            ValidityWindow(not_before=200.0, not_after=100.0)
+
+    def test_authorization_is_active(self):
+        auth = Authorization.build(
+            "Public", "d.xml", "+", "R",
+            validity=ValidityWindow(not_before=100.0, not_after=200.0),
+        )
+        assert auth.is_active(150.0)
+        assert not auth.is_active(250.0)
+        assert auth.is_active(None)  # None = skip the check
+        unrestricted = Authorization.build("Public", "d.xml", "+", "R")
+        assert unrestricted.is_active(250.0)
+
+
+class TestCredentialClause:
+    def test_present(self):
+        clause = CredentialClause("role")
+        assert clause.satisfied({"role": "physician"})
+        assert not clause.satisfied({})
+
+    def test_equality(self):
+        clause = CredentialClause("role", "=", "physician")
+        assert clause.satisfied({"role": "physician"})
+        assert not clause.satisfied({"role": "nurse"})
+        assert not clause.satisfied({})
+
+    def test_inequality_includes_missing(self):
+        clause = CredentialClause("role", "!=", "intern")
+        assert clause.satisfied({"role": "physician"})
+        assert clause.satisfied({})
+        assert not clause.satisfied({"role": "intern"})
+
+    def test_numeric_comparisons(self):
+        clause = CredentialClause("clearance", ">=", "3")
+        assert clause.satisfied({"clearance": "5"})
+        assert not clause.satisfied({"clearance": "2"})
+        assert not clause.satisfied({"clearance": "high"})  # non-numeric
+        low = CredentialClause("clearance", "<=", "3")
+        assert low.satisfied({"clearance": "2"})
+
+    def test_contains(self):
+        clause = CredentialClause("dept", "contains", "card")
+        assert clause.satisfied({"dept": "cardiology"})
+        assert not clause.satisfied({"dept": "oncology"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AuthorizationError):
+            CredentialClause("k", "~", "v")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(AuthorizationError):
+            CredentialClause("")
+
+    def test_authorization_conjunction(self):
+        auth = Authorization.build(
+            "Public", "d.xml", "+", "R",
+            credentials=(
+                CredentialClause("role", "=", "physician"),
+                CredentialClause("clearance", ">=", "3"),
+            ),
+        )
+        assert auth.credentials_satisfied({"role": "physician", "clearance": "4"})
+        assert not auth.credentials_satisfied({"role": "physician", "clearance": "1"})
+        assert not auth.credentials_satisfied({"clearance": "4"})
+
+
+class TestStoreFiltering:
+    def test_validity_filter(self):
+        store = AuthorizationStore()
+        store.add(
+            Authorization.build(
+                "Public", "d.xml", "+", "R",
+                validity=ValidityWindow(not_before=100.0, not_after=200.0),
+            )
+        )
+        requester = Requester()
+        assert store.applicable(requester, "d.xml", at=150.0)
+        assert not store.applicable(requester, "d.xml", at=250.0)
+        # at=None (the default) ignores windows.
+        assert store.applicable(requester, "d.xml")
+
+    def test_credential_filter(self):
+        store = AuthorizationStore()
+        store.add(
+            Authorization.build(
+                "Public", "d.xml", "+", "R",
+                credentials=(CredentialClause("role", "=", "auditor"),),
+            )
+        )
+        plain = Requester()
+        auditor = plain.with_credentials(role="auditor")
+        assert not store.applicable(plain, "d.xml")
+        assert store.applicable(auditor, "d.xml")
+
+    def test_with_credentials_merges(self):
+        requester = Requester("u", "1.1.1.1", "h.x").with_credentials(a="1")
+        richer = requester.with_credentials(b="2")
+        assert richer.credential_map == {"a": "1", "b": "2"}
+        assert requester.credential_map == {"a": "1"}  # original unchanged
+
+
+class TestEndToEnd:
+    URI = "http://x/d.xml"
+
+    def build_server(self, **grant_kwargs):
+        server = SecureXMLServer()
+        server.publish_document(self.URI, "<d><x>payload</x></d>")
+        server.grant(
+            Authorization.build("Public", self.URI, "+", "R", **grant_kwargs)
+        )
+        return server
+
+    def test_expired_grant_yields_empty_view(self):
+        past = ValidityWindow(not_after=time.time() - 3600)
+        server = self.build_server(validity=past)
+        response = server.serve(AccessRequest(Requester(), self.URI))
+        assert response.empty
+
+    def test_active_grant_serves(self):
+        window = ValidityWindow(
+            not_before=time.time() - 10, not_after=time.time() + 3600
+        )
+        server = self.build_server(validity=window)
+        response = server.serve(AccessRequest(Requester(), self.URI))
+        assert "payload" in response.xml_text
+
+    def test_credentialed_grant(self):
+        server = self.build_server(
+            credentials=(CredentialClause("badge", "present"),)
+        )
+        assert server.serve(AccessRequest(Requester(), self.URI)).empty
+        badged = Requester().with_credentials(badge="b-17")
+        assert "payload" in server.serve(AccessRequest(badged, self.URI)).xml_text
+
+    def test_history_limit(self):
+        server = self.build_server()
+        server.set_policy(
+            self.URI,
+            PolicyConfig(history_limit=HistoryLimit(2, window_seconds=3600)),
+        )
+        requester = Requester("anonymous", "9.9.9.9", "h.x")
+        server.serve(AccessRequest(requester, self.URI))
+        server.serve(AccessRequest(requester, self.URI))
+        with pytest.raises(AccessLimitExceeded):
+            server.serve(AccessRequest(requester, self.URI))
+        # The denial itself is audited.
+        assert server.audit.tail(1)[0].outcome == "denied"
+
+    def test_history_limit_is_per_requester(self):
+        server = self.build_server()
+        server.set_policy(
+            self.URI, PolicyConfig(history_limit=HistoryLimit(1, 3600))
+        )
+        first = Requester("anonymous", "1.1.1.1", "a.x")
+        second = Requester("anonymous", "2.2.2.2", "b.x")
+        server.serve(AccessRequest(first, self.URI))
+        server.serve(AccessRequest(second, self.URI))  # different machine: fine
+        with pytest.raises(AccessLimitExceeded):
+            server.serve(AccessRequest(first, self.URI))
+
+    def test_history_limit_validation(self):
+        with pytest.raises(AuthorizationError):
+            HistoryLimit(0, 10)
+        with pytest.raises(AuthorizationError):
+            HistoryLimit(1, 0)
+
+
+class TestXACLRestrictionMarkup:
+    def test_round_trip(self):
+        original = [
+            Authorization.build(
+                "Public",
+                "http://x/d.xml://a",
+                "+",
+                "R",
+                validity=ValidityWindow(not_before=100.0, not_after=200.0),
+                credentials=(
+                    CredentialClause("role", "=", "auditor"),
+                    CredentialClause("clearance", ">=", "3"),
+                ),
+            )
+        ]
+        parsed = parse_xacl(serialize_xacl(original))
+        assert parsed[0].validity == original[0].validity
+        assert parsed[0].credentials == original[0].credentials
+
+    def test_parse_validity(self):
+        auths = parse_xacl(
+            '<xacl><authorization sign="+" type="R">'
+            '<subject user-group="Public"/><object uri="d.xml"/>'
+            '<valid not-before="10" not-after="20"/>'
+            "</authorization></xacl>"
+        )
+        assert auths[0].validity == ValidityWindow(10.0, 20.0)
+
+    def test_parse_requires(self):
+        auths = parse_xacl(
+            '<xacl><authorization sign="+" type="R">'
+            '<subject user-group="Public"/><object uri="d.xml"/>'
+            '<requires key="role" op="=" value="x"/>'
+            '<requires key="badge"/>'
+            "</authorization></xacl>"
+        )
+        assert len(auths[0].credentials) == 2
+        assert auths[0].credentials[1].op == "present"
+
+    def test_bad_validity_rejected(self):
+        with pytest.raises(XACLError, match="bad <valid>"):
+            parse_xacl(
+                '<xacl><authorization sign="+" type="R">'
+                '<subject user-group="P"/><object uri="d"/>'
+                '<valid not-before="abc"/>'
+                "</authorization></xacl>"
+            )
+
+    def test_bad_requires_rejected(self):
+        with pytest.raises(XACLError):
+            parse_xacl(
+                '<xacl><authorization sign="+" type="R">'
+                '<subject user-group="P"/><object uri="d"/>'
+                '<requires op="="/>'
+                "</authorization></xacl>"
+            )
+
+    def test_double_valid_rejected(self):
+        with pytest.raises(XACLError, match="at most one"):
+            parse_xacl(
+                '<xacl><authorization sign="+" type="R">'
+                '<subject user-group="P"/><object uri="d"/>'
+                "<valid/><valid/>"
+                "</authorization></xacl>"
+            )
+
+    def test_xacl_with_restrictions_validates_against_dtd(self):
+        from repro.authz.xacl import XACL_DTD, xacl_document
+        from repro.dtd.parser import parse_dtd
+        from repro.dtd.validator import validate
+
+        document = xacl_document(
+            [
+                Authorization.build(
+                    "Public", "d.xml", "+", "R",
+                    validity=ValidityWindow(1.0, 2.0),
+                    credentials=(CredentialClause("k"),),
+                )
+            ]
+        )
+        report = validate(document, parse_dtd(XACL_DTD))
+        assert report.valid, report.violations

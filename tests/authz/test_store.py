@@ -1,0 +1,84 @@
+"""Tests for the authorization store."""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.store import AuthorizationStore
+from repro.subjects.hierarchy import Requester
+
+
+@pytest.fixture
+def store():
+    s = AuthorizationStore()
+    directory = s.hierarchy.directory
+    directory.add_group("CS")
+    directory.add_user("alice", groups=["CS"])
+    directory.add_user("tom")
+    s.add(Authorization.build("CS", "doc.xml://a", "+", "R"))
+    s.add(Authorization.build("Public", "doc.xml://b", "+", "L"))
+    s.add(Authorization.build(("alice", "10.0.0.1", "*"), "doc.xml://c", "-", "R"))
+    s.add(Authorization.build("Public", "doc.dtd://a", "-", "R"))
+    s.add(Authorization.build("Public", "other.xml", "+", "R", action="write"))
+    return s
+
+
+class TestStorage:
+    def test_len_and_iter(self, store):
+        assert len(store) == 5
+        assert len(list(store)) == 5
+
+    def test_for_uri(self, store):
+        assert len(store.for_uri("doc.xml")) == 3
+        assert len(store.for_uri("doc.dtd")) == 1
+        assert store.for_uri("nope.xml") == []
+
+    def test_uris(self, store):
+        assert set(store.uris()) == {"doc.xml", "doc.dtd", "other.xml"}
+
+    def test_remove(self, store):
+        auth = store.for_uri("doc.dtd")[0]
+        assert store.remove(auth)
+        assert not store.remove(auth)
+        assert len(store) == 4
+
+    def test_clear_uri(self, store):
+        assert store.clear_uri("doc.xml") == 3
+        assert len(store) == 2
+        assert store.clear_uri("doc.xml") == 0
+
+    def test_add_all(self):
+        s = AuthorizationStore()
+        s.add_all(
+            Authorization.build("Public", f"d{i}.xml", "+", "R") for i in range(3)
+        )
+        assert len(s) == 3
+
+
+class TestApplicable:
+    def test_group_member_sees_group_auths(self, store):
+        alice = Requester("alice", "10.0.0.1", "pc.lab.com")
+        applicable = store.applicable(alice, "doc.xml")
+        assert len(applicable) == 3  # CS + Public + her own
+
+    def test_non_member_filtered(self, store):
+        tom = Requester("tom", "9.9.9.9", "x.example.org")
+        applicable = store.applicable(tom, "doc.xml")
+        assert len(applicable) == 1  # Public only
+
+    def test_location_filtered(self, store):
+        alice_elsewhere = Requester("alice", "10.0.0.2", "pc.lab.com")
+        applicable = store.applicable(alice_elsewhere, "doc.xml")
+        assert len(applicable) == 2  # her IP-pinned denial does not apply
+
+    def test_action_filtered(self, store):
+        alice = Requester("alice", "10.0.0.1", "pc.lab.com")
+        assert store.applicable(alice, "other.xml", action="read") == []
+        assert len(store.applicable(alice, "other.xml", action="write")) == 1
+
+    def test_unknown_uri(self, store):
+        alice = Requester("alice", "10.0.0.1", "pc.lab.com")
+        assert store.applicable(alice, "nope.xml") == []
+
+    def test_anonymous_gets_public(self, store):
+        anonymous = Requester()
+        assert len(store.applicable(anonymous, "doc.xml")) == 1

@@ -1,0 +1,25 @@
+"""Shared fixtures: the paper's running example and common documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenarios import lab_scenario
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture
+def lab():
+    """The paper's complete running example (fresh per test)."""
+    return lab_scenario()
+
+
+@pytest.fixture
+def simple_doc():
+    """A small document exercising elements, attributes and text."""
+    return parse_document(
+        '<root a="1">'
+        "<child><leaf>one</leaf></child>"
+        '<child kind="x"><leaf>two</leaf><leaf>three</leaf></child>'
+        "</root>"
+    )

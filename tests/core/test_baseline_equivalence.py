@@ -1,0 +1,123 @@
+"""The naive baseline must agree with the propagation algorithm.
+
+This is the central cross-validation of the reproduction: two
+independent implementations of the paper's semantics (single preorder
+pass vs per-node ancestor walks) must produce identical labels and
+views on hand-written corner cases and on synthetic workloads.
+"""
+
+import pytest
+
+from repro.core.baseline import NaiveLabeler, compute_view_naive
+from repro.core.labeling import TreeLabeler
+from repro.core.view import compute_view_from_auths
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.serializer import element_signature
+from repro.xml.traversal import node_path
+from repro.authz.authorization import Authorization
+from repro.workloads.generator import build_workload, synthetic_authorizations, synthetic_document
+
+URI = "d.xml"
+DTD_URI = "d.dtd"
+
+DOC = """\
+<lab name="CSlab">
+  <project type="public" name="P1">
+    <manager><flname>Ann</flname></manager>
+    <paper cat="private"><title>S</title></paper>
+    <paper cat="public"><title>O</title></paper>
+  </project>
+  <project type="internal" name="P2"><manager><flname>Bob</flname></manager></project>
+</lab>
+"""
+
+
+def auth(obj, sign, auth_type):
+    return Authorization.build(("Public", "*", "*"), obj, sign, auth_type)
+
+
+def assert_equivalent(document, instance, schema):
+    hierarchy = SubjectHierarchy()
+    fast = TreeLabeler(document, instance, schema, hierarchy).run()
+    naive = NaiveLabeler(document, instance, schema, hierarchy).run()
+    assert set(fast.labels) == set(naive.labels)
+    for node in fast.labels:
+        assert fast.labels[node].final == naive.labels[node].final, (
+            f"disagreement at {node_path(node)}: "
+            f"fast={fast.labels[node]} naive={naive.labels[node]}"
+        )
+
+
+CASES = [
+    [],
+    [("//manager", "+", "R")],
+    [("//project", "+", "R"), ("//paper[./@cat='private']", "-", "R")],
+    [("//lab", "-", "R"), ("//flname", "+", "R")],
+    [("//project", "+", "L")],
+    [("//project", "-", "R"), ("//paper", "+", "RW")],
+    [("//project", "+", "R"), ("//paper", "+", "RW")],
+    [("//lab", "+", "RW"), ("//paper", "-", "LW")],
+    [("//project/@name", "+", "L"), ("//project", "-", "R")],
+    [("//project/@name", "+", "LW"), ("//project", "-", "R")],
+    [("//lab", "+", "R"), ("//manager", "-", "L"), ("//flname", "+", "R")],
+]
+
+SCHEMA_CASES = [
+    ([], [("//paper[./@cat='private']", "-", "R")]),
+    ([("//paper", "+", "RW")], [("//paper[./@cat='private']", "-", "R")]),
+    ([("//project", "+", "R")], [("//manager", "-", "L")]),
+    ([("//project", "-", "RW")], [("//project", "+", "R")]),
+    (
+        [("//project", "+", "R"), ("//paper", "+", "RW")],
+        [("//paper[./@cat='private']", "-", "R")],
+    ),
+]
+
+
+class TestHandWrittenCases:
+    @pytest.mark.parametrize("case", CASES)
+    def test_instance_only(self, case):
+        document = parse_document(DOC, uri=URI)
+        instance = [auth(f"{URI}:{p}", s, t) for p, s, t in case]
+        assert_equivalent(document, instance, [])
+
+    @pytest.mark.parametrize("case", SCHEMA_CASES)
+    def test_with_schema(self, case):
+        document = parse_document(DOC, uri=URI)
+        instance = [auth(f"{URI}:{p}", s, t) for p, s, t in case[0]]
+        schema = [auth(f"{DTD_URI}:{p}", s, t) for p, s, t in case[1]]
+        assert_equivalent(document, instance, schema)
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_equivalence(self, seed):
+        document = synthetic_document(300, seed=seed)
+        instance, schema = synthetic_authorizations(
+            document,
+            16,
+            seed=seed,
+            dtd_uri=DTD_URI,
+            schema_share=0.3,
+        )
+        assert_equivalent(document, instance, schema)
+
+    def test_views_identical_on_workload(self):
+        workload = build_workload(nodes=400, auth_count=24, seed=3)
+        fast = compute_view_from_auths(
+            workload.document,
+            workload.instance_auths,
+            workload.schema_auths,
+            workload.store.hierarchy,
+        )
+        naive = compute_view_naive(
+            workload.document,
+            workload.instance_auths,
+            workload.schema_auths,
+            workload.store.hierarchy,
+        )
+        assert element_signature(fast.document.root) == element_signature(
+            naive.document.root
+        )
+        assert fast.visible_nodes == naive.visible_nodes

@@ -1,0 +1,116 @@
+"""Multi-level propagation: transitivity and mid-chain blocking.
+
+The semantics matrix (test_semantics_matrix.py) pins two-level
+behaviour exhaustively; these tests pin the *transitive* behaviour over
+longer chains — propagation through intermediate unlabeled nodes and
+overriding at arbitrary depths.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import EPSILON
+from repro.core.labeling import TreeLabeler
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.traversal import node_path
+
+URI = "d.xml"
+DTD_URI = "d.dtd"
+
+# A 6-level chain: n1/n2/n3/n4/n5/n6.
+CHAIN = "<n1><n2><n3><n4><n5><n6/></n5></n4></n3></n2></n1>"
+
+
+def auth(path, sign, auth_type, schema=False):
+    uri = DTD_URI if schema else URI
+    return Authorization.build(("Public", "*", "*"), f"{uri}:{path}", sign, auth_type)
+
+
+def finals(*auths):
+    document = parse_document(CHAIN, uri=URI)
+    instance = [a for a in auths if a.object.uri == URI]
+    schema = [a for a in auths if a.object.uri == DTD_URI]
+    labels = TreeLabeler(document, instance, schema, SubjectHierarchy()).run().labels
+    return {
+        node_path(node).rsplit("/", 1)[-1]: label.final
+        for node, label in labels.items()
+    }
+
+
+class TestTransitivePropagation:
+    def test_recursive_reaches_every_level(self):
+        signs = finals(auth("//n1", "+", "R"))
+        for level in range(1, 7):
+            assert signs[f"n{level}"] == "+"
+
+    def test_schema_recursive_reaches_every_level(self):
+        signs = finals(auth("//n1", "-", "R", schema=True))
+        for level in range(1, 7):
+            assert signs[f"n{level}"] == "-"
+
+    def test_override_resumes_below(self):
+        signs = finals(
+            auth("//n1", "+", "R"),
+            auth("//n3", "-", "R"),
+            auth("//n5", "+", "R"),
+        )
+        assert signs["n1"] == signs["n2"] == "+"
+        assert signs["n3"] == signs["n4"] == "-"
+        assert signs["n5"] == signs["n6"] == "+"
+
+    def test_local_never_travels(self):
+        signs = finals(auth("//n2", "+", "L"))
+        assert signs["n2"] == "+"
+        for level in (1, 3, 4, 5, 6):
+            assert signs[f"n{level}"] == EPSILON
+
+    def test_weak_blocks_strong_for_entire_subtree(self):
+        # n3's weak grant blocks n1's strong R for n3 AND everything
+        # below (the pair propagates from n3 downward).
+        signs = finals(
+            auth("//n1", "-", "R"),
+            auth("//n3", "+", "RW"),
+        )
+        assert signs["n2"] == "-"
+        assert signs["n3"] == signs["n4"] == signs["n5"] == signs["n6"] == "+"
+
+    def test_weak_block_then_schema_denial_below(self):
+        signs = finals(
+            auth("//n1", "+", "R"),
+            auth("//n3", "+", "RW"),
+            auth("//n5", "-", "R", schema=True),
+        )
+        # n1..n2: strong +. n3..n4: weak + (blocked the strong).
+        # n5..n6: the schema denial wins over the weak, and propagates.
+        assert signs["n2"] == "+"
+        assert signs["n3"] == signs["n4"] == "+"
+        assert signs["n5"] == signs["n6"] == "-"
+
+    def test_strong_grant_resumes_below_schema_denial(self):
+        signs = finals(
+            auth("//n3", "+", "RW"),
+            auth("//n4", "-", "R", schema=True),
+            auth("//n5", "+", "R"),
+        )
+        assert signs["n4"] == "-"
+        assert signs["n5"] == signs["n6"] == "+"
+
+    def test_interleaved_schema_and_instance_chains(self):
+        signs = finals(
+            auth("//n1", "+", "R", schema=True),   # RD+ everywhere
+            auth("//n2", "-", "RW"),               # weak instance denial
+            auth("//n4", "+", "L"),                # local island
+        )
+        assert signs["n1"] == "+"                  # RD+
+        # n2: RW- is behind RD+ in priority -> schema wins.
+        assert signs["n2"] == "+"
+        assert signs["n3"] == "+"
+        assert signs["n4"] == "+"
+        assert signs["n5"] == "+"
+
+    def test_instance_weak_alone_propagates_unhindered(self):
+        signs = finals(auth("//n2", "+", "RW"))
+        assert signs["n1"] == EPSILON
+        for level in range(2, 7):
+            assert signs[f"n{level}"] == "+"

@@ -1,0 +1,387 @@
+"""Tests for the tree-labeling algorithm (paper, Figure 2 / Section 6.1).
+
+Each test encodes one rule of the propagation/overriding semantics; the
+helper returns the final sign per node path so assertions read like the
+paper's own examples.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import (
+    EPSILON,
+    NothingTakesPrecedence,
+    PermissionsTakePrecedence,
+)
+from repro.core.labeling import TreeLabeler
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.traversal import node_path, preorder
+
+URI = "d.xml"
+DTD_URI = "d.dtd"
+
+DOC = """\
+<lab name="CSlab">
+  <project type="public" name="P1">
+    <manager><flname>Ann</flname></manager>
+    <paper cat="private"><title>S</title></paper>
+    <paper cat="public"><title>O</title></paper>
+  </project>
+  <project type="internal" name="P2">
+    <manager><flname>Bob</flname></manager>
+  </project>
+</lab>
+"""
+
+
+def auth(obj, sign, auth_type, subject="Public"):
+    if isinstance(subject, tuple):
+        pass
+    else:
+        subject = (subject, "*", "*")
+    return Authorization.build(subject, obj, sign, auth_type)
+
+
+def finals(
+    instance=(),
+    schema=(),
+    xml=DOC,
+    hierarchy=None,
+    policy=None,
+):
+    document = parse_document(xml, uri=URI)
+    labeler = TreeLabeler(
+        document,
+        list(instance),
+        list(schema),
+        hierarchy or SubjectHierarchy(),
+        policy=policy,
+    )
+    result = labeler.run()
+    return {
+        node_path(node): label.final for node, label in result.labels.items()
+    }, result
+
+
+class TestNoAuthorizations:
+    def test_everything_epsilon(self):
+        signs, result = finals()
+        assert set(signs.values()) == {EPSILON}
+        document = parse_document(DOC, uri=URI)
+        assert result.labeled_nodes == sum(1 for _ in preorder(document.root))
+
+
+class TestRecursivePropagation:
+    def test_recursive_plus_covers_subtree(self):
+        signs, _ = finals([auth(f"{URI}://project[./@type='public']", "+", "R")])
+        assert signs["/lab/project[1]"] == "+"
+        assert signs["/lab/project[1]/manager"] == "+"
+        assert signs["/lab/project[1]/manager/flname"] == "+"
+        assert signs["/lab/project[1]/manager/flname/text()"] == "+"
+        assert signs["/lab/project[1]/@type"] == "+"
+
+    def test_recursive_does_not_leak_upward_or_sideways(self):
+        signs, _ = finals([auth(f"{URI}://project[./@type='public']", "+", "R")])
+        assert signs["/lab"] == EPSILON
+        assert signs["/lab/@name"] == EPSILON
+        assert signs["/lab/project[2]"] == EPSILON
+        assert signs["/lab/project[2]/manager"] == EPSILON
+
+    def test_most_specific_object_overrides(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "+", "R"),
+                auth(f"{URI}://paper[./@cat='private']", "-", "R"),
+            ]
+        )
+        assert signs["/lab/project[1]"] == "+"
+        assert signs["/lab/project[1]/paper[1]"] == "-"
+        assert signs["/lab/project[1]/paper[1]/title"] == "-"
+        assert signs["/lab/project[1]/paper[2]"] == "+"
+
+    def test_deeper_override_flips_back(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R"),
+                auth(f"{URI}://paper[./@cat='private']/title", "+", "R"),
+            ]
+        )
+        assert signs["/lab/project[1]/paper[1]"] == "-"
+        assert signs["/lab/project[1]/paper[1]/title"] == "+"
+
+    def test_root_recursive_covers_document(self):
+        signs, _ = finals([auth(URI, "+", "R")])
+        assert all(sign == "+" for sign in signs.values())
+
+
+class TestLocalAuthorizations:
+    def test_local_covers_element_attrs_and_text_only(self):
+        signs, _ = finals([auth(f"{URI}://manager", "+", "L")])
+        assert signs["/lab/project[1]/manager"] == "+"
+        # Sub-elements are NOT covered by a local authorization.
+        assert signs["/lab/project[1]/manager/flname"] == EPSILON
+
+    def test_local_on_parent_covers_attributes(self):
+        signs, _ = finals([auth(f"{URI}://paper[./@cat='private']", "+", "L")])
+        assert signs["/lab/project[1]/paper[1]"] == "+"
+        assert signs["/lab/project[1]/paper[1]/@cat"] == "+"
+        assert signs["/lab/project[1]/paper[1]/title"] == EPSILON
+
+    def test_local_beats_propagated_recursive(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "+", "R"),
+                auth(f"{URI}://project[1]/paper[1]", "-", "L"),
+            ]
+        )
+        # L on the paper wins over R propagated from project...
+        assert signs["/lab/project[1]/paper[1]"] == "-"
+        # ...for its attributes too (local propagates to attributes)...
+        assert signs["/lab/project[1]/paper[1]/@cat"] == "-"
+        # ...but not its sub-elements: those get the project's R.
+        assert signs["/lab/project[1]/paper[1]/title"] == "+"
+
+    def test_attribute_object_granularity(self):
+        signs, _ = finals([auth(f"{URI}://project/@name", "+", "L")])
+        assert signs["/lab/project[1]/@name"] == "+"
+        assert signs["/lab/project[1]/@type"] == EPSILON
+        assert signs["/lab/project[1]"] == EPSILON
+
+
+class TestSchemaLevelAuthorizations:
+    def test_schema_recursive_propagates(self):
+        signs, _ = finals(schema=[auth(f"{DTD_URI}://project[1]", "+", "R")])
+        assert signs["/lab/project[1]"] == "+"
+        assert signs["/lab/project[1]/manager/flname"] == "+"
+
+    def test_instance_overrides_schema(self):
+        signs, _ = finals(
+            [auth(f"{URI}://project[1]", "+", "R")],
+            [auth(f"{DTD_URI}://project[1]", "-", "R")],
+        )
+        assert signs["/lab/project[1]"] == "+"
+        assert signs["/lab/project[1]/manager"] == "+"
+
+    def test_schema_overrides_weak_instance(self):
+        signs, _ = finals(
+            [auth(f"{URI}://project[1]", "+", "RW")],
+            [auth(f"{DTD_URI}://project[1]", "-", "R")],
+        )
+        assert signs["/lab/project[1]"] == "-"
+
+    def test_weak_without_schema_behaves_normally(self):
+        signs, _ = finals([auth(f"{URI}://project[1]", "+", "RW")])
+        assert signs["/lab/project[1]"] == "+"
+        assert signs["/lab/project[1]/manager"] == "+"
+
+    def test_schema_local_maps_to_ld(self):
+        signs, _ = finals(schema=[auth(f"{DTD_URI}://manager", "+", "L")])
+        assert signs["/lab/project[1]/manager"] == "+"
+        assert signs["/lab/project[1]/manager/flname"] == EPSILON
+
+    def test_schema_weak_degrades_to_strong(self):
+        # Weakness only inverts instance/schema priority; at schema level
+        # it is meaningless and maps to the strong slot.
+        signs, _ = finals(schema=[auth(f"{DTD_URI}://project[1]", "-", "RW")])
+        assert signs["/lab/project[1]"] == "-"
+
+    def test_most_specific_object_within_schema(self):
+        signs, _ = finals(
+            schema=[
+                auth(f"{DTD_URI}://project[1]", "+", "R"),
+                auth(f"{DTD_URI}://paper[./@cat='private']", "-", "R"),
+            ]
+        )
+        assert signs["/lab/project[1]/paper[1]"] == "-"
+        assert signs["/lab/project[1]/paper[2]"] == "+"
+
+
+class TestWeakSemantics:
+    def test_own_weak_blocks_parent_strong_propagation(self):
+        # Paper prose: R/RW propagate only if the node has NO recursive
+        # authorization of either strength.
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R"),
+                auth(f"{URI}://project[1]/paper[1]", "+", "RW"),
+            ]
+        )
+        assert signs["/lab/project[1]/paper[1]"] == "+"
+        assert signs["/lab/project[1]/paper[1]/title"] == "+"
+        # Sibling still denied by the propagated strong R.
+        assert signs["/lab/project[1]/paper[2]"] == "-"
+
+    def test_weak_blocked_node_still_yields_to_schema(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "+", "R"),
+                auth(f"{URI}://project[1]/paper[1]", "+", "RW"),
+            ],
+            [auth(f"{DTD_URI}://paper[./@cat='private']", "-", "R")],
+        )
+        # The paper's RW blocks project's R; the schema denial then wins.
+        assert signs["/lab/project[1]/paper[1]"] == "-"
+
+    def test_local_weak_on_element(self):
+        signs, _ = finals([auth(f"{URI}://manager", "+", "LW")])
+        assert signs["/lab/project[1]/manager"] == "+"
+        assert signs["/lab/project[1]/manager/flname"] == EPSILON
+
+    def test_local_weak_overridden_by_schema_local(self):
+        signs, _ = finals(
+            [auth(f"{URI}://manager", "+", "LW")],
+            [auth(f"{DTD_URI}://manager", "-", "L")],
+        )
+        assert signs["/lab/project[1]/manager"] == "-"
+
+
+class TestAttributeRules:
+    def test_recursive_reaches_attributes(self):
+        signs, _ = finals([auth(f"{URI}://project[1]", "+", "R")])
+        assert signs["/lab/project[1]/@name"] == "+"
+        assert signs["/lab/project[1]/paper[1]/@cat"] == "+"
+
+    def test_attribute_own_auth_beats_parent(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "+", "R"),
+                auth(f"{URI}://project[1]/@name", "-", "L"),
+            ]
+        )
+        assert signs["/lab/project[1]/@name"] == "-"
+        assert signs["/lab/project[1]/@type"] == "+"
+
+    def test_attribute_weak_blocks_parent_instance(self):
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R"),
+                auth(f"{URI}://project[1]/@name", "+", "LW"),
+            ]
+        )
+        assert signs["/lab/project[1]/@name"] == "+"
+        assert signs["/lab/project[1]/@type"] == "-"
+
+    def test_attribute_weak_yields_to_schema(self):
+        signs, _ = finals(
+            [auth(f"{URI}://project[1]/@name", "+", "LW")],
+            [auth(f"{DTD_URI}://project[1]/@name", "-", "L")],
+        )
+        assert signs["/lab/project[1]/@name"] == "-"
+
+    def test_schema_recursive_reaches_attributes(self):
+        signs, _ = finals(schema=[auth(f"{DTD_URI}://project[1]", "+", "R")])
+        assert signs["/lab/project[1]/@name"] == "+"
+        assert signs["/lab/project[1]/manager"] == "+"
+
+
+class TestSubjectResolution:
+    def build_hierarchy(self):
+        hierarchy = SubjectHierarchy()
+        directory = hierarchy.directory
+        directory.add_group("CS")
+        directory.add_group("Grad", parents=["CS"])
+        return hierarchy
+
+    def test_most_specific_subject_wins(self):
+        hierarchy = self.build_hierarchy()
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R", subject="CS"),
+                auth(f"{URI}://project[1]", "+", "R", subject="Grad"),
+            ],
+            hierarchy=hierarchy,
+        )
+        # Grad < CS, so the Grad permission overrides the CS denial.
+        assert signs["/lab/project[1]"] == "+"
+
+    def test_incomparable_subjects_denial_wins(self):
+        hierarchy = self.build_hierarchy()
+        directory = hierarchy.directory
+        directory.add_group("Other")
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R", subject="CS"),
+                auth(f"{URI}://project[1]", "+", "R", subject="Other"),
+            ],
+            hierarchy=hierarchy,
+        )
+        assert signs["/lab/project[1]"] == "-"
+
+    def test_location_specificity(self):
+        hierarchy = self.build_hierarchy()
+        signs, _ = finals(
+            [
+                auth(f"{URI}://project[1]", "-", "R", subject=("CS", "*", "*")),
+                auth(
+                    f"{URI}://project[1]",
+                    "+",
+                    "R",
+                    subject=("CS", "150.100.30.8", "*"),
+                ),
+            ],
+            hierarchy=hierarchy,
+        )
+        assert signs["/lab/project[1]"] == "+"
+
+
+class TestConflictPolicies:
+    def conflicting(self):
+        return [
+            auth(f"{URI}://project[1]", "+", "R", subject="A"),
+            auth(f"{URI}://project[1]", "-", "R", subject="B"),
+        ]
+
+    def hierarchy_with_groups(self):
+        hierarchy = SubjectHierarchy()
+        hierarchy.directory.add_group("A")
+        hierarchy.directory.add_group("B")
+        return hierarchy
+
+    def test_default_denials_take_precedence(self):
+        signs, _ = finals(self.conflicting(), hierarchy=self.hierarchy_with_groups())
+        assert signs["/lab/project[1]"] == "-"
+
+    def test_permissions_take_precedence(self):
+        signs, _ = finals(
+            self.conflicting(),
+            hierarchy=self.hierarchy_with_groups(),
+            policy=PermissionsTakePrecedence(),
+        )
+        assert signs["/lab/project[1]"] == "+"
+
+    def test_nothing_takes_precedence(self):
+        signs, _ = finals(
+            self.conflicting(),
+            hierarchy=self.hierarchy_with_groups(),
+            policy=NothingTakesPrecedence(),
+        )
+        assert signs["/lab/project[1]"] == EPSILON
+
+
+class TestBookkeeping:
+    def test_every_node_labeled(self):
+        document = parse_document(DOC, uri=URI)
+        total = sum(1 for _ in preorder(document.root))
+        _, result = finals()
+        assert result.labeled_nodes == total
+
+    def test_counts(self):
+        _, result = finals([auth(f"{URI}://project[1]", "+", "R")])
+        counts = result.counts()
+        assert counts["+"] > 0
+        assert counts[EPSILON] > 0
+        assert counts["-"] == 0
+
+    def test_evaluated_authorizations_counted(self):
+        _, result = finals(
+            [auth(f"{URI}://project[1]", "+", "R")],
+            [auth(f"{DTD_URI}://manager", "-", "L")],
+        )
+        assert result.evaluated_authorizations == 2
+
+    def test_empty_document(self):
+        from repro.xml.nodes import Document
+
+        labeler = TreeLabeler(Document(), [], [], SubjectHierarchy())
+        assert labeler.run().labels == {}

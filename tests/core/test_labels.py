@@ -1,0 +1,54 @@
+"""Tests for label 6-tuples and first_def."""
+
+from repro.authz.conflict import EPSILON
+from repro.core.labels import Label, first_def
+
+
+class TestFirstDef:
+    def test_returns_first_defined(self):
+        assert first_def(EPSILON, "+", "-") == "+"
+        assert first_def("-", "+") == "-"
+
+    def test_all_epsilon(self):
+        assert first_def(EPSILON, EPSILON) == EPSILON
+        assert first_def() == EPSILON
+
+    def test_single(self):
+        assert first_def("+") == "+"
+        assert first_def(EPSILON) == EPSILON
+
+
+class TestLabel:
+    def test_default_all_epsilon(self):
+        label = Label()
+        assert label.as_tuple() == (EPSILON,) * 6
+        assert label.final == EPSILON
+
+    def test_compute_final_priority_order(self):
+        # L beats everything.
+        assert Label(L="-", R="+", LD="+", RD="+", LW="+", RW="+").compute_final() == "-"
+        # R beats schema and weak.
+        assert Label(R="+", LD="-", RD="-", LW="-", RW="-").compute_final() == "+"
+        # LD beats RD and weak.
+        assert Label(LD="-", RD="+", LW="+", RW="+").compute_final() == "-"
+        # RD beats weak.
+        assert Label(RD="+", LW="-", RW="-").compute_final() == "+"
+        # LW beats RW.
+        assert Label(LW="-", RW="+").compute_final() == "-"
+        # RW alone.
+        assert Label(RW="+").compute_final() == "+"
+
+    def test_permitted(self):
+        assert Label(final="+").permitted
+        assert not Label(final="-").permitted
+        assert not Label(final=EPSILON).permitted
+
+    def test_permitted_under_open_policy(self):
+        assert Label(final=EPSILON).permitted_under(open_policy=True)
+        assert not Label(final=EPSILON).permitted_under(open_policy=False)
+        assert not Label(final="-").permitted_under(open_policy=True)
+        assert Label(final="+").permitted_under(open_policy=False)
+
+    def test_str_rendering(self):
+        label = Label(L="+", final="+")
+        assert "+" in str(label)

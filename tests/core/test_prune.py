@@ -1,0 +1,189 @@
+"""Tests for the transformation (pruning) step — Section 6.2."""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.core.labeling import TreeLabeler
+from repro.core.prune import build_view, prune_in_place
+from repro.core.view import compute_view_from_auths
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.serializer import element_signature, serialize
+from repro.xml.traversal import preorder
+
+URI = "d.xml"
+
+DOC = """\
+<lab name="CSlab"><project type="public" name="P1">\
+<manager><flname>Ann</flname></manager>\
+<paper cat="private"><title>S</title></paper>\
+<paper cat="public"><title>O</title></paper>\
+</project></lab>
+"""
+
+
+def auth(obj, sign, auth_type):
+    return Authorization.build(("Public", "*", "*"), obj, sign, auth_type)
+
+
+def labeled(xml, instance, schema=()):
+    document = parse_document(xml, uri=URI)
+    labels = TreeLabeler(
+        document, list(instance), list(schema), SubjectHierarchy()
+    ).run().labels
+    return document, labels
+
+
+class TestBuildView:
+    def test_only_permitted_subtree_survives(self):
+        document, labels = labeled(DOC, [auth(f"{URI}://manager", "+", "R")])
+        view = build_view(document, labels)
+        assert serialize(view, xml_declaration=False) == (
+            "<lab><project><manager><flname>Ann</flname></manager></project></lab>"
+        )
+
+    def test_structural_ancestors_are_bare_tags(self):
+        document, labels = labeled(DOC, [auth(f"{URI}://flname", "+", "R")])
+        view = build_view(document, labels)
+        lab = view.root
+        assert lab.attributes == {}  # name attribute hidden
+        project = lab.children[0]
+        assert project.attributes == {}
+
+    def test_denied_node_with_permitted_descendant_keeps_tags(self):
+        document, labels = labeled(
+            DOC,
+            [
+                auth(f"{URI}://project", "-", "R"),
+                auth(f"{URI}://flname", "+", "R"),
+            ],
+        )
+        view = build_view(document, labels)
+        assert serialize(view, xml_declaration=False) == (
+            "<lab><project><manager><flname>Ann</flname></manager></project></lab>"
+        )
+
+    def test_denied_element_content_hidden(self):
+        # Denied element keeps its tag (descendant permitted) but its own
+        # text and attributes are hidden.
+        document, labels = labeled(
+            "<a k='1'>secret<b>ok</b></a>",
+            [
+                auth(f"{URI}://a", "-", "L"),
+                auth(f"{URI}://b", "+", "R"),
+            ],
+        )
+        view = build_view(document, labels)
+        assert serialize(view, xml_declaration=False) == "<a><b>ok</b></a>"
+
+    def test_empty_view_when_nothing_permitted(self):
+        document, labels = labeled(DOC, [])
+        view = build_view(document, labels)
+        assert view.root is None
+        assert view.doctype_name is None
+
+    def test_denial_only_view_empty(self):
+        document, labels = labeled(DOC, [auth(f"{URI}://lab", "-", "R")])
+        assert build_view(document, labels).root is None
+
+    def test_attributes_filtered_individually(self):
+        document, labels = labeled(
+            DOC,
+            [
+                auth(f"{URI}://project", "+", "L"),
+                auth(f"{URI}://project/@name", "-", "L"),
+            ],
+        )
+        view = build_view(document, labels)
+        project = view.root.children[0]
+        assert project.get_attribute("type") == "public"
+        assert not project.has_attribute("name")
+
+    def test_open_policy_keeps_epsilon(self):
+        document, labels = labeled(DOC, [auth(f"{URI}://paper[1]", "-", "R")])
+        view = build_view(document, labels, open_policy=True)
+        # Everything except the denied paper subtree is visible.
+        assert len(view.root.children[0].find_children("paper").__iter__().__next__().children) > 0
+        papers = list(view.root.children[0].find_children("paper"))
+        assert len(papers) == 1
+        assert papers[0].get_attribute("cat") == "public"
+
+    def test_original_document_untouched(self):
+        document, labels = labeled(DOC, [auth(f"{URI}://manager", "+", "R")])
+        before = serialize(document)
+        build_view(document, labels)
+        assert serialize(document) == before
+
+    def test_comments_follow_parent_visibility(self):
+        document, labels = labeled(
+            "<a><!--note--><b/></a>",
+            [auth(f"{URI}://a", "+", "R")],
+        )
+        view = build_view(document, labels)
+        assert "<!--note-->" in serialize(view, xml_declaration=False)
+
+    def test_comments_hidden_with_denied_parent(self):
+        document, labels = labeled(
+            "<a><!--note--><b/></a>",
+            [auth(f"{URI}://a", "-", "L"), auth(f"{URI}://b", "+", "R")],
+        )
+        view = build_view(document, labels)
+        assert "<!--note-->" not in serialize(view, xml_declaration=False)
+
+    def test_dtd_loosened_on_view(self):
+        from repro.dtd.parser import parse_dtd
+
+        document = parse_document("<a><b/></a>", uri=URI)
+        document.dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        labels = TreeLabeler(
+            document, [auth(f"{URI}://a", "+", "R")], [], SubjectHierarchy()
+        ).run().labels
+        view = build_view(document, labels, loosen_dtd=True)
+        particle = view.dtd.element("a").content.particle
+        assert particle.unparse().endswith("?")
+
+    def test_loosening_can_be_disabled(self):
+        from repro.dtd.parser import parse_dtd
+
+        document = parse_document("<a/>", uri=URI)
+        document.dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        labels = TreeLabeler(
+            document, [auth(f"{URI}://a", "+", "R")], [], SubjectHierarchy()
+        ).run().labels
+        view = build_view(document, labels, loosen_dtd=False)
+        assert view.dtd is document.dtd
+
+
+class TestPruneInPlaceEquivalence:
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            [],
+            [("//manager", "+", "R")],
+            [("//project", "+", "R"), ("//paper[./@cat='private']", "-", "R")],
+            [("//lab", "-", "R"), ("//flname", "+", "R")],
+            [("//project", "+", "L")],
+            [("//project/@name", "+", "L")],
+            [("//lab", "+", "R"), ("//title", "-", "L")],
+        ],
+    )
+    def test_matches_build_view(self, instance):
+        auths = [auth(f"{URI}:{path}", sign, t) for path, sign, t in instance]
+        document, labels = labeled(DOC, auths)
+        constructed = build_view(document, labels, loosen_dtd=False)
+
+        # The in-place variant needs the labels keyed by the clone's nodes.
+        clone = document.clone()
+        mapping = dict(zip(preorder(document), preorder(clone)))
+        clone_labels = {mapping[node]: label for node, label in labels.items()}
+        prune_in_place(clone, clone_labels)
+
+        assert element_signature(constructed.root) == element_signature(clone.root)
+
+    def test_in_place_empty_document(self):
+        document, labels = labeled(DOC, [])
+        clone = document.clone()
+        mapping = dict(zip(preorder(document), preorder(clone)))
+        clone_labels = {mapping[node]: label for node, label in labels.items()}
+        prune_in_place(clone, clone_labels)
+        assert clone.root is None

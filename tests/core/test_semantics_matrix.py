@@ -1,0 +1,164 @@
+"""Exhaustive two-level semantics matrix.
+
+An independent, minimal executable spec of the propagation rules
+(written from the paper's prose, not from the implementation) is
+compared against the real labeler for *every* combination of one
+authorization on a parent element and one on its child — 6 slots x 2
+signs on each side = 144 element cases, plus the parent x attribute
+matrix. If the implementation and this spec ever disagree, one of them
+misreads the paper.
+
+Slot vocabulary: L/R/LW/RW are instance-level authorization types;
+LD/RD stand for Local/Recursive specified at the schema (DTD) level.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.core.labeling import TreeLabeler
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+
+URI = "d.xml"
+DTD_URI = "d.dtd"
+EPS = "ε"
+
+SLOTS = ("L", "R", "LD", "RD", "LW", "RW")
+SIGNS = ("+", "-")
+
+# slot -> (attach to schema XACL?, authorization type string)
+_SLOT_TO_AUTH = {
+    "L": (False, "L"),
+    "R": (False, "R"),
+    "LW": (False, "LW"),
+    "RW": (False, "RW"),
+    "LD": (True, "L"),
+    "RD": (True, "R"),
+}
+
+
+def first_def(*signs):
+    for sign in signs:
+        if sign != EPS:
+            return sign
+    return EPS
+
+
+def spec_child_final(p_slot, p_sign, c_slot, c_sign):
+    """The paper's rules for a child element, restated minimally.
+
+    1. initial label: the child's own slot carries its sign.
+    2. the recursive pair (R, RW) propagates from the parent only when
+       the child has neither (paired blocking, Section 6.1 prose).
+    3. RD propagates independently when the child has none.
+    4. L/LD/LW never propagate to sub-elements.
+    5. final = first_def(L, R, LD, RD, LW, RW).
+    """
+    label = {slot: EPS for slot in SLOTS}
+    label[c_slot] = c_sign
+    if label["R"] == EPS and label["RW"] == EPS:
+        if p_slot == "R":
+            label["R"] = p_sign
+        if p_slot == "RW":
+            label["RW"] = p_sign
+    if label["RD"] == EPS and p_slot == "RD":
+        label["RD"] = p_sign
+    return first_def(*(label[slot] for slot in SLOTS))
+
+
+def spec_parent_final(p_slot, p_sign):
+    """The root element: its own slot wins by first_def ordering."""
+    label = {slot: EPS for slot in SLOTS}
+    label[p_slot] = p_sign
+    return first_def(*(label[slot] for slot in SLOTS))
+
+
+def spec_attribute_final(p_slot, p_sign, a_slot, a_sign):
+    """The attribute rule (DESIGN.md decision 2).
+
+    On attributes, recursive slots degrade to local (terminal nodes), so
+    a_slot ranges over L/LD/LW only. The parent contributes instance
+    signs (L then R), schema signs (LD then RD) and weak signs (LW then
+    RW); the attribute's own weak authorization blocks parent *instance*
+    propagation but yields to schema.
+    """
+    own = {"L": EPS, "LD": EPS, "LW": EPS}
+    own[a_slot] = a_sign
+    parent = {slot: EPS for slot in SLOTS}
+    parent[p_slot] = p_sign
+    ld_eff = first_def(own["LD"], parent["LD"], parent["RD"])
+    lw_eff = first_def(own["LW"], parent["LW"], parent["RW"])
+    if own["LW"] != EPS:
+        return first_def(own["L"], ld_eff, own["LW"])
+    return first_def(own["L"], parent["L"], parent["R"], ld_eff, lw_eff)
+
+
+def run_labeler(parent_auth, child_path, child_auth):
+    document = parse_document('<p k="v"><c/></p>', uri=URI)
+    instance, schema = [], []
+    for (path, slot, sign) in (("//p", *parent_auth), (child_path, *child_auth)):
+        if slot is None:
+            continue
+        is_schema, auth_type = _SLOT_TO_AUTH[slot]
+        uri = DTD_URI if is_schema else URI
+        target = (schema if is_schema else instance)
+        target.append(
+            Authorization.build(("Public", "*", "*"), f"{uri}:{path}", sign, auth_type)
+        )
+    labels = TreeLabeler(document, instance, schema, SubjectHierarchy()).run().labels
+    p = document.root
+    c = next(p.child_elements())
+    k = p.attribute_node("k")
+    return labels[p].final, labels[c].final, labels[k].final
+
+
+ELEMENT_CASES = [
+    (p_slot, p_sign, c_slot, c_sign)
+    for p_slot in SLOTS
+    for p_sign in SIGNS
+    for c_slot in SLOTS
+    for c_sign in SIGNS
+]
+
+
+@pytest.mark.parametrize("p_slot,p_sign,c_slot,c_sign", ELEMENT_CASES)
+def test_child_element_final(p_slot, p_sign, c_slot, c_sign):
+    _, child_final, _ = run_labeler((p_slot, p_sign), "//c", (c_slot, c_sign))
+    assert child_final == spec_child_final(p_slot, p_sign, c_slot, c_sign), (
+        f"parent {p_slot}{p_sign}, child {c_slot}{c_sign}"
+    )
+
+
+@pytest.mark.parametrize("p_slot", SLOTS)
+@pytest.mark.parametrize("p_sign", SIGNS)
+def test_parent_final(p_slot, p_sign):
+    parent_final, _, _ = run_labeler((p_slot, p_sign), "//c", (None, None))
+    assert parent_final == spec_parent_final(p_slot, p_sign)
+
+
+ATTR_CASES = [
+    (p_slot, p_sign, a_slot, a_sign)
+    for p_slot in SLOTS
+    for p_sign in SIGNS
+    for a_slot in ("L", "LD", "LW")
+    for a_sign in SIGNS
+]
+
+
+@pytest.mark.parametrize("p_slot,p_sign,a_slot,a_sign", ATTR_CASES)
+def test_attribute_final(p_slot, p_sign, a_slot, a_sign):
+    _, __, attr_final = run_labeler((p_slot, p_sign), "//p/@k", (a_slot, a_sign))
+    assert attr_final == spec_attribute_final(p_slot, p_sign, a_slot, a_sign), (
+        f"parent {p_slot}{p_sign}, attribute {a_slot}{a_sign}"
+    )
+
+
+@pytest.mark.parametrize("slot", ("R", "RW", "RD"))
+@pytest.mark.parametrize("sign", SIGNS)
+def test_recursive_auth_on_attribute_degrades_to_local(slot, sign):
+    """An R/RW authorization naming an attribute behaves as its local
+    counterpart (attributes are terminal — Section 6.1)."""
+    local = {"R": "L", "RW": "LW", "RD": "LD"}[slot]
+    _, __, via_recursive = run_labeler((None, None), "//p/@k", (slot, sign))
+    _, __, via_local = run_labeler((None, None), "//p/@k", (local, sign))
+    assert via_recursive == via_local == sign

@@ -1,0 +1,146 @@
+"""Tests for the Glushkov content-model automaton."""
+
+import pytest
+
+from repro.dtd.content_model import compile_model, explain_mismatch, match_children
+from repro.dtd.parser import parse_content_model
+
+
+def accepts(model_text: str, sequence: list[str]) -> bool:
+    return match_children(parse_content_model(model_text), sequence)
+
+
+class TestSequences:
+    def test_exact_sequence(self):
+        assert accepts("(a, b, c)", ["a", "b", "c"])
+        assert not accepts("(a, b, c)", ["a", "c", "b"])
+        assert not accepts("(a, b, c)", ["a", "b"])
+        assert not accepts("(a, b, c)", ["a", "b", "c", "c"])
+
+    def test_optional_member(self):
+        assert accepts("(a, b?, c)", ["a", "b", "c"])
+        assert accepts("(a, b?, c)", ["a", "c"])
+        assert not accepts("(a, b?, c)", ["a", "b", "b", "c"])
+
+    def test_star_member(self):
+        assert accepts("(a, b*, c)", ["a", "c"])
+        assert accepts("(a, b*, c)", ["a", "b", "b", "b", "c"])
+
+    def test_plus_member(self):
+        assert not accepts("(a+, b)", ["b"])
+        assert accepts("(a+, b)", ["a", "b"])
+        assert accepts("(a+, b)", ["a", "a", "b"])
+
+    def test_empty_sequence_vs_nullable(self):
+        assert accepts("(a?, b?)", [])
+        assert not accepts("(a, b?)", [])
+
+
+class TestChoices:
+    def test_simple_choice(self):
+        assert accepts("(a | b)", ["a"])
+        assert accepts("(a | b)", ["b"])
+        assert not accepts("(a | b)", ["a", "b"])
+        assert not accepts("(a | b)", [])
+
+    def test_choice_star(self):
+        assert accepts("(a | b)*", [])
+        assert accepts("(a | b)*", ["a", "b", "a", "a"])
+
+    def test_choice_plus(self):
+        assert not accepts("(a | b)+", [])
+        assert accepts("(a | b)+", ["b", "b"])
+
+
+class TestNestedGroups:
+    def test_paper_like_model(self):
+        model = "(manager, paper*, fund?)"
+        assert accepts(model, ["manager"])
+        assert accepts(model, ["manager", "paper", "paper", "fund"])
+        assert accepts(model, ["manager", "fund"])
+        assert not accepts(model, ["paper"])
+        assert not accepts(model, ["manager", "fund", "paper"])
+
+    def test_nested_star_group(self):
+        model = "(a, (b, c)*, d)"
+        assert accepts(model, ["a", "d"])
+        assert accepts(model, ["a", "b", "c", "b", "c", "d"])
+        assert not accepts(model, ["a", "b", "d"])
+
+    def test_nested_choice_in_sequence(self):
+        model = "((a | b), c)"
+        assert accepts(model, ["a", "c"])
+        assert accepts(model, ["b", "c"])
+        assert not accepts(model, ["a", "b", "c"])
+
+    def test_deeply_nested(self):
+        model = "((a?, (b | c)+)*, d)"
+        assert accepts(model, ["d"])
+        assert accepts(model, ["a", "b", "d"])
+        assert accepts(model, ["b", "c", "a", "b", "d"])
+        assert not accepts(model, ["a", "d"])
+
+    def test_same_name_twice_in_model(self):
+        # Glushkov positions distinguish the two occurrences of 'a'.
+        model = "(a, b, a)"
+        assert accepts(model, ["a", "b", "a"])
+        assert not accepts(model, ["a", "b"])
+        assert not accepts(model, ["a", "a", "b"])
+
+
+class TestSpecialKinds:
+    def test_empty_model(self):
+        from repro.dtd.model import ContentModel, ModelKind
+
+        model = ContentModel(ModelKind.EMPTY)
+        assert match_children(model, [])
+        assert not match_children(model, ["a"])
+
+    def test_any_model(self):
+        from repro.dtd.model import ContentModel, ModelKind
+
+        model = ContentModel(ModelKind.ANY)
+        assert match_children(model, [])
+        assert match_children(model, ["whatever", "goes"])
+
+    def test_mixed_model(self):
+        from repro.dtd.model import ContentModel, ModelKind
+
+        model = ContentModel(ModelKind.MIXED, mixed_names=("a", "b"))
+        assert match_children(model, [])
+        assert match_children(model, ["a", "a", "b"])
+        assert not match_children(model, ["c"])
+
+    def test_compile_returns_none_for_special_kinds(self):
+        from repro.dtd.model import ContentModel, ModelKind
+
+        assert compile_model(ContentModel(ModelKind.EMPTY)) is None
+        assert compile_model(ContentModel(ModelKind.ANY)) is None
+
+
+class TestAutomatonInternals:
+    def test_compilation_cached(self):
+        model = parse_content_model("(a, b)")
+        assert compile_model(model) is compile_model(model)
+
+    def test_unknown_name_rejected_quickly(self):
+        assert not accepts("(a, b)", ["zzz"])
+
+    def test_expected_after(self):
+        automaton = compile_model(parse_content_model("(a, (b | c), d)"))
+        assert automaton.expected_after(["a"], 1) == {"b", "c"}
+        assert automaton.expected_after([], 0) == {"a"}
+
+    def test_explain_mismatch_wrong_child(self):
+        model = parse_content_model("(a, b)")
+        message = explain_mismatch(model, ["a", "z"])
+        assert "<z>" in message and "'b'" in message
+
+    def test_explain_mismatch_too_short(self):
+        model = parse_content_model("(a, b)")
+        message = explain_mismatch(model, ["a"])
+        assert "ended too early" in message
+
+    def test_explain_accepting(self):
+        model = parse_content_model("(a)")
+        assert explain_mismatch(model, ["a"]) == "content matches"

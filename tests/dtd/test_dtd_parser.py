@@ -1,0 +1,249 @@
+"""Tests for the DTD parser."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import (
+    AttributeType,
+    ChoiceParticle,
+    DefaultKind,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    SequenceParticle,
+)
+from repro.dtd.parser import parse_content_model, parse_dtd
+
+
+class TestElementDeclarations:
+    def test_empty(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        assert dtd.element("a").content.kind is ModelKind.EMPTY
+
+    def test_any(self):
+        dtd = parse_dtd("<!ELEMENT a ANY>")
+        assert dtd.element("a").content.kind is ModelKind.ANY
+
+    def test_pcdata_only(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        model = dtd.element("a").content
+        assert model.kind is ModelKind.MIXED
+        assert model.mixed_names == ()
+
+    def test_mixed_with_names(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA | b | c)*>")
+        model = dtd.element("a").content
+        assert model.kind is ModelKind.MIXED
+        assert model.mixed_names == ("b", "c")
+
+    def test_mixed_with_names_requires_star(self):
+        with pytest.raises(DTDSyntaxError, match=r"\)\*"):
+            parse_dtd("<!ELEMENT a (#PCDATA | b)>")
+
+    def test_mixed_duplicate_name_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="duplicate"):
+            parse_dtd("<!ELEMENT a (#PCDATA | b | b)*>")
+
+    def test_sequence(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c, d)>")
+        particle = dtd.element("a").content.particle
+        assert isinstance(particle, SequenceParticle)
+        assert [item.name for item in particle.items] == ["b", "c", "d"]
+
+    def test_choice(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)>")
+        particle = dtd.element("a").content.particle
+        assert isinstance(particle, ChoiceParticle)
+
+    def test_occurrence_indicators(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c*, d+, e)>")
+        items = dtd.element("a").content.particle.items
+        assert [item.occurrence for item in items] == [
+            Occurrence.OPTIONAL,
+            Occurrence.ZERO_OR_MORE,
+            Occurrence.ONE_OR_MORE,
+            Occurrence.ONCE,
+        ]
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT a (b, (c | d)*, e?)>")
+        particle = dtd.element("a").content.particle
+        inner = particle.items[1]
+        assert isinstance(inner, ChoiceParticle)
+        assert inner.occurrence is Occurrence.ZERO_OR_MORE
+
+    def test_single_name_group_collapses(self):
+        model = parse_content_model("(b)")
+        assert isinstance(model.particle, NameParticle)
+
+    def test_group_occurrence_preserved(self):
+        model = parse_content_model("(b)+")
+        assert isinstance(model.particle, SequenceParticle)
+        assert model.particle.occurrence is Occurrence.ONE_OR_MORE
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="cannot mix"):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="duplicate declaration"):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>")
+
+
+class TestAttlistDeclarations:
+    def test_cdata_required(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a name CDATA #REQUIRED>"
+        )
+        attr = dtd.element("a").attributes["name"]
+        assert attr.type is AttributeType.CDATA
+        assert attr.default_kind is DefaultKind.REQUIRED
+        assert attr.required
+
+    def test_implied(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a x CDATA #IMPLIED>")
+        assert not dtd.element("a").attributes["x"].required
+
+    def test_fixed(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1.0">')
+        attr = dtd.element("a").attributes["v"]
+        assert attr.default_kind is DefaultKind.FIXED
+        assert attr.default_value == "1.0"
+
+    def test_plain_default(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a k CDATA "dflt">')
+        attr = dtd.element("a").attributes["k"]
+        assert attr.default_kind is DefaultKind.DEFAULT
+        assert attr.default_value == "dflt"
+
+    def test_enumeration(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a t (public|internal|private) #REQUIRED>"
+        )
+        attr = dtd.element("a").attributes["t"]
+        assert attr.type is AttributeType.ENUMERATION
+        assert attr.enumeration == ("public", "internal", "private")
+
+    def test_enumeration_default_must_be_member(self):
+        with pytest.raises(DTDSyntaxError, match="not among"):
+            parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a t (x|y) "z">')
+
+    def test_id_idref_types(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a i ID #REQUIRED r IDREF #IMPLIED rs IDREFS #IMPLIED>"
+        )
+        attrs = dtd.element("a").attributes
+        assert attrs["i"].type is AttributeType.ID
+        assert attrs["r"].type is AttributeType.IDREF
+        assert attrs["rs"].type is AttributeType.IDREFS
+
+    def test_nmtoken_types(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a n NMTOKEN #IMPLIED ns NMTOKENS #IMPLIED>"
+        )
+        attrs = dtd.element("a").attributes
+        assert attrs["n"].type is AttributeType.NMTOKEN
+        assert attrs["ns"].type is AttributeType.NMTOKENS
+
+    def test_notation_type(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a fmt NOTATION (gif|png) #IMPLIED>"
+        )
+        attr = dtd.element("a").attributes["fmt"]
+        assert attr.type is AttributeType.NOTATION
+        assert attr.enumeration == ("gif", "png")
+
+    def test_attlist_before_element(self):
+        dtd = parse_dtd("<!ATTLIST a x CDATA #IMPLIED><!ELEMENT a EMPTY>")
+        assert dtd.element("a").content.kind is ModelKind.EMPTY
+        assert "x" in dtd.element("a").attributes
+
+    def test_first_attribute_declaration_binding(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a x CDATA #REQUIRED>"
+            "<!ATTLIST a x CDATA #IMPLIED>"
+        )
+        assert dtd.element("a").attributes["x"].required
+
+    def test_multiple_attributes_one_attlist(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a\n  x CDATA #REQUIRED\n  y (u|v) \"u\"\n  z ID #IMPLIED>"
+        )
+        assert list(dtd.element("a").attributes) == ["x", "y", "z"]
+
+
+class TestEntities:
+    def test_general_entity(self):
+        dtd = parse_dtd('<!ENTITY who "world">')
+        assert dtd.general_entities["who"] == "world"
+
+    def test_char_refs_resolved_in_entity_value(self):
+        dtd = parse_dtd('<!ENTITY amp2 "&#38;">')
+        assert dtd.general_entities["amp2"] == "&"
+
+    def test_parameter_entity_expansion(self):
+        dtd = parse_dtd(
+            '<!ENTITY % common "name CDATA #REQUIRED">'
+            "<!ELEMENT a EMPTY><!ATTLIST a %common;>"
+        )
+        assert dtd.element("a").attributes["name"].required
+
+    def test_parameter_entity_cycle_detected(self):
+        with pytest.raises(DTDSyntaxError, match="expansion limit|cycle"):
+            parse_dtd(
+                '<!ENTITY % x "%y;"><!ENTITY % y "%x;"><!ELEMENT a (%x;)>'
+            )
+
+    def test_unknown_parameter_entity(self):
+        with pytest.raises(DTDSyntaxError, match="unknown parameter entity"):
+            parse_dtd("<!ELEMENT a (%nope;)>")
+
+    def test_external_entity_recorded_empty(self):
+        dtd = parse_dtd('<!ENTITY ext SYSTEM "http://x/chunk.xml">')
+        assert dtd.general_entities["ext"] == ""
+
+    def test_unparsed_entity_with_ndata(self):
+        dtd = parse_dtd(
+            '<!NOTATION gif SYSTEM "image/gif">'
+            '<!ENTITY pic SYSTEM "p.gif" NDATA gif>'
+        )
+        assert "pic" in dtd.general_entities
+        assert "gif" in dtd.notations
+
+    def test_first_entity_declaration_binding(self):
+        dtd = parse_dtd('<!ENTITY e "first"><!ENTITY e "second">')
+        assert dtd.general_entities["e"] == "first"
+
+
+class TestMisc:
+    def test_comments_and_pis_skipped(self):
+        dtd = parse_dtd(
+            "<!-- a comment -->\n<?pi data?>\n<!ELEMENT a EMPTY>"
+        )
+        assert dtd.element("a") is not None
+
+    def test_notation_declaration(self):
+        dtd = parse_dtd('<!NOTATION tex PUBLIC "+//TeX//EN">')
+        assert "tex" in dtd.notations
+
+    def test_error_position_reported(self):
+        with pytest.raises(DTDSyntaxError) as excinfo:
+            parse_dtd("<!ELEMENT a EMPTY>\n<!BOGUS>")
+        assert excinfo.value.line == 2
+
+    def test_uri_recorded(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>", uri="http://x/a.dtd")
+        assert dtd.uri == "http://x/a.dtd"
+
+    def test_root_candidates(self):
+        dtd = parse_dtd(
+            "<!ELEMENT root (mid+)><!ELEMENT mid (leaf)><!ELEMENT leaf EMPTY>"
+        )
+        assert dtd.root_candidates() == ["root"]
+
+    def test_root_candidates_cyclic_fallback(self):
+        dtd = parse_dtd("<!ELEMENT a (b?)><!ELEMENT b (a?)>")
+        assert set(dtd.root_candidates()) == {"a", "b"}

@@ -1,0 +1,76 @@
+"""Tests for determinism checking and DTD linting."""
+
+import pytest
+
+from repro.dtd.content_model import check_deterministic
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.validator import lint_dtd
+from repro.workloads.scenarios import LAB_DTD_TEXT
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            "(a, b, c)",
+            "(a?, b?, c?)",
+            "(a | b | c)",
+            "(a, (b | c)*, d?)",
+            "(manager, paper*, fund?)",
+            "(a, a)",          # consecutive same names: fine, no choice
+            "(a, b, a)",
+            "(a+, b)",
+        ],
+    )
+    def test_deterministic_models(self, model):
+        assert check_deterministic(parse_content_model(model)) is None
+
+    @pytest.mark.parametrize(
+        "model,offender",
+        [
+            ("(a?, a)", "a"),           # the spec's example shape
+            ("((a | b)*, a)", "a"),
+            ("((a, b) | (a, c))", "a"),
+            ("(a*, a)", "a"),
+            ("((b?, a) | a)", "a"),
+        ],
+    )
+    def test_nondeterministic_models(self, model, offender):
+        assert check_deterministic(parse_content_model(model)) == offender
+
+    def test_special_kinds_trivially_deterministic(self):
+        from repro.dtd.model import ContentModel, ModelKind
+
+        assert check_deterministic(ContentModel(ModelKind.EMPTY)) is None
+        assert check_deterministic(ContentModel(ModelKind.ANY)) is None
+        assert check_deterministic(
+            ContentModel(ModelKind.MIXED, mixed_names=("a", "b"))
+        ) is None
+
+
+class TestLintDtd:
+    def test_clean_dtd(self):
+        assert lint_dtd(parse_dtd(LAB_DTD_TEXT)) == []
+
+    def test_nondeterministic_model_reported(self):
+        problems = lint_dtd(
+            parse_dtd("<!ELEMENT a (b?, b)><!ELEMENT b EMPTY>")
+        )
+        assert any("not deterministic" in p for p in problems)
+
+    def test_undeclared_child_reported(self):
+        problems = lint_dtd(parse_dtd("<!ELEMENT a (ghost?)>"))
+        assert any("never declared" in p for p in problems)
+
+    def test_multiple_id_attributes_reported(self):
+        problems = lint_dtd(
+            parse_dtd(
+                "<!ELEMENT a EMPTY>"
+                "<!ATTLIST a i1 ID #IMPLIED i2 ID #IMPLIED>"
+            )
+        )
+        assert any("more than one ID" in p for p in problems)
+
+    def test_mixed_content_children_checked(self):
+        problems = lint_dtd(parse_dtd("<!ELEMENT a (#PCDATA | ghost)*>"))
+        assert any("ghost" in p for p in problems)

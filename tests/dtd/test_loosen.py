@@ -1,0 +1,100 @@
+"""Tests for DTD loosening (paper, Section 6.2)."""
+
+from repro.dtd.loosen import loosen, validate_against_loosened
+from repro.dtd.model import DefaultKind, Occurrence
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import validate
+from repro.xml.parser import parse_document
+
+DTD_TEXT = """
+<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, paper*, fund?)>
+<!ATTLIST project name CDATA #REQUIRED type CDATA #IMPLIED>
+<!ELEMENT manager (#PCDATA)>
+<!ELEMENT paper (#PCDATA)>
+<!ELEMENT fund (#PCDATA)>
+"""
+
+
+class TestLoosenTransformation:
+    def test_required_attribute_becomes_implied(self):
+        loosened = loosen(parse_dtd(DTD_TEXT))
+        attr = loosened.element("laboratory").attributes["name"]
+        assert attr.default_kind is DefaultKind.IMPLIED
+
+    def test_implied_attribute_unchanged(self):
+        loosened = loosen(parse_dtd(DTD_TEXT))
+        attr = loosened.element("project").attributes["type"]
+        assert attr.default_kind is DefaultKind.IMPLIED
+
+    def test_once_becomes_optional(self):
+        loosened = loosen(parse_dtd(DTD_TEXT))
+        items = loosened.element("project").content.particle.items
+        assert items[0].occurrence is Occurrence.OPTIONAL  # manager
+
+    def test_plus_becomes_star(self):
+        loosened = loosen(parse_dtd(DTD_TEXT))
+        particle = loosened.element("laboratory").content.particle
+        assert particle.occurrence is Occurrence.ZERO_OR_MORE
+
+    def test_star_and_optional_unchanged(self):
+        loosened = loosen(parse_dtd(DTD_TEXT))
+        items = loosened.element("project").content.particle.items
+        assert items[1].occurrence is Occurrence.ZERO_OR_MORE  # paper*
+        assert items[2].occurrence is Occurrence.OPTIONAL      # fund?
+
+    def test_original_not_mutated(self):
+        original = parse_dtd(DTD_TEXT)
+        loosen(original)
+        assert original.element("laboratory").attributes["name"].required
+
+    def test_fixed_attribute_survives(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1">')
+        loosened = loosen(dtd)
+        assert loosened.element("a").attributes["v"].default_kind is DefaultKind.FIXED
+
+    def test_empty_any_mixed_unchanged(self):
+        dtd = parse_dtd(
+            "<!ELEMENT e EMPTY><!ELEMENT a ANY><!ELEMENT m (#PCDATA | e)*>"
+        )
+        loosened = loosen(dtd)
+        assert loosened.element("e").content.unparse() == "EMPTY"
+        assert loosened.element("a").content.unparse() == "ANY"
+        assert loosened.element("m").content.unparse() == "(#PCDATA | e)*"
+
+
+class TestLoosenedValidity:
+    def test_pruned_document_valid_under_loosened(self):
+        # Simulates a view where manager and the name attribute were pruned.
+        pruned = parse_document(
+            "<laboratory><project><paper>p</paper></project></laboratory>"
+        )
+        dtd = parse_dtd(DTD_TEXT)
+        assert not validate(pruned, dtd).valid
+        assert validate(pruned, loosen(dtd)).valid
+
+    def test_bare_root_valid_under_loosened(self):
+        pruned = parse_document("<laboratory/>")
+        dtd = parse_dtd(DTD_TEXT)
+        assert not validate(pruned, dtd).valid
+        assert validate(pruned, loosen(dtd)).valid
+
+    def test_helper_uses_attached_dtd(self):
+        document = parse_document("<laboratory/>")
+        document.dtd = parse_dtd(DTD_TEXT)
+        assert validate_against_loosened(document).valid
+
+    def test_helper_reports_missing_dtd(self):
+        report = validate_against_loosened(parse_document("<a/>"))
+        assert not report.valid
+
+    def test_loosening_is_idempotent(self):
+        dtd = parse_dtd(DTD_TEXT)
+        once = loosen(dtd)
+        twice = loosen(once)
+        for name in dtd.elements:
+            assert (
+                once.element(name).content.unparse()
+                == twice.element(name).content.unparse()
+            )

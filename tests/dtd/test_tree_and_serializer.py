@@ -1,0 +1,109 @@
+"""Tests for the DTD labeled-tree (Figure 1b) and DTD serialization."""
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import serialize_dtd, serialize_element_decl
+from repro.dtd.tree import dtd_tree, render_tree
+from repro.workloads.scenarios import LAB_DTD_TEXT
+
+
+class TestDtdTree:
+    def test_root_and_children(self):
+        tree = dtd_tree(parse_dtd(LAB_DTD_TEXT))
+        assert tree.name == "laboratory"
+        assert tree.kind == "element"
+        child_names = [child.name for child in tree.children]
+        assert child_names[0] == "name"  # attribute first
+        assert "project" in child_names
+
+    def test_attribute_nodes_marked(self):
+        tree = dtd_tree(parse_dtd(LAB_DTD_TEXT))
+        name_node = tree.children[0]
+        assert name_node.kind == "attribute"
+        assert name_node.cardinality == ""  # required
+
+    def test_implied_attribute_cardinality(self):
+        tree = dtd_tree(parse_dtd(LAB_DTD_TEXT))
+        project = next(c for c in tree.children if c.name == "project")
+        paper = next(c for c in project.children if c.name == "paper")
+        type_attr = next(c for c in paper.children if c.name == "type")
+        assert type_attr.cardinality == "?"
+
+    def test_cardinality_labels_on_arcs(self):
+        tree = dtd_tree(parse_dtd(LAB_DTD_TEXT))
+        project = next(c for c in tree.children if c.name == "project")
+        assert project.cardinality == "+"
+        cards = {c.name: c.cardinality for c in project.children}
+        assert cards["manager"] == ""
+        assert cards["paper"] == "*"
+        assert cards["fund"] == "?"
+
+    def test_counts_match_figure(self):
+        tree = dtd_tree(parse_dtd(LAB_DTD_TEXT))
+        assert tree.element_count() == 9   # laboratory..fund, title, authors
+        assert tree.attribute_count() == 7
+
+    def test_recursive_dtd_cut_off(self):
+        tree = dtd_tree(parse_dtd("<!ELEMENT a (b?)><!ELEMENT b (a?)>"), root="a")
+        b = tree.children[0]
+        inner_a = b.children[0]
+        assert inner_a.recursive
+        assert inner_a.children == []
+
+    def test_nested_group_cardinality_combination(self):
+        tree = dtd_tree(parse_dtd("<!ELEMENT a ((b, c?)*, d+)><!ELEMENT b EMPTY>"
+                                  "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"), root="a")
+        cards = {c.name: c.cardinality for c in tree.children}
+        assert cards["b"] == "*"
+        assert cards["c"] == "*"   # '?' inside '*' is effectively '*'
+        assert cards["d"] == "+"
+
+    def test_mixed_content_children(self):
+        tree = dtd_tree(parse_dtd("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>"),
+                        root="a")
+        assert tree.children[0].name == "b"
+        assert tree.children[0].cardinality == "*"
+
+    def test_render_tree_shapes(self):
+        rendered = render_tree(dtd_tree(parse_dtd(LAB_DTD_TEXT)))
+        assert "(laboratory)" in rendered            # circle = element
+        assert "[name]" in rendered                  # square = attribute
+        assert "+ (project)" in rendered             # labeled arc
+        assert "* (paper)" in rendered
+
+
+class TestDtdSerializer:
+    def test_element_roundtrip(self):
+        dtd = parse_dtd(LAB_DTD_TEXT)
+        text = serialize_dtd(dtd)
+        again = parse_dtd(text)
+        assert set(again.elements) == set(dtd.elements)
+        for name in dtd.elements:
+            assert (
+                again.element(name).content.unparse()
+                == dtd.element(name).content.unparse()
+            )
+
+    def test_attributes_roundtrip(self):
+        dtd = parse_dtd(LAB_DTD_TEXT)
+        again = parse_dtd(serialize_dtd(dtd))
+        for name, decl in dtd.elements.items():
+            for attr_name, attr in decl.attributes.items():
+                other = again.element(name).attributes[attr_name]
+                assert other.type == attr.type
+                assert other.default_kind == attr.default_kind
+                assert other.default_value == attr.default_value
+                assert other.enumeration == attr.enumeration
+
+    def test_entities_roundtrip(self):
+        dtd = parse_dtd('<!ENTITY who "a &#38; b">')
+        again = parse_dtd(serialize_dtd(dtd))
+        assert again.general_entities["who"] == "a & b"
+
+    def test_single_declaration(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)*><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        text = serialize_element_decl(dtd.element("a"))
+        assert text == "<!ELEMENT a (b | c)*>"
+
+    def test_notation_serialized(self):
+        dtd = parse_dtd('<!NOTATION gif SYSTEM "image/gif">')
+        assert 'NOTATION gif SYSTEM "image/gif"' in serialize_dtd(dtd)

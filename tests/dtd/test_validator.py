@@ -1,0 +1,250 @@
+"""Tests for document validation against a DTD."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import apply_defaults, validate
+from repro.xml.parser import parse_document
+
+LAB_DTD = """
+<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, paper*, fund?)>
+<!ATTLIST project name CDATA #REQUIRED type (public|internal) #REQUIRED>
+<!ELEMENT manager (#PCDATA)>
+<!ELEMENT paper (#PCDATA)>
+<!ATTLIST paper category (public|private) "public">
+<!ELEMENT fund (#PCDATA)>
+"""
+
+
+def check(xml: str, dtd_text: str = LAB_DTD):
+    return validate(parse_document(xml), parse_dtd(dtd_text))
+
+
+class TestStructuralValidation:
+    def test_valid_document(self):
+        report = check(
+            '<laboratory name="L"><project name="p" type="public">'
+            "<manager>m</manager></project></laboratory>"
+        )
+        assert report.valid
+        assert bool(report)
+
+    def test_undeclared_element(self):
+        report = check(
+            '<laboratory name="L"><bogus/></laboratory>'
+        )
+        assert any("not declared" in v for v in report.violations)
+
+    def test_content_model_violation(self):
+        report = check(
+            '<laboratory name="L"><project name="p" type="public">'
+            "<fund>f</fund></project></laboratory>"
+        )
+        assert not report.valid
+        assert any("manager" in v for v in report.violations)
+
+    def test_text_in_element_content(self):
+        report = check(
+            '<laboratory name="L">stray text<project name="p" type="public">'
+            "<manager>m</manager></project></laboratory>"
+        )
+        assert any("character data" in v for v in report.violations)
+
+    def test_whitespace_in_element_content_ok(self):
+        report = check(
+            '<laboratory name="L">\n  <project name="p" type="public">'
+            "<manager>m</manager></project>\n</laboratory>"
+        )
+        assert report.valid
+
+    def test_doctype_name_mismatch(self):
+        document = parse_document('<!DOCTYPE wrong SYSTEM "x"><laboratory/>')
+        report = validate(document, parse_dtd("<!ELEMENT laboratory EMPTY>"))
+        assert any("DOCTYPE" in v for v in report.violations)
+
+    def test_empty_element_with_content(self):
+        report = check("<a>text</a>", "<!ELEMENT a EMPTY>")
+        assert any("EMPTY" in v for v in report.violations)
+
+    def test_raise_on_error(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate(
+                parse_document("<bogus/>"),
+                parse_dtd("<!ELEMENT a EMPTY>"),
+                raise_on_error=True,
+            )
+        assert excinfo.value.violations
+
+    def test_no_dtd_available(self):
+        report = validate(parse_document("<a/>"))
+        assert any("no DTD" in v for v in report.violations)
+
+    def test_validate_bare_element(self):
+        from repro.xml.parser import parse_fragment
+
+        report = validate(parse_fragment("<a/>"), parse_dtd("<!ELEMENT a EMPTY>"))
+        assert report.valid
+
+
+def raise_on_error_shim(xml, dtd_text):
+    return validate(parse_document(xml), parse_dtd(dtd_text), raise_on_error=True)
+
+
+class TestAttributeValidation:
+    def test_missing_required_attribute(self):
+        report = check(
+            '<laboratory><project name="p" type="public">'
+            "<manager>m</manager></project></laboratory>"
+        )
+        assert any("required attribute 'name'" in v for v in report.violations)
+
+    def test_undeclared_attribute(self):
+        report = check(
+            '<laboratory name="L" extra="x"><project name="p" type="public">'
+            "<manager>m</manager></project></laboratory>"
+        )
+        assert any("'extra' is not declared" in v for v in report.violations)
+
+    def test_enumeration_violation(self):
+        report = check(
+            '<laboratory name="L"><project name="p" type="weird">'
+            "<manager>m</manager></project></laboratory>"
+        )
+        assert any("'weird' not in" in v for v in report.violations)
+
+    def test_fixed_value_mismatch(self):
+        report = check(
+            '<a v="2.0"/>', '<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1.0">'
+        )
+        assert any("#FIXED" in v for v in report.violations)
+
+    def test_fixed_value_match_ok(self):
+        report = check(
+            '<a v="1.0"/>', '<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1.0">'
+        )
+        assert report.valid
+
+    def test_nmtoken_validation(self):
+        dtd = "<!ELEMENT a EMPTY><!ATTLIST a n NMTOKEN #REQUIRED>"
+        assert check('<a n="ok-token"/>', dtd).valid
+        assert not check('<a n="two words"/>', dtd).valid
+
+    def test_nmtokens_validation(self):
+        dtd = "<!ELEMENT a EMPTY><!ATTLIST a n NMTOKENS #REQUIRED>"
+        assert check('<a n="one two three"/>', dtd).valid
+        assert not check('<a n="bad@token"/>', dtd).valid
+
+
+class TestIdValidation:
+    DTD = (
+        "<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+        "<!ATTLIST b i ID #REQUIRED r IDREF #IMPLIED rs IDREFS #IMPLIED>"
+    )
+
+    def test_unique_ids_ok(self):
+        assert check('<a><b i="x"/><b i="y" r="x"/></a>', self.DTD).valid
+
+    def test_duplicate_id(self):
+        report = check('<a><b i="x"/><b i="x"/></a>', self.DTD)
+        assert any("duplicate ID" in v for v in report.violations)
+
+    def test_dangling_idref(self):
+        report = check('<a><b i="x" r="nope"/></a>', self.DTD)
+        assert any("does not match any ID" in v for v in report.violations)
+
+    def test_idrefs_each_checked(self):
+        report = check('<a><b i="x" rs="x nope"/></a>', self.DTD)
+        assert any("nope" in v for v in report.violations)
+
+    def test_id_not_a_name(self):
+        report = check('<a><b i="1bad"/></a>', self.DTD)
+        assert any("is not a name" in v for v in report.violations)
+
+    def test_id_checks_can_be_disabled(self):
+        document = parse_document('<a><b i="x" r="nope"/></a>')
+        report = validate(document, parse_dtd(self.DTD), check_ids=False)
+        assert report.valid
+
+
+class TestApplyDefaults:
+    DTD = (
+        "<!ELEMENT a EMPTY>"
+        '<!ATTLIST a k CDATA "dflt" f CDATA #FIXED "1" r CDATA #REQUIRED>'
+    )
+
+    def test_defaults_added(self):
+        document = parse_document('<a r="x"/>')
+        added = apply_defaults(document, parse_dtd(self.DTD))
+        assert added == 2
+        assert document.root.get_attribute("k") == "dflt"
+        assert document.root.get_attribute("f") == "1"
+
+    def test_existing_values_kept(self):
+        document = parse_document('<a r="x" k="mine"/>')
+        apply_defaults(document, parse_dtd(self.DTD))
+        assert document.root.get_attribute("k") == "mine"
+
+    def test_required_never_fabricated(self):
+        document = parse_document("<a/>")
+        apply_defaults(document, parse_dtd(self.DTD))
+        assert not document.root.has_attribute("r")
+
+    def test_no_dtd_noop(self):
+        document = parse_document("<a/>")
+        assert apply_defaults(document) == 0
+
+
+class TestNormalizeAttributes:
+    DTD = (
+        "<!ELEMENT a EMPTY>"
+        "<!ATTLIST a tok NMTOKEN #IMPLIED toks NMTOKENS #IMPLIED "
+        "ref IDREF #IMPLIED raw CDATA #IMPLIED>"
+    )
+
+    def normalize(self, xml):
+        from repro.dtd.validator import normalize_attributes
+
+        document = parse_document(xml)
+        changed = normalize_attributes(document, parse_dtd(self.DTD))
+        return document.root, changed
+
+    def test_tokenized_values_collapsed(self):
+        root, changed = self.normalize('<a toks="  one   two  three "/>')
+        assert root.get_attribute("toks") == "one two three"
+        assert changed == 1
+
+    def test_single_token_trimmed(self):
+        root, _ = self.normalize('<a tok="  word  "/>')
+        assert root.get_attribute("tok") == "word"
+
+    def test_cdata_left_alone(self):
+        root, changed = self.normalize('<a raw="  keep   spacing  "/>')
+        assert root.get_attribute("raw") == "  keep   spacing  "
+        assert changed == 0
+
+    def test_idref_normalized(self):
+        root, _ = self.normalize('<a ref=" x1 "/>')
+        assert root.get_attribute("ref") == "x1"
+
+    def test_already_normalized_unchanged(self):
+        _, changed = self.normalize('<a toks="one two"/>')
+        assert changed == 0
+
+    def test_no_dtd_noop(self):
+        from repro.dtd.validator import normalize_attributes
+
+        document = parse_document('<a toks="  x  "/>')
+        assert normalize_attributes(document) == 0
+
+    def test_normalization_fixes_validation(self):
+        # ' word ' fails NMTOKEN validation raw, passes normalized.
+        from repro.dtd.validator import normalize_attributes
+
+        document = parse_document('<a tok=" word "/>')
+        dtd = parse_dtd(self.DTD)
+        assert not validate(document, dtd).valid
+        normalize_attributes(document, dtd)
+        assert validate(document, dtd).valid

@@ -1,0 +1,103 @@
+"""End-to-end integration: publish, grant via XACL, serve, query, audit."""
+
+import pytest
+
+from repro.authz.xacl import serialize_xacl
+from repro.core.view import compute_view
+from repro.dtd.generator import generate_instance
+from repro.dtd.loosen import validate_against_loosened
+from repro.dtd.parser import parse_dtd
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.workloads.scenarios import (
+    LAB_DOCUMENT_URI,
+    LAB_DTD_TEXT,
+    LAB_DTD_URI,
+    lab_authorizations,
+    lab_document,
+)
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture
+def server():
+    s = SecureXMLServer()
+    s.add_group("Foreign")
+    s.add_group("Admin")
+    s.add_user("Tom", groups=["Foreign"])
+    s.add_user("Alice", groups=["Admin"])
+    s.publish_dtd(LAB_DTD_URI, LAB_DTD_TEXT)
+    s.publish_document(
+        LAB_DOCUMENT_URI, lab_document(), dtd_uri=LAB_DTD_URI, validate_on_add=True
+    )
+    # Grants arrive as XACL markup, the paper's wire format.
+    s.attach_xacl(serialize_xacl(lab_authorizations()))
+    return s
+
+
+def tom():
+    return Requester("Tom", "130.100.50.8", "infosys.bld1.it")
+
+
+class TestServerLifecycle:
+    def test_serve_matches_compute_view(self, server):
+        response = server.serve(AccessRequest(tom(), LAB_DOCUMENT_URI))
+        direct = compute_view(
+            server.repository.document(LAB_DOCUMENT_URI),
+            tom(),
+            server.store,
+            dtd_uri=LAB_DTD_URI,
+        )
+        from repro.xml.serializer import serialize
+
+        assert response.xml_text == serialize(direct.document, doctype=False)
+
+    def test_served_view_revalidates(self, server):
+        response = server.serve(AccessRequest(tom(), LAB_DOCUMENT_URI))
+        view_doc = parse_document(response.xml_text)
+        view_doc.dtd = parse_dtd(response.loosened_dtd_text)
+        report = validate_against_loosened(view_doc, server.repository.dtd(LAB_DTD_URI))
+        assert report.valid, report.violations
+
+    def test_query_over_view(self, server):
+        response = server.query(
+            QueryRequest(tom(), LAB_DOCUMENT_URI, "//paper/title")
+        )
+        assert len(response.matches) == 1
+        assert "Access Control Model" in response.matches[0]
+
+    def test_audit_covers_all_requests(self, server):
+        server.serve(AccessRequest(tom(), LAB_DOCUMENT_URI))
+        server.query(QueryRequest(tom(), LAB_DOCUMENT_URI, "//paper"))
+        assert len(server.audit) == 2
+
+    def test_multiple_documents_independent(self, server):
+        other_uri = "http://www.lab.com/other.xml"
+        server.publish_document(other_uri, "<misc><x>1</x></misc>")
+        response = server.serve(AccessRequest(tom(), other_uri))
+        assert response.empty  # no grants on the new document
+
+    def test_generated_instances_served(self, server):
+        dtd = server.repository.dtd(LAB_DTD_URI)
+        for seed in range(3):
+            uri = f"http://www.lab.com/gen{seed}.xml"
+            document = generate_instance(dtd, seed=seed, uri=uri)
+            server.publish_document(uri, document, dtd_uri=LAB_DTD_URI)
+            response = server.serve(AccessRequest(tom(), uri))
+            # Schema-level authorizations apply to every instance of the
+            # DTD; private papers must never appear.
+            assert 'category="private"' not in response.xml_text
+
+    def test_schema_auths_apply_to_all_instances(self, server):
+        from repro.authz.authorization import Authorization
+
+        # Grant everything on a generated instance; the DTD-level denial
+        # must still hide private papers.
+        dtd = server.repository.dtd(LAB_DTD_URI)
+        uri = "http://www.lab.com/gen-full.xml"
+        document = generate_instance(dtd, seed=11, uri=uri, repeat_factor=3.0)
+        server.publish_document(uri, document, dtd_uri=LAB_DTD_URI)
+        server.grant(Authorization.build(("Foreign", "*", "*"), uri, "+", "RW"))
+        response = server.serve(AccessRequest(tom(), uri))
+        assert 'category="private"' not in response.xml_text

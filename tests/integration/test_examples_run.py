@@ -1,0 +1,35 @@
+"""Every example script must run cleanly end to end.
+
+Examples are documentation; a broken example is a broken promise. Each
+one is executed as a subprocess (exactly as a user would run it) and
+its key output lines are sanity-checked.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+CASES = {
+    "quickstart.py": ["Figure 3(b)", "Tom's view", "Audit log", "(laboratory)"],
+    "hospital_records.py": ["Physician", "nothing leaks", "Audit trail"],
+    "financial_feeds.py": ["Fraud desk", "loosened statement DTD: True"],
+    "editorial_workflow.py": ["rate-limited", "denied as expected", "hit-rate"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    for marker in CASES[script]:
+        assert marker in result.stdout, f"{script}: missing {marker!r}"

@@ -1,0 +1,117 @@
+"""Golden-output regression tests.
+
+These pin the *exact* serialized artifacts of the paper's scenario, so
+any drift in serialization, labeling or pruning shows up as a readable
+diff rather than a subtle behaviour change. Update deliberately.
+"""
+
+from repro.core.view import compute_view
+from repro.dtd.loosen import loosen
+from repro.dtd.serializer import serialize_dtd
+from repro.dtd.tree import dtd_tree, render_tree
+from repro.xml.serializer import serialize
+
+TOM_VIEW_GOLDEN = (
+    "<laboratory>"
+    "<project>"
+    "<manager><flname>Bob White</flname><email>bob@lab.com</email></manager>"
+    '<paper category="public" type="conference">'
+    "<title>An Access Control Model for XML</title>"
+    "<authors>B. White</authors>"
+    "</paper>"
+    "</project>"
+    "</laboratory>"
+)
+
+SAM_VIEW_GOLDEN = (
+    "<laboratory>"
+    "<project>"
+    '<paper category="public" type="conference">'
+    "<title>An Access Control Model for XML</title>"
+    "<authors>B. White</authors>"
+    "</paper>"
+    "</project>"
+    "</laboratory>"
+)
+
+LAB_TREE_GOLDEN = """\
+(laboratory)
+|--[name]
+`--+ (project)
+   |--[name]
+   |--[type]
+   |--(manager)
+   |  |--(flname)
+   |  `--? (email)
+   |--* (paper)
+   |  |--[category]
+   |  |--? [type]
+   |  |--(title)
+   |  `--? (authors)
+   `--? (fund)
+      |--? [amount]
+      `--? [sponsor]"""
+
+LOOSENED_LAB_DTD_GOLDEN = """\
+<!ELEMENT laboratory (project*)>
+<!ATTLIST laboratory
+          name CDATA #IMPLIED>
+<!ELEMENT project (manager?, paper*, fund?)?>
+<!ATTLIST project
+          name CDATA #IMPLIED
+          type (public | internal) #IMPLIED>
+<!ELEMENT manager (flname?, email?)?>
+<!ELEMENT flname (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT paper (title?, authors?)?>
+<!ATTLIST paper
+          category (public | private | internal) #IMPLIED
+          type CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authors (#PCDATA)>
+<!ELEMENT fund (#PCDATA)>
+<!ATTLIST fund
+          amount CDATA #IMPLIED
+          sponsor CDATA #IMPLIED>"""
+
+
+def strip_whitespace_nodes(xml_text: str) -> str:
+    from repro.xml.parser import parse_document
+    from repro.xml.serializer import serialize as ser
+
+    return ser(
+        parse_document(xml_text, keep_ignorable_whitespace=False),
+        xml_declaration=False,
+        doctype=False,
+    )
+
+
+class TestGoldenOutputs:
+    def test_tom_view_exact(self, lab):
+        view = compute_view(lab.document, lab.tom, lab.store).document
+        rendered = serialize(view, xml_declaration=False, doctype=False)
+        assert strip_whitespace_nodes(rendered) == TOM_VIEW_GOLDEN
+
+    def test_sam_view_exact(self, lab):
+        view = compute_view(lab.document, lab.sam, lab.store).document
+        rendered = serialize(view, xml_declaration=False, doctype=False)
+        assert strip_whitespace_nodes(rendered) == SAM_VIEW_GOLDEN
+
+    def test_lab_dtd_tree_exact(self, lab):
+        assert render_tree(dtd_tree(lab.dtd)) == LAB_TREE_GOLDEN
+
+    def test_loosened_dtd_exact(self, lab):
+        assert serialize_dtd(loosen(lab.dtd)) == LOOSENED_LAB_DTD_GOLDEN
+
+    def test_serve_equals_processor_pipeline(self, lab):
+        """The facade and the 4-step processor must emit byte-identical
+        views for the same request."""
+        from repro.core.processor import SecurityProcessor
+        from repro.workloads.scenarios import LAB_DTD_URI
+
+        instance = lab.store.applicable(lab.tom, lab.document.uri)
+        schema = lab.store.applicable(lab.tom, LAB_DTD_URI)
+        processor = SecurityProcessor(hierarchy=lab.hierarchy)
+        output = processor.process_document(lab.document, instance, schema)
+        direct = compute_view(lab.document, lab.tom, lab.store).document
+        assert output.xml_text == serialize(direct, doctype=False)

@@ -1,0 +1,186 @@
+"""Reproduction of the paper's worked examples (Figures 1-3, Examples 1-2).
+
+These are the paper's ground-truth artifacts; EXPERIMENTS.md records the
+mapping. Figure 3(b) — Tom's view — is the headline: Tom is a member of
+Foreign connecting from infosys.bld1.it, so he sees public papers (RW+
+of Example 1.2), managers of public projects (weak + of Example 1.4),
+and no private papers (schema-level R− of Example 1.1).
+"""
+
+from repro.core.view import compute_view
+from repro.dtd.loosen import validate_against_loosened
+from repro.dtd.tree import dtd_tree, render_tree
+from repro.dtd.validator import validate
+from repro.subjects.hierarchy import Requester
+from repro.xml.serializer import serialize
+from repro.xpath.evaluator import select
+
+
+class TestFigure1:
+    def test_dtd_tree_matches_figure(self, lab):
+        tree = dtd_tree(lab.dtd)
+        assert tree.name == "laboratory"
+        rendered = render_tree(tree)
+        # Elements as circles, attributes as squares, arcs labeled.
+        assert "(laboratory)" in rendered
+        assert "[name]" in rendered
+        assert "+ (project)" in rendered
+        assert "* (paper)" in rendered
+        assert "? (fund)" in rendered
+        assert "(manager)" in rendered
+        assert "(flname)" in rendered
+
+
+class TestExample2TomView:
+    """Example 2: Tom ∈ Foreign, from infosys.bld1.it (130.100.50.8)."""
+
+    def view(self, lab):
+        return compute_view(lab.document, lab.tom, lab.store)
+
+    def test_authorization_selection(self, lab):
+        result = self.view(lab)
+        # Applicable: Example 1.2 (Public RW+) and 1.4 (Public/*.it weak+)
+        # at the instance level; 1.1 (Foreign R-) at the schema level.
+        assert len(result.instance_auths) == 2
+        assert len(result.schema_auths) == 1
+        # 1.3 (Admin from 130.89.56.8) does not apply to Tom.
+        assert all(
+            a.subject.user_group != "Admin" for a in result.instance_auths
+        )
+
+    def test_public_papers_visible(self, lab):
+        text = serialize(self.view(lab).document)
+        assert "An Access Control Model for XML" in text
+
+    def test_private_papers_hidden(self, lab):
+        text = serialize(self.view(lab).document)
+        assert "Security Internals" not in text
+        assert "Kernel Hardening" not in text
+
+    def test_internal_papers_hidden(self, lab):
+        # Internal papers are neither granted nor denied: closed policy
+        # hides them.
+        text = serialize(self.view(lab).document)
+        assert "Implementation Notes" not in text
+
+    def test_public_project_manager_visible(self, lab):
+        view_doc = self.view(lab).document
+        flnames = select("//manager/flname", view_doc)
+        assert [node.text() for node in flnames] == ["Bob White"]
+
+    def test_internal_project_entirely_hidden(self, lab):
+        view_doc = self.view(lab).document
+        assert len(select("//project", view_doc)) == 1
+        text = serialize(view_doc)
+        assert "Carol Green" not in text
+        assert "Secure Kernel" not in text
+
+    def test_fund_hidden(self, lab):
+        text = serialize(self.view(lab).document)
+        assert "FASTER" not in text
+        assert "sponsor" not in text
+
+    def test_structural_tags_without_attributes(self, lab):
+        # laboratory and project survive as bare tags: their attributes
+        # (name, type) are not part of any grant.
+        view_doc = self.view(lab).document
+        assert view_doc.root.attributes == {}
+        project = next(view_doc.root.find_children("project"))
+        assert project.attributes == {}
+
+    def test_view_valid_against_loosened_dtd(self, lab):
+        result = self.view(lab)
+        report = validate_against_loosened(result.document, lab.dtd)
+        assert report.valid, report.violations
+
+    def test_view_not_valid_against_strict_dtd(self, lab):
+        # The pruned view drops required attributes, so the original DTD
+        # must reject it — this is exactly why loosening exists.
+        result = self.view(lab)
+        strict = validate(result.document, lab.dtd)
+        assert not strict.valid
+
+    def test_paper_attribute_category_visible_on_granted_paper(self, lab):
+        view_doc = self.view(lab).document
+        papers = select("//paper", view_doc)
+        assert len(papers) == 1
+        assert papers[0].get_attribute("category") == "public"
+
+
+class TestOtherRequesters:
+    def test_alice_admin_sees_internal_project(self, lab):
+        result = compute_view(lab.document, lab.alice, lab.store)
+        text = serialize(result.document)
+        # Example 1.3: Admin from 130.89.56.8 gets internal projects
+        # recursively (Alice is not in Foreign, so no private-paper
+        # denial applies to her).
+        assert "Secure Kernel" in text
+        assert "Carol Green" in text
+        assert "Kernel Hardening" in text
+
+    def test_alice_does_not_get_it_manager_grant(self, lab):
+        # Example 1.4 requires a *.it host; Alice connects from lab.com.
+        result = compute_view(lab.document, lab.alice, lab.store)
+        flnames = select("//manager/flname", result.document)
+        assert all(node.text() != "Bob White" for node in flnames)
+
+    def test_sam_sees_only_public_papers(self, lab):
+        result = compute_view(lab.document, lab.sam, lab.store)
+        text = serialize(result.document)
+        assert "An Access Control Model for XML" in text
+        assert "Bob White" not in text
+        assert "Secure Kernel" not in text
+
+    def test_foreign_member_from_it_same_as_tom(self, lab):
+        lab.hierarchy.directory.add_user("enzo", groups=["Foreign"])
+        enzo = Requester("enzo", "130.100.50.99", "pc.milano.it")
+        tom_text = serialize(compute_view(lab.document, lab.tom, lab.store).document)
+        enzo_text = serialize(compute_view(lab.document, enzo, lab.store).document)
+        assert tom_text == enzo_text
+
+    def test_anonymous_from_nowhere(self, lab):
+        anonymous = Requester("anonymous", "8.8.8.8", "resolver.example.org")
+        result = compute_view(lab.document, anonymous, lab.store)
+        text = serialize(result.document)
+        # Public RW+ on public papers applies; the .it manager grant
+        # does not; nothing else is granted.
+        assert "An Access Control Model for XML" in text
+        assert "Bob White" not in text
+
+
+class TestSchemaDenialMatters:
+    def test_foreign_weak_grant_cannot_reveal_private_papers(self, lab):
+        """The Example-1.1 denial has teeth: grant Foreign members the
+        whole document weakly; private papers must stay hidden while the
+        rest becomes visible."""
+        from repro.authz.authorization import Authorization
+        from repro.workloads.scenarios import LAB_DOCUMENT_URI
+
+        lab.store.add(
+            Authorization.build(
+                ("Foreign", "*", "*"), LAB_DOCUMENT_URI, "+", "RW"
+            )
+        )
+        result = compute_view(lab.document, lab.tom, lab.store)
+        text = serialize(result.document)
+        assert "FASTER" in text                 # now visible via the grant
+        assert "Implementation Notes" in text   # internal paper: no denial
+        assert "Security Internals" not in text  # private: schema denial
+        assert "Kernel Hardening" not in text
+
+    def test_strong_instance_grant_beats_schema_denial(self, lab):
+        """Conversely a *strong* instance grant overrides the schema
+        denial — the paper's instance-over-schema priority."""
+        from repro.authz.authorization import Authorization
+        from repro.workloads.scenarios import LAB_DOCUMENT_URI
+
+        lab.store.add(
+            Authorization.build(
+                ("Foreign", "*", "*"),
+                LAB_DOCUMENT_URI + ':/laboratory//paper[./@category="private"]',
+                "+",
+                "R",
+            )
+        )
+        result = compute_view(lab.document, lab.tom, lab.store)
+        assert "Security Internals" in serialize(result.document)

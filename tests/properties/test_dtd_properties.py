@@ -1,0 +1,150 @@
+"""Property-based tests for the DTD engine."""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dtd.content_model import compile_model, match_children
+from repro.dtd.generator import InstanceGenerator
+from repro.dtd.loosen import loosen
+from repro.dtd.model import (
+    ChoiceParticle,
+    ContentModel,
+    ModelKind,
+    NameParticle,
+    Occurrence,
+    SequenceParticle,
+)
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.serializer import serialize_dtd
+from repro.dtd.validator import validate
+from repro.workloads.scenarios import LAB_DTD_TEXT
+
+names = st.sampled_from(["a", "b", "c", "d", "e"])
+occurrences = st.sampled_from(list(Occurrence))
+
+
+@st.composite
+def particles(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return NameParticle(draw(names), draw(occurrences))
+    items = draw(
+        st.lists(particles(depth=depth - 1), min_size=1, max_size=3)
+    )
+    cls = draw(st.sampled_from([SequenceParticle, ChoiceParticle]))
+    return cls(items, draw(occurrences))
+
+
+@st.composite
+def generated_matches(draw, particle):
+    """A child sequence built to match *particle* by construction."""
+    occurrence = particle.occurrence
+    if occurrence is Occurrence.OPTIONAL:
+        repetitions = draw(st.integers(0, 1))
+    elif occurrence is Occurrence.ZERO_OR_MORE:
+        repetitions = draw(st.integers(0, 2))
+    elif occurrence is Occurrence.ONE_OR_MORE:
+        repetitions = draw(st.integers(1, 2))
+    else:
+        repetitions = 1
+    out = []
+    for _ in range(repetitions):
+        if isinstance(particle, NameParticle):
+            out.append(particle.name)
+        elif isinstance(particle, SequenceParticle):
+            for item in particle.items:
+                out.extend(draw(generated_matches(item)))
+        else:  # ChoiceParticle
+            choice = draw(st.sampled_from(particle.items))
+            out.extend(draw(generated_matches(choice)))
+    return out
+
+
+class TestContentModelProperties:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_constructed_sequences_match(self, data):
+        particle = data.draw(particles())
+        sequence = data.draw(generated_matches(particle))
+        model = ContentModel(ModelKind.CHILDREN, particle)
+        assert match_children(model, sequence), (
+            f"{model.unparse()} rejected {sequence}"
+        )
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unknown_name_never_matches(self, data):
+        particle = data.draw(particles())
+        sequence = data.draw(generated_matches(particle))
+        model = ContentModel(ModelKind.CHILDREN, particle)
+        poisoned = list(sequence)
+        position = data.draw(st.integers(0, len(poisoned)))
+        poisoned.insert(position, "zzz")
+        assert not match_children(model, poisoned)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unparse_reparse_same_language(self, data):
+        particle = data.draw(particles())
+        model = ContentModel(ModelKind.CHILDREN, particle)
+        reparsed = parse_content_model(model.unparse())
+        for _ in range(3):
+            sequence = data.draw(generated_matches(particle))
+            assert match_children(reparsed, sequence)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_loosened_model_accepts_original_language(self, data):
+        particle = data.draw(particles())
+        model = ContentModel(ModelKind.CHILDREN, particle)
+        loosened = model.loosened()
+        sequence = data.draw(generated_matches(particle))
+        assert match_children(loosened, sequence)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_loosened_model_accepts_empty(self, data):
+        particle = data.draw(particles())
+        loosened = ContentModel(ModelKind.CHILDREN, particle).loosened()
+        assert match_children(loosened, [])
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_loosened_accepts_any_subsequence(self, data):
+        """The core loosening guarantee: dropping arbitrary children from
+        a valid sequence keeps it valid under the loosened model —
+        that's exactly what pruning does to element content."""
+        particle = data.draw(particles())
+        sequence = data.draw(generated_matches(particle))
+        keep = data.draw(st.lists(st.booleans(), min_size=len(sequence), max_size=len(sequence)))
+        subsequence = [name for name, kept in zip(sequence, keep) if kept]
+        loosened = ContentModel(ModelKind.CHILDREN, particle).loosened()
+        assert match_children(loosened, subsequence), (
+            f"{loosened.unparse()} rejected {subsequence} (from {sequence})"
+        )
+
+
+class TestGeneratorValidatorAgreement:
+    @given(st.integers(0, 30), st.floats(0.3, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_lab_instances_always_valid(self, seed, repeat_factor):
+        dtd = parse_dtd(LAB_DTD_TEXT)
+        generator = InstanceGenerator(dtd, seed=seed, repeat_factor=repeat_factor)
+        document = generator.document()
+        report = validate(document, dtd)
+        assert report.valid, report.violations
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_dtd_serialization_round_trip_validates(self, seed):
+        dtd = parse_dtd(LAB_DTD_TEXT)
+        reparsed = parse_dtd(serialize_dtd(dtd))
+        document = InstanceGenerator(dtd, seed=seed).document()
+        assert validate(document, reparsed).valid
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_loosened_dtd_accepts_valid_instances(self, seed):
+        dtd = parse_dtd(LAB_DTD_TEXT)
+        document = InstanceGenerator(dtd, seed=seed).document()
+        assert validate(document, loosen(dtd)).valid

@@ -1,0 +1,166 @@
+"""Information-flow properties: nothing hidden ever leaks into a view.
+
+Every text node and attribute value of the test documents is a unique
+token, so "does the serialized view contain token T?" is a precise
+leakage oracle. The invariant under test is the paper's security
+guarantee: the view contains a token **iff** the node carrying it has a
+final '+' label.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.core.labeling import TreeLabeler
+from repro.core.prune import build_view
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester, SubjectHierarchy, SubjectSpec
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Attribute, Element, Text
+from repro.xml.serializer import serialize
+from repro.xml.traversal import preorder
+
+URI = "http://flow.example/doc.xml"
+
+_NAMES = ("doc", "part", "item", "leaf")
+_KINDS = ("red", "green", "blue")
+
+
+def tokenized_document(seed: int):
+    """A random document where every value is the unique token tk<N>."""
+    rng = random.Random(seed)
+    counter = [0]
+
+    def token() -> str:
+        counter[0] += 1
+        return f"tk{counter[0]}x"
+
+    def build(depth: int) -> Element:
+        element = Element(rng.choice(_NAMES[1:]))
+        element.set_attribute("kind", rng.choice(_KINDS))
+        element.set_attribute("tag", token())
+        if depth > 0:
+            for _ in range(rng.randint(0, 3)):
+                element.append(build(depth - 1))
+        if rng.random() < 0.7:
+            element.append(Text(token()))
+        return element
+
+    root = Element("doc")
+    root.set_attribute("tag", token())
+    for _ in range(rng.randint(1, 4)):
+        root.append(build(2))
+    return new_document(root, uri=URI)
+
+
+@st.composite
+def auth_sets(draw):
+    count = draw(st.integers(0, 6))
+    auths = []
+    for _ in range(count):
+        name = draw(st.sampled_from(_NAMES))
+        if draw(st.booleans()):
+            path = f"//{name}"
+        else:
+            path = f'//{name}[./@kind="{draw(st.sampled_from(_KINDS))}"]'
+        auths.append(
+            Authorization(
+                SubjectSpec.parse("Public"),
+                AuthObject(URI, path),
+                "read",
+                Sign(draw(st.sampled_from(["+", "-"]))),
+                draw(st.sampled_from(list(AuthType))),
+            )
+        )
+    return auths
+
+
+class TestNoLeakage:
+    @given(st.integers(0, 200), auth_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_token_visible_iff_node_permitted(self, seed, auths):
+        document = tokenized_document(seed)
+        labels = TreeLabeler(document, auths, [], SubjectHierarchy()).run().labels
+        view_text = serialize(build_view(document, labels))
+
+        for node in preorder(document.root):
+            if isinstance(node, Text) and node.data.startswith("tk"):
+                parent_label = labels[node.parent]
+                assert (node.data in view_text) == (parent_label.final == "+"), (
+                    f"text {node.data!r}: parent final={parent_label.final}"
+                )
+            elif isinstance(node, Attribute) and node.value.startswith("tk"):
+                label = labels[node]
+                assert (node.value in view_text) == (label.final == "+"), (
+                    f"attribute {node.name}={node.value!r}: final={label.final}"
+                )
+
+    @given(st.integers(0, 200), auth_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_open_policy_leaks_only_epsilon(self, seed, auths):
+        document = tokenized_document(seed)
+        labels = TreeLabeler(document, auths, [], SubjectHierarchy()).run().labels
+        view_text = serialize(build_view(document, labels, open_policy=True))
+        for node in preorder(document.root):
+            if isinstance(node, Attribute) and node.value.startswith("tk"):
+                expected = labels[node].final in ("+", "ε")
+                assert (node.value in view_text) == expected
+
+
+class TestCrossRequesterIsolation:
+    def build_server(self):
+        server = SecureXMLServer()
+        server.add_user("red-reader")
+        server.add_user("green-reader")
+        document = tokenized_document(7)
+        server.publish_document(URI, document)
+        for user, kind in (("red-reader", "red"), ("green-reader", "green")):
+            server.grant(
+                Authorization.build(
+                    (user, "*", "*"), f'{URI}://*[@kind="{kind}"]', "+", "R"
+                )
+            )
+        return server, document
+
+    def colored_tokens(self, document, kind):
+        tokens = set()
+        for node in preorder(document.root):
+            if isinstance(node, Element) and node.get_attribute("kind") == kind:
+                for sub in preorder(node):
+                    if isinstance(sub, Text):
+                        tokens.add(sub.data)
+                    elif isinstance(sub, Attribute) and sub.name == "tag":
+                        tokens.add(sub.value)
+        return tokens
+
+    def test_requesters_see_disjoint_grants(self):
+        server, document = self.build_server()
+        red = Requester("red-reader", "1.1.1.1", "a.x")
+        green = Requester("green-reader", "2.2.2.2", "b.x")
+        red_view = server.serve(AccessRequest(red, URI)).xml_text
+        green_view = server.serve(AccessRequest(green, URI)).xml_text
+
+        green_only = self.colored_tokens(document, "green") - self.colored_tokens(
+            document, "red"
+        )
+        red_only = self.colored_tokens(document, "red") - self.colored_tokens(
+            document, "green"
+        )
+        for token in green_only:
+            assert token not in red_view
+        for token in red_only:
+            assert token not in green_view
+
+    def test_queries_cannot_leak_across(self):
+        server, document = self.build_server()
+        red = Requester("red-reader", "1.1.1.1", "a.x")
+        green_only = self.colored_tokens(document, "green") - self.colored_tokens(
+            document, "red"
+        )
+        for token in sorted(green_only)[:5]:
+            response = server.query(
+                QueryRequest(red, URI, f'//*[contains(., "{token}")]')
+            )
+            assert response.empty, f"query leaked {token!r}"

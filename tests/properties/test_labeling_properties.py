@@ -1,0 +1,178 @@
+"""Property-based tests for the compute-view invariants.
+
+The three big ones:
+
+1. **Safety / soundness** — the view is always a homomorphic sub-tree of
+   the original: every element in the view corresponds to an original
+   element on the same path, and no text/attribute value appears that
+   the original did not contain at that position.
+2. **Equivalence** — the preorder propagation labeler and the naive
+   per-node labeler agree on every final sign, for random documents and
+   random authorization sets.
+3. **Monotonicity (no schema auths)** — adding a *positive* instance
+   authorization never shrinks the view under denials-take-precedence
+   when no schema-level authorizations exist. (With schema
+   authorizations this is provably false — a weak grant can block a
+   strong one and then lose to a schema denial — which
+   ``test_weak_grant_can_shrink_view_with_schema`` pins down.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.core.baseline import NaiveLabeler
+from repro.core.labeling import TreeLabeler
+from repro.core.view import compute_view_from_auths
+from repro.subjects.hierarchy import SubjectHierarchy, SubjectSpec
+from repro.workloads.generator import synthetic_document
+from repro.xml.nodes import Element
+from repro.xml.traversal import iter_elements, node_path
+from repro.xpath.evaluator import select
+
+URI = "http://bench.example/doc.xml"
+DTD_URI = "http://bench.example/doc.dtd"
+
+_NAMES = ("archive", "section", "record", "item", "entry", "block")
+_KINDS = ("public", "internal", "private", "restricted")
+
+documents = st.integers(min_value=0, max_value=99).map(
+    lambda seed: synthetic_document(150, seed=seed)
+)
+
+
+@st.composite
+def authorizations(draw, schema_allowed=True, signs=("+", "-")):
+    name = draw(st.sampled_from(_NAMES))
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        path = f"//{name}"
+    elif shape == 1:
+        path = f'//{name}[./@kind="{draw(st.sampled_from(_KINDS))}"]'
+    elif shape == 2:
+        path = f"//{name}/@kind"
+    else:
+        path = f"//{name}//{draw(st.sampled_from(_NAMES))}"
+    sign = Sign(draw(st.sampled_from(signs)))
+    auth_type = draw(st.sampled_from(list(AuthType)))
+    is_schema = schema_allowed and draw(st.booleans())
+    uri = DTD_URI if is_schema else URI
+    return (
+        Authorization(
+            SubjectSpec.parse("Public"), AuthObject(uri, path), "read", sign, auth_type
+        ),
+        is_schema,
+    )
+
+
+def split(auth_pairs):
+    instance = [a for a, is_schema in auth_pairs if not is_schema]
+    schema = [a for a, is_schema in auth_pairs if is_schema]
+    return instance, schema
+
+
+class TestSafety:
+    @given(documents, st.lists(authorizations(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_view_is_subtree_of_original(self, document, auth_pairs):
+        instance, schema = split(auth_pairs)
+        result = compute_view_from_auths(document, instance, schema)
+        if result.document.root is None:
+            return
+        original_paths = {
+            node_path(el): el for el in iter_elements(document.root)
+        }
+        for element in iter_elements(result.document.root):
+            path = node_path(element)
+            assert path in original_paths, f"fabricated element at {path}"
+            original = original_paths[path]
+            for attr_name, attr in element.attributes.items():
+                assert original.get_attribute(attr_name) == attr.value
+            assert element.direct_text() in ("", original.direct_text())
+
+    @given(documents, st.lists(authorizations(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_view_never_larger(self, document, auth_pairs):
+        instance, schema = split(auth_pairs)
+        result = compute_view_from_auths(document, instance, schema)
+        assert result.visible_nodes <= result.total_nodes
+
+    @given(documents, st.lists(authorizations(signs=("-",)), max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_denials_only_closed_policy_view_is_empty(self, document, auth_pairs):
+        instance, schema = split(auth_pairs)
+        result = compute_view_from_auths(document, instance, schema)
+        assert result.empty
+
+
+class TestEquivalence:
+    @given(documents, st.lists(authorizations(), max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_and_naive_labelers_agree(self, document, auth_pairs):
+        instance, schema = split(auth_pairs)
+        hierarchy = SubjectHierarchy()
+        fast = TreeLabeler(document, instance, schema, hierarchy).run()
+        naive = NaiveLabeler(document, instance, schema, hierarchy).run()
+        for node in fast.labels:
+            assert fast.labels[node].final == naive.labels[node].final, node_path(node)
+
+
+class TestMonotonicity:
+    @given(
+        documents,
+        st.lists(authorizations(schema_allowed=False), max_size=6),
+        authorizations(schema_allowed=False, signs=("+",)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adding_positive_never_shrinks_without_schema(
+        self, document, auth_pairs, extra_pair
+    ):
+        instance, _ = split(auth_pairs)
+        before = compute_view_from_auths(document, instance, [])
+        after = compute_view_from_auths(document, instance + [extra_pair[0]], [])
+        before_paths = (
+            {node_path(el) for el in iter_elements(before.document.root)}
+            if before.document.root
+            else set()
+        )
+        after_paths = (
+            {node_path(el) for el in iter_elements(after.document.root)}
+            if after.document.root
+            else set()
+        )
+        assert before_paths <= after_paths
+
+    def test_weak_grant_can_shrink_view_with_schema(self):
+        """The documented counter-example (DESIGN.md note): a positive
+        weak authorization blocks a strong ancestor grant and then loses
+        to a schema denial, removing a previously visible node."""
+        from repro.xml.parser import parse_document
+
+        document = parse_document("<a><b><c>x</c></b></a>", uri=URI)
+        grant_all = Authorization(
+            SubjectSpec.parse("Public"), AuthObject(URI, "//a"), "read",
+            Sign.PLUS, AuthType.RECURSIVE,
+        )
+        schema_denial = Authorization(
+            SubjectSpec.parse("Public"), AuthObject(DTD_URI, "//b"), "read",
+            Sign.MINUS, AuthType.RECURSIVE,
+        )
+        weak_grant = Authorization(
+            SubjectSpec.parse("Public"), AuthObject(URI, "//b"), "read",
+            Sign.PLUS, AuthType.RECURSIVE_WEAK,
+        )
+        before = compute_view_from_auths(document, [grant_all], [schema_denial])
+        after = compute_view_from_auths(
+            document, [grant_all, weak_grant], [schema_denial]
+        )
+        # Without the weak grant, <b> is protected by the instance-level
+        # strong R+ (instance beats schema)...
+        assert "<c>x</c>" in str(_text(before))
+        # ...adding the "positive" weak grant hands <b> to the schema
+        # denial: the view shrinks.
+        assert "<c>x</c>" not in str(_text(after))
+
+
+def _text(result):
+    from repro.xml.serializer import serialize
+
+    return serialize(result.document, xml_declaration=False)

@@ -1,0 +1,125 @@
+"""Property-based round-trips for the security markup formats."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authz.authorization import AuthObject, AuthType, Authorization, Sign
+from repro.authz.restrictions import CredentialClause, ValidityWindow
+from repro.authz.xacl import parse_xacl, serialize_xacl
+from repro.subjects.hierarchy import SubjectSpec
+from repro.subjects.markup import parse_directory, serialize_directory
+from repro.subjects.users import Directory
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+group_names = st.sampled_from(["Staff", "Admin", "Foreign", "CS", "Grad"])
+
+
+@st.composite
+def subjects(draw):
+    user_group = draw(st.sampled_from(["Public", "Staff", "alice", "bob"]))
+    ip = draw(
+        st.sampled_from(["*", "151.100.*", "10.0.0.1", "151.*", "203.0.113.9"])
+    )
+    sym = draw(st.sampled_from(["*", "*.it", "*.lab.com", "tweety.lab.com"]))
+    return SubjectSpec.parse(user_group, ip, sym)
+
+
+@st.composite
+def auth_objects(draw):
+    uri = draw(st.sampled_from(["http://x/a.xml", "b.xml", "http://x/c.dtd"]))
+    has_path = draw(st.booleans())
+    if not has_path:
+        return AuthObject(uri)
+    name = draw(names)
+    shape = draw(st.integers(0, 2))
+    if shape == 0:
+        path = f"//{name}"
+    elif shape == 1:
+        path = f'//{name}[@kind="{draw(names)}"]'
+    else:
+        path = f"/{name}/{draw(names)}/@{draw(names)}"
+    return AuthObject(uri, path)
+
+
+@st.composite
+def authorizations(draw):
+    validity = None
+    if draw(st.booleans()):
+        start = draw(st.integers(0, 1000))
+        validity = ValidityWindow(float(start), float(start + draw(st.integers(1, 1000))))
+    credentials = tuple(
+        CredentialClause(draw(names), draw(st.sampled_from(["=", "present", ">="])),
+                         draw(st.sampled_from(["1", "x", "high"])))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return Authorization(
+        draw(subjects()),
+        draw(auth_objects()),
+        draw(st.sampled_from(["read", "write"])),
+        Sign(draw(st.sampled_from(["+", "-"]))),
+        draw(st.sampled_from(list(AuthType))),
+        validity=validity,
+        credentials=credentials,
+    )
+
+
+class TestXaclRoundTrip:
+    @given(st.lists(authorizations(), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_identity(self, auths):
+        parsed = parse_xacl(serialize_xacl(auths))
+        assert len(parsed) == len(auths)
+        for original, restored in zip(auths, parsed):
+            assert restored.subject == original.subject
+            assert restored.object.uri == original.object.uri
+            assert restored.object.path == original.object.path
+            assert restored.action == original.action
+            assert restored.sign == original.sign
+            assert restored.type == original.type
+            assert restored.validity == original.validity
+            assert restored.credentials == original.credentials
+
+    @given(st.lists(authorizations(), max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_compact_and_pretty_agree(self, auths):
+        compact = parse_xacl(serialize_xacl(auths, indent=False))
+        indented = parse_xacl(serialize_xacl(auths, indent=True))
+        assert [a.unparse() for a in compact] == [a.unparse() for a in indented]
+
+
+@st.composite
+def directories(draw):
+    directory = Directory()
+    groups = draw(st.lists(group_names, unique=True, max_size=4))
+    for index, group in enumerate(groups):
+        parents = draw(
+            st.lists(st.sampled_from(groups[:index]), unique=True, max_size=2)
+        ) if index else []
+        directory.add_group(group, parents)
+    for user in draw(st.lists(names, unique=True, max_size=5)):
+        if directory.is_group(user):
+            continue
+        memberships = draw(
+            st.lists(st.sampled_from(groups), unique=True, max_size=3)
+        ) if groups else []
+        directory.add_user(user, memberships)
+    return directory
+
+
+class TestDirectoryRoundTrip:
+    @given(directories())
+    @settings(max_examples=50, deadline=None)
+    def test_membership_closure_preserved(self, directory):
+        restored = parse_directory(serialize_directory(directory))
+        assert set(restored.groups()) == set(directory.groups())
+        assert set(restored.users()) == set(directory.users())
+        for user in directory.users():
+            assert restored.expanded_groups(user) == directory.expanded_groups(user)
+
+    @given(directories())
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_stable(self, directory):
+        once = serialize_directory(directory)
+        twice = serialize_directory(parse_directory(once))
+        assert once == twice

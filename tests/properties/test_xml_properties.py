@@ -1,0 +1,112 @@
+"""Property-based tests for the XML substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xml.builder import E, new_document
+from repro.xml.escape import escape_attribute, escape_text, resolve_references
+from repro.xml.nodes import Element, Text
+from repro.xml.parser import parse_document
+from repro.xml.serializer import element_signature, serialize
+from repro.xml.traversal import count_nodes, postorder, preorder
+
+# Text free of control characters the XML spec forbids.
+xml_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_categories=("Cs", "Cc", "Cn"),
+        include_characters="\t\n",
+    ),
+    max_size=60,
+)
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def elements(draw, max_depth=3):
+    """Random element trees with attributes and text."""
+    element = Element(draw(names))
+    for attr_name in draw(st.lists(names, max_size=3, unique=True)):
+        element.set_attribute(attr_name, draw(xml_text))
+    if max_depth > 0:
+        for child_kind in draw(st.lists(st.sampled_from(["el", "tx"]), max_size=4)):
+            if child_kind == "el":
+                element.append(draw(elements(max_depth=max_depth - 1)))
+            else:
+                # Normalize the way a parser would: no empty text nodes,
+                # no two adjacent text nodes.
+                data = draw(xml_text)
+                last = element.children[-1] if element.children else None
+                if not data or isinstance(last, Text):
+                    continue
+                element.append(Text(data))
+    return element
+
+
+class TestEscapeRoundTrip:
+    @given(xml_text)
+    def test_text_escape_round_trip(self, text):
+        assert resolve_references(escape_text(text)) == text
+
+    @given(xml_text)
+    def test_attribute_escape_round_trip(self, value):
+        assert resolve_references(escape_attribute(value)) == value
+
+    @given(xml_text)
+    def test_escaped_text_has_no_raw_markup(self, text):
+        escaped = escape_text(text)
+        assert "<" not in escaped
+        body = escaped
+        for entity in ("&amp;", "&lt;", "&gt;"):
+            body = body.replace(entity, "")
+        assert "&" not in body
+
+
+class TestParseSerializeRoundTrip:
+    @given(elements())
+    @settings(max_examples=60)
+    def test_structure_preserved(self, root):
+        document = new_document(root)
+        text = serialize(document, xml_declaration=False)
+        reparsed = parse_document(text)
+        assert element_signature(reparsed.root) == element_signature(root)
+
+    @given(elements())
+    @settings(max_examples=40)
+    def test_serialization_deterministic(self, root):
+        document = new_document(root)
+        assert serialize(document) == serialize(document)
+
+    @given(elements())
+    @settings(max_examples=40)
+    def test_clone_preserves_signature(self, root):
+        assert element_signature(root.clone()) == element_signature(root)
+
+
+class TestTraversalInvariants:
+    @given(elements())
+    @settings(max_examples=40)
+    def test_preorder_postorder_same_nodes(self, root):
+        assert set(preorder(root)) == set(postorder(root))
+
+    @given(elements())
+    @settings(max_examples=40)
+    def test_count_matches_traversal(self, root):
+        assert count_nodes(root) == sum(1 for _ in preorder(root))
+
+    @given(elements())
+    @settings(max_examples=40)
+    def test_parents_consistent(self, root):
+        for node in preorder(root):
+            if node is root:
+                continue
+            parent = node.parent
+            assert parent is not None
+            from repro.xml.nodes import Attribute
+
+            if isinstance(node, Attribute):
+                assert parent.attributes[node.name] is node
+            else:
+                assert any(child is node for child in parent.children)

@@ -1,0 +1,99 @@
+"""Property-based tests for the XPath engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generator import synthetic_document
+from repro.xml.traversal import document_order, iter_elements
+from repro.xpath.evaluator import select
+from repro.xpath.parser import parse_xpath
+
+_NAMES = ("archive", "section", "record", "item", "entry", "block")
+_FIELDS = ("title", "body", "note", "value", "info")
+_KINDS = ("public", "internal", "private", "restricted")
+
+documents = st.integers(min_value=0, max_value=49).map(
+    lambda seed: synthetic_document(120, seed=seed)
+)
+
+
+@st.composite
+def path_expressions(draw):
+    """Random but well-formed path expressions over the synthetic
+    vocabulary."""
+    parts = []
+    absolute = draw(st.booleans())
+    for _ in range(draw(st.integers(1, 3))):
+        name = draw(st.sampled_from(_NAMES + _FIELDS + ("*",)))
+        step = name
+        shape = draw(st.integers(0, 3))
+        if shape == 1:
+            step += f'[./@kind="{draw(st.sampled_from(_KINDS))}"]'
+        elif shape == 2:
+            step += f"[{draw(st.integers(1, 3))}]"
+        elif shape == 3:
+            step += "[@id]"
+        parts.append(step)
+    separator = draw(st.sampled_from(["/", "//"]))
+    body = separator.join(parts)
+    return ("//" if absolute else "") + body if absolute else body
+
+
+class TestEvaluationInvariants:
+    @given(documents, path_expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_results_unique_and_in_document_order(self, document, expression):
+        result = select(expression, document)
+        assert len(set(result)) == len(result)
+        order = document_order(document)
+        positions = [order[node] for node in result]
+        assert positions == sorted(positions)
+
+    @given(documents, path_expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_results_belong_to_document(self, document, expression):
+        order = document_order(document)
+        for node in select(expression, document):
+            assert node in order
+
+    @given(documents, path_expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_unparse_evaluates_identically(self, document, expression):
+        ast = parse_xpath(expression)
+        rendered = ast.unparse()
+        assert select(expression, document) == select(rendered, document)
+
+    @given(documents)
+    @settings(max_examples=20, deadline=None)
+    def test_double_slash_star_is_all_elements(self, document):
+        result = select("//*", document)
+        assert result == list(iter_elements(document.root))
+
+    @given(documents, st.sampled_from(_NAMES))
+    @settings(max_examples=30, deadline=None)
+    def test_descendant_axis_equivalent_to_double_slash(self, document, name):
+        assert select(f"//{name}", document) == select(
+            f"/descendant-or-self::node()/child::{name}", document
+        )
+
+    @given(documents, st.sampled_from(_NAMES))
+    @settings(max_examples=30, deadline=None)
+    def test_parent_of_child_is_self(self, document, name):
+        for node in select(f"//{name}", document)[:10]:
+            for child in select("*", node):
+                assert select("..", child) == [node]
+
+    @given(documents, path_expressions())
+    @settings(max_examples=30, deadline=None)
+    def test_union_with_self_is_idempotent(self, document, expression):
+        single = select(expression, document)
+        doubled = select(f"{expression} | {expression}", document)
+        assert single == doubled
+
+    @given(documents, path_expressions())
+    @settings(max_examples=30, deadline=None)
+    def test_count_agrees_with_selection(self, document, expression):
+        from repro.xpath.evaluator import evaluate
+
+        assert evaluate(f"count({expression})", document) == float(
+            len(select(expression, document))
+        )

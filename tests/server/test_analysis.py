@@ -1,0 +1,133 @@
+"""Tests for policy analysis (audiences, impact, dead tuples)."""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.server.analysis import (
+    audience_report,
+    authorization_impact,
+    dead_authorizations,
+)
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+
+URI = "http://x/d.xml"
+DTD_URI = "http://x/d.dtd"
+
+
+@pytest.fixture
+def server():
+    s = SecureXMLServer()
+    s.add_group("Staff")
+    s.add_user("alice", groups=["Staff"])
+    s.add_user("amy", groups=["Staff"])
+    s.add_user("bob")
+    s.publish_dtd(
+        DTD_URI, "<!ELEMENT d (x, y)><!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>"
+    )
+    s.publish_document(URI, "<d><x>public</x><y>staff</y></d>", dtd_uri=DTD_URI)
+    s.grant(Authorization.build("Public", f"{URI}://x", "+", "R"))
+    s.grant(Authorization.build("Staff", f"{URI}://y", "+", "R"))
+    return s
+
+
+class TestAudienceReport:
+    def test_partitions_by_view(self, server):
+        report = audience_report(server, URI)
+        # alice+amy share one view; bob and anonymous share another.
+        assert len(report.audiences) == 2
+        audiences = {frozenset(a.users) for a in report.audiences}
+        assert frozenset({"alice", "amy"}) in audiences
+        assert frozenset({"bob", "anonymous"}) in audiences
+
+    def test_visible_shares(self, server):
+        report = audience_report(server, URI)
+        staff = next(a for a in report.audiences if "alice" in a.users)
+        public = next(a for a in report.audiences if "bob" in a.users)
+        assert staff.visible_nodes > public.visible_nodes
+        assert 0 < public.share < staff.share <= 1.0
+
+    def test_describe(self, server):
+        text = audience_report(server, URI).describe()
+        assert "audiences for" in text
+        assert "alice" in text
+
+    def test_empty_policy_single_audience(self, server):
+        other = "http://x/other.xml"
+        server.publish_document(other, "<o><p>q</p></o>")
+        report = audience_report(server, other)
+        assert len(report.audiences) == 1
+        assert report.audiences[0].visible_nodes == 0
+
+
+class TestAuthorizationImpact:
+    def test_deciding_grant(self, server):
+        staff_grant = server.store.for_uri(URI)[1]
+        alice = Requester("alice", "1.1.1.1", "a.x")
+        impact = authorization_impact(server, URI, staff_grant, alice)
+        assert impact.selected_nodes == 1          # the <y> element
+        assert impact.deciding_nodes >= 1          # decides y (and its text via parent)
+        assert impact.view_delta > 0               # removing it shrinks the view
+        assert "view delta" in impact.describe()
+
+    def test_irrelevant_for_non_member(self, server):
+        staff_grant = server.store.for_uri(URI)[1]
+        bob = Requester("bob", "2.2.2.2", "b.x")
+        impact = authorization_impact(server, URI, staff_grant, bob)
+        assert impact.deciding_nodes == 0
+        assert impact.view_delta == 0
+
+    def test_store_restored_after_measurement(self, server):
+        staff_grant = server.store.for_uri(URI)[1]
+        alice = Requester("alice", "1.1.1.1", "a.x")
+        before = len(server.store)
+        authorization_impact(server, URI, staff_grant, alice)
+        assert len(server.store) == before
+        # And the view is unchanged.
+        assert server.view(alice, URI).visible_nodes > 0
+
+    def test_shadowed_denial_decides_nothing(self, server):
+        # A denial on a node nobody was granted: decides the sign but
+        # removing it does not change the (already empty there) view.
+        denial = server.grant(
+            Authorization.build("Public", f"{URI}://y", "-", "L")
+        )
+        bob = Requester("bob", "2.2.2.2", "b.x")
+        impact = authorization_impact(server, URI, denial, bob)
+        assert impact.view_delta == 0
+
+
+class TestDeadAuthorizations:
+    def test_live_tuples_not_reported(self, server):
+        assert dead_authorizations(server, URI) == []
+
+    def test_typoed_path_reported(self, server):
+        dead = server.grant(
+            Authorization.build("Public", f"{URI}://nosuchelement", "+", "R")
+        )
+        found = dead_authorizations(server, URI)
+        assert dead in found
+
+    def test_stale_condition_reported(self, server):
+        dead = server.grant(
+            Authorization.build("Public", f'{URI}://x[@kind="gone"]', "+", "R")
+        )
+        assert dead in dead_authorizations(server, URI)
+
+    def test_schema_tuple_alive_if_any_instance_matches(self, server):
+        schema = server.grant(
+            Authorization.build("Public", f"{DTD_URI}://y", "-", "R")
+        )
+        assert schema not in dead_authorizations(server, URI)
+
+    def test_schema_tuple_dead_if_no_instance_matches(self, server):
+        schema = server.grant(
+            Authorization.build("Public", f"{DTD_URI}://zzz", "-", "R")
+        )
+        assert schema in dead_authorizations(server, URI)
+
+    def test_all_documents_mode(self, server):
+        other = "http://x/other.xml"
+        server.publish_document(other, "<o><p>q</p></o>")
+        dead = server.grant(Authorization.build("Public", f"{other}://zzz", "+", "R"))
+        assert dead in dead_authorizations(server)

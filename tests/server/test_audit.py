@@ -1,0 +1,80 @@
+"""Tests for the audit log."""
+
+from repro.server.audit import AuditLog, AuditRecord
+from repro.subjects.hierarchy import Requester
+
+
+def record(log, outcome="released", uri="http://x/d.xml"):
+    return log.record(
+        Requester("alice", "1.1.1.1", "a.x"),
+        uri,
+        "read",
+        outcome,
+        visible_nodes=3,
+        total_nodes=10,
+        elapsed_seconds=0.002,
+    )
+
+
+class TestAuditLog:
+    def test_record_fields(self):
+        log = AuditLog()
+        entry = record(log)
+        assert entry.outcome == "released"
+        assert entry.visible_nodes == 3
+        assert entry.total_nodes == 10
+        assert "alice" in entry.requester
+        assert entry.timestamp > 0
+
+    def test_iteration_and_len(self):
+        log = AuditLog()
+        for _ in range(5):
+            record(log)
+        assert len(log) == 5
+        assert len(list(log)) == 5
+
+    def test_capacity_bounded(self):
+        log = AuditLog(capacity=3)
+        for index in range(10):
+            record(log, uri=f"http://x/{index}.xml")
+        assert len(log) == 3
+        assert log.tail(3)[-1].uri == "http://x/9.xml"
+
+    def test_tail(self):
+        log = AuditLog()
+        for index in range(5):
+            record(log, uri=f"http://x/{index}.xml")
+        tail = log.tail(2)
+        assert [entry.uri for entry in tail] == ["http://x/3.xml", "http://x/4.xml"]
+
+    def test_sink_forwarding(self):
+        forwarded = []
+        log = AuditLog(sink=forwarded.append)
+        entry = record(log)
+        assert forwarded == [entry]
+
+    def test_clear(self):
+        log = AuditLog()
+        record(log)
+        log.clear()
+        assert len(log) == 0
+
+    def test_str_rendering(self):
+        log = AuditLog()
+        entry = record(log)
+        rendered = str(entry)
+        assert "alice" in rendered
+        assert "3/10 nodes" in rendered
+        assert "released" in rendered
+
+    def test_record_is_frozen(self):
+        import dataclasses
+
+        log = AuditLog()
+        entry = record(log)
+        try:
+            entry.outcome = "tampered"
+            tampered = True
+        except dataclasses.FrozenInstanceError:
+            tampered = False
+        assert not tampered

@@ -1,0 +1,313 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.scenarios import LAB_DTD_TEXT
+
+
+@pytest.fixture
+def files(tmp_path):
+    doc = tmp_path / "CSlab.xml"
+    doc.write_text(
+        '<laboratory name="CSlab">'
+        '<project name="P" type="public">'
+        "<manager><flname>Ann</flname></manager>"
+        '<paper category="public"><title>Open</title></paper>'
+        '<paper category="private"><title>Secret</title></paper>'
+        "</project></laboratory>"
+    )
+    dtd = tmp_path / "laboratory.dtd"
+    dtd.write_text(LAB_DTD_TEXT)
+    xacl = tmp_path / "policy.xacl"
+    xacl.write_text(
+        '<xacl base="http://lab/">'
+        '<authorization sign="+" type="R">'
+        '<subject user-group="Staff"/>'
+        '<object uri="CSlab.xml" path="//paper[@category=\'public\']"/>'
+        "</authorization>"
+        '<authorization sign="-" type="R">'
+        '<subject user-group="Public"/>'
+        '<object uri="CSlab.xml" path="//paper[@category=\'private\']"/>'
+        "</authorization>"
+        "</xacl>"
+    )
+    directory = tmp_path / "subjects.txt"
+    directory.write_text(
+        "# the staff\n"
+        "group Staff\n"
+        "user ann Staff\n"
+        "user guest\n"
+    )
+    return tmp_path, doc, dtd, xacl, directory
+
+
+class TestViewCommand:
+    def test_staff_view(self, files, capsys):
+        _, doc, dtd, xacl, directory = files
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "ann",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "Open" in out.out
+        assert "Secret" not in out.out
+        assert "released" in out.err
+
+    def test_guest_view_empty(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "guest",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "empty view" in out.out
+
+    def test_open_policy_flag(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "guest",
+                "--open",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "Open" in out.out          # ε = permit under open policy
+        assert "Secret" not in out.out    # explicit denial still wins
+
+    def test_emit_dtd(self, files, capsys):
+        _, doc, dtd, xacl, directory = files
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--dtd", str(dtd),
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "ann",
+                "--emit-dtd",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "#IMPLIED" in out.out  # loosened DTD
+
+    def test_pretty_flag(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "ann",
+                "--pretty",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "\n  " in out
+
+    def test_bad_credential_spec(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "u", "--xacl", str(xacl),
+                "--credential", "=novalue",
+            ]
+        )
+        assert code == 1
+        assert "bad credential" in capsys.readouterr().err
+
+    def test_bad_directory_line(self, files, tmp_path, capsys):
+        _, doc, __, xacl, ___ = files
+        bad = tmp_path / "bad.txt"
+        bad.write_text("frobnicate x\n")
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "u", "--xacl", str(xacl),
+                "--directory", str(bad),
+            ]
+        )
+        assert code == 1
+        assert "expected 'group NAME" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_validate_ok(self, files, capsys):
+        _, doc, dtd, __, ___ = files
+        assert main(["validate", str(doc), "--dtd", str(dtd)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_failure(self, files, tmp_path, capsys):
+        _, __, dtd, ___, ____ = files
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<laboratory><bogus/></laboratory>")
+        assert main(["validate", str(bad), "--dtd", str(dtd)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_xpath_nodes(self, files, capsys):
+        _, doc, __, ___, ____ = files
+        assert main(["xpath", str(doc), "//paper/title"]) == 0
+        out = capsys.readouterr()
+        assert "<title>Open</title>" in out.out
+        assert "2 node(s)" in out.err
+
+    def test_xpath_scalar(self, files, capsys):
+        _, doc, __, ___, ____ = files
+        assert main(["xpath", str(doc), "count(//paper)"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_loosen(self, files, capsys):
+        _, __, dtd, ___, ____ = files
+        assert main(["loosen", str(dtd)]) == 0
+        assert "#IMPLIED" in capsys.readouterr().out
+
+    def test_tree(self, files, capsys):
+        _, __, dtd, ___, ____ = files
+        assert main(["tree", str(dtd)]) == 0
+        out = capsys.readouterr().out
+        assert "(laboratory)" in out
+        assert "[name]" in out
+
+    def test_xacl_listing(self, files, capsys):
+        _, __, ___, xacl, ____ = files
+        assert main(["xacl", str(xacl)]) == 0
+        out = capsys.readouterr()
+        assert "<<Staff," in out.out
+        assert "2 authorization(s)" in out.err
+
+    def test_missing_file(self, capsys):
+        assert main(["loosen", "/nonexistent.dtd"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_library_error_reported(self, tmp_path, capsys):
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<unclosed")
+        assert main(["xpath", str(broken), "//x"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_explain_denied_node(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "explain", str(doc), "//paper[@category='private']",
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "ann",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final=-" in out
+        assert "not in view" in out
+
+    def test_explain_granted_node(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "explain", str(doc), "//paper[@category='public']/title",
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(directory),
+                "--user", "ann",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final=+" in out
+        assert "inherited" in out
+
+    def test_explain_ambiguous_path_fails(self, files, capsys):
+        _, doc, __, xacl, directory = files
+        code = main(
+            [
+                "explain", str(doc), "//paper",
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+            ]
+        )
+        assert code == 1
+        assert "exactly one node" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_clean_dtd(self, files, capsys):
+        _, __, dtd, ___, ____ = files
+        assert main(["lint", str(dtd)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_problem_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dtd"
+        bad.write_text("<!ELEMENT a (b?, b)><!ELEMENT b EMPTY>")
+        assert main(["lint", str(bad)]) == 1
+        assert "not deterministic" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, files):
+        import subprocess
+        import sys
+
+        _, __, dtd, ___, ____ = files
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "tree", str(dtd)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "(laboratory)" in result.stdout
+
+    def test_python_dash_m_usage_error(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"], capture_output=True, text=True
+        )
+        assert result.returncode == 2  # argparse usage error
+
+
+class TestXmlDirectoryFormat:
+    def test_xml_directory_accepted(self, files, tmp_path, capsys):
+        _, doc, __, xacl, ___ = files
+        xml_dir = tmp_path / "subjects.xml"
+        xml_dir.write_text(
+            "<directory>"
+            '<group name="Staff"/>'
+            '<user name="ann" in="Staff"/>'
+            "</directory>"
+        )
+        code = main(
+            [
+                "view", str(doc),
+                "--uri", "http://lab/CSlab.xml",
+                "--xacl", str(xacl),
+                "--directory", str(xml_dir),
+                "--user", "ann",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "Open" in out.out

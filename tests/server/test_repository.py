@@ -1,0 +1,111 @@
+"""Tests for the document/DTD repository."""
+
+import pytest
+
+from repro.errors import RepositoryError, ValidationError
+from repro.dtd.parser import parse_dtd
+from repro.server.repository import Repository
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture
+def repo():
+    r = Repository()
+    r.add_dtd("http://x/a.dtd", "<!ELEMENT a (#PCDATA)>")
+    return r
+
+
+class TestDtds:
+    def test_add_and_get(self, repo):
+        dtd = repo.dtd("http://x/a.dtd")
+        assert dtd.element("a") is not None
+        assert dtd.uri == "http://x/a.dtd"
+
+    def test_add_parsed_dtd(self, repo):
+        parsed = parse_dtd("<!ELEMENT b EMPTY>")
+        repo.add_dtd("http://x/b.dtd", parsed)
+        assert repo.dtd("http://x/b.dtd") is parsed
+        assert parsed.uri == "http://x/b.dtd"
+
+    def test_duplicate_rejected(self, repo):
+        with pytest.raises(RepositoryError, match="already published"):
+            repo.add_dtd("http://x/a.dtd", "<!ELEMENT a EMPTY>")
+
+    def test_unknown_rejected(self, repo):
+        with pytest.raises(RepositoryError, match="no DTD"):
+            repo.dtd("http://x/nope.dtd")
+
+    def test_has_dtd(self, repo):
+        assert repo.has_dtd("http://x/a.dtd")
+        assert not repo.has_dtd("http://x/nope.dtd")
+
+
+class TestDocuments:
+    def test_add_text_parsed_lazily(self, repo):
+        stored = repo.add_document("http://x/d.xml", "<a>hi</a>")
+        assert stored.parsed is None or stored.parsed.root is not None
+        document = repo.document("http://x/d.xml")
+        assert document.root.name == "a"
+        assert document.uri == "http://x/d.xml"
+
+    def test_add_parsed_document(self, repo):
+        parsed = parse_document("<a/>")
+        repo.add_document("http://x/d.xml", parsed)
+        assert repo.document("http://x/d.xml") is parsed
+        assert parsed.uri == "http://x/d.xml"
+
+    def test_duplicate_rejected(self, repo):
+        repo.add_document("http://x/d.xml", "<a/>")
+        with pytest.raises(RepositoryError, match="already stored"):
+            repo.add_document("http://x/d.xml", "<a/>")
+
+    def test_unknown_rejected(self, repo):
+        with pytest.raises(RepositoryError, match="no document"):
+            repo.document("http://x/nope.xml")
+
+    def test_remove(self, repo):
+        repo.add_document("http://x/d.xml", "<a/>")
+        repo.remove_document("http://x/d.xml")
+        assert not repo.has_document("http://x/d.xml")
+        with pytest.raises(RepositoryError):
+            repo.remove_document("http://x/d.xml")
+
+    def test_listings(self, repo):
+        repo.add_document("http://x/d.xml", "<a/>")
+        assert list(repo.documents()) == ["http://x/d.xml"]
+        assert list(repo.dtds()) == ["http://x/a.dtd"]
+
+
+class TestDtdLinking:
+    def test_explicit_dtd_uri(self, repo):
+        repo.add_document("http://x/d.xml", "<a>t</a>", dtd_uri="http://x/a.dtd")
+        assert repo.dtd_uri_of("http://x/d.xml") == "http://x/a.dtd"
+        assert repo.document("http://x/d.xml").dtd is repo.dtd("http://x/a.dtd")
+
+    def test_system_id_used_as_default(self, repo):
+        repo.add_document(
+            "http://x/d.xml", '<!DOCTYPE a SYSTEM "http://x/a.dtd"><a>t</a>'
+        )
+        assert repo.dtd_uri_of("http://x/d.xml") == "http://x/a.dtd"
+
+    def test_validate_on_add(self, repo):
+        with pytest.raises(ValidationError):
+            repo.add_document(
+                "http://x/bad.xml",
+                "<a><nope/></a>",
+                dtd_uri="http://x/a.dtd",
+                validate_on_add=True,
+            )
+
+    def test_validate_on_add_passes(self, repo):
+        repo.add_document(
+            "http://x/good.xml",
+            "<a>fine</a>",
+            dtd_uri="http://x/a.dtd",
+            validate_on_add=True,
+        )
+        assert repo.has_document("http://x/good.xml")
+
+    def test_unpublished_dtd_uri_allowed(self, repo):
+        repo.add_document("http://x/d.xml", "<a/>", dtd_uri="http://elsewhere/d.dtd")
+        assert repo.dtd_uri_of("http://x/d.xml") == "http://elsewhere/d.dtd"

@@ -1,0 +1,176 @@
+"""Tests for the SecureXMLServer facade."""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.errors import RepositoryError
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import PolicyConfig, SecureXMLServer
+from repro.subjects.hierarchy import Requester
+
+URI = "http://x/notes.xml"
+DTD_URI = "http://x/notes.dtd"
+
+NOTES = (
+    "<notes>"
+    "<note owner='alice' level='public'>a-public</note>"
+    "<note owner='alice' level='secret'>a-secret</note>"
+    "<note owner='bob' level='public'>b-public</note>"
+    "</notes>"
+)
+
+
+@pytest.fixture
+def server():
+    s = SecureXMLServer()
+    s.add_group("Staff")
+    s.add_user("alice", groups=["Staff"])
+    s.add_user("bob")
+    s.publish_dtd(
+        DTD_URI,
+        "<!ELEMENT notes (note*)><!ELEMENT note (#PCDATA)>"
+        "<!ATTLIST note owner CDATA #REQUIRED level CDATA #REQUIRED>",
+    )
+    s.publish_document(URI, NOTES, dtd_uri=DTD_URI)
+    s.grant(Authorization.build("Staff", f"{URI}://note[@owner='alice']", "+", "RW"))
+    s.grant(Authorization.build("Public", f"{URI}://note[@level='public']", "+", "R"))
+    s.grant(Authorization.build("Public", f"{DTD_URI}://note[@level='secret']", "-", "R"))
+    return s
+
+
+def alice():
+    return Requester("alice", "10.0.0.1", "pc.lab.com")
+
+
+def bob():
+    return Requester("bob", "10.0.0.2", "pc2.lab.com")
+
+
+class TestServe:
+    def test_alice_view(self, server):
+        response = server.serve(AccessRequest(alice(), URI))
+        assert "a-public" in response.xml_text
+        assert "b-public" in response.xml_text
+        # Schema-level denial beats her weak instance grant (RW) on the
+        # secret note — the paper's instance-weak vs schema pattern.
+        assert "a-secret" not in response.xml_text
+
+    def test_bob_view(self, server):
+        response = server.serve(AccessRequest(bob(), URI))
+        assert "b-public" in response.xml_text
+        assert "a-secret" not in response.xml_text
+
+    def test_anonymous_view(self, server):
+        response = server.serve(AccessRequest(Requester(), URI))
+        assert "a-public" in response.xml_text
+        assert "a-secret" not in response.xml_text
+
+    def test_loosened_dtd_shipped(self, server):
+        response = server.serve(AccessRequest(alice(), URI))
+        assert response.loosened_dtd_text is not None
+        assert "#IMPLIED" in response.loosened_dtd_text
+
+    def test_stats_in_response(self, server):
+        response = server.serve(AccessRequest(alice(), URI))
+        assert 0 < response.visible_nodes < response.total_nodes
+        assert response.elapsed_seconds > 0
+
+    def test_unknown_uri(self, server):
+        with pytest.raises(RepositoryError):
+            server.serve(AccessRequest(alice(), "http://x/nope.xml"))
+        outcomes = [record.outcome for record in server.audit]
+        assert outcomes[-1] == "error"
+
+    def test_audit_trail(self, server):
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(bob(), URI))
+        records = list(server.audit)
+        assert len(records) == 2
+        assert records[0].outcome == "released"
+        assert "alice" in records[0].requester
+
+
+class TestQuery:
+    def test_query_sees_only_view(self, server):
+        response = server.query(QueryRequest(bob(), URI, "//note"))
+        assert len(response.matches) == 2
+        assert all("secret" not in match for match in response.matches)
+
+    def test_query_conditions(self, server):
+        response = server.query(
+            QueryRequest(alice(), URI, "//note[@owner='alice']")
+        )
+        assert len(response.matches) == 1  # the secret one is pruned
+
+    def test_query_cannot_probe_hidden_content(self, server):
+        # Even predicates over hidden values return nothing.
+        response = server.query(
+            QueryRequest(bob(), URI, "//note[. = 'a-secret']")
+        )
+        assert response.empty
+
+    def test_query_audited(self, server):
+        server.query(QueryRequest(bob(), URI, "//note"))
+        record = server.audit.tail(1)[0]
+        assert "query[//note]" in record.action
+
+
+class TestPolicyConfiguration:
+    def test_per_document_policy(self, server):
+        open_uri = "http://x/open.xml"
+        server.publish_document(
+            open_uri, "<d><x>1</x></d>", policy=PolicyConfig(open_policy=True)
+        )
+        response = server.serve(AccessRequest(bob(), open_uri))
+        assert "<x>1</x>" in response.xml_text  # open policy: ε = permit
+
+    def test_default_policy_closed(self, server):
+        closed_uri = "http://x/closed.xml"
+        server.publish_document(closed_uri, "<d><x>1</x></d>")
+        response = server.serve(AccessRequest(bob(), closed_uri))
+        assert response.empty
+
+    def test_set_policy_after_publish(self, server):
+        uri = "http://x/later.xml"
+        server.publish_document(uri, "<d><x>1</x></d>")
+        server.set_policy(uri, PolicyConfig(open_policy=True))
+        assert not server.serve(AccessRequest(bob(), uri)).empty
+
+    def test_conflict_policy_by_name(self, server):
+        uri = "http://x/conflict.xml"
+        server.publish_document(uri, "<d><x>1</x></d>")
+        server.grant(Authorization.build("Public", f"{uri}://x", "+", "R"))
+        server.grant(Authorization.build("Public", f"{uri}://x", "-", "R"))
+        # Default denials-take-precedence: hidden.
+        assert server.serve(AccessRequest(bob(), uri)).empty
+        server.set_policy(
+            uri, PolicyConfig(conflict_policy="permissions-take-precedence")
+        )
+        assert not server.serve(AccessRequest(bob(), uri)).empty
+
+    def test_policy_for_unknown_uri_is_default(self, server):
+        assert server.policy_for("http://x/whatever.xml") == PolicyConfig()
+
+    def test_processor_for(self, server):
+        processor = server.processor_for(URI)
+        output = processor.process_text(
+            NOTES,
+            server.store.applicable(alice(), URI),
+            [],
+            uri=URI,
+        )
+        assert "a-public" in output.xml_text
+
+
+class TestXACLAttachment:
+    def test_attach_xacl(self, server):
+        uri = "http://x/x2.xml"
+        server.publish_document(uri, "<d><y>2</y></d>")
+        loaded = server.attach_xacl(
+            f'<xacl><authorization sign="+" type="R">'
+            f'<subject user-group="Public"/><object uri="{uri}" path="//y"/>'
+            f"</authorization></xacl>"
+        )
+        assert len(loaded) == 1
+        response = server.serve(AccessRequest(bob(), uri))
+        assert "<y>2</y>" in response.xml_text

@@ -1,0 +1,141 @@
+"""Tests for the authorization subject hierarchy ASH (Definition 1)."""
+
+import pytest
+
+from repro.errors import SubjectError
+from repro.subjects.hierarchy import Requester, SubjectHierarchy, SubjectSpec
+from repro.subjects.users import Directory
+
+
+@pytest.fixture
+def hierarchy():
+    directory = Directory()
+    directory.add_group("CS")
+    directory.add_group("Foreign")
+    directory.add_group("Grad", parents=["CS"])
+    directory.add_user("alice", groups=["CS"])
+    directory.add_user("tom", groups=["Foreign"])
+    return SubjectHierarchy(directory)
+
+
+def spec(ug, ip="*", sym="*"):
+    return SubjectSpec.parse(ug, ip, sym)
+
+
+class TestSubjectSpec:
+    def test_parse_and_unparse(self):
+        s = spec("Sam", "*", "*.lab.com")
+        assert s.unparse() == "<Sam,*.*.*.*,*.lab.com>"
+
+    def test_empty_user_group_rejected(self):
+        with pytest.raises(SubjectError):
+            SubjectSpec.parse("  ")
+
+    def test_equality_and_hash(self):
+        assert spec("A") == spec("A")
+        assert spec("A") != spec("B")
+        assert len({spec("A"), spec("A")}) == 1
+
+
+class TestDominates:
+    def test_group_component(self, hierarchy):
+        assert hierarchy.dominates(spec("alice"), spec("CS"))
+        assert hierarchy.dominates(spec("Grad"), spec("CS"))
+        assert not hierarchy.dominates(spec("CS"), spec("Grad"))
+
+    def test_location_components(self, hierarchy):
+        lower = spec("CS", "151.100.30.8", "tweety.lab.com")
+        upper = spec("CS", "151.100.*", "*.lab.com")
+        assert hierarchy.dominates(lower, upper)
+        assert not hierarchy.dominates(upper, lower)
+
+    def test_all_components_must_dominate(self, hierarchy):
+        lower = spec("alice", "151.100.30.8", "x.other.org")
+        upper = spec("CS", "151.100.*", "*.lab.com")
+        assert not hierarchy.dominates(lower, upper)  # symbolic fails
+
+    def test_reflexive(self, hierarchy):
+        s = spec("CS", "1.2.3.4", "a.b.c")
+        assert hierarchy.dominates(s, s)
+        assert not hierarchy.strictly_dominates(s, s)
+
+    def test_strict_dominance(self, hierarchy):
+        assert hierarchy.strictly_dominates(spec("alice"), spec("CS"))
+        # Same group, more specific location.
+        assert hierarchy.strictly_dominates(
+            spec("CS", "1.2.3.4", "*"), spec("CS", "*", "*")
+        )
+
+    def test_comparable(self, hierarchy):
+        assert hierarchy.comparable(spec("alice"), spec("CS"))
+        assert not hierarchy.comparable(spec("CS"), spec("Foreign"))
+
+
+class TestAppliesTo:
+    def test_group_membership_applies(self, hierarchy):
+        requester = Requester("tom", "130.100.50.8", "infosys.bld1.it")
+        assert hierarchy.applies_to(spec("Foreign"), requester)
+        assert hierarchy.applies_to(spec("Public"), requester)
+        assert not hierarchy.applies_to(spec("CS"), requester)
+
+    def test_location_filtering(self, hierarchy):
+        requester = Requester("alice", "130.89.56.8", "pc.lab.com")
+        assert hierarchy.applies_to(spec("CS", "130.89.56.8", "*"), requester)
+        assert hierarchy.applies_to(spec("CS", "*", "*.lab.com"), requester)
+        assert not hierarchy.applies_to(spec("CS", "10.0.0.1", "*"), requester)
+        assert not hierarchy.applies_to(spec("CS", "*", "*.it"), requester)
+
+    def test_specific_user_spec(self, hierarchy):
+        requester = Requester("alice", "1.2.3.4", "a.example.org")
+        assert hierarchy.applies_to(spec("alice"), requester)
+        assert not hierarchy.applies_to(spec("tom"), requester)
+
+    def test_unknown_user_only_matches_public_or_literal(self, hierarchy):
+        requester = Requester("stranger", "1.2.3.4", "a.example.org")
+        assert hierarchy.applies_to(spec("Public"), requester)
+        assert hierarchy.applies_to(spec("stranger"), requester)
+        assert not hierarchy.applies_to(spec("CS"), requester)
+
+    def test_paper_example_subjects(self, hierarchy):
+        tom = Requester("tom", "130.100.50.8", "infosys.bld1.it")
+        assert hierarchy.applies_to(spec("Public", "*", "*.it"), tom)
+        assert not hierarchy.applies_to(spec("Admin", "130.89.56.8", "*"), tom)
+
+
+class TestMostSpecific:
+    def test_filters_dominated(self, hierarchy):
+        specs = [spec("CS"), spec("alice"), spec("Public")]
+        result = hierarchy.most_specific(specs)
+        assert result == [spec("alice")]
+
+    def test_keeps_incomparable(self, hierarchy):
+        specs = [spec("CS"), spec("Foreign")]
+        assert set(
+            s.user_group for s in hierarchy.most_specific(specs)
+        ) == {"CS", "Foreign"}
+
+    def test_location_specificity(self, hierarchy):
+        specs = [spec("CS", "*", "*"), spec("CS", "1.2.3.4", "*")]
+        result = hierarchy.most_specific(specs)
+        assert result == [spec("CS", "1.2.3.4", "*")]
+
+    def test_duplicate_specs_survive(self, hierarchy):
+        # Equal subjects do not strictly dominate each other.
+        specs = [spec("CS"), spec("CS")]
+        assert len(hierarchy.most_specific(specs)) == 2
+
+
+class TestRequester:
+    def test_as_spec_is_minimal(self, hierarchy):
+        requester = Requester("alice", "10.0.0.1", "pc.lab.com")
+        as_spec = requester.as_spec()
+        assert as_spec.ip.is_concrete
+        assert as_spec.symbolic.is_concrete
+
+    def test_str(self):
+        requester = Requester("alice", "10.0.0.1", "pc.lab.com")
+        assert "alice" in str(requester)
+        assert "10.0.0.1" in str(requester)
+
+    def test_defaults_anonymous(self):
+        assert Requester().user == "anonymous"

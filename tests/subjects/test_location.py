@@ -1,0 +1,144 @@
+"""Tests for IP and symbolic location patterns (paper, Section 3)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.subjects.location import ANY_IP, ANY_SYMBOLIC, IPPattern, SymbolicPattern
+
+
+class TestIPPatternParsing:
+    def test_concrete_address(self):
+        pattern = IPPattern.parse("150.100.30.8")
+        assert pattern.is_concrete
+        assert str(pattern) == "150.100.30.8"
+
+    def test_short_form_padded(self):
+        # '151.100.*' is equivalent to '151.100.*.*' (paper, Section 3).
+        assert IPPattern.parse("151.100.*") == IPPattern.parse("151.100.*.*")
+
+    def test_bare_star(self):
+        assert IPPattern.parse("*") == ANY_IP
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "151.*.30.8",        # wildcard must be right-most
+            "*.100.30.8",
+            "151.100.30.8.9",    # too many components
+            "151.100.300.8",     # component out of range
+            "151.100.x.8",       # non-numeric
+            "151.100",           # short form must end with '*'
+        ],
+    )
+    def test_invalid_patterns(self, bad):
+        with pytest.raises(PatternError):
+            IPPattern.parse(bad)
+
+
+class TestIPPatternOrder:
+    def test_concrete_matches_itself(self):
+        pattern = IPPattern.parse("150.100.30.8")
+        assert pattern.matches("150.100.30.8")
+        assert not pattern.matches("150.100.30.9")
+
+    def test_network_pattern_matches_members(self):
+        pattern = IPPattern.parse("151.100.*")
+        assert pattern.matches("151.100.30.8")
+        assert pattern.matches("151.100.0.1")
+        assert not pattern.matches("151.101.30.8")
+
+    def test_star_matches_everything(self):
+        assert ANY_IP.matches("1.2.3.4")
+
+    def test_dominated_by_partial_order(self):
+        concrete = IPPattern.parse("151.100.30.8")
+        network = IPPattern.parse("151.100.*")
+        assert concrete.dominated_by(network)
+        assert not network.dominated_by(concrete)
+        assert network.dominated_by(ANY_IP)
+        assert concrete.dominated_by(concrete)  # reflexive
+
+    def test_incomparable_patterns(self):
+        a = IPPattern.parse("151.100.*")
+        b = IPPattern.parse("151.101.*")
+        assert not a.dominated_by(b)
+        assert not b.dominated_by(a)
+
+    def test_specificity(self):
+        assert IPPattern.parse("1.2.3.4").specificity() == 4
+        assert IPPattern.parse("1.2.*").specificity() == 2
+        assert ANY_IP.specificity() == 0
+
+    def test_matches_requires_concrete_address(self):
+        with pytest.raises(PatternError):
+            IPPattern.parse("151.100.*").matches("151.100.*")
+
+    def test_matches_non_ip_is_false(self):
+        assert not IPPattern.parse("151.100.*").matches("not-an-ip")
+
+
+class TestSymbolicPatternParsing:
+    def test_concrete_host(self):
+        pattern = SymbolicPattern.parse("tweety.lab.com")
+        assert pattern.is_concrete
+
+    def test_case_normalized(self):
+        assert SymbolicPattern.parse("Lab.COM") == SymbolicPattern.parse("lab.com")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "lab.*",          # wildcard must be left-most
+            "a.*.com",
+            "lab..com",       # empty component
+            "la b.com",       # invalid character
+        ],
+    )
+    def test_invalid_patterns(self, bad):
+        with pytest.raises(PatternError):
+            SymbolicPattern.parse(bad)
+
+
+class TestSymbolicPatternOrder:
+    def test_domain_pattern_matches_hosts(self):
+        pattern = SymbolicPattern.parse("*.it")
+        assert pattern.matches("infosys.bld1.it")   # the paper's Example 2
+        assert pattern.matches("host.it")
+        assert not pattern.matches("it")            # '*' is one or more labels
+        assert not pattern.matches("host.com")
+
+    def test_nested_domain(self):
+        pattern = SymbolicPattern.parse("*.lab.com")
+        assert pattern.matches("tweety.lab.com")
+        assert pattern.matches("a.b.lab.com")
+        assert not pattern.matches("lab.com")
+
+    def test_star_matches_everything(self):
+        assert ANY_SYMBOLIC.matches("any.host.example")
+
+    def test_dominated_by(self):
+        host = SymbolicPattern.parse("tweety.lab.com")
+        domain = SymbolicPattern.parse("*.lab.com")
+        top = SymbolicPattern.parse("*.com")
+        assert host.dominated_by(domain)
+        assert domain.dominated_by(top)
+        assert host.dominated_by(top)
+        assert not top.dominated_by(domain)
+        assert host.dominated_by(ANY_SYMBOLIC)
+
+    def test_inner_wildcard_exactly_one_label(self):
+        pattern = SymbolicPattern.parse("*.*.lab.com")
+        assert pattern.matches("a.b.lab.com")
+        assert pattern.matches("a.b.c.lab.com")
+        assert not pattern.matches("b.lab.com")  # needs >= 2 extra labels
+
+    def test_specificity(self):
+        assert SymbolicPattern.parse("a.b.com").specificity() == 3
+        assert SymbolicPattern.parse("*.com").specificity() == 1
+        assert ANY_SYMBOLIC.specificity() == 0
+
+    def test_matches_requires_concrete(self):
+        with pytest.raises(PatternError):
+            SymbolicPattern.parse("*.com").matches("*.lab.com")

@@ -1,0 +1,106 @@
+"""Tests for the subject-directory XML markup."""
+
+import pytest
+
+from repro.errors import SubjectError, XACLError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import validate
+from repro.subjects.markup import DIRECTORY_DTD, parse_directory, serialize_directory
+from repro.subjects.users import Directory
+from repro.xml.parser import parse_document
+
+SAMPLE = """\
+<directory>
+  <group name="Staff"/>
+  <group name="Clinical" in="Staff"/>
+  <user name="alice" in="Clinical"/>
+  <user name="bob" in="Staff Clinical"/>
+  <user name="guest"/>
+</directory>
+"""
+
+
+class TestParsing:
+    def test_groups_and_memberships(self):
+        directory = parse_directory(SAMPLE)
+        assert directory.is_group("Staff")
+        assert directory.is_member("Clinical", "Staff")
+        assert directory.is_member("alice", "Staff")  # transitive
+        assert directory.is_member("bob", "Clinical")
+        assert directory.is_user("guest")
+
+    def test_order_independence(self):
+        shuffled = (
+            "<directory>"
+            '<user name="alice" in="Clinical"/>'
+            '<group name="Clinical" in="Staff"/>'
+            '<group name="Staff"/>'
+            "</directory>"
+        )
+        directory = parse_directory(shuffled)
+        assert directory.is_member("alice", "Staff")
+
+    def test_into_existing_directory(self):
+        base = Directory()
+        base.add_group("Existing")
+        parse_directory('<directory><user name="x" in="Existing"/></directory>', base)
+        assert base.is_member("x", "Existing")
+
+    def test_everyone_still_in_public(self):
+        directory = parse_directory(SAMPLE)
+        assert directory.is_member("guest", "Public")
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("<notdirectory/>", "root element"),
+            ("<directory><thing/></directory>", "unexpected element"),
+            ("<directory><group/></directory>", "name attribute"),
+        ],
+    )
+    def test_malformed(self, bad, match):
+        with pytest.raises(XACLError, match=match):
+            parse_directory(bad)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(SubjectError, match="unknown group"):
+            parse_directory('<directory><user name="x" in="Ghost"/></directory>')
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SubjectError, match="cycle"):
+            parse_directory(
+                '<directory><group name="A" in="B"/><group name="B" in="A"/>'
+                "</directory>"
+            )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = parse_directory(SAMPLE)
+        text = serialize_directory(original)
+        again = parse_directory(text)
+        for user in ("alice", "bob", "guest"):
+            assert set(original.expanded_groups(user)) == set(
+                again.expanded_groups(user)
+            )
+        assert set(original.groups()) == set(again.groups())
+
+    def test_implicit_subjects_omitted(self):
+        text = serialize_directory(parse_directory(SAMPLE))
+        assert "Public" not in text
+        assert "anonymous" not in text
+
+    def test_markup_validates_against_its_dtd(self):
+        text = serialize_directory(parse_directory(SAMPLE))
+        document = parse_document(text)
+        report = validate(document, parse_dtd(DIRECTORY_DTD))
+        assert report.valid, report.violations
+
+    def test_diamond_memberships_preserved(self):
+        directory = Directory()
+        directory.add_group("X")
+        directory.add_group("Y")
+        directory.add_group("Z", parents=["X", "Y"])
+        again = parse_directory(serialize_directory(directory))
+        assert again.is_member("Z", "X")
+        assert again.is_member("Z", "Y")

@@ -1,0 +1,131 @@
+"""Tests for the user/group directory."""
+
+import pytest
+
+from repro.errors import SubjectError
+from repro.subjects.users import ANONYMOUS_USER, PUBLIC_GROUP, Directory
+
+
+@pytest.fixture
+def directory():
+    d = Directory()
+    d.add_group("CS")
+    d.add_group("Foreign")
+    d.add_group("Grad", parents=["CS"])
+    d.add_user("alice", groups=["CS"])
+    d.add_user("bob", groups=["Grad", "Foreign"])
+    return d
+
+
+class TestBasics:
+    def test_builtins_exist(self, directory):
+        assert directory.is_group(PUBLIC_GROUP)
+        assert directory.is_user(ANONYMOUS_USER)
+
+    def test_users_and_groups_listings(self, directory):
+        assert "alice" in list(directory.users())
+        assert "CS" in list(directory.groups())
+
+    def test_everyone_in_public(self, directory):
+        assert directory.is_member("alice", PUBLIC_GROUP)
+        assert directory.is_member(ANONYMOUS_USER, PUBLIC_GROUP)
+
+    def test_duplicate_registration_is_idempotent(self, directory):
+        directory.add_user("alice")
+        directory.add_group("CS")
+
+    def test_user_group_name_clash_rejected(self, directory):
+        with pytest.raises(SubjectError, match="already exists"):
+            directory.add_group("alice")
+        with pytest.raises(SubjectError, match="already exists"):
+            directory.add_user("CS")
+
+    def test_empty_name_rejected(self, directory):
+        with pytest.raises(SubjectError):
+            directory.add_user("  ")
+
+
+class TestMembership:
+    def test_direct_membership(self, directory):
+        assert directory.is_member("alice", "CS")
+        assert not directory.is_member("alice", "Foreign")
+
+    def test_transitive_membership(self, directory):
+        assert directory.is_member("bob", "CS")  # bob -> Grad -> CS
+
+    def test_reflexive_membership(self, directory):
+        assert directory.is_member("CS", "CS")
+        assert not directory.is_member("CS", "CS", strict=True)
+
+    def test_group_in_group(self, directory):
+        assert directory.is_member("Grad", "CS")
+        assert not directory.is_member("CS", "Grad")
+
+    def test_unknown_subject_not_member(self, directory):
+        assert not directory.is_member("ghost", "CS")
+
+    def test_expanded_groups(self, directory):
+        closure = directory.expanded_groups("bob")
+        assert {"bob", "Grad", "Foreign", "CS", PUBLIC_GROUP} <= closure
+
+    def test_expanded_groups_unknown_raises(self, directory):
+        with pytest.raises(SubjectError):
+            directory.expanded_groups("ghost")
+
+    def test_members_recursive(self, directory):
+        assert directory.members_recursive("CS") == frozenset({"alice", "bob"})
+        assert directory.members_recursive(PUBLIC_GROUP) >= {"alice", "bob"}
+
+    def test_direct_members(self, directory):
+        assert "Grad" in directory.direct_members("CS")
+        assert "bob" not in directory.direct_members("CS")
+
+
+class TestMutationRules:
+    def test_add_member_to_unknown_group(self, directory):
+        with pytest.raises(SubjectError, match="unknown group"):
+            directory.add_member("NoSuch", "alice")
+
+    def test_add_unknown_member(self, directory):
+        with pytest.raises(SubjectError, match="unknown subject"):
+            directory.add_member("CS", "ghost")
+
+    def test_self_membership_rejected(self, directory):
+        with pytest.raises(SubjectError, match="cannot contain itself"):
+            directory.add_member("CS", "CS")
+
+    def test_cycle_rejected(self, directory):
+        with pytest.raises(SubjectError, match="cycle"):
+            directory.add_member("Grad", "CS")  # CS already contains Grad
+
+    def test_long_cycle_rejected(self, directory):
+        directory.add_group("A")
+        directory.add_group("B", parents=["A"])
+        directory.add_group("C", parents=["B"])
+        with pytest.raises(SubjectError, match="cycle"):
+            directory.add_member("C", "A")
+
+    def test_diamond_allowed(self, directory):
+        # Non-disjoint nested groups are explicitly allowed by the paper.
+        directory.add_group("X")
+        directory.add_group("Y")
+        directory.add_group("Z", parents=["X", "Y"])
+        assert directory.is_member("Z", "X")
+        assert directory.is_member("Z", "Y")
+
+    def test_closure_cache_invalidated_on_mutation(self, directory):
+        assert not directory.is_member("alice", "Foreign")
+        directory.add_member("Foreign", "alice")
+        assert directory.is_member("alice", "Foreign")
+
+
+class TestEnsureUser:
+    def test_none_maps_to_anonymous(self, directory):
+        assert directory.ensure_user(None) == ANONYMOUS_USER
+
+    def test_known_user_passes(self, directory):
+        assert directory.ensure_user("alice") == "alice"
+
+    def test_unknown_user_rejected(self, directory):
+        with pytest.raises(SubjectError):
+            directory.ensure_user("ghost")

@@ -1,0 +1,139 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.subjects.users import Directory
+from repro.workloads.generator import (
+    build_workload,
+    deep_document,
+    populate_directory,
+    requester_pool,
+    synthetic_authorizations,
+    synthetic_document,
+    wide_document,
+)
+from repro.xml.serializer import serialize
+from repro.xml.traversal import count_nodes, depth, iter_elements
+
+
+class TestSyntheticDocuments:
+    def test_node_count_close_to_target(self):
+        for target in (100, 1000, 5000):
+            document = synthetic_document(target)
+            actual = count_nodes(document.root)
+            assert 0.6 * target <= actual <= 1.3 * target
+
+    def test_deterministic(self):
+        assert serialize(synthetic_document(200, seed=5)) == serialize(
+            synthetic_document(200, seed=5)
+        )
+
+    def test_elements_carry_kind_attribute(self):
+        document = synthetic_document(200)
+        kinds = {el.get_attribute("kind") for el in iter_elements(document.root)}
+        assert kinds <= {"public", "internal", "private", "restricted", None}
+        assert len(kinds - {None}) >= 2
+
+    def test_fanout_controls_breadth(self):
+        narrow = synthetic_document(500, fanout=2, seed=1)
+        wide = synthetic_document(500, fanout=10, seed=1)
+        assert len(list(wide.root.child_elements())) > len(
+            list(narrow.root.child_elements())
+        )
+
+    def test_deep_document(self):
+        document = deep_document(50)
+        leaf_depths = [
+            depth(el) for el in iter_elements(document.root) if not list(el.child_elements())
+        ]
+        # The deepest leaf is the 50th element: 49 element ancestors
+        # plus the document node.
+        assert max(leaf_depths) == 50
+
+    def test_wide_document(self):
+        document = wide_document(40)
+        assert len(list(document.root.child_elements())) == 40
+
+
+class TestSyntheticAuthorizations:
+    def test_count_and_split(self):
+        document = synthetic_document(300, seed=2)
+        instance, schema = synthetic_authorizations(
+            document, 40, seed=2, dtd_uri="d.dtd", schema_share=0.5
+        )
+        assert len(instance) + len(schema) == 40
+        assert schema  # with share 0.5 over 40 draws, ~0 chance of none
+        assert all(a.object.uri == "d.dtd" for a in schema)
+
+    def test_no_schema_without_dtd_uri(self):
+        document = synthetic_document(300, seed=2)
+        instance, schema = synthetic_authorizations(document, 20, seed=2)
+        assert schema == []
+        assert len(instance) == 20
+
+    def test_paths_select_nodes(self):
+        document = synthetic_document(400, seed=3)
+        instance, _ = synthetic_authorizations(document, 30, seed=3)
+        selecting = sum(1 for a in instance if a.select_nodes(document))
+        assert selecting >= len(instance) // 2
+
+    def test_deterministic(self):
+        document = synthetic_document(300, seed=4)
+        first, _ = synthetic_authorizations(document, 10, seed=9)
+        second, _ = synthetic_authorizations(document, 10, seed=9)
+        assert [a.unparse() for a in first] == [a.unparse() for a in second]
+
+    def test_denial_share_respected(self):
+        document = synthetic_document(300, seed=5)
+        all_plus, _ = synthetic_authorizations(document, 30, seed=5, denial_share=0.0)
+        assert all(a.sign.value == "+" for a in all_plus)
+        all_minus, _ = synthetic_authorizations(document, 30, seed=5, denial_share=1.0)
+        assert all(a.sign.value == "-" for a in all_minus)
+
+
+class TestDirectoryPopulation:
+    def test_population_counts(self):
+        directory = Directory()
+        users, groups = populate_directory(directory, users=15, groups=5, seed=1)
+        assert len(users) == 15
+        assert len(groups) == 5
+        for user in users:
+            assert directory.is_user(user)
+
+    def test_nesting_chain(self):
+        directory = Directory()
+        _, groups = populate_directory(directory, groups=4, nesting=2, seed=1)
+        assert directory.is_member(groups[1], groups[0])
+        assert directory.is_member(groups[2], groups[0])  # transitive
+
+    def test_every_user_in_some_group(self):
+        directory = Directory()
+        users, groups = populate_directory(directory, users=10, seed=2)
+        for user in users:
+            assert any(directory.is_member(user, group) for group in groups)
+
+    def test_requester_pool(self):
+        pool = requester_pool(["u1", "u2", "u3"], seed=0)
+        assert len(pool) == 3
+        assert all(requester.ip.count(".") == 3 for requester in pool)
+        assert requester_pool(["u1", "u2"], count=1)[0].user == "u1"
+
+
+class TestBuildWorkload:
+    def test_complete_workload(self):
+        workload = build_workload(nodes=300, auth_count=12, seed=1)
+        assert workload.document.root is not None
+        assert len(workload.instance_auths) + len(workload.schema_auths) == 12
+        assert len(workload.store) == 12
+        assert workload.requesters
+
+    def test_workload_views_computable(self):
+        from repro.core.view import compute_view
+
+        workload = build_workload(nodes=300, auth_count=12, seed=2)
+        requester = workload.requesters[0]
+        result = compute_view(
+            workload.document,
+            requester,
+            workload.store,
+            dtd_uri="http://bench.example/doc.dtd",
+        )
+        assert result.total_nodes > 0

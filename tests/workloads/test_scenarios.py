@@ -1,0 +1,66 @@
+"""Tests for the paper's laboratory scenario construction."""
+
+from repro.dtd.validator import validate
+from repro.workloads.scenarios import (
+    LAB_DOCUMENT_URI,
+    LAB_DTD_URI,
+    lab_authorizations,
+    lab_scenario,
+)
+from repro.xpath.evaluator import select
+
+
+class TestLabScenario:
+    def test_document_is_valid(self, lab):
+        report = validate(lab.document, lab.dtd)
+        assert report.valid, report.violations
+
+    def test_document_uri_and_doctype(self, lab):
+        assert lab.document.uri == LAB_DOCUMENT_URI
+        assert lab.document.system_id == LAB_DTD_URI
+        assert lab.document.doctype_name == "laboratory"
+
+    def test_paper_path_expressions_select(self, lab):
+        document = lab.document
+        assert len(select("/laboratory/project", document)) == 2
+        assert len(select("/laboratory//flname", document)) == 2
+        assert len(select('//paper[./@category="private"]', document)) == 2
+        assert len(select('//paper[./@category="public"]', document)) == 1
+        assert len(select("//fund/ancestor::project", document)) == 1
+
+    def test_four_authorizations(self, lab):
+        assert len(lab.authorizations) == 4
+        signs = [a.sign.value for a in lab.authorizations]
+        assert signs == ["-", "+", "+", "+"]
+        types = [a.type.value for a in lab.authorizations]
+        assert types == ["R", "RW", "R", "RW"]
+
+    def test_first_authorization_is_schema_level(self, lab):
+        assert lab.authorizations[0].object.uri == LAB_DTD_URI
+        assert all(
+            a.object.uri == LAB_DOCUMENT_URI for a in lab.authorizations[1:]
+        )
+
+    def test_directory_population(self, lab):
+        directory = lab.hierarchy.directory
+        assert directory.is_member("Tom", "Foreign")
+        assert directory.is_member("Alice", "Admin")
+        assert directory.is_user("Sam")
+        assert not directory.is_member("Sam", "Foreign")
+
+    def test_requesters(self, lab):
+        assert lab.tom.hostname == "infosys.bld1.it"
+        assert lab.alice.ip == "130.89.56.8"
+
+    def test_store_contains_all(self, lab):
+        assert len(lab.store) == 4
+        assert set(lab.store.uris()) == {LAB_DTD_URI, LAB_DOCUMENT_URI}
+
+    def test_scenarios_are_independent(self):
+        first = lab_scenario()
+        second = lab_scenario()
+        assert first.document is not second.document
+        assert first.store is not second.store
+
+    def test_authorizations_factory_fresh(self):
+        assert lab_authorizations() is not lab_authorizations()

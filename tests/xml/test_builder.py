@@ -1,0 +1,79 @@
+"""Tests for the programmatic tree builder."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xml.builder import E, comment, new_document, pi, text
+from repro.xml.nodes import Comment, Document, Element, ProcessingInstruction, Text
+
+
+class TestE:
+    def test_name_only(self):
+        element = E("a")
+        assert element.name == "a"
+        assert element.children == []
+
+    def test_attributes_dict(self):
+        element = E("a", {"x": "1", "y": "2"})
+        assert element.get_attribute("x") == "1"
+        assert element.get_attribute("y") == "2"
+
+    def test_multiple_dicts_merge(self):
+        element = E("a", {"x": "1"}, {"y": "2"})
+        assert element.get_attribute("x") == "1"
+        assert element.get_attribute("y") == "2"
+
+    def test_string_children_become_text(self):
+        element = E("a", "hello")
+        assert isinstance(element.children[0], Text)
+
+    def test_nested_elements(self):
+        element = E("a", E("b", E("c")))
+        assert element.children[0].children[0].name == "c"
+
+    def test_none_children_skipped(self):
+        include_extra = False
+        element = E("a", E("b"), E("extra") if include_extra else None)
+        assert len(element.children) == 1
+
+    def test_attribute_values_coerced_to_str(self):
+        element = E("a", {"n": 7})
+        assert element.get_attribute("n") == "7"
+
+    def test_node_helpers(self):
+        element = E("a", text("t"), comment("c"), pi("p", "d"))
+        kinds = [type(child) for child in element.children]
+        assert kinds == [Text, Comment, ProcessingInstruction]
+
+    def test_document_as_child_rejected(self):
+        with pytest.raises(ReproError):
+            E("a", Document())
+
+    def test_unsupported_child_rejected(self):
+        with pytest.raises(ReproError):
+            E("a", 42)
+
+
+class TestNewDocument:
+    def test_basic(self):
+        document = new_document(E("root"), uri="http://x/d.xml")
+        assert document.root.name == "root"
+        assert document.uri == "http://x/d.xml"
+        assert document.doctype_name is None
+
+    def test_doctype_defaults_to_root_name(self):
+        document = new_document(E("root"), system_id="root.dtd")
+        assert document.doctype_name == "root"
+        assert document.system_id == "root.dtd"
+
+    def test_explicit_doctype_name(self):
+        document = new_document(E("root"), doctype_name="other")
+        assert document.doctype_name == "other"
+
+    def test_dtd_attached(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT root EMPTY>")
+        document = new_document(E("root"), dtd=dtd)
+        assert document.dtd is dtd
+        assert document.doctype_name == "root"

@@ -1,0 +1,87 @@
+"""Tests for the structural tree diff."""
+
+from repro.xml.diff import tree_diff, trees_equal
+from repro.xml.parser import parse_document
+
+
+def diff(a: str, b: str):
+    return tree_diff(parse_document(a), parse_document(b))
+
+
+class TestEquality:
+    def test_identical(self):
+        assert diff("<a><b>x</b></a>", "<a><b>x</b></a>") == []
+        assert trees_equal(parse_document("<a/>"), parse_document("<a/>"))
+
+    def test_attribute_order_insignificant(self):
+        assert diff('<a x="1" y="2"/>', '<a y="2" x="1"/>') == []
+
+    def test_insignificant_whitespace_ignored(self):
+        assert diff("<a>\n  <b/>\n</a>", "<a><b/></a>") == []
+
+    def test_none_vs_none(self):
+        assert tree_diff(None, None) == []
+
+
+class TestDifferences:
+    def test_element_name(self):
+        result = diff("<a><b/></a>", "<a><c/></a>")
+        assert any("names differ" in line for line in result)
+
+    def test_text_content(self):
+        result = diff("<a>x</a>", "<a>y</a>")
+        assert any("text differs" in line for line in result)
+
+    def test_attribute_value(self):
+        result = diff('<a k="1"/>', '<a k="2"/>')
+        assert result == ["/a/@k: values differ: '1' vs '2'"]
+
+    def test_attribute_only_one_side(self):
+        result = diff('<a k="1"/>', "<a/>")
+        assert result == ["/a/@k: only in left (= '1')"]
+
+    def test_extra_child(self):
+        result = diff("<a><b/><c/></a>", "<a><b/></a>")
+        assert result == ["/a/c: only in left: <c>"]
+
+    def test_missing_child(self):
+        result = diff("<a><b/></a>", "<a><b/><c/></a>")
+        assert result == ["/a/c: only in right: <c>"]
+
+    def test_child_order_significant(self):
+        result = diff("<a><b/><c/></a>", "<a><c/><b/></a>")
+        assert len(result) >= 1
+
+    def test_node_kind_mismatch(self):
+        result = diff("<a>text</a>", "<a><b/></a>")
+        assert any("node kinds differ" in line for line in result)
+
+    def test_comment_difference(self):
+        result = diff("<a><!--x--></a>", "<a><!--y--></a>")
+        assert any("comment differs" in line for line in result)
+
+    def test_pi_difference(self):
+        result = diff("<a><?p one?></a>", "<a><?p two?></a>")
+        assert any("processing instruction differs" in line for line in result)
+
+    def test_limit_respected(self):
+        left = "<a>" + "".join(f"<x{i}/>" for i in range(100)) + "</a>"
+        right = "<a/>"
+        result = tree_diff(parse_document(left), parse_document(right), max_differences=5)
+        assert len(result) == 5
+
+    def test_paths_are_anchored(self):
+        result = diff("<a><b><c>x</c></b></a>", "<a><b><c>y</c></b></a>")
+        assert result[0].startswith("/a/b/c")
+
+
+class TestViewComparisons:
+    def test_compare_two_requesters_views(self, lab):
+        from repro.core import compute_view
+
+        tom_view = compute_view(lab.document, lab.tom, lab.store).document
+        sam_view = compute_view(lab.document, lab.sam, lab.store).document
+        differences = tree_diff(tom_view, sam_view)
+        # Tom additionally sees the manager subtree.
+        assert any("manager" in line for line in differences)
+        assert all("only in left" in line or "differ" in line for line in differences)

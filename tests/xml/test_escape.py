@@ -1,0 +1,86 @@
+"""Tests for escaping and reference resolution."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml.escape import (
+    PREDEFINED_ENTITIES,
+    escape_attribute,
+    escape_text,
+    resolve_references,
+)
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_markup_characters_escaped(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_quotes_left_alone(self):
+        assert escape_text("'\"") == "'\""
+
+    def test_cdata_end_made_safe(self):
+        assert "]]>" not in escape_text("]]>")
+
+
+class TestEscapeAttribute:
+    def test_double_quote_escaped(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_newline_and_tab_as_char_refs(self):
+        assert escape_attribute("a\nb\tc") == "a&#10;b&#9;c"
+
+    def test_ampersand_and_lt(self):
+        assert escape_attribute("<&") == "&lt;&amp;"
+
+
+class TestResolveReferences:
+    def test_predefined_entities(self):
+        for name, char in PREDEFINED_ENTITIES.items():
+            assert resolve_references(f"&{name};") == char
+
+    def test_decimal_reference(self):
+        assert resolve_references("&#65;") == "A"
+
+    def test_hex_reference(self):
+        assert resolve_references("&#x41;") == "A"
+        assert resolve_references("&#X41;") == "A"
+
+    def test_mixed_text(self):
+        assert resolve_references("1 &lt; 2 &amp;&amp; 3 &gt; 2") == "1 < 2 && 3 > 2"
+
+    def test_custom_entities(self):
+        assert resolve_references("&who;!", {"who": "world"}) == "world!"
+
+    def test_entities_expand_recursively(self):
+        entities = {"inner": "X", "outer": "a&inner;b"}
+        assert resolve_references("&outer;", entities) == "aXb"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            resolve_references("&nope;")
+
+    def test_unterminated_reference_raises(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            resolve_references("&amp")
+
+    def test_bad_decimal_raises(self):
+        with pytest.raises(XMLSyntaxError, match="bad decimal"):
+            resolve_references("&#xyz&#;".split("&#")[0] + "&#12a;")
+
+    def test_reference_to_control_char_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="not a valid XML character"):
+            resolve_references("&#0;")
+
+    def test_reference_out_of_unicode_range_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="out of range"):
+            resolve_references("&#x110000;")
+
+    def test_no_ampersand_fast_path(self):
+        text = "just plain text"
+        assert resolve_references(text) is text
+
+    def test_predefined_cannot_be_overridden(self):
+        assert resolve_references("&lt;", {"lt": "WRONG"}) == "<"

@@ -1,0 +1,224 @@
+"""Tests for the DOM-like node model."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+
+
+class TestElement:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ReproError, match="invalid element name"):
+            Element("1bad")
+
+    def test_append_sets_parent(self):
+        parent = Element("a")
+        child = Element("b")
+        parent.append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_moves_between_parents(self):
+        first = Element("a")
+        second = Element("b")
+        child = Element("c")
+        first.append(child)
+        second.append(child)
+        assert child.parent is second
+        assert first.children == []
+
+    def test_insert_at_position(self):
+        parent = Element("a")
+        parent.append(Element("x"))
+        parent.append(Element("z"))
+        parent.insert(1, Element("y"))
+        assert [c.name for c in parent.child_elements()] == ["x", "y", "z"]
+
+    def test_remove_unknown_child_raises(self):
+        with pytest.raises(ReproError, match="not a child"):
+            Element("a").remove(Element("b"))
+
+    def test_set_and_get_attribute(self):
+        element = Element("a")
+        element.set_attribute("k", "v")
+        assert element.get_attribute("k") == "v"
+        assert element.get_attribute("missing") is None
+        assert element.get_attribute("missing", "d") == "d"
+
+    def test_set_attribute_updates_in_place(self):
+        element = Element("a")
+        node1 = element.set_attribute("k", "v1")
+        node2 = element.set_attribute("k", "v2")
+        assert node1 is node2
+        assert element.get_attribute("k") == "v2"
+
+    def test_attribute_node_parent(self):
+        element = Element("a")
+        attr = element.set_attribute("k", "v")
+        assert attr.parent is element
+        assert attr.element is element
+
+    def test_remove_attribute(self):
+        element = Element("a")
+        element.set_attribute("k", "v")
+        element.remove_attribute("k")
+        assert not element.has_attribute("k")
+        element.remove_attribute("k")  # idempotent
+
+    def test_text_concatenates_descendants(self):
+        root = Element("a")
+        root.append(Text("one "))
+        child = Element("b")
+        child.append(Text("two"))
+        root.append(child)
+        root.append(Text(" three"))
+        assert root.text() == "one two three"
+
+    def test_direct_text_skips_children(self):
+        root = Element("a")
+        root.append(Text("x"))
+        child = Element("b")
+        child.append(Text("y"))
+        root.append(child)
+        assert root.direct_text() == "x"
+
+    def test_find_children_by_name(self):
+        root = Element("a")
+        root.append(Element("b"))
+        root.append(Element("c"))
+        root.append(Element("b"))
+        assert len(list(root.find_children("b"))) == 2
+
+    def test_clone_deep_is_detached_and_equalish(self):
+        root = Element("a")
+        root.set_attribute("k", "v")
+        root.append(Text("t"))
+        root.append(Element("b"))
+        copy = root.clone()
+        assert copy is not root
+        assert copy.parent is None
+        assert copy.get_attribute("k") == "v"
+        assert len(copy.children) == 2
+        assert copy.children[0] is not root.children[0]
+
+    def test_clone_shallow_has_no_children(self):
+        root = Element("a")
+        root.append(Element("b"))
+        assert Element.clone(root, deep=False).children == []
+
+    def test_detach_removes_from_parent(self):
+        parent = Element("a")
+        child = Element("b")
+        parent.append(child)
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_identity_equality(self):
+        a1 = Element("a")
+        a2 = Element("a")
+        assert a1 == a1
+        assert a1 != a2
+        assert len({a1, a2}) == 2
+
+
+class TestDocument:
+    def test_root_property(self):
+        document = Document()
+        assert document.root is None
+        document.append(Comment("prolog"))
+        root = Element("r")
+        document.append(root)
+        assert document.root is root
+
+    def test_set_root_replaces(self):
+        document = Document()
+        document.append(Element("old"))
+        new_root = Element("new")
+        document.set_root(new_root)
+        assert document.root is new_root
+        assert sum(isinstance(c, Element) for c in document.children) == 1
+
+    def test_clone_preserves_metadata(self):
+        document = Document()
+        document.uri = "http://x/doc.xml"
+        document.doctype_name = "r"
+        document.system_id = "r.dtd"
+        document.append(Element("r"))
+        copy = document.clone()
+        assert copy.uri == document.uri
+        assert copy.doctype_name == "r"
+        assert copy.system_id == "r.dtd"
+        assert copy.root is not document.root
+
+    def test_document_property_walks_up(self):
+        document = Document()
+        root = Element("r")
+        document.append(root)
+        leaf = Element("leaf")
+        root.append(leaf)
+        assert leaf.document is document
+        assert root.document is document
+
+    def test_detached_node_has_no_document(self):
+        assert Element("x").document is None
+
+    def test_root_element_from_attribute(self):
+        document = Document()
+        root = Element("r")
+        document.append(root)
+        attr = root.set_attribute("a", "1")
+        assert attr.root_element() is root
+
+
+class TestLeafNodes:
+    def test_attribute_invalid_name(self):
+        with pytest.raises(ReproError):
+            Attribute("bad name", "v")
+
+    def test_attribute_detach(self):
+        element = Element("a")
+        attr = element.set_attribute("k", "v")
+        attr.detach()
+        assert not element.has_attribute("k")
+        assert attr.parent is None
+
+    def test_text_clone(self):
+        text = Text("abc")
+        assert text.clone().data == "abc"
+        assert text.clone() is not text
+
+    def test_comment_clone(self):
+        assert Comment("c").clone().data == "c"
+
+    def test_pi_requires_valid_target(self):
+        with pytest.raises(ReproError):
+            ProcessingInstruction("no spaces")
+
+    def test_pi_clone(self):
+        pi = ProcessingInstruction("target", "data")
+        copy = pi.clone()
+        assert (copy.target, copy.data) == ("target", "data")
+
+    def test_ancestors_of_nested_text(self):
+        document = Document()
+        root = Element("r")
+        child = Element("c")
+        text = Text("x")
+        document.append(root)
+        root.append(child)
+        child.append(text)
+        assert list(text.ancestors()) == [child, root, document]
+
+    def test_reprs_are_informative(self):
+        assert "Element" in repr(Element("a"))
+        assert "Attribute" in repr(Attribute("a", "v"))
+        assert "Text" in repr(Text("x" * 50))
+        assert "Document" in repr(Document())

@@ -1,0 +1,146 @@
+"""Adversarial-input tests: the substrate must fail fast, not fall over.
+
+A security processor's parser is attack surface; these tests pin down
+the defenses against classic XML denial-of-service constructions.
+"""
+
+import pytest
+
+from repro.errors import DTDSyntaxError, XMLSyntaxError
+from repro.xml.escape import resolve_references
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xml.traversal import count_nodes
+
+
+class TestEntityBombs:
+    def test_billion_laughs_rejected(self):
+        # Classic exponential expansion: 10 levels of 10x each.
+        declarations = ['<!ENTITY l0 "ha">']
+        for level in range(1, 10):
+            refs = f"&l{level - 1};" * 10
+            declarations.append(f'<!ENTITY l{level} "{refs}">')
+        bomb = (
+            "<!DOCTYPE x [" + "".join(declarations) + "]>"
+            "<x>&l9;</x>"
+        )
+        with pytest.raises(XMLSyntaxError, match="entity bomb|character limit"):
+            parse_document(bomb)
+
+    def test_entity_reference_cycle_rejected(self):
+        cycle = (
+            '<!DOCTYPE x [<!ENTITY a "&b;"><!ENTITY b "&a;">]>'
+            "<x>&a;</x>"
+        )
+        with pytest.raises(XMLSyntaxError, match="deeply|cycle"):
+            parse_document(cycle)
+
+    def test_self_referencing_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="deeply|cycle"):
+            parse_document('<!DOCTYPE x [<!ENTITY a "&a;">]><x>&a;</x>')
+
+    def test_deep_but_legitimate_nesting_accepted(self):
+        declarations = ['<!ENTITY e0 "leaf">']
+        for level in range(1, 30):
+            declarations.append(f'<!ENTITY e{level} "&e{level - 1};">')
+        document = parse_document(
+            "<!DOCTYPE x [" + "".join(declarations) + "]><x>&e29;</x>"
+        )
+        assert document.root.text() == "leaf"
+
+    def test_moderate_fanout_accepted(self):
+        # 3 levels of 5x = 125 copies: completely legitimate.
+        text = (
+            "<!DOCTYPE x ["
+            '<!ENTITY a "x">'
+            '<!ENTITY b "&a;&a;&a;&a;&a;">'
+            '<!ENTITY c "&b;&b;&b;&b;&b;">'
+            "]><x>&c;</x>"
+        )
+        assert parse_document(text).root.text() == "x" * 25
+
+    def test_resolve_references_budget_direct(self):
+        entities = {"big": "y" * 1000}
+        # 1000 chars per reference; ~20k references = 20M chars > cap.
+        text = "&big;" * 20000
+        with pytest.raises(XMLSyntaxError, match="character limit"):
+            resolve_references(text, entities)
+
+
+class TestDepthAttacks:
+    def test_deeply_nested_elements_parse(self):
+        depth = 50_000
+        text = "".join(f"<n{0}>" for _ in range(depth))  # noqa: F841 (clarity)
+        text = "<a>" * depth + "payload" + "</a>" * depth
+        document = parse_document(text)
+        assert count_nodes(document.root) == depth + 1
+
+    def test_deep_document_round_trips(self):
+        depth = 20_000
+        text = "<a>" * depth + "x" + "</a>" * depth
+        document = parse_document(text)
+        assert serialize(document, xml_declaration=False) == text
+
+    def test_deep_document_clones(self):
+        depth = 20_000
+        document = parse_document("<a>" * depth + "</a>" * depth)
+        clone = document.clone()
+        assert count_nodes(clone.root) == depth
+
+    def test_deep_view_computation(self):
+        from repro.authz.authorization import Authorization
+        from repro.core.view import compute_view_from_auths
+
+        depth = 5_000
+        document = parse_document(
+            "<a>" * depth + "</a>" * depth, uri="http://x/deep.xml"
+        )
+        grant = Authorization.build("Public", "http://x/deep.xml", "+", "R")
+        result = compute_view_from_auths(document, [grant], [])
+        assert result.visible_nodes == depth
+
+
+class TestParameterEntityAttacks:
+    def test_parameter_entity_cycle_rejected(self):
+        from repro.dtd.parser import parse_dtd
+
+        with pytest.raises(DTDSyntaxError, match="limit|cycle"):
+            parse_dtd('<!ENTITY % p "%q;"><!ENTITY % q "%p;"><!ELEMENT a (%p;)>')
+
+    def test_runaway_parameter_expansion_rejected(self):
+        from repro.dtd.parser import parse_dtd
+
+        # Syntactically valid exponential fanout: each level is 12 comma-
+        # separated copies of the previous one, 12^7 leaf expansions.
+        declarations = ['<!ENTITY % p0 "a?">']
+        for level in range(1, 8):
+            refs = ", ".join([f"%p{level - 1};"] * 12)
+            declarations.append(f'<!ENTITY % p{level} "{refs}">')
+        with pytest.raises(DTDSyntaxError, match="limit"):
+            parse_dtd("".join(declarations) + "<!ELEMENT a (%p7;)>")
+
+
+class TestMalformedInputsFailCleanly:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "<" * 1000,
+            "&" * 1000,
+            "<a " + 'x="1" ' * 5000 + "/>",  # many attributes: fine, not an error
+        ],
+    )
+    def test_no_hangs_or_crashes(self, payload):
+        try:
+            parse_document(payload)
+        except XMLSyntaxError:
+            pass  # rejection is fine; hanging or RecursionError is not
+
+    def test_huge_attribute_count_parses(self):
+        attrs = " ".join(f'a{i}="{i}"' for i in range(5000))
+        document = parse_document(f"<x {attrs}/>")
+        assert len(document.root.attributes) == 5000
+
+    def test_huge_flat_document_parses(self):
+        body = "<item/>" * 50_000
+        document = parse_document(f"<list>{body}</list>")
+        assert count_nodes(document.root) == 50_001

@@ -1,0 +1,101 @@
+"""Tests for XML serialization (compact and pretty)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Comment, ProcessingInstruction, Text
+from repro.xml.parser import parse_document
+from repro.xml.serializer import element_signature, pretty, serialize
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(E("a")) == "<a/>"
+
+    def test_attributes_and_text(self):
+        element = E("a", {"x": "1"}, "hi")
+        assert serialize(element) == '<a x="1">hi</a>'
+
+    def test_text_escaped(self):
+        assert serialize(E("a", "1 < 2 & 3")) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_attribute_escaped(self):
+        assert serialize(E("a", {"t": 'say "hi" & <bye>'})) == (
+            '<a t="say &quot;hi&quot; &amp; &lt;bye&gt;"/>'
+        )
+
+    def test_document_with_declaration(self):
+        document = new_document(E("a"))
+        assert serialize(document) == '<?xml version="1.0"?>\n<a/>'
+
+    def test_document_without_declaration(self):
+        document = new_document(E("a"))
+        assert serialize(document, xml_declaration=False) == "<a/>"
+
+    def test_doctype_emitted(self):
+        document = new_document(E("a"), system_id="a.dtd")
+        text = serialize(document)
+        assert '<!DOCTYPE a SYSTEM "a.dtd">' in text
+
+    def test_doctype_suppressed(self):
+        document = new_document(E("a"), system_id="a.dtd")
+        assert "DOCTYPE" not in serialize(document, doctype=False)
+
+    def test_comment(self):
+        assert serialize(Comment(" c ")) == "<!-- c -->"
+
+    def test_comment_with_double_dash_rejected(self):
+        with pytest.raises(ReproError):
+            serialize(Comment("a--b"))
+
+    def test_pi(self):
+        assert serialize(ProcessingInstruction("t", "d")) == "<?t d?>"
+        assert serialize(ProcessingInstruction("t")) == "<?t?>"
+
+    def test_round_trip_structure(self):
+        source = '<a x="1"><b>text &amp; more</b><c/><!--n--><?p d?></a>'
+        document = parse_document(source)
+        again = parse_document(serialize(document, xml_declaration=False))
+        assert element_signature(document.root) == element_signature(again.root)
+
+    def test_round_trip_preserves_unicode(self):
+        source = "<a>héllo wörld \U0001F600</a>"
+        document = parse_document(source)
+        assert parse_document(serialize(document)).root.text() == "héllo wörld \U0001F600"
+
+
+class TestPretty:
+    def test_short_text_inlined(self):
+        document = parse_document("<a><b>hi</b></a>")
+        assert "<b>hi</b>" in pretty(document)
+
+    def test_indentation_levels(self):
+        document = parse_document("<a><b><c/></b></a>")
+        lines = pretty(document).splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1] == "  <b>"
+        assert lines[2] == "    <c/>"
+
+    def test_whitespace_only_text_dropped(self):
+        document = parse_document("<a>\n   <b/>\n</a>")
+        assert pretty(document).count("\n") == 2  # <a> / <b/> / </a>
+
+    def test_declaration_optional(self):
+        document = parse_document("<a/>")
+        assert pretty(document, xml_declaration=True).startswith("<?xml")
+
+
+class TestSignature:
+    def test_attribute_order_insensitive(self):
+        first = parse_document('<a x="1" y="2"/>')
+        second = parse_document('<a y="2" x="1"/>')
+        assert element_signature(first.root) == element_signature(second.root)
+
+    def test_content_sensitive(self):
+        first = parse_document("<a>1</a>")
+        second = parse_document("<a>2</a>")
+        assert element_signature(first.root) != element_signature(second.root)
+
+    def test_none_signature(self):
+        assert element_signature(None) == "(none)"

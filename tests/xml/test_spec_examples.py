@@ -1,0 +1,106 @@
+"""XML 1.0 specification examples, as conformance pins.
+
+Each test encodes a concrete example from the XML 1.0 recommendation's
+prose (sections 2.4, 3.3.3, 4.4) so the parser's behaviour is anchored
+to the spec rather than to our expectations.
+"""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml.parser import parse_document
+
+
+class TestSection44EntityExamples:
+    def test_double_escaped_ampersand(self):
+        """Spec 4.4.5: '&#38;#38;' in an entity value yields a literal
+        '&#38;' replacement, which expands to '&' at the point of use."""
+        document = parse_document(
+            '<!DOCTYPE x [<!ENTITY amper "&#38;#38;">]><x>&amper;</x>'
+        )
+        assert document.root.text() == "&"
+
+    def test_tricky_example(self):
+        """Spec 4.4.8's 'tricky' example (adapted to internal entities)."""
+        document = parse_document(
+            "<!DOCTYPE test [\n"
+            '<!ENTITY example "<p>An ampersand (&#38;#38;) may be escaped\n'
+            "numerically (&#38;#38;#38;) or with a general entity\n"
+            '(&amp;amp;).</p>">\n'
+            "]>\n"
+            "<test>&example;</test>"
+        )
+        # The spec's expected fully-expanded text (section 4.4.8): the
+        # doubly-escaped forms unwrap exactly one level per expansion.
+        text = document.root.text()
+        assert "An ampersand (&) may be escaped" in text
+        assert "numerically (&#38;)" in text
+        assert "(&amp;)" in text
+        # The '<p>' of the replacement stays character data: this
+        # implementation expands general entities as text, never
+        # re-parsing them as markup (a deliberate hardening choice).
+        assert "<p>" in text
+
+    def test_predefined_entities_doubly_declared(self):
+        """Spec 4.6: documents may re-declare the predefined entities;
+        the predefined meaning must survive."""
+        document = parse_document(
+            "<!DOCTYPE x [\n"
+            '<!ENTITY lt "&#38;#60;">\n'
+            '<!ENTITY amp "&#38;#38;">\n'
+            "]>\n"
+            "<x>&lt;&amp;</x>"
+        )
+        assert document.root.text() == "<&"
+
+
+class TestSection24CharacterData:
+    def test_cdata_end_in_content_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<x>legal]]?> no: ]]> </x>")
+
+    def test_amp_must_be_escaped(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<x>AT&T</x>")
+
+    def test_right_angle_allowed_bare(self):
+        assert parse_document("<x>a > b</x>").root.text() == "a > b"
+
+
+class TestSection33AttributeNormalization:
+    def test_literal_newline_becomes_space(self):
+        document = parse_document('<x a="1\n2"/>')
+        assert document.root.get_attribute("a") == "1 2"
+
+    def test_character_reference_newline_survives(self):
+        document = parse_document('<x a="1&#10;2"/>')
+        assert document.root.get_attribute("a") == "1\n2"
+
+    def test_tab_reference_survives(self):
+        document = parse_document('<x a="1&#9;2"/>')
+        assert document.root.get_attribute("a") == "1\t2"
+
+    def test_entity_expansion_in_attribute(self):
+        document = parse_document(
+            "<!DOCTYPE x [<!ENTITY v 'inner'>]><x a='pre &v; post'/>"
+        )
+        assert document.root.get_attribute("a") == "pre inner post"
+
+
+class TestMiscProse:
+    def test_empty_element_forms_equivalent(self):
+        first = parse_document("<x></x>")
+        second = parse_document("<x/>")
+        assert first.root.children == second.root.children == []
+
+    def test_xml_declaration_must_be_first(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document(' <?xml version="1.0"?><x/>')
+
+    def test_version_required_in_declaration(self):
+        with pytest.raises(XMLSyntaxError, match="version"):
+            parse_document('<?xml encoding="UTF-8"?><x/>')
+
+    def test_standalone_values_restricted(self):
+        with pytest.raises(XMLSyntaxError, match="standalone"):
+            parse_document('<?xml version="1.0" standalone="maybe"?><x/>')

@@ -1,0 +1,132 @@
+"""Tests for tree traversal utilities."""
+
+from repro.xml.builder import E, new_document
+from repro.xml.nodes import Attribute, Element, Text
+from repro.xml.parser import parse_document
+from repro.xml.traversal import (
+    count_nodes,
+    depth,
+    descendants,
+    document_order,
+    iter_attributes,
+    iter_elements,
+    node_path,
+    postorder,
+    preorder,
+    walk_filter,
+)
+
+
+def build_sample():
+    return E(
+        "a",
+        {"x": "1"},
+        E("b", {"y": "2"}, "text-b"),
+        E("c", E("d")),
+    )
+
+
+class TestPreorder:
+    def test_order_with_attributes(self):
+        root = build_sample()
+        names = [
+            node.name if isinstance(node, (Element, Attribute)) else "#text"
+            for node in preorder(root)
+        ]
+        assert names == ["a", "x", "b", "y", "#text", "c", "d"]
+
+    def test_order_without_attributes(self):
+        root = build_sample()
+        names = [
+            node.name if isinstance(node, Element) else "#text"
+            for node in preorder(root, include_attributes=False)
+        ]
+        assert names == ["a", "b", "#text", "c", "d"]
+
+    def test_from_document(self):
+        document = new_document(build_sample())
+        nodes = list(preorder(document))
+        assert nodes[0] is document
+        assert isinstance(nodes[1], Element)
+
+
+class TestPostorder:
+    def test_children_before_parent(self):
+        root = build_sample()
+        order = list(postorder(root))
+        index = {node: i for i, node in enumerate(order)}
+        for node in order:
+            if isinstance(node, Element) and node.parent is not None:
+                if isinstance(node.parent, Element):
+                    assert index[node] < index[node.parent]
+
+    def test_same_node_set_as_preorder(self):
+        root = build_sample()
+        assert set(preorder(root)) == set(postorder(root))
+
+    def test_deep_tree_no_recursion_error(self):
+        root = Element("n0")
+        current = root
+        for index in range(5000):
+            child = Element("n")
+            current.append(child)
+            current = child
+        assert sum(1 for _ in postorder(root)) == 5001
+
+
+class TestDocumentOrder:
+    def test_positions_monotonic(self):
+        root = build_sample()
+        order = document_order(root)
+        nodes = list(preorder(root))
+        assert [order[node] for node in nodes] == list(range(len(nodes)))
+
+
+class TestIterators:
+    def test_iter_elements(self):
+        root = build_sample()
+        assert [el.name for el in iter_elements(root)] == ["a", "b", "c", "d"]
+
+    def test_iter_attributes(self):
+        root = build_sample()
+        assert [attr.name for attr in iter_attributes(root)] == ["x", "y"]
+
+    def test_descendants_excludes_self_by_default(self):
+        root = build_sample()
+        nodes = list(descendants(root))
+        assert root not in nodes
+        assert list(descendants(root, include_self=True))[0] is root
+
+    def test_walk_filter(self):
+        root = build_sample()
+        texts = list(walk_filter(root, lambda node: isinstance(node, Text)))
+        assert len(texts) == 1
+
+
+class TestCountsAndPaths:
+    def test_count_nodes(self):
+        root = build_sample()
+        assert count_nodes(root) == 7
+        assert count_nodes(root, include_attributes=False) == 5
+
+    def test_depth(self):
+        document = parse_document("<a><b><c/></b></a>")
+        c = document.root.children[0].children[0]
+        assert depth(document.root) == 1
+        assert depth(c) == 3
+
+    def test_node_path_for_elements(self):
+        document = parse_document("<a><b/><b><c/></b></a>")
+        second_b = document.root.children[1]
+        assert node_path(second_b) == "/a/b[2]"
+        assert node_path(second_b.children[0]) == "/a/b[2]/c"
+
+    def test_node_path_for_attribute_and_text(self):
+        document = parse_document('<a k="1">txt</a>')
+        attr = document.root.attribute_node("k")
+        assert node_path(attr) == "/a/@k"
+        assert node_path(document.root.children[0]) == "/a/text()"
+
+    def test_node_path_unique_sibling_unindexed(self):
+        document = parse_document("<a><only/></a>")
+        assert node_path(document.root.children[0]) == "/a/only"

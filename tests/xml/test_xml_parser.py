@@ -1,0 +1,194 @@
+"""Tests for the XML well-formedness parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml.nodes import Comment, Element, ProcessingInstruction, Text
+from repro.xml.parser import parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_minimal_document(self):
+        document = parse_document("<a/>")
+        assert document.root.name == "a"
+        assert document.root.children == []
+
+    def test_nested_elements(self):
+        document = parse_document("<a><b><c/></b></a>")
+        b = document.root.children[0]
+        assert b.name == "b"
+        assert b.children[0].name == "c"
+
+    def test_text_content(self):
+        root = parse_fragment("<a>hello</a>")
+        assert isinstance(root.children[0], Text)
+        assert root.children[0].data == "hello"
+
+    def test_mixed_content_order_preserved(self):
+        root = parse_fragment("<a>x<b/>y<c/>z</a>")
+        kinds = [type(child).__name__ for child in root.children]
+        assert kinds == ["Text", "Element", "Text", "Element", "Text"]
+
+    def test_attributes_parsed(self):
+        root = parse_fragment('<a x="1" y=\'2\'/>')
+        assert root.get_attribute("x") == "1"
+        assert root.get_attribute("y") == "2"
+
+    def test_attribute_order_preserved(self):
+        root = parse_fragment('<a z="1" a="2" m="3"/>')
+        assert list(root.attributes) == ["z", "a", "m"]
+
+    def test_uri_recorded(self):
+        document = parse_document("<a/>", uri="http://x/doc.xml")
+        assert document.uri == "http://x/doc.xml"
+
+    def test_empty_and_spelled_out_equivalent(self):
+        assert parse_fragment("<a></a>").children == []
+        assert parse_fragment("<a/>").children == []
+
+
+class TestReferences:
+    def test_entity_references_in_text(self):
+        root = parse_fragment("<a>1 &lt; 2 &amp; 3 &gt; 2</a>")
+        assert root.text() == "1 < 2 & 3 > 2"
+
+    def test_char_references(self):
+        root = parse_fragment("<a>&#65;&#x42;</a>")
+        assert root.text() == "AB"
+
+    def test_references_in_attributes(self):
+        root = parse_fragment('<a t="&quot;x&quot; &amp; y"/>')
+        assert root.get_attribute("t") == '"x" & y'
+
+    def test_dtd_declared_entity(self):
+        document = parse_document(
+            "<!DOCTYPE a [<!ENTITY who 'world'>]><a>hello &who;</a>"
+        )
+        assert document.root.text() == "hello world"
+
+    def test_adjacent_references_merge_into_one_text_node(self):
+        root = parse_fragment("<a>x&amp;y</a>")
+        assert len(root.children) == 1
+        assert root.children[0].data == "x&y"
+
+
+class TestProlog:
+    def test_xml_declaration(self):
+        document = parse_document(
+            '<?xml version="1.1" encoding="UTF-8" standalone="yes"?><a/>'
+        )
+        assert document.xml_version == "1.1"
+        assert document.encoding == "UTF-8"
+        assert document.standalone is True
+
+    def test_doctype_system(self):
+        document = parse_document('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert document.doctype_name == "a"
+        assert document.system_id == "a.dtd"
+
+    def test_doctype_public(self):
+        document = parse_document(
+            '<!DOCTYPE a PUBLIC "-//X//EN" "http://x/a.dtd"><a/>'
+        )
+        assert document.system_id == "http://x/a.dtd"
+
+    def test_internal_subset_parsed_to_dtd(self):
+        document = parse_document(
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>"
+        )
+        assert document.dtd is not None
+        assert document.dtd.element("a") is not None
+
+    def test_prolog_comments_kept(self):
+        document = parse_document("<!-- before --><a/><!-- after -->")
+        comments = [c for c in document.children if isinstance(c, Comment)]
+        assert len(comments) == 2
+
+    def test_prolog_comments_dropped_when_disabled(self):
+        document = parse_document("<!-- x --><a/>", keep_comments=False)
+        assert all(not isinstance(c, Comment) for c in document.children)
+
+    def test_pi_in_prolog(self):
+        document = parse_document('<?xml-stylesheet href="x.xsl"?><a/>')
+        pis = [c for c in document.children if isinstance(c, ProcessingInstruction)]
+        assert pis[0].target == "xml-stylesheet"
+
+
+class TestSpecialContent:
+    def test_cdata_section(self):
+        root = parse_fragment("<a><![CDATA[<not> & markup]]></a>")
+        assert root.text() == "<not> & markup"
+
+    def test_cdata_merges_with_text(self):
+        root = parse_fragment("<a>x<![CDATA[y]]>z</a>")
+        assert len(root.children) == 1
+        assert root.text() == "xyz"
+
+    def test_comment_inside_element(self):
+        root = parse_fragment("<a><!-- note --><b/></a>")
+        assert isinstance(root.children[0], Comment)
+        assert root.children[0].data == " note "
+
+    def test_pi_inside_element(self):
+        root = parse_fragment("<a><?php echo ?></a>")
+        pi = root.children[0]
+        assert isinstance(pi, ProcessingInstruction)
+        assert pi.target == "php"
+
+    def test_whitespace_dropping_option(self):
+        document = parse_document(
+            "<a>\n  <b/>\n</a>", keep_ignorable_whitespace=False
+        )
+        assert all(isinstance(c, Element) for c in document.root.children)
+
+    def test_crlf_normalized(self):
+        root = parse_fragment("<a>line1\r\nline2\rline3</a>")
+        assert root.text() == "line1\nline2\nline3"
+
+    def test_attribute_value_whitespace_normalized(self):
+        root = parse_fragment('<a t="x\n\ty"/>')
+        assert root.get_attribute("t") == "x  y"
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a>",                       # unterminated
+            "<a></b>",                   # mismatched tags
+            "<a><b></a></b>",            # improper nesting
+            "<a/><b/>",                  # two roots
+            '<a x="1" x="2"/>',          # duplicate attribute
+            "<a x=1/>",                  # unquoted attribute
+            '<a x="<"/>',                # '<' in attribute value
+            "<a>&nosuch;</a>",           # unknown entity
+            "<a>]]></a>",                # bare CDATA terminator
+            "<1a/>",                     # bad name
+            "",                          # empty input
+            "just text",                 # no element
+            "<a><!-- unterminated </a>", # runaway comment
+            "<a><![CDATA[x</a>",         # runaway CDATA
+            "<?xml version='1.0'?><?xml?><a/>",  # reserved PI target
+            "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><!DOCTYPE a []><a/>",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse_document(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_document("<a>\n<b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="after root"):
+            parse_document("<a/>trailing")
+
+    def test_trailing_comment_and_pi_allowed(self):
+        document = parse_document("<a/><!-- ok --><?pi ok?>")
+        assert document.root.name == "a"
+
+    def test_invalid_control_character_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="invalid character"):
+            parse_document("<a>\x01</a>")

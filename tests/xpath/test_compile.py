@@ -1,0 +1,85 @@
+"""Tests for compiled path expressions and relative-path anchoring."""
+
+from repro.xml.parser import parse_document
+from repro.xpath.compile import CompiledXPath, compile_xpath
+
+
+DOC = (
+    '<laboratory><project type="internal"><manager/></project>'
+    '<project type="public"><manager/></project></laboratory>'
+)
+
+
+class TestAnchoring:
+    def test_relative_path_matches_anywhere_by_default(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath('project[./@type="internal"]')
+        assert len(compiled.select(document)) == 1
+
+    def test_relative_nested_path(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath('project[./@type="public"]/manager')
+        assert len(compiled.select(document)) == 1
+
+    def test_root_mode_requires_child_of_context(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("project", relative_mode="root")
+        assert compiled.select(document) == []
+        compiled2 = CompiledXPath("laboratory/project", relative_mode="root")
+        assert len(compiled2.select(document)) == 2
+
+    def test_absolute_path_unchanged(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("/laboratory/project")
+        assert len(compiled.select(document)) == 2
+
+    def test_leading_double_slash_unchanged(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("//manager")
+        assert len(compiled.select(document)) == 2
+
+    def test_union_parts_anchored_independently(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("manager | project")
+        assert len(compiled.select(document)) == 4
+
+    def test_non_path_expression_left_alone(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("count(//project)")
+        assert compiled.evaluate(document) == 2.0
+
+
+class TestCaching:
+    def test_same_context_cached(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("//manager")
+        first = compiled.select(document)
+        second = compiled.select(document)
+        assert first is second
+
+    def test_different_context_recomputed(self):
+        first_doc = parse_document(DOC)
+        second_doc = parse_document(DOC)
+        compiled = CompiledXPath("//manager")
+        assert compiled.select(first_doc) is not compiled.select(second_doc)
+
+    def test_invalidate(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("//manager")
+        first = compiled.select(document)
+        compiled.invalidate()
+        assert compiled.select(document) is not first
+
+    def test_compile_xpath_memoized(self):
+        assert compile_xpath("//a/b") is compile_xpath("//a/b")
+        assert compile_xpath("//a/b") is not compile_xpath("//a/b", "root")
+
+    def test_node_set_returns_identity_set(self):
+        document = parse_document(DOC)
+        compiled = CompiledXPath("//manager")
+        as_set = compiled.node_set(document)
+        assert len(as_set) == 2
+        assert all(node in as_set for node in compiled.select(document))
+
+    def test_repr(self):
+        assert "//a" in repr(CompiledXPath("//a"))

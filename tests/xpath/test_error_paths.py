@@ -1,0 +1,78 @@
+"""Error-path coverage for XPath evaluation."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xml.parser import parse_document
+from repro.xpath.evaluator import evaluate, select
+
+
+@pytest.fixture
+def doc():
+    return parse_document("<a><b>1</b><b>2</b></a>")
+
+
+class TestTypeErrors:
+    def test_predicate_on_scalar_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate("(1 + 2)[1]", doc)
+
+    def test_path_from_scalar_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate("concat('a','b')[1]/x", doc)
+
+    def test_union_with_scalar_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate("//b | 'text'", doc)
+
+    def test_select_of_boolean_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            select("true()", doc)
+
+    def test_sum_of_string_rejected(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            evaluate("sum('x')", doc)
+
+
+class TestArithmeticEdges:
+    def test_mod_by_zero_nan(self, doc):
+        import math
+
+        assert math.isnan(evaluate("5 mod 0", doc))
+
+    def test_arithmetic_on_nodesets_coerces(self, doc):
+        # number(//b) takes the first node's value.
+        assert evaluate("//b + 1", doc) == 2.0
+
+    def test_nan_propagates(self, doc):
+        import math
+
+        assert math.isnan(evaluate("'x' + 1", doc))
+
+    def test_unary_minus_on_nodeset(self, doc):
+        assert evaluate("-//b", doc) == -1.0
+
+
+class TestContextEdges:
+    def test_absolute_path_from_detached_element(self):
+        from repro.xml.parser import parse_fragment
+
+        # A detached element is its own tree root; '/' resolves to it.
+        fragment = parse_fragment("<r><c/></r>")
+        assert select("/r/c", fragment) != []
+
+    def test_attribute_context_child_axis_empty(self, doc):
+        root = doc.root
+        attr = root.set_attribute("k", "v")
+        assert select("*", attr) == []
+        assert select("..", attr) == [root]
+
+    def test_empty_nodeset_operations(self, doc):
+        assert evaluate("count(//nothing)", doc) == 0.0
+        assert evaluate("string(//nothing)", doc) == ""
+        assert evaluate("boolean(//nothing)", doc) is False
+        assert select("//nothing/child::*", doc) == []
+
+    def test_position_outside_predicate_defaults_to_one(self, doc):
+        assert evaluate("position()", doc) == 1.0
+        assert evaluate("last()", doc) == 1.0

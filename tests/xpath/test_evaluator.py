@@ -1,0 +1,278 @@
+"""Tests for XPath evaluation: axes, node tests, predicates, operators."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xml.parser import parse_document
+from repro.xml.nodes import Attribute, Element, Text
+from repro.xpath.evaluator import evaluate, matches, select
+
+DOC = """\
+<laboratory name="CSlab">
+  <project name="Access Models" type="public">
+    <manager><flname>Alice Smith</flname><email>a@lab.com</email></manager>
+    <paper category="private" type="internal"><title>Secret</title></paper>
+    <paper category="public"><title>Open</title></paper>
+    <fund sponsor="EC">FASTER</fund>
+  </project>
+  <project name="Kernel" type="internal">
+    <manager><flname>Bob Jones</flname></manager>
+    <paper category="public"><title>Kernel paper</title></paper>
+  </project>
+</laboratory>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+def names(nodes):
+    return [node.name for node in nodes]
+
+
+class TestChildAndDescendant:
+    def test_absolute_child_path(self, doc):
+        assert len(select("/laboratory/project", doc)) == 2
+
+    def test_root_name_must_match(self, doc):
+        assert select("/wrong/project", doc) == []
+
+    def test_descendant_abbreviation(self, doc):
+        assert len(select("//paper", doc)) == 3
+
+    def test_descendant_from_inner_context(self, doc):
+        project = select("/laboratory/project[2]", doc)[0]
+        assert len(select(".//paper", project)) == 1
+
+    def test_explicit_descendant_axis(self, doc):
+        assert len(select("/laboratory/descendant::flname", doc)) == 2
+
+    def test_descendant_or_self(self, doc):
+        project = select("/laboratory/project[1]", doc)[0]
+        result = select("descendant-or-self::*", project)
+        assert result[0] is project
+
+    def test_mixed_slash_double_slash(self, doc):
+        assert len(select("/laboratory//title", doc)) == 3
+
+    def test_wildcard_child(self, doc):
+        project = select("/laboratory/project[1]", doc)[0]
+        assert names(select("*", project)) == ["manager", "paper", "paper", "fund"]
+
+
+class TestAttributeAxis:
+    def test_attribute_step(self, doc):
+        result = select("/laboratory/project/@name", doc)
+        assert [attr.value for attr in result] == ["Access Models", "Kernel"]
+
+    def test_attribute_wildcard(self, doc):
+        paper = select("//paper[1]", doc)[0]
+        assert len(select("@*", paper)) == 2
+
+    def test_attribute_axis_explicit(self, doc):
+        assert len(select("//project/attribute::type", doc)) == 2
+
+    def test_attributes_are_attribute_nodes(self, doc):
+        result = select("//fund/@sponsor", doc)
+        assert isinstance(result[0], Attribute)
+
+
+class TestUpwardAxes:
+    def test_parent(self, doc):
+        flname = select("//flname", doc)[0]
+        assert select("..", flname)[0].name == "manager"
+
+    def test_ancestor(self, doc):
+        assert names(select("//fund/ancestor::project", doc)) == ["project"]
+
+    def test_ancestor_includes_all_levels(self, doc):
+        flname = select("//flname[1]", doc)[0]
+        ancestors = select("ancestor::*", flname)
+        assert names(ancestors) == ["laboratory", "project", "manager"]
+
+    def test_ancestor_or_self(self, doc):
+        flname = select("//flname[1]", doc)[0]
+        result = select("ancestor-or-self::*", flname)
+        assert names(result) == ["laboratory", "project", "manager", "flname"]
+
+    def test_parent_of_root_is_document(self, doc):
+        root = doc.root
+        result = select("..", root)
+        assert result == [doc]
+
+
+class TestSiblingAxes:
+    def test_following_sibling(self, doc):
+        manager = select("//project[1]/manager", doc)[0]
+        assert names(select("following-sibling::*", manager)) == [
+            "paper",
+            "paper",
+            "fund",
+        ]
+
+    def test_preceding_sibling(self, doc):
+        fund = select("//fund", doc)[0]
+        assert names(select("preceding-sibling::*", fund)) == [
+            "manager",
+            "paper",
+            "paper",
+        ]
+
+    def test_preceding_sibling_position_counts_backwards(self, doc):
+        fund = select("//fund", doc)[0]
+        nearest = select("preceding-sibling::*[1]", fund)
+        assert nearest[0].name == "paper"
+        assert nearest[0].get_attribute("category") == "public"
+
+
+class TestNodeTests:
+    def test_text_nodes(self, doc):
+        result = select("//flname/text()", doc)
+        assert [node.data for node in result] == ["Alice Smith", "Bob Jones"]
+
+    def test_node_test_includes_text(self, doc):
+        fund = select("//fund", doc)[0]
+        assert len(select("node()", fund)) == 1
+
+    def test_comment_nodes(self):
+        document = parse_document("<a><!--x--><b/><!--y--></a>")
+        assert len(select("//comment()", document)) == 2
+
+    def test_name_test_does_not_match_text(self, doc):
+        fund = select("//fund", doc)[0]
+        assert select("FASTER", fund) == []
+
+
+class TestPredicates:
+    def test_positional(self, doc):
+        assert select("/laboratory/project[1]", doc)[0].get_attribute("name") == (
+            "Access Models"
+        )
+        assert select("/laboratory/project[2]", doc)[0].get_attribute("name") == (
+            "Kernel"
+        )
+
+    def test_position_function(self, doc):
+        assert len(select("//paper[position() = 1]", doc)) == 2  # one per project
+
+    def test_last_function(self, doc):
+        last_papers = select("//project/paper[last()]", doc)
+        assert [p.get_attribute("category") for p in last_papers] == [
+            "public",
+            "public",
+        ]
+
+    def test_attribute_condition(self, doc):
+        result = select('//paper[./@category="private"]', doc)
+        assert len(result) == 1
+
+    def test_attribute_existence(self, doc):
+        assert len(select("//paper[@type]", doc)) == 1
+
+    def test_chained_conditions(self, doc):
+        result = select(
+            '/laboratory/project[./@name="Access Models"]/paper[./@type="internal"]',
+            doc,
+        )
+        assert len(result) == 1
+        assert result[0].get_attribute("category") == "private"
+
+    def test_and_or(self, doc):
+        assert len(select('//paper[@category="public" or @category="private"]', doc)) == 3
+        assert len(select('//paper[@category="public" and @type]', doc)) == 0
+
+    def test_text_comparison(self, doc):
+        assert len(select('//flname[. = "Alice Smith"]', doc)) == 1
+
+    def test_path_predicate(self, doc):
+        result = select('//project[manager/flname = "Bob Jones"]', doc)
+        assert result[0].get_attribute("name") == "Kernel"
+
+    def test_numeric_comparison_predicate(self, doc):
+        assert len(select("//project[count(paper) > 1]", doc)) == 1
+
+    def test_predicate_on_multiple_contexts_positions_reset(self, doc):
+        # paper[1] is evaluated per project, not globally.
+        firsts = select("//project/paper[1]", doc)
+        assert len(firsts) == 2
+
+
+class TestDocumentOrderAndUnion:
+    def test_union_document_order(self, doc):
+        result = select("//fund | //manager", doc)
+        assert names(result) == ["manager", "fund", "manager"]
+
+    def test_union_deduplicates(self, doc):
+        result = select("//paper | //paper", doc)
+        assert len(result) == 3
+
+    def test_result_in_document_order_after_upward_axis(self, doc):
+        result = select("//flname/ancestor::*", doc)
+        assert names(result) == ["laboratory", "project", "manager", "project", "manager"]
+
+    def test_union_requires_nodesets(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            evaluate("//a | 3", doc)
+
+
+class TestScalarExpressions:
+    def test_arithmetic(self, doc):
+        assert evaluate("1 + 2 * 3 - 4", doc) == 3.0
+        assert evaluate("10 div 4", doc) == 2.5
+        assert evaluate("10 mod 3", doc) == 1.0
+        assert evaluate("-10 mod 3", doc) == -1.0
+
+    def test_division_by_zero(self, doc):
+        assert evaluate("1 div 0", doc) == math.inf
+        assert evaluate("-1 div 0", doc) == -math.inf
+        assert math.isnan(evaluate("0 div 0", doc))
+        assert math.isnan(evaluate("1 mod 0", doc))
+
+    def test_unary_minus(self, doc):
+        assert evaluate("-(2 + 3)", doc) == -5.0
+
+    def test_comparison_results(self, doc):
+        assert evaluate("1 < 2", doc) is True
+        assert evaluate("2 <= 2", doc) is True
+        assert evaluate("3 > 4", doc) is False
+        assert evaluate('"a" = "a"', doc) is True
+
+    def test_boolean_connectives_short_circuit(self, doc):
+        # The right side would raise if evaluated: unknown function.
+        assert evaluate("true() or nosuchfn()", doc) is True
+        assert evaluate("false() and nosuchfn()", doc) is False
+
+    def test_string_literal(self, doc):
+        assert evaluate('"hello"', doc) == "hello"
+
+    def test_variables(self, doc):
+        assert evaluate("$x + 1", doc, variables={"x": 2.0}) == 3.0
+
+    def test_unbound_variable(self, doc):
+        with pytest.raises(XPathEvaluationError, match="unbound variable"):
+            evaluate("$missing", doc)
+
+
+class TestSelectAndMatches:
+    def test_select_requires_nodeset(self, doc):
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            select("1 + 1", doc)
+
+    def test_matches(self, doc):
+        paper = select('//paper[@category="private"]', doc)[0]
+        assert matches("//paper", doc, paper)
+        assert not matches('//paper[@category="public"]', doc, paper)
+
+    def test_filter_on_nodeset_primary(self, doc):
+        result = select("(//paper)[2]", doc)
+        assert len(result) == 1
+        assert result[0].get_attribute("category") == "public"
+
+    def test_path_continuing_from_function(self, doc):
+        document = parse_document('<a><b id="n1"><c/></b></a>')
+        result = select("id('n1')/c", document)
+        assert names(result) == ["c"]

@@ -1,0 +1,129 @@
+"""Tests for the following/preceding axes and DTD-aware id()."""
+
+import pytest
+
+from repro.xml.parser import parse_document
+from repro.xml.traversal import document_order
+from repro.xpath.evaluator import select
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        "<a>"
+        "<b><b1/><b2/></b>"
+        "<c><c1><deep/></c1></c>"
+        "<d><d1/></d>"
+        "</a>"
+    )
+
+
+def names(nodes):
+    return [node.name for node in nodes]
+
+
+class TestFollowingAxis:
+    def test_following_excludes_descendants(self, doc):
+        c = select("//c", doc)[0]
+        assert names(select("following::*", c)) == ["d", "d1"]
+
+    def test_following_from_nested(self, doc):
+        b1 = select("//b1", doc)[0]
+        assert names(select("following::*", b1)) == [
+            "b2", "c", "c1", "deep", "d", "d1",
+        ]
+
+    def test_following_of_last_is_empty(self, doc):
+        d1 = select("//d1", doc)[0]
+        assert select("following::*", d1) == []
+
+    def test_following_with_name_test(self, doc):
+        b = select("//b", doc)[0]
+        assert names(select("following::d1", b)) == ["d1"]
+
+    def test_following_results_in_document_order(self, doc):
+        b1 = select("//b1", doc)[0]
+        order = document_order(doc)
+        positions = [order[node] for node in select("following::*", b1)]
+        assert positions == sorted(positions)
+
+
+class TestPrecedingAxis:
+    def test_preceding_excludes_ancestors(self, doc):
+        deep = select("//deep", doc)[0]
+        result = names(select("preceding::*", deep))
+        assert result == ["b", "b1", "b2"]
+        assert "c1" not in result and "c" not in result and "a" not in result
+
+    def test_preceding_of_first_is_empty(self, doc):
+        b1 = select("//b1", doc)[0]
+        assert select("preceding::*", b1) == []
+
+    def test_preceding_position_counts_backwards(self, doc):
+        d = select("//d", doc)[0]
+        nearest = select("preceding::*[1]", d)
+        # Nearest preceding node in reverse document order is <deep/>.
+        assert names(nearest) == ["deep"]
+
+    def test_preceding_with_predicate_window(self, doc):
+        d = select("//d", doc)[0]
+        first_two = select("preceding::*[position() <= 2]", d)
+        assert set(names(first_two)) == {"deep", "c1"}
+
+    def test_following_preceding_partition(self, doc):
+        """following ∪ preceding ∪ ancestors ∪ descendants ∪ self covers
+        every element exactly once (the XPath axis partition)."""
+        c1 = select("//c1", doc)[0]
+        parts = {
+            "self": select("self::*", c1),
+            "anc": select("ancestor::*", c1),
+            "desc": select("descendant::*", c1),
+            "foll": select("following::*", c1),
+            "prec": select("preceding::*", c1),
+        }
+        all_elements = select("//*", doc)
+        combined = [node for nodes in parts.values() for node in nodes]
+        assert len(combined) == len(all_elements)
+        assert set(combined) == set(all_elements)
+
+
+class TestAttributeContext:
+    def test_following_of_attribute(self):
+        document = parse_document('<a><b k="1"><c/></b><d/></a>')
+        attr = select("//b/@k", document)[0]
+        result = names(select("following::*", attr))
+        assert "d" in result
+
+    def test_preceding_of_attribute(self):
+        document = parse_document('<a><b/><c k="1"/></a>')
+        attr = select("//c/@k", document)[0]
+        assert names(select("preceding::*", attr)) == ["b"]
+
+
+class TestDtdAwareId:
+    DOC = (
+        "<!DOCTYPE reg [\n"
+        "<!ELEMENT reg (person*)>\n"
+        "<!ELEMENT person EMPTY>\n"
+        "<!ATTLIST person badge ID #REQUIRED id CDATA #IMPLIED>\n"
+        "]>\n"
+        '<reg><person badge="p1" id="decoy"/><person badge="p2"/></reg>'
+    )
+
+    def test_declared_id_attribute_used(self):
+        document = parse_document(self.DOC)
+        result = select("id('p1')", document)
+        assert len(result) == 1
+        assert result[0].get_attribute("badge") == "p1"
+
+    def test_plain_id_attribute_ignored_with_dtd(self):
+        document = parse_document(self.DOC)
+        assert select("id('decoy')", document) == []
+
+    def test_fallback_without_dtd(self):
+        document = parse_document('<reg><person id="p1"/></reg>')
+        assert len(select("id('p1')", document)) == 1
+
+    def test_multiple_tokens(self):
+        document = parse_document(self.DOC)
+        assert len(select("id('p1 p2')", document)) == 2

@@ -1,0 +1,179 @@
+"""Tests for the XPath core function library."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xml.parser import parse_document
+from repro.xpath.evaluator import evaluate, select
+from repro.xpath.functions import FunctionRegistry, default_registry
+
+
+@pytest.fixture
+def doc():
+    return parse_document(
+        '<root xml:lang="en">'
+        "<item>alpha</item><item>beta</item><item>42</item>"
+        '<tagged id="t1">tagged text</tagged>'
+        "</root>"
+    )
+
+
+class TestNodeSetFunctions:
+    def test_count(self, doc):
+        assert evaluate("count(//item)", doc) == 3.0
+        assert evaluate("count(//nothing)", doc) == 0.0
+
+    def test_count_requires_nodeset(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            evaluate("count(3)", doc)
+
+    def test_position_and_last(self, doc):
+        assert len(select("//item[position() = last()]", doc)) == 1
+        assert select("//item[position() = last()]", doc)[0].text() == "42"
+
+    def test_name(self, doc):
+        assert evaluate("name(//item)", doc) == "item"
+        assert evaluate("name(//nothing)", doc) == ""
+        item = select("//item", doc)[0]
+        assert evaluate("name()", item) == "item"
+
+    def test_name_of_attribute(self, doc):
+        attr = select("//tagged/@id", doc)[0]
+        assert evaluate("name()", attr) == "id"
+
+    def test_id(self, doc):
+        result = select("id('t1')", doc)
+        assert len(result) == 1
+        assert result[0].name == "tagged"
+
+    def test_id_multiple_tokens(self, doc):
+        assert len(select("id('t1 nope')", doc)) == 1
+
+    def test_sum(self, doc):
+        document = parse_document("<a><n>1</n><n>2</n><n>3.5</n></a>")
+        assert evaluate("sum(//n)", document) == 6.5
+
+
+class TestStringFunctions:
+    def test_string_of_context(self, doc):
+        item = select("//item", doc)[0]
+        assert evaluate("string()", item) == "alpha"
+
+    def test_concat(self, doc):
+        assert evaluate("concat('a', 'b', 'c')", doc) == "abc"
+
+    def test_concat_requires_two_args(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            evaluate("concat('a')", doc)
+
+    def test_starts_with(self, doc):
+        assert evaluate("starts-with('abc', 'ab')", doc) is True
+        assert evaluate("starts-with('abc', 'bc')", doc) is False
+
+    def test_contains(self, doc):
+        assert evaluate("contains('hello world', 'o w')", doc) is True
+        assert evaluate("contains('hello', 'z')", doc) is False
+
+    def test_substring_before_after(self, doc):
+        assert evaluate("substring-before('1999/04/01', '/')", doc) == "1999"
+        assert evaluate("substring-after('1999/04/01', '/')", doc) == "04/01"
+        assert evaluate("substring-before('abc', 'z')", doc) == ""
+        assert evaluate("substring-after('abc', 'z')", doc) == ""
+
+    def test_substring_spec_examples(self, doc):
+        assert evaluate("substring('12345', 2, 3)", doc) == "234"
+        assert evaluate("substring('12345', 2)", doc) == "2345"
+        assert evaluate("substring('12345', 1.5, 2.6)", doc) == "234"
+        assert evaluate("substring('12345', 0, 3)", doc) == "12"
+        assert evaluate("substring('12345', 0 div 0, 3)", doc) == ""
+
+    def test_string_length(self, doc):
+        assert evaluate("string-length('abcd')", doc) == 4.0
+        item = select("//item", doc)[0]
+        assert evaluate("string-length()", item) == 5.0
+
+    def test_normalize_space(self, doc):
+        assert evaluate("normalize-space('  a   b \t c  ')", doc) == "a b c"
+
+    def test_translate(self, doc):
+        assert evaluate("translate('bar', 'abc', 'ABC')", doc) == "BAr"
+        assert evaluate("translate('--aaa--', 'abc-', 'ABC')", doc) == "AAA"
+
+
+class TestBooleanFunctions:
+    def test_boolean(self, doc):
+        assert evaluate("boolean('x')", doc) is True
+        assert evaluate("boolean('')", doc) is False
+        assert evaluate("boolean(//item)", doc) is True
+        assert evaluate("boolean(//nothing)", doc) is False
+
+    def test_not(self, doc):
+        assert evaluate("not(false())", doc) is True
+        assert evaluate("not(//item)", doc) is False
+
+    def test_true_false(self, doc):
+        assert evaluate("true()", doc) is True
+        assert evaluate("false()", doc) is False
+
+    def test_lang(self, doc):
+        item = select("//item", doc)[0]
+        assert evaluate("lang('en')", item) is True
+        assert evaluate("lang('EN')", item) is True
+        assert evaluate("lang('fr')", item) is False
+
+    def test_lang_with_subtag(self):
+        document = parse_document('<a xml:lang="en-US"><b/></a>')
+        b = select("//b", document)[0]
+        assert evaluate("lang('en')", b) is True
+
+
+class TestNumberFunctions:
+    def test_number(self, doc):
+        assert evaluate("number('12')", doc) == 12.0
+        assert math.isnan(evaluate("number('x')", doc))
+        item = select("//item[3]", doc)[0]
+        assert evaluate("number()", item) == 42.0
+
+    def test_floor_ceiling(self, doc):
+        assert evaluate("floor(2.7)", doc) == 2.0
+        assert evaluate("ceiling(2.1)", doc) == 3.0
+        assert evaluate("floor(-2.5)", doc) == -3.0
+        assert evaluate("ceiling(-2.5)", doc) == -2.0
+
+    def test_round(self, doc):
+        assert evaluate("round(2.5)", doc) == 3.0
+        assert evaluate("round(-2.5)", doc) == -2.0  # rounds toward +inf
+        assert evaluate("round(2.4)", doc) == 2.0
+        assert math.isnan(evaluate("round(0 div 0)", doc))
+
+
+class TestRegistry:
+    def test_unknown_function(self, doc):
+        with pytest.raises(XPathEvaluationError, match="unknown function"):
+            evaluate("nosuch()", doc)
+
+    def test_arity_checked(self, doc):
+        with pytest.raises(XPathEvaluationError, match="at most"):
+            evaluate("not(1, 2)", doc)
+        with pytest.raises(XPathEvaluationError, match="at least"):
+            evaluate("contains('x')", doc)
+
+    def test_custom_registry(self, doc):
+        registry = default_registry().child()
+        registry.register("double", lambda ctx, args: args[0] * 2, 1, 1)
+        assert evaluate("double(21)", doc, registry=registry) == 42.0
+
+    def test_child_registry_inherits(self, doc):
+        registry = default_registry().child()
+        assert evaluate("count(//item)", doc, registry=registry) == 3.0
+
+    def test_child_registry_overrides(self, doc):
+        registry = default_registry().child()
+        registry.register("true", lambda ctx, args: False, 0, 0)
+        assert evaluate("true()", doc, registry=registry) is False
+
+    def test_fresh_registry_isolated(self):
+        registry = FunctionRegistry()
+        assert registry.lookup("count") is None

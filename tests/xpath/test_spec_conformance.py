@@ -1,0 +1,200 @@
+"""XPath 1.0 specification conformance: the recommendation's own examples.
+
+Section 2.5 of the W3C XPath 1.0 recommendation enumerates canonical
+abbreviated-syntax examples ("para selects the para element children of
+the context node", ...). Each test here encodes one of those sentences
+against a purpose-built document, so the engine's semantics are pinned
+to the spec's prose rather than to our own expectations.
+"""
+
+import pytest
+
+from repro.xml.parser import parse_document
+from repro.xpath.evaluator import evaluate, select
+
+DOC = """\
+<doc>
+  <chapter n="1">
+    <title>intro</title>
+    <para type="warning">w1</para>
+    <para>p1</para>
+    <para type="warning">w2</para>
+    <section>
+      <para type="warning">w3</para>
+      <title>inner</title>
+    </section>
+  </chapter>
+  <chapter n="2">
+    <title>details</title>
+    <para>p2</para>
+    <para type="warning">w4</para>
+    <para type="warning">w5</para>
+  </chapter>
+  <chapter n="3">
+    <appendix/>
+  </chapter>
+  <employee security="high">boss</employee>
+  <employee>worker</employee>
+</doc>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+def chapter(doc, n):
+    return select(f'//chapter[@n="{n}"]', doc)[0]
+
+
+class TestSection25Examples:
+    def test_para_selects_para_children(self, doc):
+        """'para selects the para element children of the context node'"""
+        context = chapter(doc, 1)
+        result = select("para", context)
+        assert [node.text() for node in result] == ["w1", "p1", "w2"]
+
+    def test_star_selects_all_element_children(self, doc):
+        """'* selects all element children of the context node'"""
+        context = chapter(doc, 1)
+        assert [node.name for node in select("*", context)] == [
+            "title", "para", "para", "para", "section",
+        ]
+
+    def test_text_selects_text_children(self, doc):
+        """'text() selects all text node children'"""
+        context = select("//para", doc)[0]
+        assert [node.data for node in select("text()", context)] == ["w1"]
+
+    def test_at_name_selects_attribute(self, doc):
+        """'@name selects the name attribute of the context node'"""
+        context = chapter(doc, 1)
+        result = select("@n", context)
+        assert len(result) == 1 and result[0].value == "1"
+
+    def test_at_star_selects_all_attributes(self, doc):
+        """'@* selects all the attributes of the context node'"""
+        context = select("//employee[@security]", doc)[0]
+        assert [attr.name for attr in select("@*", context)] == ["security"]
+
+    def test_para_1_selects_first_para_child(self, doc):
+        """'para[1] selects the first para child'"""
+        context = chapter(doc, 1)
+        assert select("para[1]", context)[0].text() == "w1"
+
+    def test_para_last_selects_last_para_child(self, doc):
+        """'para[last()] selects the last para child'"""
+        context = chapter(doc, 1)
+        assert select("para[last()]", context)[0].text() == "w2"
+
+    def test_star_para_selects_grandchildren(self, doc):
+        """'*/para selects all para grandchildren'"""
+        result = select("*/para", doc.root)
+        # paras under chapters (not the one nested inside section).
+        assert [node.text() for node in result] == ["w1", "p1", "w2", "p2", "w4", "w5"]
+
+    def test_absolute_positional_path(self, doc):
+        """'/doc/chapter[2]/section[1] selects ...' (adapted indices)"""
+        result = select("/doc/chapter[1]/section[1]", doc)
+        assert len(result) == 1 and result[0].name == "section"
+
+    def test_double_slash_para_selects_all_descendants(self, doc):
+        """'//para selects all the para descendants of the document root'"""
+        assert len(select("//para", doc)) == 7
+
+    def test_relative_descendant(self, doc):
+        """'.//para selects the para element descendants of the context'"""
+        context = chapter(doc, 2)
+        assert len(select(".//para", context)) == 3
+
+    def test_dot_selects_context(self, doc):
+        """'. selects the context node'"""
+        context = chapter(doc, 1)
+        assert select(".", context) == [context]
+
+    def test_dotdot_selects_parent(self, doc):
+        """'.. selects the parent of the context node'"""
+        context = chapter(doc, 1)
+        assert select("..", context) == [doc.root]
+
+    def test_dotdot_lang_selects_parent_attribute(self, doc):
+        """'../@lang selects the lang attribute of the parent' (adapted)"""
+        title = select("//chapter[1]/title", doc)[0]
+        result = select("../@n", title)
+        assert len(result) == 1 and result[0].value == "1"
+
+    def test_para_type_warning(self, doc):
+        """'para[@type="warning"] selects all para children with type warning'"""
+        context = chapter(doc, 1)
+        assert len(select('para[@type="warning"]', context)) == 2
+
+    def test_para_type_warning_5th_document_wide(self, doc):
+        """'para[@type="warning"][5]' — the fifth warning para, counted
+        per context; document-wide via (…)[5]."""
+        result = select('(//para[@type="warning"])[5]', doc)
+        assert [node.text() for node in result] == ["w5"]
+
+    def test_para_5_type_warning(self, doc):
+        """'para[5][@type="warning"] selects the fifth para child if it
+        is a warning' (no chapter has 5 paras -> empty)"""
+        context = chapter(doc, 1)
+        assert select('para[5][@type="warning"]', context) == []
+
+    def test_chapter_title_is_introduction(self, doc):
+        """'chapter[title="Introduction"]' (adapted: 'intro')"""
+        result = select('chapter[title="intro"]', doc.root)
+        assert [node.get_attribute("n") for node in result] == ["1"]
+
+    def test_chapter_with_title(self, doc):
+        """'chapter[title] selects the chapter children that have one or
+        more title children'"""
+        result = select("chapter[title]", doc.root)
+        assert [node.get_attribute("n") for node in result] == ["1", "2"]
+
+    def test_employee_with_security_attribute(self, doc):
+        """'employee[@security] selects employees with a security attribute'"""
+        result = select("employee[@security]", doc.root)
+        assert len(result) == 1 and result[0].text() == "boss"
+
+
+class TestCoreFunctionExamplesFromSpec:
+    """Examples stated in the function-library prose (section 4)."""
+
+    def test_starts_with_spec(self, doc):
+        assert evaluate("starts-with('abc', '')", doc) is True
+
+    def test_substring_before_spec(self, doc):
+        assert evaluate('substring-before("1999/04/01","/")', doc) == "1999"
+
+    def test_substring_after_spec(self, doc):
+        assert evaluate('substring-after("1999/04/01","/")', doc) == "04/01"
+        assert evaluate('substring-after("1999/04/01","19")', doc) == "99/04/01"
+
+    def test_substring_edge_cases_spec(self, doc):
+        # All five examples from the spec's substring() prose.
+        assert evaluate("substring('12345', 1.5, 2.6)", doc) == "234"
+        assert evaluate("substring('12345', 0, 3)", doc) == "12"
+        assert evaluate("substring('12345', 0 div 0, 3)", doc) == ""
+        assert evaluate("substring('12345', 1, 0 div 0)", doc) == ""
+        assert evaluate("substring('12345', -42, 1 div 0)", doc) == "12345"
+
+    def test_normalize_space_argless(self, doc):
+        title = select("//title", doc)[0]
+        assert evaluate("normalize-space()", title) == "intro"
+
+    def test_translate_spec(self, doc):
+        assert evaluate('translate("bar","abc","ABC")', doc) == "BAr"
+        assert evaluate('translate("--aaa--","abc-","ABC")', doc) == "AAA"
+
+    def test_round_spec(self, doc):
+        assert evaluate("round(1.5)", doc) == 2.0
+        assert evaluate("round(-1.5)", doc) == -1.0
+
+    def test_boolean_number_spec(self, doc):
+        assert evaluate("boolean(0)", doc) is False
+        assert evaluate("boolean(0 div 0)", doc) is False
+        assert evaluate("boolean(-1)", doc) is True
+
+    def test_negative_infinity_substring_guard(self, doc):
+        assert evaluate("substring('12345', -1 div 0, 1 div 0)", doc) == ""

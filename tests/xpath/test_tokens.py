@@ -1,0 +1,130 @@
+"""Tests for the XPath tokenizer."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.tokens import TokenKind, tokenize
+
+
+def kinds(expression):
+    return [token.kind for token in tokenize(expression)][:-1]  # drop END
+
+
+def values(expression):
+    return [token.value for token in tokenize(expression)][:-1]
+
+
+class TestBasicTokens:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.SLASH,
+            TokenKind.NAME,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a") == [TokenKind.DOUBLE_SLASH, TokenKind.NAME]
+
+    def test_attribute(self):
+        assert kinds("@name") == [TokenKind.AT, TokenKind.NAME]
+
+    def test_dots(self):
+        assert kinds(".") == [TokenKind.DOT]
+        assert kinds("..") == [TokenKind.DOTDOT]
+        assert kinds("./..") == [TokenKind.DOT, TokenKind.SLASH, TokenKind.DOTDOT]
+
+    def test_axis_separator(self):
+        assert kinds("ancestor::project") == [
+            TokenKind.NAME,
+            TokenKind.AXIS_SEP,
+            TokenKind.NAME,
+        ]
+        assert values("ancestor::project") == ["ancestor", "::", "project"]
+
+    def test_qualified_name_single_token(self):
+        assert values("xml:lang") == ["xml:lang"]
+
+    def test_predicate_brackets(self):
+        assert kinds("a[1]") == [
+            TokenKind.NAME,
+            TokenKind.LBRACKET,
+            TokenKind.NUMBER,
+            TokenKind.RBRACKET,
+        ]
+
+    def test_always_ends_with_end_token(self):
+        assert tokenize("a")[-1].kind is TokenKind.END
+        assert tokenize("")[-1].kind is TokenKind.END
+
+
+class TestLiteralsAndNumbers:
+    def test_double_quoted(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_single_quoted(self):
+        assert values("'it''s'")[0] == "it"
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_decimal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot_decimal(self):
+        assert values(".5") == [".5"]
+
+    def test_number_then_dotdot_not_merged(self):
+        assert kinds("1..") == [TokenKind.NUMBER, TokenKind.DOTDOT]
+
+
+class TestOperators:
+    def test_comparisons(self):
+        assert kinds("a = b") == [TokenKind.NAME, TokenKind.EQ, TokenKind.NAME]
+        assert kinds("a != b")[1] is TokenKind.NEQ
+        assert kinds("a < b")[1] is TokenKind.LT
+        assert kinds("a <= b")[1] is TokenKind.LTE
+        assert kinds("a > b")[1] is TokenKind.GT
+        assert kinds("a >= b")[1] is TokenKind.GTE
+
+    def test_arithmetic_and_union(self):
+        assert kinds("a + b - c")[1] is TokenKind.PLUS
+        assert kinds("a | b")[1] is TokenKind.PIPE
+        assert kinds("a * b")[1] is TokenKind.STAR
+
+    def test_operator_names_are_plain_names(self):
+        assert values("a and b") == ["a", "and", "b"]
+        assert values("a or b")[1] == "or"
+        assert values("a div b")[1] == "div"
+        assert values("a mod b")[1] == "mod"
+
+    def test_variable_reference(self):
+        assert kinds("$x") == [TokenKind.DOLLAR, TokenKind.NAME]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  a  /  b  ") == kinds("a/b")
+
+
+class TestErrors:
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError, match="unterminated literal"):
+            tokenize('"open')
+
+    def test_lone_bang(self):
+        with pytest.raises(XPathSyntaxError, match="'!'"):
+            tokenize("a ! b")
+
+    def test_lone_colon(self):
+        with pytest.raises(XPathSyntaxError, match="':'"):
+            tokenize("a : b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError, match="unexpected character"):
+            tokenize("a # b")
+
+    def test_position_recorded(self):
+        tokens = tokenize("abc/def")
+        assert tokens[0].position == 0
+        assert tokens[2].position == 4

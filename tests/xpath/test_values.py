@@ -1,0 +1,131 @@
+"""Tests for the XPath value model and conversions."""
+
+import math
+
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xpath.values import (
+    compare,
+    number_to_string,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self):
+        root = parse_fragment("<a>x<b>y</b>z</a>")
+        assert string_value(root) == "xyz"
+
+    def test_attribute(self):
+        root = parse_fragment('<a k="v"/>')
+        assert string_value(root.attribute_node("k")) == "v"
+
+    def test_text_and_comment(self):
+        root = parse_fragment("<a>t<!--c--></a>")
+        assert string_value(root.children[0]) == "t"
+        assert string_value(root.children[1]) == "c"
+
+    def test_document(self):
+        document = parse_document("<a>x<b>y</b></a>")
+        assert string_value(document) == "xy"
+
+
+class TestConversions:
+    def test_to_string_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_to_string_numbers(self):
+        assert to_string(3.0) == "3"
+        assert to_string(3.5) == "3.5"
+        assert to_string(float("nan")) == "NaN"
+        assert to_string(float("inf")) == "Infinity"
+        assert to_string(float("-inf")) == "-Infinity"
+
+    def test_to_string_nodeset_uses_first(self):
+        root = parse_fragment("<a><b>first</b><b>second</b></a>")
+        assert to_string(list(root.child_elements())) == "first"
+        assert to_string([]) == ""
+
+    def test_to_number(self):
+        assert to_number("42") == 42.0
+        assert to_number("  3.5  ") == 3.5
+        assert math.isnan(to_number("abc"))
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_to_number_nodeset(self):
+        root = parse_fragment("<a><b>7</b></a>")
+        assert to_number(list(root.child_elements())) == 7.0
+
+    def test_to_boolean(self):
+        assert to_boolean("x") is True
+        assert to_boolean("") is False
+        assert to_boolean(1.0) is True
+        assert to_boolean(0.0) is False
+        assert to_boolean(float("nan")) is False
+        assert to_boolean([parse_fragment("<a/>")]) is True
+        assert to_boolean([]) is False
+
+    def test_number_to_string_negative_zero(self):
+        assert number_to_string(-0.0) == "0"
+
+
+class TestCompare:
+    def test_scalar_equality(self):
+        assert compare("=", "a", "a")
+        assert compare("!=", "a", "b")
+        assert compare("=", 1.0, 1.0)
+        assert not compare("=", float("nan"), float("nan"))
+
+    def test_boolean_coercion_dominates(self):
+        assert compare("=", True, "anything")  # boolean("anything") is true
+        assert compare("=", False, "")
+
+    def test_number_vs_string(self):
+        assert compare("=", 5.0, "5")
+        assert compare("<", 4.0, "5")
+
+    def test_relational_converts_to_numbers(self):
+        assert compare("<", "4", "5")
+        assert not compare("<", "x", "5")  # NaN comparisons are false
+
+    def test_nodeset_vs_string_existential(self):
+        root = parse_fragment("<a><b>x</b><b>y</b></a>")
+        nodes = list(root.child_elements())
+        assert compare("=", nodes, "y")
+        assert not compare("=", nodes, "z")
+        # != is also existential: some node differs from "x".
+        assert compare("!=", nodes, "x")
+
+    def test_nodeset_vs_number(self):
+        root = parse_fragment("<a><b>3</b><b>9</b></a>")
+        nodes = list(root.child_elements())
+        assert compare(">", nodes, 5.0)
+        assert compare("<", nodes, 5.0)
+        assert not compare(">", nodes, 10.0)
+
+    def test_number_vs_nodeset_flipped(self):
+        root = parse_fragment("<a><b>3</b></a>")
+        nodes = list(root.child_elements())
+        assert compare(">", 5.0, nodes)
+        assert not compare("<", 5.0, nodes)
+
+    def test_nodeset_vs_nodeset(self):
+        left_root = parse_fragment("<a><b>x</b><b>y</b></a>")
+        right_root = parse_fragment("<a><c>y</c><c>z</c></a>")
+        left = list(left_root.child_elements())
+        right = list(right_root.child_elements())
+        assert compare("=", left, right)      # both contain 'y'
+        assert compare("!=", left, right)
+        empty = []
+        assert not compare("=", left, empty)
+        assert not compare("!=", left, empty)
+
+    def test_nodeset_vs_boolean(self):
+        root = parse_fragment("<a><b/></a>")
+        nodes = list(root.child_elements())
+        assert compare("=", nodes, True)
+        assert not compare("=", [], True)

@@ -1,0 +1,226 @@
+"""Tests for the XPath parser and AST unparse round-trips."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTestKind,
+    Number,
+    PathExpr,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestLocationPaths:
+    def test_absolute_child_path(self):
+        path = parse_xpath("/laboratory/project")
+        assert isinstance(path, LocationPath)
+        assert path.absolute
+        assert [step.test.name for step in path.steps] == ["laboratory", "project"]
+        assert all(step.axis is Axis.CHILD for step in path.steps)
+
+    def test_relative_path(self):
+        path = parse_xpath("project/manager")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_double_slash_desugars(self):
+        path = parse_xpath("/laboratory//flname")
+        assert len(path.steps) == 3
+        middle = path.steps[1]
+        assert middle.axis is Axis.DESCENDANT_OR_SELF
+        assert middle.test.kind is NodeTestKind.NODE
+
+    def test_leading_double_slash(self):
+        path = parse_xpath("//paper")
+        assert path.absolute
+        assert path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert path.steps[1].test.name == "paper"
+
+    def test_bare_slash_is_root(self):
+        path = parse_xpath("/")
+        assert path.absolute
+        assert path.steps == []
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("paper/@category")
+        assert path.steps[1].axis is Axis.ATTRIBUTE
+        assert path.steps[1].test.name == "category"
+
+    def test_dot_and_dotdot(self):
+        path = parse_xpath("./..")
+        assert path.steps[0].axis is Axis.SELF
+        assert path.steps[1].axis is Axis.PARENT
+
+    def test_explicit_axes(self):
+        path = parse_xpath("fund/ancestor::project")
+        assert path.steps[1].axis is Axis.ANCESTOR
+
+    def test_all_axes_parse(self):
+        for axis in Axis:
+            path = parse_xpath(f"{axis.value}::x")
+            assert path.steps[0].axis is axis
+
+    def test_wildcard(self):
+        path = parse_xpath("*/@*")
+        assert path.steps[0].test.kind is NodeTestKind.WILDCARD
+        assert path.steps[1].axis is Axis.ATTRIBUTE
+        assert path.steps[1].test.kind is NodeTestKind.WILDCARD
+
+    def test_node_type_tests(self):
+        assert parse_xpath("text()").steps[0].test.kind is NodeTestKind.TEXT
+        assert parse_xpath("node()").steps[0].test.kind is NodeTestKind.NODE
+        assert parse_xpath("comment()").steps[0].test.kind is NodeTestKind.COMMENT
+
+
+class TestPredicates:
+    def test_positional_predicate(self):
+        path = parse_xpath("project[1]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, Number)
+        assert predicate.value == 1
+
+    def test_comparison_predicate(self):
+        path = parse_xpath('project[./@name = "Access Models"]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, BinaryExpr)
+        assert predicate.op == "="
+        assert isinstance(predicate.right, Literal)
+
+    def test_multiple_predicates(self):
+        path = parse_xpath("a[@x][2]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_boolean_connectives(self):
+        path = parse_xpath("a[@x = '1' and @y != '2' or @z]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, BinaryExpr)
+        assert predicate.op == "or"
+        assert predicate.left.op == "and"
+
+    def test_nested_paths_in_predicates(self):
+        path = parse_xpath("project[paper/@category = 'public']")
+        inner = path.steps[0].predicates[0].left
+        assert isinstance(inner, LocationPath)
+        assert not inner.absolute
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_div_mod(self):
+        assert parse_xpath("4 div 2").op == "div"
+        assert parse_xpath("4 mod 2").op == "mod"
+
+    def test_unary_minus(self):
+        expr = parse_xpath("-1")
+        assert isinstance(expr, UnaryMinus)
+
+    def test_double_unary_minus(self):
+        expr = parse_xpath("--1")
+        assert isinstance(expr.operand, UnaryMinus)
+
+    def test_comparison_chain_left_assoc(self):
+        expr = parse_xpath("1 < 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<"
+
+    def test_union(self):
+        expr = parse_xpath("//a | //b | //c")
+        assert isinstance(expr, UnionExpr)
+        assert len(expr.parts) == 3
+
+    def test_function_call(self):
+        expr = parse_xpath("contains(@name, 'Access')")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "contains"
+        assert len(expr.args) == 2
+
+    def test_function_no_args(self):
+        expr = parse_xpath("position()")
+        assert expr.args == []
+
+    def test_filter_with_path_tail(self):
+        expr = parse_xpath("id('n1')/child")
+        assert isinstance(expr, PathExpr)
+        assert isinstance(expr.filter.primary, FunctionCall)
+        assert expr.tail.steps[0].test.name == "child"
+
+    def test_parenthesized_expression(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_variable_reference(self):
+        expr = parse_xpath("$user")
+        assert isinstance(expr, VariableRef)
+        assert expr.name == "user"
+
+    def test_filter_predicate_on_parenthesized(self):
+        expr = parse_xpath("(//a | //b)[1]")
+        assert expr.predicates
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "/laboratory/",
+            "//",
+            "a[",
+            "a[]",
+            "a]",
+            "foo(",
+            "@",
+            "a/child::@x",
+            "nosuchaxis::a",
+            "a b",
+            "1 +",
+            "text(x)",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+class TestUnparse:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "/laboratory/project",
+            "//paper",
+            "/laboratory//flname",
+            "project/@name",
+            'project[./@type = "internal"]',
+            "fund/ancestor::project",
+            "a | b",
+            "1 + 2 * 3",
+            "contains(@name, 'x')",
+            "a[1][@x]",
+            "-(3)",
+            "self::node()",
+            "preceding-sibling::a",
+            "$v",
+            "..",
+            ".",
+        ],
+    )
+    def test_parse_unparse_stable(self, expression):
+        once = parse_xpath(expression)
+        rendered = once.unparse()
+        twice = parse_xpath(rendered)
+        assert twice.unparse() == rendered
