@@ -50,11 +50,14 @@ from repro.dtd import DTD, generate_instance, loosen, parse_dtd, validate
 from repro.errors import (
     AuthorizationError,
     DTDSyntaxError,
+    DeadlineExceeded,
+    LimitExceeded,
     ParseError,
     PatternError,
     PolicyError,
     ReproError,
     RepositoryError,
+    ResourceError,
     SubjectError,
     ValidationError,
     XACLError,
@@ -62,6 +65,7 @@ from repro.errors import (
     XPathEvaluationError,
     XPathSyntaxError,
 )
+from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
 from repro.server import (
     AccessLimitExceeded,
     AccessRequest,
@@ -110,8 +114,11 @@ __all__ = [
     "Authorization",
     "AuthorizationError",
     "AuthorizationStore",
+    "DEFAULT_LIMITS",
     "DTD",
     "DTDSyntaxError",
+    "Deadline",
+    "DeadlineExceeded",
     "DeleteNode",
     "Directory",
     "Document",
@@ -120,6 +127,7 @@ __all__ = [
     "IPPattern",
     "InsertChild",
     "Label",
+    "LimitExceeded",
     "ParseError",
     "PatternError",
     "PolicyConfig",
@@ -130,6 +138,8 @@ __all__ = [
     "RepositoryError",
     "ReproError",
     "Requester",
+    "ResourceError",
+    "ResourceLimits",
     "SecureXMLServer",
     "SecurityProcessor",
     "SetAttribute",

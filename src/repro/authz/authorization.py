@@ -212,11 +212,17 @@ class Authorization:
         return self._compiled
 
     def select_nodes(
-        self, document_root: Node, relative_mode: RelativeMode = "descendant"
+        self,
+        document_root: Node,
+        relative_mode: RelativeMode = "descendant",
+        max_steps: Optional[int] = None,
+        deadline=None,
     ) -> list[Node]:
         """The node-set this authorization covers in one document.
 
         A bare-URI object denotes the root element of the document.
+        *max_steps*/*deadline* bound the underlying XPath evaluation
+        (see :mod:`repro.limits`).
         """
         compiled = self.compiled_path(relative_mode)
         if compiled is None:
@@ -226,7 +232,7 @@ class Authorization:
                 root = document_root.root
                 return [root] if root is not None else []
             return [document_root]
-        return compiled.select(document_root)
+        return compiled.select(document_root, max_steps=max_steps, deadline=deadline)
 
     def unparse(self) -> str:
         """The paper's angle-bracket notation."""

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.authz.authorization import AuthType, Authorization
 from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
 from repro.core.labels import Label, first_def
+from repro.limits import Deadline, ResourceLimits
 from repro.subjects.hierarchy import SubjectHierarchy
 from repro.xml.nodes import Attribute, Document, Element, Node
 from repro.xpath.compile import RelativeMode
@@ -96,7 +97,17 @@ class TreeLabeler:
         Conflict-resolution policy; defaults to denials-take-precedence.
     relative_mode:
         How relative path expressions anchor (DESIGN.md decision 5).
+    limits:
+        Optional :class:`~repro.limits.ResourceLimits`; caps the XPath
+        step budget of each authorization's path evaluation.
+    deadline:
+        Optional shared wall-clock :class:`~repro.limits.Deadline`,
+        checked after every authorization evaluation and periodically
+        during the labeling walk.
     """
+
+    #: Labeled nodes between two deadline checks in the main walk.
+    _DEADLINE_STRIDE = 1024
 
     def __init__(
         self,
@@ -106,6 +117,8 @@ class TreeLabeler:
         hierarchy: SubjectHierarchy,
         policy: Optional[ConflictPolicy] = None,
         relative_mode: RelativeMode = "descendant",
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self._document = document
         self._root = (
@@ -116,6 +129,10 @@ class TreeLabeler:
         self._hierarchy = hierarchy
         self._policy = policy if policy is not None else DenialsTakePrecedence()
         self._relative_mode = relative_mode
+        self._max_steps = limits.max_xpath_steps if limits is not None else None
+        self._deadline = (
+            deadline if deadline is not None and not deadline.unbounded else None
+        )
         # node -> slot -> authorizations covering that node
         self._node_slot_auths: dict[Node, dict[str, list[Authorization]]] = {}
         self._evaluated = 0
@@ -139,6 +156,8 @@ class TreeLabeler:
         # paper's tree model hangs attributes off their element).
         stack: list[tuple[Node, Element]] = []
         self._push_children(root, stack)
+        deadline = self._deadline
+        labeled = 0
         while stack:
             node, parent = stack.pop()
             parent_label = labels[parent]
@@ -146,6 +165,10 @@ class TreeLabeler:
             labels[node] = label
             if isinstance(node, Element):
                 self._push_children(node, stack)
+            if deadline is not None:
+                labeled += 1
+                if labeled % self._DEADLINE_STRIDE == 0:
+                    deadline.check("tree labeling")
         return LabelingResult(labels, self._evaluated, len(labels))
 
     # -- authorization binning ------------------------------------------------
@@ -166,8 +189,15 @@ class TreeLabeler:
     _ATTRIBUTE_SLOT = {"R": "L", "RW": "LW", "RD": "LD"}
 
     def _bin_one(self, authorization: Authorization, slot: str, context: Node) -> None:
-        nodes = authorization.select_nodes(context, self._relative_mode)
+        nodes = authorization.select_nodes(
+            context,
+            self._relative_mode,
+            max_steps=self._max_steps,
+            deadline=self._deadline,
+        )
         self._evaluated += 1
+        if self._deadline is not None:
+            self._deadline.check("authorization evaluation")
         for node in nodes:
             node_slot = slot
             if isinstance(node, Attribute):

@@ -18,6 +18,7 @@ from repro.authz.store import AuthorizationStore
 from repro.core.labeling import LabelingResult, TreeLabeler
 from repro.core.labels import Label
 from repro.core.prune import build_view
+from repro.limits import Deadline, ResourceLimits
 from repro.subjects.hierarchy import Requester, SubjectHierarchy
 from repro.xml.nodes import Document, Node
 from repro.xml.traversal import count_nodes
@@ -64,6 +65,8 @@ def compute_view(
     action: str = "read",
     loosen_dtd: bool = True,
     at: Optional[float] = None,
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ViewResult:
     """The view of *requester* on *document* (paper, Figure 2).
 
@@ -90,6 +93,11 @@ def compute_view(
         The requested action; the paper uses ``read``.
     loosen_dtd:
         Attach the loosened DTD to the returned view.
+    limits, deadline:
+        Optional resource guards threaded into labeling and pruning
+        (see :mod:`repro.limits`); a tripped guard raises
+        :class:`~repro.errors.LimitExceeded` or
+        :class:`~repro.errors.DeadlineExceeded`.
     """
     uri = document.uri or ""
     instance_auths = store.applicable(requester, uri, action, at=at) if uri else []
@@ -108,6 +116,8 @@ def compute_view(
         open_policy=open_policy,
         relative_mode=relative_mode,
         loosen_dtd=loosen_dtd,
+        limits=limits,
+        deadline=deadline,
     )
 
 
@@ -120,6 +130,8 @@ def compute_view_from_auths(
     open_policy: bool = False,
     relative_mode: RelativeMode = "descendant",
     loosen_dtd: bool = True,
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ViewResult:
     """compute-view with the authorization sets already selected.
 
@@ -127,6 +139,10 @@ def compute_view_from_auths(
     inject synthetic Axml/Adtd directly. *instance_auths* and
     *schema_auths* must already be filtered for the requester.
     """
+    if deadline is None and limits is not None:
+        deadline = limits.deadline()
+    if deadline is not None:
+        deadline.check("compute-view")
     labeler = TreeLabeler(
         document,
         instance_auths,
@@ -134,8 +150,12 @@ def compute_view_from_auths(
         hierarchy if hierarchy is not None else SubjectHierarchy(),
         policy=policy,
         relative_mode=relative_mode,
+        limits=limits,
+        deadline=deadline,
     )
     labeling: LabelingResult = labeler.run()
+    if deadline is not None:
+        deadline.check("view pruning")
     view = build_view(
         document, labeling.labels, open_policy=open_policy, loosen_dtd=loosen_dtd
     )

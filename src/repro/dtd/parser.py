@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import DTDSyntaxError
+from repro.errors import DTDLimitExceeded, DTDSyntaxError
+from repro.limits import ResourceLimits
 from repro.xml.chars import WHITESPACE, is_name, is_name_char, is_name_start_char, is_nmtoken
 from repro.dtd.model import (
     AttributeDecl,
@@ -72,7 +73,9 @@ def _resolve_char_refs(value: str) -> str:
     return "".join(out)
 
 
-def parse_dtd(text: str, uri: Optional[str] = None) -> DTD:
+def parse_dtd(
+    text: str, uri: Optional[str] = None, limits: Optional[ResourceLimits] = None
+) -> DTD:
     """Parse DTD *text* into a :class:`DTD` object.
 
     Raises
@@ -80,8 +83,11 @@ def parse_dtd(text: str, uri: Optional[str] = None) -> DTD:
     DTDSyntaxError
         On any syntactic problem, duplicate element declaration, or
         parameter-entity expansion cycle.
+    DTDLimitExceeded
+        When *limits* caps the input size or parameter-entity expansion
+        count and the input exceeds it (also a :class:`DTDSyntaxError`).
     """
-    dtd = DTDParser(text).parse()
+    dtd = DTDParser(text, limits=limits).parse()
     dtd.uri = uri
     return dtd
 
@@ -102,7 +108,19 @@ def parse_content_model(text: str) -> ContentModel:
 class DTDParser:
     """Single-use parser over a DTD subset string."""
 
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, limits: Optional[ResourceLimits] = None) -> None:
+        if (
+            limits is not None
+            and limits.max_input_bytes is not None
+            and len(text) > limits.max_input_bytes
+        ):
+            raise DTDLimitExceeded(
+                f"DTD is {len(text)} characters, over the "
+                f"{limits.max_input_bytes}-character input limit",
+                limit="max_input_bytes",
+                value=len(text),
+                maximum=limits.max_input_bytes,
+            )
         if "\r" in text:
             text = text.replace("\r\n", "\n").replace("\r", "\n")
         self._text = text
@@ -110,6 +128,11 @@ class DTDParser:
         self._len = len(text)
         self._dtd = DTD()
         self._pe_expansions = 0
+        self._max_pe_expansions = (
+            limits.max_entity_expansions
+            if limits is not None and limits.max_entity_expansions is not None
+            else _MAX_PE_EXPANSIONS
+        )
         self._declared_elements: set[str] = set()
 
     # -- scanning helpers ---------------------------------------------------
@@ -156,8 +179,17 @@ class DTDParser:
         if replacement is None:
             self._fail(f"unknown parameter entity %{name};", start)
         self._pe_expansions += 1
-        if self._pe_expansions > _MAX_PE_EXPANSIONS:
-            self._fail("parameter-entity expansion limit exceeded (cycle?)", start)
+        if self._pe_expansions > self._max_pe_expansions:
+            line = self._text.count("\n", 0, start) + 1
+            column = start - self._text.rfind("\n", 0, start)
+            raise DTDLimitExceeded(
+                "parameter-entity expansion limit exceeded (cycle?)",
+                line,
+                column,
+                limit="max_entity_expansions",
+                value=self._pe_expansions,
+                maximum=self._max_pe_expansions,
+            )
         # Splice the replacement text in place, padded with spaces as the
         # spec requires for declarations.
         self._text = (

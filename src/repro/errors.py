@@ -89,3 +89,124 @@ class RepositoryError(ReproError):
 
 class PolicyError(ReproError):
     """An invalid access-control policy configuration."""
+
+
+class ResourceError(ReproError):
+    """A resource guard tripped: the request asked for more work than the
+    configured :class:`~repro.limits.ResourceLimits` allow.
+
+    Guard trips are *refusals*, not malfunctions — they are the intended
+    behaviour when facing hostile or runaway inputs (entity bombs,
+    pathological nesting, unbounded queries, requests past their
+    deadline). Catch :class:`ResourceError` to handle both branches.
+    """
+
+
+class LimitExceeded(ResourceError):
+    """A quantitative resource limit was exceeded.
+
+    Attributes
+    ----------
+    limit:
+        Machine-readable name of the tripped limit (e.g.
+        ``"max_tree_depth"``), matching the field name on
+        :class:`~repro.limits.ResourceLimits`.
+    value:
+        The observed quantity at the moment of the trip (best effort).
+    maximum:
+        The configured cap.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        limit: str = "",
+        value: int | float | None = None,
+        maximum: int | float | None = None,
+    ):
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum
+        super().__init__(message)
+
+
+class DeadlineExceeded(ResourceError):
+    """The request ran past its wall-clock deadline.
+
+    Attributes
+    ----------
+    elapsed, budget:
+        Seconds spent and seconds allowed, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ):
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(message)
+
+
+class XMLLimitExceeded(XMLSyntaxError, LimitExceeded):
+    """An XML parsing guard tripped (entity bomb, depth, size...).
+
+    Doubles as an :class:`XMLSyntaxError` so existing parse-error
+    handling keeps working, while ``except LimitExceeded`` sees the
+    typed guard trip.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        limit: str = "",
+        value: int | float | None = None,
+        maximum: int | float | None = None,
+    ):
+        XMLSyntaxError.__init__(self, message, line, column)
+        # After the call: ParseError's cooperative super().__init__ runs
+        # LimitExceeded.__init__ (next in the MRO) with defaults, so the
+        # metadata must be assigned last.
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum
+
+
+class DTDLimitExceeded(DTDSyntaxError, LimitExceeded):
+    """A DTD parsing guard tripped (parameter-entity expansion, size)."""
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        limit: str = "",
+        value: int | float | None = None,
+        maximum: int | float | None = None,
+    ):
+        DTDSyntaxError.__init__(self, message, line, column)
+        # Assigned last: see XMLLimitExceeded.
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum
+
+
+class XPathLimitExceeded(XPathEvaluationError, LimitExceeded):
+    """An XPath evaluation exhausted its step budget."""
+
+    def __init__(
+        self,
+        message: str,
+        limit: str = "max_xpath_steps",
+        value: int | float | None = None,
+        maximum: int | float | None = None,
+    ):
+        XPathEvaluationError.__init__(self, message)
+        # Assigned last: see XMLLimitExceeded.
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum

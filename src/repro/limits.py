@@ -1,0 +1,176 @@
+"""Resource limits and deadlines for the request pipeline.
+
+The paper's security processor sits server-side in front of untrusted
+requesters (Section 7), so every stage of the pipeline — parsing,
+labeling, pruning, query evaluation — must do *bounded* work per
+request. This module defines the two guard primitives threaded through
+the stack:
+
+- :class:`ResourceLimits`: a bundle of quantitative caps (input size,
+  tree depth, node count, entity expansion, XPath steps) plus an
+  optional per-request wall-clock budget. Stages receiving a limits
+  object enforce the caps they understand and raise
+  :class:`~repro.errors.LimitExceeded` subtypes when tripped.
+- :class:`Deadline`: a monotonic-clock wall-time guard. One deadline is
+  created per request and shared by every stage, so the budget covers
+  the whole pipeline, not each stage separately. Long loops call
+  :meth:`Deadline.check` periodically and get a typed
+  :class:`~repro.errors.DeadlineExceeded` instead of running forever.
+
+Both are cheap when disabled: a ``None`` limits object (the library
+default for direct parser/evaluator use) adds a single attribute test
+per guarded loop, and an unbounded deadline's ``check`` is a no-op.
+The server facade defaults to :data:`DEFAULT_LIMITS`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline", "ResourceLimits", "DEFAULT_LIMITS", "UNLIMITED"]
+
+
+class Deadline:
+    """A wall-clock budget anchored to the monotonic clock.
+
+    ``Deadline.after(seconds)`` starts the budget now;
+    ``Deadline.after(None)`` (or :data:`Deadline.UNBOUNDED`) never
+    expires and checks for free. Deadlines are compared against
+    ``time.monotonic()`` so system clock adjustments cannot extend or
+    shorten a request's budget.
+    """
+
+    __slots__ = ("_expires_at", "_started", "budget")
+
+    def __init__(self, budget: Optional[float]) -> None:
+        self.budget = budget
+        self._started = time.monotonic()
+        self._expires_at = None if budget is None else self._started + budget
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline *seconds* from now (``None`` = unbounded)."""
+        return cls(seconds)
+
+    @property
+    def unbounded(self) -> bool:
+        return self._expires_at is None
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (``None`` when unbounded; never negative)."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` once expired."""
+        if self._expires_at is None:
+            return
+        now = time.monotonic()
+        if now >= self._expires_at:
+            elapsed = now - self._started
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget:.3f}s deadline "
+                f"(elapsed {elapsed:.3f}s)",
+                elapsed=elapsed,
+                budget=self.budget,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._expires_at is None:
+            return "<Deadline unbounded>"
+        return f"<Deadline budget={self.budget}s remaining={self.remaining():.3f}s>"
+
+
+#: A shared never-expiring deadline for call sites that want to pass
+#: "no deadline" without allocating.
+Deadline.UNBOUNDED = Deadline(None)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-request caps on pipeline resource use.
+
+    Every field accepts ``None`` to disable that single cap. The
+    defaults are sized for the server facade: generous enough for any
+    legitimate document in the test corpus and benchmarks, small enough
+    that hostile constructions (entity bombs, nesting attacks,
+    pathological queries) trip a guard in milliseconds instead of
+    exhausting the process.
+
+    Fields
+    ------
+    max_input_bytes:
+        Upper bound on the character length of a document (or DTD)
+        handed to a parser.
+    max_tree_depth:
+        Maximum element nesting depth the XML parser will build.
+    max_node_count:
+        Maximum number of nodes (elements + text runs) one parse may
+        create.
+    max_entity_expansion_chars:
+        Total characters one reference-resolution pass may produce —
+        the billion-laughs defense.
+    max_entity_expansion_depth:
+        Maximum nesting of general-entity expansions (cycle defense).
+    max_entity_expansions:
+        Maximum number of parameter-entity expansions in one DTD parse.
+    max_xpath_steps:
+        Budget of evaluation steps (context-node visits, candidate
+        nodes, predicate evaluations) for one XPath evaluation.
+    deadline_seconds:
+        Wall-clock budget for one whole request; enforced via a shared
+        :class:`Deadline` checked periodically by every stage.
+    """
+
+    max_input_bytes: Optional[int] = 50_000_000
+    max_tree_depth: Optional[int] = 10_000
+    max_node_count: Optional[int] = 5_000_000
+    max_entity_expansion_chars: Optional[int] = 10_000_000
+    max_entity_expansion_depth: Optional[int] = 64
+    max_entity_expansions: Optional[int] = 10_000
+    max_xpath_steps: Optional[int] = 10_000_000
+    deadline_seconds: Optional[float] = None
+
+    def deadline(self) -> Deadline:
+        """Arm a fresh :class:`Deadline` for one request."""
+        if self.deadline_seconds is None:
+            return Deadline.UNBOUNDED  # type: ignore[attr-defined]
+        return Deadline.after(self.deadline_seconds)
+
+    def with_deadline(self, seconds: Optional[float]) -> "ResourceLimits":
+        """A copy with a different wall-clock budget."""
+        return replace(self, deadline_seconds=seconds)
+
+    @classmethod
+    def unlimited(cls) -> "ResourceLimits":
+        """Every cap disabled (the behaviour of passing no limits)."""
+        return cls(
+            max_input_bytes=None,
+            max_tree_depth=None,
+            max_node_count=None,
+            max_entity_expansion_chars=None,
+            max_entity_expansion_depth=None,
+            max_entity_expansions=None,
+            max_xpath_steps=None,
+            deadline_seconds=None,
+        )
+
+
+#: The server facade's defaults.
+DEFAULT_LIMITS = ResourceLimits()
+
+#: Every guard disabled; useful for trusted administrative workloads.
+UNLIMITED = ResourceLimits.unlimited()

@@ -20,6 +20,7 @@ from repro.server.cache import CachedView, ViewCache
 from repro.server.persistence import load_server, save_server
 from repro.server.repository import Repository, StoredDocument
 from repro.server.request import AccessRequest, AccessResponse, QueryRequest
+from repro.server.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from repro.server.service import AccessLimitExceeded, PolicyConfig, SecureXMLServer
 from repro.server.updates import (
     DeleteNode,
@@ -42,12 +43,14 @@ __all__ = [
     "AuditLog",
     "AuditRecord",
     "CachedView",
+    "DEFAULT_RETRY_POLICY",
     "DeleteNode",
     "InsertChild",
     "PolicyConfig",
     "QueryRequest",
     "RemoveAttribute",
     "Repository",
+    "RetryPolicy",
     "SecureXMLServer",
     "SetAttribute",
     "SetText",
@@ -61,5 +64,6 @@ __all__ = [
     "authorization_impact",
     "dead_authorizations",
     "load_server",
+    "retry_call",
     "save_server",
 ]

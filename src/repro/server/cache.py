@@ -19,6 +19,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro.testing.faults import trip
+
 __all__ = ["CachedView", "ViewCache"]
 
 
@@ -68,6 +70,7 @@ class ViewCache:
     def get(
         self, key: Hashable, store_version: int, document_version: int
     ) -> Optional[CachedView]:
+        trip("cache.get")
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -85,6 +88,7 @@ class ViewCache:
         return entry
 
     def put(self, key: Hashable, entry: CachedView) -> None:
+        trip("cache.put")
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:

@@ -17,25 +17,46 @@ formats throughout):
 an equivalent :class:`~repro.server.service.SecureXMLServer` (views
 served before and after a round-trip are byte-identical — tested).
 Audit logs and caches are runtime state and are not persisted.
+
+Durability: every file is written atomically (temp file in the same
+directory, then :func:`os.replace`), so a crash mid-save never leaves a
+truncated state file — the old content survives intact. Reads and
+writes run under :func:`~repro.server.retry.retry_call`, recovering
+from transient I/O failures; the ``persistence.read`` /
+``persistence.write`` fault-injection points (see
+:mod:`repro.testing.faults`) sit inside the retried operation so the
+recovery path is testable.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.authz.restrictions import HistoryLimit
 from repro.authz.xacl import parse_xacl, serialize_xacl
 from repro.errors import RepositoryError, XACLError
 from repro.server.cache import ViewCache
+from repro.server.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from repro.server.service import PolicyConfig, SecureXMLServer
 from repro.subjects.markup import parse_directory, serialize_directory
+from repro.testing.faults import InjectedFault, trip
 from repro.xml.builder import E, new_document
 from repro.xml.parser import parse_document
 from repro.xml.serializer import pretty, serialize
 from repro.dtd.serializer import serialize_dtd
 
 __all__ = ["save_server", "load_server"]
+
+#: Exceptions treated as transient by the persistence retry wrapper.
+_TRANSIENT = (OSError, InjectedFault)
+
+#: Retry schedule for state file I/O; module-level so deployments (and
+#: tests) can swap in a different policy.
+RETRY_POLICY: RetryPolicy = DEFAULT_RETRY_POLICY
+
+#: Injectable wait function used between retries (tests make it a no-op).
+_sleep: Optional[Callable[[float], None]] = None
 
 
 def save_server(server: SecureXMLServer, path: str) -> None:
@@ -55,8 +76,15 @@ def save_server(server: SecureXMLServer, path: str) -> None:
     for position, uri in enumerate(server.repository.documents()):
         stored = server.repository.stored(uri)
         filename = f"documents/{position}.xml"
-        _write(path, filename, serialize(stored.document(), doctype=False))
         attrs = {"uri": uri, "file": filename}
+        if stored.parsed is None and stored.text is not None:
+            # Deferred-parse document: persist the raw source without
+            # forcing an unbounded parse (it may be hostile — that is
+            # why it was deferred). Reloads keep it deferred.
+            _write(path, filename, stored.text)
+            attrs["deferred"] = "yes"
+        else:
+            _write(path, filename, serialize(stored.document(), doctype=False))
         if stored.dtd_uri:
             attrs["dtd-uri"] = stored.dtd_uri
         index.append(E("document", attrs))
@@ -110,7 +138,10 @@ def load_server(
             server.publish_dtd(uri, content)
         elif entry.name == "document":
             server.publish_document(
-                uri, content, dtd_uri=entry.get_attribute("dtd-uri")
+                uri,
+                content,
+                dtd_uri=entry.get_attribute("dtd-uri"),
+                defer_parse=entry.get_attribute("deferred") == "yes",
             )
         else:
             raise XACLError(f"unexpected <{entry.name}> in repository.xml")
@@ -158,10 +189,35 @@ def _load_policies(server: SecureXMLServer, text: str) -> None:
 
 
 def _write(base: str, relative: str, content: str) -> None:
-    with open(os.path.join(base, relative), "w", encoding="utf-8") as handle:
-        handle.write(content)
+    """Atomically (and with retries) write one state file.
+
+    The content lands in a temp file next to the target and is moved
+    into place with :func:`os.replace`, so a crash between the two
+    steps leaves the previous version intact — never a truncated file.
+    """
+    target = os.path.join(base, relative)
+    temporary = target + ".tmp"
+
+    def attempt() -> None:
+        trip("persistence.write")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        os.replace(temporary, target)
+
+    try:
+        retry_call(attempt, policy=RETRY_POLICY, retry_on=_TRANSIENT, sleep=_sleep)
+    finally:
+        if os.path.exists(temporary):  # failed before the replace
+            try:
+                os.remove(temporary)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def _read(path: str) -> str:
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
+    def attempt() -> str:
+        trip("persistence.read")
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    return retry_call(attempt, policy=RETRY_POLICY, retry_on=_TRANSIENT, sleep=_sleep)

@@ -9,13 +9,15 @@ and the associated XACL"). Documents can be stored parsed or as text
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
 
 from repro.errors import RepositoryError
+from repro.limits import Deadline, ResourceLimits
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.dtd.validator import validate
+from repro.testing.faults import trip
 from repro.xml.nodes import Document
 from repro.xml.parser import parse_document
 
@@ -32,12 +34,34 @@ class StoredDocument:
     dtd_uri: Optional[str] = None
     #: bumped whenever the stored tree is replaced (cache guard)
     version: int = 0
+    #: set for deferred-parse documents: resolves dtd_uri -> published
+    #: DTD at first parse, mirroring what an eager add does up front
+    dtd_resolver: Optional[Callable[[str], Optional[DTD]]] = field(
+        default=None, repr=False, compare=False
+    )
 
-    def document(self) -> Document:
+    def document(
+        self,
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Document:
+        """The parsed tree, parsing lazily (under *limits*) if needed."""
         if self.parsed is None:
             if self.text is None:
                 raise RepositoryError(f"document {self.uri!r} has no content")
-            self.parsed = parse_document(self.text, uri=self.uri)
+            self.parsed = parse_document(
+                self.text, uri=self.uri, limits=limits, deadline=deadline
+            )
+            if self.dtd_uri is None:
+                self.dtd_uri = self.parsed.system_id
+            if (
+                self.parsed.dtd is None
+                and self.dtd_uri
+                and self.dtd_resolver is not None
+            ):
+                published = self.dtd_resolver(self.dtd_uri)
+                if published is not None:
+                    self.parsed.dtd = published
         return self.parsed
 
 
@@ -77,6 +101,8 @@ class Repository:
         content: Document | str,
         dtd_uri: Optional[str] = None,
         validate_on_add: bool = False,
+        defer_parse: bool = False,
+        limits: Optional[ResourceLimits] = None,
     ) -> StoredDocument:
         """Store a document (parsed or text) under *uri*.
 
@@ -84,6 +110,12 @@ class Repository:
         ``dtd(URI)`` for schema-level authorization lookup. When the
         document declares a SYSTEM identifier and *dtd_uri* is omitted,
         the SYSTEM identifier is used.
+
+        With *defer_parse*, text content is stored without parsing it;
+        the parse happens lazily on first access, under whatever limits
+        the request supplies — so publishing stays cheap and hostile
+        content trips a guard at serve time instead of crashing the
+        publisher. *limits* bounds an eager parse at add time.
         """
         if uri in self._documents:
             raise RepositoryError(f"a document is already stored at {uri!r}")
@@ -92,7 +124,12 @@ class Repository:
             content.uri = uri
         else:
             stored = StoredDocument(uri, text=content)
-        document = stored.document()
+            if defer_parse:
+                stored.dtd_uri = dtd_uri
+                stored.dtd_resolver = self._dtds.get
+                self._documents[uri] = stored
+                return stored
+        document = stored.document(limits=limits)
         stored.dtd_uri = dtd_uri or document.system_id
         if stored.dtd_uri and self.has_dtd(stored.dtd_uri):
             published = self.dtd(stored.dtd_uri)
@@ -110,6 +147,7 @@ class Repository:
         return stored.document()
 
     def stored(self, uri: str) -> StoredDocument:
+        trip("repository.read")
         found = self._documents.get(uri)
         if found is None:
             raise RepositoryError(f"no document stored at {uri!r}")

@@ -42,7 +42,15 @@ class QueryRequest:
 
 @dataclass
 class AccessResponse:
-    """What the server returns for an access request."""
+    """What the server returns for an access request.
+
+    A resource-guard trip (limit or deadline) does not raise through
+    the facade: it comes back as a *structured failure* — ``error``
+    carries the typed exception (:class:`~repro.errors.LimitExceeded`
+    or :class:`~repro.errors.DeadlineExceeded`) and ``error_kind`` a
+    stable machine-readable tag. Check :attr:`ok` before using the
+    view text.
+    """
 
     uri: str
     xml_text: str
@@ -52,3 +60,12 @@ class AccessResponse:
     total_nodes: int = 0
     elapsed_seconds: float = 0.0
     matches: list[str] = field(default_factory=list)  # query responses only
+    #: The typed guard exception on failure, ``None`` on success.
+    error: Optional[BaseException] = None
+    #: "limit-exceeded" | "deadline-exceeded" | None
+    error_kind: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a view (no guard tripped)."""
+        return self.error is None

@@ -1,0 +1,88 @@
+"""Retry-with-backoff for transient infrastructure failures.
+
+The persistence layer (and any future remote backend) distinguishes
+*transient* failures — a busy disk, a flaky network write — from
+permanent ones. :func:`retry_call` re-runs an operation under a
+:class:`RetryPolicy` with deterministic exponential backoff; after the
+last attempt the original exception propagates unchanged, so callers
+still see the real error when recovery is impossible.
+
+The sleep function is injectable, keeping tests instant and the backoff
+schedule assertable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryPolicy", "retry_call", "DEFAULT_RETRY_POLICY"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait in between.
+
+    ``delay(attempt)`` for attempt 1, 2, 3... is
+    ``base_delay * multiplier ** (attempt - 1)``, capped at
+    ``max_delay`` — deterministic, so tests can assert the schedule.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ValueError("backoff parameters must be non-negative (multiplier >= 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_call(
+    func: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Optional[Callable[[float], None]] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call *func* until it succeeds or the policy is exhausted.
+
+    Parameters
+    ----------
+    func:
+        Zero-argument operation to run.
+    policy:
+        Attempt count and backoff schedule.
+    retry_on:
+        Exception types considered transient; anything else propagates
+        immediately.
+    sleep:
+        Wait function (defaults to :func:`time.sleep`); tests inject a
+        recorder to keep the suite instant.
+    on_retry:
+        Optional observer called with (attempt_number, exception) before
+        each backoff wait — e.g. to audit the recovery.
+    """
+    wait = time.sleep if sleep is None else sleep
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return func()
+        except retry_on as exc:
+            if attempt == policy.attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            wait(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

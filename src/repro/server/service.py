@@ -22,11 +22,17 @@ from repro.authz.authorization import Authorization
 from repro.authz.conflict import ConflictPolicy, policy_by_name
 from repro.authz.restrictions import HistoryLimit
 from repro.authz.store import AuthorizationStore
-from repro.errors import PolicyError
 from repro.authz.xacl import parse_xacl
 from repro.core.processor import SecurityProcessor
 from repro.core.view import ViewResult, compute_view, compute_view_from_auths
-from repro.errors import RepositoryError
+from repro.errors import (
+    DeadlineExceeded,
+    LimitExceeded,
+    PolicyError,
+    RepositoryError,
+    ResourceError,
+)
+from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
 from repro.server.audit import AuditLog
 from repro.server.cache import CachedView, ViewCache
 from repro.server.repository import Repository
@@ -72,11 +78,15 @@ class SecureXMLServer:
         default_policy: Optional[PolicyConfig] = None,
         audit: Optional[AuditLog] = None,
         view_cache: Optional[ViewCache] = None,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.repository = Repository()
         self.store = AuthorizationStore()
         self.audit = audit if audit is not None else AuditLog()
         self.view_cache = view_cache
+        #: Default per-request resource guards; individual requests may
+        #: override via the ``limits=`` parameter of serve()/query().
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         self._default_policy = default_policy or PolicyConfig()
         self._document_policies: dict[str, PolicyConfig] = {}
 
@@ -106,9 +116,19 @@ class SecureXMLServer:
         dtd_uri: Optional[str] = None,
         policy: Optional[PolicyConfig] = None,
         validate_on_add: bool = False,
+        defer_parse: bool = False,
     ) -> None:
+        """Publish a document; text content parses under the server's
+        resource limits (or lazily, at first request, with
+        *defer_parse*), so hostile uploads trip a typed guard instead
+        of exhausting the process."""
         self.repository.add_document(
-            uri, content, dtd_uri=dtd_uri, validate_on_add=validate_on_add
+            uri,
+            content,
+            dtd_uri=dtd_uri,
+            validate_on_add=validate_on_add,
+            defer_parse=defer_parse,
+            limits=self.limits,
         )
         if policy is not None:
             self._document_policies[uri] = policy
@@ -133,7 +153,9 @@ class SecureXMLServer:
 
     # -- serving --------------------------------------------------------------
 
-    def serve(self, request: AccessRequest) -> AccessResponse:
+    def serve(
+        self, request: AccessRequest, limits: Optional[ResourceLimits] = None
+    ) -> AccessResponse:
         """Serve one document request as the requester's view.
 
         When a :class:`~repro.server.cache.ViewCache` is configured,
@@ -141,21 +163,25 @@ class SecureXMLServer:
         entry (and whose store/document versions are unchanged) are
         answered from the cache — the entitlement computation still
         happens per request; only tree labeling/pruning is amortized.
+
+        *limits* overrides the server's default
+        :class:`~repro.limits.ResourceLimits` for this request. A
+        tripped guard never escapes as a traceback: it is audited and
+        returned as a structured failure (``response.ok`` is false,
+        ``response.error`` carries the typed exception). A cache outage
+        degrades to recomputing the view; a repository read failure
+        raises a typed :class:`~repro.errors.RepositoryError`.
         """
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
         self._enforce_history_limit(request.requester, request.uri)
         started = time.perf_counter()
+        stored = self._stored(request.requester, request.uri, request.action)
         try:
-            stored = self.repository.stored(request.uri)
-        except RepositoryError:
-            self.audit.record(
-                request.requester,
-                request.uri,
-                request.action,
-                "error",
-                detail="unknown document",
-            )
-            raise
-        document = stored.document()
+            deadline.check("request")
+            document = stored.document(limits=limits, deadline=deadline)
+        except ResourceError as exc:
+            return self._guard_failure(request, exc, started)
         config = self.policy_for(request.uri)
         now = time.time()
         instance_auths = self.store.applicable(
@@ -169,6 +195,7 @@ class SecureXMLServer:
         )
 
         cache_key = None
+        cache_note = ""
         if self.view_cache is not None:
             cache_key = ViewCache.key(
                 request.uri,
@@ -177,7 +204,15 @@ class SecureXMLServer:
                 request.action,
                 (config.conflict_policy, config.open_policy, config.relative_paths),
             )
-            hit = self.view_cache.get(cache_key, self.store.version, stored.version)
+            try:
+                hit = self.view_cache.get(
+                    cache_key, self.store.version, stored.version
+                )
+            except Exception:
+                # Degrade, don't die: a broken cache means recomputing
+                # the view, not failing the request. Skip the put too.
+                hit, cache_key = None, None
+                cache_note = "cache unavailable; view recomputed"
             if hit is not None:
                 elapsed = time.perf_counter() - started
                 self.audit.record(
@@ -200,32 +235,40 @@ class SecureXMLServer:
                     elapsed_seconds=elapsed,
                 )
 
-        view = compute_view_from_auths(
-            document,
-            instance_auths,
-            schema_auths,
-            self.hierarchy,
-            policy=config.build_policy(),
-            open_policy=config.open_policy,
-            relative_mode=config.relative_paths,
-        )
+        try:
+            view = compute_view_from_auths(
+                document,
+                instance_auths,
+                schema_auths,
+                self.hierarchy,
+                policy=config.build_policy(),
+                open_policy=config.open_policy,
+                relative_mode=config.relative_paths,
+                limits=limits,
+                deadline=deadline,
+            )
+        except ResourceError as exc:
+            return self._guard_failure(request, exc, started)
         elapsed = time.perf_counter() - started
         xml_text = serialize(view.document, doctype=False)
         loosened = view.document.dtd
         loosened_text = serialize_dtd(loosened) if loosened else None
         if self.view_cache is not None and cache_key is not None:
-            self.view_cache.put(
-                cache_key,
-                CachedView(
-                    xml_text=xml_text,
-                    loosened_dtd_text=loosened_text,
-                    empty=view.empty,
-                    visible_nodes=view.visible_nodes,
-                    total_nodes=view.total_nodes,
-                    store_version=self.store.version,
-                    document_version=stored.version,
-                ),
-            )
+            try:
+                self.view_cache.put(
+                    cache_key,
+                    CachedView(
+                        xml_text=xml_text,
+                        loosened_dtd_text=loosened_text,
+                        empty=view.empty,
+                        visible_nodes=view.visible_nodes,
+                        total_nodes=view.total_nodes,
+                        store_version=self.store.version,
+                        document_version=stored.version,
+                    ),
+                )
+            except Exception:
+                cache_note = "cache store failed; view served uncached"
         response = AccessResponse(
             uri=request.uri,
             xml_text=xml_text,
@@ -243,18 +286,47 @@ class SecureXMLServer:
             visible_nodes=view.visible_nodes,
             total_nodes=view.total_nodes,
             elapsed_seconds=elapsed,
+            detail=cache_note,
         )
         return response
 
-    def query(self, request: QueryRequest) -> AccessResponse:
+    def query(
+        self, request: QueryRequest, limits: Optional[ResourceLimits] = None
+    ) -> AccessResponse:
         """Answer a path-expression query against the requester's view.
 
         The expression is evaluated on the *pruned* view, so results can
-        never mention nodes the requester is not entitled to see.
+        never mention nodes the requester is not entitled to see. Like
+        :meth:`serve`, the evaluation runs under resource guards (the
+        XPath step budget and the request deadline); a tripped guard
+        comes back as a structured, audited failure.
         """
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
         started = time.perf_counter()
-        view = self._view_for(request.requester, request.uri, request.action)
-        nodes = select(request.xpath, view.document) if view.document.root else []
+        try:
+            deadline.check("request")
+            view = self._view_for(
+                request.requester,
+                request.uri,
+                request.action,
+                limits=limits,
+                deadline=deadline,
+            )
+            nodes = (
+                select(
+                    request.xpath,
+                    view.document,
+                    max_steps=limits.max_xpath_steps,
+                    deadline=deadline,
+                )
+                if view.document.root
+                else []
+            )
+        except ResourceError as exc:
+            return self._guard_failure(
+                request, exc, started, action=f"query[{request.xpath}]"
+            )
         matches = [serialize(node) for node in nodes]
         elapsed = time.perf_counter() - started
         self.audit.record(
@@ -352,8 +424,16 @@ class SecureXMLServer:
 
     # -- internals ---------------------------------------------------------------
 
-    def _view_for(self, requester: Requester, uri: str, action: str) -> ViewResult:
-        document = self.repository.document(uri)
+    def _view_for(
+        self,
+        requester: Requester,
+        uri: str,
+        action: str,
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> ViewResult:
+        stored = self._stored(requester, uri, action)
+        document = stored.document(limits=limits, deadline=deadline)
         config = self.policy_for(uri)
         return compute_view(
             document,
@@ -365,6 +445,62 @@ class SecureXMLServer:
             relative_mode=config.relative_paths,
             action=action,
             at=time.time(),
+            limits=limits,
+            deadline=deadline,
+        )
+
+    def _stored(self, requester: Requester, uri: str, action: str):
+        """Fetch a stored document, converting any repository failure
+        into an audited, typed :class:`~repro.errors.RepositoryError`."""
+        try:
+            return self.repository.stored(uri)
+        except RepositoryError:
+            self.audit.record(
+                requester, uri, action, "error", detail="unknown document"
+            )
+            raise
+        except Exception as exc:
+            self.audit.record(
+                requester,
+                uri,
+                action,
+                "error",
+                detail=f"repository read failed: {exc}",
+            )
+            raise RepositoryError(
+                f"repository read failed for {uri!r}: {exc}"
+            ) from exc
+
+    def _guard_failure(
+        self,
+        request: AccessRequest | QueryRequest,
+        exc: ResourceError,
+        started: float,
+        action: Optional[str] = None,
+    ) -> AccessResponse:
+        """Turn a tripped resource guard into an audited structured
+        failure instead of a raised traceback."""
+        elapsed = time.perf_counter() - started
+        kind = (
+            "deadline-exceeded"
+            if isinstance(exc, DeadlineExceeded)
+            else "limit-exceeded"
+        )
+        self.audit.record(
+            request.requester,
+            request.uri,
+            action or request.action,
+            "error",
+            elapsed_seconds=elapsed,
+            detail=f"{kind}: {exc}",
+        )
+        return AccessResponse(
+            uri=request.uri,
+            xml_text="",
+            empty=True,
+            elapsed_seconds=elapsed,
+            error=exc,
+            error_kind=kind,
         )
 
     def _enforce_history_limit(self, requester: Requester, uri: str) -> None:

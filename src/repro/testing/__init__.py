@@ -1,0 +1,10 @@
+"""Deterministic test harnesses for the server's degradation paths.
+
+Public surface::
+
+    from repro.testing import FAULTS, FaultInjector, InjectedFault
+"""
+
+from repro.testing.faults import FAULTS, FaultInjector, InjectedFault, trip
+
+__all__ = ["FAULTS", "FaultInjector", "InjectedFault", "trip"]

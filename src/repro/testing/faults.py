@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the server's degradation paths.
+
+The repository, the view cache and the persistence layer each declare
+*named injection points* — ``faults.trip("cache.get")`` and friends —
+that are free no-ops in production: when nothing is armed, a trip is a
+single empty-dict test. Tests arm a point with fail-N-times or
+always-fail behaviour and exercise the real fallback code (cache outage
+-> recompute, transient disk error -> retry) instead of monkeypatching
+internals:
+
+    from repro.testing import FAULTS
+
+    with FAULTS.injected("cache.get"):
+        response = server.serve(request)   # served via recompute
+
+Injection is deterministic — no randomness, no timing — so degradation
+tests are exactly reproducible.
+
+Known injection points
+----------------------
+``repository.read``
+    :meth:`repro.server.repository.Repository.stored` (every document
+    lookup through the facade).
+``cache.get`` / ``cache.put``
+    :class:`repro.server.cache.ViewCache` lookups and stores.
+``persistence.read`` / ``persistence.write``
+    File I/O in :mod:`repro.server.persistence` (inside the retry
+    wrapper, so fail-N-times exercises recovery).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+__all__ = ["InjectedFault", "FaultInjector", "FAULTS", "trip"]
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by an armed injection point.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate infrastructure failures (disk, memory, corruption),
+    which arrive as arbitrary exceptions, not as typed library errors.
+    """
+
+    def __init__(self, point: str, occurrence: int):
+        self.point = point
+        self.occurrence = occurrence
+        super().__init__(f"injected fault at {point!r} (occurrence {occurrence})")
+
+
+@dataclass
+class _Fault:
+    """One armed injection point."""
+
+    point: str
+    remaining: Optional[int]  # None = fail forever
+    exception: Optional[Callable[[str, int], BaseException]]
+    fired: int = 0
+
+
+class FaultInjector:
+    """A registry of armed injection points.
+
+    One process-wide instance (:data:`FAULTS`) is consulted by the
+    production trip points; tests may also instantiate private
+    injectors for harness unit tests.
+    """
+
+    def __init__(self) -> None:
+        self._faults: dict[str, _Fault] = {}
+        self._fired: dict[str, int] = {}
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        times: Optional[int] = None,
+        exception: Optional[Callable[[str, int], BaseException]] = None,
+    ) -> None:
+        """Arm *point* to fail the next *times* trips (``None`` = always).
+
+        *exception* is a factory ``(point, occurrence) -> exception``;
+        by default an :class:`InjectedFault` is raised.
+        """
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for always)")
+        self._faults[point] = _Fault(point, times, exception)
+
+    def disarm(self, point: str) -> None:
+        """Stop failing *point* (no-op when not armed)."""
+        self._faults.pop(point, None)
+
+    def reset(self) -> None:
+        """Disarm every point and zero the fired counters."""
+        self._faults.clear()
+        self._fired.clear()
+
+    @contextmanager
+    def injected(
+        self,
+        point: str,
+        times: Optional[int] = None,
+        exception: Optional[Callable[[str, int], BaseException]] = None,
+    ) -> Iterator["FaultInjector"]:
+        """Context manager: arm on entry, disarm on exit."""
+        self.arm(point, times=times, exception=exception)
+        try:
+            yield self
+        finally:
+            self.disarm(point)
+
+    # -- observation --------------------------------------------------------
+
+    def armed(self, point: str) -> bool:
+        return point in self._faults
+
+    def fired(self, point: str) -> int:
+        """How many times *point* has raised since the last reset."""
+        return self._fired.get(point, 0)
+
+    # -- the production-side hook ---------------------------------------------
+
+    def trip(self, point: str) -> None:
+        """Raise if *point* is armed with failures remaining.
+
+        Called by production code at each injection point; free when
+        nothing is armed.
+        """
+        if not self._faults:
+            return
+        fault = self._faults.get(point)
+        if fault is None:
+            return
+        if fault.remaining is not None:
+            if fault.remaining <= 0:
+                return
+            fault.remaining -= 1
+        fault.fired += 1
+        self._fired[point] = self._fired.get(point, 0) + 1
+        if fault.exception is not None:
+            raise fault.exception(point, fault.fired)
+        raise InjectedFault(point, fault.fired)
+
+
+#: The process-wide injector consulted by the named injection points.
+FAULTS = FaultInjector()
+
+
+def trip(point: str) -> None:
+    """Module-level shorthand for ``FAULTS.trip(point)``."""
+    FAULTS.trip(point)

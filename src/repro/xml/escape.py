@@ -8,7 +8,7 @@ predefined entities (plus caller-supplied general entities).
 
 from __future__ import annotations
 
-from repro.errors import XMLSyntaxError
+from repro.errors import XMLLimitExceeded, XMLSyntaxError
 from repro.xml.chars import is_name, is_xml_char
 
 __all__ = [
@@ -63,29 +63,33 @@ def escape_attribute(value: str) -> str:
     return "".join(_ATTR_REPLACEMENTS.get(ch, ch) for ch in value)
 
 
-#: Hard cap on the total characters one reference-resolution call may
+#: Default cap on the total characters one reference-resolution call may
 #: produce, defeating exponential ("billion laughs") entity bombs.
 MAX_EXPANSION_CHARS = 10_000_000
-#: Hard cap on nested entity expansion depth, defeating reference cycles.
+#: Default cap on nested entity expansion depth, defeating reference cycles.
 MAX_EXPANSION_DEPTH = 64
 
 
 class _ExpansionBudget:
     """Shared accounting across one resolve_references call tree."""
 
-    __slots__ = ("chars",)
+    __slots__ = ("chars", "max_chars")
 
-    def __init__(self) -> None:
+    def __init__(self, max_chars: int) -> None:
         self.chars = 0
+        self.max_chars = max_chars
 
     def charge(self, amount: int, line: int, column: int) -> None:
         self.chars += amount
-        if self.chars > MAX_EXPANSION_CHARS:
-            raise XMLSyntaxError(
+        if self.chars > self.max_chars:
+            raise XMLLimitExceeded(
                 "entity expansion exceeds the "
-                f"{MAX_EXPANSION_CHARS}-character limit (entity bomb?)",
+                f"{self.max_chars}-character limit (entity bomb?)",
                 line,
                 column,
+                limit="max_entity_expansion_chars",
+                value=self.chars,
+                maximum=self.max_chars,
             )
 
 
@@ -94,6 +98,8 @@ def resolve_references(
     entities: dict[str, str] | None = None,
     line: int = 0,
     column: int = 0,
+    max_chars: int | None = None,
+    max_depth: int | None = None,
 ) -> str:
     """Expand character and entity references in *text*.
 
@@ -108,18 +114,27 @@ def resolve_references(
         cannot be overridden.
     line, column:
         Position of *text* in the source, used for error messages only.
+    max_chars, max_depth:
+        Expansion budget overrides; default to the module-level
+        :data:`MAX_EXPANSION_CHARS` / :data:`MAX_EXPANSION_DEPTH`.
 
     Raises
     ------
     XMLSyntaxError
-        On an unterminated reference, an unknown entity name, a
-        character reference denoting a character outside the XML range,
-        an entity-reference cycle, or an expansion exceeding
-        :data:`MAX_EXPANSION_CHARS` (the classic entity-bomb DoS).
+        On an unterminated reference, an unknown entity name, or a
+        character reference denoting a character outside the XML range.
+    XMLLimitExceeded
+        On an entity-reference cycle or an expansion exceeding the
+        character budget (the classic entity-bomb DoS). Also an
+        :class:`XMLSyntaxError`, so a single handler covers both.
     """
     if "&" not in text:
         return text
-    return _resolve(text, entities, line, column, _ExpansionBudget(), depth=0)
+    budget = _ExpansionBudget(
+        MAX_EXPANSION_CHARS if max_chars is None else max_chars
+    )
+    limit_depth = MAX_EXPANSION_DEPTH if max_depth is None else max_depth
+    return _resolve(text, entities, line, column, budget, 0, limit_depth)
 
 
 def _resolve(
@@ -129,10 +144,16 @@ def _resolve(
     column: int,
     budget: _ExpansionBudget,
     depth: int,
+    max_depth: int,
 ) -> str:
-    if depth > MAX_EXPANSION_DEPTH:
-        raise XMLSyntaxError(
-            "entity references nest too deeply (reference cycle?)", line, column
+    if depth > max_depth:
+        raise XMLLimitExceeded(
+            "entity references nest too deeply (reference cycle?)",
+            line,
+            column,
+            limit="max_entity_expansion_depth",
+            value=depth,
+            maximum=max_depth,
         )
     out: list[str] = []
     i = 0
@@ -148,7 +169,7 @@ def _resolve(
         if end == -1:
             raise XMLSyntaxError("unterminated entity reference", line, column)
         body = text[i + 1 : end]
-        expansion = _expand_one(body, entities, line, column, budget, depth)
+        expansion = _expand_one(body, entities, line, column, budget, depth, max_depth)
         out.append(expansion)
         i = end + 1
     return "".join(out)
@@ -161,6 +182,7 @@ def _expand_one(
     column: int,
     budget: _ExpansionBudget,
     depth: int,
+    max_depth: int,
 ) -> str:
     if body.startswith("#x") or body.startswith("#X"):
         try:
@@ -186,7 +208,9 @@ def _expand_one(
     if entities and body in entities:
         # General entities may themselves contain references; expand
         # recursively under the shared depth/size budget.
-        return _resolve(entities[body], entities, line, column, budget, depth + 1)
+        return _resolve(
+            entities[body], entities, line, column, budget, depth + 1, max_depth
+        )
     if not is_name(body):
         raise XMLSyntaxError(f"malformed entity reference '&{body};'", line, column)
     raise XMLSyntaxError(f"unknown entity '&{body};'", line, column)

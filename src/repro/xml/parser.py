@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import XMLSyntaxError
+from repro.errors import LimitExceeded, XMLLimitExceeded, XMLSyntaxError
+from repro.limits import Deadline, ResourceLimits
 from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char, is_xml_char
 from repro.xml.escape import resolve_references
 from repro.xml.nodes import (
@@ -42,6 +43,8 @@ def parse_document(
     uri: Optional[str] = None,
     keep_comments: bool = True,
     keep_ignorable_whitespace: bool = True,
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Document:
     """Parse *text* into a :class:`Document`.
 
@@ -57,16 +60,27 @@ def parse_document(
     keep_ignorable_whitespace:
         When false, text nodes that are pure whitespace are dropped;
         convenient for structural comparisons in tests.
+    limits:
+        Optional :class:`~repro.limits.ResourceLimits` enforced during
+        parsing (input size, tree depth, node count, entity expansion).
+        ``None`` keeps only the library's built-in entity-bomb caps.
+    deadline:
+        Optional shared wall-clock :class:`~repro.limits.Deadline`,
+        checked periodically while building the tree.
 
     Raises
     ------
     XMLSyntaxError
         If *text* is not a well-formed XML document.
+    XMLLimitExceeded, DeadlineExceeded
+        If a resource guard from *limits*/*deadline* trips.
     """
     parser = XMLParser(
         text,
         keep_comments=keep_comments,
         keep_ignorable_whitespace=keep_ignorable_whitespace,
+        limits=limits,
+        deadline=deadline,
     )
     document = parser.parse()
     document.uri = uri
@@ -89,12 +103,26 @@ def parse_fragment(text: str) -> Element:
 class XMLParser:
     """Single-use recursive-descent parser over an input string."""
 
+    #: How many node creations between two deadline checks.
+    _DEADLINE_STRIDE = 1024
+
     def __init__(
         self,
         text: str,
         keep_comments: bool = True,
         keep_ignorable_whitespace: bool = True,
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
+        if limits is not None and limits.max_input_bytes is not None:
+            if len(text) > limits.max_input_bytes:
+                raise XMLLimitExceeded(
+                    f"document is {len(text)} characters, over the "
+                    f"{limits.max_input_bytes}-character input limit",
+                    limit="max_input_bytes",
+                    value=len(text),
+                    maximum=limits.max_input_bytes,
+                )
         # Normalize line endings once, up front (XML 1.0 section 2.11).
         if "\r" in text:
             text = text.replace("\r\n", "\n").replace("\r", "\n")
@@ -104,6 +132,41 @@ class XMLParser:
         self._keep_comments = keep_comments
         self._keep_ws = keep_ignorable_whitespace
         self._entities: dict[str, str] = {}
+        self._limits = limits
+        self._deadline = deadline if deadline is not None and not deadline.unbounded else None
+        self._nodes = 0
+        self._max_chars = limits.max_entity_expansion_chars if limits else None
+        self._max_depth = limits.max_entity_expansion_depth if limits else None
+
+    def _count_node(self) -> None:
+        """Charge one created node against the node and deadline guards."""
+        self._nodes += 1
+        limits = self._limits
+        if (
+            limits is not None
+            and limits.max_node_count is not None
+            and self._nodes > limits.max_node_count
+        ):
+            self._fail_limit(
+                f"document exceeds the {limits.max_node_count}-node limit",
+                limit="max_node_count",
+                value=self._nodes,
+                maximum=limits.max_node_count,
+            )
+        if self._deadline is not None and self._nodes % self._DEADLINE_STRIDE == 0:
+            self._deadline.check("XML parse")
+
+    def _fail_limit(
+        self,
+        message: str,
+        limit: str,
+        value: int,
+        maximum: int,
+    ) -> None:
+        line, column = self._position()
+        raise XMLLimitExceeded(
+            message, line, column, limit=limit, value=value, maximum=maximum
+        )
 
     # -- public entry ------------------------------------------------------
 
@@ -273,7 +336,17 @@ class XMLParser:
         from repro.dtd.parser import parse_dtd
 
         try:
-            dtd = parse_dtd(subset)
+            dtd = parse_dtd(subset, limits=self._limits)
+        except LimitExceeded as exc:  # keep the typed guard trip
+            line, column = self._position(subset_start)
+            raise XMLLimitExceeded(
+                f"error in internal DTD subset: {exc}",
+                line,
+                column,
+                limit=exc.limit,
+                value=exc.value,
+                maximum=exc.maximum,
+            ) from exc
         except Exception as exc:  # re-anchor DTD errors in this document
             line, column = self._position(subset_start)
             raise XMLSyntaxError(
@@ -307,7 +380,15 @@ class XMLParser:
         if closed:
             return element
         stack: list[Element] = [element]
+        max_depth = self._limits.max_tree_depth if self._limits else None
         while stack:
+            if max_depth is not None and len(stack) > max_depth:
+                self._fail_limit(
+                    f"element nesting exceeds the {max_depth}-level depth limit",
+                    limit="max_tree_depth",
+                    value=len(stack),
+                    maximum=max_depth,
+                )
             current = stack[-1]
             closed_name = self._parse_content_until_tag(current)
             if closed_name is not None:
@@ -333,6 +414,7 @@ class XMLParser:
         start_pos = self._pos
         self._expect("<")
         name = self._read_name()
+        self._count_node()
         try:
             element = Element(name)
         except Exception:
@@ -415,7 +497,9 @@ class XMLParser:
         # plain space; whitespace produced by character references (e.g.
         # '&#10;') survives, so normalize before resolving.
         raw = raw.replace("\t", " ").replace("\n", " ")
-        return resolve_references(raw, self._entities, line, column)
+        return resolve_references(
+            raw, self._entities, line, column, self._max_chars, self._max_depth
+        )
 
     def _add_text(self, element: Element, raw: str, raw_pos: int) -> None:
         if "]]>" in raw:
@@ -426,7 +510,9 @@ class XMLParser:
                     f"invalid character U+{ord(ch):04X} in character data", raw_pos
                 )
         line, column = self._position(raw_pos)
-        data = resolve_references(raw, self._entities, line, column)
+        data = resolve_references(
+            raw, self._entities, line, column, self._max_chars, self._max_depth
+        )
         if not self._keep_ws and (not data or data.strip() == ""):
             return
         # Merge adjacent text nodes (references may split runs).
@@ -434,6 +520,7 @@ class XMLParser:
         if isinstance(last, Text):
             last.data += data
         else:
+            self._count_node()
             element.append(Text(data))
 
     # -- comments / CDATA / PIs ------------------------------------------------

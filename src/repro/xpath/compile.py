@@ -14,6 +14,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Literal as TypingLiteral, Optional
 
+from repro.limits import Deadline
 from repro.xml.nodes import Node
 from repro.xpath.ast import (
     Axis,
@@ -75,16 +76,25 @@ class CompiledXPath:
         self._cache_root: Optional[Node] = None
         self._cache_nodes: Optional[list[Node]] = None
 
-    def select(self, context: Node, registry: Optional[FunctionRegistry] = None) -> list[Node]:
+    def select(
+        self,
+        context: Node,
+        registry: Optional[FunctionRegistry] = None,
+        max_steps: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> list[Node]:
         """Evaluate against *context*, caching per context node.
 
         The cache holds the most recent (context, result) pair — exactly
         the pattern of the labeling algorithm, which evaluates every
-        authorization against the same document root.
+        authorization against the same document root. A cache hit is
+        free and therefore not charged against *max_steps*/*deadline*.
         """
         if context is self._cache_root and self._cache_nodes is not None:
             return self._cache_nodes
-        nodes = select(self.ast, context, registry)
+        nodes = select(
+            self.ast, context, registry, max_steps=max_steps, deadline=deadline
+        )
         self._cache_root = context
         self._cache_nodes = nodes
         return nodes

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-from repro.errors import XPathEvaluationError
+from repro.errors import XPathEvaluationError, XPathLimitExceeded
+from repro.limits import Deadline
 from repro.xml.nodes import (
     Attribute,
     Comment,
@@ -66,12 +67,36 @@ _REVERSE_AXES = frozenset(
 
 @dataclass
 class _Evaluation:
-    """Per-call shared state: function registry, variables, order cache."""
+    """Per-call shared state: function registry, variables, order cache,
+    and the optional step budget / deadline guards."""
 
     registry: FunctionRegistry
     variables: dict[str, XPathValue] = field(default_factory=dict)
+    max_steps: Optional[int] = None
+    deadline: Optional[Deadline] = None
+    steps: int = 0
     _order: Optional[dict[Node, int]] = None
     _root: Optional[Node] = None
+
+    def charge(self, amount: int = 1) -> None:
+        """Charge *amount* evaluation steps against the guards.
+
+        A "step" is one unit of traversal work: a context node pushed
+        through a location step, a candidate node produced by an axis,
+        or one predicate evaluation. Guards disabled -> near-free.
+        """
+        if self.max_steps is None and self.deadline is None:
+            return
+        self.steps += amount
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise XPathLimitExceeded(
+                f"expression exceeded its {self.max_steps}-step "
+                "evaluation budget",
+                value=self.steps,
+                maximum=self.max_steps,
+            )
+        if self.deadline is not None:
+            self.deadline.check("XPath evaluation")
 
     def order_index(self, any_node: Node) -> dict[Node, int]:
         if self._order is None:
@@ -110,10 +135,18 @@ def evaluate(
     node: Node,
     registry: Optional[FunctionRegistry] = None,
     variables: Optional[dict[str, XPathValue]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> XPathValue:
-    """Evaluate *expression* with *node* as the context node."""
+    """Evaluate *expression* with *node* as the context node.
+
+    *max_steps* caps the traversal work (raising
+    :class:`~repro.errors.XPathLimitExceeded` when exhausted) and
+    *deadline* bounds wall-clock time — both optional and off by
+    default.
+    """
     parsed = parse_xpath(expression) if isinstance(expression, str) else expression
-    return evaluate_parsed(parsed, node, registry, variables)
+    return evaluate_parsed(parsed, node, registry, variables, max_steps, deadline)
 
 
 def evaluate_parsed(
@@ -121,8 +154,17 @@ def evaluate_parsed(
     node: Node,
     registry: Optional[FunctionRegistry] = None,
     variables: Optional[dict[str, XPathValue]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> XPathValue:
-    shared = _Evaluation(registry or DEFAULT_REGISTRY, dict(variables or {}))
+    if deadline is not None and deadline.unbounded:
+        deadline = None
+    shared = _Evaluation(
+        DEFAULT_REGISTRY if registry is None else registry,
+        dict(variables or {}),
+        max_steps=max_steps,
+        deadline=deadline,
+    )
     context = Context(node, 1, 1, shared)
     return _eval(parsed, context)
 
@@ -132,9 +174,11 @@ def select(
     node: Node,
     registry: Optional[FunctionRegistry] = None,
     variables: Optional[dict[str, XPathValue]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> list[Node]:
     """Evaluate *expression* and require a node-set result."""
-    value = evaluate(expression, node, registry, variables)
+    value = evaluate(expression, node, registry, variables, max_steps, deadline)
     if not isinstance(value, list):
         raise XPathEvaluationError(
             f"expression does not produce a node-set (got {type(value).__name__})"
@@ -255,12 +299,14 @@ def _eval_location_path(path: LocationPath, context: Context) -> list[Node]:
 
 def _walk_steps(start: list[Node], steps: list[Step], context: Context) -> list[Node]:
     current = start
+    shared = context.shared
     for step in steps:
         if not current:
             return []
         collected: dict[Node, None] = {}
         multiple_contexts = len(current) > 1
         for context_node in current:
+            shared.charge()
             for node in _step_results(step, context_node, context):
                 collected.setdefault(node, None)
         result = list(collected)
@@ -276,6 +322,7 @@ def _step_results(step: Step, context_node: Node, context: Context) -> list[Node
         for node in _axis_nodes(step.axis, context_node)
         if _node_test(step.test, step.axis, node)
     ]
+    context.shared.charge(len(candidates))
     reverse = step.axis in _REVERSE_AXES
     for predicate in step.predicates:
         candidates = _apply_predicate(candidates, predicate, context, reverse)
@@ -293,7 +340,9 @@ def _apply_predicate(
     """
     size = len(nodes)
     kept: list[Node] = []
+    shared = context.shared
     for index, node in enumerate(nodes, start=1):
+        shared.charge()
         sub_context = context.with_node(node, index, size)
         value = _eval(predicate, sub_context)
         if isinstance(value, float):

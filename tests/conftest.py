@@ -4,8 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.testing.faults import FAULTS
 from repro.workloads.scenarios import lab_scenario
 from repro.xml.parser import parse_document
+
+
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    """Never let an armed fault-injection point leak across tests."""
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,303 @@
+"""Degradation and hostile-input tests for the hardened request pipeline.
+
+The acceptance behaviours of the robustness layer, end to end through
+the facade:
+
+- hostile documents (entity bombs, nesting attacks) come back as
+  structured, audited, *typed* failures — never a bare traceback;
+- a request past its wall-clock deadline fails the same way;
+- a fault-injected cache outage still serves correct views (recompute
+  fallback, recorded in the audit trail);
+- a fault-injected repository read surfaces as a typed
+  :class:`~repro.errors.RepositoryError`;
+- transient persistence faults are retried to success; exhausted
+  retries propagate; failed saves never corrupt previous state.
+"""
+
+import os
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.errors import DeadlineExceeded, LimitExceeded, RepositoryError
+from repro.limits import ResourceLimits
+from repro.server.cache import ViewCache
+from repro.server.persistence import load_server, save_server
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.testing.faults import FAULTS, InjectedFault
+
+URI = "http://x/notes.xml"
+
+NOTES = (
+    "<notes>"
+    "<note owner='alice'>a-note</note>"
+    "<note owner='bob'>b-note</note>"
+    "</notes>"
+)
+
+BILLION_LAUGHS = (
+    "<?xml version='1.0'?>"
+    "<!DOCTYPE lolz ["
+    "<!ENTITY lol 'lol'>"
+    "<!ENTITY lol1 '&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;&lol;'>"
+    "<!ENTITY lol2 '&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;&lol1;'>"
+    "<!ENTITY lol3 '&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;&lol2;'>"
+    "<!ENTITY lol4 '&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;&lol3;'>"
+    "<!ENTITY lol5 '&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;&lol4;'>"
+    "<!ENTITY lol6 '&lol5;&lol5;&lol5;&lol5;&lol5;&lol5;&lol5;&lol5;&lol5;&lol5;'>"
+    "<!ENTITY lol7 '&lol6;&lol6;&lol6;&lol6;&lol6;&lol6;&lol6;&lol6;&lol6;&lol6;'>"
+    "<!ENTITY lol8 '&lol7;&lol7;&lol7;&lol7;&lol7;&lol7;&lol7;&lol7;&lol7;&lol7;'>"
+    "<!ENTITY lol9 '&lol8;&lol8;&lol8;&lol8;&lol8;&lol8;&lol8;&lol8;&lol8;&lol8;'>"
+    "]><lolz>&lol9;</lolz>"
+)
+
+
+def alice():
+    return Requester("alice", "10.0.0.1", "pc.lab.com")
+
+
+def make_server(view_cache=None, limits=None):
+    server = SecureXMLServer(view_cache=view_cache, limits=limits)
+    server.add_user("alice")
+    server.publish_document(URI, NOTES)
+    server.grant(Authorization.build("Public", URI, "+", "R"))
+    return server
+
+
+class TestHostileDocuments:
+    def test_billion_laughs_served_as_structured_failure(self):
+        server = make_server()
+        server.publish_document("http://x/bomb.xml", BILLION_LAUGHS, defer_parse=True)
+        server.grant(
+            Authorization.build("Public", "http://x/bomb.xml", "+", "R")
+        )
+        response = server.serve(AccessRequest(alice(), "http://x/bomb.xml"))
+        assert not response.ok
+        assert response.error_kind == "limit-exceeded"
+        assert isinstance(response.error, LimitExceeded)
+        assert response.error.limit == "max_entity_expansion_chars"
+        assert response.empty and response.xml_text == ""
+        last = list(server.audit)[-1]
+        assert last.outcome == "error"
+        assert "limit-exceeded" in last.detail
+
+    def test_nesting_attack_served_as_structured_failure(self):
+        depth = 50_000
+        server = make_server()
+        server.publish_document(
+            "http://x/deep.xml", "<a>" * depth + "</a>" * depth, defer_parse=True
+        )
+        server.grant(
+            Authorization.build("Public", "http://x/deep.xml", "+", "R")
+        )
+        response = server.serve(AccessRequest(alice(), "http://x/deep.xml"))
+        assert not response.ok
+        assert isinstance(response.error, LimitExceeded)
+        assert response.error.limit == "max_tree_depth"
+
+    def test_per_request_limits_override_server_defaults(self):
+        server = make_server()
+        response = server.serve(
+            AccessRequest(alice(), URI), limits=ResourceLimits(max_input_bytes=4)
+        )
+        # The tree is already parsed, so the input cap cannot trip; a
+        # healthy request under hostile-tight limits still succeeds.
+        assert response.ok
+        tight = ResourceLimits(max_input_bytes=4)
+        server.publish_document("http://x/late.xml", NOTES, defer_parse=True)
+        server.grant(
+            Authorization.build("Public", "http://x/late.xml", "+", "R")
+        )
+        response = server.serve(AccessRequest(alice(), "http://x/late.xml"), limits=tight)
+        assert not response.ok
+        assert response.error.limit == "max_input_bytes"
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_a_structured_failure(self):
+        server = make_server()
+        response = server.serve(
+            AccessRequest(alice(), URI),
+            limits=ResourceLimits(deadline_seconds=0.0),
+        )
+        assert not response.ok
+        assert response.error_kind == "deadline-exceeded"
+        assert isinstance(response.error, DeadlineExceeded)
+        last = list(server.audit)[-1]
+        assert last.outcome == "error"
+        assert "deadline-exceeded" in last.detail
+
+    def test_generous_deadline_serves_normally(self):
+        server = make_server()
+        response = server.serve(
+            AccessRequest(alice(), URI),
+            limits=ResourceLimits(deadline_seconds=3600.0),
+        )
+        assert response.ok
+        assert "a-note" in response.xml_text
+
+    def test_server_default_deadline_applies(self):
+        server = make_server(limits=ResourceLimits(deadline_seconds=0.0))
+        response = server.serve(AccessRequest(alice(), URI))
+        assert not response.ok
+        assert response.error_kind == "deadline-exceeded"
+
+
+class TestQueryGuards:
+    def test_query_step_budget_is_a_structured_failure(self):
+        server = make_server()
+        response = server.query(
+            QueryRequest(alice(), URI, "//note"),
+            limits=ResourceLimits(max_xpath_steps=1),
+        )
+        assert not response.ok
+        assert response.error_kind == "limit-exceeded"
+        assert response.error.limit == "max_xpath_steps"
+
+    def test_query_expired_deadline(self):
+        server = make_server()
+        response = server.query(
+            QueryRequest(alice(), URI, "//note"),
+            limits=ResourceLimits(deadline_seconds=0.0),
+        )
+        assert not response.ok
+        assert response.error_kind == "deadline-exceeded"
+
+    def test_query_within_budget_succeeds(self):
+        server = make_server()
+        response = server.query(
+            QueryRequest(alice(), URI, "//note"),
+            limits=ResourceLimits(max_xpath_steps=100_000),
+        )
+        assert response.ok
+        assert len(response.matches) == 2
+
+
+class TestCacheDegradation:
+    def test_cache_get_outage_recomputes_the_view(self):
+        server = make_server(view_cache=ViewCache())
+        healthy = server.serve(AccessRequest(alice(), URI)).xml_text
+        with FAULTS.injected("cache.get"):
+            response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        assert response.xml_text == healthy  # same view, recomputed
+        last = list(server.audit)[-1]
+        assert last.outcome == "released"
+        assert "recomputed" in last.detail
+        assert FAULTS.fired("cache.get") == 1
+
+    def test_cache_put_outage_still_serves(self):
+        server = make_server(view_cache=ViewCache())
+        with FAULTS.injected("cache.put"):
+            response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        assert "a-note" in response.xml_text
+        assert "cache store failed" in list(server.audit)[-1].detail
+
+    def test_cache_recovers_after_outage(self):
+        cache = ViewCache()
+        server = make_server(view_cache=cache)
+        with FAULTS.injected("cache.get"):
+            server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(alice(), URI))  # healthy: fills the cache
+        response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        assert cache.hits >= 1
+        assert "cache hit" in list(server.audit)[-1].detail
+
+
+class TestRepositoryFaults:
+    def test_repository_outage_is_a_typed_error(self):
+        server = make_server()
+        with FAULTS.injected("repository.read"):
+            with pytest.raises(RepositoryError, match="repository read failed"):
+                server.serve(AccessRequest(alice(), URI))
+        last = list(server.audit)[-1]
+        assert last.outcome == "error"
+        assert "repository read failed" in last.detail
+
+    def test_transient_repository_fault_recovers(self):
+        server = make_server()
+        with FAULTS.injected("repository.read", times=1):
+            with pytest.raises(RepositoryError):
+                server.serve(AccessRequest(alice(), URI))
+        response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+
+
+class TestPersistenceFaults:
+    def test_transient_write_faults_are_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.server.persistence._sleep", lambda _: None)
+        server = make_server()
+        state = str(tmp_path / "state")
+        FAULTS.arm("persistence.write", times=2)
+        save_server(server, state)  # default policy: 3 attempts
+        assert FAULTS.fired("persistence.write") == 2
+        assert os.path.exists(os.path.join(state, "repository.xml"))
+
+    def test_exhausted_write_retries_propagate(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.server.persistence._sleep", lambda _: None)
+        server = make_server()
+        with FAULTS.injected("persistence.write"):
+            with pytest.raises(InjectedFault):
+                save_server(server, str(tmp_path / "state"))
+
+    def test_failed_save_leaves_previous_state_intact(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.server.persistence._sleep", lambda _: None)
+        server = make_server()
+        state = str(tmp_path / "state")
+        save_server(server, state)
+        with open(os.path.join(state, "repository.xml"), encoding="utf-8") as handle:
+            before = handle.read()
+        with FAULTS.injected("persistence.write"):
+            with pytest.raises(InjectedFault):
+                save_server(server, state)
+        with open(os.path.join(state, "repository.xml"), encoding="utf-8") as handle:
+            assert handle.read() == before
+        leftovers = [
+            name
+            for _, _, names in os.walk(state)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_transient_read_faults_are_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.server.persistence._sleep", lambda _: None)
+        server = make_server()
+        state = str(tmp_path / "state")
+        save_server(server, state)
+        FAULTS.arm("persistence.read", times=2)
+        reloaded = load_server(state)
+        assert FAULTS.fired("persistence.read") == 2
+        response = reloaded.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        assert "a-note" in response.xml_text
+
+    def test_deferred_hostile_document_survives_save_load(self, tmp_path):
+        # Saving must not force an unbounded parse of a deferred bomb;
+        # the raw text round-trips and still fails safely at serve time.
+        server = make_server()
+        server.publish_document("http://x/bomb.xml", BILLION_LAUGHS, defer_parse=True)
+        server.grant(Authorization.build("Public", "http://x/bomb.xml", "+", "R"))
+        state = str(tmp_path / "state")
+        save_server(server, state)
+        reloaded = load_server(state)
+        response = reloaded.serve(AccessRequest(alice(), "http://x/bomb.xml"))
+        assert not response.ok
+        assert response.error.limit == "max_entity_expansion_chars"
+        assert reloaded.serve(AccessRequest(alice(), URI)).ok
+
+    def test_round_trip_views_survive_transient_faults(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.server.persistence._sleep", lambda _: None)
+        server = make_server()
+        before = server.serve(AccessRequest(alice(), URI)).xml_text
+        state = str(tmp_path / "state")
+        FAULTS.arm("persistence.write", times=1)
+        save_server(server, state)
+        FAULTS.reset()
+        FAULTS.arm("persistence.read", times=1)
+        after = load_server(state).serve(AccessRequest(alice(), URI)).xml_text
+        assert before == after

@@ -1,0 +1,96 @@
+"""Tests for the resource-limit and deadline primitives."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, LimitExceeded, ResourceError
+from repro.limits import DEFAULT_LIMITS, UNLIMITED, Deadline, ResourceLimits
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.after(None)
+        assert deadline.unbounded
+        assert not deadline.expired
+        assert deadline.remaining() is None
+        deadline.check()  # no-op
+
+    def test_shared_unbounded_singleton(self):
+        assert Deadline.UNBOUNDED.unbounded
+        Deadline.UNBOUNDED.check()
+
+    def test_expired_deadline_raises(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="deadline"):
+            deadline.check()
+
+    def test_check_names_the_stage(self):
+        deadline = Deadline.after(0.0)
+        with pytest.raises(DeadlineExceeded, match="tree labeling"):
+            deadline.check("tree labeling")
+
+    def test_generous_deadline_passes(self):
+        deadline = Deadline.after(3600.0)
+        assert not deadline.expired
+        deadline.check()
+        assert 0.0 <= deadline.elapsed()
+        assert 0.0 < deadline.remaining() <= 3600.0
+
+    def test_carries_elapsed_and_budget(self):
+        deadline = Deadline.after(0.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check()
+        assert excinfo.value.budget == 0.0
+        assert excinfo.value.elapsed >= 0.0
+
+    def test_deadline_exceeded_is_resource_error(self):
+        assert issubclass(DeadlineExceeded, ResourceError)
+        assert issubclass(LimitExceeded, ResourceError)
+
+
+class TestResourceLimits:
+    def test_defaults_are_bounded(self):
+        assert DEFAULT_LIMITS.max_input_bytes is not None
+        assert DEFAULT_LIMITS.max_tree_depth is not None
+        assert DEFAULT_LIMITS.max_entity_expansion_chars is not None
+        assert DEFAULT_LIMITS.deadline_seconds is None  # opt-in
+
+    def test_unlimited_disables_every_cap(self):
+        assert all(
+            getattr(UNLIMITED, field) is None
+            for field in (
+                "max_input_bytes",
+                "max_tree_depth",
+                "max_node_count",
+                "max_entity_expansion_chars",
+                "max_entity_expansion_depth",
+                "max_entity_expansions",
+                "max_xpath_steps",
+                "deadline_seconds",
+            )
+        )
+
+    def test_deadline_from_limits(self):
+        assert DEFAULT_LIMITS.deadline() is Deadline.UNBOUNDED
+        armed = DEFAULT_LIMITS.with_deadline(0.0).deadline()
+        assert not armed.unbounded
+        assert armed.expired
+
+    def test_with_deadline_is_a_copy(self):
+        bounded = DEFAULT_LIMITS.with_deadline(1.5)
+        assert bounded.deadline_seconds == 1.5
+        assert DEFAULT_LIMITS.deadline_seconds is None
+        assert bounded.max_tree_depth == DEFAULT_LIMITS.max_tree_depth
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_LIMITS.max_tree_depth = 1  # type: ignore[misc]
+
+    def test_importable_from_package_root(self):
+        import repro
+
+        assert repro.ResourceLimits is ResourceLimits
+        assert repro.Deadline is Deadline
+        assert repro.DEFAULT_LIMITS is DEFAULT_LIMITS
+        assert repro.LimitExceeded is LimitExceeded
+        assert repro.DeadlineExceeded is DeadlineExceeded

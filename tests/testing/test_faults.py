@@ -1,0 +1,162 @@
+"""Tests for the fault-injection harness and the retry wrapper."""
+
+import pytest
+
+from repro.server.retry import RetryPolicy, retry_call
+from repro.testing.faults import FAULTS, FaultInjector, InjectedFault
+
+
+class TestFaultInjector:
+    def test_unarmed_trip_is_a_no_op(self):
+        injector = FaultInjector()
+        injector.trip("anything")  # nothing armed -> free
+
+    def test_always_fail(self):
+        injector = FaultInjector()
+        injector.arm("cache.get")
+        for _ in range(3):
+            with pytest.raises(InjectedFault, match="cache.get"):
+                injector.trip("cache.get")
+        assert injector.fired("cache.get") == 3
+
+    def test_fail_n_times_then_recover(self):
+        injector = FaultInjector()
+        injector.arm("persistence.write", times=2)
+        with pytest.raises(InjectedFault):
+            injector.trip("persistence.write")
+        with pytest.raises(InjectedFault):
+            injector.trip("persistence.write")
+        injector.trip("persistence.write")  # budget spent -> passes
+        assert injector.fired("persistence.write") == 2
+
+    def test_custom_exception_factory(self):
+        injector = FaultInjector()
+        injector.arm("persistence.read", exception=lambda p, n: OSError(f"{p}#{n}"))
+        with pytest.raises(OSError, match="persistence.read#1"):
+            injector.trip("persistence.read")
+
+    def test_other_points_unaffected(self):
+        injector = FaultInjector()
+        injector.arm("cache.get")
+        injector.trip("cache.put")  # different point -> no failure
+
+    def test_injected_context_manager_disarms(self):
+        injector = FaultInjector()
+        with injector.injected("repository.read"):
+            assert injector.armed("repository.read")
+            with pytest.raises(InjectedFault):
+                injector.trip("repository.read")
+        assert not injector.armed("repository.read")
+        injector.trip("repository.read")
+
+    def test_reset_clears_counters(self):
+        injector = FaultInjector()
+        injector.arm("cache.get", times=1)
+        with pytest.raises(InjectedFault):
+            injector.trip("cache.get")
+        injector.reset()
+        assert injector.fired("cache.get") == 0
+        assert not injector.armed("cache.get")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("x", times=0)
+
+    def test_global_injector_exists(self):
+        assert isinstance(FAULTS, FaultInjector)
+
+    def test_occurrence_numbering(self):
+        injector = FaultInjector()
+        injector.arm("p")
+        with pytest.raises(InjectedFault) as first:
+            injector.trip("p")
+        with pytest.raises(InjectedFault) as second:
+            injector.trip("p")
+        assert first.value.occurrence == 1
+        assert second.value.occurrence == 2
+
+
+class TestRetryPolicy:
+    def test_deterministic_backoff_schedule(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.01, multiplier=2.0, max_delay=1.0)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.01, 0.02, 0.04]
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = RetryPolicy(attempts=10, base_delay=0.5, multiplier=10.0, max_delay=2.0)
+        assert policy.delay(5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        assert retry_call(lambda: 42) == 42
+
+    def test_recovers_after_transient_failures(self):
+        calls = []
+        waits = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("busy")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, base_delay=0.01, multiplier=2.0)
+        assert retry_call(flaky, policy=policy, sleep=waits.append) == "ok"
+        assert len(calls) == 3
+        assert waits == [0.01, 0.02]
+
+    def test_exhausted_policy_reraises_original(self):
+        def always():
+            raise OSError("disk on fire")
+
+        with pytest.raises(OSError, match="disk on fire"):
+            retry_call(always, policy=RetryPolicy(attempts=2), sleep=lambda _: None)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, policy=RetryPolicy(attempts=5), sleep=lambda _: None)
+        assert len(calls) == 1  # no retry for non-transient errors
+
+    def test_on_retry_observer(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise OSError("once")
+            return "ok"
+
+        retry_call(
+            flaky,
+            policy=RetryPolicy(attempts=2),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(1, "once")]
+
+    def test_retries_injected_faults_when_listed(self):
+        injector = FaultInjector()
+        injector.arm("persistence.write", times=1)
+
+        def attempt():
+            injector.trip("persistence.write")
+            return "written"
+
+        result = retry_call(
+            attempt,
+            policy=RetryPolicy(attempts=2),
+            retry_on=(OSError, InjectedFault),
+            sleep=lambda _: None,
+        )
+        assert result == "written"
