@@ -7,14 +7,21 @@ the tables EXPERIMENTS.md records. For statistically rigorous numbers
 use the pytest-benchmark suite (``pytest benchmarks/ --benchmark-only``);
 this script favours one-command reproducibility of the *shapes*.
 
+The final section (O1) drives the tracing hooks of ``repro.obs``
+through the server facade, prints per-stage p50/p95 latencies for the
+serve/query workloads, and writes the machine-readable baseline to
+``BENCH_PR2.json`` at the repository root (see docs/OBSERVABILITY.md).
+
 Run:  python benchmarks/run_report.py [--fast]
 """
 
 from __future__ import annotations
 
+import json
 import statistics
 import sys
 import time
+from pathlib import Path
 
 sys.path.insert(0, "benchmarks")
 
@@ -327,6 +334,191 @@ def a4_selectivity() -> None:
     )
 
 
+OBS_ITERATIONS = 8 if FAST else 25
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _serve_server(document, grants, view_cache=None):
+    from repro.server.service import SecureXMLServer
+
+    server = SecureXMLServer(view_cache=view_cache)
+    server.publish_document(URI, serialize(document))
+    for grant in grants:
+        server.grant(grant)
+    return server
+
+
+def _obs_workloads():
+    """name -> zero-arg request function returning a traced response.
+
+    Every workload funnels through ``SecureXMLServer`` so the measured
+    breakdown is exactly what ``response.timings`` reports in
+    production, not a reconstruction.
+    """
+    from repro.server.cache import ViewCache
+    from repro.server.request import AccessRequest, QueryRequest
+    from repro.subjects.hierarchy import Requester
+
+    requester = Requester("anonymous", "9.9.9.9", "h.x")
+    grants = [
+        public_auth("//archive", "+", "R"),
+        public_auth('//section[./@kind="private"]', "-", "R"),
+    ]
+    deep_grants = [
+        public_auth("//item", "+", "R"),
+        public_auth("//level[./@n='3']", "+", "R"),
+    ]
+    workloads = {}
+
+    for name, nodes in (("serve-synthetic-2000", 2000),
+                        ("serve-synthetic-8000", 8000)):
+        server = _serve_server(document_of_size(nodes), grants)
+        workloads[name] = (
+            lambda s=server: s.serve(AccessRequest(requester, URI))
+        )
+
+    server_deep = _serve_server(deep_doc(1500), deep_grants)
+    workloads["serve-deep-1500"] = (
+        lambda: server_deep.serve(AccessRequest(requester, URI))
+    )
+    server_wide = _serve_server(wide_doc(1500), deep_grants)
+    workloads["serve-wide-1500"] = (
+        lambda: server_wide.serve(AccessRequest(requester, URI))
+    )
+
+    server_cached = _serve_server(
+        document_of_size(4000), grants, view_cache=ViewCache()
+    )
+    server_cached.serve(AccessRequest(requester, URI))  # warm the cache
+    workloads["serve-cached-4000"] = (
+        lambda: server_cached.serve(AccessRequest(requester, URI))
+    )
+
+    server_query = _serve_server(document_of_size(2000), grants)
+    workloads["query-synthetic-2000"] = (
+        lambda: server_query.query(QueryRequest(requester, URI, "//record"))
+    )
+    return workloads
+
+
+def _disabled_overhead() -> dict:
+    """Cost of the tracing hooks when no tracer is active.
+
+    Methodology: the hooks are unconditionally compiled in, so the
+    hook-free baseline cannot be timed directly. Instead (a) compare
+    the bench_pipeline.py full cycle with tracing disabled vs enabled,
+    and (b) microbenchmark the disabled ``span()`` call and multiply by
+    the span count of one cycle — an upper bound on what the disabled
+    hooks can add.
+    """
+    from repro.obs.trace import Tracer, span, tracing
+
+    document = document_of_size(4000)
+    instance, schema = auth_set(24)
+    text = serialize(document)
+    processor = SecurityProcessor(hierarchy=hierarchy())
+    processor.process_text(text, instance, schema, URI)  # warm caches
+
+    disabled_ms = timed(processor.process_text, text, instance, schema, URI)
+    enabled_samples = []
+    for _ in range(ROUNDS):
+        tracer = Tracer()
+        start = time.perf_counter()
+        with tracing(tracer):
+            processor.process_text(text, instance, schema, URI)
+        enabled_samples.append((time.perf_counter() - start) * 1000)
+    enabled_ms = statistics.median(enabled_samples)
+
+    counter = Tracer()
+    with tracing(counter):
+        processor.process_text(text, instance, schema, URI)
+    span_calls = len(counter.spans)
+
+    loops = 100_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        with span("noop"):
+            pass
+    noop_ns = (time.perf_counter() - start) / loops * 1e9
+
+    overhead_pct = (noop_ns * span_calls) / (disabled_ms * 1e6) * 100
+    return {
+        "workload": "bench_pipeline.py full cycle (4000 nodes, 24 auths)",
+        "disabled_ms": round(disabled_ms, 3),
+        "enabled_ms": round(enabled_ms, 3),
+        "span_calls_per_cycle": span_calls,
+        "noop_span_ns": round(noop_ns, 1),
+        "disabled_overhead_pct": round(overhead_pct, 4),
+    }
+
+
+def o1_obs_baseline() -> None:
+    from repro.obs.trace import Tracer, tracing
+
+    workload_stats: dict[str, dict] = {}
+    rows = []
+    for name, request in _obs_workloads().items():
+        samples: dict[str, list[float]] = {}
+        for _ in range(OBS_ITERATIONS):
+            with tracing(Tracer()):
+                response = request()
+            for stage, seconds in response.timings.items():
+                samples.setdefault(stage, []).append(seconds * 1000)
+        stages = {
+            stage: {
+                "p50_ms": round(_percentile(values, 0.50), 3),
+                "p95_ms": round(_percentile(values, 0.95), 3),
+                "samples": len(values),
+            }
+            for stage, values in sorted(samples.items())
+        }
+        workload_stats[name] = {
+            "iterations": OBS_ITERATIONS,
+            "stages": stages,
+        }
+        for stage, latency in stages.items():
+            rows.append([
+                name,
+                stage,
+                f"{latency['p50_ms']:.3f}",
+                f"{latency['p95_ms']:.3f}",
+            ])
+    table(
+        "O1 — per-stage request latency via repro.obs tracing",
+        ["workload", "stage", "p50 (ms)", "p95 (ms)"],
+        rows,
+    )
+
+    overhead = _disabled_overhead()
+    table(
+        "O1 — tracing overhead when disabled (bench_pipeline.py workload)",
+        ["measure", "value"],
+        [[key, str(value)] for key, value in overhead.items()],
+    )
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "source": "benchmarks/run_report.py (section O1)",
+                "fast": FAST,
+                "workloads": workload_stats,
+                "disabled_overhead": overhead,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print()
+    print(f"wrote {BENCH_JSON}")
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     print()
@@ -342,6 +534,7 @@ def main() -> None:
     a2_weak()
     a3_cache()
     a4_selectivity()
+    o1_obs_baseline()
 
 
 if __name__ == "__main__":

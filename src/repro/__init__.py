@@ -66,6 +66,7 @@ from repro.errors import (
     XPathSyntaxError,
 )
 from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
+from repro.obs import METRICS, MetricsRegistry, Tracer, tracing
 from repro.server import (
     AccessLimitExceeded,
     AccessRequest,
@@ -128,6 +129,8 @@ __all__ = [
     "InsertChild",
     "Label",
     "LimitExceeded",
+    "METRICS",
+    "MetricsRegistry",
     "ParseError",
     "PatternError",
     "PolicyConfig",
@@ -149,6 +152,7 @@ __all__ = [
     "SubjectHierarchy",
     "SubjectSpec",
     "SymbolicPattern",
+    "Tracer",
     "UpdateDenied",
     "UpdateRequest",
     "ValidationError",
@@ -173,5 +177,6 @@ __all__ = [
     "select",
     "serialize",
     "serialize_xacl",
+    "tracing",
     "validate",
 ]

@@ -29,6 +29,7 @@ from repro.authz.authorization import AuthType, Authorization
 from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
 from repro.core.labels import Label, first_def
 from repro.limits import Deadline, ResourceLimits
+from repro.obs.trace import span
 from repro.subjects.hierarchy import SubjectHierarchy
 from repro.xml.nodes import Attribute, Document, Element, Node
 from repro.xpath.compile import RelativeMode
@@ -141,34 +142,42 @@ class TreeLabeler:
 
     def run(self) -> LabelingResult:
         """Label the whole tree; returns labels for every node."""
+        with span("label"):
+            return self._run()
+
+    def _run(self) -> LabelingResult:
         labels: dict[Node, Label] = {}
         root = self._root
         if root is None:
             return LabelingResult(labels)
-        self._bin_authorizations()
+        with span("label.bind"):
+            self._bin_authorizations()
 
-        # Figure 2 steps 4-5: initial label of the root, final by first_def.
-        root_label = self._initial_label(root)
-        root_label.compute_final()
-        labels[root] = root_label
+        with span("label.propagate"):
+            # Figure 2 steps 4-5: initial label of the root, final by
+            # first_def.
+            root_label = self._initial_label(root)
+            root_label.compute_final()
+            labels[root] = root_label
 
-        # Step 6: label(c, r) for each child (attributes included: the
-        # paper's tree model hangs attributes off their element).
-        stack: list[tuple[Node, Element]] = []
-        self._push_children(root, stack)
-        deadline = self._deadline
-        labeled = 0
-        while stack:
-            node, parent = stack.pop()
-            parent_label = labels[parent]
-            label = self._label_node(node, parent_label)
-            labels[node] = label
-            if isinstance(node, Element):
-                self._push_children(node, stack)
-            if deadline is not None:
-                labeled += 1
-                if labeled % self._DEADLINE_STRIDE == 0:
-                    deadline.check("tree labeling")
+            # Step 6: label(c, r) for each child (attributes included:
+            # the paper's tree model hangs attributes off their
+            # element).
+            stack: list[tuple[Node, Element]] = []
+            self._push_children(root, stack)
+            deadline = self._deadline
+            labeled = 0
+            while stack:
+                node, parent = stack.pop()
+                parent_label = labels[parent]
+                label = self._label_node(node, parent_label)
+                labels[node] = label
+                if isinstance(node, Element):
+                    self._push_children(node, stack)
+                if deadline is not None:
+                    labeled += 1
+                    if labeled % self._DEADLINE_STRIDE == 0:
+                        deadline.check("tree labeling")
         return LabelingResult(labels, self._evaluated, len(labels))
 
     # -- authorization binning ------------------------------------------------

@@ -5,6 +5,12 @@ labeling, transformation (pruning) and unparsing.
 :class:`SecurityProcessor` implements that cycle over the substrate
 packages and reports per-step timings, which benchmark C3 uses to show
 where the time goes.
+
+The coarse :class:`StepTimings` predate the tracing layer and remain
+for API stability; under an active :func:`repro.obs.tracing` block the
+same cycle additionally emits structured spans (``parse.xml``,
+``label``, ``prune``, ``dtd.loosen``, ``serialize``) with finer nesting
+— see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.dtd.model import DTD
 from repro.dtd.serializer import serialize_dtd
 from repro.dtd.validator import validate
 from repro.errors import ValidationError
+from repro.obs.trace import span
 from repro.subjects.hierarchy import SubjectHierarchy
 from repro.xml.nodes import Document
 from repro.xml.parser import parse_document
@@ -151,11 +158,12 @@ class SecurityProcessor:
 
         # Step 4: unparsing.
         started = time.perf_counter()
-        xml_text = serialize(view_document, doctype=False)
-        loosened = view_document.dtd
-        if loosened is None and document.dtd is not None:
-            loosened = loosen(document.dtd)
-        loosened_text = serialize_dtd(loosened) if loosened is not None else None
+        with span("serialize"):
+            xml_text = serialize(view_document, doctype=False)
+            loosened = view_document.dtd
+            if loosened is None and document.dtd is not None:
+                loosened = loosen(document.dtd)
+            loosened_text = serialize_dtd(loosened) if loosened is not None else None
         timings.unparse = time.perf_counter() - started
 
         total = count_nodes(document.root) if document.root is not None else 0

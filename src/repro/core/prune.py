@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.labels import Label
 from repro.dtd.loosen import loosen
+from repro.obs.trace import span
 from repro.xml.nodes import (
     Attribute,
     Comment,
@@ -65,10 +66,12 @@ def build_view(
         root = document
         view = Document()
     if loosen_dtd and view.dtd is not None:
-        view.dtd = loosen(view.dtd)
+        with span("dtd.loosen"):
+            view.dtd = loosen(view.dtd)
     if root is None:
         return view
-    built = _build_element(root, labels, open_policy)
+    with span("prune"):
+        built = _build_element(root, labels, open_policy)
     if built is not None:
         view.append(built)
     else:

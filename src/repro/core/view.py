@@ -19,6 +19,7 @@ from repro.core.labeling import LabelingResult, TreeLabeler
 from repro.core.labels import Label
 from repro.core.prune import build_view
 from repro.limits import Deadline, ResourceLimits
+from repro.obs.trace import span
 from repro.subjects.hierarchy import Requester, SubjectHierarchy
 from repro.xml.nodes import Document, Node
 from repro.xml.traversal import count_nodes
@@ -100,13 +101,16 @@ def compute_view(
         :class:`~repro.errors.DeadlineExceeded`.
     """
     uri = document.uri or ""
-    instance_auths = store.applicable(requester, uri, action, at=at) if uri else []
-    resolved_dtd_uri = _resolve_dtd_uri(document, dtd_uri)
-    schema_auths = (
-        store.applicable(requester, resolved_dtd_uri, action, at=at)
-        if resolved_dtd_uri
-        else []
-    )
+    with span("authz.bind"):
+        instance_auths = (
+            store.applicable(requester, uri, action, at=at) if uri else []
+        )
+        resolved_dtd_uri = _resolve_dtd_uri(document, dtd_uri)
+        schema_auths = (
+            store.applicable(requester, resolved_dtd_uri, action, at=at)
+            if resolved_dtd_uri
+            else []
+        )
     return compute_view_from_auths(
         document,
         instance_auths,

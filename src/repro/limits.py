@@ -21,6 +21,11 @@ Both are cheap when disabled: a ``None`` limits object (the library
 default for direct parser/evaluator use) adds a single attribute test
 per guarded loop, and an unbounded deadline's ``check`` is a no-op.
 The server facade defaults to :data:`DEFAULT_LIMITS`.
+
+Guard trips are counted (``guard_trips_total{kind=...}`` on the
+server's metrics registry) and surfaced as structured failures at the
+facade; see docs/ROBUSTNESS.md for the full guard catalogue and
+docs/OBSERVABILITY.md for the metrics.
 """
 
 from __future__ import annotations

@@ -1,0 +1,49 @@
+"""repro.obs — observability for the enforcement pipeline.
+
+Two independent, zero-dependency facilities:
+
+- :mod:`repro.obs.trace` — structured, nestable trace spans recording
+  where a request spends its time, stage by stage (parse, bind, label,
+  prune, loosen, serialize, cache). Off by default, near-free while
+  off.
+- :mod:`repro.obs.metrics` — a counter/gauge/histogram registry wired
+  to cache hits, guard trips, fault firings, retries and request
+  outcomes, exportable as a plain dict or Prometheus text.
+
+This package is a dependency leaf: it imports nothing from the rest of
+``repro``, so every layer (parser, evaluator, labeler, server) can hook
+into it without cycles. See ``docs/OBSERVABILITY.md`` for the span and
+metric vocabularies and worked examples.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    stage_totals,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "stage_totals",
+    "tracing",
+]

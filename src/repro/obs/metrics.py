@@ -1,0 +1,314 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The server-side enforcement pipeline emits a small, documented set of
+metrics — cache hits, guard trips, fault-injection firings, retry
+attempts, request outcomes, per-stage latencies — into a
+:class:`MetricsRegistry`. Two registries matter in practice:
+
+- every :class:`~repro.server.service.SecureXMLServer` owns a private
+  registry (``server.metrics``) for per-server request accounting, and
+- the process-wide default :data:`METRICS`, used by module-level code
+  that has no server in scope (the fault injector, the retry helper).
+
+Metrics are named with a Prometheus-compatible vocabulary
+(``snake_case`` base name + optional label key/values) and exported two
+ways: :meth:`MetricsRegistry.as_dict` for programmatic consumption and
+:meth:`MetricsRegistry.render_prometheus` as the standard text
+exposition format. The full metric catalogue lives in
+``docs/OBSERVABILITY.md``.
+
+Everything here is plain Python with no locks beyond the GIL's
+atomicity for ``+=`` on floats/ints; this matches the library's
+single-process, request-at-a-time server. A registry is cheap: an
+armed counter increment is one dict lookup (amortized by callers
+holding the Counter object) plus an integer add.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Fixed histogram buckets for request/stage latencies, in seconds.
+#: Chosen to straddle the measured pipeline costs (sub-millisecond
+#: cache hits up to multi-second pathological documents).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+LabelValue = Union[str, int, float, bool]
+
+
+def _label_key(labels: dict[str, LabelValue]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. cache entry count)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Observations distributed over fixed, cumulative buckets.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``-style
+    per-bucket (non-cumulative internally; the Prometheus dump emits
+    cumulative values as the format requires, plus ``+Inf``, ``_sum``
+    and ``_count``). :meth:`quantile` gives a linear-interpolation
+    estimate from the buckets — good enough for dashboards; exact
+    percentiles for the benchmark baseline come from raw span samples
+    instead (see ``benchmarks/run_report.py``).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        chosen = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not chosen or list(chosen) != sorted(chosen):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = chosen
+        # One slot per finite bucket + one overflow slot (+Inf).
+        self.bucket_counts = [0] * (len(chosen) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate the q-quantile (0 <= q <= 1) from the buckets."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0.0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            upper = (
+                self.buckets[index]
+                if index < len(self.buckets)
+                # Open-ended overflow bucket: report its lower edge.
+                else self.buckets[-1]
+            )
+            if seen + bucket_count >= target:
+                if bucket_count == 0 or index >= len(self.buckets):
+                    return upper
+                fraction = (target - seen) / bucket_count
+                return lower + (upper - lower) * fraction
+            seen += bucket_count
+            lower = upper
+        return lower
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named, optionally labelled metrics with dict/Prometheus export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], Metric] = {}
+
+    # -- access (get-or-create) ---------------------------------------------
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: LabelValue,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, {k: str(v) for k, v in labels.items()}, buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is already registered as a {metric.kind}")
+        return metric
+
+    def _get(self, cls, name: str, labels: dict[str, LabelValue]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, {k: str(v) for k, v in labels.items()})
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"{name!r} is already registered as a {metric.kind}")
+        return metric
+
+    # -- introspection -------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, **labels: LabelValue) -> Optional[float]:
+        """The current value of a counter/gauge, ``None`` if absent."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None or isinstance(metric, Histogram):
+            return None
+        return metric.value
+
+    def reset(self) -> None:
+        """Drop every metric (tests; a fresh process-start state)."""
+        self._metrics.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """A plain-data snapshot: ``{name: {label-tuple-str: value}}``.
+
+        Counters and gauges map to numbers; histograms to a dict with
+        ``count``, ``sum``, ``mean`` and per-bucket counts.
+        """
+        out: dict[str, dict] = {}
+        for metric in self._metrics.values():
+            series = out.setdefault(metric.name, {})
+            label_str = ",".join(f"{k}={v}" for k, v in sorted(metric.labels.items()))
+            if isinstance(metric, Histogram):
+                series[label_str] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "buckets": {
+                        str(edge): count
+                        for edge, count in zip(metric.buckets, metric.bucket_counts)
+                    },
+                    "overflow": metric.bucket_counts[-1],
+                }
+            else:
+                series[label_str] = metric.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+            name = _sanitize(metric.name)
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {metric.kind}")
+                seen_types.add(name)
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for edge, count in zip(metric.buckets, metric.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket{_labels(metric.labels, le=_fmt(edge))}"
+                        f" {cumulative}"
+                    )
+                cumulative += metric.bucket_counts[-1]
+                lines.append(
+                    f"{name}_bucket{_labels(metric.labels, le='+Inf')} {cumulative}"
+                )
+                lines.append(f"{name}_sum{_labels(metric.labels)} {_fmt(metric.sum)}")
+                lines.append(f"{name}_count{_labels(metric.labels)} {metric.count}")
+            else:
+                lines.append(f"{name}{_labels(metric.labels)} {_fmt(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels(labels: dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+#: The process-wide default registry, used by module-level
+#: instrumentation (fault injection, retries) that has no server
+#: instance in scope. Tests reset it between cases (tests/conftest.py).
+METRICS = MetricsRegistry()

@@ -1,0 +1,305 @@
+"""Structured trace spans for the request pipeline.
+
+A :class:`Span` is one timed region of one request — "parse this
+document", "evaluate this authorization's path", "look up the view
+cache". Spans nest: the pipeline stages instrumented throughout the
+library open child spans inside whatever span is currently running, so
+one served request produces a small tree rooted at ``request.serve``.
+
+Tracing is **off by default** and costs almost nothing while off: every
+instrumented stage calls :func:`span`, which, with no active tracer, is
+a single context-variable read returning a shared no-op context
+manager. No objects are allocated, no clocks are read. Activating a
+:class:`Tracer` (directly, via :func:`tracing`, or implicitly per
+request by :class:`~repro.server.service.SecureXMLServer`) turns the
+same hooks into real measurements against ``time.perf_counter()`` (a
+monotonic clock — wall-clock adjustments never distort a duration).
+
+Usage::
+
+    from repro.obs import tracing
+
+    with tracing() as tracer:
+        server.serve(request)
+    for span in tracer.spans:
+        print(span.name, span.duration)
+    print(tracer.stage_totals())    # {"parse.xml": 0.004, "label": ...}
+
+The tracer is held in a :class:`contextvars.ContextVar`, so concurrent
+threads (or asyncio tasks) each see their own active tracer and spans
+from parallel requests never interleave.
+
+Stage names are a stable, documented vocabulary — see
+``docs/OBSERVABILITY.md`` for the full list and semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "stage_totals",
+    "tracing",
+]
+
+#: The active tracer of the current thread/task (``None`` = disabled).
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+class Span:
+    """One completed timed region.
+
+    Attributes
+    ----------
+    name:
+        The stage name (dot-separated vocabulary, e.g. ``parse.xml``).
+    started:
+        Seconds since the owning tracer was created (monotonic).
+    duration:
+        Seconds spent inside the region, children included.
+    depth:
+        Nesting depth at open time (0 = top level).
+    parent:
+        ``None`` for a top-level span. Spans are appended on *close*
+        (children before their parents), so a nested span carries the
+        sentinel ``-1`` here; :meth:`Tracer.span_tree` returns copies
+        in open order with real parent indices resolved.
+    tags:
+        Optional string-keyed annotations passed to :func:`span`.
+    """
+
+    __slots__ = ("name", "started", "duration", "depth", "parent", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        started: float,
+        duration: float,
+        depth: int,
+        parent: Optional[int],
+        tags: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.started = started
+        self.duration = duration
+        self.depth = depth
+        self.parent = parent
+        self.tags = tags
+
+    def as_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "started": self.started,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} {self.duration * 1000:.3f}ms "
+            f"depth={self.depth}>"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open region on one tracer's stack."""
+
+    __slots__ = ("_tracer", "name", "tags", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Optional[dict]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        self._depth = len(self._tracer._stack)
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        now = time.perf_counter()
+        tracer = self._tracer
+        # Tolerate out-of-order exits (generators, exceptions): pop up
+        # to and including this span.
+        stack = tracer._stack
+        while stack:
+            live = stack.pop()
+            if live is self:
+                break
+        tracer._close(self, self._start, now - self._start, self._depth)
+        return False
+
+
+class Tracer:
+    """Collects the spans of one activation.
+
+    ``spans`` lists completed spans in close order (children precede
+    their parents). The tracer itself is cheap to create; one per
+    request is the intended granularity.
+    """
+
+    __slots__ = ("spans", "_stack", "_created")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[_LiveSpan] = []
+        self._created = time.perf_counter()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **tags) -> _LiveSpan:
+        """Open a child span of whatever is currently on the stack."""
+        return _LiveSpan(self, name, tags or None)
+
+    def _close(
+        self, live: _LiveSpan, start: float, duration: float, depth: int
+    ) -> None:
+        parent_index: Optional[int] = None
+        if depth > 0:
+            # Parent is still open; it will close *after* this span, so
+            # its final index is at least len(spans)+1. Record a
+            # depth-based link instead: the nearest later span with a
+            # smaller depth. Resolved lazily by span_tree().
+            parent_index = -1
+        self.spans.append(
+            Span(
+                live.name,
+                start - self._created,
+                duration,
+                depth,
+                parent_index,
+                live.tags,
+            )
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def stage_totals(self, since: int = 0) -> dict[str, float]:
+        """Total seconds per stage name over ``spans[since:]``.
+
+        Nested stages are reported under their own names; a parent
+        span's duration *includes* its children, so totals are not
+        additive across nesting levels (see docs/OBSERVABILITY.md).
+        """
+        return stage_totals(self.spans[since:])
+
+    def stage_samples(self, since: int = 0) -> dict[str, list[float]]:
+        """Per-stage lists of individual span durations (seconds)."""
+        out: dict[str, list[float]] = {}
+        for span_ in self.spans[since:]:
+            out.setdefault(span_.name, []).append(span_.duration)
+        return out
+
+    def span_tree(self) -> list[Span]:
+        """Spans in *open* order with ``parent`` indices resolved."""
+        ordered = sorted(
+            range(len(self.spans)), key=lambda i: self.spans[i].started
+        )
+        resolved: list[Span] = []
+        open_by_depth: dict[int, int] = {}
+        for new_index, original in enumerate(ordered):
+            span_ = self.spans[original]
+            parent = (
+                open_by_depth.get(span_.depth - 1) if span_.depth > 0 else None
+            )
+            resolved.append(
+                Span(
+                    span_.name,
+                    span_.started,
+                    span_.duration,
+                    span_.depth,
+                    parent,
+                    span_.tags,
+                )
+            )
+            open_by_depth[span_.depth] = new_index
+        return resolved
+
+    def render(self) -> str:
+        """An indented text rendering of the span tree (for humans)."""
+        lines = []
+        for span_ in self.span_tree():
+            lines.append(
+                f"{'  ' * span_.depth}{span_.name:<24} "
+                f"{span_.duration * 1000:8.3f} ms"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def stage_totals(spans: list[Span]) -> dict[str, float]:
+    """Sum span durations by stage name (module-level helper)."""
+    out: dict[str, float] = {}
+    for span_ in spans:
+        out[span_.name] = out.get(span_.name, 0.0) + span_.duration
+    return out
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active in this thread/task, or ``None``."""
+    return _ACTIVE.get()
+
+
+def span(name: str, **tags):
+    """Open a span on the active tracer — the pipeline's hook.
+
+    With no tracer active this returns a shared no-op context manager:
+    one ``ContextVar.get`` and an ``is None`` test, no allocation.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **tags)
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate *tracer* (default: a fresh one) for the with-block."""
+    if tracer is None:
+        tracer = Tracer()
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def activate(tracer: Tracer):
+    """Low-level: set the active tracer; returns the reset token."""
+    return _ACTIVE.set(tracer)
+
+
+def deactivate(token) -> None:
+    """Low-level: undo :func:`activate`."""
+    _ACTIVE.reset(token)

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro.obs.trace import span
 from repro.testing.faults import trip
 
 __all__ = ["CachedView", "ViewCache"]
@@ -38,7 +39,15 @@ class CachedView:
 
 
 class ViewCache:
-    """A bounded LRU keyed by (uri, applicable-auth identity, knobs)."""
+    """A bounded LRU keyed by (uri, applicable-auth identity, knobs).
+
+    The cache keeps its own effectiveness counters — ``hits``,
+    ``misses``, ``evictions``, ``stale`` — exposed as a snapshot by
+    :meth:`stats` and zeroed by :meth:`reset_stats` (the entries
+    themselves survive a stats reset; :meth:`clear` drops entries but
+    keeps the counters). :meth:`~repro.server.service.SecureXMLServer.stats`
+    folds this snapshot into the server-wide report.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         if max_entries < 1:
@@ -47,6 +56,8 @@ class ViewCache:
         self._entries: "OrderedDict[Hashable, CachedView]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.stale = 0
 
     @staticmethod
     def key(
@@ -70,29 +81,33 @@ class ViewCache:
     def get(
         self, key: Hashable, store_version: int, document_version: int
     ) -> Optional[CachedView]:
-        trip("cache.get")
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if (
-            entry.store_version != store_version
-            or entry.document_version != document_version
-        ):
-            # Stale: the policy or the document changed underneath it.
-            del self._entries[key]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with span("cache.lookup"):
+            trip("cache.get")
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if (
+                entry.store_version != store_version
+                or entry.document_version != document_version
+            ):
+                # Stale: the policy or the document changed underneath it.
+                del self._entries[key]
+                self.stale += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, entry: CachedView) -> None:
-        trip("cache.put")
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        with span("cache.store"):
+            trip("cache.put")
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -104,3 +119,28 @@ class ViewCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """A point-in-time effectiveness snapshot.
+
+        Keys: ``entries``, ``max_entries``, ``hits``, ``misses``,
+        ``hit_rate``, ``evictions`` (capacity-driven removals) and
+        ``stale`` (version-mismatch removals; already counted in
+        ``misses``).
+        """
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "stale": self.stale,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the counters without touching the cached entries."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale = 0

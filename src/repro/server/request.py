@@ -64,6 +64,13 @@ class AccessResponse:
     error: Optional[BaseException] = None
     #: "limit-exceeded" | "deadline-exceeded" | None
     error_kind: Optional[str] = None
+    #: Per-stage wall-clock breakdown of this request, seconds by stage
+    #: name (``parse.xml``, ``authz.bind``, ``label``, ``prune``,
+    #: ``serialize``, ...; ``request.serve``/``request.query`` covers
+    #: the whole request). Empty when the server was built with
+    #: ``trace_requests=False``. Stage vocabulary and caveats:
+    #: docs/OBSERVABILITY.md.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
+from repro.obs.metrics import METRICS
+
 __all__ = ["RetryPolicy", "retry_call", "DEFAULT_RETRY_POLICY"]
 
 T = TypeVar("T")
@@ -81,7 +83,9 @@ def retry_call(
             return func()
         except retry_on as exc:
             if attempt == policy.attempts:
+                METRICS.counter("retry_exhausted_total").inc()
                 raise
+            METRICS.counter("retry_attempts_total").inc()
             if on_retry is not None:
                 on_retry(attempt, exc)
             wait(policy.delay(attempt))

@@ -15,8 +15,9 @@ different documents may use different policies.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.authz.authorization import Authorization
 from repro.authz.conflict import ConflictPolicy, policy_by_name
@@ -33,6 +34,8 @@ from repro.errors import (
     ResourceError,
 )
 from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, current_tracer, span, stage_totals, tracing
 from repro.server.audit import AuditLog
 from repro.server.cache import CachedView, ViewCache
 from repro.server.repository import Repository
@@ -70,6 +73,26 @@ class AccessLimitExceeded(PolicyError):
     """The requester exhausted the document's history limit."""
 
 
+class _RequestScope:
+    """Mutable holder for one request's per-stage timing breakdown."""
+
+    __slots__ = ("timings",)
+
+    def __init__(self) -> None:
+        self.timings: dict[str, float] = {}
+
+
+def _histogram_summary(histogram) -> dict:
+    """Count/mean/approximate-percentiles for a latency histogram."""
+    return {
+        "count": histogram.count,
+        "mean": histogram.mean,
+        "p50": histogram.quantile(0.5),
+        "p95": histogram.quantile(0.95),
+        "p99": histogram.quantile(0.99),
+    }
+
+
 class SecureXMLServer:
     """A complete in-process server enforcing the paper's model."""
 
@@ -79,6 +102,8 @@ class SecureXMLServer:
         audit: Optional[AuditLog] = None,
         view_cache: Optional[ViewCache] = None,
         limits: Optional[ResourceLimits] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_requests: bool = True,
     ) -> None:
         self.repository = Repository()
         self.store = AuthorizationStore()
@@ -87,6 +112,15 @@ class SecureXMLServer:
         #: Default per-request resource guards; individual requests may
         #: override via the ``limits=`` parameter of serve()/query().
         self.limits = limits if limits is not None else DEFAULT_LIMITS
+        #: Per-server metric registry (request outcomes, latencies,
+        #: per-stage costs, cache effectiveness); see server.stats()
+        #: and docs/OBSERVABILITY.md.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: When true (the default), every serve()/query() runs under a
+        #: request-scoped tracer and the response carries a per-stage
+        #: ``timings`` breakdown. Turn off to shave the last few
+        #: microseconds from microbenchmarks.
+        self.trace_requests = trace_requests
         self._default_policy = default_policy or PolicyConfig()
         self._document_policies: dict[str, PolicyConfig] = {}
 
@@ -171,7 +205,21 @@ class SecureXMLServer:
         ``response.error`` carries the typed exception). A cache outage
         degrades to recomputing the view; a repository read failure
         raises a typed :class:`~repro.errors.RepositoryError`.
+
+        Unless ``trace_requests`` is off, the request runs under a
+        request-scoped tracer and ``response.timings`` carries the
+        per-stage wall-clock breakdown (seconds by stage name, e.g.
+        ``label``, ``prune``, ``serialize``; the ``request.serve``
+        entry is the whole request). See docs/OBSERVABILITY.md.
         """
+        with self._request_scope("serve") as scope:
+            response = self._serve(request, limits)
+        response.timings = scope.timings
+        return response
+
+    def _serve(
+        self, request: AccessRequest, limits: Optional[ResourceLimits]
+    ) -> AccessResponse:
         limits = limits if limits is not None else self.limits
         deadline = limits.deadline()
         self._enforce_history_limit(request.requester, request.uri)
@@ -181,18 +229,21 @@ class SecureXMLServer:
             deadline.check("request")
             document = stored.document(limits=limits, deadline=deadline)
         except ResourceError as exc:
-            return self._guard_failure(request, exc, started)
+            return self._guard_failure(request, exc, started, kind="serve")
         config = self.policy_for(request.uri)
         now = time.time()
-        instance_auths = self.store.applicable(
-            request.requester, request.uri, request.action, at=now
-        )
-        dtd_uri = self.repository.dtd_uri_of(request.uri)
-        schema_auths = (
-            self.store.applicable(request.requester, dtd_uri, request.action, at=now)
-            if dtd_uri
-            else []
-        )
+        with span("authz.bind"):
+            instance_auths = self.store.applicable(
+                request.requester, request.uri, request.action, at=now
+            )
+            dtd_uri = self.repository.dtd_uri_of(request.uri)
+            schema_auths = (
+                self.store.applicable(
+                    request.requester, dtd_uri, request.action, at=now
+                )
+                if dtd_uri
+                else []
+            )
 
         cache_key = None
         cache_note = ""
@@ -213,13 +264,23 @@ class SecureXMLServer:
                 # the view, not failing the request. Skip the put too.
                 hit, cache_key = None, None
                 cache_note = "cache unavailable; view recomputed"
+                self.metrics.counter(
+                    "cache_degraded_total", event="get-failed"
+                ).inc()
+            else:
+                self.metrics.counter(
+                    "viewcache_requests_total",
+                    result="hit" if hit is not None else "miss",
+                ).inc()
             if hit is not None:
                 elapsed = time.perf_counter() - started
+                outcome = "empty" if hit.empty else "released"
+                self._record_request("serve", outcome, elapsed)
                 self.audit.record(
                     request.requester,
                     request.uri,
                     request.action,
-                    "empty" if hit.empty else "released",
+                    outcome,
                     visible_nodes=hit.visible_nodes,
                     total_nodes=hit.total_nodes,
                     elapsed_seconds=elapsed,
@@ -248,11 +309,12 @@ class SecureXMLServer:
                 deadline=deadline,
             )
         except ResourceError as exc:
-            return self._guard_failure(request, exc, started)
+            return self._guard_failure(request, exc, started, kind="serve")
         elapsed = time.perf_counter() - started
-        xml_text = serialize(view.document, doctype=False)
-        loosened = view.document.dtd
-        loosened_text = serialize_dtd(loosened) if loosened else None
+        with span("serialize"):
+            xml_text = serialize(view.document, doctype=False)
+            loosened = view.document.dtd
+            loosened_text = serialize_dtd(loosened) if loosened else None
         if self.view_cache is not None and cache_key is not None:
             try:
                 self.view_cache.put(
@@ -269,6 +331,9 @@ class SecureXMLServer:
                 )
             except Exception:
                 cache_note = "cache store failed; view served uncached"
+                self.metrics.counter(
+                    "cache_degraded_total", event="put-failed"
+                ).inc()
         response = AccessResponse(
             uri=request.uri,
             xml_text=xml_text,
@@ -278,11 +343,13 @@ class SecureXMLServer:
             total_nodes=view.total_nodes,
             elapsed_seconds=elapsed,
         )
+        outcome = "empty" if view.empty else "released"
+        self._record_request("serve", outcome, elapsed)
         self.audit.record(
             request.requester,
             request.uri,
             request.action,
-            "empty" if view.empty else "released",
+            outcome,
             visible_nodes=view.visible_nodes,
             total_nodes=view.total_nodes,
             elapsed_seconds=elapsed,
@@ -299,8 +366,18 @@ class SecureXMLServer:
         never mention nodes the requester is not entitled to see. Like
         :meth:`serve`, the evaluation runs under resource guards (the
         XPath step budget and the request deadline); a tripped guard
-        comes back as a structured, audited failure.
+        comes back as a structured, audited failure. Like :meth:`serve`,
+        ``response.timings`` carries the per-stage breakdown (the whole
+        request appears as ``request.query``).
         """
+        with self._request_scope("query") as scope:
+            response = self._query(request, limits)
+        response.timings = scope.timings
+        return response
+
+    def _query(
+        self, request: QueryRequest, limits: Optional[ResourceLimits]
+    ) -> AccessResponse:
         limits = limits if limits is not None else self.limits
         deadline = limits.deadline()
         started = time.perf_counter()
@@ -325,15 +402,22 @@ class SecureXMLServer:
             )
         except ResourceError as exc:
             return self._guard_failure(
-                request, exc, started, action=f"query[{request.xpath}]"
+                request,
+                exc,
+                started,
+                action=f"query[{request.xpath}]",
+                kind="query",
             )
-        matches = [serialize(node) for node in nodes]
+        with span("serialize"):
+            matches = [serialize(node) for node in nodes]
         elapsed = time.perf_counter() - started
+        outcome = "released" if matches else "empty"
+        self._record_request("query", outcome, elapsed)
         self.audit.record(
             request.requester,
             request.uri,
             f"query[{request.xpath}]",
-            "released" if matches else "empty",
+            outcome,
             visible_nodes=len(matches),
             total_nodes=view.total_nodes,
             elapsed_seconds=elapsed,
@@ -422,6 +506,92 @@ class SecureXMLServer:
             relative_mode=config.relative_paths,
         )
 
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """An aggregate operational snapshot of this server.
+
+        Returns a plain dict (JSON-serializable) with:
+
+        - ``requests`` — ``{kind: {outcome: count}}`` for every
+          serve/query handled (outcomes: ``released``, ``empty``,
+          ``denied``, ``error``);
+        - ``latency`` — per-kind request-latency summaries (count,
+          mean and approximate p50/p95/p99, seconds) from the fixed
+          histogram buckets;
+        - ``stages`` — the same summaries per pipeline stage
+          (``parse.xml``, ``label``, ``prune``, ...);
+        - ``cache`` — :meth:`ViewCache.stats` (``None`` when no cache
+          is configured);
+        - ``documents``, ``authorizations``, ``audit_records`` —
+          inventory sizes;
+        - ``metrics`` — the raw per-server registry snapshot
+          (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`).
+
+        Global infrastructure counters (fault firings, retries) live on
+        :data:`repro.obs.METRICS`, not here, because they are not
+        attributable to one server instance.
+        """
+        requests: dict[str, dict[str, float]] = {}
+        latency: dict[str, dict] = {}
+        stages: dict[str, dict] = {}
+        for metric in self.metrics:
+            if metric.name == "requests_total":
+                kind = metric.labels.get("kind", "?")
+                outcome = metric.labels.get("outcome", "?")
+                requests.setdefault(kind, {})[outcome] = metric.value
+            elif metric.name == "request_seconds":
+                latency[metric.labels.get("kind", "?")] = _histogram_summary(metric)
+            elif metric.name == "stage_seconds":
+                stages[metric.labels.get("stage", "?")] = _histogram_summary(metric)
+        return {
+            "requests": requests,
+            "latency": latency,
+            "stages": stages,
+            "cache": self.view_cache.stats() if self.view_cache is not None else None,
+            "documents": sum(1 for _ in self.repository.documents()),
+            "authorizations": len(self.store),
+            "audit_records": len(self.audit),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    @contextmanager
+    def _request_scope(self, kind: str) -> Iterator["_RequestScope"]:
+        """Run one request under a tracer and collect its breakdown.
+
+        Reuses an already-active tracer (so callers doing their own
+        ``with tracing():`` see every request's spans accumulate) or
+        activates a fresh one for just this request. On normal exit the
+        scope's ``timings`` holds seconds-per-stage and the per-stage
+        histograms are fed; when a request raises (history denial,
+        repository failure) the spans still land on the tracer but no
+        breakdown is recorded.
+        """
+        scope = _RequestScope()
+        if not self.trace_requests:
+            yield scope
+            return
+        outer = current_tracer()
+        tracer = outer if outer is not None else Tracer()
+        mark = len(tracer.spans)
+        if outer is None:
+            with tracing(tracer):
+                with tracer.span(f"request.{kind}"):
+                    yield scope
+        else:
+            with tracer.span(f"request.{kind}"):
+                yield scope
+        scope.timings = stage_totals(tracer.spans[mark:])
+        for stage, seconds in scope.timings.items():
+            self.metrics.histogram("stage_seconds", stage=stage).observe(seconds)
+
+    def _record_request(
+        self, kind: str, outcome: str, elapsed: Optional[float] = None
+    ) -> None:
+        self.metrics.counter("requests_total", kind=kind, outcome=outcome).inc()
+        if elapsed is not None:
+            self.metrics.histogram("request_seconds", kind=kind).observe(elapsed)
+
     # -- internals ---------------------------------------------------------------
 
     def _view_for(
@@ -455,11 +625,14 @@ class SecureXMLServer:
         try:
             return self.repository.stored(uri)
         except RepositoryError:
+            self._record_request("serve", "error")
             self.audit.record(
                 requester, uri, action, "error", detail="unknown document"
             )
             raise
         except Exception as exc:
+            self.metrics.counter("repository_errors_total").inc()
+            self._record_request("serve", "error")
             self.audit.record(
                 requester,
                 uri,
@@ -477,22 +650,25 @@ class SecureXMLServer:
         exc: ResourceError,
         started: float,
         action: Optional[str] = None,
+        kind: str = "serve",
     ) -> AccessResponse:
         """Turn a tripped resource guard into an audited structured
         failure instead of a raised traceback."""
         elapsed = time.perf_counter() - started
-        kind = (
+        trip_kind = (
             "deadline-exceeded"
             if isinstance(exc, DeadlineExceeded)
             else "limit-exceeded"
         )
+        self.metrics.counter("guard_trips_total", kind=trip_kind).inc()
+        self._record_request(kind, "error", elapsed)
         self.audit.record(
             request.requester,
             request.uri,
             action or request.action,
             "error",
             elapsed_seconds=elapsed,
-            detail=f"{kind}: {exc}",
+            detail=f"{trip_kind}: {exc}",
         )
         return AccessResponse(
             uri=request.uri,
@@ -500,7 +676,7 @@ class SecureXMLServer:
             empty=True,
             elapsed_seconds=elapsed,
             error=exc,
-            error_kind=kind,
+            error_kind=trip_kind,
         )
 
     def _enforce_history_limit(self, requester: Requester, uri: str) -> None:
@@ -520,6 +696,7 @@ class SecureXMLServer:
             and record.timestamp >= horizon
         )
         if granted >= limit.max_accesses:
+            self._record_request("serve", "denied")
             self.audit.record(
                 requester,
                 uri,

@@ -14,7 +14,10 @@ internals:
         response = server.serve(request)   # served via recompute
 
 Injection is deterministic — no randomness, no timing — so degradation
-tests are exactly reproducible.
+tests are exactly reproducible. Every firing also increments
+``faults_injected_total{point=...}`` on the process-wide metrics
+registry (docs/OBSERVABILITY.md), so a test can assert both that the
+fault fired and that the service reacted.
 
 Known injection points
 ----------------------
@@ -33,6 +36,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
+
+from repro.obs.metrics import METRICS
 
 __all__ = ["InjectedFault", "FaultInjector", "FAULTS", "trip"]
 
@@ -141,6 +146,10 @@ class FaultInjector:
             fault.remaining -= 1
         fault.fired += 1
         self._fired[point] = self._fired.get(point, 0) + 1
+        # Firings are observable like any other infrastructure event:
+        # degradation tests assert on this counter alongside the audit
+        # trail (see docs/OBSERVABILITY.md).
+        METRICS.counter("faults_injected_total", point=point).inc()
         if fault.exception is not None:
             raise fault.exception(point, fault.fired)
         raise InjectedFault(point, fault.fired)

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.errors import LimitExceeded, XMLLimitExceeded, XMLSyntaxError
 from repro.limits import Deadline, ResourceLimits
+from repro.obs.trace import span
 from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char, is_xml_char
 from repro.xml.escape import resolve_references
 from repro.xml.nodes import (
@@ -82,7 +83,8 @@ def parse_document(
         limits=limits,
         deadline=deadline,
     )
-    document = parser.parse()
+    with span("parse.xml"):
+        document = parser.parse()
     document.uri = uri
     return document
 

@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from repro.errors import XPathEvaluationError, XPathLimitExceeded
 from repro.limits import Deadline
+from repro.obs.trace import span
 from repro.xml.nodes import (
     Attribute,
     Comment,
@@ -166,7 +167,10 @@ def evaluate_parsed(
         deadline=deadline,
     )
     context = Context(node, 1, 1, shared)
-    return _eval(parsed, context)
+    # One trace span per top-level evaluation (one per authorization in
+    # the labeling pass, one per query); free when tracing is off.
+    with span("xpath.eval"):
+        return _eval(parsed, context)
 
 
 def select(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs.metrics import METRICS
 from repro.testing.faults import FAULTS
 from repro.workloads.scenarios import lab_scenario
 from repro.xml.parser import parse_document
@@ -15,6 +16,14 @@ def _reset_faults():
     FAULTS.reset()
     yield
     FAULTS.reset()
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    """The process-wide metrics registry starts empty for every test."""
+    METRICS.reset()
+    yield
+    METRICS.reset()
 
 
 @pytest.fixture

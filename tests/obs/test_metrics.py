@@ -1,0 +1,149 @@
+"""The counter/gauge/histogram registry of repro.obs.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_create_distinct_series(self, registry):
+        registry.counter("requests_total", outcome="released").inc()
+        registry.counter("requests_total", outcome="error").inc(5)
+        assert registry.value("requests_total", outcome="released") == 1
+        assert registry.value("requests_total", outcome="error") == 5
+
+    def test_label_order_is_irrelevant(self, registry):
+        a = registry.counter("m", x="1", y="2")
+        b = registry.counter("m", y="2", x="1")
+        assert a is b
+
+    def test_counters_only_go_up(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("n").inc(-1)
+
+    def test_kind_collision_rejected(self, registry):
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("entries")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        histogram = registry.histogram("seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.555)
+        assert histogram.bucket_counts == [1, 1, 1, 1]  # last = overflow
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        histogram = registry.histogram("seconds", buckets=(0.01, 0.1))
+        histogram.observe(0.01)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_mean_and_quantiles(self, registry):
+        histogram = registry.histogram("seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(1.65)
+        assert 0 < histogram.quantile(0.5) <= 2.0
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) <= 4.0
+
+    def test_quantile_on_empty_histogram(self, registry):
+        assert registry.histogram("empty").quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").quantile(1.5)
+
+    def test_default_buckets_are_sorted_latencies(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", {}, buckets=(1.0, 0.5))
+
+
+class TestExport:
+    def test_as_dict_snapshot(self, registry):
+        registry.counter("requests_total", outcome="released").inc(2)
+        registry.gauge("entries").set(3)
+        registry.histogram("seconds", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.as_dict()
+        assert snapshot["requests_total"]["outcome=released"] == 2
+        assert snapshot["entries"][""] == 3
+        histogram = snapshot["seconds"][""]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["0.1"] == 1
+
+    def test_prometheus_render(self, registry):
+        registry.counter("requests_total", outcome="released").inc(2)
+        registry.histogram("request_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_prometheus()
+        assert '# TYPE requests_total counter' in text
+        assert 'requests_total{outcome="released"} 2' in text
+        assert '# TYPE request_seconds histogram' in text
+        assert 'request_seconds_bucket{le="0.1"} 1' in text
+        assert 'request_seconds_bucket{le="+Inf"} 1' in text
+        assert 'request_seconds_count 1' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_bucket_counts_are_cumulative(self, registry):
+        histogram = registry.histogram("s", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render_prometheus()
+        assert 's_bucket{le="0.1"} 1' in text
+        assert 's_bucket{le="1"} 2' in text
+
+    def test_metric_names_sanitized(self, registry):
+        registry.counter("view-cache.hits").inc()
+        assert "view_cache_hits 1" in registry.render_prometheus()
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+    def test_value_of_missing_metric_is_none(self, registry):
+        assert registry.value("nope") is None
+
+
+class TestReset:
+    def test_reset_drops_everything(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.value("a") is None

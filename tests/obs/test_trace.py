@@ -1,0 +1,173 @@
+"""The span/tracer primitives of repro.obs.trace."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    span,
+    stage_totals,
+    tracing,
+)
+
+
+class TestDisabled:
+    def test_no_tracer_active_by_default(self):
+        assert current_tracer() is None
+
+    def test_span_is_noop_without_tracer(self):
+        with span("anything") as live:
+            assert live is None  # the shared null context manager
+
+    def test_noop_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with span("anything"):
+                raise ValueError("propagates")
+
+
+class TestTracing:
+    def test_activation_scopes_to_the_with_block(self):
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_deactivated_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError
+        assert current_tracer() is None
+
+    def test_spans_record_name_and_duration(self):
+        with tracing() as tracer:
+            with span("work"):
+                time.sleep(0.002)
+        (recorded,) = tracer.spans
+        assert recorded.name == "work"
+        assert recorded.duration >= 0.002
+
+    def test_nesting_depths_and_close_order(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        names = [s.name for s in tracer.spans]
+        assert names == ["inner", "outer"]  # children close first
+        depths = {s.name: s.depth for s in tracer.spans}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_parent_duration_includes_children(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.002)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].duration >= by_name["inner"].duration
+
+    def test_span_survives_exception(self):
+        with tracing() as tracer:
+            with pytest.raises(KeyError):
+                with span("failing"):
+                    raise KeyError("x")
+        assert [s.name for s in tracer.spans] == ["failing"]
+
+    def test_explicit_tracer_reuse(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("a"):
+                pass
+        with tracing(tracer):
+            with span("b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["a", "b"]
+
+    def test_tags_are_recorded(self):
+        with tracing() as tracer:
+            with span("tagged", uri="http://x/d.xml"):
+                pass
+        assert tracer.spans[0].tags == {"uri": "http://x/d.xml"}
+        assert tracer.spans[0].as_dict()["tags"] == {"uri": "http://x/d.xml"}
+
+
+class TestAggregation:
+    def _sample(self) -> Tracer:
+        with tracing() as tracer:
+            with span("request"):
+                with span("parse"):
+                    pass
+                with span("label"):
+                    with span("xpath"):
+                        pass
+                with span("label"):
+                    pass
+        return tracer
+
+    def test_stage_totals_sums_by_name(self):
+        tracer = self._sample()
+        totals = tracer.stage_totals()
+        assert set(totals) == {"request", "parse", "label", "xpath"}
+        label_spans = [s for s in tracer.spans if s.name == "label"]
+        assert totals["label"] == pytest.approx(
+            sum(s.duration for s in label_spans)
+        )
+
+    def test_stage_samples_lists_each_span(self):
+        samples = self._sample().stage_samples()
+        assert len(samples["label"]) == 2
+        assert len(samples["parse"]) == 1
+
+    def test_module_level_stage_totals(self):
+        tracer = self._sample()
+        assert stage_totals(tracer.spans) == tracer.stage_totals()
+
+    def test_span_tree_resolves_parents_in_open_order(self):
+        tracer = self._sample()
+        tree = tracer.span_tree()
+        names = [s.name for s in tree]
+        assert names == ["request", "parse", "label", "xpath", "label"]
+        by_index = {i: s for i, s in enumerate(tree)}
+        assert tree[0].parent is None
+        assert by_index[tree[1].parent].name == "request"
+        assert by_index[tree[3].parent].name == "label"
+
+    def test_render_mentions_every_stage(self):
+        rendered = self._sample().render()
+        for name in ("request", "parse", "label", "xpath"):
+            assert name in rendered
+
+
+class TestIsolation:
+    def test_threads_have_independent_tracers(self):
+        seen = {}
+
+        def worker():
+            seen["inner"] = current_tracer()
+
+        with tracing():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["inner"] is None
+
+    def test_concurrent_tracers_do_not_interleave(self):
+        results = {}
+
+        def worker(key):
+            with tracing() as tracer:
+                with span(key):
+                    time.sleep(0.001)
+                results[key] = [s.name for s in tracer.spans]
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for key, names in results.items():
+            assert names == [key]

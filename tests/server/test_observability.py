@@ -1,0 +1,287 @@
+"""Observability through the facade: timings, stats(), degraded paths.
+
+The contract under test (docs/OBSERVABILITY.md):
+
+- every served request carries a per-stage ``timings`` breakdown;
+- ``server.stats()`` aggregates outcomes, latencies, stage costs and
+  cache effectiveness;
+- the degraded paths — cache outage recompute, repository fault,
+  deadline trip — emit audit records and metrics that *agree with each
+  other* about what failed and how the request ended.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.errors import DeadlineExceeded, RepositoryError
+from repro.limits import ResourceLimits
+from repro.obs import METRICS, tracing
+from repro.server.cache import ViewCache
+from repro.server.persistence import save_server
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.testing.faults import FAULTS
+
+URI = "http://x/notes.xml"
+NOTES = (
+    "<notes>"
+    "<note owner='alice'>a-note</note>"
+    "<note owner='bob'>b-note</note>"
+    "</notes>"
+)
+
+
+def alice():
+    return Requester("alice", "10.0.0.1", "pc.lab.com")
+
+
+def make_server(view_cache=None, defer_parse=True, **kwargs):
+    server = SecureXMLServer(view_cache=view_cache, **kwargs)
+    server.add_user("alice")
+    server.publish_document(URI, NOTES, defer_parse=defer_parse)
+    server.grant(Authorization.build("Public", URI, "+", "R"))
+    return server
+
+
+class TestRequestTimings:
+    def test_serve_reports_every_pipeline_stage(self):
+        server = make_server()
+        # A path-based denial forces XPath evaluation during labeling.
+        server.grant(
+            Authorization.build("Public", URI + ":/notes/note[2]", "-", "R")
+        )
+        response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        for stage in (
+            "parse.xml",  # defer_parse=True: first request parses
+            "authz.bind",
+            "xpath.eval",
+            "label.bind",
+            "label.propagate",
+            "label",
+            "prune",
+            "serialize",
+            "request.serve",
+        ):
+            assert stage in response.timings, stage
+        assert all(v >= 0 for v in response.timings.values())
+        # The umbrella request span dominates any single stage.
+        assert response.timings["request.serve"] == max(response.timings.values())
+
+    def test_cache_hit_breakdown_is_shallow(self):
+        server = make_server(view_cache=ViewCache())
+        server.serve(AccessRequest(alice(), URI))  # warm
+        response = server.serve(AccessRequest(alice(), URI))
+        assert "cache.lookup" in response.timings
+        assert "label" not in response.timings  # no recompute on a hit
+        assert "prune" not in response.timings
+
+    def test_query_breakdown_uses_its_own_umbrella(self):
+        server = make_server()
+        response = server.query(QueryRequest(alice(), URI, "//note"))
+        assert "request.query" in response.timings
+        assert "xpath.eval" in response.timings
+        assert "serialize" in response.timings
+
+    def test_tracing_can_be_disabled(self):
+        server = make_server(trace_requests=False)
+        response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        assert response.timings == {}
+
+    def test_outer_tracer_accumulates_across_requests(self):
+        server = make_server()
+        with tracing() as tracer:
+            first = server.serve(AccessRequest(alice(), URI))
+            second = server.serve(AccessRequest(alice(), URI))
+        umbrellas = [s for s in tracer.spans if s.name == "request.serve"]
+        assert len(umbrellas) == 2
+        # Responses still get their individual breakdowns.
+        assert first.timings["request.serve"] > 0
+        assert second.timings["request.serve"] > 0
+        # The second request reuses the parsed tree: no parse stage.
+        assert "parse.xml" in first.timings
+        assert "parse.xml" not in second.timings
+
+
+class TestServerStats:
+    def test_outcome_counts_and_latency(self):
+        server = make_server(view_cache=ViewCache())
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(alice(), URI))
+        server.query(QueryRequest(alice(), URI, "//note"))
+        stats = server.stats()
+        assert stats["requests"]["serve"]["released"] == 2
+        assert stats["requests"]["query"]["released"] == 1
+        assert stats["latency"]["serve"]["count"] == 2
+        assert stats["latency"]["serve"]["p95"] >= stats["latency"]["serve"]["p50"]
+        assert stats["stages"]["request.serve"]["count"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["documents"] == 1
+        assert stats["authorizations"] == 1
+        assert stats["audit_records"] == 3
+        assert "requests_total" in stats["metrics"]
+
+    def test_stats_without_cache(self):
+        server = make_server()
+        server.serve(AccessRequest(alice(), URI))
+        assert server.stats()["cache"] is None
+
+    def test_stats_agree_with_audit_trail(self):
+        server = make_server()
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(
+            AccessRequest(alice(), URI),
+            limits=ResourceLimits(deadline_seconds=0.0),
+        )
+        stats = server.stats()
+        audit_outcomes = [record.outcome for record in server.audit]
+        assert stats["requests"]["serve"].get("released", 0) == audit_outcomes.count(
+            "released"
+        )
+        assert stats["requests"]["serve"].get("error", 0) == audit_outcomes.count(
+            "error"
+        )
+
+    def test_viewcache_hit_miss_counters(self):
+        server = make_server(view_cache=ViewCache())
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(alice(), URI))
+        assert server.metrics.value("viewcache_requests_total", result="miss") == 1
+        assert server.metrics.value("viewcache_requests_total", result="hit") == 1
+
+
+class TestViewCacheStats:
+    def test_stats_snapshot(self):
+        cache = ViewCache(max_entries=1)
+        server = make_server(view_cache=cache)
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(alice(), URI))
+        snapshot = cache.stats()
+        assert snapshot["hits"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+        assert snapshot["entries"] == 1
+        assert snapshot["max_entries"] == 1
+        assert snapshot["evictions"] == 0
+        assert snapshot["stale"] == 0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = ViewCache()
+        server = make_server(view_cache=cache)
+        server.serve(AccessRequest(alice(), URI))
+        server.serve(AccessRequest(alice(), URI))
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+        assert len(cache) == 1  # the cached view survived
+        server.serve(AccessRequest(alice(), URI))
+        assert cache.stats()["hits"] == 1  # still a hit: entry intact
+
+    def test_eviction_and_stale_counters(self):
+        cache = ViewCache(max_entries=1)
+        server = make_server(view_cache=cache)
+        server.serve(AccessRequest(alice(), URI))
+        # A policy change bumps the store version: the entry goes stale.
+        server.grant(Authorization.build("Public", URI + "x", "+", "R"))
+        server.serve(AccessRequest(alice(), URI))
+        assert cache.stats()["stale"] == 1
+        # Two distinct entitlement sets against max_entries=1: eviction.
+        server.publish_document("http://x/other.xml", NOTES)
+        server.grant(Authorization.build("Public", "http://x/other.xml", "+", "R"))
+        server.serve(AccessRequest(alice(), "http://x/other.xml"))
+        assert cache.stats()["evictions"] >= 1
+
+
+class TestDegradedPathObservability:
+    """Audit records and metrics must tell the same story."""
+
+    def test_cache_outage_recompute(self):
+        server = make_server(view_cache=ViewCache())
+        with FAULTS.injected("cache.get"):
+            response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok and "a-note" in response.xml_text
+        # Audit: the request succeeded, with the degradation noted.
+        last = list(server.audit)[-1]
+        assert last.outcome == "released"
+        assert "cache unavailable; view recomputed" in last.detail
+        # Metrics: one degradation event, one successful request, one
+        # injected firing — all consistent with the audit record.
+        assert (
+            server.metrics.value("cache_degraded_total", event="get-failed") == 1
+        )
+        assert (
+            server.metrics.value(
+                "requests_total", kind="serve", outcome="released"
+            )
+            == 1
+        )
+        assert METRICS.value("faults_injected_total", point="cache.get") == 1
+        assert FAULTS.fired("cache.get") == 1
+
+    def test_cache_store_failure(self):
+        server = make_server(view_cache=ViewCache())
+        with FAULTS.injected("cache.put"):
+            response = server.serve(AccessRequest(alice(), URI))
+        assert response.ok
+        last = list(server.audit)[-1]
+        assert last.outcome == "released"
+        assert "cache store failed; view served uncached" in last.detail
+        assert (
+            server.metrics.value("cache_degraded_total", event="put-failed") == 1
+        )
+        assert METRICS.value("faults_injected_total", point="cache.put") == 1
+
+    def test_repository_fault(self):
+        server = make_server()
+        with FAULTS.injected("repository.read"):
+            with pytest.raises(RepositoryError):
+                server.serve(AccessRequest(alice(), URI))
+        last = list(server.audit)[-1]
+        assert last.outcome == "error"
+        assert "repository read failed" in last.detail
+        assert server.metrics.value("repository_errors_total") == 1
+        assert (
+            server.metrics.value("requests_total", kind="serve", outcome="error")
+            == 1
+        )
+        assert METRICS.value("faults_injected_total", point="repository.read") == 1
+
+    def test_deadline_trip(self):
+        server = make_server()
+        response = server.serve(
+            AccessRequest(alice(), URI),
+            limits=ResourceLimits(deadline_seconds=0.0),
+        )
+        assert not response.ok
+        assert isinstance(response.error, DeadlineExceeded)
+        last = list(server.audit)[-1]
+        assert last.outcome == "error"
+        assert last.detail.startswith("deadline-exceeded:")
+        assert (
+            server.metrics.value("guard_trips_total", kind="deadline-exceeded") == 1
+        )
+        assert (
+            server.metrics.value("requests_total", kind="serve", outcome="error")
+            == 1
+        )
+        # The failed request still has a latency observation.
+        assert server.stats()["latency"]["serve"]["count"] == 1
+
+    def test_retry_attempts_counted(self, tmp_path):
+        server = make_server(defer_parse=False)
+        FAULTS.arm("persistence.write", times=2)
+        save_server(server, tmp_path / "state")
+        assert METRICS.value("retry_attempts_total") == 2
+        assert METRICS.value("retry_exhausted_total") is None
+
+    def test_retry_exhaustion_counted(self, tmp_path):
+        server = make_server(defer_parse=False)
+        with FAULTS.injected("persistence.write"):
+            with pytest.raises(Exception):
+                save_server(server, tmp_path / "state")
+        assert METRICS.value("retry_exhausted_total") == 1

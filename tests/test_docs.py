@@ -1,0 +1,28 @@
+"""The documentation cannot rot: links resolve, examples execute.
+
+Thin pytest wrapper over ``tools/check_docs.py`` so the same checks
+run in the suite, the CI docs job, and by hand.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_relative_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_observability_examples_execute():
+    for doc in check_docs.EXECUTABLE_DOCS:
+        assert check_docs.run_examples(doc) == []
+
+
+def test_observability_has_examples():
+    for doc in check_docs.EXECUTABLE_DOCS:
+        assert len(check_docs.python_blocks(doc)) >= 3

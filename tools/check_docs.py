@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest.
+
+Two checks over the markdown corpus (``docs/*.md``, ``README.md``,
+``DESIGN.md``, ``EXPERIMENTS.md``):
+
+1. **Link check** — every relative markdown link (``[text](target)``)
+   must point at a file that exists (anchors and external URLs are
+   skipped; anchors within existing files are not resolved).
+2. **Example check** — every ``python`` code block in
+   docs/OBSERVABILITY.md is executed, in order, in one shared
+   namespace, so the worked examples cannot rot. Blocks build on each
+   other exactly as a reader following the document would.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+Exit status is non-zero on any failure; ``tests/test_docs.py`` wraps
+the same functions for the test suite and CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The documents whose links are checked.
+DOC_FILES = sorted(
+    [
+        *(REPO / "docs").glob("*.md"),
+        REPO / "README.md",
+        REPO / "DESIGN.md",
+        REPO / "EXPERIMENTS.md",
+    ]
+)
+
+#: The documents whose ``python`` blocks are executed.
+EXECUTABLE_DOCS = [REPO / "docs" / "OBSERVABILITY.md"]
+
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def iter_relative_links(text: str):
+    """Yield the relative-path link targets in a markdown document."""
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def check_links(doc_files=None) -> list[str]:
+    """Return one message per broken relative link."""
+    problems = []
+    for doc in doc_files or DOC_FILES:
+        base = doc.parent
+        for target in iter_relative_links(doc.read_text()):
+            if not (base / target).exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def python_blocks(doc: Path) -> list[str]:
+    """The ``python`` fenced code blocks of *doc*, in document order."""
+    return _FENCE.findall(doc.read_text())
+
+
+def run_examples(doc: Path) -> list[str]:
+    """Execute *doc*'s python blocks in one namespace; return failures."""
+    blocks = python_blocks(doc)
+    if not blocks:
+        return [f"{doc.relative_to(REPO)}: no python examples found"]
+    namespace: dict = {"__name__": f"doc_examples:{doc.name}"}
+    problems = []
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"{doc.name}[block {index}]", "exec"), namespace)
+        except Exception as exc:  # report and stop: later blocks depend on this one
+            problems.append(
+                f"{doc.relative_to(REPO)}: example block {index} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            break
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    for doc in EXECUTABLE_DOCS:
+        problems.extend(run_examples(doc))
+    for problem in problems:
+        print(f"FAIL {problem}")
+    if not problems:
+        link_count = sum(
+            len(list(iter_relative_links(doc.read_text()))) for doc in DOC_FILES
+        )
+        block_count = sum(len(python_blocks(doc)) for doc in EXECUTABLE_DOCS)
+        print(
+            f"ok: {len(DOC_FILES)} documents, {link_count} relative links, "
+            f"{block_count} executed examples"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
