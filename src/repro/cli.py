@@ -73,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     view.add_argument(
         "--emit-dtd", action="store_true", help="also print the loosened DTD"
     )
+    view.add_argument(
+        "--stream",
+        action="store_true",
+        help="enforce via the streaming engine (repro.stream) instead of "
+        "the DOM pipeline; output is identical",
+    )
+    view.add_argument(
+        "--query",
+        metavar="XPATH",
+        help="evaluate XPATH against the requester's view and print the "
+        "matches instead of the view itself",
+    )
 
     val = commands.add_parser("validate", help="validate a document against a DTD")
     val.add_argument("document")
@@ -161,7 +173,31 @@ def _cmd_view(args: argparse.Namespace) -> int:
             raise ReproError(f"bad credential {pair!r}; expected KEY=VALUE")
         requester = requester.with_credentials(**{key: value})
 
-    response = server.serve(AccessRequest(requester, args.uri))
+    if args.query:
+        from repro.server.request import QueryRequest
+
+        response = server.query(
+            QueryRequest(requester, args.uri, args.query), stream=args.stream
+        )
+        if not response.ok:
+            print(f"error: {response.error}", file=sys.stderr)
+            return 1
+        for match in response.matches:
+            print(match)
+        print(
+            f"{len(response.matches)} match(es) against a view of "
+            f"{response.visible_nodes}/{response.total_nodes} nodes",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.stream:
+        response = server.serve_stream(AccessRequest(requester, args.uri))
+    else:
+        response = server.serve(AccessRequest(requester, args.uri))
+    if not response.ok:
+        print(f"error: {response.error}", file=sys.stderr)
+        return 1
     if response.empty:
         print("<!-- empty view: nothing released -->")
     elif args.pretty:

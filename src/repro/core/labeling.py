@@ -34,28 +34,120 @@ from repro.subjects.hierarchy import SubjectHierarchy
 from repro.xml.nodes import Attribute, Document, Element, Node
 from repro.xpath.compile import RelativeMode
 
-__all__ = ["TreeLabeler", "LabelingResult", "SLOTS"]
+__all__ = [
+    "TreeLabeler",
+    "LabelingResult",
+    "SLOTS",
+    "INSTANCE_SLOT",
+    "SCHEMA_SLOT",
+    "ATTRIBUTE_SLOT_DEGRADE",
+    "most_specific",
+    "resolve_slot_sign",
+    "propagate_element_label",
+    "propagate_attribute_label",
+]
 
 #: The six label slots, in final-sign priority order.
 SLOTS = ("L", "R", "LD", "RD", "LW", "RW")
 
-# Instance-level authorization type -> slot.
-_INSTANCE_SLOT = {
+#: Instance-level authorization type -> slot.
+INSTANCE_SLOT = {
     AuthType.LOCAL: "L",
     AuthType.RECURSIVE: "R",
     AuthType.LOCAL_WEAK: "LW",
     AuthType.RECURSIVE_WEAK: "RW",
 }
 
-# Schema-level authorization type -> slot. Weak types are meaningless at
-# the schema level (strength only inverts instance/schema priority), so
-# they degrade to their strong counterparts.
-_SCHEMA_SLOT = {
+#: Schema-level authorization type -> slot. Weak types are meaningless at
+#: the schema level (strength only inverts instance/schema priority), so
+#: they degrade to their strong counterparts.
+SCHEMA_SLOT = {
     AuthType.LOCAL: "LD",
     AuthType.RECURSIVE: "RD",
     AuthType.LOCAL_WEAK: "LD",
     AuthType.RECURSIVE_WEAK: "RD",
 }
+
+#: On attributes — terminal nodes with "no propagation possible"
+#: (Section 6.1) — recursive slots degrade to their local counterparts,
+#: so an R authorization naming an attribute directly behaves like the
+#: L it effectively is.
+ATTRIBUTE_SLOT_DEGRADE = {"R": "L", "RW": "LW", "RD": "LD"}
+
+# Backwards-compatible private aliases.
+_INSTANCE_SLOT = INSTANCE_SLOT
+_SCHEMA_SLOT = SCHEMA_SLOT
+
+
+def most_specific(
+    authorizations: list[Authorization], hierarchy: SubjectHierarchy
+) -> list[Authorization]:
+    """Step 1b: discard authorizations whose subject is strictly
+    dominated by another applicable authorization's subject."""
+    return [
+        a
+        for a in authorizations
+        if not any(
+            other is not a
+            and hierarchy.strictly_dominates(other.subject, a.subject)
+            for other in authorizations
+        )
+    ]
+
+
+def resolve_slot_sign(
+    authorizations: list[Authorization],
+    hierarchy: SubjectHierarchy,
+    policy: ConflictPolicy,
+) -> str:
+    """Resolve the sign of one label slot (paper's steps 1b/1c).
+
+    Keeps the authorizations whose subject is not strictly dominated by
+    another applicable authorization's subject, then lets *policy*
+    resolve the surviving signs. Shared by the DOM labeler and the
+    streaming labeler so both backends agree sign-for-sign.
+    """
+    if len(authorizations) == 1:
+        return authorizations[0].sign.value
+    survivors = most_specific(authorizations, hierarchy)
+    return policy.resolve([a.sign for a in survivors])
+
+
+def propagate_element_label(label: Label, parent: Label) -> None:
+    """Element propagation (paper prose, Section 6.1).
+
+    The recursive pair (R, RW) propagates from the parent only when the
+    node carries no recursive authorization of either strength — "most
+    specific overrides", with a node's weak recursive authorization also
+    blocking the parent's strong one. Schema recursion propagates
+    independently. Local signs never propagate to sub-elements.
+    """
+    if label.R == EPSILON and label.RW == EPSILON:
+        label.R = parent.R
+        label.RW = parent.RW
+    label.RD = first_def(label.RD, parent.RD)
+    label.compute_final()
+
+
+def propagate_attribute_label(label: Label, parent: Label) -> None:
+    """Attribute propagation (DESIGN.md decision 2).
+
+    R/RW/RD are always ε on attributes. The parent contributes, in
+    order local-before-recursive at each level: instance-strong
+    (L_p, R_p), schema (LD_p, RD_p) and weak (LW_p, RW_p) signs. An
+    attribute's own weak authorization blocks parent *instance*
+    propagation but still yields to schema signs.
+    """
+    own_weak = label.LW
+    label.LD = first_def(label.LD, parent.LD, parent.RD)
+    label.LW = first_def(label.LW, parent.LW, parent.RW)
+    if own_weak != EPSILON:
+        label.final = first_def(label.L, label.LD, own_weak)
+    else:
+        label.final = first_def(
+            label.L, parent.L, parent.R, label.LD, label.LW
+        )
+    # Recursive slots stay ε: attributes are terminal nodes.
 
 
 @dataclass
@@ -191,11 +283,7 @@ class TreeLabeler:
             slot = _SCHEMA_SLOT[authorization.type]
             self._bin_one(authorization, slot, root_context)
 
-    # On attributes — terminal nodes with "no propagation possible"
-    # (Section 6.1) — recursive slots degrade to their local
-    # counterparts, so an R authorization naming an attribute directly
-    # behaves like the L it effectively is.
-    _ATTRIBUTE_SLOT = {"R": "L", "RW": "LW", "RD": "LD"}
+    _ATTRIBUTE_SLOT = ATTRIBUTE_SLOT_DEGRADE
 
     def _bin_one(self, authorization: Authorization, slot: str, context: Node) -> None:
         nodes = authorization.select_nodes(
@@ -232,24 +320,12 @@ class TreeLabeler:
         return label
 
     def _resolve_slot(self, authorizations: list[Authorization]) -> str:
-        if len(authorizations) == 1:
-            return authorizations[0].sign.value
-        survivors = self._most_specific(authorizations)
-        return self._policy.resolve([a.sign for a in survivors])
+        return resolve_slot_sign(authorizations, self._hierarchy, self._policy)
 
-    def _most_specific(self, authorizations: list[Authorization]) -> list[Authorization]:
-        """Step 1b: discard authorizations whose subject is strictly
-        dominated by another applicable authorization's subject."""
-        hierarchy = self._hierarchy
-        return [
-            a
-            for a in authorizations
-            if not any(
-                other is not a
-                and hierarchy.strictly_dominates(other.subject, a.subject)
-                for other in authorizations
-            )
-        ]
+    def _most_specific(
+        self, authorizations: list[Authorization]
+    ) -> list[Authorization]:
+        return most_specific(authorizations, self._hierarchy)
 
     # -- label(n, p) ------------------------------------------------------------
 
@@ -265,41 +341,8 @@ class TreeLabeler:
             label.final = parent_label.final
         return label
 
-    def _propagate_to_element(self, label: Label, parent: Label) -> None:
-        """Element propagation (paper prose, Section 6.1).
-
-        The recursive pair (R, RW) propagates from the parent only when
-        the node carries no recursive authorization of either strength —
-        "most specific overrides", with a node's weak recursive
-        authorization also blocking the parent's strong one. Schema
-        recursion propagates independently. Local signs never propagate
-        to sub-elements.
-        """
-        if label.R == EPSILON and label.RW == EPSILON:
-            label.R = parent.R
-            label.RW = parent.RW
-        label.RD = first_def(label.RD, parent.RD)
-        label.compute_final()
-
-    def _propagate_to_attribute(self, label: Label, parent: Label) -> None:
-        """Attribute propagation (DESIGN.md decision 2).
-
-        R/RW/RD are always ε on attributes. The parent contributes, in
-        order local-before-recursive at each level: instance-strong
-        (L_p, R_p), schema (LD_p, RD_p) and weak (LW_p, RW_p) signs.
-        An attribute's own weak authorization blocks parent *instance*
-        propagation but still yields to schema signs.
-        """
-        own_weak = label.LW
-        label.LD = first_def(label.LD, parent.LD, parent.RD)
-        label.LW = first_def(label.LW, parent.LW, parent.RW)
-        if own_weak != EPSILON:
-            label.final = first_def(label.L, label.LD, own_weak)
-        else:
-            label.final = first_def(
-                label.L, parent.L, parent.R, label.LD, label.LW
-            )
-        # Recursive slots stay ε: attributes are terminal nodes.
+    _propagate_to_element = staticmethod(propagate_element_label)
+    _propagate_to_attribute = staticmethod(propagate_attribute_label)
 
     # -- helpers ---------------------------------------------------------------
 

@@ -138,6 +138,12 @@ class ResourceLimits:
     deadline_seconds:
         Wall-clock budget for one whole request; enforced via a shared
         :class:`Deadline` checked periodically by every stage.
+    max_stream_buffer_bytes:
+        Upper bound on characters the streaming pipeline may hold
+        back at once (the reader's carry-over buffer plus the
+        labeler's pending-subtree buffer). This is the streaming
+        engine's memory guard — it replaces ``max_node_count``, which
+        only caps *materialized* trees.
     """
 
     max_input_bytes: Optional[int] = 50_000_000
@@ -148,6 +154,7 @@ class ResourceLimits:
     max_entity_expansions: Optional[int] = 10_000
     max_xpath_steps: Optional[int] = 10_000_000
     deadline_seconds: Optional[float] = None
+    max_stream_buffer_bytes: Optional[int] = 4_000_000
 
     def deadline(self) -> Deadline:
         """Arm a fresh :class:`Deadline` for one request."""
@@ -171,6 +178,7 @@ class ResourceLimits:
             max_entity_expansions=None,
             max_xpath_steps=None,
             deadline_seconds=None,
+            max_stream_buffer_bytes=None,
         )
 
 

@@ -64,6 +64,26 @@ class StoredDocument:
                     self.parsed.dtd = published
         return self.parsed
 
+    def source_text(self) -> str:
+        """The document as text, for the streaming pipeline.
+
+        Returns the stored source verbatim when the document was
+        published as text — the common case, and the one where
+        streaming never materializes a tree. A document stored only as
+        a parsed tree is re-serialized (with its DOCTYPE, so the
+        streaming reader sees the same entity declarations); note that
+        a re-serialized tree is not guaranteed to round-trip exotic
+        nodes (e.g. an explicitly constructed empty text node
+        serializes as ``<a></a>`` whose re-parse has no text node).
+        """
+        if self.text is not None:
+            return self.text
+        if self.parsed is None:
+            raise RepositoryError(f"document {self.uri!r} has no content")
+        from repro.xml.serializer import serialize
+
+        return serialize(self.parsed)
+
 
 class Repository:
     """URI-keyed storage for documents and DTDs."""

@@ -41,11 +41,18 @@ from repro.server.cache import CachedView, ViewCache
 from repro.server.repository import Repository
 from repro.server.request import AccessRequest, AccessResponse, QueryRequest
 from repro.server.updates import UpdateEngine, UpdateOutcome, UpdateRequest
+from repro.stream.events import DoctypeDecl, StartElement
+from repro.stream.labeler import StreamLabeler
+from repro.stream.paths import StreamPathUnsupported
+from repro.stream.reader import StreamReader
+from repro.stream.writer import StreamWriter
 from repro.subjects.hierarchy import Requester, SubjectHierarchy
 from repro.xml.nodes import Document
+from repro.xml.parser import parse_document
 from repro.xml.serializer import serialize
 from repro.xpath.compile import RelativeMode
 from repro.xpath.evaluator import select
+from repro.dtd.loosen import loosen
 from repro.dtd.serializer import serialize_dtd
 
 __all__ = ["PolicyConfig", "SecureXMLServer"]
@@ -357,8 +364,217 @@ class SecureXMLServer:
         )
         return response
 
+    def serve_stream(
+        self,
+        request: AccessRequest,
+        limits: Optional[ResourceLimits] = None,
+        sink=None,
+        chunk_size: int = 65536,
+        feed_size: int = 65536,
+    ) -> AccessResponse:
+        """Serve one document request through the streaming pipeline.
+
+        Semantically identical to :meth:`serve` — the view text, the
+        loosened DTD, the ``empty`` flag and the node counts are the
+        same, byte for byte — but the document is never materialized as
+        a tree: the stored source streams through
+        :class:`~repro.stream.reader.StreamReader` →
+        :class:`~repro.stream.labeler.StreamLabeler` →
+        :class:`~repro.stream.writer.StreamWriter`, in memory bounded
+        by ``ResourceLimits.max_stream_buffer_bytes`` instead of the
+        document size (``max_node_count`` does not apply: no nodes are
+        created).
+
+        *sink*, when given, receives the view text incrementally in
+        chunks of roughly *chunk_size* characters — the first visible
+        bytes leave before the last input byte is read. *feed_size* is
+        how much source is handed to the reader per step.
+
+        When an applicable authorization's path expression falls
+        outside the streamable XPath subset, the request transparently
+        falls back to the DOM pipeline (counted on
+        ``stream_fallback_total``); correctness is never traded for
+        streaming. The view cache is bypassed in both directions —
+        streaming neither reads nor populates it.
+        """
+        with self._request_scope("serve_stream") as scope:
+            response = self._serve_stream(
+                request, limits, sink, chunk_size, feed_size
+            )
+        response.timings = scope.timings
+        return response
+
+    def _serve_stream(
+        self,
+        request: AccessRequest,
+        limits: Optional[ResourceLimits],
+        sink,
+        chunk_size: int,
+        feed_size: int,
+    ) -> AccessResponse:
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
+        self._enforce_history_limit(request.requester, request.uri)
+        started = time.perf_counter()
+        stored = self._stored(request.requester, request.uri, request.action)
+        config = self.policy_for(request.uri)
+        try:
+            deadline.check("request")
+            xml_text, labeler = self._stream_view(
+                request, stored, config, limits, deadline,
+                sink=sink, chunk_size=chunk_size, feed_size=feed_size,
+            )
+        except StreamPathUnsupported as exc:
+            self.metrics.counter(
+                "stream_fallback_total", reason="unsupported-path"
+            ).inc()
+            self.audit.record(
+                request.requester,
+                request.uri,
+                request.action,
+                "fallback",
+                detail=f"stream fallback: {exc}",
+            )
+            return self._serve(request, limits)
+        except ResourceError as exc:
+            return self._guard_failure(request, exc, started, kind="serve_stream")
+
+        dtd = labeler.dtd
+        if dtd is None and stored.dtd_uri and self.repository.has_dtd(stored.dtd_uri):
+            dtd = self.repository.dtd(stored.dtd_uri)
+        loosened_text = None
+        if dtd is not None:
+            with span("dtd.loosen"):
+                loosened_text = serialize_dtd(loosen(dtd))
+
+        elapsed = time.perf_counter() - started
+        stats = labeler.stats
+        self.metrics.counter("stream_events_total").inc(stats.events)
+        if stats.buffered_elements:
+            self.metrics.counter("stream_buffered_subtrees_total").inc(
+                stats.buffered_elements
+            )
+        self.metrics.histogram("stream_peak_buffer_depth").observe(
+            stats.peak_pending_depth
+        )
+        response = AccessResponse(
+            uri=request.uri,
+            xml_text=xml_text,
+            loosened_dtd_text=loosened_text,
+            empty=labeler.empty,
+            visible_nodes=stats.visible_nodes,
+            total_nodes=stats.total_nodes,
+            elapsed_seconds=elapsed,
+        )
+        outcome = "empty" if labeler.empty else "released"
+        self._record_request("serve_stream", outcome, elapsed)
+        self.audit.record(
+            request.requester,
+            request.uri,
+            request.action,
+            outcome,
+            visible_nodes=stats.visible_nodes,
+            total_nodes=stats.total_nodes,
+            elapsed_seconds=elapsed,
+            detail="streamed",
+        )
+        return response
+
+    def _stream_view(
+        self,
+        request: AccessRequest,
+        stored,
+        config: PolicyConfig,
+        limits: ResourceLimits,
+        deadline: Deadline,
+        sink=None,
+        chunk_size: int = 65536,
+        feed_size: int = 65536,
+    ) -> tuple[str, StreamLabeler]:
+        """Run the reader → labeler → writer pipeline for one request.
+
+        Returns the view text and the finished labeler (stats, doctype
+        info, emptiness). Raises
+        :class:`~repro.stream.paths.StreamPathUnsupported` when an
+        applicable authorization cannot be compiled for streaming, and
+        lets resource guards (:class:`~repro.errors.ResourceError`) and
+        syntax errors propagate — the callers decide how to surface
+        them.
+        """
+        text = stored.source_text()
+        reader = StreamReader(limits=limits, deadline=deadline)
+        writer = StreamWriter(sink=sink, chunk_size=chunk_size)
+        # The labeler is built lazily, at the root element: by then the
+        # DOCTYPE (if any) has been read, so schema-level authorizations
+        # can bind to the declared SYSTEM DTD even for deferred-parse
+        # documents — the same information the DOM path gets from the
+        # parsed tree.
+        labeler: Optional[StreamLabeler] = None
+        held: list = []
+
+        def build_labeler() -> StreamLabeler:
+            doctype_system = next(
+                (
+                    event.system_id
+                    for event in held
+                    if isinstance(event, DoctypeDecl)
+                ),
+                None,
+            )
+            if stored.dtd_uri is None and doctype_system is not None:
+                stored.dtd_uri = doctype_system
+            now = time.time()
+            with span("authz.bind"):
+                instance_auths = self.store.applicable(
+                    request.requester, request.uri, request.action, at=now
+                )
+                dtd_uri = stored.dtd_uri
+                schema_auths = (
+                    self.store.applicable(
+                        request.requester, dtd_uri, request.action, at=now
+                    )
+                    if dtd_uri
+                    else []
+                )
+            with span("stream.compile"):
+                return StreamLabeler(
+                    writer,
+                    instance_auths,
+                    schema_auths,
+                    hierarchy=self.hierarchy,
+                    policy=config.build_policy(),
+                    open_policy=config.open_policy,
+                    relative_mode=config.relative_paths,
+                    limits=limits,
+                    deadline=deadline,
+                )
+
+        with span("stream.pipeline"):
+            for start in range(0, len(text), feed_size):
+                events = reader.feed(text[start : start + feed_size])
+                if labeler is None:
+                    held.extend(events)
+                    if any(isinstance(event, StartElement) for event in events):
+                        labeler = build_labeler()
+                        labeler.feed(held)
+                        held = []
+                else:
+                    labeler.feed(events)
+            events = reader.close()
+            if labeler is None:
+                held.extend(events)
+                labeler = build_labeler()
+                labeler.feed(held)
+            else:
+                labeler.feed(events)
+            xml_text = writer.end_document()
+        return xml_text, labeler
+
     def query(
-        self, request: QueryRequest, limits: Optional[ResourceLimits] = None
+        self,
+        request: QueryRequest,
+        limits: Optional[ResourceLimits] = None,
+        stream: bool = False,
     ) -> AccessResponse:
         """Answer a path-expression query against the requester's view.
 
@@ -369,35 +585,77 @@ class SecureXMLServer:
         comes back as a structured, audited failure. Like :meth:`serve`,
         ``response.timings`` carries the per-stage breakdown (the whole
         request appears as ``request.query``).
+
+        With *stream* the view is produced by the streaming pipeline
+        (no tree of the stored document is materialized; only the —
+        typically much smaller — pruned view is parsed for evaluation),
+        falling back to the DOM pipeline when an authorization path is
+        not streamable. The query result is identical either way.
         """
         with self._request_scope("query") as scope:
-            response = self._query(request, limits)
+            response = self._query(request, limits, stream=stream)
         response.timings = scope.timings
         return response
 
     def _query(
-        self, request: QueryRequest, limits: Optional[ResourceLimits]
+        self,
+        request: QueryRequest,
+        limits: Optional[ResourceLimits],
+        stream: bool = False,
     ) -> AccessResponse:
         limits = limits if limits is not None else self.limits
         deadline = limits.deadline()
         started = time.perf_counter()
         try:
             deadline.check("request")
-            view = self._view_for(
-                request.requester,
-                request.uri,
-                request.action,
-                limits=limits,
-                deadline=deadline,
-            )
+            view_document = None
+            if stream:
+                stored = self._stored(
+                    request.requester, request.uri, request.action
+                )
+                config = self.policy_for(request.uri)
+                try:
+                    xml_text, labeler = self._stream_view(
+                        request, stored, config, limits, deadline
+                    )
+                except StreamPathUnsupported:
+                    self.metrics.counter(
+                        "stream_fallback_total", reason="unsupported-path"
+                    ).inc()
+                else:
+                    # An empty view has no root to parse; queries over
+                    # it match nothing (as in the DOM path).
+                    view_document = (
+                        Document()
+                        if labeler.empty
+                        else parse_document(
+                            xml_text,
+                            uri=request.uri,
+                            limits=limits,
+                            deadline=deadline,
+                        )
+                    )
+                    visible_nodes = labeler.stats.visible_nodes
+                    total_nodes = labeler.stats.total_nodes
+            if view_document is None:
+                view = self._view_for(
+                    request.requester,
+                    request.uri,
+                    request.action,
+                    limits=limits,
+                    deadline=deadline,
+                )
+                view_document = view.document
+                visible_nodes = view.visible_nodes
+                total_nodes = view.total_nodes
             nodes = (
                 select(
                     request.xpath,
-                    view.document,
+                    view_document,
                     max_steps=limits.max_xpath_steps,
                     deadline=deadline,
                 )
-                if view.document.root
+                if view_document.root
                 else []
             )
         except ResourceError as exc:
@@ -419,15 +677,15 @@ class SecureXMLServer:
             f"query[{request.xpath}]",
             outcome,
             visible_nodes=len(matches),
-            total_nodes=view.total_nodes,
+            total_nodes=total_nodes,
             elapsed_seconds=elapsed,
         )
         return AccessResponse(
             uri=request.uri,
             xml_text="\n".join(matches),
             empty=not matches,
-            visible_nodes=view.visible_nodes,
-            total_nodes=view.total_nodes,
+            visible_nodes=visible_nodes,
+            total_nodes=total_nodes,
             elapsed_seconds=elapsed,
             matches=matches,
         )

@@ -1,0 +1,64 @@
+"""repro.stream — streaming (event-based) view enforcement.
+
+An alternative enforcement backend to the DOM pipeline of
+:mod:`repro.core`: the document flows through as a pull-based event
+stream (:mod:`repro.stream.reader`), authorization path expressions are
+compiled to NFA-style matchers evaluated per event
+(:mod:`repro.stream.paths`), labels propagate in a single pass with a
+pending buffer only for elements whose visibility is not yet decidable
+(:mod:`repro.stream.labeler`), and the view serializes incrementally
+(:mod:`repro.stream.writer`). Memory stays bounded by
+``ResourceLimits.max_stream_buffer_bytes`` instead of the document
+size, and the first visible byte leaves before the last input byte
+arrives.
+
+The streamed view is byte-identical to the DOM pipeline's
+(``serialize(compute_view(...), doctype=False)``); the differential
+suite under ``tests/stream/`` enforces this across the generated
+corpus. Paths outside the streamable XPath subset raise
+:class:`~repro.stream.paths.StreamPathUnsupported`, which the server
+facade turns into a transparent fallback to the DOM pipeline.
+"""
+
+from repro.stream.builder import DocumentBuilder, document_from_events
+from repro.stream.events import (
+    Characters,
+    CommentEvent,
+    DoctypeDecl,
+    EndDocument,
+    EndElement,
+    PIEvent,
+    StartDocument,
+    StartElement,
+    StreamEvent,
+)
+from repro.stream.labeler import StreamLabeler, StreamStats
+from repro.stream.paths import (
+    StreamPathUnsupported,
+    StreamPattern,
+    compile_stream_pattern,
+)
+from repro.stream.reader import StreamReader, iter_events
+from repro.stream.writer import StreamWriter
+
+__all__ = [
+    "DocumentBuilder",
+    "document_from_events",
+    "Characters",
+    "CommentEvent",
+    "DoctypeDecl",
+    "EndDocument",
+    "EndElement",
+    "PIEvent",
+    "StartDocument",
+    "StartElement",
+    "StreamEvent",
+    "StreamLabeler",
+    "StreamStats",
+    "StreamPathUnsupported",
+    "StreamPattern",
+    "compile_stream_pattern",
+    "StreamReader",
+    "iter_events",
+    "StreamWriter",
+]

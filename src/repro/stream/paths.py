@@ -1,0 +1,416 @@
+"""Compile authorization path expressions into streaming matchers.
+
+The DOM pipeline evaluates each authorization's XPath against the
+materialized tree. Here the same expressions compile into NFA-style
+position automata evaluated per :class:`StartElement` event — the same
+set-of-states technique as the Glushkov automata in
+:mod:`repro.dtd.content_model`, applied to location paths (cf. Mahfoud
+& Imine's rewriting approach to securely querying XML views).
+
+A compiled :class:`PathProgram` is a sequence of steps of two kinds:
+
+- an *element step* (``child::name`` / ``child::*``, with optional
+  attribute predicates), which consumes one tree level;
+- a *descendant glue* step (``descendant-or-self::node()``, written
+  ``//``), which may consume any number of levels, including zero.
+
+A state is a set of step positions; entering an element advances the
+parent's set, ε-closing through glue steps — so ``/a//@id`` correctly
+selects ``a``'s own attributes (the "self" case of ``//``) as well as
+every descendant's. Matching one element costs O(states), independent
+of document size.
+
+Only the subset actually used by authorization objects is streamable:
+child/descendant name tests, attribute tails, and attribute-comparison
+predicates. Anything else (ancestor axes, positional predicates,
+functions...) raises :class:`StreamPathUnsupported`; the server facade
+falls back to the DOM pipeline, so unsupported policies stay *correct*,
+just not streamed.
+
+Node tests that can only select text or comment nodes compile to a
+null program on purpose: authorizations binned on such nodes have no
+effect in the DOM pipeline either (value visibility always follows the
+parent element's final sign), so dropping them preserves equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    Literal,
+    LocationPath,
+    NodeTestKind,
+    Step,
+    UnionExpr,
+)
+from repro.xpath.compile import RelativeMode, compile_xpath
+
+__all__ = [
+    "StreamPathUnsupported",
+    "AttrPredicate",
+    "ElementStep",
+    "DESCENDANT_GLUE",
+    "PathProgram",
+    "StreamPattern",
+    "compile_stream_pattern",
+]
+
+
+class StreamPathUnsupported(ReproError):
+    """The expression falls outside the streamable XPath subset."""
+
+
+@dataclass(frozen=True)
+class AttrPredicate:
+    """``[@name]``, ``[./@name = "v"]`` or ``[@name != "v"]``.
+
+    *name* ``None`` means ``@*``. *op* ``None`` is a bare existence
+    test. Comparison semantics follow the evaluator's node-set rules:
+    ``=`` holds iff a matching attribute exists with that exact value,
+    ``!=`` iff one exists with a different value.
+    """
+
+    name: Optional[str]
+    op: Optional[str] = None
+    value: Optional[str] = None
+
+    def matches(self, attributes: dict[str, str]) -> bool:
+        if self.name is not None:
+            if self.name not in attributes:
+                return False
+            candidates = (attributes[self.name],)
+        else:
+            if not attributes:
+                return False
+            candidates = tuple(attributes.values())
+        if self.op is None:
+            return True
+        if self.op == "=":
+            return any(value == self.value for value in candidates)
+        return any(value != self.value for value in candidates)
+
+
+@dataclass(frozen=True)
+class ElementStep:
+    """One ``child::`` step: name test (``None`` = wildcard) plus
+    attribute predicates (all must hold)."""
+
+    name: Optional[str]
+    predicates: tuple[AttrPredicate, ...] = ()
+
+    def matches(self, name: str, attributes: dict[str, str]) -> bool:
+        if self.name is not None and self.name != name:
+            return False
+        return all(p.matches(attributes) for p in self.predicates)
+
+
+class _Glue:
+    """Sentinel for a ``descendant-or-self::node()`` step."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "//"
+
+
+DESCENDANT_GLUE = _Glue()
+
+_StepT = Union[ElementStep, _Glue]
+
+
+@dataclass(frozen=True)
+class _AttrTail:
+    """A trailing ``@name`` / ``@*`` step selecting attributes."""
+
+    name: Optional[str]
+
+    def matches(self, attr_name: str) -> bool:
+        return self.name is None or self.name == attr_name
+
+
+@dataclass
+class PathProgram:
+    """One compiled location path.
+
+    A state is a frozenset of positions into *steps*; position
+    ``len(steps)`` is the accepting position. A null program (a path
+    that can never select an element or attribute) has ``null`` set and
+    empty machinery.
+    """
+
+    steps: tuple[_StepT, ...] = ()
+    attr: Optional[_AttrTail] = None
+    null: bool = False
+
+    _EMPTY: frozenset = frozenset()
+
+    def initial(self) -> frozenset:
+        """The document node's state, before any element."""
+        if self.null:
+            return self._EMPTY
+        return self._closure({0})
+
+    def advance(
+        self, states: frozenset, name: str, attributes: dict[str, str]
+    ) -> frozenset:
+        """The state of a child element reached from *states*."""
+        if not states:
+            return self._EMPTY
+        out: set[int] = set()
+        steps = self.steps
+        for position in states:
+            if position >= len(steps):
+                continue
+            step = steps[position]
+            if step is DESCENDANT_GLUE:
+                out.add(position)  # stay inside the glue...
+                # (...position+1 was already added by the ε-closure)
+            elif step.matches(name, attributes):
+                out.add(position + 1)
+        return self._closure(out)
+
+    def accepts_element(self, states: frozenset) -> bool:
+        """Whether the element owning *states* is selected."""
+        return self.attr is None and len(self.steps) in states
+
+    def attr_active(self, states: frozenset) -> bool:
+        """Whether this element's attributes are candidates."""
+        return self.attr is not None and len(self.steps) in states
+
+    def matches_attribute(self, states: frozenset, attr_name: str) -> bool:
+        return self.attr_active(states) and self.attr.matches(attr_name)
+
+    def _closure(self, positions: set) -> frozenset:
+        """ε-closure: glue steps also match the empty descent."""
+        pending = list(positions)
+        out = set(positions)
+        steps = self.steps
+        while pending:
+            position = pending.pop()
+            if position < len(steps) and steps[position] is DESCENDANT_GLUE:
+                nxt = position + 1
+                if nxt not in out:
+                    out.add(nxt)
+                    pending.append(nxt)
+        return frozenset(out)
+
+
+#: ``/*`` — what a bare-URI authorization object denotes (the document's
+#: root element; DESIGN.md decision 4).
+ROOT_PROGRAM = PathProgram(steps=(ElementStep(None),))
+
+_NULL = PathProgram(null=True)
+
+
+@dataclass
+class StreamPattern:
+    """The compiled form of one authorization object's path."""
+
+    source: Optional[str]
+    programs: list[PathProgram] = field(default_factory=list)
+
+    def initial(self) -> list[frozenset]:
+        return [program.initial() for program in self.programs]
+
+    def advance(
+        self, states: list[frozenset], name: str, attributes: dict[str, str]
+    ) -> list[frozenset]:
+        return [
+            program.advance(state, name, attributes)
+            for program, state in zip(self.programs, states)
+        ]
+
+    def accepts_element(self, states: list[frozenset]) -> bool:
+        return any(
+            program.accepts_element(state)
+            for program, state in zip(self.programs, states)
+        )
+
+    def any_attr_active(self, states: list[frozenset]) -> bool:
+        return any(
+            program.attr_active(state)
+            for program, state in zip(self.programs, states)
+        )
+
+    def matches_attribute(self, states: list[frozenset], attr_name: str) -> bool:
+        return any(
+            program.matches_attribute(state, attr_name)
+            for program, state in zip(self.programs, states)
+        )
+
+    def alive(self, states: list[frozenset]) -> bool:
+        """Whether any program can still match somewhere below."""
+        return any(state for state in states)
+
+
+def compile_stream_pattern(
+    path: Optional[str], relative_mode: RelativeMode = "descendant"
+) -> StreamPattern:
+    """Compile an authorization path for streaming evaluation.
+
+    ``None`` (a bare-URI object) denotes the document's root element.
+    Raises :class:`StreamPathUnsupported` for expressions outside the
+    streamable subset.
+    """
+    if path is None:
+        return StreamPattern(source=None, programs=[ROOT_PROGRAM])
+    return _compile_cached(path, relative_mode)
+
+
+@lru_cache(maxsize=1024)
+def _compile_cached(path: str, relative_mode: RelativeMode) -> StreamPattern:
+    # compile_xpath parses (with its own memoization) and applies the
+    # same relative-path anchoring as the DOM pipeline, so both backends
+    # see the identical AST.
+    ast = compile_xpath(path, relative_mode).ast
+    programs = [_compile_path(part, path) for part in _union_parts(ast, path)]
+    return StreamPattern(source=path, programs=programs)
+
+
+def _union_parts(ast: Expr, source: str) -> list[Expr]:
+    if isinstance(ast, UnionExpr):
+        return list(ast.parts)
+    return [ast]
+
+
+def _compile_path(ast: Expr, source: str) -> PathProgram:
+    if not isinstance(ast, LocationPath):
+        raise StreamPathUnsupported(
+            f"cannot stream {type(ast).__name__} expression {source!r}"
+        )
+    steps: list[_StepT] = []
+    attr: Optional[_AttrTail] = None
+    for index, step in enumerate(ast.steps):
+        last = index == len(ast.steps) - 1
+        if attr is not None:
+            # Attributes are terminal; nothing may follow.
+            raise StreamPathUnsupported(
+                f"step after attribute step in {source!r}"
+            )
+        if step.axis is Axis.DESCENDANT_OR_SELF:
+            if step.test.kind is not NodeTestKind.NODE or step.predicates:
+                raise StreamPathUnsupported(
+                    f"cannot stream predicated descendant-or-self in {source!r}"
+                )
+            steps.append(DESCENDANT_GLUE)
+            continue
+        if step.axis is Axis.DESCENDANT:
+            steps.append(DESCENDANT_GLUE)
+            element = _element_step(step, source)
+            if element is None:  # text()/comment(): nothing selectable
+                return _NULL
+            steps.append(element)
+            continue
+        if step.axis is Axis.CHILD:
+            element = _element_step(step, source)
+            if element is None:
+                return _NULL
+            steps.append(element)
+            continue
+        if step.axis is Axis.SELF:
+            # self::node() consumes nothing — an ε-step ('.' in a path).
+            if step.test.kind is NodeTestKind.NODE and not step.predicates:
+                continue
+            raise StreamPathUnsupported(
+                f"cannot stream self step with a test in {source!r}"
+            )
+        if step.axis is Axis.ATTRIBUTE:
+            if step.predicates:
+                raise StreamPathUnsupported(
+                    f"cannot stream predicated attribute step in {source!r}"
+                )
+            if not last:
+                raise StreamPathUnsupported(
+                    f"step after attribute step in {source!r}"
+                )
+            if step.test.kind is NodeTestKind.NAME:
+                attr = _AttrTail(step.test.name)
+            elif step.test.kind in (NodeTestKind.WILDCARD, NodeTestKind.NODE):
+                attr = _AttrTail(None)
+            else:  # text()/comment() on the attribute axis: empty set
+                return _NULL
+            continue
+        raise StreamPathUnsupported(
+            f"cannot stream axis {step.axis.value!r} in {source!r}"
+        )
+    return PathProgram(steps=tuple(steps), attr=attr)
+
+
+def _element_step(step: Step, source: str) -> Optional[ElementStep]:
+    """An :class:`ElementStep` for a child/descendant step, or ``None``
+    when the node test can only select text/comment nodes (whose labels
+    never affect the view)."""
+    kind = step.test.kind
+    if kind in (NodeTestKind.TEXT, NodeTestKind.COMMENT):
+        return None
+    if kind is NodeTestKind.NAME:
+        name = step.test.name
+    elif kind in (NodeTestKind.WILDCARD, NodeTestKind.NODE):
+        name = None
+    else:  # pragma: no cover - exhaustive over NodeTestKind
+        raise StreamPathUnsupported(f"cannot stream node test in {source!r}")
+    predicates = tuple(
+        _attr_predicate(predicate, source) for predicate in step.predicates
+    )
+    return ElementStep(name=name, predicates=predicates)
+
+
+def _attr_predicate(predicate: Expr, source: str) -> AttrPredicate:
+    if isinstance(predicate, LocationPath):
+        name = _attr_path_name(predicate)
+        if name is not _UNSUPPORTED:
+            return AttrPredicate(name=name)
+    if isinstance(predicate, BinaryExpr) and predicate.op in ("=", "!="):
+        left, right = predicate.left, predicate.right
+        if isinstance(right, Literal) and isinstance(left, LocationPath):
+            path, literal = left, right
+        elif isinstance(left, Literal) and isinstance(right, LocationPath):
+            path, literal = right, left
+        else:
+            raise StreamPathUnsupported(
+                f"cannot stream predicate in {source!r}"
+            )
+        name = _attr_path_name(path)
+        if name is not _UNSUPPORTED:
+            return AttrPredicate(name=name, op=predicate.op, value=literal.value)
+    raise StreamPathUnsupported(f"cannot stream predicate in {source!r}")
+
+
+_UNSUPPORTED = object()
+
+
+def _attr_path_name(path: LocationPath):
+    """The attribute name of an ``@k`` / ``./@k`` predicate path.
+
+    Returns ``None`` for ``@*``, or :data:`_UNSUPPORTED` when the path
+    is not a pure own-attribute reference.
+    """
+    if path.absolute:
+        return _UNSUPPORTED
+    steps = path.steps
+    if len(steps) == 2:
+        first = steps[0]
+        if not (
+            first.axis is Axis.SELF
+            and first.test.kind is NodeTestKind.NODE
+            and not first.predicates
+        ):
+            return _UNSUPPORTED
+        steps = steps[1:]
+    if len(steps) != 1:
+        return _UNSUPPORTED
+    step = steps[0]
+    if step.axis is not Axis.ATTRIBUTE or step.predicates:
+        return _UNSUPPORTED
+    if step.test.kind is NodeTestKind.NAME:
+        return step.test.name
+    if step.test.kind in (NodeTestKind.WILDCARD, NodeTestKind.NODE):
+        return None
+    return _UNSUPPORTED

@@ -1,0 +1,727 @@
+"""An incremental (feed-style) XML tokenizer.
+
+:class:`StreamReader` accepts the document in arbitrary chunks and
+emits :mod:`repro.stream.events`. It recognizes exactly the language of
+:class:`repro.xml.parser.XMLParser` — same character classes, same
+attribute-value normalization, same reference resolution, same
+well-formedness checks — so a tree rebuilt from its events is identical
+to a DOM parse of the same text (property-tested).
+
+The reader holds back only what it must:
+
+- the unconsumed tail of the current construct (a start tag until its
+  ``>``, a comment until ``-->``, one text segment until the next
+  markup — or, for long runs, just the unsafe suffix);
+- an ``&`` reference that has not yet seen its ``;``
+  (:func:`repro.xml.escape.incomplete_reference_suffix` — the
+  chunk-boundary fix shared with ``parse_document_chunks``);
+- a trailing ``]`` / ``]]`` (the ``]]>``-in-character-data check may
+  span chunks) and a trailing ``\\r`` (EOL normalization may pair it
+  with a ``\\n`` from the next chunk).
+
+That carry-over buffer is bounded by
+``ResourceLimits.max_stream_buffer_bytes``; documents of any length
+stream in constant memory as long as no single construct exceeds the
+budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import LimitExceeded, XMLLimitExceeded, XMLSyntaxError
+from repro.limits import Deadline, ResourceLimits
+from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char, is_xml_char
+from repro.xml.escape import incomplete_reference_suffix, resolve_references
+from repro.stream.events import (
+    Characters,
+    CommentEvent,
+    DoctypeDecl,
+    EndDocument,
+    EndElement,
+    PIEvent,
+    StartDocument,
+    StartElement,
+    StreamEvent,
+)
+
+__all__ = ["StreamReader", "iter_events"]
+
+_PROLOG = 0
+_CONTENT = 1
+_EPILOG = 2
+
+#: Events between two deadline checks.
+_DEADLINE_STRIDE = 256
+
+
+class StreamReader:
+    """One incremental parse; feed() chunks, then close()."""
+
+    def __init__(
+        self,
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self._limits = limits
+        self._deadline = (
+            deadline if deadline is not None and not deadline.unbounded else None
+        )
+        self._buf = ""
+        self._pending_cr = False
+        self._line = 1
+        self._col = 1
+        self._state = _PROLOG
+        self._at_start = True
+        self._started = False
+        self._seen_doctype = False
+        self._entities: dict[str, str] = {}
+        self._stack: list[str] = []
+        self._segment_open = False
+        self._chars_fed = 0
+        self._events = 0
+        self._finished = False
+        self._max_chars = limits.max_entity_expansion_chars if limits else None
+        self._max_depth = limits.max_entity_expansion_depth if limits else None
+
+    @property
+    def chars_fed(self) -> int:
+        """Raw characters accepted so far (pre-normalization)."""
+        return self._chars_fed
+
+    @property
+    def buffered(self) -> int:
+        """Characters currently held back."""
+        return len(self._buf) + (1 if self._pending_cr else 0)
+
+    # -- public -------------------------------------------------------------
+
+    def feed(self, chunk: str) -> list[StreamEvent]:
+        """Accept the next chunk; return the events it completed."""
+        if self._finished:
+            raise ValueError("reader already closed")
+        events: list[StreamEvent] = []
+        if chunk:
+            self._chars_fed += len(chunk)
+            self._check_input_budget()
+            if self._pending_cr:
+                self._pending_cr = False
+                if not chunk.startswith("\n"):
+                    self._buf += "\n"
+            if chunk.endswith("\r"):
+                self._pending_cr = True
+                chunk = chunk[:-1]
+            if "\r" in chunk:
+                chunk = chunk.replace("\r\n", "\n").replace("\r", "\n")
+            self._buf += chunk
+            self._pump(events, at_eof=False)
+            self._check_buffer_budget()
+        if self._deadline is not None:
+            self._deadline.check("stream parse")
+        return events
+
+    def close(self) -> list[StreamEvent]:
+        """Signal end of input; return the final events."""
+        if self._finished:
+            raise ValueError("reader already closed")
+        if self._pending_cr:
+            self._pending_cr = False
+            self._buf += "\n"
+        events: list[StreamEvent] = []
+        self._pump(events, at_eof=True)
+        if self._state == _CONTENT:
+            self._fail(f"unterminated element <{self._stack[-1]}>")
+        if self._buf:
+            if self._state == _EPILOG:
+                self._fail("unexpected content after root element")
+            self._fail("expected root element")
+        if self._state == _PROLOG:
+            self._fail("expected root element")
+        self._ensure_started(events)
+        events.append(EndDocument())
+        self._finished = True
+        return events
+
+    # -- pump loop ----------------------------------------------------------
+
+    def _pump(self, events: list[StreamEvent], at_eof: bool) -> None:
+        while self._step(events, at_eof):
+            self._events += 1
+            if (
+                self._deadline is not None
+                and self._events % _DEADLINE_STRIDE == 0
+            ):
+                self._deadline.check("stream parse")
+
+    def _step(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        """Emit at most one construct; False when more input is needed."""
+        if self._state == _CONTENT:
+            return self._step_content(events, at_eof)
+        return self._step_misc(events, at_eof)
+
+    # -- prolog / epilog ----------------------------------------------------
+
+    def _step_misc(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        if self._at_start:
+            if not at_eof and len(buf) < 6 and "<?xml ".startswith(buf):
+                return False
+            if buf.startswith("<?xml") and (
+                len(buf) == 5 or buf[5] in WHITESPACE
+            ):
+                return self._read_xml_declaration(events, at_eof)
+            self._at_start = False
+        # Inter-construct whitespace is consumed silently.
+        i = 0
+        while i < len(buf) and buf[i] in WHITESPACE:
+            i += 1
+        if i:
+            self._consume(i)
+            buf = self._buf
+            self._at_start = False
+        if not buf:
+            return False
+        if buf[0] != "<":
+            if self._state == _EPILOG:
+                self._fail("unexpected content after root element")
+            self._fail("expected root element")
+        if buf.startswith("<!--"):
+            return self._read_comment(events, at_eof)
+        if not at_eof and len(buf) < 4 and "<!--".startswith(buf):
+            return False
+        if self._state == _PROLOG:
+            if buf.startswith("<!DOCTYPE"):
+                return self._read_doctype(events, at_eof)
+            if not at_eof and len(buf) < 9 and "<!DOCTYPE".startswith(buf):
+                return False
+        if buf.startswith("<?"):
+            return self._read_pi(events, at_eof)
+        if not at_eof and len(buf) < 2:
+            return False
+        if self._state == _EPILOG:
+            self._fail("unexpected content after root element")
+        return self._read_start_tag(events, at_eof)
+
+    def _read_xml_declaration(
+        self, events: list[StreamEvent], at_eof: bool
+    ) -> bool:
+        end = self._find_unquoted(self._buf, "?>", 5)
+        if end is None:
+            if not at_eof:
+                return False
+            self._fail("unterminated XML declaration")
+        body = self._buf[5:end]
+        attrs = self._parse_pseudo_attributes(body)
+        version = attrs.get("version")
+        if version is None:
+            self._fail("XML declaration must specify a version")
+        standalone_raw = attrs.get("standalone")
+        standalone: Optional[bool] = None
+        if standalone_raw is not None:
+            if standalone_raw not in ("yes", "no"):
+                self._fail("standalone must be 'yes' or 'no'")
+            standalone = standalone_raw == "yes"
+        self._consume(end + 2)
+        self._at_start = False
+        self._started = True
+        events.append(
+            StartDocument(
+                xml_version=version,
+                encoding=attrs.get("encoding"),
+                standalone=standalone,
+            )
+        )
+        return True
+
+    def _parse_pseudo_attributes(self, body: str) -> dict[str, str]:
+        attrs: dict[str, str] = {}
+        i, n = 0, len(body)
+        while True:
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n:
+                return attrs
+            start = i
+            if not is_name_start_char(body[i]):
+                self._fail("expected a name")
+            i += 1
+            while i < n and is_name_char(body[i]):
+                i += 1
+            name = body[start:i]
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n or body[i] != "=":
+                self._fail("expected '='")
+            i += 1
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n or body[i] not in "'\"":
+                self._fail("expected a quoted literal")
+            quote = body[i]
+            closing = body.find(quote, i + 1)
+            if closing == -1:
+                self._fail("unterminated literal")
+            attrs[name] = body[i + 1 : closing]
+            i = closing + 1
+
+    def _read_doctype(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        if self._seen_doctype:
+            self._fail("multiple DOCTYPE declarations")
+        end = self._find_doctype_end(self._buf)
+        if end is None:
+            if not at_eof:
+                return False
+            self._fail("unterminated DOCTYPE declaration")
+        self._ensure_started(events)
+        name, system_id, dtd = self._parse_doctype_body(self._buf[9:end])
+        self._seen_doctype = True
+        self._consume(end + 1)
+        events.append(DoctypeDecl(name=name, system_id=system_id, dtd=dtd))
+        return True
+
+    @staticmethod
+    def _find_doctype_end(buf: str) -> Optional[int]:
+        depth = 0
+        quote: Optional[str] = None
+        for i in range(9, len(buf)):
+            ch = buf[i]
+            if quote is not None:
+                if ch == quote:
+                    quote = None
+            elif ch in "'\"":
+                quote = ch
+            elif ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth == 0:
+                return i
+        return None
+
+    def _parse_doctype_body(
+        self, body: str
+    ) -> tuple[str, Optional[str], Optional[object]]:
+        i, n = 0, len(body)
+        if i >= n or body[i] not in WHITESPACE:
+            self._fail("expected whitespace")
+        while i < n and body[i] in WHITESPACE:
+            i += 1
+        start = i
+        if i >= n or not is_name_start_char(body[i]):
+            self._fail("expected a name")
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        name = body[start:i]
+        while i < n and body[i] in WHITESPACE:
+            i += 1
+        system_id: Optional[str] = None
+
+        def read_literal(j: int) -> tuple[str, int]:
+            if j >= n or body[j] not in "'\"":
+                self._fail("expected a quoted literal")
+            closing = body.find(body[j], j + 1)
+            if closing == -1:
+                self._fail("unterminated literal")
+            return body[j + 1 : closing], closing + 1
+
+        if body.startswith("SYSTEM", i):
+            i += 6
+            if i >= n or body[i] not in WHITESPACE:
+                self._fail("expected whitespace")
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            system_id, i = read_literal(i)
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+        elif body.startswith("PUBLIC", i):
+            i += 6
+            if i >= n or body[i] not in WHITESPACE:
+                self._fail("expected whitespace")
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            _public, i = read_literal(i)  # public id (kept out of the model)
+            if i >= n or body[i] not in WHITESPACE:
+                self._fail("expected whitespace")
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            system_id, i = read_literal(i)
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+        dtd = None
+        if i < n and body[i] == "[":
+            closing = body.rfind("]")
+            if closing < i:
+                self._fail("unterminated internal DTD subset")
+            subset = body[i + 1 : closing]
+            dtd = self._parse_internal_subset(subset)
+            i = closing + 1
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+        if i != n:
+            self._fail("expected '>'")
+        return name, system_id, dtd
+
+    def _parse_internal_subset(self, subset: str):
+        # Imported lazily: repro.dtd depends on repro.xml.nodes, so a
+        # top-level import here would be circular.
+        from repro.dtd.parser import parse_dtd
+
+        try:
+            dtd = parse_dtd(subset, limits=self._limits)
+        except LimitExceeded as exc:  # keep the typed guard trip
+            raise XMLLimitExceeded(
+                f"error in internal DTD subset: {exc}",
+                self._line,
+                self._col,
+                limit=exc.limit,
+                value=exc.value,
+                maximum=exc.maximum,
+            ) from exc
+        except Exception as exc:  # re-anchor DTD errors in this document
+            raise XMLSyntaxError(
+                f"error in internal DTD subset: {exc}", self._line, self._col
+            ) from exc
+        self._entities.update(dtd.general_entities)
+        return dtd
+
+    # -- content ------------------------------------------------------------
+
+    def _step_content(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        if not buf:
+            return False
+        if buf[0] != "<":
+            return self._read_text(events, at_eof)
+        self._segment_open = False
+        if buf.startswith("</"):
+            return self._read_end_tag(events, at_eof)
+        if buf.startswith("<!--"):
+            return self._read_comment(events, at_eof)
+        if buf.startswith("<![CDATA["):
+            return self._read_cdata(events, at_eof)
+        if buf.startswith("<?"):
+            return self._read_pi(events, at_eof)
+        if buf.startswith("<!"):
+            if not at_eof and (
+                "<!--".startswith(buf) or "<![CDATA[".startswith(buf)
+            ):
+                return False
+            self._fail("declarations are not allowed in content")
+        if not at_eof and len(buf) < 9 and (
+            "<!--".startswith(buf) or "<![CDATA[".startswith(buf) or buf == "<"
+        ):
+            return False
+        return self._read_start_tag(events, at_eof)
+
+    def _read_text(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        idx = buf.find("<")
+        if idx == 0:
+            return True
+        if idx == -1:
+            if at_eof:
+                self._fail(f"unterminated element <{self._stack[-1]}>")
+            # No markup in sight: emit the safe prefix so huge text runs
+            # stream in bounded memory, holding back anything a later
+            # chunk could complete into a reference, ']]>' or CRLF.
+            hold = incomplete_reference_suffix(buf)
+            if hold == 0:
+                if buf.endswith("]]"):
+                    hold = 2
+                elif buf.endswith("]"):
+                    hold = 1
+            raw = buf[: len(buf) - hold] if hold else buf
+            if not raw:
+                return False
+            self._emit_text(events, raw, final=False)
+            return True
+        self._emit_text(events, buf[:idx], final=True)
+        return True
+
+    def _emit_text(self, events: list[StreamEvent], raw: str, final: bool) -> None:
+        if "]]>" in raw:
+            self._fail("']]>' not allowed in character data")
+        for ch in raw:
+            if not is_xml_char(ch):
+                self._fail(f"invalid character U+{ord(ch):04X} in character data")
+        data = resolve_references(
+            raw, self._entities, self._line, self._col,
+            self._max_chars, self._max_depth,
+        )
+        events.append(
+            Characters(data, cdata=False, new_segment=not self._segment_open)
+        )
+        self._segment_open = not final
+        self._consume(len(raw))
+
+    def _read_cdata(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        end = self._buf.find("]]>", 9)
+        if end == -1:
+            if not at_eof:
+                return False
+            self._fail("unterminated CDATA section")
+        events.append(Characters(self._buf[9:end], cdata=True))
+        self._consume(end + 3)
+        return True
+
+    def _read_end_tag(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        end = buf.find(">", 2)
+        if end == -1:
+            if not at_eof:
+                return False
+            self._fail(f"unterminated element <{self._stack[-1]}>")
+        body = buf[2:end]
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
+            self._fail("expected a name")
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        closing = body[:i]
+        while i < n and body[i] in WHITESPACE:
+            i += 1
+        if i != n:
+            self._fail("expected '>'")
+        current = self._stack[-1]
+        if closing != current:
+            self._fail(
+                f"mismatched end tag: expected </{current}>, found </{closing}>"
+            )
+        self._stack.pop()
+        self._consume(end + 1)
+        events.append(EndElement(closing))
+        if not self._stack:
+            self._state = _EPILOG
+        return True
+
+    def _read_comment(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        end = buf.find("--", 4)
+        if end == -1 or end + 2 >= len(buf):
+            if end != -1 and at_eof:
+                self._fail("expected '-->'")
+            if not at_eof:
+                return False
+            self._fail("unterminated comment")
+        if buf[end + 2] != ">":
+            self._fail("expected '-->'")
+        self._ensure_started(events)
+        events.append(CommentEvent(buf[4:end]))
+        self._consume(end + 3)
+        return True
+
+    def _read_pi(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        end = buf.find("?>", 2)
+        if end == -1:
+            if not at_eof:
+                return False
+            self._fail("unterminated processing instruction")
+        body = buf[2:end]
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
+            self._fail("expected a name")
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        target = body[:i]
+        if target.lower() == "xml":
+            self._fail("processing instruction target may not be 'xml'")
+        data = ""
+        if i < n:
+            if body[i] not in WHITESPACE:
+                self._fail("expected '?>'")
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            data = body[i:]
+        self._ensure_started(events)
+        events.append(PIEvent(target, data))
+        self._consume(end + 2)
+        return True
+
+    def _read_start_tag(self, events: list[StreamEvent], at_eof: bool) -> bool:
+        buf = self._buf
+        end = self._find_unquoted(buf, ">", 1)
+        if end is None:
+            if not at_eof:
+                return False
+            return self._parse_tag_slice(events, buf[1:], at_eof=True)
+        return self._parse_tag_slice(events, buf[1:end], at_eof=False)
+
+    def _parse_tag_slice(
+        self, events: list[StreamEvent], body: str, at_eof: bool
+    ) -> bool:
+        """Parse ``name attrs...[/]`` (the inside of a start tag)."""
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
+            self._fail("expected a name")
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        name = body[:i]
+        attributes: dict[str, str] = {}
+        self_closing = False
+        while True:
+            before = i
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n:
+                if at_eof:
+                    self._fail(f"unterminated element <{name}>")
+                break
+            if body[i] == "/":
+                if at_eof:  # the '>' never arrived
+                    self._fail(f"unterminated element <{name}>")
+                if i + 1 != n:
+                    self._fail("expected '>'")
+                self_closing = True
+                break
+            if before == i:
+                self._fail("expected whitespace before attribute")
+            start = i
+            if not is_name_start_char(body[i]):
+                self._fail("expected a name")
+            i += 1
+            while i < n and is_name_char(body[i]):
+                i += 1
+            attr_name = body[start:i]
+            if attr_name in attributes:
+                self._fail(f"duplicate attribute {attr_name!r}")
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n or body[i] != "=":
+                self._fail("expected '='")
+            i += 1
+            while i < n and body[i] in WHITESPACE:
+                i += 1
+            if i >= n or body[i] not in "'\"":
+                self._fail("attribute value must be quoted")
+            quote = body[i]
+            closing = body.find(quote, i + 1)
+            if closing == -1:
+                self._fail("unterminated attribute value")
+            raw = body[i + 1 : closing]
+            if "<" in raw:
+                self._fail("'<' not allowed in attribute value")
+            i = closing + 1
+            # Attribute-value normalization: *literal* whitespace becomes
+            # a plain space; whitespace produced by character references
+            # survives, so normalize before resolving.
+            raw = raw.replace("\t", " ").replace("\n", " ")
+            attributes[attr_name] = resolve_references(
+                raw, self._entities, self._line, self._col,
+                self._max_chars, self._max_depth,
+            )
+        self._ensure_started(events)
+        self._consume(n + 2)  # the tag body plus '<' and '>'
+        events.append(StartElement(name, attributes))
+        if self._state == _PROLOG:
+            self._state = _CONTENT
+        if self_closing:
+            events.append(EndElement(name))
+            if not self._stack:
+                self._state = _EPILOG
+        else:
+            self._stack.append(name)
+            self._check_depth()
+        return True
+
+    # -- guards / helpers ---------------------------------------------------
+
+    def _check_depth(self) -> None:
+        limits = self._limits
+        if (
+            limits is not None
+            and limits.max_tree_depth is not None
+            and len(self._stack) > limits.max_tree_depth
+        ):
+            raise XMLLimitExceeded(
+                f"element nesting exceeds the {limits.max_tree_depth}-level "
+                "depth limit",
+                self._line,
+                self._col,
+                limit="max_tree_depth",
+                value=len(self._stack),
+                maximum=limits.max_tree_depth,
+            )
+
+    def _check_input_budget(self) -> None:
+        limits = self._limits
+        if (
+            limits is not None
+            and limits.max_input_bytes is not None
+            and self._chars_fed > limits.max_input_bytes
+        ):
+            raise XMLLimitExceeded(
+                f"document is over the {limits.max_input_bytes}-character "
+                "input limit",
+                limit="max_input_bytes",
+                value=self._chars_fed,
+                maximum=limits.max_input_bytes,
+            )
+
+    def _check_buffer_budget(self) -> None:
+        limits = self._limits
+        if (
+            limits is not None
+            and limits.max_stream_buffer_bytes is not None
+            and len(self._buf) > limits.max_stream_buffer_bytes
+        ):
+            raise XMLLimitExceeded(
+                "streaming hold-back buffer exceeds the "
+                f"{limits.max_stream_buffer_bytes}-character budget "
+                "(single construct too large to stream)",
+                self._line,
+                self._col,
+                limit="max_stream_buffer_bytes",
+                value=len(self._buf),
+                maximum=limits.max_stream_buffer_bytes,
+            )
+
+    def _ensure_started(self, events: list[StreamEvent]) -> None:
+        if not self._started:
+            self._started = True
+            events.append(StartDocument())
+
+    @staticmethod
+    def _find_unquoted(buf: str, token: str, start: int) -> Optional[int]:
+        """First index of *token* at/after *start*, outside quotes."""
+        quote: Optional[str] = None
+        first = token[0]
+        for i in range(start, len(buf)):
+            ch = buf[i]
+            if quote is not None:
+                if ch == quote:
+                    quote = None
+            elif ch in "'\"":
+                quote = ch
+            elif ch == first and buf.startswith(token, i):
+                return i
+        return None
+
+    def _consume(self, count: int) -> None:
+        consumed = self._buf[:count]
+        self._buf = self._buf[count:]
+        newlines = consumed.count("\n")
+        if newlines:
+            self._line += newlines
+            self._col = count - consumed.rfind("\n")
+        else:
+            self._col += count
+
+    def _fail(self, message: str) -> None:
+        raise XMLSyntaxError(message, self._line, self._col)
+
+
+def iter_events(
+    chunks: Iterable[str],
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Iterator[StreamEvent]:
+    """Pull-parse *chunks* into a stream of events."""
+    reader = StreamReader(limits=limits, deadline=deadline)
+    for chunk in chunks:
+        yield from reader.feed(chunk)
+    yield from reader.close()

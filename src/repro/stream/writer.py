@@ -1,0 +1,151 @@
+"""Incremental serialization of the streamed view.
+
+:class:`StreamWriter` produces, byte for byte, what
+``serialize(view_document, doctype=False)`` produces for the DOM
+pipeline's view: the XML declaration on its own line, then the root
+element's subtree in the compact style of
+:mod:`repro.xml.serializer` — ``<name/>`` for childless elements,
+attributes in insertion order, :func:`~repro.xml.escape.escape_text` /
+:func:`~repro.xml.escape.escape_attribute` escaping.
+
+The writer keeps the current start tag open (``<name attrs...``) until
+it learns whether the element has content; any content call — including
+an *empty* text node, which the DOM serializer still treats as content
+(``<a></a>``, not ``<a/>``) — closes it with ``>``. Completed output is
+handed to *sink* in chunks of roughly *chunk_size* characters, so the
+first visible bytes leave before the document has finished arriving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.xml.escape import escape_attribute, escape_text
+
+__all__ = ["StreamWriter"]
+
+
+class StreamWriter:
+    """Serialize one view incrementally.
+
+    Parameters
+    ----------
+    sink:
+        Called with each completed chunk of output text (``None``
+        collects only).
+    chunk_size:
+        Flush threshold in characters; output is pushed to *sink* once
+        at least this much has accumulated (and once more at the end).
+    collect:
+        Keep the full text for :meth:`getvalue`. The server needs it
+        for ``AccessResponse.xml_text``; pure relay use can turn it off
+        so memory stays independent of the view size.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[str], None]] = None,
+        chunk_size: int = 65536,
+        collect: bool = True,
+    ) -> None:
+        self._sink = sink
+        self._chunk_size = max(1, chunk_size)
+        self._collect = collect
+        self._parts: list[str] = []
+        self._buffered = 0
+        self._collected: list[str] = []
+        self._open_tag = False  # start tag emitted but not yet closed
+        self._stack: list[str] = []
+        self._chars_written = 0
+
+    @property
+    def chars_written(self) -> int:
+        """Characters emitted so far (flushed or pending)."""
+        return self._chars_written + self._buffered
+
+    # -- document ------------------------------------------------------------
+
+    def start_document(
+        self,
+        xml_version: str = "1.0",
+        encoding: Optional[str] = None,
+        standalone: Optional[bool] = None,
+    ) -> None:
+        declaration = f'<?xml version="{xml_version}"'
+        if encoding:
+            declaration += f' encoding="{encoding}"'
+        if standalone is not None:
+            declaration += f' standalone="{"yes" if standalone else "no"}"'
+        self._write(declaration + "?>\n")
+
+    def end_document(self) -> str:
+        """Flush everything; return the collected text (or ``""``)."""
+        self._flush()
+        return "".join(self._collected)
+
+    def getvalue(self) -> str:
+        """The text written so far (requires ``collect=True``)."""
+        return "".join(self._collected) + "".join(self._parts)
+
+    # -- elements ------------------------------------------------------------
+
+    def start_element(self, name: str, attributes=()) -> None:
+        self._close_open_tag()
+        parts = [f"<{name}"]
+        items = attributes.items() if hasattr(attributes, "items") else attributes
+        for attr_name, value in items:
+            parts.append(f' {attr_name}="{escape_attribute(value)}"')
+        self._write("".join(parts))
+        self._stack.append(name)
+        self._open_tag = True
+
+    def end_element(self) -> None:
+        name = self._stack.pop()
+        if self._open_tag:
+            self._open_tag = False
+            self._write("/>")
+        else:
+            self._write(f"</{name}>")
+
+    # -- content -------------------------------------------------------------
+
+    def text(self, data: str) -> None:
+        # Even empty data counts as content: the DOM tree has a Text("")
+        # node there, so the serializer emits <a></a>.
+        self._close_open_tag()
+        self._write(escape_text(data))
+
+    def comment(self, data: str) -> None:
+        self._close_open_tag()
+        self._write(f"<!--{data}-->")
+
+    def processing_instruction(self, target: str, data: str = "") -> None:
+        self._close_open_tag()
+        self._write(f"<?{target} {data}?>" if data else f"<?{target}?>")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _close_open_tag(self) -> None:
+        if self._open_tag:
+            self._open_tag = False
+            self._write(">")
+
+    def _write(self, text: str) -> None:
+        if not text:
+            return
+        self._parts.append(text)
+        self._buffered += len(text)
+        if self._buffered >= self._chunk_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._parts:
+            return
+        chunk = "".join(self._parts)
+        self._parts = []
+        self._buffered = 0
+        self._chars_written += len(chunk)
+        if self._collect:
+            self._collected.append(chunk)
+        if self._sink is not None:
+            self._sink(chunk)

@@ -15,6 +15,7 @@ __all__ = [
     "PREDEFINED_ENTITIES",
     "escape_text",
     "escape_attribute",
+    "incomplete_reference_suffix",
     "resolve_references",
 ]
 
@@ -61,6 +62,24 @@ def escape_attribute(value: str) -> str:
     if not any(ch in value for ch in '&<>"\n\t\r'):
         return value
     return "".join(_ATTR_REPLACEMENTS.get(ch, ch) for ch in value)
+
+
+def incomplete_reference_suffix(text: str) -> int:
+    """Length of a trailing, possibly-unterminated reference in *text*.
+
+    Incremental consumers (chunked parsers, the streaming reader) must
+    not hand ``resolve_references`` a buffer that ends in the middle of
+    an ``&name;`` / ``&#NN;`` token: the missing ``;`` may arrive in the
+    next chunk. This returns how many characters at the end of *text*
+    belong to an ``&`` reference that has not yet seen its ``;`` —
+    ``0`` when *text* is safe to resolve as-is. The held-back suffix is
+    at most one reference long, so callers' carry buffers stay bounded
+    by the longest legal reference plus one chunk.
+    """
+    amp = text.rfind("&")
+    if amp == -1 or ";" in text[amp:]:
+        return 0
+    return len(text) - amp
 
 
 #: Default cap on the total characters one reference-resolution call may

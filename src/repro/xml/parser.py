@@ -21,7 +21,7 @@ concern handled by :mod:`repro.dtd.validator`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.errors import LimitExceeded, XMLLimitExceeded, XMLSyntaxError
 from repro.limits import Deadline, ResourceLimits
@@ -36,7 +36,12 @@ from repro.xml.nodes import (
     Text,
 )
 
-__all__ = ["parse_document", "parse_fragment", "XMLParser"]
+__all__ = [
+    "parse_document",
+    "parse_document_chunks",
+    "parse_fragment",
+    "XMLParser",
+]
 
 
 def parse_document(
@@ -85,6 +90,47 @@ def parse_document(
     )
     with span("parse.xml"):
         document = parser.parse()
+    document.uri = uri
+    return document
+
+
+def parse_document_chunks(
+    chunks: Iterable[str],
+    uri: Optional[str] = None,
+    keep_comments: bool = True,
+    keep_ignorable_whitespace: bool = True,
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Document:
+    """Parse a document arriving as text *chunks* into a :class:`Document`.
+
+    Equivalent to ``parse_document("".join(chunks), ...)`` but built on
+    the incremental tokenizer, so chunk boundaries may fall anywhere —
+    inside a tag, in the middle of an entity or character reference, or
+    between ``\\r`` and ``\\n`` — without changing the result, and the
+    input is never concatenated into one string. Produces the same
+    trees, raises the same errors, and honors the same *limits* and
+    *deadline* as :func:`parse_document`; additionally,
+    ``max_stream_buffer_bytes`` bounds how much unfinished markup the
+    tokenizer may hold back between chunks.
+    """
+    # Imported lazily: repro.stream builds on repro.xml, so a top-level
+    # import here would be circular.
+    from repro.stream.builder import DocumentBuilder
+    from repro.stream.reader import StreamReader
+
+    reader = StreamReader(limits=limits, deadline=deadline)
+    builder = DocumentBuilder(
+        keep_comments=keep_comments,
+        keep_ignorable_whitespace=keep_ignorable_whitespace,
+        limits=limits,
+        deadline=deadline,
+    )
+    with span("parse.xml.chunks"):
+        for chunk in chunks:
+            builder.feed(reader.feed(chunk))
+        builder.feed(reader.close())
+    document = builder.finish()
     document.uri = uri
     return document
 

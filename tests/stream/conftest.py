@@ -1,0 +1,35 @@
+"""Fixtures for the streaming-engine test package.
+
+The CI stream job runs this whole package under a deliberately tight
+``max_stream_buffer_bytes`` budget (see ``.github/workflows/ci.yml``):
+set ``REPRO_STREAM_TIGHT_LIMITS`` to a byte count and every server the
+suite constructs with default limits gets that budget instead of the
+generous production default. The differential suite then doubles as a
+bounded-memory test — byte-parity with the DOM pipeline must hold even
+when the engine is only allowed a few KiB of working buffer.
+
+Tests that pass explicit ``limits=`` (the guard-trip tests) are
+unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.limits import DEFAULT_LIMITS
+
+
+@pytest.fixture(autouse=True)
+def _tight_stream_limits(monkeypatch):
+    budget = os.environ.get("REPRO_STREAM_TIGHT_LIMITS")
+    if not budget:
+        yield
+        return
+    tight = dataclasses.replace(
+        DEFAULT_LIMITS, max_stream_buffer_bytes=int(budget)
+    )
+    monkeypatch.setattr("repro.server.service.DEFAULT_LIMITS", tight)
+    yield

@@ -1,0 +1,155 @@
+"""Bounded memory: the streaming backend's reason to exist.
+
+The acceptance criterion: a document at least 10× larger (in nodes)
+than what ``ResourceLimits`` allows the DOM pipeline to materialize
+streams successfully — the streaming path never creates tree nodes, so
+``max_node_count`` does not apply — while the DOM ``serve`` comes back
+as a typed structured failure. Hostile inputs (entity bombs, nesting
+attacks, never-terminating markup) trip the same typed guards through
+``serve_stream`` as through ``serve``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.errors import XMLLimitExceeded
+from repro.limits import DEFAULT_LIMITS, ResourceLimits
+from repro.server.request import AccessRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+
+URI = "http://x/doc.xml"
+
+BILLION_LAUGHS = (
+    "<?xml version='1.0'?>"
+    "<!DOCTYPE lolz ["
+    "<!ENTITY lol 'lol'>"
+    + "".join(
+        f"<!ENTITY lol{i} '" + f"&lol{i - 1 if i > 1 else ''};" * 10 + "'>"
+        for i in range(1, 10)
+    )
+    + "]><lolz>&lol9;</lolz>"
+)
+
+
+def requester():
+    return Requester("anyone", "10.0.0.1", "h.example")
+
+
+def wide_text(items: int) -> str:
+    rows = "".join(f'<row id="r{i}"><v>value {i}</v></row>' for i in range(items))
+    return f"<table>{rows}</table>"
+
+
+def make_server(text, defer=True):
+    server = SecureXMLServer()
+    server.publish_document(URI, text, defer_parse=defer)
+    server.grant(Authorization.build("Public", URI, "+", "R"))
+    return server
+
+
+class TestBoundedMemory:
+    def test_stream_serves_what_dom_cannot_hold(self):
+        # ~4000 rows -> ~16k tree nodes, >= 10x the 1500-node cap the
+        # DOM pipeline gets below.
+        limits = dataclasses.replace(
+            ResourceLimits.unlimited(),
+            max_node_count=1500,
+            max_stream_buffer_bytes=DEFAULT_LIMITS.max_stream_buffer_bytes,
+        )
+        text = wide_text(4000)
+        dom_server = make_server(text)
+        dom = dom_server.serve(AccessRequest(requester(), URI), limits=limits)
+        assert not dom.ok
+        assert dom.error.limit == "max_node_count"
+
+        stream_server = make_server(text)
+        stream = stream_server.serve_stream(
+            AccessRequest(requester(), URI), limits=limits
+        )
+        assert stream.ok
+        assert stream.xml_text.count("<row") == 4000
+        assert stream.total_nodes > 10 * limits.max_node_count
+
+    def test_streamed_bytes_leave_before_input_ends(self):
+        # With a small sink chunk size the first output chunk must be
+        # produced while most of the document is still unread.
+        server = make_server(wide_text(2000))
+        chunks = []
+        response = server.serve_stream(
+            AccessRequest(requester(), URI),
+            sink=chunks.append,
+            chunk_size=512,
+            feed_size=1024,
+        )
+        assert response.ok
+        assert len(chunks) > 10
+        assert "".join(chunks) == response.xml_text
+
+    def test_pending_buffer_budget_trips_on_deep_hidden_chains(self):
+        # Elements awaiting a visible descendant buffer only their
+        # names — but even that is bounded.
+        depth = 200
+        text = (
+            "<r0>" + "".join(f"<n{i}>" for i in range(1, depth))
+            + "leaf"
+            + "".join(f"</n{i}>" for i in range(depth - 1, 0, -1))
+            + "</r0>"
+        )
+        server = SecureXMLServer()
+        server.publish_document(URI, text, defer_parse=True)
+        # Only the leaf text's parent chain survives; every ancestor
+        # name sits in the pending buffer until the text arrives.
+        server.grant(
+            Authorization.build("Public", f"{URI}://n{depth - 1}", "+", "R")
+        )
+        limits = dataclasses.replace(
+            ResourceLimits.unlimited(), max_stream_buffer_bytes=64
+        )
+        response = server.serve_stream(
+            AccessRequest(requester(), URI), limits=limits
+        )
+        assert not response.ok
+        assert response.error.limit == "max_stream_buffer_bytes"
+
+
+class TestHostileInputs:
+    def test_entity_bomb_is_a_typed_failure(self):
+        server = make_server(BILLION_LAUGHS)
+        response = server.serve_stream(AccessRequest(requester(), URI))
+        assert not response.ok
+        assert isinstance(response.error, XMLLimitExceeded)
+        assert response.error.limit == "max_entity_expansion_chars"
+
+    def test_nesting_attack_trips_depth_guard(self):
+        depth = 4000
+        text = "<a>" * depth + "</a>" * depth
+        server = make_server(text)
+        limits = dataclasses.replace(
+            ResourceLimits.unlimited(), max_tree_depth=100
+        )
+        response = server.serve_stream(
+            AccessRequest(requester(), URI), limits=limits
+        )
+        assert not response.ok
+        assert response.error.limit == "max_tree_depth"
+
+    def test_unterminated_markup_cannot_buffer_forever(self):
+        server = make_server("<a><!-- " + "x" * 100_000)
+        limits = dataclasses.replace(
+            ResourceLimits.unlimited(), max_stream_buffer_bytes=1024
+        )
+        response = server.serve_stream(
+            AccessRequest(requester(), URI), limits=limits
+        )
+        assert not response.ok
+        assert response.error.limit == "max_stream_buffer_bytes"
+
+    def test_malformed_document_is_a_parse_error_not_a_crash(self):
+        server = make_server("<a><b></a></b>")
+        from repro.errors import XMLSyntaxError
+
+        with pytest.raises(XMLSyntaxError):
+            server.serve_stream(AccessRequest(requester(), URI))
