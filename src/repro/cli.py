@@ -114,7 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain why a node is visible/hidden for a requester",
     )
     exp.add_argument("document")
-    exp.add_argument("node", help="XPath selecting exactly one node")
+    exp.add_argument(
+        "node",
+        nargs="?",
+        help=(
+            "XPath selecting exactly one node; omit to explain the "
+            "whole view, node by node"
+        ),
+    )
     exp.add_argument("--uri", required=True)
     exp.add_argument("--xacl", required=True)
     exp.add_argument("--dtd-uri", help="URI the document's DTD is published under")
@@ -122,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--user", default="anonymous")
     exp.add_argument("--ip", default="0.0.0.0")
     exp.add_argument("--host", default="localhost")
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured explanation as JSON instead of text",
+    )
 
     return parser
 
@@ -322,7 +334,7 @@ def _cmd_xacl(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.authz.store import AuthorizationStore
     from repro.authz.xacl import parse_xacl
-    from repro.core.explain import explain
+    from repro.core.explain import explain, explain_view
     from repro.server.service import SecureXMLServer
     from repro.subjects.hierarchy import Requester
     from repro.xml.parser import parse_document
@@ -336,10 +348,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     store.add_all(parse_xacl(_read(args.xacl)))
     document = parse_document(_read(args.document), uri=args.uri)
     requester = Requester(args.user, args.ip, args.host)
+    if args.node is None:
+        explanation = explain_view(
+            document, requester, store, dtd_uri=args.dtd_uri
+        )
+        print(explanation.to_json(indent=2) if args.json else explanation.describe())
+        return 0
     explanation = explain(
         document, args.node, requester, store, dtd_uri=args.dtd_uri
     )
-    print(explanation.describe())
+    if args.json:
+        import json
+
+        print(json.dumps(explanation.as_dict(), indent=2))
+    else:
+        print(explanation.describe())
     return 0
 
 

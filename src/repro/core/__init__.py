@@ -11,13 +11,21 @@ Public surface::
 
 from repro.core.baseline import NaiveLabeler, compute_view_naive
 from repro.core.explain import (
+    Explanation,
     NodeExplanation,
     SlotOrigin,
     TracingLabeler,
     explain,
+    explain_from_auths,
     explain_view,
 )
-from repro.core.labeling import SLOTS, LabelingResult, TreeLabeler
+from repro.core.labeling import (
+    SLOTS,
+    LabelingResult,
+    ProvenanceRecorder,
+    SlotDecision,
+    TreeLabeler,
+)
 from repro.core.labels import EPSILON, MINUS, PLUS, Label, first_def
 from repro.core.processor import ProcessorOutput, SecurityProcessor, StepTimings
 from repro.core.prune import build_view, prune_in_place
@@ -25,6 +33,7 @@ from repro.core.view import ViewResult, compute_view, compute_view_from_auths
 
 __all__ = [
     "EPSILON",
+    "Explanation",
     "Label",
     "LabelingResult",
     "MINUS",
@@ -32,8 +41,10 @@ __all__ = [
     "NodeExplanation",
     "PLUS",
     "ProcessorOutput",
+    "ProvenanceRecorder",
     "SLOTS",
     "SecurityProcessor",
+    "SlotDecision",
     "SlotOrigin",
     "StepTimings",
     "TracingLabeler",
@@ -44,6 +55,7 @@ __all__ = [
     "compute_view_from_auths",
     "compute_view_naive",
     "explain",
+    "explain_from_auths",
     "explain_view",
     "first_def",
     "prune_in_place",

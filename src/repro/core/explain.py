@@ -3,37 +3,58 @@
 Policy debugging is the first thing an administrator of this model
 needs: with propagation, overriding, weak types and two specification
 levels, "why can Tom see this?" has a non-obvious answer. This module
-re-runs the labeling for one requester with provenance tracking and
-renders, per node:
+runs the labeling with a :class:`~repro.core.labeling.ProvenanceRecorder`
+attached and turns the recorded evidence into, per node:
 
 - the final sign and which label slot decided it,
-- for slots set directly: every authorization that survived the
-  most-specific-subject filter (and the ones it eliminated),
-- for inherited slots: which ancestor the sign propagated from,
+- for slots set directly: every candidate authorization, the ones that
+  survived the most-specific-subject filter and the ones it eliminated,
+- for inherited slots: the exact ancestor/slot the sign propagated from
+  (recorded during propagation — no heuristics),
+- whether the node's own recursive authorization blocked the parent's
+  (a weak label overriding a strong one included), and whether a weak
+  sign was itself overridden by a higher-priority slot,
 - why the node is/isn't in the emitted view (own sign vs structural
-  survivor).
+  survivor), and the winning authorizations behind the final sign.
 
-Entry points: :func:`explain` (one node) and :func:`explain_view`
-(whole-document report).
+Entry points: :func:`explain` (one node), :func:`explain_view` /
+:func:`explain_from_auths` (whole-document :class:`Explanation`), and
+``SecureXMLServer.explain`` for the server facade. An
+:class:`Explanation` carries enough evidence to *re-derive* every
+node's final sign without re-running the labeler —
+:meth:`Explanation.rederive_final` — which the differential test suite
+checks against :class:`~repro.core.labeling.LabelingResult` under all
+four conflict policies.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.authz.authorization import Authorization
-from repro.authz.conflict import ConflictPolicy, EPSILON
+from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
 from repro.authz.store import AuthorizationStore
-from repro.core.labeling import SLOTS, TreeLabeler
-from repro.core.labels import Label
+from repro.core.labeling import SLOTS, ProvenanceRecorder, TreeLabeler
+from repro.core.labels import first_def
 from repro.errors import ReproError
-from repro.subjects.hierarchy import Requester
-from repro.xml.nodes import Document, Element, Node
-from repro.xml.traversal import node_path, preorder
+from repro.limits import Deadline, ResourceLimits
+from repro.obs.trace import span
+from repro.subjects.hierarchy import Requester, SubjectHierarchy
+from repro.xml.nodes import Attribute, Document, Element, Node
+from repro.xml.traversal import node_path
 from repro.xpath.compile import RelativeMode, compile_xpath
 
-__all__ = ["SlotOrigin", "NodeExplanation", "explain", "explain_view", "TracingLabeler"]
+__all__ = [
+    "SlotOrigin",
+    "NodeExplanation",
+    "Explanation",
+    "explain",
+    "explain_view",
+    "explain_from_auths",
+    "TracingLabeler",
+]
 
 
 @dataclass
@@ -63,7 +84,22 @@ class SlotOrigin:
                 )
             return text
         source = node_path(self.inherited_from) if self.inherited_from else "?"
-        return f"{self.slot}: {self.sign} inherited from {source}"
+        text = f"{self.slot}: {self.sign} inherited from {source}"
+        if self.winners:
+            text += " (granted by " + "; ".join(
+                a.unparse() for a in self.winners
+            ) + ")"
+        return text
+
+    def as_dict(self) -> dict:
+        out: dict = {"slot": self.slot, "sign": self.sign, "kind": self.kind}
+        if self.winners:
+            out["winners"] = [a.unparse() for a in self.winners]
+        if self.overridden:
+            out["overridden"] = [a.unparse() for a in self.overridden]
+        if self.inherited_from is not None:
+            out["inherited_from"] = node_path(self.inherited_from)
+        return out
 
 
 @dataclass
@@ -76,6 +112,23 @@ class NodeExplanation:
     origins: list[SlotOrigin]
     in_view: bool
     structural_only: bool  # kept only because a descendant is visible
+    #: The explained node itself ("element" / "attribute" / "value").
+    node: Optional[Node] = None
+    node_kind: str = "element"
+    #: The node/slot where the final sign was decided directly
+    #: (``None`` when the final is ε). ``source_path`` names the node.
+    source_path: Optional[str] = None
+    source_slot: Optional[str] = None
+    #: The authorizations behind the final sign (empty for ε finals).
+    winning: list[Authorization] = field(default_factory=list)
+    #: Parent recursive slots this node's own recursive authorization
+    #: blocked from propagating (weak-over-strong included).
+    blocked: tuple[str, ...] = ()
+    #: The node carried a weak sign that lost to a stronger slot.
+    weak_overridden: bool = False
+    #: Attribute-only inputs of the final-sign formula (ε otherwise).
+    own_weak_sign: str = EPSILON
+    parent_instance_sign: str = EPSILON
 
     def describe(self) -> str:
         lines = [f"{self.path}: final={self.final}"]
@@ -87,14 +140,26 @@ class NodeExplanation:
         elif self.final != EPSILON:
             # Attributes can receive their final sign straight from the
             # parent element's composed instance signs (no slot records it).
+            source = self.source_path or "?"
+            winners = "; ".join(a.unparse() for a in self.winning)
             lines.append(
-                f"  decided by the parent element's sign ({self.final})"
+                f"  decided by the parent element's sign ({self.final}),"
+                f" from {source}"
+                + (f" [{winners}]" if winners else "")
             )
         else:
             lines.append("  no authorization applies (ε)")
         for origin in self.origins:
             if origin.slot != self.deciding_slot and origin.kind != "none":
                 lines.append(f"  also {origin.describe()}")
+        if self.blocked:
+            lines.append(
+                "  blocked the parent's recursive sign"
+                f" ({', '.join(self.blocked)}) with its own recursive"
+                " authorization"
+            )
+        if self.weak_overridden:
+            lines.append("  its weak sign was overridden by a stronger slot")
         if self.in_view and self.structural_only:
             lines.append(
                 "  in view as a bare tag only (a descendant is visible)"
@@ -105,83 +170,198 @@ class NodeExplanation:
             lines.append("  not in view")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        out: dict = {
+            "path": self.path,
+            "kind": self.node_kind,
+            "final": self.final,
+            "deciding_slot": self.deciding_slot,
+            "in_view": self.in_view,
+            "structural_only": self.structural_only,
+            "origins": [o.as_dict() for o in self.origins if o.kind != "none"],
+        }
+        if self.source_path is not None:
+            out["source"] = {"path": self.source_path, "slot": self.source_slot}
+        if self.winning:
+            out["winning"] = [a.unparse() for a in self.winning]
+        if self.blocked:
+            out["blocked_parent_slots"] = list(self.blocked)
+        if self.weak_overridden:
+            out["weak_overridden"] = True
+        if self.node_kind == "attribute":
+            out["own_weak_sign"] = self.own_weak_sign
+            out["parent_instance_sign"] = self.parent_instance_sign
+        return out
+
+
+class Explanation:
+    """Structured decision provenance for one (document, requester) pair.
+
+    Behaves as a read-only mapping ``node -> NodeExplanation`` covering
+    every node of the document, plus request metadata, optional
+    ``targets`` (the nodes an XPath narrowed the question to), a
+    human-readable :meth:`describe` rendering and a JSON-safe
+    :meth:`as_dict` / :meth:`to_json`.
+
+    :meth:`rederive_final` recomputes any node's final sign from the
+    recorded evidence alone (no labeler, no authorizations) — the
+    differential guarantee the test suite enforces.
+    """
+
+    def __init__(
+        self,
+        nodes: dict[Node, NodeExplanation],
+        uri: str = "",
+        requester: str = "",
+        action: str = "read",
+        policy: str = "DenialsTakePrecedence",
+        open_policy: bool = False,
+        targets: Optional[list[Node]] = None,
+    ) -> None:
+        self._nodes = nodes
+        self.uri = uri
+        self.requester = requester
+        self.action = action
+        self.policy = policy
+        self.open_policy = open_policy
+        self.targets: list[Node] = list(targets) if targets else []
+        #: Per-stage seconds when produced through the traced facade.
+        self.timings: dict[str, float] = {}
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, node: Node) -> NodeExplanation:
+        return self._nodes[node]
+
+    def get(self, node: Node, default=None):
+        return self._nodes.get(node, default)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def keys(self):
+        return self._nodes.keys()
+
+    def values(self):
+        return self._nodes.values()
+
+    def items(self):
+        return self._nodes.items()
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def target_explanations(self) -> list[NodeExplanation]:
+        return [self._nodes[node] for node in self.targets if node in self._nodes]
+
+    @property
+    def visible_nodes(self) -> int:
+        return sum(1 for ne in self._nodes.values() if ne.in_view)
+
+    def rederive_final(self, node: Node) -> str:
+        """Recompute *node*'s final sign from this explanation alone.
+
+        Elements fold their six recorded slot signs with ``first_def``;
+        attributes replay the attribute formula from the recorded
+        ``own_weak_sign`` / ``parent_instance_sign`` inputs; values
+        (text/comment/PI) take their parent element's re-derived sign.
+        """
+        ne = self._nodes[node]
+        if ne.node_kind == "value":
+            return self.rederive_final(node.parent)
+        signs = {origin.slot: origin.sign for origin in ne.origins}
+        if ne.node_kind == "attribute":
+            if ne.own_weak_sign != EPSILON:
+                return first_def(signs["L"], signs["LD"], ne.own_weak_sign)
+            return first_def(
+                signs["L"], ne.parent_instance_sign, signs["LD"], signs["LW"]
+            )
+        return first_def(*(signs[slot] for slot in SLOTS))
+
+    # -- renderings ----------------------------------------------------------
+
+    def describe(self, max_nodes: Optional[int] = None) -> str:
+        """Per-node decision chains; ``targets`` only when set."""
+        chosen = (
+            self.target_explanations
+            if self.targets
+            else list(self._nodes.values())
+        )
+        if max_nodes is not None:
+            chosen = chosen[:max_nodes]
+        header = (
+            f"explanation for {self.requester or 'anonymous'}"
+            f" on {self.uri or '(document)'}"
+            f" [{self.policy}{', open' if self.open_policy else ''}]"
+        )
+        return "\n".join([header] + [ne.describe() for ne in chosen])
+
+    def as_dict(self) -> dict:
+        return {
+            "uri": self.uri,
+            "requester": self.requester,
+            "action": self.action,
+            "policy": self.policy,
+            "open_policy": self.open_policy,
+            "targets": [node_path(node) for node in self.targets],
+            "visible_nodes": self.visible_nodes,
+            "total_nodes": len(self._nodes),
+            "nodes": [ne.as_dict() for ne in self._nodes.values()],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), ensure_ascii=False, indent=indent)
+
 
 class TracingLabeler(TreeLabeler):
-    """A TreeLabeler that records per-slot provenance."""
+    """A TreeLabeler with provenance recording always on.
+
+    Kept as the historical name for "labeler that records provenance";
+    today it is a thin shim over ``TreeLabeler(recorder=...)``. The
+    ``direct`` / ``inherited`` views mirror the pre-recorder API.
+    """
 
     def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("recorder", ProvenanceRecorder())
         super().__init__(*args, **kwargs)
-        # node -> slot -> ("direct", winners, overridden)
-        self.direct: dict[Node, dict[str, tuple[list, list]]] = {}
-        # node -> slot -> ancestor the value propagated from
-        self.inherited: dict[Node, dict[str, Node]] = {}
-        self._current_parent: Optional[Node] = None
-        self._parents: dict[Node, Node] = {}
 
-    # -- provenance capture ---------------------------------------------------
+    @property
+    def recorder(self) -> ProvenanceRecorder:
+        return self._recorder
 
-    def _initial_label(self, node):  # type: ignore[override]
-        label = Label()
-        slots = self._node_slot_auths.get(node)
-        if not slots:
-            return label
-        per_slot: dict[str, tuple[list, list]] = {}
-        for slot, authorizations in slots.items():
-            survivors = self._most_specific(authorizations)
-            overridden = [a for a in authorizations if a not in survivors]
-            sign = self._policy.resolve([a.sign for a in survivors])
-            setattr(label, slot, sign)
-            if sign != EPSILON:
-                per_slot[slot] = (survivors, overridden)
-        if per_slot:
-            self.direct[node] = per_slot
-        return label
+    @property
+    def direct(self) -> dict[Node, dict[str, tuple[list, list]]]:
+        """node -> slot -> (winners, overridden), non-ε direct slots."""
+        out: dict[Node, dict[str, tuple[list, list]]] = {}
+        for node, decisions in self._recorder.decisions.items():
+            per_slot = {
+                slot: (decision.winners, decision.overridden)
+                for slot, decision in decisions.items()
+                if decision.sign != EPSILON
+            }
+            if per_slot:
+                out[node] = per_slot
+        return out
 
-    def _label_node(self, node, parent_label):  # type: ignore[override]
-        before = self._initial_label(node)
-        snapshot = {slot: getattr(before, slot) for slot in SLOTS}
-        label = super()._label_node(node, parent_label)
-        parent = self._parents.get(node)
-        changed = {
-            slot: getattr(label, slot)
-            for slot in SLOTS
-            if getattr(label, slot) != snapshot[slot]
-            and getattr(label, slot) != EPSILON
-        }
-        if changed and parent is not None:
-            record = self.inherited.setdefault(node, {})
-            for slot in changed:
-                record[slot] = self._find_propagation_source(parent, slot)
-        return label
-
-    def run(self):  # type: ignore[override]
-        # Build a parent map first (the base class walks with a stack).
-        root = self._root
-        if root is not None:
-            for node in preorder(root):
-                if isinstance(node, Element):
-                    for attribute in node.attributes.values():
-                        self._parents[attribute] = node
-                    for child in node.children:
-                        self._parents[child] = node
-        return super().run()
-
-    def _find_propagation_source(self, parent: Node, slot: str) -> Node:
-        """The nearest ancestor-or-self of *parent* that set *slot*
-        directly (attributes inherit via composed slots; approximate to
-        the nearest ancestor carrying any direct recursive sign)."""
-        current: Optional[Node] = parent
-        while current is not None:
-            direct = self.direct.get(current, {})
-            if slot in direct:
-                return current
-            # Attribute slots compose from recursive parents.
-            if slot in ("LD", "LW") and any(
-                composed in direct for composed in (slot, "RD", "RW", "L", "R")
-            ):
-                return current
-            current = self._parents.get(current)
-        return parent
+    @property
+    def inherited(self) -> dict[Node, dict[str, Node]]:
+        """node -> slot -> ancestor the slot's sign propagated from."""
+        out: dict[Node, dict[str, Node]] = {}
+        for node, origins in self._recorder.origins.items():
+            per_slot = {
+                slot: origin_node
+                for slot, (origin_node, _slot) in origins.items()
+                if origin_node is not node
+            }
+            if per_slot:
+                out[node] = per_slot
+        return out
 
 
 def explain(
@@ -235,24 +415,78 @@ def explain_view(
     open_policy: bool = False,
     relative_mode: RelativeMode = "descendant",
     action: str = "read",
-) -> dict[Node, NodeExplanation]:
+) -> Explanation:
     """Explanations for every node of *document* under one request."""
     uri = document.uri or ""
     instance = store.applicable(requester, uri, action) if uri else []
     resolved = dtd_uri or (document.dtd.uri if document.dtd else None) or document.system_id
     schema = store.applicable(requester, resolved, action) if resolved else []
-    labeler = TracingLabeler(
+    return explain_from_auths(
         document,
         instance,
         schema,
         store.hierarchy,
         policy=policy,
+        open_policy=open_policy,
         relative_mode=relative_mode,
+        uri=uri,
+        requester=str(requester),
+        action=action,
     )
-    result = labeler.run()
-    labels = result.labels
 
-    # Visibility including structural survival.
+
+def explain_from_auths(
+    document: Document,
+    instance_auths: list[Authorization],
+    schema_auths: list[Authorization],
+    hierarchy: SubjectHierarchy,
+    policy: Optional[ConflictPolicy] = None,
+    open_policy: bool = False,
+    relative_mode: RelativeMode = "descendant",
+    uri: str = "",
+    requester: str = "",
+    action: str = "read",
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Explanation:
+    """Build an :class:`Explanation` from pre-selected authorization
+    sets — the worker behind :func:`explain_view` and the server
+    facade's ``explain()``."""
+    chosen_policy = policy if policy is not None else DenialsTakePrecedence()
+    recorder = ProvenanceRecorder()
+    labeler = TreeLabeler(
+        document,
+        instance_auths,
+        schema_auths,
+        hierarchy,
+        policy=chosen_policy,
+        relative_mode=relative_mode,
+        limits=limits,
+        deadline=deadline,
+        recorder=recorder,
+    )
+    with span("decision.label"):
+        result = labeler.run()
+    with span("decision.assemble"):
+        nodes = _assemble(document, result.labels, recorder, open_policy)
+    return Explanation(
+        nodes,
+        uri=uri or (document.uri or ""),
+        requester=requester,
+        action=action,
+        policy=type(chosen_policy).__name__,
+        open_policy=open_policy,
+    )
+
+
+def _assemble(
+    document: Document,
+    labels: dict,
+    recorder: ProvenanceRecorder,
+    open_policy: bool,
+) -> dict[Node, NodeExplanation]:
+    """Turn one run's recorded provenance into per-node explanations."""
+    # Visibility including structural survival (the pruning outcome).
     visible_subtree: dict[Node, bool] = {}
     root = document.root
     if root is not None:
@@ -268,23 +502,68 @@ def explain_view(
 
     explanations: dict[Node, NodeExplanation] = {}
     for node, label in labels.items():
+        decisions = recorder.decisions.get(node, {})
+        origin_map = recorder.origins.get(node, {})
         origins: list[SlotOrigin] = []
         deciding: Optional[str] = None
         for slot in SLOTS:
             sign = getattr(label, slot)
-            direct = labeler.direct.get(node, {}).get(slot)
-            inherited = labeler.inherited.get(node, {}).get(slot)
-            if direct is not None:
-                winners, overridden = direct
-                origins.append(SlotOrigin(slot, sign, "direct", winners, overridden))
-            elif inherited is not None and sign != EPSILON:
+            decision = decisions.get(slot)
+            origin = origin_map.get(slot)
+            if decision is not None and (origin is None or origin[0] is node):
+                kind = "direct" if decision.candidates else "none"
                 origins.append(
-                    SlotOrigin(slot, sign, "inherited", inherited_from=inherited)
+                    SlotOrigin(
+                        slot, sign, kind, decision.winners, decision.overridden
+                    )
+                )
+            elif origin is not None and origin[0] is not node and sign != EPSILON:
+                source_decision = recorder.decision_at(origin)
+                origins.append(
+                    SlotOrigin(
+                        slot,
+                        sign,
+                        "inherited",
+                        winners=(
+                            list(source_decision.winners)
+                            if source_decision is not None
+                            else []
+                        ),
+                        overridden=(
+                            list(source_decision.overridden)
+                            if source_decision is not None
+                            else []
+                        ),
+                        inherited_from=origin[0],
+                    )
                 )
             else:
-                origins.append(SlotOrigin(slot, sign, "none" if sign == EPSILON else "direct"))
+                origins.append(
+                    SlotOrigin(
+                        slot, sign, "none" if sign == EPSILON else "direct"
+                    )
+                )
             if deciding is None and sign != EPSILON and sign == label.final:
                 deciding = slot
+        final_origin = recorder.final_origin.get(node)
+        source_decision = recorder.decision_at(final_origin)
+        winning = list(source_decision.winners) if source_decision else []
+        blocked = recorder.blocked.get(node, ())
+        own_weak, parent_instance = recorder.attr_inputs.get(
+            node, (EPSILON, EPSILON)
+        )
+        weak_sign = first_def(label.LW, label.RW)
+        weak_overridden = (
+            weak_sign != EPSILON
+            and final_origin is not None
+            and final_origin[1] not in ("LW", "RW")
+        )
+        if isinstance(node, Attribute):
+            node_kind = "attribute"
+        elif isinstance(node, Element):
+            node_kind = "element"
+        else:
+            node_kind = "value"
         own_visible = label.permitted_under(open_policy)
         in_view = visible_subtree.get(node, own_visible)
         explanations[node] = NodeExplanation(
@@ -294,6 +573,17 @@ def explain_view(
             origins=origins,
             in_view=in_view,
             structural_only=in_view and not own_visible,
+            node=node,
+            node_kind=node_kind,
+            source_path=(
+                node_path(final_origin[0]) if final_origin is not None else None
+            ),
+            source_slot=final_origin[1] if final_origin is not None else None,
+            winning=winning,
+            blocked=tuple(blocked),
+            weak_overridden=weak_overridden,
+            own_weak_sign=own_weak,
+            parent_instance_sign=parent_instance,
         )
     return explanations
 

@@ -298,12 +298,23 @@ def _fmt(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels(labels: dict[str, str], **extra: str) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
     inner = ",".join(
-        f'{_sanitize(k)}="{v}"' for k, v in sorted(merged.items())
+        f'{_sanitize(k)}="{_escape(v)}"' for k, v in sorted(merged.items())
     )
     return "{" + inner + "}"
 

@@ -16,6 +16,7 @@ from repro.server.analysis import (
     dead_authorizations,
 )
 from repro.server.audit import AuditLog, AuditRecord
+from repro.server.audit_sink import JsonlAuditSink, iter_audit_records
 from repro.server.cache import CachedView, ViewCache
 from repro.server.persistence import load_server, save_server
 from repro.server.repository import Repository, StoredDocument
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "DeleteNode",
     "InsertChild",
+    "JsonlAuditSink",
     "PolicyConfig",
     "QueryRequest",
     "RemoveAttribute",
@@ -63,6 +65,7 @@ __all__ = [
     "audience_report",
     "authorization_impact",
     "dead_authorizations",
+    "iter_audit_records",
     "load_server",
     "retry_call",
     "save_server",

@@ -2,17 +2,27 @@
 
 Every request through the :class:`~repro.server.service.SecureXMLServer`
 leaves an :class:`AuditRecord` — who asked for what, how much of it was
-released, and how long enforcement took. A bounded in-memory ring is the
-default sink; a callable sink can forward records elsewhere.
+released, which backend served it, and how long enforcement took. A
+bounded in-memory ring is the default sink; a callable sink can forward
+records elsewhere (see :class:`~repro.server.audit_sink.JsonlAuditSink`
+for the durable one). A failing sink never loses the in-memory ring:
+the exception is swallowed and counted on
+``audit_sink_errors_total`` (process-wide registry).
+
+Records round-trip through JSON (:meth:`AuditRecord.to_json` /
+:meth:`AuditRecord.from_json`) so durable logs can be filtered and
+aggregated offline — ``tools/audit_query.py``.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Iterator, Optional
 
+from repro.obs.metrics import METRICS
 from repro.subjects.hierarchy import Requester
 
 __all__ = ["AuditRecord", "AuditLog"]
@@ -26,11 +36,14 @@ class AuditRecord:
     requester: str
     uri: str
     action: str
-    outcome: str  # "released" | "empty" | "denied" | "error"
+    outcome: str  # "released" | "empty" | "denied" | "error" | "fallback"
     visible_nodes: int = 0
     total_nodes: int = 0
     elapsed_seconds: float = 0.0
     detail: str = ""
+    #: Which enforcement engine produced the decision: the DOM pipeline
+    #: ("dom") or the streaming one ("stream").
+    backend: str = "dom"
 
     def __str__(self) -> str:
         stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(self.timestamp))
@@ -40,14 +53,40 @@ class AuditRecord:
             f"{self.elapsed_seconds * 1000:.2f} ms)"
         )
 
+    def to_json(self) -> str:
+        """One compact JSON object per record (every field included)."""
+        return json.dumps(asdict(self), separators=(",", ":"), ensure_ascii=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditRecord":
+        """Rebuild a record from :meth:`to_json` output.
+
+        Unknown keys are ignored (forward compatibility); missing
+        optional fields take their defaults.
+        """
+        data = json.loads(text)
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 @dataclass
 class AuditLog:
-    """A bounded record buffer with an optional forwarding sink."""
+    """A bounded record buffer with an optional forwarding sink.
+
+    The ring is a ``deque(maxlen=capacity)``: it can never exceed
+    *capacity* and drops oldest-first. A raising sink is contained —
+    the record stays in the ring, the error is counted on
+    ``audit_sink_errors_total``.
+    """
 
     capacity: int = 1024
     sink: Optional[Callable[[AuditRecord], None]] = None
     _records: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        # Enforce the bound structurally, whatever seed records were
+        # passed in (oldest dropped first, as maxlen semantics demand).
+        self._records = deque(self._records, maxlen=self.capacity)
 
     def record(
         self,
@@ -59,6 +98,7 @@ class AuditLog:
         total_nodes: int = 0,
         elapsed_seconds: float = 0.0,
         detail: str = "",
+        backend: str = "dom",
     ) -> AuditRecord:
         entry = AuditRecord(
             timestamp=time.time(),
@@ -70,12 +110,16 @@ class AuditLog:
             total_nodes=total_nodes,
             elapsed_seconds=elapsed_seconds,
             detail=detail,
+            backend=backend,
         )
         self._records.append(entry)
-        while len(self._records) > self.capacity:
-            self._records.popleft()
         if self.sink is not None:
-            self.sink(entry)
+            try:
+                self.sink(entry)
+            except Exception:
+                # Audit durability must not take the request down, and
+                # a sick sink must not cost the in-memory trail.
+                METRICS.counter("audit_sink_errors_total").inc()
         return entry
 
     def __len__(self) -> int:

@@ -1,0 +1,162 @@
+"""Durable audit: a JSON-Lines sink with size-based rotation.
+
+:class:`JsonlAuditSink` plugs into :attr:`AuditLog.sink
+<repro.server.audit.AuditLog.sink>` and appends one JSON object per
+:class:`~repro.server.audit.AuditRecord` to a file. Design points,
+mirroring the persistence layer (:mod:`repro.server.persistence`):
+
+- **Atomic appends.** Each record is written with a single
+  ``os.write`` on an ``O_APPEND`` descriptor — the line lands whole or
+  not at all, and concurrent writers never interleave bytes.
+- **Retries.** The write runs under
+  :func:`~repro.server.retry.retry_call` with the shared backoff
+  policy; transient ``OSError``\\ s (and the ``audit.write``
+  fault-injection point, see :mod:`repro.testing.faults`) are retried
+  before giving up. A definitively failed write raises — the owning
+  :class:`~repro.server.audit.AuditLog` contains the failure, keeps the
+  in-memory ring intact and counts ``audit_sink_errors_total``.
+- **Size-based rotation.** When the file reaches ``max_bytes`` it is
+  atomically renamed (``os.replace``) to ``<path>.1``, shifting older
+  generations up to ``<path>.<max_files>`` (the oldest is dropped).
+  Rotations count on ``audit_sink_rotations_total``.
+
+:func:`iter_audit_records` reads a log back — rotated generations
+first, oldest to newest — for programmatic queries;
+``tools/audit_query.py`` is the command-line counterpart.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Callable, Iterator, Optional
+
+from repro.obs.metrics import METRICS
+from repro.server.audit import AuditRecord
+from repro.server.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
+from repro.testing.faults import InjectedFault, trip
+
+__all__ = ["JsonlAuditSink", "iter_audit_records"]
+
+#: Exceptions treated as transient by the sink's retry wrapper.
+_TRANSIENT = (OSError, InjectedFault)
+
+
+class JsonlAuditSink:
+    """Append :class:`AuditRecord`\\ s to a rotating JSONL file.
+
+    Parameters
+    ----------
+    path:
+        The live log file; rotated generations live beside it as
+        ``<path>.1`` (newest) … ``<path>.<max_files>`` (oldest).
+    max_bytes:
+        Rotate once the live file reaches this size (bytes).
+    max_files:
+        How many rotated generations to keep.
+    retry_policy / sleep:
+        Retry schedule and injectable wait for transient write
+        failures (defaults match the persistence layer).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int = 1_048_576,
+        max_files: int = 5,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.max_bytes = int(max_bytes)
+        self.max_files = max(1, int(max_files))
+        self._policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self._sleep = sleep
+        self.records_written = 0
+        self.rotations = 0
+        try:
+            self._size = os.path.getsize(self.path)
+        except OSError:
+            self._size = 0
+
+    # AuditLog.sink is "any callable taking a record".
+    def __call__(self, record: AuditRecord) -> None:
+        self.write(record)
+
+    def write(self, record: AuditRecord) -> None:
+        """Durably append one record (retrying transient failures)."""
+        data = (record.to_json() + "\n").encode("utf-8")
+
+        def attempt() -> None:
+            trip("audit.write")
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
+
+        retry_call(
+            attempt, policy=self._policy, retry_on=_TRANSIENT, sleep=self._sleep
+        )
+        self.records_written += 1
+        self._size += len(data)
+        if self._size >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Shift generations up and start a fresh live file."""
+
+        def attempt() -> None:
+            trip("audit.write")
+            for index in range(self.max_files - 1, 0, -1):
+                source = self._generation(index)
+                if os.path.exists(source):
+                    os.replace(source, self._generation(index + 1))
+            if os.path.exists(self.path):
+                os.replace(self.path, self._generation(1))
+            # The live file always exists after a rotation, so readers
+            # polling it never see a window with no log at all.
+            os.close(os.open(self.path, os.O_WRONLY | os.O_CREAT, 0o644))
+
+        retry_call(
+            attempt, policy=self._policy, retry_on=_TRANSIENT, sleep=self._sleep
+        )
+        self._size = 0
+        self.rotations += 1
+        METRICS.counter("audit_sink_rotations_total").inc()
+
+    def _generation(self, index: int) -> str:
+        return f"{self.path}.{index}"
+
+
+def iter_audit_records(
+    path: str | os.PathLike, include_rotated: bool = True
+) -> Iterator[AuditRecord]:
+    """Yield the records of a JSONL audit log, oldest first.
+
+    With *include_rotated*, rotated generations (``<path>.N``) are read
+    before the live file, highest generation (= oldest records) first.
+    Blank lines are skipped; a missing file yields nothing.
+    """
+    base = os.fspath(path)
+    candidates: list[str] = []
+    if include_rotated:
+        generations = []
+        for name in glob.glob(glob.escape(base) + ".*"):
+            suffix = name[len(base) + 1 :]
+            if suffix.isdigit():
+                generations.append((int(suffix), name))
+        candidates.extend(name for _, name in sorted(generations, reverse=True))
+    candidates.append(base)
+    for name in candidates:
+        try:
+            handle = open(name, "r", encoding="utf-8")
+        except OSError:
+            continue
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield AuditRecord.from_json(line)

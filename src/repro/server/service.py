@@ -24,6 +24,7 @@ from repro.authz.conflict import ConflictPolicy, policy_by_name
 from repro.authz.restrictions import HistoryLimit
 from repro.authz.store import AuthorizationStore
 from repro.authz.xacl import parse_xacl
+from repro.core.explain import Explanation, explain_from_auths
 from repro.core.processor import SecurityProcessor
 from repro.core.view import ViewResult, compute_view, compute_view_from_auths
 from repro.errors import (
@@ -434,10 +435,13 @@ class SecureXMLServer:
                 request.action,
                 "fallback",
                 detail=f"stream fallback: {exc}",
+                backend="stream",
             )
             return self._serve(request, limits)
         except ResourceError as exc:
-            return self._guard_failure(request, exc, started, kind="serve_stream")
+            return self._guard_failure(
+                request, exc, started, kind="serve_stream", backend="stream"
+            )
 
         dtd = labeler.dtd
         if dtd is None and stored.dtd_uri and self.repository.has_dtd(stored.dtd_uri):
@@ -477,6 +481,7 @@ class SecureXMLServer:
             total_nodes=stats.total_nodes,
             elapsed_seconds=elapsed,
             detail="streamed",
+            backend="stream",
         )
         return response
 
@@ -606,6 +611,7 @@ class SecureXMLServer:
         limits = limits if limits is not None else self.limits
         deadline = limits.deadline()
         started = time.perf_counter()
+        backend = "dom"
         try:
             deadline.check("request")
             view_document = None
@@ -637,6 +643,7 @@ class SecureXMLServer:
                     )
                     visible_nodes = labeler.stats.visible_nodes
                     total_nodes = labeler.stats.total_nodes
+                    backend = "stream"
             if view_document is None:
                 view = self._view_for(
                     request.requester,
@@ -665,6 +672,7 @@ class SecureXMLServer:
                 started,
                 action=f"query[{request.xpath}]",
                 kind="query",
+                backend=backend,
             )
         with span("serialize"):
             matches = [serialize(node) for node in nodes]
@@ -679,6 +687,7 @@ class SecureXMLServer:
             visible_nodes=len(matches),
             total_nodes=total_nodes,
             elapsed_seconds=elapsed,
+            backend=backend,
         )
         return AccessResponse(
             uri=request.uri,
@@ -693,6 +702,107 @@ class SecureXMLServer:
     def view(self, requester: Requester, uri: str, action: str = "read") -> ViewResult:
         """The full :class:`ViewResult` (labels included) for one request."""
         return self._view_for(requester, uri, action)
+
+    def explain(
+        self,
+        requester: Requester,
+        uri: str,
+        xpath: Optional[str] = None,
+        action: str = "read",
+        limits: Optional[ResourceLimits] = None,
+    ) -> Explanation:
+        """Explain *requester*'s view of *uri*, node by node.
+
+        Recomputes the view with a
+        :class:`~repro.core.labeling.ProvenanceRecorder` attached and
+        returns the resulting :class:`~repro.core.explain.Explanation`:
+        for every node, the candidate authorizations per label slot,
+        the conflict-resolution verdict, the exact propagation source
+        (which ancestor's authorization a sign was inherited from,
+        whether a weak sign was overridden) and the pruning outcome.
+        ``explanation.describe()`` renders it for humans;
+        ``explanation.to_json()`` for machines.
+
+        *xpath*, when given, selects the nodes of interest (evaluated
+        on the *full* stored document — explaining why something is
+        absent from the view is the point); they land in
+        ``explanation.targets`` and focus ``describe()``. The whole
+        per-node map stays available either way.
+
+        The request is metered (``explain_requests_total``,
+        ``provenance_nodes_recorded_total``), traced under
+        ``decision.explain`` (``explanation.timings`` carries the
+        stage breakdown) and audited with ``action="explain"``.
+        """
+        with self._request_scope("explain") as scope:
+            explanation = self._explain(requester, uri, xpath, action, limits)
+        explanation.timings = scope.timings
+        return explanation
+
+    def _explain(
+        self,
+        requester: Requester,
+        uri: str,
+        xpath: Optional[str],
+        action: str,
+        limits: Optional[ResourceLimits],
+    ) -> Explanation:
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
+        started = time.perf_counter()
+        stored = self._stored(requester, uri, action)
+        document = stored.document(limits=limits, deadline=deadline)
+        config = self.policy_for(uri)
+        now = time.time()
+        with span("decision.explain"):
+            with span("authz.bind"):
+                instance_auths = self.store.applicable(
+                    requester, uri, action, at=now
+                )
+                dtd_uri = self.repository.dtd_uri_of(uri)
+                schema_auths = (
+                    self.store.applicable(requester, dtd_uri, action, at=now)
+                    if dtd_uri
+                    else []
+                )
+            explanation = explain_from_auths(
+                document,
+                instance_auths,
+                schema_auths,
+                self.hierarchy,
+                policy=config.build_policy(),
+                open_policy=config.open_policy,
+                relative_mode=config.relative_paths,
+                uri=uri,
+                requester=str(requester),
+                action=action,
+                limits=limits,
+                deadline=deadline,
+            )
+            if xpath is not None:
+                explanation.targets = select(
+                    xpath,
+                    document,
+                    max_steps=limits.max_xpath_steps,
+                    deadline=deadline,
+                )
+        elapsed = time.perf_counter() - started
+        self.metrics.counter("explain_requests_total").inc()
+        self.metrics.counter("provenance_nodes_recorded_total").inc(
+            len(explanation)
+        )
+        self._record_request("explain", "released", elapsed)
+        self.audit.record(
+            requester,
+            uri,
+            "explain" if xpath is None else f"explain[{xpath}]",
+            "released",
+            visible_nodes=explanation.visible_nodes,
+            total_nodes=len(explanation),
+            elapsed_seconds=elapsed,
+            detail=f"{len(explanation.targets)} target(s)" if xpath else "",
+        )
+        return explanation
 
     def update(self, request: UpdateRequest) -> UpdateOutcome:
         """Apply a write/update batch under ``action="write"`` labels.
@@ -909,6 +1019,7 @@ class SecureXMLServer:
         started: float,
         action: Optional[str] = None,
         kind: str = "serve",
+        backend: str = "dom",
     ) -> AccessResponse:
         """Turn a tripped resource guard into an audited structured
         failure instead of a raised traceback."""
@@ -927,6 +1038,7 @@ class SecureXMLServer:
             "error",
             elapsed_seconds=elapsed,
             detail=f"{trip_kind}: {exc}",
+            backend=backend,
         )
         return AccessResponse(
             uri=request.uri,

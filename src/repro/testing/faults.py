@@ -29,6 +29,12 @@ Known injection points
 ``persistence.read`` / ``persistence.write``
     File I/O in :mod:`repro.server.persistence` (inside the retry
     wrapper, so fail-N-times exercises recovery).
+``audit.write``
+    Durable audit appends and rotations in
+    :class:`repro.server.audit_sink.JsonlAuditSink` (inside the retry
+    wrapper; a persistent fault is contained by the owning
+    :class:`~repro.server.audit.AuditLog` and never loses the
+    in-memory ring).
 """
 
 from __future__ import annotations

@@ -147,3 +147,24 @@ class TestReset:
         registry.reset()
         assert len(registry) == 0
         assert registry.value("a") is None
+
+
+class TestLabelEscaping:
+    def test_double_quote_escaped(self, registry):
+        registry.counter("q_total", path='say "hi"').inc()
+        assert 'q_total{path="say \\"hi\\""} 1' in registry.render_prometheus()
+
+    def test_newline_escaped(self, registry):
+        registry.counter("n_total", detail="line1\nline2").inc()
+        text = registry.render_prometheus()
+        assert 'n_total{detail="line1\\nline2"} 1' in text
+        # The rendered exposition stays one-line-per-sample.
+        assert all(" 1" in line or line.startswith("#") for line in text.splitlines())
+
+    def test_backslash_escaped(self, registry):
+        registry.counter("b_total", path="C:\\tmp").inc()
+        assert 'b_total{path="C:\\\\tmp"} 1' in registry.render_prometheus()
+
+    def test_plain_values_untouched(self, registry):
+        registry.counter("p_total", outcome="released").inc()
+        assert 'p_total{outcome="released"} 1' in registry.render_prometheus()

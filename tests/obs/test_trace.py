@@ -171,3 +171,64 @@ class TestIsolation:
             t.join()
         for key, names in results.items():
             assert names == [key]
+
+
+class TestChromeExport:
+    def _sample(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("request.serve"):
+            with tracer.span("parse.xml"):
+                pass
+            with tracer.span("label", uri="d.xml"):
+                pass
+        return tracer
+
+    def test_export_is_valid_trace_event_json(self):
+        import json
+
+        tracer = self._sample()
+        data = json.loads(tracer.export_chrome())
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        assert len(events) == len(tracer.spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_nesting_preserved_by_timestamp_containment(self):
+        import json
+
+        data = json.loads(self._sample().export_chrome())
+        by_name = {event["name"]: event for event in data["traceEvents"]}
+        parent = by_name["request.serve"]
+        for child_name in ("parse.xml", "label"):
+            child = by_name[child_name]
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+        # Sibling order matches open order.
+        assert by_name["parse.xml"]["ts"] <= by_name["label"]["ts"]
+
+    def test_category_is_the_stage_family(self):
+        import json
+
+        data = json.loads(self._sample().export_chrome())
+        cats = {event["name"]: event["cat"] for event in data["traceEvents"]}
+        assert cats["request.serve"] == "request"
+        assert cats["parse.xml"] == "parse"
+        assert cats["label"] == "label"
+
+    def test_tags_become_args(self):
+        import json
+
+        data = json.loads(self._sample().export_chrome())
+        label = next(e for e in data["traceEvents"] if e["name"] == "label")
+        assert label["args"] == {"uri": "d.xml"}
+
+    def test_written_to_file(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "trace.json")
+        text = self._sample().export_chrome(path)
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == json.loads(text)

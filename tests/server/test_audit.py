@@ -78,3 +78,81 @@ class TestAuditLog:
         except dataclasses.FrozenInstanceError:
             tampered = False
         assert not tampered
+
+
+class TestRingBound:
+    def test_deque_maxlen_enforced_structurally(self):
+        log = AuditLog(capacity=4)
+        assert log._records.maxlen == 4
+
+    def test_never_exceeds_capacity_and_drops_oldest_first(self):
+        log = AuditLog(capacity=3)
+        for index in range(50):
+            record(log, uri=f"http://x/{index}.xml")
+            assert len(log) <= 3
+        assert [entry.uri for entry in log] == [
+            "http://x/47.xml",
+            "http://x/48.xml",
+            "http://x/49.xml",
+        ]
+
+    def test_seed_records_trimmed_on_construction(self):
+        from collections import deque
+
+        donor = AuditLog()
+        for index in range(6):
+            record(donor, uri=f"http://x/{index}.xml")
+        log = AuditLog(capacity=2, _records=deque(donor))
+        assert len(log) == 2
+        assert log.tail(1)[0].uri == "http://x/5.xml"
+
+
+class TestJsonRoundTrip:
+    def test_every_field_survives(self):
+        log = AuditLog()
+        entry = log.record(
+            Requester("bob", "2.2.2.2", "b.y"),
+            "http://x/d.xml",
+            "explain",
+            "released",
+            visible_nodes=7,
+            total_nodes=11,
+            elapsed_seconds=0.034,
+            detail="3 target(s)",
+            backend="stream",
+        )
+        clone = AuditRecord.from_json(entry.to_json())
+        assert clone == entry
+
+    def test_unknown_keys_ignored(self):
+        import json
+
+        log = AuditLog()
+        entry = record(log)
+        data = json.loads(entry.to_json())
+        data["future_field"] = "whatever"
+        clone = AuditRecord.from_json(json.dumps(data))
+        assert clone == entry
+
+    def test_backend_defaults_to_dom(self):
+        log = AuditLog()
+        entry = record(log)
+        assert entry.backend == "dom"
+        legacy = AuditRecord.from_json(
+            '{"timestamp":1.0,"requester":"r","uri":"u",'
+            '"action":"read","outcome":"released"}'
+        )
+        assert legacy.backend == "dom"
+
+
+class TestSinkContainment:
+    def test_raising_sink_keeps_ring_and_counts_error(self):
+        from repro.obs.metrics import METRICS
+
+        def bad_sink(entry):
+            raise OSError("disk on fire")
+
+        log = AuditLog(sink=bad_sink)
+        entry = record(log)
+        assert list(log) == [entry]
+        assert METRICS.value("audit_sink_errors_total") == 1

@@ -1,0 +1,163 @@
+"""Tests for the durable JSONL audit sink: rotation, retries, faults."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.server.audit import AuditLog, AuditRecord
+from repro.server.audit_sink import JsonlAuditSink, iter_audit_records
+from repro.server.request import AccessRequest
+from repro.server.retry import RetryPolicy
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.testing.faults import FAULTS
+
+#: A fast schedule so fault-recovery tests don't sleep for real.
+FAST = RetryPolicy(attempts=4, base_delay=0.0, max_delay=0.0)
+
+
+def _record(log, uri="http://x/d.xml", detail=""):
+    return log.record(
+        Requester("alice", "1.1.1.1", "a.x"),
+        uri,
+        "read",
+        "released",
+        visible_nodes=3,
+        total_nodes=10,
+        elapsed_seconds=0.002,
+        detail=detail,
+    )
+
+
+@pytest.fixture
+def sink_path(tmp_path):
+    return str(tmp_path / "audit.jsonl")
+
+
+class TestAppend:
+    def test_records_round_trip_through_the_file(self, sink_path):
+        log = AuditLog(sink=JsonlAuditSink(sink_path))
+        wrote = [_record(log, uri=f"http://x/{i}.xml") for i in range(5)]
+        read = list(iter_audit_records(sink_path))
+        assert read == wrote
+
+    def test_each_line_is_one_json_object(self, sink_path):
+        log = AuditLog(sink=JsonlAuditSink(sink_path))
+        for index in range(3):
+            _record(log, uri=f"http://x/{index}.xml")
+        with open(sink_path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 3
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_appends_to_existing_file(self, sink_path):
+        log = AuditLog(sink=JsonlAuditSink(sink_path))
+        _record(log)
+        # A fresh sink (process restart) keeps appending, not truncating.
+        log2 = AuditLog(sink=JsonlAuditSink(sink_path))
+        _record(log2)
+        assert len(list(iter_audit_records(sink_path))) == 2
+
+
+class TestRotation:
+    def test_rotates_at_configured_size(self, sink_path):
+        sink = JsonlAuditSink(sink_path, max_bytes=400, max_files=3)
+        log = AuditLog(sink=sink)
+        for index in range(20):
+            _record(log, uri=f"http://x/{index}.xml")
+        assert sink.rotations > 0
+        assert os.path.exists(sink_path + ".1")
+        assert os.path.getsize(sink_path) < 400
+        assert METRICS.value("audit_sink_rotations_total") == sink.rotations
+
+    def test_no_record_lost_across_rotations(self, sink_path):
+        sink = JsonlAuditSink(sink_path, max_bytes=400, max_files=10)
+        log = AuditLog(sink=sink)
+        wrote = [_record(log, uri=f"http://x/{i}.xml") for i in range(20)]
+        assert list(iter_audit_records(sink_path)) == wrote
+
+    def test_oldest_generation_dropped_beyond_max_files(self, sink_path):
+        sink = JsonlAuditSink(sink_path, max_bytes=200, max_files=2)
+        log = AuditLog(sink=sink)
+        for index in range(30):
+            _record(log, uri=f"http://x/{index}.xml")
+        suffixes = sorted(
+            name for name in os.listdir(os.path.dirname(sink_path))
+            if name.startswith("audit.jsonl.")
+        )
+        assert suffixes == ["audit.jsonl.1", "audit.jsonl.2"]
+        # The surviving records are the *newest* ones, in order.
+        read = list(iter_audit_records(sink_path))
+        assert read
+        assert read[-1].uri == "http://x/29.xml"
+        uris = [record.uri for record in read]
+        assert uris == sorted(uris, key=lambda u: int(u.rsplit("/", 1)[1][:-4]))
+
+
+class TestFaults:
+    def test_transient_write_fault_is_retried(self, sink_path):
+        sink = JsonlAuditSink(sink_path, retry_policy=FAST)
+        log = AuditLog(sink=sink)
+        FAULTS.arm("audit.write", times=2)
+        entry = _record(log)
+        assert list(iter_audit_records(sink_path)) == [entry]
+        assert METRICS.value("audit_sink_errors_total") is None
+
+    def test_persistent_fault_keeps_ring_and_counts_error(self, sink_path):
+        sink = JsonlAuditSink(sink_path, retry_policy=FAST)
+        log = AuditLog(sink=sink)
+        with FAULTS.injected("audit.write"):
+            entry = _record(log)
+        # The request survived, the ring holds the record, the durable
+        # file does not, and the failure is visible on the registry.
+        assert list(log) == [entry]
+        assert list(iter_audit_records(sink_path)) == []
+        assert METRICS.value("audit_sink_errors_total") == 1
+        # Recovery: once the fault clears, writes flow again.
+        after = _record(log)
+        assert list(iter_audit_records(sink_path)) == [after]
+
+
+class TestServerIntegration:
+    def _server(self, sink):
+        from repro.authz.authorization import Authorization
+
+        server = SecureXMLServer(audit=AuditLog(sink=sink))
+        server.add_user("alice")
+        server.publish_document("notes.xml", "<notes><n>hi</n></notes>")
+        server.grant(Authorization.build("Public", "notes.xml", "+", "R"))
+        return server
+
+    def test_served_requests_land_in_the_file(self, sink_path):
+        server = self._server(JsonlAuditSink(sink_path))
+        request = AccessRequest(Requester("alice"), "notes.xml")
+        assert server.serve(request).ok
+        records = list(iter_audit_records(sink_path))
+        assert len(records) == 1
+        assert records[0].outcome == "released"
+        assert records[0].backend == "dom"
+
+    def test_stream_backend_tagged(self, sink_path):
+        server = self._server(JsonlAuditSink(sink_path))
+        request = AccessRequest(Requester("alice"), "notes.xml")
+        assert server.serve_stream(request).ok
+        records = list(iter_audit_records(sink_path))
+        assert [record.backend for record in records] == ["stream"]
+
+
+class TestReader:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_audit_records(str(tmp_path / "nope.jsonl"))) == []
+
+    def test_include_rotated_false_reads_live_only(self, sink_path):
+        sink = JsonlAuditSink(sink_path, max_bytes=300, max_files=4)
+        log = AuditLog(sink=sink)
+        for index in range(12):
+            _record(log, uri=f"http://x/{index}.xml")
+        live_only = list(iter_audit_records(sink_path, include_rotated=False))
+        everything = list(iter_audit_records(sink_path))
+        assert len(live_only) < len(everything)
+        if live_only:
+            assert everything[-len(live_only):] == live_only

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Filter and aggregate durable audit logs (JSONL).
+
+Reads the JSON-Lines files written by
+``repro.server.audit_sink.JsonlAuditSink`` — rotated generations
+included — and answers the operational questions an audit trail
+exists for: who touched what, when, through which backend, with what
+outcome.
+
+The tool parses the raw JSON itself, so it works on any host that has
+the log files, without the ``repro`` package installed.
+
+Examples::
+
+    # Everything the guest did to one document
+    python tools/audit_query.py audit.jsonl --requester guest --uri notes.xml
+
+    # Denials and errors in a time window
+    python tools/audit_query.py audit.jsonl --outcome denied --outcome error \\
+        --since 2026-08-01T00:00:00 --until 2026-08-02T00:00:00
+
+    # Outcome histogram over the whole log (rotations included)
+    python tools/audit_query.py audit.jsonl --aggregate outcome
+
+    # Last 20 streaming-backend records, as JSON
+    python tools/audit_query.py audit.jsonl --backend stream --tail 20 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+from typing import Iterator, Optional
+
+
+def parse_when(text: str) -> float:
+    """Accept an epoch-seconds number or an ISO-8601 timestamp (UTC)."""
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%dT%H:%M", "%Y-%m-%d"):
+        try:
+            import calendar
+
+            return calendar.timegm(time.strptime(text, fmt))
+        except ValueError:
+            continue
+    raise SystemExit(f"error: cannot parse time {text!r} (epoch or ISO-8601)")
+
+
+def iter_records(path: str, include_rotated: bool = True) -> Iterator[dict]:
+    """Yield records oldest-first: rotated generations, then the live file."""
+    candidates: list[str] = []
+    if include_rotated:
+        generations = []
+        for name in glob.glob(glob.escape(path) + ".*"):
+            suffix = name[len(path) + 1 :]
+            if suffix.isdigit():
+                generations.append((int(suffix), name))
+        candidates.extend(name for _, name in sorted(generations, reverse=True))
+    candidates.append(path)
+    for name in candidates:
+        try:
+            handle = open(name, "r", encoding="utf-8")
+        except OSError:
+            continue
+        with handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    print(
+                        f"warning: {name}:{line_number}: unparseable line skipped",
+                        file=sys.stderr,
+                    )
+
+
+def matches(record: dict, args: argparse.Namespace) -> bool:
+    if args.requester and record.get("requester") not in args.requester:
+        return False
+    if args.uri and record.get("uri") not in args.uri:
+        return False
+    if args.outcome and record.get("outcome") not in args.outcome:
+        return False
+    if args.backend and record.get("backend", "dom") not in args.backend:
+        return False
+    if args.action and not any(
+        str(record.get("action", "")).startswith(a) for a in args.action
+    ):
+        return False
+    stamp = float(record.get("timestamp", 0.0))
+    if args.since is not None and stamp < args.since:
+        return False
+    if args.until is not None and stamp > args.until:
+        return False
+    return True
+
+
+def render(record: dict) -> str:
+    stamp = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.gmtime(float(record.get("timestamp", 0.0)))
+    )
+    detail = record.get("detail") or ""
+    return (
+        f"{stamp} [{record.get('backend', 'dom')}] "
+        f"{record.get('requester', '?')} {record.get('action', '?')} "
+        f"{record.get('uri', '?')} -> {record.get('outcome', '?')} "
+        f"({record.get('visible_nodes', 0)}/{record.get('total_nodes', 0)} nodes)"
+        + (f" -- {detail}" if detail else "")
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n", 1)[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("log", help="the live JSONL audit log file")
+    parser.add_argument(
+        "--no-rotated",
+        action="store_true",
+        help="read only the live file, skip rotated generations",
+    )
+    parser.add_argument(
+        "--requester", action="append", help="keep records by this requester"
+    )
+    parser.add_argument("--uri", action="append", help="keep records for this URI")
+    parser.add_argument(
+        "--outcome",
+        action="append",
+        help="keep this outcome (released/empty/denied/error/fallback)",
+    )
+    parser.add_argument(
+        "--backend", action="append", help="keep this backend (dom/stream)"
+    )
+    parser.add_argument(
+        "--action",
+        action="append",
+        help="keep actions with this prefix (read, explain, query, ...)",
+    )
+    parser.add_argument(
+        "--since", type=parse_when, help="epoch seconds or ISO-8601 lower bound"
+    )
+    parser.add_argument(
+        "--until", type=parse_when, help="epoch seconds or ISO-8601 upper bound"
+    )
+    parser.add_argument(
+        "--tail", type=int, metavar="N", help="only the last N matching records"
+    )
+    parser.add_argument(
+        "--aggregate",
+        metavar="FIELD",
+        help="histogram of FIELD (outcome, requester, uri, backend, action)"
+        " over the matches instead of listing them",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.log) and not glob.glob(glob.escape(args.log) + ".*"):
+        print(f"error: no such log: {args.log}", file=sys.stderr)
+        return 1
+
+    selected = [
+        record
+        for record in iter_records(args.log, include_rotated=not args.no_rotated)
+        if matches(record, args)
+    ]
+    if args.tail is not None:
+        selected = selected[-args.tail :]
+
+    if args.aggregate:
+        counts: dict[str, int] = {}
+        for record in selected:
+            key = str(record.get(args.aggregate, ""))
+            counts[key] = counts.get(key, 0) + 1
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if args.json:
+            print(json.dumps({"field": args.aggregate, "counts": dict(ordered)}))
+        else:
+            for key, count in ordered:
+                print(f"{count:8d}  {key}")
+            print(f"{len(selected)} record(s)", file=sys.stderr)
+        return 0
+
+    if args.json:
+        print(json.dumps(selected, indent=2))
+    else:
+        for record in selected:
+            print(render(record))
+        print(f"{len(selected)} record(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
