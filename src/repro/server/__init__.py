@@ -18,6 +18,13 @@ from repro.server.analysis import (
 from repro.server.audit import AuditLog, AuditRecord
 from repro.server.audit_sink import JsonlAuditSink, iter_audit_records
 from repro.server.cache import CachedView, ViewCache
+from repro.server.concurrent import (
+    ConcurrentFrontEnd,
+    ExplainRequest,
+    RequestOutcome,
+    StreamRequest,
+    serve_many,
+)
 from repro.server.persistence import load_server, save_server
 from repro.server.repository import Repository, StoredDocument
 from repro.server.request import AccessRequest, AccessResponse, QueryRequest
@@ -44,19 +51,23 @@ __all__ = [
     "AuditLog",
     "AuditRecord",
     "CachedView",
+    "ConcurrentFrontEnd",
     "DEFAULT_RETRY_POLICY",
     "DeleteNode",
+    "ExplainRequest",
     "InsertChild",
     "JsonlAuditSink",
     "PolicyConfig",
     "QueryRequest",
     "RemoveAttribute",
     "Repository",
+    "RequestOutcome",
     "RetryPolicy",
     "SecureXMLServer",
     "SetAttribute",
     "SetText",
     "StoredDocument",
+    "StreamRequest",
     "UpdateDenied",
     "UpdateEngine",
     "UpdateOutcome",
@@ -69,4 +80,5 @@ __all__ = [
     "load_server",
     "retry_call",
     "save_server",
+    "serve_many",
 ]

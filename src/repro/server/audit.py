@@ -22,7 +22,7 @@ from collections import deque
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Iterator, Optional
 
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.subjects.hierarchy import Requester
 
 __all__ = ["AuditRecord", "AuditLog"]
@@ -76,11 +76,29 @@ class AuditLog:
     The ring is a ``deque(maxlen=capacity)``: it can never exceed
     *capacity* and drops oldest-first. A raising sink is contained —
     the record stays in the ring, the error is counted on
-    ``audit_sink_errors_total``.
+    ``audit_sink_errors_total`` (on the process-wide registry, *and* on
+    :attr:`metrics` when a server registry is attached — the
+    :class:`~repro.server.service.SecureXMLServer` wires its own
+    registry in so sink failures are attributable per server).
+
+    Thread-safe, and lock-free on the hot path: ``deque.append`` is
+    documented as thread-safe in CPython (a single C-level call, with
+    maxlen eviction included), so concurrent requests never lose a
+    record without any lock acquisition, and readers
+    (``iter``/``tail``) materialize a snapshot with one atomic
+    ``tuple(deque)`` call instead of racing a mutating deque. The sink
+    runs after the ring append, un-serialized here (a slow durable
+    write must not stall every other request's audit); a
+    concurrency-safe sink like
+    :class:`~repro.server.audit_sink.JsonlAuditSink` serializes its own
+    I/O internally.
     """
 
     capacity: int = 1024
     sink: Optional[Callable[[AuditRecord], None]] = None
+    #: The owning server's registry, when there is one; sink failures
+    #: are counted here in addition to the process-wide ``METRICS``.
+    metrics: Optional[MetricsRegistry] = None
     _records: deque = field(default_factory=deque, repr=False)
 
     def __post_init__(self) -> None:
@@ -112,24 +130,34 @@ class AuditLog:
             detail=detail,
             backend=backend,
         )
+        # Lock-free: a deque append (with maxlen eviction) is one
+        # atomic, documented-thread-safe C call.
         self._records.append(entry)
         if self.sink is not None:
             try:
                 self.sink(entry)
             except Exception:
                 # Audit durability must not take the request down, and
-                # a sick sink must not cost the in-memory trail.
+                # a sick sink must not cost the in-memory trail. Count
+                # the failure where an operator will look: the owning
+                # server's registry when one is attached, and always
+                # the process-wide one.
                 METRICS.counter("audit_sink_errors_total").inc()
+                if self.metrics is not None and self.metrics is not METRICS:
+                    self.metrics.counter("audit_sink_errors_total").inc()
         return entry
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[AuditRecord]:
-        return iter(self._records)
+        # A snapshot: iterating a deque while another thread appends
+        # raises "deque mutated during iteration", but tuple(deque) is
+        # a single C call that never yields the GIL mid-copy.
+        return iter(tuple(self._records))
 
     def tail(self, count: int = 10) -> list[AuditRecord]:
-        return list(self._records)[-count:]
+        return list(tuple(self._records))[-count:]
 
     def clear(self) -> None:
         self._records.clear()

@@ -19,6 +19,15 @@ mirroring the persistence layer (:mod:`repro.server.persistence`):
   atomically renamed (``os.replace``) to ``<path>.1``, shifting older
   generations up to ``<path>.<max_files>`` (the oldest is dropped).
   Rotations count on ``audit_sink_rotations_total``.
+- **One lock around append + size accounting + rotation.** The sink's
+  size estimate and the rotate-now decision are check-then-act on
+  shared state: two unlocked writers would each see ``_size`` below the
+  threshold (missing a rotation) or both see it above (double-rotating,
+  shuffling a nearly empty file into the generations). Every
+  :meth:`JsonlAuditSink.write` runs the whole append → account → maybe
+  rotate sequence under the sink lock, and the size counter is
+  re-stat'ed from the filesystem after each ``os.replace`` so it can
+  never drift from the actual live file.
 
 :func:`iter_audit_records` reads a log back — rotated generations
 first, oldest to newest — for programmatic queries;
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 import glob
 import os
+import threading
 from typing import Callable, Iterator, Optional
 
 from repro.obs.metrics import METRICS
@@ -74,6 +84,9 @@ class JsonlAuditSink:
         self._sleep = sleep
         self.records_written = 0
         self.rotations = 0
+        #: Serializes append + size accounting + rotation; see the
+        #: module docstring.
+        self._lock = threading.Lock()
         try:
             self._size = os.path.getsize(self.path)
         except OSError:
@@ -84,7 +97,13 @@ class JsonlAuditSink:
         self.write(record)
 
     def write(self, record: AuditRecord) -> None:
-        """Durably append one record (retrying transient failures)."""
+        """Durably append one record (retrying transient failures).
+
+        The append, the size accounting and the rotate-now decision run
+        as one atomic step under the sink lock: concurrent writers can
+        neither miss a rotation (both reading a below-threshold
+        ``_size``) nor rotate twice for one overflow.
+        """
         data = (record.to_json() + "\n").encode("utf-8")
 
         def attempt() -> None:
@@ -97,16 +116,20 @@ class JsonlAuditSink:
             finally:
                 os.close(fd)
 
-        retry_call(
-            attempt, policy=self._policy, retry_on=_TRANSIENT, sleep=self._sleep
-        )
-        self.records_written += 1
-        self._size += len(data)
-        if self._size >= self.max_bytes:
-            self._rotate()
+        with self._lock:
+            retry_call(
+                attempt, policy=self._policy, retry_on=_TRANSIENT, sleep=self._sleep
+            )
+            self.records_written += 1
+            self._size += len(data)
+            if self._size >= self.max_bytes:
+                self._rotate()
 
     def _rotate(self) -> None:
-        """Shift generations up and start a fresh live file."""
+        """Shift generations up and start a fresh live file.
+
+        Caller holds the sink lock.
+        """
 
         def attempt() -> None:
             trip("audit.write")
@@ -123,7 +146,14 @@ class JsonlAuditSink:
         retry_call(
             attempt, policy=self._policy, retry_on=_TRANSIENT, sleep=self._sleep
         )
-        self._size = 0
+        # Re-stat rather than assume zero: the ground truth for the
+        # rotation decision is the live file the os.replace left behind,
+        # and an external writer (or a partially failed attempt) may
+        # already have bytes in it.
+        try:
+            self._size = os.path.getsize(self.path)
+        except OSError:
+            self._size = 0
         self.rotations += 1
         METRICS.counter("audit_sink_rotations_total").inc()
 

@@ -11,10 +11,23 @@ only the tree work is amortized.
 Correctness is guarded by versioning, not by invalidation hooks: the
 authorization store and each stored document carry monotonic version
 counters; a cache hit is only honoured when both versions still match.
+
+The cache is **thread-safe**. Entry and counter access goes through one
+:class:`threading.RLock` — without it, concurrent ``get``/``put`` calls
+corrupt the ``OrderedDict``'s LRU order (``move_to_end`` races with
+eviction's ``popitem``), lose counter increments, and can raise
+``RuntimeError: dictionary changed size during iteration`` out of
+``stats()``. On top of the lock sits a **single-flight** protocol for
+misses: when N concurrent requests miss on the same key, the first
+becomes the *leader* and computes the view once; the other N-1 become
+*followers*, park on the leader's :class:`Flight`, and share the result
+— one labeling pass instead of N (see
+:meth:`~repro.server.service.SecureXMLServer.serve`).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
@@ -22,7 +35,7 @@ from typing import Hashable, Optional
 from repro.obs.trace import span
 from repro.testing.faults import trip
 
-__all__ = ["CachedView", "ViewCache"]
+__all__ = ["CachedView", "Flight", "ViewCache"]
 
 
 @dataclass
@@ -38,15 +51,48 @@ class CachedView:
     document_version: int
 
 
+class Flight:
+    """One in-progress view computation that concurrent misses share.
+
+    The *leader* (the request that started the computation) publishes
+    its :class:`CachedView` — or ``None``, when the computation failed
+    or was never cacheable — via :meth:`complete`; *followers* park in
+    :meth:`wait`. A flight completes exactly once; waiting after
+    completion returns immediately.
+    """
+
+    __slots__ = ("_ready", "entry")
+
+    def __init__(self) -> None:
+        self._ready = threading.Event()
+        self.entry: Optional[CachedView] = None
+
+    def complete(self, entry: Optional[CachedView]) -> None:
+        self.entry = entry
+        self._ready.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[CachedView]:
+        """Block until the leader publishes; ``None`` on timeout/failure."""
+        if not self._ready.wait(timeout):
+            return None
+        return self.entry
+
+
 class ViewCache:
     """A bounded LRU keyed by (uri, applicable-auth identity, knobs).
 
     The cache keeps its own effectiveness counters — ``hits``,
-    ``misses``, ``evictions``, ``stale`` — exposed as a snapshot by
-    :meth:`stats` and zeroed by :meth:`reset_stats` (the entries
-    themselves survive a stats reset; :meth:`clear` drops entries but
-    keeps the counters). :meth:`~repro.server.service.SecureXMLServer.stats`
-    folds this snapshot into the server-wide report.
+    ``misses``, ``evictions``, ``stale``, ``shared`` — exposed as a
+    consistent snapshot by :meth:`stats` and zeroed by
+    :meth:`reset_stats` (the entries themselves survive a stats reset;
+    :meth:`clear` drops entries but keeps the counters).
+    :meth:`~repro.server.service.SecureXMLServer.stats` folds this
+    snapshot into the server-wide report.
+
+    All entry and counter access is serialized on one reentrant lock;
+    see the module docstring for why. The lock is never held while a
+    view is being computed — single-flight followers wait on the
+    leader's :class:`Flight` event, not on the cache lock.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -54,10 +100,16 @@ class ViewCache:
             raise ValueError("view cache needs at least one entry")
         self._max_entries = max_entries
         self._entries: "OrderedDict[Hashable, CachedView]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._flights: dict[Hashable, Flight] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.stale = 0
+        #: single-flight reuses: follower requests answered from a
+        #: leader's computation (already counted in ``misses`` — the
+        #: follower's lookup missed before it joined the flight).
+        self.shared = 0
 
     @staticmethod
     def key(
@@ -83,64 +135,113 @@ class ViewCache:
     ) -> Optional[CachedView]:
         with span("cache.lookup"):
             trip("cache.get")
-            entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                return None
-            if (
-                entry.store_version != store_version
-                or entry.document_version != document_version
-            ):
-                # Stale: the policy or the document changed underneath it.
-                del self._entries[key]
-                self.stale += 1
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    return None
+                if (
+                    entry.store_version != store_version
+                    or entry.document_version != document_version
+                ):
+                    # Stale: the policy or the document changed underneath it.
+                    del self._entries[key]
+                    self.stale += 1
+                    self.misses += 1
+                    return None
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
 
     def put(self, key: Hashable, entry: CachedView) -> None:
         with span("cache.store"):
             trip("cache.put")
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            with self._lock:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+
+    # -- single-flight --------------------------------------------------------
+
+    def begin_flight(self, key: Hashable) -> tuple[bool, Flight]:
+        """Join the in-progress computation for *key*.
+
+        Returns ``(True, flight)`` when this caller is the leader (it
+        must eventually call :meth:`end_flight`, success or not) and
+        ``(False, flight)`` when another request is already computing —
+        the caller should :meth:`Flight.wait` and reuse the result.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = Flight()
+                self._flights[key] = flight
+                return True, flight
+            return False, flight
+
+    def end_flight(
+        self, key: Hashable, flight: Flight, entry: Optional[CachedView]
+    ) -> None:
+        """Leader hand-off: publish *entry* (or ``None`` on failure) to
+        every parked follower and retire the flight. New misses on the
+        same key start a fresh flight."""
+        with self._lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.complete(entry)
+
+    def record_shared(self) -> None:
+        """Count one single-flight reuse (a follower served from the
+        leader's computation)."""
+        with self._lock:
+            self.shared += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """A point-in-time effectiveness snapshot.
+        """A point-in-time, mutually consistent effectiveness snapshot.
 
         Keys: ``entries``, ``max_entries``, ``hits``, ``misses``,
-        ``hit_rate``, ``evictions`` (capacity-driven removals) and
+        ``hit_rate``, ``evictions`` (capacity-driven removals),
         ``stale`` (version-mismatch removals; already counted in
-        ``misses``).
+        ``misses``) and ``shared`` (single-flight reuses; their lookups
+        are already counted in ``misses``, so
+        ``hits + misses == lookups`` always holds). Taken under the
+        cache lock, so the counters cohere even while other threads
+        serve.
         """
-        return {
-            "entries": len(self._entries),
-            "max_entries": self._max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "evictions": self.evictions,
-            "stale": self.stale,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "stale": self.stale,
+                "shared": self.shared,
+            }
 
     def reset_stats(self) -> None:
         """Zero the counters without touching the cached entries."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.stale = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.stale = 0
+            self.shared = 0

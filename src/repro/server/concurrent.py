@@ -1,0 +1,249 @@
+"""A thread-safe concurrent serving front end for the facade.
+
+The ROADMAP's north star is a server that carries heavy parallel
+traffic; the paper's architecture (and its author-based follow-up on an
+access-control *processor* deployed as a concurrent gateway) puts every
+request through the same shared structures — cache, audit, metrics,
+repository. This module is the front door for that deployment:
+:func:`serve_many` fans a mixed batch of serve / serve-stream / query /
+explain requests across a ``ThreadPoolExecutor`` against **one**
+:class:`~repro.server.service.SecureXMLServer`, and
+:class:`ConcurrentFrontEnd` keeps a pool alive across batches.
+
+What makes one server safe to share (see docs/ARCHITECTURE.md,
+"Threading model"):
+
+- the :class:`~repro.server.cache.ViewCache` serializes entry/counter
+  access on an ``RLock`` and collapses concurrent misses on one key
+  into a *single-flight* computation;
+- :class:`~repro.obs.metrics.MetricsRegistry`,
+  :class:`~repro.server.audit.AuditLog`,
+  :class:`~repro.server.audit_sink.JsonlAuditSink`,
+  :class:`~repro.testing.faults.FaultInjector` and the repository's
+  version counters are all lock-protected;
+- tracing is naturally request-isolated: the active
+  :class:`~repro.obs.trace.Tracer` lives in a ``ContextVar``, and each
+  worker thread starts from an empty context, so spans from parallel
+  requests can never interleave.
+
+Per-request failures are *captured, not raised*: every request maps to
+a :class:`RequestOutcome` in input order, so one denied or failing
+request never poisons a batch. Guard trips were already structured
+failures (``response.ok``); this extends the same discipline to raised
+errors (history denials, unknown documents).
+
+Usage::
+
+    from repro.server.concurrent import serve_many
+
+    outcomes = serve_many(server, requests, max_workers=8)
+    for outcome in outcomes:
+        if outcome.ok:
+            use(outcome.result.xml_text)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.limits import ResourceLimits
+from repro.server.request import AccessRequest, QueryRequest
+from repro.subjects.hierarchy import Requester
+
+__all__ = [
+    "ConcurrentFrontEnd",
+    "ExplainRequest",
+    "RequestOutcome",
+    "StreamRequest",
+    "dispatch",
+    "serve_many",
+]
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """Ask for the per-node :class:`~repro.core.explain.Explanation` of
+    a requester's view (the batch counterpart of ``server.explain``)."""
+
+    requester: Requester
+    uri: str
+    xpath: Optional[str] = None
+    action: str = "read"
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """Route an :class:`~repro.server.request.AccessRequest` through the
+    streaming backend (``server.serve_stream``) instead of the DOM one."""
+
+    request: AccessRequest
+    chunk_size: int = 65536
+    feed_size: int = 65536
+
+
+#: Anything :func:`dispatch` knows how to route.
+Request = Union[AccessRequest, QueryRequest, ExplainRequest, StreamRequest]
+
+
+@dataclass
+class RequestOutcome:
+    """One request's result slot in a :func:`serve_many` batch.
+
+    ``result`` is the :class:`~repro.server.request.AccessResponse` (or
+    :class:`~repro.core.explain.Explanation` for explain requests) when
+    the facade returned one; ``error`` the exception it raised
+    otherwise (e.g. :class:`~repro.server.service.AccessLimitExceeded`,
+    :class:`~repro.errors.RepositoryError`). Note that a structured
+    guard failure is a *returned response* with ``response.ok`` false,
+    not an ``error`` here.
+    """
+
+    index: int
+    kind: str  # "serve" | "serve_stream" | "query" | "explain"
+    result: Optional[object] = None
+    error: Optional[BaseException] = None
+    timings: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _kind_of(item: Request) -> str:
+    if isinstance(item, StreamRequest):
+        return "serve_stream"
+    if isinstance(item, QueryRequest):
+        return "query"
+    if isinstance(item, ExplainRequest):
+        return "explain"
+    if isinstance(item, AccessRequest):
+        return "serve"
+    raise TypeError(
+        f"cannot dispatch {type(item).__name__}; expected AccessRequest, "
+        "QueryRequest, ExplainRequest or StreamRequest"
+    )
+
+
+def dispatch(
+    server,
+    item: Request,
+    limits: Optional[ResourceLimits] = None,
+):
+    """Route one request to the matching facade method, by type.
+
+    ``AccessRequest`` → :meth:`~repro.server.service.SecureXMLServer.serve`,
+    ``StreamRequest`` → ``serve_stream``, ``QueryRequest`` → ``query``,
+    ``ExplainRequest`` → ``explain``. Exceptions propagate — batch
+    callers wrap this in :func:`_outcome`.
+    """
+    kind = _kind_of(item)
+    if kind == "serve":
+        return server.serve(item, limits=limits)
+    if kind == "serve_stream":
+        return server.serve_stream(
+            item.request,
+            limits=limits,
+            chunk_size=item.chunk_size,
+            feed_size=item.feed_size,
+        )
+    if kind == "query":
+        return server.query(item, limits=limits)
+    return server.explain(
+        item.requester,
+        item.uri,
+        xpath=item.xpath,
+        action=item.action,
+        limits=limits,
+    )
+
+
+def _outcome(
+    server, index: int, item: Request, limits: Optional[ResourceLimits]
+) -> RequestOutcome:
+    kind = _kind_of(item)
+    try:
+        result = dispatch(server, item, limits=limits)
+    except Exception as exc:  # contained per slot, never poisons the batch
+        return RequestOutcome(index=index, kind=kind, error=exc)
+    return RequestOutcome(
+        index=index,
+        kind=kind,
+        result=result,
+        timings=getattr(result, "timings", {}) or {},
+    )
+
+
+class ConcurrentFrontEnd:
+    """A persistent worker pool bound to one server.
+
+    Owns a ``ThreadPoolExecutor``; :meth:`serve_many` dispatches a batch
+    and blocks for ordered outcomes, :meth:`submit` hands back a
+    ``Future`` for callers composing their own completion logic. Use as
+    a context manager (or call :meth:`close`) to release the workers.
+    """
+
+    def __init__(
+        self,
+        server,
+        max_workers: int = 8,
+        limits: Optional[ResourceLimits] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("a front end needs at least one worker")
+        self.server = server
+        self.max_workers = max_workers
+        self.limits = limits
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+
+    def submit(self, item: Request, index: int = 0):
+        """Schedule one request; returns a ``Future[RequestOutcome]``."""
+        return self._executor.submit(
+            _outcome, self.server, index, item, self.limits
+        )
+
+    def serve_many(self, requests: Iterable[Request]) -> list[RequestOutcome]:
+        """Dispatch *requests* across the pool; outcomes in input order."""
+        items: Sequence[Request] = list(requests)
+        futures = [self.submit(item, index) for index, item in enumerate(items)]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ConcurrentFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_many(
+    server,
+    requests: Iterable[Request],
+    max_workers: int = 8,
+    limits: Optional[ResourceLimits] = None,
+) -> list[RequestOutcome]:
+    """Serve a mixed batch concurrently against one server.
+
+    *requests* may freely mix :class:`AccessRequest` (→ ``serve``),
+    :class:`StreamRequest` (→ ``serve_stream``), :class:`QueryRequest`
+    (→ ``query``) and :class:`ExplainRequest` (→ ``explain``). Returns
+    one :class:`RequestOutcome` per request, **in input order**,
+    whatever order the pool finished them in; check ``outcome.ok`` /
+    ``outcome.error`` per slot. *limits* overrides the server's default
+    :class:`~repro.limits.ResourceLimits` for every request in the
+    batch.
+
+    Responses are exactly what sequential calls would produce — the
+    differential stress suite (``tests/server/test_concurrency.py``)
+    holds them byte-identical to a sequential replay — because all
+    shared state (cache, metrics, audit, repository versions) is
+    lock-protected and per-request state (tracer, deadline) is
+    thread-local.
+    """
+    with ConcurrentFrontEnd(server, max_workers=max_workers, limits=limits) as pool:
+        return pool.serve_many(requests)

@@ -9,6 +9,7 @@ and the associated XACL"). Documents can be stored parsed or as text
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -26,7 +27,15 @@ __all__ = ["Repository", "StoredDocument"]
 
 @dataclass
 class StoredDocument:
-    """One document binding: source text and/or parsed tree."""
+    """One document binding: source text and/or parsed tree.
+
+    Lazy parsing and tree replacement are serialized on a per-document
+    lock: N concurrent first requests to a deferred-parse document do
+    exactly one parse (the rest wait and share the tree), and an
+    :meth:`replace_tree` commit swaps tree + source + version as one
+    atomic step, so a concurrent reader can never pair a new tree with
+    a stale version number.
+    """
 
     uri: str
     text: Optional[str] = None
@@ -39,6 +48,9 @@ class StoredDocument:
     dtd_resolver: Optional[Callable[[str], Optional[DTD]]] = field(
         default=None, repr=False, compare=False
     )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def document(
         self,
@@ -46,23 +58,40 @@ class StoredDocument:
         deadline: Optional[Deadline] = None,
     ) -> Document:
         """The parsed tree, parsing lazily (under *limits*) if needed."""
+        # Double-checked: the common already-parsed case stays lock-free
+        # (a reference read is atomic); the parse itself is serialized
+        # and the finished tree published only once fully wired up.
         if self.parsed is None:
-            if self.text is None:
-                raise RepositoryError(f"document {self.uri!r} has no content")
-            self.parsed = parse_document(
-                self.text, uri=self.uri, limits=limits, deadline=deadline
-            )
-            if self.dtd_uri is None:
-                self.dtd_uri = self.parsed.system_id
-            if (
-                self.parsed.dtd is None
-                and self.dtd_uri
-                and self.dtd_resolver is not None
-            ):
-                published = self.dtd_resolver(self.dtd_uri)
-                if published is not None:
-                    self.parsed.dtd = published
+            with self._lock:
+                if self.parsed is None:
+                    if self.text is None:
+                        raise RepositoryError(
+                            f"document {self.uri!r} has no content"
+                        )
+                    tree = parse_document(
+                        self.text, uri=self.uri, limits=limits, deadline=deadline
+                    )
+                    if self.dtd_uri is None:
+                        self.dtd_uri = tree.system_id
+                    if (
+                        tree.dtd is None
+                        and self.dtd_uri
+                        and self.dtd_resolver is not None
+                    ):
+                        published = self.dtd_resolver(self.dtd_uri)
+                        if published is not None:
+                            tree.dtd = published
+                    self.parsed = tree
         return self.parsed
+
+    def replace_tree(self, document: Document) -> None:
+        """Commit a new tree: swap it in, drop any stale source text and
+        bump the version so cached views of the old tree go stale —
+        atomically with respect to concurrent readers."""
+        with self._lock:
+            self.parsed = document
+            self.text = None
+            self.version += 1
 
     def source_text(self) -> str:
         """The document as text, for the streaming pipeline.
@@ -86,23 +115,30 @@ class StoredDocument:
 
 
 class Repository:
-    """URI-keyed storage for documents and DTDs."""
+    """URI-keyed storage for documents and DTDs.
+
+    Publication and removal are check-then-insert on the URI tables, so
+    they run under a repository lock; lookups are single dict reads
+    (atomic under the GIL) and stay lock-free.
+    """
 
     def __init__(self) -> None:
         self._documents: dict[str, StoredDocument] = {}
         self._dtds: dict[str, DTD] = {}
+        self._lock = threading.RLock()
 
     # -- DTDs -----------------------------------------------------------------
 
     def add_dtd(self, uri: str, dtd: DTD | str) -> DTD:
         """Publish a DTD under *uri* (text is parsed)."""
-        if uri in self._dtds:
-            raise RepositoryError(f"a DTD is already published at {uri!r}")
-        parsed = parse_dtd(dtd, uri=uri) if isinstance(dtd, str) else dtd
-        if parsed.uri is None:
-            parsed.uri = uri
-        self._dtds[uri] = parsed
-        return parsed
+        with self._lock:
+            if uri in self._dtds:
+                raise RepositoryError(f"a DTD is already published at {uri!r}")
+            parsed = parse_dtd(dtd, uri=uri) if isinstance(dtd, str) else dtd
+            if parsed.uri is None:
+                parsed.uri = uri
+            self._dtds[uri] = parsed
+            return parsed
 
     def dtd(self, uri: str) -> DTD:
         found = self._dtds.get(uri)
@@ -137,28 +173,29 @@ class Repository:
         content trips a guard at serve time instead of crashing the
         publisher. *limits* bounds an eager parse at add time.
         """
-        if uri in self._documents:
-            raise RepositoryError(f"a document is already stored at {uri!r}")
-        if isinstance(content, Document):
-            stored = StoredDocument(uri, parsed=content)
-            content.uri = uri
-        else:
-            stored = StoredDocument(uri, text=content)
-            if defer_parse:
-                stored.dtd_uri = dtd_uri
-                stored.dtd_resolver = self._dtds.get
-                self._documents[uri] = stored
-                return stored
-        document = stored.document(limits=limits)
-        stored.dtd_uri = dtd_uri or document.system_id
-        if stored.dtd_uri and self.has_dtd(stored.dtd_uri):
-            published = self.dtd(stored.dtd_uri)
-            if document.dtd is None:
-                document.dtd = published
-        if validate_on_add and document.dtd is not None:
-            validate(document, raise_on_error=True)
-        self._documents[uri] = stored
-        return stored
+        with self._lock:
+            if uri in self._documents:
+                raise RepositoryError(f"a document is already stored at {uri!r}")
+            if isinstance(content, Document):
+                stored = StoredDocument(uri, parsed=content)
+                content.uri = uri
+            else:
+                stored = StoredDocument(uri, text=content)
+                if defer_parse:
+                    stored.dtd_uri = dtd_uri
+                    stored.dtd_resolver = self._dtds.get
+                    self._documents[uri] = stored
+                    return stored
+            document = stored.document(limits=limits)
+            stored.dtd_uri = dtd_uri or document.system_id
+            if stored.dtd_uri and self.has_dtd(stored.dtd_uri):
+                published = self.dtd(stored.dtd_uri)
+                if document.dtd is None:
+                    document.dtd = published
+            if validate_on_add and document.dtd is not None:
+                validate(document, raise_on_error=True)
+            self._documents[uri] = stored
+            return stored
 
     def document(self, uri: str) -> Document:
         stored = self._documents.get(uri)
@@ -181,9 +218,10 @@ class Repository:
         return uri in self._documents
 
     def remove_document(self, uri: str) -> None:
-        if uri not in self._documents:
-            raise RepositoryError(f"no document stored at {uri!r}")
-        del self._documents[uri]
+        with self._lock:
+            if uri not in self._documents:
+                raise RepositoryError(f"no document stored at {uri!r}")
+            del self._documents[uri]
 
     def documents(self) -> Iterator[str]:
         yield from self._documents

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -82,12 +83,30 @@ class AccessLimitExceeded(PolicyError):
 
 
 class _RequestScope:
-    """Mutable holder for one request's per-stage timing breakdown."""
+    """Mutable holder for one request's per-stage timing breakdown and
+    its pending metric updates.
 
-    __slots__ = ("timings",)
+    ``pending`` accumulates ``(kind, name, labels, value)`` tuples that
+    are flushed in ONE :meth:`MetricsRegistry.record_batch` call when
+    the scope closes — so a request pays a single uncontended lock
+    acquisition for all its accounting (see the C1 locking bound in
+    ``benchmarks/run_report.py``). The scope itself is request-private
+    (held in a ``ContextVar``), so appends are race-free.
+    """
+
+    __slots__ = ("timings", "pending")
 
     def __init__(self) -> None:
         self.timings: dict[str, float] = {}
+        self.pending: list[tuple] = []
+
+
+#: The scope of the request currently being processed on this thread /
+#: context (None outside a request). ContextVar, like the tracer: each
+#: worker thread of a concurrent front end gets its own.
+_ACTIVE_SCOPE: ContextVar[Optional[_RequestScope]] = ContextVar(
+    "repro_request_scope", default=None
+)
 
 
 def _histogram_summary(histogram) -> dict:
@@ -131,6 +150,11 @@ class SecureXMLServer:
         self.trace_requests = trace_requests
         self._default_policy = default_policy or PolicyConfig()
         self._document_policies: dict[str, PolicyConfig] = {}
+        # Attribute sink failures to this server's registry too (the
+        # process-wide METRICS keeps counting regardless); an audit log
+        # explicitly wired to another registry is left alone.
+        if self.audit.metrics is None:
+            self.audit.metrics = self.metrics
 
     # -- administration -----------------------------------------------------
 
@@ -205,6 +229,13 @@ class SecureXMLServer:
         entry (and whose store/document versions are unchanged) are
         answered from the cache — the entitlement computation still
         happens per request; only tree labeling/pruning is amortized.
+        Concurrent misses on one key are collapsed by the cache's
+        single-flight protocol: the first request computes the view,
+        the rest wait and share the result (one labeling pass, audited
+        as ``cache hit (single-flight)``; see docs/ARCHITECTURE.md's
+        threading-model section and
+        :func:`repro.server.concurrent.serve_many` for the worker-pool
+        front end).
 
         *limits* overrides the server's default
         :class:`~repro.limits.ResourceLimits` for this request. A
@@ -233,6 +264,13 @@ class SecureXMLServer:
         self._enforce_history_limit(request.requester, request.uri)
         started = time.perf_counter()
         stored = self._stored(request.requester, request.uri, request.action)
+        # Version snapshot for the cache protocol, taken *before* the
+        # tree and the authorizations are read: if a concurrent
+        # update/grant lands in between, the entry we build is labelled
+        # with the pre-mutation versions and therefore immediately
+        # stale (safe), never wrongly fresh.
+        store_version = self.store.version
+        document_version = stored.version
         try:
             deadline.check("request")
             document = stored.document(limits=limits, deadline=deadline)
@@ -265,7 +303,7 @@ class SecureXMLServer:
             )
             try:
                 hit = self.view_cache.get(
-                    cache_key, self.store.version, stored.version
+                    cache_key, store_version, document_version
                 )
             except Exception:
                 # Degrade, don't die: a broken cache means recomputing
@@ -276,72 +314,86 @@ class SecureXMLServer:
                     "cache_degraded_total", event="get-failed"
                 ).inc()
             else:
-                self.metrics.counter(
+                self._meter(
+                    "counter",
                     "viewcache_requests_total",
-                    result="hit" if hit is not None else "miss",
-                ).inc()
+                    {"result": "hit" if hit is not None else "miss"},
+                    1,
+                )
             if hit is not None:
-                elapsed = time.perf_counter() - started
-                outcome = "empty" if hit.empty else "released"
-                self._record_request("serve", outcome, elapsed)
-                self.audit.record(
-                    request.requester,
-                    request.uri,
-                    request.action,
-                    outcome,
-                    visible_nodes=hit.visible_nodes,
-                    total_nodes=hit.total_nodes,
-                    elapsed_seconds=elapsed,
-                    detail="cache hit",
-                )
-                return AccessResponse(
-                    uri=request.uri,
-                    xml_text=hit.xml_text,
-                    loosened_dtd_text=hit.loosened_dtd_text,
-                    empty=hit.empty,
-                    visible_nodes=hit.visible_nodes,
-                    total_nodes=hit.total_nodes,
-                    elapsed_seconds=elapsed,
-                )
+                return self._cached_response(request, hit, started, "cache hit")
 
-        try:
-            view = compute_view_from_auths(
-                document,
-                instance_auths,
-                schema_auths,
-                self.hierarchy,
-                policy=config.build_policy(),
-                open_policy=config.open_policy,
-                relative_mode=config.relative_paths,
-                limits=limits,
-                deadline=deadline,
-            )
-        except ResourceError as exc:
-            return self._guard_failure(request, exc, started, kind="serve")
-        elapsed = time.perf_counter() - started
-        with span("serialize"):
-            xml_text = serialize(view.document, doctype=False)
-            loosened = view.document.dtd
-            loosened_text = serialize_dtd(loosened) if loosened else None
+        # Single-flight: the first miss on a key becomes the leader and
+        # computes the view; concurrent misses on the same key park on
+        # its Flight and share the result — one labeling pass, not N.
+        lead, flight = False, None
         if self.view_cache is not None and cache_key is not None:
-            try:
-                self.view_cache.put(
-                    cache_key,
-                    CachedView(
-                        xml_text=xml_text,
-                        loosened_dtd_text=loosened_text,
-                        empty=view.empty,
-                        visible_nodes=view.visible_nodes,
-                        total_nodes=view.total_nodes,
-                        store_version=self.store.version,
-                        document_version=stored.version,
-                    ),
-                )
-            except Exception:
-                cache_note = "cache store failed; view served uncached"
+            lead, flight = self.view_cache.begin_flight(cache_key)
+            if not lead:
+                shared = flight.wait(timeout=deadline.remaining())
+                if (
+                    shared is not None
+                    and shared.store_version == store_version
+                    and shared.document_version == document_version
+                ):
+                    self.view_cache.record_shared()
+                    self.metrics.counter(
+                        "single_flight_total", outcome="shared"
+                    ).inc()
+                    return self._cached_response(
+                        request, shared, started, "cache hit (single-flight)"
+                    )
+                # Leader failed, timed out, or computed under different
+                # versions: compute our own view, without leadership.
                 self.metrics.counter(
-                    "cache_degraded_total", event="put-failed"
+                    "single_flight_total", outcome="recomputed"
                 ).inc()
+
+        cached_entry: Optional[CachedView] = None
+        try:
+            try:
+                view = compute_view_from_auths(
+                    document,
+                    instance_auths,
+                    schema_auths,
+                    self.hierarchy,
+                    policy=config.build_policy(),
+                    open_policy=config.open_policy,
+                    relative_mode=config.relative_paths,
+                    limits=limits,
+                    deadline=deadline,
+                )
+            except ResourceError as exc:
+                return self._guard_failure(request, exc, started, kind="serve")
+            elapsed = time.perf_counter() - started
+            with span("serialize"):
+                xml_text = serialize(view.document, doctype=False)
+                loosened = view.document.dtd
+                loosened_text = serialize_dtd(loosened) if loosened else None
+            if self.view_cache is not None and cache_key is not None:
+                entry = CachedView(
+                    xml_text=xml_text,
+                    loosened_dtd_text=loosened_text,
+                    empty=view.empty,
+                    visible_nodes=view.visible_nodes,
+                    total_nodes=view.total_nodes,
+                    store_version=store_version,
+                    document_version=document_version,
+                )
+                try:
+                    self.view_cache.put(cache_key, entry)
+                except Exception:
+                    cache_note = "cache store failed; view served uncached"
+                    self.metrics.counter(
+                        "cache_degraded_total", event="put-failed"
+                    ).inc()
+                # Even when the put failed, parked followers can still
+                # reuse the computed entry — it is correct regardless of
+                # whether the cache kept it.
+                cached_entry = entry
+        finally:
+            if lead:
+                self.view_cache.end_flight(cache_key, flight, cached_entry)
         response = AccessResponse(
             uri=request.uri,
             xml_text=xml_text,
@@ -364,6 +416,38 @@ class SecureXMLServer:
             detail=cache_note,
         )
         return response
+
+    def _cached_response(
+        self,
+        request: AccessRequest,
+        hit: CachedView,
+        started: float,
+        detail: str,
+    ) -> AccessResponse:
+        """Answer a request from a :class:`CachedView` (a cache hit or a
+        shared single-flight result), with the usual accounting."""
+        elapsed = time.perf_counter() - started
+        outcome = "empty" if hit.empty else "released"
+        self._record_request("serve", outcome, elapsed)
+        self.audit.record(
+            request.requester,
+            request.uri,
+            request.action,
+            outcome,
+            visible_nodes=hit.visible_nodes,
+            total_nodes=hit.total_nodes,
+            elapsed_seconds=elapsed,
+            detail=detail,
+        )
+        return AccessResponse(
+            uri=request.uri,
+            xml_text=hit.xml_text,
+            loosened_dtd_text=hit.loosened_dtd_text,
+            empty=hit.empty,
+            visible_nodes=hit.visible_nodes,
+            total_nodes=hit.total_nodes,
+            elapsed_seconds=elapsed,
+        )
 
     def serve_stream(
         self,
@@ -787,9 +871,9 @@ class SecureXMLServer:
                     deadline=deadline,
                 )
         elapsed = time.perf_counter() - started
-        self.metrics.counter("explain_requests_total").inc()
-        self.metrics.counter("provenance_nodes_recorded_total").inc(
-            len(explanation)
+        self._meter("counter", "explain_requests_total", {}, 1)
+        self._meter(
+            "counter", "provenance_nodes_recorded_total", {}, len(explanation)
         )
         self._record_request("explain", "released", elapsed)
         self.audit.record(
@@ -849,10 +933,9 @@ class SecureXMLServer:
             raise
         # Commit: swap the stored tree; drop any stale source text and
         # bump the version so cached views of the old tree go stale.
+        # The swap is atomic w.r.t. concurrent readers (per-document lock).
         updated.uri = request.uri
-        stored.parsed = updated
-        stored.text = None
-        stored.version += 1
+        stored.replace_tree(updated)
         self.audit.record(
             request.requester,
             request.uri,
@@ -936,29 +1019,50 @@ class SecureXMLServer:
         breakdown is recorded.
         """
         scope = _RequestScope()
-        if not self.trace_requests:
-            yield scope
-            return
-        outer = current_tracer()
-        tracer = outer if outer is not None else Tracer()
-        mark = len(tracer.spans)
-        if outer is None:
-            with tracing(tracer):
+        token = _ACTIVE_SCOPE.set(scope)
+        try:
+            if not self.trace_requests:
+                yield scope
+                return
+            outer = current_tracer()
+            tracer = outer if outer is not None else Tracer()
+            mark = len(tracer.spans)
+            if outer is None:
+                with tracing(tracer):
+                    with tracer.span(f"request.{kind}"):
+                        yield scope
+            else:
                 with tracer.span(f"request.{kind}"):
                     yield scope
+            scope.timings = stage_totals(tracer.spans[mark:])
+            for stage, seconds in scope.timings.items():
+                scope.pending.append(
+                    ("histogram", "stage_seconds", {"stage": stage}, seconds)
+                )
+        finally:
+            # Flush even when the request raised (history denial,
+            # repository failure): the outcome counters queued so far
+            # must land; only the per-stage breakdown is skipped.
+            _ACTIVE_SCOPE.reset(token)
+            if scope.pending:
+                self.metrics.record_batch(scope.pending)
+
+    def _meter(self, kind: str, name: str, labels: dict, value: float) -> None:
+        """Queue one metric update on the active request scope (flushed
+        as a single batched lock acquisition at scope exit), or apply it
+        immediately when no request scope is active."""
+        scope = _ACTIVE_SCOPE.get()
+        if scope is not None:
+            scope.pending.append((kind, name, labels, value))
         else:
-            with tracer.span(f"request.{kind}"):
-                yield scope
-        scope.timings = stage_totals(tracer.spans[mark:])
-        for stage, seconds in scope.timings.items():
-            self.metrics.histogram("stage_seconds", stage=stage).observe(seconds)
+            self.metrics.record_batch([(kind, name, labels, value)])
 
     def _record_request(
         self, kind: str, outcome: str, elapsed: Optional[float] = None
     ) -> None:
-        self.metrics.counter("requests_total", kind=kind, outcome=outcome).inc()
+        self._meter("counter", "requests_total", {"kind": kind, "outcome": outcome}, 1)
         if elapsed is not None:
-            self.metrics.histogram("request_seconds", kind=kind).observe(elapsed)
+            self._meter("histogram", "request_seconds", {"kind": kind}, elapsed)
 
     # -- internals ---------------------------------------------------------------
 

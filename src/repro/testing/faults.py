@@ -19,6 +19,18 @@ tests are exactly reproducible. Every firing also increments
 registry (docs/OBSERVABILITY.md), so a test can assert both that the
 fault fired and that the service reacted.
 
+.. warning:: **Process-wide blast radius.** :data:`FAULTS` is one
+   global injector shared by every thread: arming a point — including
+   via ``FAULTS.injected(...)`` — fires it for *any* concurrent request
+   that trips it, not just the arming thread's. That is by design
+   (infrastructure failures are not thread-scoped either), but it means
+   concurrent test cases must not arm overlapping points, and a
+   fail-N-times budget is consumed by whichever N trips arrive first,
+   whatever thread they run on. The armed table itself is lock-
+   protected, so arming/disarming races never corrupt it and
+   fail-N-times countdowns decrement atomically (exactly N firings,
+   never N±1). See docs/ROBUSTNESS.md.
+
 Known injection points
 ----------------------
 ``repository.read``
@@ -39,6 +51,7 @@ Known injection points
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -78,11 +91,18 @@ class FaultInjector:
     One process-wide instance (:data:`FAULTS`) is consulted by the
     production trip points; tests may also instantiate private
     injectors for harness unit tests.
+
+    The armed table is guarded by a lock: concurrent arm/disarm/trip
+    calls never corrupt it, and a fail-N-times countdown is decremented
+    atomically — exactly N firings total, however many threads trip the
+    point. Arming remains *visible process-wide* (see the module
+    docstring's blast-radius warning).
     """
 
     def __init__(self) -> None:
         self._faults: dict[str, _Fault] = {}
         self._fired: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # -- arming ------------------------------------------------------------
 
@@ -99,16 +119,19 @@ class FaultInjector:
         """
         if times is not None and times < 1:
             raise ValueError("times must be >= 1 (or None for always)")
-        self._faults[point] = _Fault(point, times, exception)
+        with self._lock:
+            self._faults[point] = _Fault(point, times, exception)
 
     def disarm(self, point: str) -> None:
         """Stop failing *point* (no-op when not armed)."""
-        self._faults.pop(point, None)
+        with self._lock:
+            self._faults.pop(point, None)
 
     def reset(self) -> None:
         """Disarm every point and zero the fired counters."""
-        self._faults.clear()
-        self._fired.clear()
+        with self._lock:
+            self._faults.clear()
+            self._fired.clear()
 
     @contextmanager
     def injected(
@@ -127,11 +150,13 @@ class FaultInjector:
     # -- observation --------------------------------------------------------
 
     def armed(self, point: str) -> bool:
-        return point in self._faults
+        with self._lock:
+            return point in self._faults
 
     def fired(self, point: str) -> int:
         """How many times *point* has raised since the last reset."""
-        return self._fired.get(point, 0)
+        with self._lock:
+            return self._fired.get(point, 0)
 
     # -- the production-side hook ---------------------------------------------
 
@@ -139,26 +164,35 @@ class FaultInjector:
         """Raise if *point* is armed with failures remaining.
 
         Called by production code at each injection point; free when
-        nothing is armed.
+        nothing is armed — the disarmed fast path is one truthiness
+        test on the (empty) table, no lock, no allocation. Armed
+        bookkeeping — the countdown decrement and the fired counters —
+        happens under the injector lock, so two threads tripping a
+        fail-N-times point can never both consume the same budget slot
+        (check-then-act race) or lose a fired increment.
         """
         if not self._faults:
             return
-        fault = self._faults.get(point)
-        if fault is None:
-            return
-        if fault.remaining is not None:
-            if fault.remaining <= 0:
+        with self._lock:
+            fault = self._faults.get(point)
+            if fault is None:
                 return
-            fault.remaining -= 1
-        fault.fired += 1
-        self._fired[point] = self._fired.get(point, 0) + 1
+            if fault.remaining is not None:
+                if fault.remaining <= 0:
+                    return
+                fault.remaining -= 1
+            fault.fired += 1
+            occurrence = fault.fired
+            factory = fault.exception
+            self._fired[point] = self._fired.get(point, 0) + 1
         # Firings are observable like any other infrastructure event:
         # degradation tests assert on this counter alongside the audit
-        # trail (see docs/OBSERVABILITY.md).
+        # trail (see docs/OBSERVABILITY.md). Incremented outside the
+        # injector lock — the registry has its own.
         METRICS.counter("faults_injected_total", point=point).inc()
-        if fault.exception is not None:
-            raise fault.exception(point, fault.fired)
-        raise InjectedFault(point, fault.fired)
+        if factory is not None:
+            raise factory(point, occurrence)
+        raise InjectedFault(point, occurrence)
 
 
 #: The process-wide injector consulted by the named injection points.
