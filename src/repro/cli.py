@@ -109,6 +109,43 @@ def build_parser() -> argparse.ArgumentParser:
     xacl = commands.add_parser("xacl", help="check an XACL file, list authorizations")
     xacl.add_argument("xacl")
 
+    pool = commands.add_parser(
+        "pool",
+        help="drive synthetic traffic through the supervised "
+        "multi-process sharded serving pool",
+    )
+    pool.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes (default 2)",
+    )
+    pool.add_argument(
+        "--shards", type=int, default=None, metavar="M",
+        help="document shards (default: one per worker)",
+    )
+    pool.add_argument(
+        "--requests", type=int, default=50, help="requests to send (default 50)"
+    )
+    pool.add_argument(
+        "--documents", type=int, default=8, help="corpus size (default 8)"
+    )
+    pool.add_argument(
+        "--nodes", type=int, default=300,
+        help="approximate nodes per document (default 300)",
+    )
+    pool.add_argument("--seed", type=int, default=0)
+    pool.add_argument(
+        "--query-share", type=float, default=0.25,
+        help="fraction of requests that are XPath queries (default 0.25)",
+    )
+    pool.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock budget",
+    )
+    pool.add_argument(
+        "--json", action="store_true",
+        help="emit the pool stats snapshot as JSON instead of a summary",
+    )
+
     exp = commands.add_parser(
         "explain",
         help="explain why a node is visible/hidden for a requester",
@@ -366,8 +403,62 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pool(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from repro.limits import ResourceLimits
+    from repro.server.pool import ShardedServerPool
+    from repro.workloads.traffic import TrafficSpec, request_stream
+
+    spec = TrafficSpec(
+        documents=args.documents,
+        nodes_per_document=args.nodes,
+        seed=args.seed,
+    )
+    requests = list(
+        request_stream(
+            spec, args.requests, seed=args.seed, query_share=args.query_share
+        )
+    )
+    limits = (
+        ResourceLimits(deadline_seconds=args.deadline)
+        if args.deadline is not None
+        else None
+    )
+    started = time.perf_counter()
+    with ShardedServerPool(
+        spec.build_server, workers=args.workers, shards=args.shards
+    ) as pool:
+        pool.wait_ready()
+        outcomes = pool.serve_many(requests, limits=limits, timeout=120)
+        elapsed = time.perf_counter() - started
+        stats = pool.stats()
+    if args.json:
+        print(json_mod.dumps(stats, indent=2, default=str))
+        return 0
+    ok = sum(1 for outcome in outcomes if outcome.ok)
+    print(
+        f"{ok}/{len(outcomes)} requests ok in {elapsed:.2f}s "
+        f"({len(outcomes) / elapsed:.1f} req/s) across "
+        f"{args.workers} worker(s), {stats['pool']['shards']} shard(s)"
+    )
+    print(
+        f"outcomes: {stats['outcomes']}  restarts: "
+        f"{stats['pool']['restarts_total']}  shed: {stats['pool']['shed_total']}"
+    )
+    for failed in (o for o in outcomes if not o.ok):
+        print(
+            f"  request {failed.index} [{failed.kind}] -> "
+            f"{type(failed.error).__name__}: {failed.error}",
+            file=sys.stderr,
+        )
+    return 0 if ok == len(outcomes) else 1
+
+
 _HANDLERS = {
     "view": _cmd_view,
+    "pool": _cmd_pool,
     "validate": _cmd_validate,
     "xpath": _cmd_xpath,
     "loosen": _cmd_loosen,

@@ -150,6 +150,82 @@ class DeadlineExceeded(ResourceError):
         super().__init__(message)
 
 
+class PoolError(ReproError):
+    """A multi-process serving-pool problem (see ``repro.server.pool``).
+
+    Pool errors are *infrastructure* outcomes, not policy decisions:
+    they say the pool could not get the request to a healthy worker (or
+    could not get the answer back), never anything about what the
+    requester is entitled to see. All of them pickle cleanly, because
+    they may be minted on either side of the IPC boundary.
+    """
+
+
+class WorkerLost(PoolError):
+    """The worker holding this request died (crash, kill, OOM, IPC
+    corruption) before a response came back.
+
+    The request has **exactly one** outcome — this error — even though
+    the worker may or may not have executed it before dying; callers
+    that retry must tolerate at-most-once side effects (reads are safe).
+
+    Attributes
+    ----------
+    worker, shard:
+        The worker index and document shard the request was routed to,
+        when known.
+    reason:
+        Machine-readable cause: ``"crashed"``, ``"hung"``,
+        ``"heartbeat-timeout"``, ``"ipc-corrupt"``, ...
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker: int | None = None,
+        shard: int | None = None,
+        reason: str = "",
+    ):
+        self.worker = worker
+        self.shard = shard
+        self.reason = reason
+        super().__init__(message)
+
+
+class PoolSaturated(PoolError):
+    """The target worker's bounded queue is full: the request was shed
+    at admission (load-shedding backpressure), not queued.
+
+    Attributes
+    ----------
+    worker:
+        The worker whose queue was full.
+    depth:
+        The configured queue depth that was exhausted.
+    """
+
+    def __init__(self, message: str, worker: int | None = None, depth: int | None = None):
+        self.worker = worker
+        self.depth = depth
+        super().__init__(message)
+
+
+class PoolUnhealthy(PoolError):
+    """The shard's circuit breaker is open and no in-process fallback is
+    configured: the request fails fast instead of queueing behind a
+    worker that keeps dying.
+
+    Attributes
+    ----------
+    shard:
+        The unhealthy document shard.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        self.shard = shard
+        super().__init__(message)
+
+
 class XMLLimitExceeded(XMLSyntaxError, LimitExceeded):
     """An XML parsing guard tripped (entity bomb, depth, size...).
 

@@ -93,6 +93,20 @@ class Deadline:
                 budget=self.budget,
             )
 
+    def __reduce__(self):
+        """Pickle as *remaining-time transfer*.
+
+        A deadline is anchored to this process's monotonic clock, which
+        has no meaning in another process. Shipping one across an IPC
+        boundary therefore transfers the *remaining* budget: unpickling
+        re-arms a fresh deadline with however much time was left at
+        pickling time, so the receiving worker enforces the same
+        wall-clock cutoff (minus transport latency) instead of a
+        nonsense timestamp. An already-expired deadline transfers as a
+        zero-budget one that trips on the first ``check``.
+        """
+        return (Deadline, (self.remaining(),))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self._expires_at is None:
             return "<Deadline unbounded>"
@@ -165,6 +179,22 @@ class ResourceLimits:
     def with_deadline(self, seconds: Optional[float]) -> "ResourceLimits":
         """A copy with a different wall-clock budget."""
         return replace(self, deadline_seconds=seconds)
+
+    def for_transfer(self, deadline: Optional[Deadline] = None) -> "ResourceLimits":
+        """A copy suitable for crossing a process (IPC) boundary.
+
+        *deadline* is the request's already-armed :class:`Deadline` in
+        the sending process; the copy's ``deadline_seconds`` becomes its
+        *remaining* budget (``None`` when unbounded), so the receiving
+        worker re-arms a deadline covering only the time actually left.
+        A request that expires while queued in the parent ships a
+        zero-budget deadline and fails fast on the worker's first
+        check. With no *deadline*, ``deadline_seconds`` transfers
+        unchanged (fresh budget on the far side).
+        """
+        if deadline is None or deadline.unbounded:
+            return self
+        return replace(self, deadline_seconds=deadline.remaining())
 
     @classmethod
     def unlimited(cls) -> "ResourceLimits":

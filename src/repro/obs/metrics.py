@@ -424,6 +424,23 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def reinit_registry_locks(registry: MetricsRegistry) -> None:
+    """Replace *registry*'s lock (and every owned metric's) after a fork.
+
+    A ``fork()`` clones the whole address space, including a lock that
+    some *other* parent thread happened to hold at the fork instant —
+    the child has no such thread, so the first acquire would deadlock
+    forever. Worker processes call this once at boot on the registries
+    they inherit (the process-wide :data:`METRICS`); since every metric
+    shares its owning registry's lock, the replacement must be applied
+    to each metric too, not just the registry.
+    """
+    fresh = threading.Lock()
+    registry._lock = fresh
+    for metric in registry._metrics.values():
+        metric._lock = fresh
+
+
 def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 

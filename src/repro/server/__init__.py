@@ -26,10 +26,12 @@ from repro.server.concurrent import (
     serve_many,
 )
 from repro.server.persistence import load_server, save_server
-from repro.server.repository import Repository, StoredDocument
+from repro.server.pool import PoolOutcome, ShardedServerPool
+from repro.server.repository import Repository, ShardRouter, StoredDocument
 from repro.server.request import AccessRequest, AccessResponse, QueryRequest
 from repro.server.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from repro.server.service import AccessLimitExceeded, PolicyConfig, SecureXMLServer
+from repro.server.supervisor import CircuitBreaker, RestartPolicy, Supervisor
 from repro.server.updates import (
     DeleteNode,
     InsertChild,
@@ -51,6 +53,7 @@ __all__ = [
     "AuditLog",
     "AuditRecord",
     "CachedView",
+    "CircuitBreaker",
     "ConcurrentFrontEnd",
     "DEFAULT_RETRY_POLICY",
     "DeleteNode",
@@ -58,16 +61,21 @@ __all__ = [
     "InsertChild",
     "JsonlAuditSink",
     "PolicyConfig",
+    "PoolOutcome",
     "QueryRequest",
     "RemoveAttribute",
     "Repository",
     "RequestOutcome",
+    "RestartPolicy",
     "RetryPolicy",
     "SecureXMLServer",
     "SetAttribute",
     "SetText",
+    "ShardRouter",
+    "ShardedServerPool",
     "StoredDocument",
     "StreamRequest",
+    "Supervisor",
     "UpdateDenied",
     "UpdateEngine",
     "UpdateOutcome",

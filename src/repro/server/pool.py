@@ -1,0 +1,1081 @@
+"""A supervised multi-process sharded serving tier.
+
+BENCH_PR5 showed the thread-pool front end is GIL-bound: labeling and
+pruning are pure-Python CPU work, so eight threads serve no faster
+than one. :class:`ShardedServerPool` breaks that wall with
+*shared-nothing* worker processes: each worker owns a shard of the
+document corpus (consistent-hash routing by URI, see
+:class:`~repro.server.repository.ShardRouter`) and runs its own
+complete :class:`~repro.server.service.SecureXMLServer` — no cache, no
+repository, no lock is shared across processes, so N workers really do
+label N documents at once.
+
+What crosses the process boundary is data only, over one duplex pipe
+per worker: pickled requests (with
+:class:`~repro.limits.ResourceLimits` carrying the *remaining* deadline
+budget — see :meth:`ResourceLimits.for_transfer`), pickled responses
+or typed exceptions, and heartbeats. The parent keeps a bounded queue
+per worker and pipelines up to ``pipeline_depth`` requests down the
+pipe before waiting, so the pipe round-trip amortizes.
+
+Robustness is the point, not an afterthought (the paper's processor is
+the availability bottleneck of the architecture it sketches):
+
+- **Crash isolation** — a worker that segfaults, gets OOM-killed, or
+  corrupts its pipe takes down *its* in-flight requests (each resolved
+  with a typed :class:`~repro.errors.WorkerLost`, exactly once) and
+  nothing else.
+- **Supervision** — heartbeats, hang detection and automatic restart
+  with capped exponential backoff live in
+  :mod:`repro.server.supervisor`.
+- **Backpressure** — a full worker queue sheds new requests at
+  admission with :class:`~repro.errors.PoolSaturated` instead of
+  queueing unboundedly.
+- **Fail-fast deadlines** — a request whose deadline expires while
+  queued behind a dead worker is resolved with
+  :class:`~repro.errors.DeadlineExceeded` by the supervisor's sweep;
+  it never hangs.
+- **Graceful degradation** — when a shard's circuit breaker opens
+  (its worker keeps dying), requests for that shard are served
+  *in-process* by a lazily built fallback server over the full corpus
+  (counted and audited), or failed fast with
+  :class:`~repro.errors.PoolUnhealthy` when degradation is disabled.
+
+Every submitted request resolves to **exactly one** outcome — a
+response, or one typed error — and every resolution increments
+``pool_requests_total{outcome=...}`` exactly once, so the counter
+conserves: its sum equals the number of submissions. The chaos suite
+(tests/server/test_pool_chaos.py) kills workers at random mid-run and
+asserts precisely that, plus byte-identical responses versus a
+sequential in-process replay.
+
+Usage::
+
+    from repro.server.pool import ShardedServerPool
+
+    def build(shard_ids, num_shards):   # runs inside each worker
+        server = SecureXMLServer()
+        ...publish the documents owned by shard_ids (None = all)...
+        return server
+
+    with ShardedServerPool(build, workers=4) as pool:
+        pool.wait_ready()
+        response = pool.serve(AccessRequest(requester, uri))
+
+The default ``fork`` start method keeps *build* free to close over
+local state; with ``spawn`` (or ``forkserver``) the callable and its
+closure must be picklable — a bound method of a frozen dataclass, like
+:meth:`repro.workloads.traffic.TrafficSpec.build_server`, works for
+both.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+from repro.errors import (
+    DeadlineExceeded,
+    PoolSaturated,
+    PoolUnhealthy,
+    WorkerLost,
+)
+from repro.limits import Deadline, ResourceLimits
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
+from repro.server.audit import AuditLog
+from repro.server.concurrent import StreamRequest, dispatch
+from repro.server.repository import ShardRouter
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.supervisor import CircuitBreaker, RestartPolicy, Supervisor
+from repro.subjects.hierarchy import Requester
+from repro.testing.faults import FaultPlan
+
+__all__ = ["PoolOutcome", "ShardedServerPool"]
+
+#: What the pool knows how to route to a worker. ``ExplainRequest`` is
+#: deliberately absent: an Explanation holds live tree nodes and does
+#: not cross a process boundary; run explain on an in-process server.
+PoolRequest = Union[AccessRequest, QueryRequest, StreamRequest]
+
+
+def _kind_of(item: PoolRequest) -> str:
+    if isinstance(item, StreamRequest):
+        return "serve_stream"
+    if isinstance(item, QueryRequest):
+        return "query"
+    if isinstance(item, AccessRequest):
+        return "serve"
+    raise TypeError(
+        f"cannot pool-dispatch {type(item).__name__}; expected "
+        "AccessRequest, QueryRequest or StreamRequest (explain is "
+        "in-process only)"
+    )
+
+
+def _uri_of(item: PoolRequest) -> str:
+    return item.request.uri if isinstance(item, StreamRequest) else item.uri
+
+
+def _requester_of(item: PoolRequest) -> Requester:
+    return (
+        item.request.requester
+        if isinstance(item, StreamRequest)
+        else item.requester
+    )
+
+
+@dataclass
+class PoolOutcome:
+    """One request's result slot in a :meth:`ShardedServerPool.serve_many`
+    batch — the process-tier analogue of
+    :class:`~repro.server.concurrent.RequestOutcome`.
+
+    ``result`` is the :class:`~repro.server.request.AccessResponse`
+    when a worker (or the degraded in-process fallback) produced one;
+    ``error`` the typed exception otherwise (:class:`WorkerLost`,
+    :class:`PoolSaturated`, :class:`PoolUnhealthy`,
+    :class:`DeadlineExceeded`, or an application error raised inside
+    the worker). ``degraded`` marks responses served by the fallback.
+    """
+
+    index: int
+    kind: str  # "serve" | "serve_stream" | "query"
+    result: Optional[object] = None
+    error: Optional[BaseException] = None
+    worker: Optional[int] = None
+    shard: Optional[int] = None
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Pending:
+    """One submitted request awaiting its single resolution.
+
+    The resolve-once protocol is the exactly-one-outcome guarantee:
+    ``resolve``/``resolve_error`` flip ``done`` under a lock and return
+    whether *this* call was the first — every other path (late worker
+    response, duplicate exit handling, deadline sweep racing a result)
+    sees False and backs off. The winning path, and only it, counts
+    the outcome metric.
+    """
+
+    __slots__ = (
+        "req_id",
+        "kind",
+        "item",
+        "limits",
+        "deadline",
+        "shard",
+        "worker",
+        "degraded",
+        "sent_at",
+        "done",
+        "value",
+        "error",
+        "_lock",
+        "_event",
+    )
+
+    def __init__(
+        self,
+        req_id: int,
+        kind: str,
+        item: PoolRequest,
+        limits: Optional[ResourceLimits],
+        deadline: Optional[Deadline],
+        shard: int,
+        worker: int,
+    ) -> None:
+        self.req_id = req_id
+        self.kind = kind
+        self.item = item
+        self.limits = limits
+        self.deadline = deadline
+        self.shard = shard
+        self.worker = worker
+        self.degraded = False
+        self.sent_at: Optional[float] = None
+        self.done = False
+        self.value: Optional[object] = None
+        self.error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def wire_limits(self) -> Optional[ResourceLimits]:
+        """The limits to ship across the pipe, deadline budget reduced
+        to whatever remains *right now* (computed at send time)."""
+        if self.limits is None:
+            return None
+        return self.limits.for_transfer(self.deadline)
+
+    def resolve(self, value: object) -> bool:
+        with self._lock:
+            if self.done:
+                return False
+            self.done = True
+            self.value = value
+        self._event.set()
+        return True
+
+    def resolve_error(self, error: BaseException) -> bool:
+        with self._lock:
+            if self.done:
+                return False
+            self.done = True
+            self.error = error
+        self._event.set()
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Block for the resolution; raise the typed error if it is one."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.req_id} unresolved after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker process (all its
+    incarnations). ``generation`` increments on every (re)start so a
+    stale receiver thread or exit handler from a previous incarnation
+    can detect it is out of date and stand down."""
+
+    def __init__(self, index: int, shard_ids: tuple[int, ...]) -> None:
+        self.index = index
+        self.shard_ids = shard_ids
+        self.lock = threading.Lock()
+        self.wake = threading.Condition(self.lock)
+        self.queue: deque[_Pending] = deque()
+        self.in_flight: dict[int, _Pending] = {}
+        self.state = "down"  # "starting" | "up" | "down"
+        self.conn = None
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.pid: Optional[int] = None
+        self.generation = 0
+        self.last_heartbeat = 0.0
+        self.started_at = 0.0
+        self.up_since: Optional[float] = None
+        self.attempts = 0
+        self.next_restart_at: Optional[float] = None
+        self.kill_reason = ""
+        self.restarts = 0
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    shard_ids: tuple[int, ...],
+    num_shards: int,
+    setup: Callable,
+    fault_plan_json: Optional[str],
+    heartbeat_interval: float,
+    hang_seconds: float,
+) -> None:
+    """Entry point of one worker process.
+
+    Boot order matters. A ``fork`` clones the parent's whole address
+    space — including any lock a *parent* thread happened to hold at
+    the fork instant, with no thread left in the child to release it —
+    so before anything can touch shared module state the child (1)
+    replaces the locks of the inherited process-wide metrics registry
+    and (2) rebinds ``repro.testing.faults.FAULTS`` to a brand-new
+    injector, which also guarantees faults armed in the parent's tests
+    never leak into a worker. Then the serialized fault plan (if any)
+    is armed for *this* worker and the shard's server is built.
+    """
+    import repro.testing.faults as faults_mod
+    from repro.obs import metrics as metrics_mod
+    from repro.testing.faults import InjectedFault
+
+    metrics_mod.reinit_registry_locks(metrics_mod.METRICS)
+    faults_mod.FAULTS = faults_mod.FaultInjector()
+    if fault_plan_json:
+        FaultPlan.from_json(fault_plan_json).arm_into(
+            faults_mod.FAULTS, worker=worker_id
+        )
+
+    server = setup(shard_ids, num_shards)
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    processed = [0]
+
+    def heartbeat() -> None:
+        seq = 0
+        while not stop.is_set():
+            seq += 1
+            try:
+                with send_lock:
+                    conn.send(("hb", worker_id, seq, processed[0]))
+            except Exception:
+                return
+            stop.wait(heartbeat_interval)
+
+    with send_lock:
+        conn.send(("ready", worker_id, os.getpid()))
+    threading.Thread(target=heartbeat, daemon=True).start()
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "stop":
+                break
+            if message[0] != "req":
+                continue
+            _, req_id, _kind, item, limits = message
+
+            # Process-level fault points (armed via a FaultPlan): the
+            # injector raises, and the *site* decides what the fault
+            # means — a hard crash, a wedged request, a garbage frame.
+            try:
+                faults_mod.trip("pool.worker.crash")
+            except InjectedFault:
+                os._exit(13)
+            try:
+                faults_mod.trip("pool.worker.hang")
+            except InjectedFault:
+                time.sleep(hang_seconds)
+            try:
+                faults_mod.trip("pool.ipc.corrupt")
+            except InjectedFault:
+                with send_lock:
+                    conn.send_bytes(b"\x00not-a-pickle")
+                continue
+
+            try:
+                result = dispatch(server, item, limits=limits)
+                ok, payload = True, result
+            except Exception as exc:
+                ok, payload = False, exc
+            try:
+                with send_lock:
+                    conn.send(("res", req_id, ok, payload))
+            except (EOFError, OSError, BrokenPipeError):
+                break
+            except Exception as exc:
+                # The payload would not pickle; answer with a typed
+                # wrapper rather than silently dropping the request.
+                fallback = WorkerLost(
+                    f"worker {worker_id} could not serialize its "
+                    f"response: {type(exc).__name__}: {exc}",
+                    worker=worker_id,
+                    reason="unserializable-response",
+                )
+                try:
+                    with send_lock:
+                        conn.send(("res", req_id, False, fallback))
+                except Exception:
+                    break
+            processed[0] += 1
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ShardedServerPool:
+    """Supervised multi-process sharded serving (module docstring above).
+
+    Parameters
+    ----------
+    setup:
+        ``setup(shard_ids, num_shards) -> SecureXMLServer``, called
+        inside each worker with the tuple of shard ids it owns — and
+        with ``shard_ids=None`` in the parent to build the full-corpus
+        fallback server for degraded mode. Must publish only (for the
+        fallback: all of) the documents whose
+        ``router.shard_of(uri)`` is in ``shard_ids``.
+    workers, shards:
+        Process count and shard count (default: one shard per worker).
+        Shard *s* is owned by worker ``s % workers``.
+    queue_depth:
+        Bounded per-worker admission queue; a submit finding it full is
+        shed with :class:`PoolSaturated`.
+    pipeline_depth:
+        How many requests may be in flight down one worker's pipe at
+        once (pipelining amortizes the pipe round-trip).
+    heartbeat_interval / heartbeat_timeout / hang_timeout / start_timeout:
+        Supervision clocks — see :class:`~repro.server.supervisor.Supervisor`.
+    restart_policy / breaker_threshold / breaker_cooldown:
+        Restart backoff and per-shard circuit breaking.
+    degraded:
+        When True (default), an open breaker routes the shard's
+        requests to a lazily built in-process fallback server instead
+        of failing them with :class:`PoolUnhealthy`.
+    limits:
+        Default :class:`ResourceLimits` applied to every request that
+        does not bring its own.
+    fault_plan:
+        A :class:`~repro.testing.faults.FaultPlan` shipped (as JSON)
+        to every worker and armed at boot — the chaos tests' handle on
+        deterministic process-level faults.
+    mp_context:
+        ``"fork"`` (default), ``"spawn"`` or ``"forkserver"``.
+    tracer / metrics / audit:
+        Observability wiring; fresh private instances by default.
+    """
+
+    def __init__(
+        self,
+        setup: Callable,
+        workers: int = 2,
+        shards: Optional[int] = None,
+        queue_depth: int = 32,
+        pipeline_depth: int = 4,
+        heartbeat_interval: float = 0.1,
+        heartbeat_timeout: float = 2.0,
+        hang_timeout: float = 5.0,
+        start_timeout: float = 30.0,
+        restart_policy: Optional[RestartPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        degraded: bool = True,
+        limits: Optional[ResourceLimits] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        mp_context: str = "fork",
+        supervision_interval: float = 0.05,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        self.setup = setup
+        self.workers = workers
+        self.num_shards = shards if shards is not None else workers
+        if self.num_shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.router = ShardRouter(self.num_shards)
+        self.queue_depth = queue_depth
+        self.pipeline_depth = pipeline_depth
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.hang_timeout = hang_timeout
+        self.start_timeout = start_timeout
+        self.restart_policy = restart_policy or RestartPolicy()
+        self.degraded = degraded
+        self.limits = limits
+        self.fault_plan_json = fault_plan.to_json() if fault_plan else None
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.audit = audit if audit is not None else AuditLog()
+        self._mp = multiprocessing.get_context(mp_context)
+        self._closing = False
+        self._ids = itertools.count(1)  # C-level next(): atomic under the GIL
+        self._supervisor_id = Requester("supervisor", "127.0.0.1", "localhost")
+        self._breakers = {
+            shard: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for shard in range(self.num_shards)
+        }
+        self._fallback_lock = threading.Lock()
+        self._fallback_server = None
+
+        self._slots = [
+            _WorkerSlot(
+                index,
+                tuple(
+                    shard
+                    for shard in range(self.num_shards)
+                    if shard % workers == index
+                ),
+            )
+            for index in range(workers)
+        ]
+        for slot in self._slots:
+            threading.Thread(
+                target=self._sender_loop,
+                args=(slot,),
+                name=f"repro-pool-send-{slot.index}",
+                daemon=True,
+            ).start()
+            self._start_worker(slot)
+        self.supervisor = Supervisor(self, interval=supervision_interval)
+        self.supervisor.start()
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _start_worker(self, slot: _WorkerSlot) -> None:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                slot.index,
+                slot.shard_ids,
+                self.num_shards,
+                self.setup,
+                self.fault_plan_json,
+                self.heartbeat_interval,
+                self.hang_timeout * 100,  # fault-injected hang outlives every timeout
+            ),
+            name=f"repro-pool-worker-{slot.index}",
+            daemon=True,
+        )
+        with slot.lock:
+            slot.generation += 1
+            generation = slot.generation
+            slot.conn = parent_conn
+            slot.process = process
+            slot.state = "starting"
+            slot.started_at = time.monotonic()
+            slot.last_heartbeat = slot.started_at
+            slot.kill_reason = ""
+        process.start()
+        child_conn.close()  # the parent's copy; the worker keeps its own
+        threading.Thread(
+            target=self._receiver_loop,
+            args=(slot, parent_conn, generation),
+            name=f"repro-pool-recv-{slot.index}.{generation}",
+            daemon=True,
+        ).start()
+
+    def _restart_slot(self, slot: _WorkerSlot) -> None:
+        with span("pool.restart", worker=slot.index):
+            slot.restarts += 1
+            self.metrics.counter("pool_worker_restarts_total").inc()
+            self.audit.record(
+                self._supervisor_id,
+                f"worker:{slot.index}",
+                "supervise",
+                "restarted",
+                detail=f"attempt {slot.attempts}",
+                backend="pool",
+            )
+            self._start_worker(slot)
+
+    def _kill_slot(self, slot: _WorkerSlot, reason: str) -> None:
+        """Kill a misbehaving worker; the receiver's EOF drives cleanup."""
+        with slot.lock:
+            slot.kill_reason = reason
+            process = slot.process
+        if process is not None:
+            try:
+                process.kill()
+            except Exception:
+                pass
+
+    def _on_worker_exit(self, slot: _WorkerSlot, generation: int, reason: str) -> None:
+        with slot.lock:
+            if slot.generation != generation or slot.state == "down":
+                return
+            slot.state = "down"
+            slot.up_since = None
+            slot.pid = None
+            if not self._closing:
+                slot.attempts += 1
+                slot.next_restart_at = time.monotonic() + self.restart_policy.delay(
+                    slot.attempts
+                )
+            lost = list(slot.in_flight.values())
+            slot.in_flight.clear()
+            process = slot.process
+        for pending in lost:
+            self._finish(
+                pending,
+                "worker-lost",
+                error=WorkerLost(
+                    f"worker {slot.index} {reason} with request "
+                    f"{pending.req_id} in flight",
+                    worker=slot.index,
+                    shard=pending.shard,
+                    reason="shutdown" if self._closing else reason,
+                ),
+            )
+        if self._closing:
+            return
+        self.metrics.counter("pool_worker_lost_total", reason=reason).inc()
+        for shard in slot.shard_ids:
+            self._breakers[shard].record_failure()
+        self.audit.record(
+            self._supervisor_id,
+            f"worker:{slot.index}",
+            "supervise",
+            "worker-lost",
+            detail=reason,
+            backend="pool",
+        )
+        if process is not None:
+            process.join(timeout=1.0)
+        # An open breaker means the queue will not drain through this
+        # worker any time soon: degrade queued requests now (or fail
+        # them fast when degradation is off) instead of letting them
+        # ride out restart after restart.
+        stranded: list[_Pending] = []
+        with slot.lock:
+            if slot.queue:
+                keep: deque[_Pending] = deque()
+                for pending in slot.queue:
+                    if self._breakers[pending.shard].state == "open":
+                        stranded.append(pending)
+                    else:
+                        keep.append(pending)
+                slot.queue = keep
+        if stranded:
+            if self.degraded:
+                threading.Thread(
+                    target=self._serve_degraded_batch,
+                    args=(stranded,),
+                    name=f"repro-pool-degrade-{slot.index}",
+                    daemon=True,
+                ).start()
+            else:
+                for pending in stranded:
+                    self._finish(
+                        pending,
+                        "unhealthy",
+                        error=PoolUnhealthy(
+                            f"shard {pending.shard} unavailable: its worker "
+                            f"keeps dying and degradation is disabled",
+                            shard=pending.shard,
+                        ),
+                    )
+
+    # -- parent-side I/O threads --------------------------------------------
+
+    def _sender_loop(self, slot: _WorkerSlot) -> None:
+        while True:
+            with slot.lock:
+                while not self._closing and not (
+                    slot.queue
+                    and slot.state == "up"
+                    and len(slot.in_flight) < self.pipeline_depth
+                ):
+                    slot.wake.wait(0.05)
+                if self._closing:
+                    return
+                pending = slot.queue.popleft()
+                if pending.done:  # resolved while queued (deadline sweep)
+                    continue
+                slot.in_flight[pending.req_id] = pending
+                conn = slot.conn
+                generation = slot.generation
+            wire = ("req", pending.req_id, pending.kind, pending.item,
+                    pending.wire_limits())
+            pending.sent_at = time.monotonic()
+            try:
+                conn.send(wire)
+            except Exception:
+                # Never delivered: put it back at the head. If the
+                # worker died, the exit handler may have resolved it
+                # already (WorkerLost) — the done-check on pop and the
+                # resolve-once protocol make the requeue harmless.
+                pending.sent_at = None
+                with slot.lock:
+                    if slot.in_flight.pop(pending.req_id, None) is not None:
+                        slot.queue.appendleft(pending)
+
+    def _receiver_loop(self, slot: _WorkerSlot, conn, generation: int) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            except Exception:
+                # The frame did not unpickle: the channel can no longer
+                # be trusted (we cannot even tell which request the
+                # garbage answered). Kill the worker; in-flight
+                # requests resolve WorkerLost(reason="ipc-corrupt").
+                self.metrics.counter("pool_ipc_errors_total").inc()
+                self._kill_slot(slot, "ipc-corrupt")
+                continue  # drain until the kill closes the pipe (EOF)
+            with slot.lock:
+                if slot.generation != generation:
+                    return
+                slot.last_heartbeat = time.monotonic()
+            if not isinstance(message, tuple) or not message:
+                self.metrics.counter("pool_ipc_errors_total").inc()
+                self._kill_slot(slot, "ipc-corrupt")
+                continue
+            tag = message[0]
+            if tag == "ready":
+                with slot.lock:
+                    if slot.generation != generation:
+                        return
+                    slot.state = "up"
+                    slot.up_since = time.monotonic()
+                    slot.pid = message[2]
+                    slot.wake.notify_all()
+            elif tag == "hb":
+                pass  # the timestamp update above is the whole point
+            elif tag == "res":
+                _, req_id, ok, payload = message
+                with slot.lock:
+                    pending = slot.in_flight.pop(req_id, None)
+                    slot.wake.notify_all()  # a pipeline slot freed up
+                if pending is None or pending.done:
+                    # Deadline sweep (or exit handling) got there first.
+                    self.metrics.counter("pool_late_results_total").inc()
+                elif ok:
+                    if self._finish(pending, "ok", value=payload):
+                        self._breakers[pending.shard].record_success()
+                else:
+                    # An application-level error raised inside the
+                    # worker (unknown document, history denial...).
+                    # The worker is healthy — no breaker failure.
+                    if self._finish(pending, "error", error=payload):
+                        self._breakers[pending.shard].record_success()
+            else:
+                self.metrics.counter("pool_ipc_errors_total").inc()
+                self._kill_slot(slot, "ipc-corrupt")
+        with slot.lock:
+            reason = slot.kill_reason or "crashed"
+        self._on_worker_exit(slot, generation, reason)
+
+    # -- resolution & degradation -------------------------------------------
+
+    def _finish(
+        self,
+        pending: _Pending,
+        outcome: str,
+        value: Optional[object] = None,
+        error: Optional[BaseException] = None,
+    ) -> bool:
+        """Resolve *pending* (first resolution wins) and count the
+        outcome exactly once — the conservation law the chaos tests
+        assert: sum(pool_requests_total) == submissions."""
+        first = (
+            pending.resolve_error(error)
+            if error is not None
+            else pending.resolve(value)
+        )
+        if first:
+            self.metrics.counter("pool_requests_total", outcome=outcome).inc()
+        return first
+
+    def _fallback(self):
+        with self._fallback_lock:
+            if self._fallback_server is None:
+                self._fallback_server = self.setup(None, self.num_shards)
+            return self._fallback_server
+
+    def _serve_degraded(self, pending: _Pending) -> None:
+        """Serve one request in-process on the fallback server."""
+        if pending.done:
+            return
+        pending.degraded = True
+        try:
+            server = self._fallback()
+            result = dispatch(server, pending.item, limits=pending.wire_limits())
+        except Exception as exc:
+            if self._finish(pending, "degraded-error", error=exc):
+                self.metrics.counter("pool_degraded_total").inc()
+            return
+        if self._finish(pending, "degraded-ok", value=result):
+            self.metrics.counter("pool_degraded_total").inc()
+            self.audit.record(
+                _requester_of(pending.item),
+                _uri_of(pending.item),
+                "degrade",
+                "degraded",
+                detail=f"shard {pending.shard} unhealthy; served in-process",
+                backend="pool",
+            )
+
+    def _serve_degraded_batch(self, pendings: list[_Pending]) -> None:
+        for pending in pendings:
+            self._serve_degraded(pending)
+
+    # -- supervisor hooks ----------------------------------------------------
+
+    def _sweep_deadlines(self) -> None:
+        """Fail every queued/in-flight request whose deadline expired.
+
+        This is the never-hangs guarantee: a request stuck in a dead
+        worker's queue does not wait for the restart — its deadline
+        resolves it with a typed :class:`DeadlineExceeded`. An
+        in-flight request's entry stays in the table so a late result
+        is recognized and dropped (counted as ``pool_late_results``).
+        """
+        expired: list[_Pending] = []
+        for slot in self._slots:
+            with slot.lock:
+                if slot.queue and any(
+                    p.deadline is not None and p.deadline.expired
+                    for p in slot.queue
+                ):
+                    keep: deque[_Pending] = deque()
+                    for pending in slot.queue:
+                        if pending.deadline is not None and pending.deadline.expired:
+                            expired.append(pending)
+                        else:
+                            keep.append(pending)
+                    slot.queue = keep
+                for pending in slot.in_flight.values():
+                    if (
+                        not pending.done
+                        and pending.deadline is not None
+                        and pending.deadline.expired
+                    ):
+                        expired.append(pending)
+        for pending in expired:
+            deadline = pending.deadline
+            self._finish(
+                pending,
+                "deadline",
+                error=DeadlineExceeded(
+                    f"request {pending.req_id} exceeded its "
+                    f"{deadline.budget:.3f}s deadline in the pool "
+                    f"(worker {pending.worker})",
+                    elapsed=deadline.elapsed(),
+                    budget=deadline.budget,
+                ),
+            )
+
+    def _update_gauges(self) -> None:
+        alive = 0
+        for slot in self._slots:
+            with slot.lock:
+                state = slot.state
+                queued = len(slot.queue)
+            if state == "up":
+                alive += 1
+            self.metrics.gauge("pool_queue_depth", worker=slot.index).set(queued)
+        self.metrics.gauge("pool_workers_alive").set(alive)
+        codes = {"closed": 0, "half-open": 1, "open": 2}
+        for shard, breaker in self._breakers.items():
+            self.metrics.gauge("pool_breaker_state", shard=shard).set(
+                codes[breaker.state]
+            )
+
+    # -- serving --------------------------------------------------------------
+
+    def submit(
+        self, item: PoolRequest, limits: Optional[ResourceLimits] = None
+    ) -> _Pending:
+        """Route one request; returns its pending resolution slot.
+
+        Admission control happens here, under a ``pool.dispatch``
+        span: circuit-breaker check (open → degraded in-process serve,
+        or fail-fast :class:`PoolUnhealthy`), then the bounded queue
+        (full → shed with :class:`PoolSaturated`). The returned
+        pending always resolves to exactly one outcome.
+        """
+        if self._closing:
+            raise RuntimeError("the pool is closed")
+        kind = _kind_of(item)
+        limits = limits if limits is not None else self.limits
+        deadline = None
+        if limits is not None and limits.deadline_seconds is not None:
+            deadline = Deadline.after(limits.deadline_seconds)
+        shard = self.router.shard_of(_uri_of(item))
+        slot = self._slots[shard % self.workers]
+        pending = _Pending(
+            next(self._ids), kind, item, limits, deadline, shard, slot.index
+        )
+        with span("pool.dispatch", shard=shard, worker=slot.index):
+            if not self._breakers[shard].allow():
+                if self.degraded:
+                    self._serve_degraded(pending)
+                else:
+                    self._finish(
+                        pending,
+                        "unhealthy",
+                        error=PoolUnhealthy(
+                            f"shard {shard}'s circuit breaker is open and "
+                            "degradation is disabled",
+                            shard=shard,
+                        ),
+                    )
+                return pending
+            with slot.lock:
+                full = len(slot.queue) >= self.queue_depth
+                if not full:
+                    slot.queue.append(pending)
+                    slot.wake.notify_all()
+            if full:
+                self.metrics.counter("pool_shed_total").inc()
+                self.audit.record(
+                    _requester_of(item),
+                    _uri_of(item),
+                    "shed",
+                    "shed",
+                    detail=f"worker {slot.index} queue full "
+                    f"(depth {self.queue_depth})",
+                    backend="pool",
+                )
+                self._finish(
+                    pending,
+                    "shed",
+                    error=PoolSaturated(
+                        f"worker {slot.index}'s queue is full "
+                        f"(depth {self.queue_depth}); request shed",
+                        worker=slot.index,
+                        depth=self.queue_depth,
+                    ),
+                )
+        return pending
+
+    def serve(
+        self,
+        item: PoolRequest,
+        limits: Optional[ResourceLimits] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Submit and block: the response, or the typed error raised."""
+        return self.submit(item, limits=limits).result(timeout=timeout)
+
+    def serve_many(
+        self,
+        items: Iterable[PoolRequest],
+        limits: Optional[ResourceLimits] = None,
+        timeout: Optional[float] = None,
+    ) -> list[PoolOutcome]:
+        """Submit a batch; ordered :class:`PoolOutcome` slots."""
+        pendings = [self.submit(item, limits=limits) for item in items]
+        outcomes = []
+        for index, pending in enumerate(pendings):
+            pending.wait(timeout)
+            outcomes.append(
+                PoolOutcome(
+                    index=index,
+                    kind=pending.kind,
+                    result=pending.value,
+                    error=pending.error,
+                    worker=pending.worker,
+                    shard=pending.shard,
+                    degraded=pending.degraded,
+                )
+            )
+        return outcomes
+
+    # -- health ---------------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every worker has reported ready once."""
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if all(slot.state == "up" for slot in self._slots):
+                return
+            time.sleep(0.01)
+        states = {slot.index: slot.state for slot in self._slots}
+        raise TimeoutError(f"pool not ready after {timeout}s: {states}")
+
+    def stats(self) -> dict:
+        """Pool health + request accounting, shaped like
+        :meth:`SecureXMLServer.stats` one tier up (JSON-serializable).
+        """
+        outcomes: dict[str, float] = {}
+        for metric in self.metrics:
+            if metric.name == "pool_requests_total":
+                outcomes[metric.labels.get("outcome", "?")] = metric.value
+        workers = []
+        for slot in self._slots:
+            with slot.lock:
+                workers.append(
+                    {
+                        "worker": slot.index,
+                        "state": slot.state,
+                        "pid": slot.pid,
+                        "shards": list(slot.shard_ids),
+                        "queued": len(slot.queue),
+                        "in_flight": len(slot.in_flight),
+                        "restarts": slot.restarts,
+                        "attempts": slot.attempts,
+                    }
+                )
+        return {
+            "pool": {
+                "workers": self.workers,
+                "shards": self.num_shards,
+                "workers_alive": sum(1 for w in workers if w["state"] == "up"),
+                "restarts_total": self.metrics.value("pool_worker_restarts_total")
+                or 0,
+                "shed_total": self.metrics.value("pool_shed_total") or 0,
+                "degraded_total": self.metrics.value("pool_degraded_total") or 0,
+                "breakers": {
+                    shard: breaker.state
+                    for shard, breaker in self._breakers.items()
+                },
+            },
+            "workers": workers,
+            "shard_owners": {
+                shard: shard % self.workers for shard in range(self.num_shards)
+            },
+            "outcomes": outcomes,
+            "audit_records": len(self.audit),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def render_prometheus(self) -> str:
+        """The pool's metrics in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
+
+    # -- shutdown -------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop supervision, fail whatever is still pending (typed
+        ``WorkerLost(reason="shutdown")``), and reap the workers."""
+        if self._closing:
+            return
+        self._closing = True
+        self.supervisor.stop()
+        for slot in self._slots:
+            with slot.lock:
+                leftovers = list(slot.queue) + list(slot.in_flight.values())
+                slot.queue.clear()
+                slot.in_flight.clear()
+                conn = slot.conn
+                slot.wake.notify_all()
+            for pending in leftovers:
+                self._finish(
+                    pending,
+                    "worker-lost",
+                    error=WorkerLost(
+                        "the pool was closed with this request unresolved",
+                        worker=slot.index,
+                        shard=pending.shard,
+                        reason="shutdown",
+                    ),
+                )
+            if conn is not None:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+        deadline = time.monotonic() + timeout
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+            if slot.conn is not None:
+                try:
+                    slot.conn.close()
+                except Exception:
+                    pass
+
+    def __enter__(self) -> "ShardedServerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -9,6 +9,8 @@ and the associated XACL"). Documents can be stored parsed or as text
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
@@ -22,7 +24,75 @@ from repro.testing.faults import trip
 from repro.xml.nodes import Document
 from repro.xml.parser import parse_document
 
-__all__ = ["Repository", "StoredDocument"]
+__all__ = ["Repository", "ShardRouter", "StoredDocument"]
+
+
+class ShardRouter:
+    """Consistent-hash routing of document URIs onto *shards*.
+
+    Used by the multi-process pool (``repro.server.pool``) to decide
+    which shard — and therefore which worker process — owns a document.
+    The ring hashes with :mod:`hashlib` MD5, **not** the built-in
+    ``hash()``: string hashing is randomized per process
+    (``PYTHONHASHSEED``), so built-in hashes would route the same URI to
+    different shards in the parent and in a spawned worker. MD5 gives
+    every process the identical ring, which is the whole point.
+
+    Consistent hashing (many virtual points per shard on a ring,
+    lookups by clockwise successor) keeps the assignment stable as the
+    shard count changes: going from N to N+1 shards moves only ~1/(N+1)
+    of the URIs, where modulo hashing would reshuffle nearly all of
+    them. Routers are cheap, immutable after construction, and
+    picklable, so one can be captured in a worker's setup callable.
+    """
+
+    __slots__ = ("num_shards", "replicas", "_points", "_owners")
+
+    def __init__(self, num_shards: int, replicas: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        ring: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(replicas):
+                ring.append((self._hash(f"shard:{shard}:{replica}"), shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [owner for _, owner in ring]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def shard_of(self, uri: str) -> int:
+        """The shard owning *uri* (stable across processes and runs)."""
+        if self.num_shards == 1:
+            return 0
+        index = bisect.bisect_right(self._points, self._hash(uri))
+        if index == len(self._points):
+            index = 0  # wrap: past the last point -> first point
+        return self._owners[index]
+
+    def partition(self, uris: Iterator[str] | list[str]) -> dict[int, list[str]]:
+        """Group *uris* by owning shard (every shard key present)."""
+        groups: dict[int, list[str]] = {shard: [] for shard in range(self.num_shards)}
+        for uri in uris:
+            groups[self.shard_of(uri)].append(uri)
+        return groups
+
+    def __getstate__(self):
+        return (self.num_shards, self.replicas)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRouter(num_shards={self.num_shards}, replicas={self.replicas})"
 
 
 @dataclass

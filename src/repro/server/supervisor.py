@@ -1,0 +1,220 @@
+"""Supervision for the multi-process serving pool.
+
+Three small, separately testable pieces used by
+:class:`~repro.server.pool.ShardedServerPool`:
+
+- :class:`RestartPolicy` — capped exponential backoff between restarts
+  of a crashing worker, with a stability window after which the
+  attempt counter resets (a worker that has been healthy for a while
+  earned back its fast first restart).
+- :class:`CircuitBreaker` — a per-shard closed / open / half-open
+  breaker. Worker deaths are failures; after *threshold* consecutive
+  failures the breaker opens and the pool stops routing the shard's
+  requests at a dead worker (degrading to in-process serving instead,
+  when enabled). After *cooldown* one probe request is let through
+  (half-open); its success closes the breaker, another failure
+  re-opens it.
+- :class:`Supervisor` — the parent-side health loop: notices missed
+  heartbeats, hung in-flight requests and start timeouts (and kills
+  the worker so the restart machinery takes over), schedules restarts
+  once their backoff delay has elapsed (under a ``pool.restart``
+  span), sweeps queued/in-flight requests whose deadline expired so
+  they fail fast with a typed error instead of waiting on a dead
+  worker, and keeps the pool's health gauges current.
+
+The supervision state machine (see docs/ARCHITECTURE.md):
+
+    starting --ready--> up --crash/kill--> down --backoff elapsed--> starting
+       |                 |
+       +--start timeout--+--missed heartbeats / hung request--> killed -> down
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.obs.trace import span, tracing
+
+__all__ = ["CircuitBreaker", "RestartPolicy", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Capped exponential backoff for worker restarts.
+
+    Attempt 1 waits ``base_delay``, attempt 2 twice that, and so on,
+    never more than ``cap``. A worker that stays up for
+    ``stability_window`` seconds gets its attempt counter reset, so a
+    one-off crash after a long healthy run restarts fast again.
+    """
+
+    base_delay: float = 0.05
+    cap: float = 2.0
+    stability_window: float = 5.0
+
+    def delay(self, attempts: int) -> float:
+        """Seconds to wait before restart number *attempts* (>= 1)."""
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        # min() first: 2**attempts can overflow into bignum territory
+        # long before the cap matters, but stays exact in Python.
+        return min(self.base_delay * (2 ** (attempts - 1)), self.cap)
+
+
+class CircuitBreaker:
+    """A closed / open / half-open breaker for one document shard.
+
+    Thread-safe; clocked on ``time.monotonic``. ``record_failure`` is
+    called when the shard's worker dies, ``record_success`` when a
+    request routed to the shard completes. ``allow`` answers "may a
+    request be sent toward this shard's worker right now?" — while
+    open it returns False (the pool degrades or fails fast), and after
+    *cooldown* it lets exactly one probe through (half-open) whose
+    outcome decides between closing and re-opening.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 1.0) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if time.monotonic() - self._opened_at >= self.cooldown:
+                    self._state = "half-open"
+                    return True  # the single probe
+                return False
+            return False  # half-open: probe already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = time.monotonic()
+
+
+class Supervisor:
+    """The pool's health-check loop, run on a daemon thread.
+
+    Each tick (every *interval* seconds, under a ``worker.heartbeat``
+    span) walks the worker slots:
+
+    - a worker whose last heartbeat is older than the pool's
+      ``heartbeat_timeout`` is killed (``heartbeat-timeout``);
+    - a worker whose *oldest in-flight request* has been out longer
+      than ``hang_timeout`` is killed (``hung``) — heartbeats alone
+      cannot catch this, because a worker stuck inside one request
+      still heartbeats from its side thread;
+    - a worker that never reported ready within ``start_timeout`` is
+      killed (``start-timeout``);
+    - a down worker whose backoff delay has elapsed is restarted
+      (``pool.restart`` span, counted and audited);
+    - a worker healthy for the policy's stability window gets its
+      restart-attempt counter reset.
+
+    Then expired deadlines are swept (queued requests fail fast with
+    :class:`~repro.errors.DeadlineExceeded`; see
+    ``ShardedServerPool._sweep_deadlines``) and the health gauges
+    refreshed. The loop runs under ``tracing(tracer)`` when the pool
+    was given one, so its spans land in the same trace stream as
+    request dispatch.
+    """
+
+    def __init__(self, pool, interval: float = 0.05) -> None:
+        self.pool = pool
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-pool-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        tracer = getattr(self.pool, "tracer", None)
+        context = tracing(tracer) if tracer is not None else nullcontext()
+        with context:
+            while not self._stop.is_set():
+                try:
+                    self.tick()
+                except Exception:  # never let a tick kill supervision
+                    pass
+                self._stop.wait(self.interval)
+
+    def tick(self) -> None:
+        """One supervision pass (public so tests can drive it directly)."""
+        pool = self.pool
+        now = time.monotonic()
+        with span("worker.heartbeat"):
+            for slot in pool._slots:
+                with slot.lock:
+                    state = slot.state
+                    last_heartbeat = slot.last_heartbeat
+                    started_at = slot.started_at
+                    up_since = slot.up_since
+                    next_restart_at = slot.next_restart_at
+                    attempts = slot.attempts
+                    oldest_sent = min(
+                        (
+                            p.sent_at
+                            for p in slot.in_flight.values()
+                            if p.sent_at is not None and not p.done
+                        ),
+                        default=None,
+                    )
+                if state == "up":
+                    if now - last_heartbeat > pool.heartbeat_timeout:
+                        pool._kill_slot(slot, "heartbeat-timeout")
+                    elif (
+                        oldest_sent is not None
+                        and now - oldest_sent > pool.hang_timeout
+                    ):
+                        pool._kill_slot(slot, "hung")
+                    elif (
+                        attempts
+                        and up_since is not None
+                        and now - up_since > pool.restart_policy.stability_window
+                    ):
+                        with slot.lock:
+                            slot.attempts = 0
+                elif state == "starting":
+                    if now - started_at > pool.start_timeout:
+                        pool._kill_slot(slot, "start-timeout")
+                elif state == "down":
+                    if (
+                        not pool._closing
+                        and next_restart_at is not None
+                        and now >= next_restart_at
+                    ):
+                        pool._restart_slot(slot)
+        pool._sweep_deadlines()
+        pool._update_gauges()

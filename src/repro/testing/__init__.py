@@ -2,9 +2,25 @@
 
 Public surface::
 
-    from repro.testing import FAULTS, FaultInjector, InjectedFault
+    from repro.testing import (
+        FAULTS, FaultInjector, InjectedFault, FaultPlan, FaultSpec,
+    )
 """
 
-from repro.testing.faults import FAULTS, FaultInjector, InjectedFault, trip
+from repro.testing.faults import (
+    FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    trip,
+)
 
-__all__ = ["FAULTS", "FaultInjector", "InjectedFault", "trip"]
+__all__ = [
+    "FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "trip",
+]

@@ -47,18 +47,34 @@ Known injection points
     wrapper; a persistent fault is contained by the owning
     :class:`~repro.server.audit.AuditLog` and never loses the
     in-memory ring).
+``pool.worker.crash`` / ``pool.worker.hang`` / ``pool.ipc.corrupt``
+    Process-level faults tripped inside a
+    :class:`repro.server.pool.ShardedServerPool` worker's request loop:
+    hard ``os._exit``, a sleep far past the hang detector, and a
+    garbage frame on the result pipe. Armed via a serializable
+    :class:`FaultPlan` passed to the pool (a live injector cannot
+    follow a request into a spawned process); the plan re-arms on
+    every worker incarnation. See docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Callable, Iterator, Optional
 
 from repro.obs.metrics import METRICS
 
-__all__ = ["InjectedFault", "FaultInjector", "FAULTS", "trip"]
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULTS",
+    "trip",
+]
 
 
 class InjectedFault(RuntimeError):
@@ -83,6 +99,84 @@ class _Fault:
     remaining: Optional[int]  # None = fail forever
     exception: Optional[Callable[[str, int], BaseException]]
     fired: int = 0
+    skip: int = 0  # pass through this many trips before failing
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One entry of a :class:`FaultPlan`: arm *point* to fail *times*
+    trips (``None`` = forever) after letting the first *after* trips
+    through.
+
+    *worker*, when set, scopes the spec to one pool worker index — a
+    :class:`~repro.server.pool.ShardedServerPool` ships the same plan
+    to every worker and each arms only its own specs, so a chaos test
+    can say "worker 1 crashes on its 3rd request" deterministically.
+    """
+
+    point: str
+    times: Optional[int] = 1
+    after: int = 0
+    worker: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A serializable (picklable, JSON-able) bundle of fault specs.
+
+    ``FAULTS.injected(...)`` arms the injector of *this* process; a
+    spawned worker process has its own injector, unreachable from the
+    test. A plan closes the gap: it carries no callables, so it crosses
+    the IPC boundary intact, and the worker arms it into its private
+    injector at boot (``plan.arm_into(FAULTS, worker=worker_id)``).
+    Every armed point raises the default :class:`InjectedFault`; what
+    that *means* (crash, hang, corrupt reply) is decided by the trip
+    site — see the process-level points in the module docstring.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def for_worker(self, worker: Optional[int]) -> "FaultPlan":
+        """The subset of specs addressed to *worker* (or to everyone)."""
+        return FaultPlan(
+            tuple(
+                spec
+                for spec in self.specs
+                if spec.worker is None or spec.worker == worker
+            )
+        )
+
+    def arm_into(
+        self, injector: "FaultInjector", worker: Optional[int] = None
+    ) -> int:
+        """Arm the applicable specs into *injector*; returns how many."""
+        applicable = self.for_worker(worker).specs
+        for spec in applicable:
+            injector.arm(spec.point, times=spec.times, after=spec.after)
+        return len(applicable)
+
+    def to_dict(self) -> dict:
+        return {"specs": [asdict(spec) for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in fields(FaultSpec)}
+        return cls(
+            tuple(
+                FaultSpec(**{k: v for k, v in spec.items() if k in known})
+                for spec in data.get("specs", ())
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
 
 
 class FaultInjector:
@@ -111,16 +205,21 @@ class FaultInjector:
         point: str,
         times: Optional[int] = None,
         exception: Optional[Callable[[str, int], BaseException]] = None,
+        after: int = 0,
     ) -> None:
         """Arm *point* to fail the next *times* trips (``None`` = always).
 
         *exception* is a factory ``(point, occurrence) -> exception``;
-        by default an :class:`InjectedFault` is raised.
+        by default an :class:`InjectedFault` is raised. *after* lets the
+        first N trips pass through before the failures start — "fail
+        the 4th and 5th lookups" is ``arm(point, times=2, after=3)``.
         """
         if times is not None and times < 1:
             raise ValueError("times must be >= 1 (or None for always)")
+        if after < 0:
+            raise ValueError("after must be >= 0")
         with self._lock:
-            self._faults[point] = _Fault(point, times, exception)
+            self._faults[point] = _Fault(point, times, exception, skip=after)
 
     def disarm(self, point: str) -> None:
         """Stop failing *point* (no-op when not armed)."""
@@ -176,6 +275,9 @@ class FaultInjector:
         with self._lock:
             fault = self._faults.get(point)
             if fault is None:
+                return
+            if fault.skip > 0:
+                fault.skip -= 1
                 return
             if fault.remaining is not None:
                 if fault.remaining <= 0:

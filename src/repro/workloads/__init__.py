@@ -26,6 +26,7 @@ from repro.workloads.generator import (
     synthetic_document,
     wide_document,
 )
+from repro.workloads.traffic import TrafficSpec, request_stream
 from repro.workloads.scenarios import (
     LAB_BASE_URI,
     LAB_DOCUMENT_URI,
@@ -52,6 +53,7 @@ __all__ = [
     "LAB_DTD_URI",
     "LabScenario",
     "SyntheticWorkload",
+    "TrafficSpec",
     "build_workload",
     "deep_document",
     "lab_authorizations",
@@ -60,6 +62,7 @@ __all__ = [
     "lab_dtd",
     "lab_scenario",
     "populate_directory",
+    "request_stream",
     "requester_pool",
     "synthetic_authorizations",
     "synthetic_document",

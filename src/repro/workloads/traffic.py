@@ -1,0 +1,132 @@
+"""Heavy mixed traffic for the multi-process pool benchmark (C2).
+
+The pool's workers are *separate processes*, so the corpus cannot be
+handed to them as objects: each worker must rebuild its own shard from
+a description that crosses the IPC boundary. :class:`TrafficSpec` is
+that description — a frozen, picklable dataclass whose bound
+:meth:`TrafficSpec.build_server` method is exactly the ``setup``
+callable :class:`~repro.server.pool.ShardedServerPool` wants (bound
+methods of picklable instances pickle, so the same spec works under
+``fork`` and ``spawn``):
+
+    spec = TrafficSpec(documents=16, nodes_per_document=600)
+    pool = ShardedServerPool(spec.build_server, workers=4)
+
+Everything is seeded and deterministic: two processes building the same
+spec produce byte-identical documents, directories and authorization
+stores, which is what lets the chaos suite compare pool responses
+against a sequential in-process replay byte for byte. The CPU cost per
+request is dominated by labeling/pruning (no view cache by default), so
+this is the workload on which process count should actually scale —
+the point BENCH_PR5 proved threads cannot make.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.server.cache import ViewCache
+from repro.server.repository import ShardRouter
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+from repro.workloads.generator import (
+    populate_directory,
+    requester_pool,
+    synthetic_authorizations,
+    synthetic_document,
+)
+
+__all__ = ["TrafficSpec", "request_stream"]
+
+#: Element names synthetic_document actually emits — query traffic
+#: selects on these so matches are non-trivial.
+_QUERY_PATHS = (
+    "//*[@kind = 'public']",
+    "//*[@id]",
+    "/archive/*",
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A deterministic, picklable description of a serving corpus.
+
+    ``build_server(shard_ids, num_shards)`` constructs a complete
+    :class:`SecureXMLServer` holding the documents whose
+    consistent-hash shard (under ``ShardRouter(num_shards)``) is in
+    *shard_ids* — or the full corpus when *shard_ids* is None, which
+    is how the pool builds its degraded-mode fallback server. Per-
+    document seeds derive from ``seed`` and the document index, never
+    from which shard asked, so every process that builds document *i*
+    builds the same bytes.
+    """
+
+    documents: int = 8
+    nodes_per_document: int = 400
+    auths_per_document: int = 24
+    users: int = 12
+    seed: int = 0
+    view_cache: bool = False
+    uri_template: str = "http://bench.example/pool/doc{index}.xml"
+
+    def uris(self) -> list[str]:
+        return [
+            self.uri_template.format(index=index)
+            for index in range(self.documents)
+        ]
+
+    def requesters(self) -> list[Requester]:
+        names = [f"user{index}" for index in range(self.users)]
+        return requester_pool(names, seed=self.seed)
+
+    def build_server(
+        self,
+        shard_ids: Optional[tuple[int, ...]] = None,
+        num_shards: int = 1,
+    ) -> SecureXMLServer:
+        """The pool ``setup`` callable (see the module docstring)."""
+        router = ShardRouter(num_shards)
+        server = SecureXMLServer(
+            view_cache=ViewCache() if self.view_cache else None
+        )
+        populate_directory(server.directory, users=self.users, seed=self.seed)
+        for index, uri in enumerate(self.uris()):
+            if shard_ids is not None and router.shard_of(uri) not in shard_ids:
+                continue
+            document = synthetic_document(
+                self.nodes_per_document, seed=self.seed + index, uri=uri
+            )
+            instance_auths, _ = synthetic_authorizations(
+                document, self.auths_per_document, seed=self.seed + index
+            )
+            server.publish_document(uri, document)
+            for auth in instance_auths:
+                server.grant(auth)
+        return server
+
+
+def request_stream(
+    spec: TrafficSpec,
+    count: int,
+    seed: int = 0,
+    query_share: float = 0.25,
+) -> Iterator[AccessRequest | QueryRequest]:
+    """*count* seeded requests over *spec*'s corpus, mixed serve/query.
+
+    Deterministic for a given ``(spec, count, seed, query_share)``:
+    the chaos tests replay the same stream sequentially against an
+    in-process server and demand byte-identical responses.
+    """
+    rng = random.Random(seed)
+    uris = spec.uris()
+    requesters = spec.requesters()
+    for _ in range(count):
+        requester = rng.choice(requesters)
+        uri = rng.choice(uris)
+        if rng.random() < query_share:
+            yield QueryRequest(requester, uri, rng.choice(_QUERY_PATHS))
+        else:
+            yield AccessRequest(requester, uri)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -311,3 +313,39 @@ class TestXmlDirectoryFormat:
         out = capsys.readouterr()
         assert code == 0
         assert "Open" in out.out
+
+
+class TestPoolCommand:
+    def test_pool_serves_and_reports(self, capsys):
+        code = main(
+            [
+                "pool",
+                "--workers", "2",
+                "--shards", "4",
+                "--requests", "12",
+                "--documents", "3",
+                "--nodes", "80",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12/12 requests ok" in out
+        assert "req/s" in out
+
+    def test_pool_json_stats(self, capsys):
+        code = main(
+            [
+                "pool",
+                "--workers", "1",
+                "--shards", "2",
+                "--requests", "6",
+                "--documents", "2",
+                "--nodes", "60",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["pool"]["workers"] == 1
+        assert stats["outcomes"].get("ok") == 6

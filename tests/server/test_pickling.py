@@ -1,0 +1,127 @@
+"""IPC serializability: everything that crosses the pool's process
+boundary must pickle — and a Deadline must transfer as *remaining*
+budget, since a monotonic timestamp is meaningless in another process."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    LimitExceeded,
+    PoolSaturated,
+    PoolUnhealthy,
+    RepositoryError,
+    WorkerLost,
+    XMLLimitExceeded,
+)
+from repro.limits import Deadline, ResourceLimits
+from repro.server.concurrent import StreamRequest
+from repro.server.repository import ShardRouter
+from repro.server.request import AccessRequest, AccessResponse, QueryRequest
+from repro.subjects.hierarchy import Requester
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestDeadlineTransfer:
+    def test_remaining_budget_transfers(self):
+        deadline = Deadline.after(5.0)
+        time.sleep(0.05)
+        copy = roundtrip(deadline)
+        assert copy.remaining() is not None
+        assert 0 < copy.remaining() <= deadline.budget - 0.04
+
+    def test_unbounded_stays_unbounded(self):
+        copy = roundtrip(Deadline.after(None))
+        assert copy.unbounded
+        copy.check()  # never raises
+
+    def test_expired_deadline_transfers_as_expired(self):
+        deadline = Deadline.after(0.0)
+        copy = roundtrip(deadline)
+        assert copy.expired
+        with pytest.raises(DeadlineExceeded):
+            copy.check("transferred request")
+
+    def test_limits_for_transfer_carries_remaining(self):
+        limits = ResourceLimits(deadline_seconds=10.0)
+        deadline = Deadline.after(2.0)
+        wire = limits.for_transfer(deadline)
+        assert wire.deadline_seconds is not None
+        assert wire.deadline_seconds <= 2.0
+        # the other caps ride along unchanged
+        assert wire.max_tree_depth == limits.max_tree_depth
+
+    def test_limits_for_transfer_without_deadline_is_identity(self):
+        limits = ResourceLimits(deadline_seconds=3.0)
+        assert limits.for_transfer(None) is limits
+        assert limits.for_transfer(Deadline.after(None)) is limits
+
+
+class TestRequestPickling:
+    def test_access_request(self):
+        request = AccessRequest(
+            Requester("alice", "150.1.1.1", "h.lab.com", (("role", "dr"),)),
+            "urn:doc",
+        )
+        assert roundtrip(request) == request
+
+    def test_query_request(self):
+        request = QueryRequest(Requester("bob"), "urn:doc", "//item")
+        assert roundtrip(request) == request
+
+    def test_stream_request(self):
+        request = StreamRequest(AccessRequest(Requester(), "urn:doc"))
+        assert roundtrip(request) == request
+
+    def test_access_response_with_structured_failure(self):
+        response = AccessResponse(
+            uri="urn:doc",
+            xml_text="",
+            error=LimitExceeded("too deep", limit="max_tree_depth", value=9, maximum=5),
+            error_kind="limit-exceeded",
+            timings={"label": 0.01},
+        )
+        copy = roundtrip(response)
+        assert not copy.ok
+        assert copy.error_kind == "limit-exceeded"
+        assert isinstance(copy.error, LimitExceeded)
+        assert copy.error.limit == "max_tree_depth"
+        assert copy.timings == {"label": 0.01}
+
+
+class TestErrorPickling:
+    def test_worker_lost_keeps_attributes(self):
+        error = roundtrip(WorkerLost("gone", worker=3, shard=1, reason="hung"))
+        assert (error.worker, error.shard, error.reason) == (3, 1, "hung")
+        assert "gone" in str(error)
+
+    def test_pool_saturated(self):
+        error = roundtrip(PoolSaturated("full", worker=0, depth=32))
+        assert (error.worker, error.depth) == (0, 32)
+
+    def test_pool_unhealthy(self):
+        error = roundtrip(PoolUnhealthy("open breaker", shard=2))
+        assert error.shard == 2
+
+    def test_guard_errors(self):
+        limit = roundtrip(XMLLimitExceeded("bomb", line=3, column=1, limit="x"))
+        assert isinstance(limit, XMLLimitExceeded)
+        assert limit.limit == "x"
+        deadline = roundtrip(DeadlineExceeded("late", elapsed=2.0, budget=1.0))
+        assert (deadline.elapsed, deadline.budget) == (2.0, 1.0)
+        assert isinstance(roundtrip(RepositoryError("missing")), RepositoryError)
+
+
+class TestShardRouterPickling:
+    def test_routing_is_stable_across_pickling(self):
+        router = ShardRouter(5)
+        copy = roundtrip(router)
+        uris = [f"urn:doc:{index}" for index in range(200)]
+        assert [router.shard_of(u) for u in uris] == [
+            copy.shard_of(u) for u in uris
+        ]

@@ -1,0 +1,354 @@
+"""The supervised multi-process pool: routing, supervision primitives,
+degradation paths, health surfaces.
+
+The chaos suite (randomized kills, exactly-one-outcome conservation)
+lives in test_pool_chaos.py; here each failure mode is provoked
+deterministically via a :class:`~repro.testing.faults.FaultPlan`.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    PoolSaturated,
+    PoolUnhealthy,
+    WorkerLost,
+)
+from repro.limits import ResourceLimits
+from repro.server.concurrent import dispatch
+from repro.server.pool import ShardedServerPool
+from repro.server.repository import ShardRouter
+from repro.server.request import QueryRequest
+from repro.server.supervisor import CircuitBreaker, RestartPolicy
+from repro.testing.faults import FaultPlan, FaultSpec
+from repro.workloads.traffic import TrafficSpec, request_stream
+
+SPEC = TrafficSpec(documents=5, nodes_per_document=120, seed=11)
+REQUESTS = list(request_stream(SPEC, 24, seed=4))
+
+
+def make_pool(**overrides):
+    options = dict(
+        workers=2,
+        shards=4,
+        restart_policy=RestartPolicy(base_delay=0.02, cap=0.2),
+        supervision_interval=0.02,
+    )
+    options.update(overrides)
+    return ShardedServerPool(SPEC.build_server, **options)
+
+
+class TestShardRouter:
+    def test_deterministic_and_complete(self):
+        router = ShardRouter(4)
+        uris = [f"urn:doc:{index}" for index in range(1000)]
+        first = [router.shard_of(uri) for uri in uris]
+        assert first == [ShardRouter(4).shard_of(uri) for uri in uris]
+        assert set(first) == {0, 1, 2, 3}
+
+    def test_reasonably_balanced(self):
+        router = ShardRouter(4)
+        groups = router.partition(f"urn:doc:{index}" for index in range(2000))
+        assert all(len(uris) > 200 for uris in groups.values())
+
+    def test_consistency_under_reshard(self):
+        """Growing the ring moves a minority of URIs, not nearly all."""
+        uris = [f"urn:doc:{index}" for index in range(1000)]
+        before, after = ShardRouter(4), ShardRouter(5)
+        moved = sum(1 for u in uris if before.shard_of(u) != after.shard_of(u))
+        assert 0 < moved < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestRestartPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RestartPolicy(base_delay=0.1, cap=1.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.8)
+        assert policy.delay(5) == pytest.approx(1.0)  # capped
+        assert policy.delay(50) == pytest.approx(1.0)  # stays capped
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RestartPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=60)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_then_close_or_reopen(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.01)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.sleep(0.02)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.02)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+
+class TestPoolServing:
+    def test_byte_identical_to_sequential_replay(self):
+        reference_server = SPEC.build_server(None, 4)
+        references = [dispatch(reference_server, r) for r in REQUESTS]
+        with make_pool() as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS, timeout=60)
+        assert all(outcome.ok for outcome in outcomes)
+        for outcome, reference in zip(outcomes, references):
+            assert outcome.result.xml_text == reference.xml_text
+            assert outcome.result.matches == reference.matches
+            assert outcome.result.visible_nodes == reference.visible_nodes
+
+    def test_serve_raises_typed_errors_and_returns_responses(self):
+        with make_pool() as pool:
+            pool.wait_ready()
+            response = pool.serve(REQUESTS[0], timeout=30)
+            assert response.ok
+            with pytest.raises(TypeError):
+                pool.submit(object())
+
+    def test_query_requests_route_too(self):
+        query = QueryRequest(SPEC.requesters()[0], SPEC.uris()[0], "//*[@id]")
+        with make_pool() as pool:
+            pool.wait_ready()
+            response = pool.serve(query, timeout=30)
+        assert response.ok
+
+    def test_app_level_error_comes_back_typed_without_breaker_trip(self):
+        from repro.errors import RepositoryError
+        from repro.server.request import AccessRequest
+
+        unknown = AccessRequest(SPEC.requesters()[0], "urn:no-such-doc")
+        with make_pool() as pool:
+            pool.wait_ready()
+            with pytest.raises(RepositoryError):
+                pool.serve(unknown, timeout=30)
+            shard = pool.router.shard_of("urn:no-such-doc")
+            assert pool._breakers[shard].state == "closed"
+            assert pool.stats()["outcomes"] == {"error": 1}
+
+
+class TestCrashRecovery:
+    def test_crash_resolves_in_flight_and_restarts(self):
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=1, after=2),))
+        with make_pool(fault_plan=plan, breaker_threshold=20) as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS, timeout=60)
+            stats = pool.stats()
+        lost = [o for o in outcomes if isinstance(o.error, WorkerLost)]
+        assert lost and all(o.error.reason == "crashed" for o in lost)
+        assert all(o.ok or isinstance(o.error, WorkerLost) for o in outcomes)
+        assert stats["pool"]["restarts_total"] >= 1
+        # conservation: every submission counted exactly once
+        assert sum(stats["outcomes"].values()) == len(REQUESTS)
+
+    def test_restart_is_audited(self):
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=1,),))
+        with make_pool(fault_plan=plan, breaker_threshold=20) as pool:
+            pool.wait_ready()
+            pool.serve_many(REQUESTS[:8], timeout=60)
+            # serve_many can return (all in-flight resolved WorkerLost)
+            # before the supervisor's backoff elapses: wait for it.
+            end = time.monotonic() + 5.0
+            while time.monotonic() < end:
+                stats = pool.stats()
+                if stats["pool"]["restarts_total"] >= 1:
+                    break
+                time.sleep(0.02)
+            audited = sum(
+                1 for record in pool.audit.tail(100)
+                if record.outcome == "restarted"
+            )
+        assert audited == stats["pool"]["restarts_total"] >= 1
+
+
+class TestDegradationPaths:
+    def test_deadline_expiry_while_queued_fails_fast(self):
+        """A request stuck behind a permanently dead worker resolves
+        with a typed error by its deadline — it never hangs."""
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=None),))
+        with make_pool(
+            workers=1,
+            shards=1,
+            fault_plan=plan,
+            restart_policy=RestartPolicy(base_delay=0.5, cap=1.0),
+            breaker_threshold=100,
+            degraded=False,
+        ) as pool:
+            pool.wait_ready()
+            started = time.monotonic()
+            limits = ResourceLimits(deadline_seconds=0.4)
+            pendings = [pool.submit(r, limits=limits) for r in REQUESTS[:5]]
+            errors = []
+            for pending in pendings:
+                with pytest.raises((DeadlineExceeded, WorkerLost)) as info:
+                    pending.result(timeout=10)
+                errors.append(info.value)
+            elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        assert any(isinstance(e, DeadlineExceeded) for e in errors)
+
+    def test_saturation_sheds_with_typed_error(self):
+        plan = FaultPlan((FaultSpec("pool.worker.hang", times=None),))
+        with make_pool(
+            workers=1,
+            shards=1,
+            queue_depth=2,
+            pipeline_depth=1,
+            fault_plan=plan,
+            hang_timeout=30,
+            breaker_threshold=100,
+            degraded=False,
+        ) as pool:
+            pool.wait_ready()
+            pendings = [pool.submit(r) for r in REQUESTS[:8]]
+            shed = [
+                p for p in pendings if p.done and isinstance(p.error, PoolSaturated)
+            ]
+            stats = pool.stats()
+        assert len(shed) >= 4
+        assert shed[0].error.depth == 2
+        assert stats["pool"]["shed_total"] == len(shed)
+
+    def test_open_breaker_degrades_to_in_process_serving(self):
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=None),))
+        reference_server = SPEC.build_server(None, 2)
+        with make_pool(
+            workers=1,
+            shards=2,
+            fault_plan=plan,
+            breaker_threshold=2,
+            breaker_cooldown=60.0,
+            degraded=True,
+        ) as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS[:12], timeout=60)
+            stats = pool.stats()
+        degraded_ok = [o for o in outcomes if o.degraded and o.ok]
+        assert degraded_ok, "breaker never opened into the fallback path"
+        for outcome in degraded_ok:
+            reference = dispatch(reference_server, REQUESTS[outcome.index])
+            assert outcome.result.xml_text == reference.xml_text
+        assert stats["pool"]["degraded_total"] == len(
+            [o for o in outcomes if o.degraded]
+        )
+        assert "open" in stats["pool"]["breakers"].values()
+        assert sum(stats["outcomes"].values()) == 12
+
+    def test_open_breaker_without_degradation_fails_fast(self):
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=None),))
+        with make_pool(
+            workers=1,
+            shards=1,
+            fault_plan=plan,
+            breaker_threshold=1,
+            breaker_cooldown=60.0,
+            degraded=False,
+        ) as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS[:8], timeout=60)
+        assert all(not o.ok for o in outcomes)
+        assert any(isinstance(o.error, PoolUnhealthy) for o in outcomes)
+
+    def test_hung_worker_is_detected_and_killed(self):
+        plan = FaultPlan((FaultSpec("pool.worker.hang", times=1),))
+        with make_pool(
+            workers=1,
+            shards=1,
+            fault_plan=plan,
+            hang_timeout=0.5,
+            breaker_threshold=100,
+        ) as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS[:4], timeout=60)
+        hung = [
+            o
+            for o in outcomes
+            if isinstance(o.error, WorkerLost) and o.error.reason == "hung"
+        ]
+        assert hung
+
+    def test_ipc_corruption_is_contained(self):
+        plan = FaultPlan((FaultSpec("pool.ipc.corrupt", times=1, after=1),))
+        with make_pool(
+            workers=1, shards=1, fault_plan=plan, breaker_threshold=100
+        ) as pool:
+            pool.wait_ready()
+            outcomes = pool.serve_many(REQUESTS[:8], timeout=60)
+            stats = pool.stats()
+        corrupt = [
+            o
+            for o in outcomes
+            if isinstance(o.error, WorkerLost) and o.error.reason == "ipc-corrupt"
+        ]
+        assert corrupt
+        assert stats["metrics"]["pool_ipc_errors_total"][""] >= 1
+        assert sum(stats["outcomes"].values()) == 8
+
+
+class TestHealthSurfaces:
+    def test_stats_shape(self):
+        with make_pool() as pool:
+            pool.wait_ready()
+            pool.serve_many(REQUESTS[:6], timeout=30)
+            time.sleep(0.06)  # one supervision tick for the gauges
+            stats = pool.stats()
+        assert stats["pool"]["workers_alive"] == 2
+        assert stats["pool"]["breakers"] == {s: "closed" for s in range(4)}
+        assert {w["state"] for w in stats["workers"]} == {"up"}
+        assert stats["outcomes"]["ok"] == 6
+        assert set(stats["shard_owners"]) == {0, 1, 2, 3}
+        import json
+
+        json.dumps(stats)  # the snapshot must stay JSON-serializable
+
+    def test_prometheus_scrape_exposes_pool_health(self):
+        with make_pool() as pool:
+            pool.wait_ready()
+            pool.serve_many(REQUESTS[:6], timeout=30)
+            time.sleep(0.06)
+            text = pool.render_prometheus()
+        assert 'pool_requests_total{outcome="ok"} 6' in text
+        assert "pool_workers_alive 2" in text
+        assert '# TYPE pool_breaker_state gauge' in text
+        assert 'pool_breaker_state{shard="0"}' in text
+
+    def test_close_resolves_leftovers_and_rejects_new_work(self):
+        plan = FaultPlan((FaultSpec("pool.worker.hang", times=None),))
+        pool = make_pool(
+            workers=1, shards=1, fault_plan=plan, hang_timeout=30,
+            breaker_threshold=100,
+        )
+        pool.wait_ready()
+        pending = pool.submit(REQUESTS[0])
+        pool.close()
+        with pytest.raises(WorkerLost) as info:
+            pending.result(timeout=5)
+        assert info.value.reason == "shutdown"
+        with pytest.raises(RuntimeError):
+            pool.submit(REQUESTS[0])

@@ -1,0 +1,140 @@
+"""Chaos: randomized worker kills mid-stream.
+
+The pool's contract under arbitrary process death is threefold, and
+each run of this suite checks all three:
+
+1. **Exactly one outcome** — every submitted request resolves to a
+   response or one typed error; nothing hangs, nothing double-fires.
+   Enforced structurally (the resolve-once protocol) and checked here
+   by conservation: ``sum(pool_requests_total{outcome=*})`` equals the
+   number of submissions, and every outcome slot is populated.
+2. **Byte identity** — every successful response (pooled *or*
+   degraded) is byte-identical to a sequential in-process replay of
+   the same request. Crash recovery must not change what anyone is
+   entitled to see.
+3. **Counter/audit conservation** — restarts observed in the audit
+   log equal the restart counter; no accounting is lost when the
+   process serving it dies.
+
+The killer is a real ``SIGKILL`` from outside (not a cooperative
+fault), seeded per test case so failures replay deterministically
+enough to debug. Three seeds run in CI's chaos job.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    PoolSaturated,
+    PoolUnhealthy,
+    WorkerLost,
+)
+from repro.server.concurrent import dispatch
+from repro.server.pool import ShardedServerPool
+from repro.server.supervisor import RestartPolicy
+from repro.workloads.traffic import TrafficSpec, request_stream
+
+SPEC = TrafficSpec(documents=6, nodes_per_document=150, seed=23)
+REQUEST_COUNT = 60
+TYPED_ERRORS = (WorkerLost, DeadlineExceeded, PoolSaturated, PoolUnhealthy)
+
+
+class Killer(threading.Thread):
+    """SIGKILL random live workers at seeded random moments."""
+
+    def __init__(self, pool, seed, kills=4, min_gap=0.05, max_gap=0.25):
+        super().__init__(daemon=True)
+        self.pool = pool
+        self.rng = random.Random(seed)
+        self.kills = kills
+        self.min_gap = min_gap
+        self.max_gap = max_gap
+        self.performed = 0
+
+    def run(self):
+        for _ in range(self.kills):
+            time.sleep(self.rng.uniform(self.min_gap, self.max_gap))
+            slot = self.rng.choice(self.pool._slots)
+            with slot.lock:
+                process = slot.process if slot.state == "up" else None
+            if process is not None and process.is_alive():
+                process.kill()
+                self.performed += 1
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_chaos_exactly_one_outcome_and_byte_identity(seed):
+    requests = list(request_stream(SPEC, REQUEST_COUNT, seed=seed))
+    reference_server = SPEC.build_server(None, 4)
+    references = [dispatch(reference_server, request) for request in requests]
+
+    pool = ShardedServerPool(
+        SPEC.build_server,
+        workers=2,
+        shards=4,
+        restart_policy=RestartPolicy(base_delay=0.02, cap=0.2),
+        supervision_interval=0.02,
+        breaker_threshold=3,
+        breaker_cooldown=0.2,
+        degraded=True,
+    )
+    try:
+        pool.wait_ready()
+        killer = Killer(pool, seed)
+        killer.start()
+        outcomes = []
+        for index, request in enumerate(requests):
+            pending = pool.submit(request)
+            outcomes.append((index, pending))
+            time.sleep(0.002)  # stay mid-stream while the killer works
+        killer.join(timeout=10)
+
+        # 1. exactly one outcome, for every single request
+        resolved = []
+        for index, pending in outcomes:
+            assert pending.wait(timeout=60), f"request {index} never resolved"
+            assert (pending.value is None) != (pending.error is None)
+            resolved.append((index, pending))
+
+        # 2. successes byte-identical to the sequential replay; failures typed
+        successes = 0
+        for index, pending in resolved:
+            if pending.error is None:
+                successes += 1
+                response = pending.value
+                reference = references[index]
+                assert response.xml_text == reference.xml_text, (
+                    f"request {index} ({pending.kind}) response diverged"
+                )
+                assert response.matches == reference.matches
+                assert response.visible_nodes == reference.visible_nodes
+            else:
+                assert isinstance(pending.error, TYPED_ERRORS), repr(pending.error)
+
+        # 3. counters conserve despite the carnage
+        stats = pool.stats()
+        assert sum(stats["outcomes"].values()) == REQUEST_COUNT
+        audited_restarts = sum(
+            1 for record in pool.audit.tail(1000) if record.outcome == "restarted"
+        )
+        assert audited_restarts == stats["pool"]["restarts_total"]
+        audited_lost = sum(
+            1 for record in pool.audit.tail(1000) if record.outcome == "worker-lost"
+        )
+        lost_by_metric = sum(
+            value
+            for labels, value in stats["metrics"]
+            .get("pool_worker_lost_total", {})
+            .items()
+        )
+        assert audited_lost == lost_by_metric
+        if killer.performed:
+            assert lost_by_metric >= 1
+        # sanity: the run must not have failed everything
+        assert successes > 0
+    finally:
+        pool.close()

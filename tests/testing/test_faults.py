@@ -160,3 +160,73 @@ class TestRetryCall:
             sleep=lambda _: None,
         )
         assert result == "written"
+
+
+class TestArmAfter:
+    def test_after_lets_first_trips_pass(self):
+        injector = FaultInjector()
+        injector.arm("repository.read", times=2, after=3)
+        for _ in range(3):
+            injector.trip("repository.read")  # skip budget
+        with pytest.raises(InjectedFault):
+            injector.trip("repository.read")
+        with pytest.raises(InjectedFault):
+            injector.trip("repository.read")
+        injector.trip("repository.read")  # times budget spent
+        assert injector.fired("repository.read") == 2
+
+    def test_after_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("x", after=-1)
+
+
+class TestFaultPlan:
+    """The serializable plan that crosses the pool's IPC boundary."""
+
+    def _plan(self):
+        from repro.testing.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            (
+                FaultSpec("pool.worker.crash", times=1, after=2, worker=1),
+                FaultSpec("repository.read", times=None),
+            )
+        )
+
+    def test_json_round_trip(self):
+        from repro.testing.faults import FaultPlan
+
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        plan = self._plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_from_dict_ignores_unknown_keys(self):
+        from repro.testing.faults import FaultPlan, FaultSpec
+
+        data = {"specs": [{"point": "cache.get", "times": 3, "future_field": 1}]}
+        assert FaultPlan.from_dict(data) == FaultPlan(
+            (FaultSpec("cache.get", times=3),)
+        )
+
+    def test_arm_into_scopes_by_worker(self):
+        plan = self._plan()
+        worker1 = FaultInjector()
+        assert plan.arm_into(worker1, worker=1) == 2
+        worker0 = FaultInjector()
+        assert plan.arm_into(worker0, worker=0) == 1  # crash spec filtered
+        assert worker0.armed("repository.read")
+        assert not worker0.armed("pool.worker.crash")
+
+    def test_armed_plan_honours_times_and_after(self):
+        injector = FaultInjector()
+        self._plan().arm_into(injector, worker=1)
+        injector.trip("pool.worker.crash")
+        injector.trip("pool.worker.crash")  # after=2 -> first two pass
+        with pytest.raises(InjectedFault):
+            injector.trip("pool.worker.crash")
+        injector.trip("pool.worker.crash")  # times=1 spent
