@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.authz.authorization import Authorization
+from repro.subjects.canonical import EffectiveClass, effective_class
 from repro.subjects.hierarchy import Requester, SubjectHierarchy
 
 __all__ = ["AuthorizationStore"]
@@ -32,6 +33,8 @@ class AuthorizationStore:
         self._by_uri: dict[str, list[Authorization]] = {}
         self._count = 0
         self._version = 0
+        self._universes: dict[Optional[str], tuple] = {}
+        self._universe_version = -1
 
     # -- mutation ------------------------------------------------------------
 
@@ -114,3 +117,84 @@ class AuthorizationStore:
             and authorization.credentials_satisfied(presented)
             and self.hierarchy.applies_to(authorization.subject, requester)
         ]
+
+    # -- canonicalization ------------------------------------------------------
+
+    def subject_universe(self, action: Optional[str] = None) -> tuple:
+        """The subject vocabulary referenced by the stored authorizations.
+
+        Returns ``(user_groups, ip_patterns, symbolic_patterns,
+        credential_clauses)``, each deduplicated — the inputs
+        :func:`repro.subjects.canonical.effective_class` intersects a
+        requester against. *action*, when given, restricts the universe
+        to authorizations for that action: subjects referenced only by
+        other actions cannot influence an *action*-applicability
+        verdict, and excluding them lets more requesters collapse into
+        one class. Cached per :attr:`version`.
+        """
+        if self._universe_version != self._version:
+            self._universes.clear()
+            self._universe_version = self._version
+        cached = self._universes.get(action)
+        if cached is not None:
+            return cached
+        user_groups: set[str] = set()
+        ip_patterns: set = set()
+        symbolic_patterns: set = set()
+        credential_clauses: set = set()
+        for authorization in self:
+            if action is not None and authorization.action != action:
+                continue
+            subject = authorization.subject
+            user_groups.add(subject.user_group)
+            ip_patterns.add(subject.ip)
+            symbolic_patterns.add(subject.symbolic)
+            credential_clauses.update(authorization.credentials)
+        universe = (
+            frozenset(user_groups),
+            frozenset(ip_patterns),
+            frozenset(symbolic_patterns),
+            frozenset(credential_clauses),
+        )
+        self._universes[action] = universe
+        return universe
+
+    def effective_class(
+        self, requester: Requester, action: str = "read"
+    ) -> EffectiveClass:
+        """Canonicalize *requester* against this store's universe.
+
+        Requesters with equal classes hold identical applicable
+        authorization sets for every URI under *action* (see
+        :mod:`repro.subjects.canonical`), so views and query plans
+        computed for one can be shared with the others. Time-windowed
+        applicability is *not* covered — combine with
+        :meth:`validity_marker` when keying caches.
+        """
+        groups, ips, symbolics, clauses = self.subject_universe(action)
+        return effective_class(
+            requester,
+            self.hierarchy,
+            user_groups=groups,
+            ip_patterns=ips,
+            symbolic_patterns=symbolics,
+            credential_clauses=clauses,
+        )
+
+    def validity_marker(
+        self, uri: str, action: str = "read", at: Optional[float] = None
+    ) -> tuple[bool, ...]:
+        """Which time-windowed authorizations on *uri* are active at *at*.
+
+        Effective classes are time-blind; this marker captures the one
+        remaining time-dependent applicability input, so a cache key of
+        ``(class, validity_marker)`` is exactly as discriminating as the
+        full applicable-authorization computation. Bucket order is
+        stable between mutations and mutations bump :attr:`version`,
+        which cache entries already carry.
+        """
+        return tuple(
+            authorization.is_active(at)
+            for authorization in self._by_uri.get(uri, ())
+            if authorization.action == action and authorization.validity is not None
+        )

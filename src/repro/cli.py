@@ -85,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate XPATH against the requester's view and print the "
         "matches instead of the view itself",
     )
+    view.add_argument(
+        "--virtual",
+        action="store_true",
+        help="with --query: answer by query rewriting over the source "
+        "document (no materialized view); falls back automatically "
+        "outside the rewritable subset",
+    )
 
     val = commands.add_parser("validate", help="validate a document against a DTD")
     val.add_argument("document")
@@ -226,7 +233,9 @@ def _cmd_view(args: argparse.Namespace) -> int:
         from repro.server.request import QueryRequest
 
         response = server.query(
-            QueryRequest(requester, args.uri, args.query), stream=args.stream
+            QueryRequest(requester, args.uri, args.query),
+            stream=args.stream,
+            virtual=args.virtual,
         )
         if not response.ok:
             print(f"error: {response.error}", file=sys.stderr)

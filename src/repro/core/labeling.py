@@ -334,6 +334,7 @@ class TreeLabeler:
         # node -> slot -> authorizations covering that node
         self._node_slot_auths: dict[Node, dict[str, list[Authorization]]] = {}
         self._evaluated = 0
+        self._bound = False
 
     # -- public ------------------------------------------------------------
 
@@ -342,13 +343,58 @@ class TreeLabeler:
         with span("label"):
             return self._run()
 
+    def bind(self) -> "TreeLabeler":
+        """Evaluate and bin every authorization path (idempotent).
+
+        This is the shared first half of :meth:`run`: after it, each
+        node's per-slot candidate authorizations are known and single
+        nodes can be labeled on demand via :meth:`label_lazily` without
+        walking the whole tree — the basis of the virtual-view
+        visibility oracle (:mod:`repro.rewrite`).
+        """
+        if not self._bound:
+            with span("label.bind"):
+                self._bin_authorizations()
+            self._bound = True
+        return self
+
+    def label_lazily(self, node: Node, labels: dict[Node, Label]) -> Label:
+        """Label *node* on demand, reusing *labels* as the shared memo.
+
+        Labels exactly match :meth:`run`'s: the node's unlabeled
+        ancestors are labeled first (signs propagate root-down), each
+        via the same ``initial_label``/propagation functions the full
+        walk uses. Amortized O(1) per node once ancestors are memoized.
+        """
+        self.bind()
+        found = labels.get(node)
+        if found is not None:
+            return found
+        # Climb to the nearest labeled ancestor (or the root).
+        chain: list[Node] = []
+        current = node
+        while True:
+            parent = current.parent
+            if parent is None or isinstance(parent, Document):
+                break
+            chain.append(current)
+            current = parent
+            if current in labels:
+                break
+        if current not in labels:
+            root_label = self._initial_label(current)
+            root_label.compute_final()
+            labels[current] = root_label
+        for item in reversed(chain):
+            labels[item] = self._label_node(item, labels[item.parent])
+        return labels[node]
+
     def _run(self) -> LabelingResult:
         labels: dict[Node, Label] = {}
         root = self._root
         if root is None:
             return LabelingResult(labels)
-        with span("label.bind"):
-            self._bin_authorizations()
+        self.bind()
 
         with span("label.propagate"):
             # Figure 2 steps 4-5: initial label of the root, final by

@@ -51,6 +51,29 @@ class XPathEvaluationError(ReproError):
     """A path expression failed at evaluation time (e.g. type error)."""
 
 
+class RewriteUnsupported(ReproError):
+    """A query falls outside the rewritable XPath subset.
+
+    Raised by :mod:`repro.rewrite` when a request query cannot be
+    compiled into a guarded query over the source document (variable
+    references, view-sensitive functions like ``id()`` / ``lang()``,
+    unknown functions). The server treats this as a routing decision,
+    not a failure: the request transparently falls back to the
+    materialized-view pipeline (see docs/VIEWS.md).
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause (e.g. ``"variable-reference"``,
+        ``"function:id"``), used as the ``reason`` label on the
+        ``rewrite_fallback_total`` counter.
+    """
+
+    def __init__(self, message: str, reason: str = "unsupported"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class ValidationError(ReproError):
     """A well-formed document does not conform to its DTD.
 

@@ -1,0 +1,33 @@
+"""Virtual views: query rewriting over a lazy visibility oracle.
+
+Answering a query against a requester's view normally means building
+the view (label + prune + serialize) first. This package answers the
+same query *without materializing*: :func:`compile_rewrite` turns the
+request query into a guarded query over the source document, and a
+:class:`VisibilityOracle` — sharing the labeling code with the
+materialized pipeline — decides per node whether it belongs to the
+requester's view. Answers are byte-identical to the materialized path;
+queries outside the rewritable subset raise
+:class:`~repro.errors.RewriteUnsupported` and callers fall back.
+
+See docs/VIEWS.md for the pipeline comparison, the rewriting algorithm
+and the supported XPath subset.
+"""
+
+from repro.errors import RewriteUnsupported
+from repro.rewrite.engine import (
+    GUARD_FUNCTION,
+    RewrittenQuery,
+    compile_rewrite,
+    registry_for,
+)
+from repro.rewrite.oracle import VisibilityOracle
+
+__all__ = [
+    "GUARD_FUNCTION",
+    "RewriteUnsupported",
+    "RewrittenQuery",
+    "VisibilityOracle",
+    "compile_rewrite",
+    "registry_for",
+]

@@ -1,0 +1,355 @@
+"""Query rewriting: answer queries over a *virtual* view.
+
+Instead of materializing the requester's view (label every node, prune,
+serialize) and evaluating the query against it, the request query is
+compiled into a **guarded query** over the source document:
+
+- every location step gets a synthetic first predicate
+  ``__view-exists()`` that asks the
+  :class:`~repro.rewrite.oracle.VisibilityOracle` whether the candidate
+  node appears in the view — inserted *before* the user's predicates,
+  so positional predicates count view nodes, exactly as they would on
+  the materialized tree;
+- comparisons and string/number conversions whose operands are
+  node-sets are rewritten to ``__view-cmp`` / ``__view-str`` /
+  ``__view-num`` / ``__view-sum`` extension functions that use the
+  oracle's *virtual string-values* (hidden text never leaks into a
+  comparison);
+- context-sensitive zero-argument forms (``string()``, ``number()``,
+  ``string-length()``, ``normalize-space()``) are rewritten to their
+  explicit-argument forms over ``__view-str(.)``.
+
+The guarded query is evaluated by the standard evaluator with a child
+function registry, so step budgets, deadlines and tracing all apply
+unchanged. Queries outside the rewritable subset — variable references,
+the view-sensitive functions ``id()`` and ``lang()`` (both read parts
+of the document a view may hide in ways guards cannot express), or
+unknown functions — raise :class:`~repro.errors.RewriteUnsupported`;
+the server then falls back to the materialized pipeline transparently
+(docs/VIEWS.md documents the subset and the fallback rules).
+
+The guarded AST depends only on the query text, never on the requester
+or policy, so compilation is memoized process-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import RewriteUnsupported, XPathEvaluationError
+from repro.limits import Deadline
+from repro.rewrite.oracle import VisibilityOracle
+from repro.xml.nodes import Document, Node
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Number,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.evaluator import evaluate_parsed
+from repro.xpath.functions import DEFAULT_REGISTRY, FunctionRegistry
+from repro.xpath.parser import parse_xpath
+from repro.xpath.values import compare, to_number, to_string
+
+__all__ = [
+    "GUARD_FUNCTION",
+    "RewrittenQuery",
+    "compile_rewrite",
+    "registry_for",
+]
+
+#: The guard predicate inserted into every location step.
+GUARD_FUNCTION = "__view-exists"
+_CMP = "__view-cmp"
+_STR = "__view-str"
+_NUM = "__view-num"
+_SUM = "__view-sum"
+
+#: Expression kinds that can statically yield a node-set. Conversions of
+#: these operands must go through the oracle's virtual string-values;
+#: all other kinds evaluate to scalars and convert identically on
+#: source and view.
+_NODE_SET_KINDS = (LocationPath, UnionExpr, PathExpr, FilterExpr)
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Functions that cannot be guarded: they read parts of the document
+#: (ID attribute values, in-scope ``xml:lang`` attributes) that a view
+#: may hide even on nodes that survive pruning.
+_VIEW_SENSITIVE = frozenset(("id", "lang"))
+
+#: The rewritable core library: name -> (per-argument conversions,
+#: context-sensitive-when-argless). Conversions: ``"str"``/``"num"``
+#: arguments are converted through the node's string-value (wrap
+#: node-set operands), ``"raw"`` arguments pass through guarded. A
+#: variadic function repeats its last conversion.
+_FUNCTIONS: dict[str, tuple[tuple[str, ...], bool]] = {
+    "last": ((), False),
+    "position": ((), False),
+    "count": (("raw",), False),
+    "name": (("raw",), False),
+    "local-name": (("raw",), False),
+    "string": (("str",), True),
+    "concat": (("str",), False),
+    "starts-with": (("str", "str"), False),
+    "contains": (("str", "str"), False),
+    "substring-before": (("str", "str"), False),
+    "substring-after": (("str", "str"), False),
+    "substring": (("str", "num", "num"), False),
+    "string-length": (("str",), True),
+    "normalize-space": (("str",), True),
+    "translate": (("str", "str", "str"), False),
+    "boolean": (("raw",), False),
+    "not": (("raw",), False),
+    "true": ((), False),
+    "false": ((), False),
+    "number": (("num",), True),
+    "sum": (("raw",), False),
+    "floor": (("num",), False),
+    "ceiling": (("num",), False),
+    "round": (("num",), False),
+}
+
+
+def registry_for(
+    oracle: VisibilityOracle, deadline: Optional[Deadline] = None
+) -> FunctionRegistry:
+    """A per-evaluation registry binding the guard functions to *oracle*.
+
+    Built per query evaluation (a handful of dict inserts) so a shared
+    oracle can serve concurrent requests, each under its own deadline.
+    """
+    registry = DEFAULT_REGISTRY.child()
+
+    def guard(context, args):
+        return oracle.exists(context.node, deadline)
+
+    def view_cmp(context, args):
+        op, left, right = args
+        return compare(op, left, right, string_value_of=oracle.string_value)
+
+    def view_str(context, args):
+        value = args[0]
+        if isinstance(value, list):
+            return oracle.string_value(value[0]) if value else ""
+        return to_string(value)
+
+    def view_num(context, args):
+        value = args[0]
+        if isinstance(value, list):
+            return (
+                to_number(oracle.string_value(value[0]))
+                if value
+                else float("nan")
+            )
+        return to_number(value)
+
+    def view_sum(context, args):
+        nodes = args[0]
+        if not isinstance(nodes, list):
+            raise XPathEvaluationError("sum() requires a node-set argument")
+        return float(sum(to_number(oracle.string_value(node)) for node in nodes))
+
+    registry.register(GUARD_FUNCTION, guard, 0, 0)
+    registry.register(_CMP, view_cmp, 3, 3)
+    registry.register(_STR, view_str, 1, 1)
+    registry.register(_NUM, view_num, 1, 1)
+    registry.register(_SUM, view_sum, 1, 1)
+    return registry
+
+
+class _Rewriter:
+    """Build the guarded twin of a parsed query (input AST untouched)."""
+
+    def top(self, expr: Expr) -> Expr:
+        return self._expr(expr)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, LocationPath):
+            return LocationPath(
+                [self._step(step) for step in expr.steps], expr.absolute
+            )
+        if isinstance(expr, UnionExpr):
+            return UnionExpr([self._expr(part) for part in expr.parts])
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr)
+        if isinstance(expr, UnaryMinus):
+            return UnaryMinus(self._converted(expr.operand, "num"))
+        if isinstance(expr, FunctionCall):
+            return self._function(expr)
+        if isinstance(expr, (Literal, Number)):
+            return expr
+        if isinstance(expr, FilterExpr):
+            return FilterExpr(
+                self._expr(expr.primary),
+                [self._expr(predicate) for predicate in expr.predicates],
+            )
+        if isinstance(expr, PathExpr):
+            rewritten_filter = self._expr(expr.filter)
+            assert isinstance(rewritten_filter, FilterExpr)
+            return PathExpr(
+                rewritten_filter,
+                LocationPath(
+                    [self._step(step) for step in expr.tail.steps],
+                    expr.tail.absolute,
+                ),
+            )
+        if isinstance(expr, VariableRef):
+            raise RewriteUnsupported(
+                f"variable ${expr.name} cannot be rewritten "
+                "(variable bindings are evaluation-time state)",
+                reason="variable-reference",
+            )
+        raise RewriteUnsupported(  # pragma: no cover - exhaustive above
+            f"cannot rewrite {type(expr).__name__}",
+            reason=type(expr).__name__,
+        )
+
+    def _step(self, step: Step) -> Step:
+        # Guard first, user predicates after: positions then count
+        # view-existing nodes, matching materialized-view semantics.
+        guard = FunctionCall(GUARD_FUNCTION, [])
+        return Step(
+            step.axis,
+            step.test,
+            [guard, *(self._expr(p) for p in step.predicates)],
+        )
+
+    def _binary(self, expr: BinaryExpr) -> Expr:
+        if expr.op in ("and", "or"):
+            # Node-set operands reduce to guarded existence — correct.
+            return BinaryExpr(
+                expr.op, self._expr(expr.left), self._expr(expr.right)
+            )
+        if expr.op in _COMPARISONS:
+            if isinstance(expr.left, _NODE_SET_KINDS) or isinstance(
+                expr.right, _NODE_SET_KINDS
+            ):
+                return FunctionCall(
+                    _CMP,
+                    [
+                        Literal(expr.op),
+                        self._expr(expr.left),
+                        self._expr(expr.right),
+                    ],
+                )
+            return BinaryExpr(
+                expr.op, self._expr(expr.left), self._expr(expr.right)
+            )
+        # Arithmetic: operands are converted through to_number, which
+        # reads string-values of node-sets — route those through the
+        # oracle.
+        return BinaryExpr(
+            expr.op,
+            self._converted(expr.left, "num"),
+            self._converted(expr.right, "num"),
+        )
+
+    def _converted(self, operand: Expr, conversion: str) -> Expr:
+        rewritten = self._expr(operand)
+        if conversion in ("str", "num") and isinstance(
+            operand, _NODE_SET_KINDS
+        ):
+            wrapper = _STR if conversion == "str" else _NUM
+            return FunctionCall(wrapper, [rewritten])
+        return rewritten
+
+    def _function(self, call: FunctionCall) -> Expr:
+        name = call.name
+        if name in _VIEW_SENSITIVE:
+            raise RewriteUnsupported(
+                f"{name}() reads document parts a view may hide; "
+                "answered via materialization instead",
+                reason=f"function:{name}",
+            )
+        spec = _FUNCTIONS.get(name)
+        if spec is None:
+            raise RewriteUnsupported(
+                f"function {name}() is outside the rewritable subset",
+                reason=f"function:{name}",
+            )
+        conversions, context_sensitive = spec
+        if not call.args and context_sensitive:
+            # string()/number()/string-length()/normalize-space() read
+            # the context node's string-value: substitute the virtual
+            # one explicitly.
+            dot = LocationPath(
+                [Step(Axis.SELF, NodeTest(NodeTestKind.NODE), [])]
+            )
+            args: list[Expr] = [FunctionCall(_STR, [dot])]
+        else:
+            args = [
+                self._converted(
+                    arg,
+                    conversions[min(index, len(conversions) - 1)]
+                    if conversions
+                    else "raw",
+                )
+                for index, arg in enumerate(call.args)
+            ]
+        if name == "sum":
+            return FunctionCall(_SUM, args)
+        return FunctionCall(name, args)
+
+
+@dataclass
+class RewrittenQuery:
+    """One compiled guarded query (immutable once built; shareable)."""
+
+    source: str
+    guarded: Expr
+
+    def unparse(self) -> str:
+        """The guarded query in XPath syntax (for explain/debugging)."""
+        return self.guarded.unparse()
+
+    def select(
+        self,
+        document: Document,
+        oracle: VisibilityOracle,
+        max_steps: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> list[Node]:
+        """Evaluate over the *source* document; only view nodes match."""
+        registry = registry_for(oracle, deadline)
+        value = evaluate_parsed(
+            self.guarded,
+            document,
+            registry,
+            max_steps=max_steps,
+            deadline=deadline,
+        )
+        if not isinstance(value, list):
+            raise XPathEvaluationError(
+                "expression does not produce a node-set "
+                f"(got {type(value).__name__})"
+            )
+        return value
+
+
+@lru_cache(maxsize=2048)
+def compile_rewrite(source: str) -> RewrittenQuery:
+    """Compile *source* into a guarded query (memoized process-wide).
+
+    Raises :class:`~repro.errors.XPathSyntaxError` on bad syntax (as
+    the materialized path would) and
+    :class:`~repro.errors.RewriteUnsupported` outside the rewritable
+    subset. Exceptions are never cached.
+    """
+    parsed = parse_xpath(source)
+    return RewrittenQuery(source, _Rewriter().top(parsed))

@@ -1,0 +1,275 @@
+"""Lazy view-visibility oracle for virtual views.
+
+A materialized view answers "is node *n* visible?" by labeling and
+pruning the whole tree. The oracle answers the same question — with the
+same labels, computed by the same :class:`~repro.core.labeling.TreeLabeler`
+propagation code — but lazily: a node's label is derived on first use
+from its ancestor chain and memoized, so a selective query touches only
+the labels along its matched paths.
+
+View-existence semantics mirror :func:`repro.core.prune.build_view`
+exactly:
+
+- an **element** exists iff it *survives*: its final sign is permitted,
+  or it keeps a visible attribute, or some descendant element does
+  (structural survivors keep bare tags);
+- an **attribute** exists iff its own label is permitted (which implies
+  the owning element survives);
+- **text / comment / PI** nodes exist iff their parent element's final
+  sign is permitted (a bare-tag survivor shows no content); nodes
+  hanging directly off the Document (prolog comments/PIs) never appear
+  in a view;
+- the **document** is non-empty iff the root element survives.
+
+``survives`` uses the equivalent formulation "∃ a descendant-or-self
+element that is *directly visible* (permitted final sign or a permitted
+attribute)", memoizing negative subtrees so repeated probes amortize to
+one scan per subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import ConflictPolicy
+from repro.core.labeling import TreeLabeler
+from repro.core.labels import Label
+from repro.core.prune import build_view
+from repro.limits import Deadline, ResourceLimits
+from repro.obs.trace import span
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.nodes import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.serializer import serialize
+from repro.xpath.compile import RelativeMode
+
+__all__ = ["VisibilityOracle"]
+
+
+class _LazyLabels:
+    """A dict-like labels mapping backed by the oracle's lazy labeler.
+
+    :func:`~repro.core.prune.build_view` only reads labels through
+    ``.get(node)``; routing that through :meth:`TreeLabeler.label_lazily`
+    lets the *unmodified* pruning code serialize virtual matches — the
+    byte-identity guarantee comes from running the same construction.
+    """
+
+    __slots__ = ("_labeler", "_labels")
+
+    def __init__(self, labeler: TreeLabeler, labels: dict[Node, Label]) -> None:
+        self._labeler = labeler
+        self._labels = labels
+
+    def get(self, node: Node, default=None) -> Optional[Label]:
+        return self._labeler.label_lazily(node, self._labels)
+
+
+class VisibilityOracle:
+    """View membership / string-values for one (document, auths, policy).
+
+    Binding the authorization paths happens once, at construction
+    (under the usual ``label.bind`` span); everything after is lazy and
+    memoized, so an oracle is cheap to keep around and share between
+    requests of one effective-permission class (the store and document
+    versions it was built against are the sharer's staleness guard).
+
+    Thread-safety: all memo writes are idempotent dict inserts of
+    deterministic values; concurrent readers may duplicate a little
+    work but never see a wrong answer.
+    """
+
+    #: Elements scanned between two deadline checks in a survives() scan.
+    _DEADLINE_STRIDE = 2048
+
+    def __init__(
+        self,
+        document: Document,
+        instance_auths: list[Authorization],
+        schema_auths: list[Authorization],
+        hierarchy: SubjectHierarchy,
+        policy: Optional[ConflictPolicy] = None,
+        open_policy: bool = False,
+        relative_mode: RelativeMode = "descendant",
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self.document = document
+        self.open_policy = open_policy
+        self._labeler = TreeLabeler(
+            document,
+            instance_auths,
+            schema_auths,
+            hierarchy,
+            policy=policy,
+            relative_mode=relative_mode,
+            limits=limits,
+            deadline=deadline,
+        )
+        # Binding evaluates every authorization path once — the only
+        # eager work. The construction deadline applies here; later
+        # requests sharing the oracle pass their own deadline per call.
+        self._labeler.bind()
+        self._labels: dict[Node, Label] = {}
+        self._survives: dict[Element, bool] = {}
+
+    # -- labels ------------------------------------------------------------
+
+    def label(self, node: Node) -> Label:
+        """The node's label, computed lazily (identical to a full run)."""
+        return self._labeler.label_lazily(node, self._labels)
+
+    def permitted(self, node: Node) -> bool:
+        """Whether the node's final sign permits it (policy-aware)."""
+        return self.label(node).permitted_under(self.open_policy)
+
+    # -- view existence ----------------------------------------------------
+
+    def exists(self, node: Node, deadline: Optional[Deadline] = None) -> bool:
+        """Whether *node* appears in the requester's materialized view."""
+        if isinstance(node, Element):
+            return self.survives(node, deadline)
+        if isinstance(node, Attribute):
+            return self.permitted(node)
+        if isinstance(node, (Text, Comment, ProcessingInstruction)):
+            parent = node.parent
+            # Prolog/epilog nodes (parent is the Document) are never
+            # part of a view; build_view copies only the root element.
+            if not isinstance(parent, Element):
+                return False
+            return self.permitted(parent)
+        if isinstance(node, Document):
+            return self.has_visible_root()
+        return False
+
+    def survives(
+        self, element: Element, deadline: Optional[Deadline] = None
+    ) -> bool:
+        """Whether *element* is kept by pruning (possibly as a bare tag).
+
+        An element survives iff some descendant-or-self element is
+        directly visible. Subtrees proven invisible are memoized as
+        ``False``, so repeated probes across one query amortize.
+        """
+        memo = self._survives
+        known = memo.get(element)
+        if known is not None:
+            return known
+        stack: list[Element] = [element]
+        dead: list[Element] = []
+        scanned = 0
+        while stack:
+            node = stack.pop()
+            known = memo.get(node)
+            if known is True:
+                memo[element] = True
+                return True
+            if known is False:
+                continue  # proven-dead subtree: nothing visible below
+            if self._directly_visible(node):
+                memo[node] = True
+                memo[element] = True
+                return True
+            dead.append(node)
+            for child in node.children:
+                if isinstance(child, Element):
+                    stack.append(child)
+            scanned += 1
+            if deadline is not None and scanned % self._DEADLINE_STRIDE == 0:
+                deadline.check("virtual-view visibility scan")
+        # No directly-visible element anywhere below: every scanned
+        # element (element included) is invisible.
+        for node in dead:
+            memo[node] = False
+        return False
+
+    def _directly_visible(self, element: Element) -> bool:
+        if self.permitted(element):
+            return True
+        return any(
+            self.permitted(attribute)
+            for attribute in element.attributes.values()
+        )
+
+    def has_visible_root(self) -> bool:
+        """Whether the view is non-empty (the root element survives)."""
+        root = self.document.root
+        return root is not None and self.survives(root)
+
+    # -- virtual string-values ---------------------------------------------
+
+    def string_value(self, node: Node) -> str:
+        """The node's string-value *as seen in the view*.
+
+        For elements: the concatenation of descendant text whose parent
+        element is permitted — exactly the text the pruned copy keeps.
+        Other node kinds keep their source string-value (they only
+        exist in the view whole).
+        """
+        if isinstance(node, Attribute):
+            return node.value
+        if isinstance(node, (Text, Comment, ProcessingInstruction)):
+            return node.data
+        if isinstance(node, Document):
+            root = node.root
+            if root is None or not self.survives(root):
+                return ""
+            return self.string_value(root)
+        if not isinstance(node, Element):
+            return ""
+        parts: list[str] = []
+        # Preorder with reversed pushes keeps document order; text is
+        # pushed as plain strings so subtree text interleaves correctly.
+        stack: list = [(node, self.permitted(node))]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                parts.append(item)
+                continue
+            element, permitted = item
+            for child in reversed(element.children):
+                if isinstance(child, Text):
+                    if permitted:
+                        stack.append(child.data)
+                elif isinstance(child, Element):
+                    stack.append((child, self.permitted(child)))
+        return "".join(parts)
+
+    # -- match serialization -----------------------------------------------
+
+    def serialize_match(self, node: Node) -> str:
+        """Serialize one matched source node as its view counterpart.
+
+        Element matches are serialized by feeding the *original*
+        pruning construction (:func:`~repro.core.prune.build_view`'s
+        element builder) a lazy labels mapping — the output is the
+        byte-identical subtree a materialized view would contain,
+        because it is produced by the same code over the same labels.
+        A Document match yields the whole view. Leaf nodes serialize
+        directly (the view's copies carry the same data).
+        """
+        if isinstance(node, Document):
+            view = build_view(
+                node, self.lazy_labels(), self.open_policy, loosen_dtd=True
+            )
+            return serialize(view)
+        if isinstance(node, Element):
+            from repro.core.prune import _build_element
+
+            copy = _build_element(node, self.lazy_labels(), self.open_policy)
+            if copy is None:  # matched nodes always exist; defensive
+                return ""
+            return serialize(copy)
+        return serialize(node)
+
+    def lazy_labels(self) -> _LazyLabels:
+        """A labels mapping (``.get``) computing labels on demand."""
+        return _LazyLabels(self._labeler, self._labels)

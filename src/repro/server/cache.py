@@ -130,6 +130,34 @@ class ViewCache:
             policy_marker,
         )
 
+    @staticmethod
+    def class_key(
+        uri: str,
+        effective_class: Hashable,
+        action: str,
+        policy_marker: Hashable,
+        validity_marker: Hashable = (),
+    ) -> Hashable:
+        """Build a cache key from a requester's *effective class*.
+
+        Unlike :meth:`key`, this does not require binding the
+        applicable authorizations first — equal
+        :class:`~repro.subjects.canonical.EffectiveClass` keys imply
+        equal applicable sets, so distinct-but-equivalent requesters
+        collapse onto one entry and a cache hit skips the bind
+        entirely. *validity_marker* (see
+        ``AuthorizationStore.validity_marker``) carries the
+        time-windowed applicability bits the class deliberately
+        excludes.
+        """
+        return (
+            uri,
+            effective_class,
+            action,
+            policy_marker,
+            validity_marker,
+        )
+
     def get(
         self, key: Hashable, store_version: int, document_version: int
     ) -> Optional[CachedView]:

@@ -14,7 +14,9 @@ different documents may use different policies.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -34,10 +36,12 @@ from repro.errors import (
     PolicyError,
     RepositoryError,
     ResourceError,
+    RewriteUnsupported,
 )
 from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, current_tracer, span, stage_totals, tracing
+from repro.rewrite import VisibilityOracle, compile_rewrite
 from repro.server.audit import AuditLog
 from repro.server.cache import CachedView, ViewCache
 from repro.server.repository import Repository
@@ -48,9 +52,11 @@ from repro.stream.labeler import StreamLabeler
 from repro.stream.paths import StreamPathUnsupported
 from repro.stream.reader import StreamReader
 from repro.stream.writer import StreamWriter
+from repro.subjects.canonical import EffectiveClass
 from repro.subjects.hierarchy import Requester, SubjectHierarchy
 from repro.xml.nodes import Document
 from repro.xml.parser import parse_document
+from repro.xml.traversal import count_nodes
 from repro.xml.serializer import serialize
 from repro.xpath.compile import RelativeMode
 from repro.xpath.evaluator import select
@@ -150,6 +156,18 @@ class SecureXMLServer:
         self.trace_requests = trace_requests
         self._default_policy = default_policy or PolicyConfig()
         self._document_policies: dict[str, PolicyConfig] = {}
+        # Requester -> effective-permission class memo, plus the set of
+        # distinct requesters seen per class (for the collision metric).
+        # Both guarded by one lock and keyed on the store+directory
+        # versions, so policy/membership changes invalidate naturally.
+        self._class_lock = threading.Lock()
+        self._class_cache: "OrderedDict" = OrderedDict()
+        self._class_members: "OrderedDict" = OrderedDict()
+        # (uri, class, action, policy, validity) -> shared
+        # VisibilityOracle for the virtual query path; entries carry the
+        # store/document versions they were built against.
+        self._oracle_lock = threading.Lock()
+        self._oracles: "OrderedDict" = OrderedDict()
         # Attribute sink failures to this server's registry too (the
         # process-wide METRICS keeps counting regardless); an audit log
         # explicitly wired to another registry is left alone.
@@ -225,10 +243,13 @@ class SecureXMLServer:
         """Serve one document request as the requester's view.
 
         When a :class:`~repro.server.cache.ViewCache` is configured,
-        requests whose *applicable authorization set* matches a cached
-        entry (and whose store/document versions are unchanged) are
-        answered from the cache — the entitlement computation still
-        happens per request; only tree labeling/pruning is amortized.
+        requests are keyed by the requester's *effective-permission
+        class* (:func:`repro.subjects.canonical.effective_class`):
+        distinct requesters with provably identical applicable
+        authorizations share one cached entry, and a hit skips the
+        authorization bind as well as the tree work (store/document
+        versions and a time-validity marker guard freshness — see
+        docs/VIEWS.md's sharing model).
         Concurrent misses on one key are collapsed by the cache's
         single-flight protocol: the first request computes the view,
         the rest wait and share the result (one labeling pass, audited
@@ -278,28 +299,27 @@ class SecureXMLServer:
             return self._guard_failure(request, exc, started, kind="serve")
         config = self.policy_for(request.uri)
         now = time.time()
-        with span("authz.bind"):
-            instance_auths = self.store.applicable(
-                request.requester, request.uri, request.action, at=now
-            )
-            dtd_uri = self.repository.dtd_uri_of(request.uri)
-            schema_auths = (
-                self.store.applicable(
-                    request.requester, dtd_uri, request.action, at=now
-                )
-                if dtd_uri
-                else []
-            )
+        dtd_uri = self.repository.dtd_uri_of(request.uri)
+        policy_marker = (
+            config.conflict_policy,
+            config.open_policy,
+            config.relative_paths,
+        )
 
+        # The cache is keyed on the requester's *effective class* (plus
+        # the time-validity marker), not on the bound authorization
+        # identities: distinct-but-equivalent requesters share one
+        # entry, and a hit skips authorization binding entirely. The
+        # bind happens below, only when a view is actually computed.
         cache_key = None
         cache_note = ""
         if self.view_cache is not None:
-            cache_key = ViewCache.key(
+            cache_key = ViewCache.class_key(
                 request.uri,
-                instance_auths,
-                schema_auths,
+                self._effective_class(request.requester, request.action),
                 request.action,
-                (config.conflict_policy, config.open_policy, config.relative_paths),
+                policy_marker,
+                self._validity_marker(request.uri, dtd_uri, request.action, now),
             )
             try:
                 hit = self.view_cache.get(
@@ -348,6 +368,18 @@ class SecureXMLServer:
                 self.metrics.counter(
                     "single_flight_total", outcome="recomputed"
                 ).inc()
+
+        with span("authz.bind"):
+            instance_auths = self.store.applicable(
+                request.requester, request.uri, request.action, at=now
+            )
+            schema_auths = (
+                self.store.applicable(
+                    request.requester, dtd_uri, request.action, at=now
+                )
+                if dtd_uri
+                else []
+            )
 
         cached_entry: Optional[CachedView] = None
         try:
@@ -664,6 +696,7 @@ class SecureXMLServer:
         request: QueryRequest,
         limits: Optional[ResourceLimits] = None,
         stream: bool = False,
+        virtual: bool = False,
     ) -> AccessResponse:
         """Answer a path-expression query against the requester's view.
 
@@ -680,9 +713,17 @@ class SecureXMLServer:
         typically much smaller — pruned view is parsed for evaluation),
         falling back to the DOM pipeline when an authorization path is
         not streamable. The query result is identical either way.
+
+        With *virtual* the view is never materialized at all: the query
+        is rewritten into a guarded query over the stored document
+        (:mod:`repro.rewrite`) and only the matched subtrees are
+        pruned/serialized — same answer bytes, a fraction of the work
+        for selective queries. Queries outside the rewritable XPath
+        subset fall back transparently to the materialized path
+        (counted on ``rewrite_fallback_total``); see docs/VIEWS.md.
         """
         with self._request_scope("query") as scope:
-            response = self._query(request, limits, stream=stream)
+            response = self._query(request, limits, stream=stream, virtual=virtual)
         response.timings = scope.timings
         return response
 
@@ -691,11 +732,18 @@ class SecureXMLServer:
         request: QueryRequest,
         limits: Optional[ResourceLimits],
         stream: bool = False,
+        virtual: bool = False,
     ) -> AccessResponse:
         limits = limits if limits is not None else self.limits
         deadline = limits.deadline()
         started = time.perf_counter()
         backend = "dom"
+        if virtual:
+            response = self._try_virtual_query(request, limits, deadline, started)
+            if response is not None:
+                return response
+            # Outside the rewritable subset: transparent materialized
+            # (or streaming) fallback below — same answer, slower path.
         try:
             deadline.check("request")
             view_document = None
@@ -1090,6 +1138,218 @@ class SecureXMLServer:
             limits=limits,
             deadline=deadline,
         )
+
+    def _try_virtual_query(
+        self,
+        request: QueryRequest,
+        limits: ResourceLimits,
+        deadline: Deadline,
+        started: float,
+    ) -> Optional[AccessResponse]:
+        """Answer a query by rewriting, or ``None`` to fall back.
+
+        ``None`` means the expression is outside the rewritable subset
+        (already metered); anything else — including structured guard
+        failures — is the final response. Syntax errors propagate, as
+        they would from the materialized path.
+        """
+        try:
+            with span("rewrite.plan"):
+                rewritten = compile_rewrite(request.xpath)
+        except RewriteUnsupported as exc:
+            self._meter(
+                "counter", "rewrite_fallback_total", {"reason": exc.reason}, 1
+            )
+            self._meter(
+                "counter", "rewrite_requests_total", {"outcome": "fallback"}, 1
+            )
+            return None
+        stored = self._stored(request.requester, request.uri, request.action)
+        store_version = self.store.version
+        document_version = stored.version
+        try:
+            deadline.check("request")
+            document = stored.document(limits=limits, deadline=deadline)
+            oracle = self._oracle_for(
+                request,
+                document,
+                store_version,
+                document_version,
+                limits,
+                deadline,
+            )
+            if oracle.has_visible_root():
+                with span("rewrite.eval"):
+                    nodes = rewritten.select(
+                        document,
+                        oracle,
+                        max_steps=limits.max_xpath_steps,
+                        deadline=deadline,
+                    )
+            else:
+                # Empty view: nothing can match (mirrors the
+                # materialized path's empty-document short-circuit).
+                nodes = []
+        except ResourceError as exc:
+            self._meter(
+                "counter", "rewrite_requests_total", {"outcome": "error"}, 1
+            )
+            return self._guard_failure(
+                request,
+                exc,
+                started,
+                action=f"query[{request.xpath}]",
+                kind="query",
+                backend="virtual",
+            )
+        with span("serialize"):
+            matches = [oracle.serialize_match(node) for node in nodes]
+        self._meter(
+            "counter", "rewrite_requests_total", {"outcome": "rewritten"}, 1
+        )
+        total_nodes = (
+            count_nodes(document.root) if document.root is not None else 0
+        )
+        elapsed = time.perf_counter() - started
+        outcome = "released" if matches else "empty"
+        self._record_request("query", outcome, elapsed)
+        self.audit.record(
+            request.requester,
+            request.uri,
+            f"query[{request.xpath}]",
+            outcome,
+            visible_nodes=len(matches),
+            total_nodes=total_nodes,
+            elapsed_seconds=elapsed,
+            backend="virtual",
+        )
+        return AccessResponse(
+            uri=request.uri,
+            xml_text="\n".join(matches),
+            empty=not matches,
+            # The full view is never computed, so ``visible_nodes`` is
+            # the match count here (the materialized path reports the
+            # view's node count) — documented in docs/VIEWS.md.
+            visible_nodes=len(matches),
+            total_nodes=total_nodes,
+            elapsed_seconds=elapsed,
+            matches=matches,
+        )
+
+    def _oracle_for(
+        self,
+        request: QueryRequest,
+        document: Document,
+        store_version: int,
+        document_version: int,
+        limits: ResourceLimits,
+        deadline: Deadline,
+    ) -> VisibilityOracle:
+        """A visibility oracle for this request's effective class.
+
+        Oracles are shared across requests of one class (their label
+        memos accumulate), keyed like cached views and validated
+        against the store/document versions they were built against.
+        """
+        config = self.policy_for(request.uri)
+        now = time.time()
+        dtd_uri = self.repository.dtd_uri_of(request.uri)
+        key = (
+            request.uri,
+            self._effective_class(request.requester, request.action),
+            request.action,
+            (config.conflict_policy, config.open_policy, config.relative_paths),
+            self._validity_marker(request.uri, dtd_uri, request.action, now),
+        )
+        with self._oracle_lock:
+            entry = self._oracles.get(key)
+            if entry is not None:
+                oracle, entry_store_v, entry_doc_v = entry
+                if (
+                    entry_store_v == store_version
+                    and entry_doc_v == document_version
+                    and oracle.document is document
+                ):
+                    self._oracles.move_to_end(key)
+                    return oracle
+                del self._oracles[key]
+        with span("authz.bind"):
+            instance_auths = self.store.applicable(
+                request.requester, request.uri, request.action, at=now
+            )
+            schema_auths = (
+                self.store.applicable(
+                    request.requester, dtd_uri, request.action, at=now
+                )
+                if dtd_uri
+                else []
+            )
+        oracle = VisibilityOracle(
+            document,
+            instance_auths,
+            schema_auths,
+            self.hierarchy,
+            policy=config.build_policy(),
+            open_policy=config.open_policy,
+            relative_mode=config.relative_paths,
+            limits=limits,
+            deadline=deadline,
+        )
+        with self._oracle_lock:
+            self._oracles[key] = (oracle, store_version, document_version)
+            self._oracles.move_to_end(key)
+            while len(self._oracles) > 64:
+                self._oracles.popitem(last=False)
+        return oracle
+
+    def _effective_class(
+        self, requester: Requester, action: str = "read"
+    ) -> EffectiveClass:
+        """Memoized requester canonicalization (see repro.subjects).
+
+        Keyed on the store and directory versions, so a grant or a
+        group-membership change recomputes classes. The first time a
+        *second* distinct requester lands in an existing class,
+        ``effective_class_collisions_total`` counts the collapse.
+        """
+        marker = (self.store.version, self.directory.version, action)
+        with self._class_lock:
+            entry = self._class_cache.get((requester, action))
+            if entry is not None and entry[0] == marker:
+                self._class_cache.move_to_end((requester, action))
+                return entry[1]
+        effective = self.store.effective_class(requester, action)
+        with self._class_lock:
+            self._class_cache[(requester, action)] = (marker, effective)
+            self._class_cache.move_to_end((requester, action))
+            while len(self._class_cache) > 4096:
+                self._class_cache.popitem(last=False)
+            members = self._class_members.get((marker, effective))
+            if members is None:
+                members = set()
+                self._class_members[(marker, effective)] = members
+                while len(self._class_members) > 4096:
+                    self._class_members.popitem(last=False)
+            if requester not in members:
+                if members:
+                    self._meter(
+                        "counter", "effective_class_collisions_total", {}, 1
+                    )
+                if len(members) < 64:
+                    members.add(requester)
+        return effective
+
+    def _validity_marker(
+        self, uri: str, dtd_uri: Optional[str], action: str, now: float
+    ):
+        """The time-windowed applicability bits for both auth lookups."""
+        instance_marker = self.store.validity_marker(uri, action, at=now)
+        schema_marker = (
+            self.store.validity_marker(dtd_uri, action, at=now)
+            if dtd_uri
+            else ()
+        )
+        return (instance_marker, schema_marker)
 
     def _stored(self, requester: Requester, uri: str, action: str):
         """Fetch a stored document, converting any repository failure

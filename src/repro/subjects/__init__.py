@@ -8,6 +8,7 @@ Public surface::
     )
 """
 
+from repro.subjects.canonical import EffectiveClass, effective_class
 from repro.subjects.hierarchy import Requester, SubjectHierarchy, SubjectSpec
 from repro.subjects.location import (
     ANY_IP,
@@ -24,12 +25,14 @@ __all__ = [
     "ANY_SYMBOLIC",
     "DIRECTORY_DTD",
     "Directory",
+    "EffectiveClass",
     "IPPattern",
     "PUBLIC_GROUP",
     "Requester",
     "SubjectHierarchy",
     "SubjectSpec",
     "SymbolicPattern",
+    "effective_class",
     "parse_directory",
     "serialize_directory",
 ]

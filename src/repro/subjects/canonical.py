@@ -1,0 +1,127 @@
+"""Subject canonicalization: effective-permission equivalence classes.
+
+Two requesters are *equivalent* with respect to an authorization
+universe when every subject specification in it applies to both or to
+neither — equivalent requesters receive identical labels, identical
+views and identical query answers. :func:`effective_class` maps a
+:class:`~repro.subjects.hierarchy.Requester` to a frozen
+:class:`EffectiveClass` key capturing exactly the inputs
+:meth:`~repro.subjects.hierarchy.SubjectHierarchy.applies_to` and
+:meth:`~repro.authz.authorization.Authorization.credentials_satisfied`
+read, **intersected with the universe actually referenced by the
+store's authorizations**:
+
+- ``subjects`` — the requester's reflexive-transitive group closure,
+  restricted to user/group identifiers some authorization names;
+- ``locations`` — which of the referenced IP / symbolic-name patterns
+  match the requester's machine (namespaced ``ip:`` / ``sn:`` so the
+  two pattern spaces cannot alias);
+- ``credentials`` — which referenced credential clauses the
+  requester's presented credentials satisfy.
+
+**Soundness** (why equal keys never over-share): an authorization's
+applicability verdict for a requester is a function of (a) whether its
+``ug`` is in the requester's closure — determined by ``subjects``
+because the ``ug`` is in the intersected universe, (b) whether its
+location patterns match — determined by ``locations``, and (c) which
+credential clauses are satisfied — determined by ``credentials``.
+Equal class ⇒ identical verdict for *every* authorization in the
+store ⇒ identical views. The converse does not hold: two requesters
+with the same permissions can land in different classes (the key may
+over-split, e.g. unknown users with different login names), which
+costs sharing but never correctness.
+
+Unknown users (not in the directory) need no special flag:
+``applies_to`` matches them against exactly ``{user, Public}``, which
+is the closure :func:`effective_class` uses for them, so the same
+reasoning applies.
+
+Validity windows are deliberately **not** part of the class — they
+depend on request *time*, not on the requester. Consumers caching by
+class must fold a per-request validity marker into their cache key
+(see :meth:`repro.authz.store.AuthorizationStore.validity_marker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.subjects.users import PUBLIC_GROUP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.authz.restrictions import CredentialClause
+    from repro.subjects.hierarchy import Requester, SubjectHierarchy
+    from repro.subjects.location import IPPattern, SymbolicPattern
+
+__all__ = ["EffectiveClass", "effective_class"]
+
+
+@dataclass(frozen=True)
+class EffectiveClass:
+    """Canonical, hashable key of one effective-permission class.
+
+    Frozen so it can key caches (views, oracles, single-flight groups);
+    requesters with equal keys provably hold identical authorization
+    sets against the universe the key was computed from.
+    """
+
+    subjects: frozenset[str]
+    locations: frozenset[str]
+    credentials: frozenset[tuple[str, str, str]]
+
+    def describe(self) -> str:
+        """A stable human-readable rendering (diagnostics, audit)."""
+        return (
+            f"subjects={sorted(self.subjects)} "
+            f"locations={sorted(self.locations)} "
+            f"credentials={sorted(self.credentials)}"
+        )
+
+
+def effective_class(
+    requester: "Requester",
+    hierarchy: "SubjectHierarchy",
+    user_groups: Iterable[str] = (),
+    ip_patterns: Iterable["IPPattern"] = (),
+    symbolic_patterns: Iterable["SymbolicPattern"] = (),
+    credential_clauses: Iterable["CredentialClause"] = (),
+) -> EffectiveClass:
+    """Canonicalize *requester* against an authorization universe.
+
+    The universe iterables are the distinct ``ug`` identifiers, location
+    patterns and credential clauses referenced by the authorization
+    store (see ``AuthorizationStore.subject_universe``). Anything a
+    requester is or has *outside* that universe cannot influence any
+    applicability verdict and is excluded, which is what lets distinct
+    requesters collapse into one class.
+    """
+    directory = hierarchy.directory
+    user = requester.user
+    if directory.exists(user):
+        closure = directory.expanded_groups(user)
+    else:
+        # applies_to() matches unknown identities against their literal
+        # name and Public only; use that as the closure.
+        closure = frozenset((user, PUBLIC_GROUP))
+    subjects = closure.intersection(user_groups)
+
+    locations = set()
+    for pattern in ip_patterns:
+        if pattern.matches(requester.ip):
+            locations.add(f"ip:{pattern}")
+    for pattern in symbolic_patterns:
+        if pattern.matches(requester.hostname):
+            locations.add(f"sn:{pattern}")
+
+    presented = requester.credential_map
+    satisfied = frozenset(
+        (clause.key, clause.op, clause.value)
+        for clause in credential_clauses
+        if clause.satisfied(presented)
+    )
+    return EffectiveClass(
+        subjects=subjects,
+        locations=frozenset(locations),
+        credentials=satisfied,
+    )

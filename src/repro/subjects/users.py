@@ -46,10 +46,24 @@ class Directory:
     def __init__(self) -> None:
         self._entries: dict[str, _Entry] = {}
         self._closure_cache: dict[str, frozenset[str]] = {}
+        self._version = 0
         self.add_group(PUBLIC_GROUP)
         self.add_user(ANONYMOUS_USER)
 
     # -- mutation ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (cache guard).
+
+        Group membership feeds requester canonicalization
+        (:func:`repro.subjects.canonical.effective_class`); consumers
+        memoizing per-requester classes key them on this counter so a
+        directory change invalidates them, exactly like
+        :attr:`repro.authz.store.AuthorizationStore.version` guards
+        cached views.
+        """
+        return self._version
 
     def add_user(self, name: str, groups: tuple[str, ...] | list[str] = ()) -> str:
         """Register user *name*, optionally inside *groups*.
@@ -80,6 +94,7 @@ class Directory:
             return
         self._entries[name] = _Entry(name, is_group)
         self._closure_cache.clear()
+        self._version += 1
 
     def add_member(self, group: str, member: str) -> None:
         """Make *member* (a user or a group) a direct member of *group*."""
@@ -98,6 +113,7 @@ class Directory:
         group_entry.members.add(member)
         member_entry.parents.add(group)
         self._closure_cache.clear()
+        self._version += 1
 
     def _would_cycle(self, group: str, member: str) -> bool:
         # A cycle appears iff group is (transitively) a member of member.

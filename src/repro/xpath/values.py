@@ -100,12 +100,22 @@ def to_boolean(value: XPathValue) -> bool:
     return bool(value)
 
 
-def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+def compare(
+    op: str,
+    left: XPathValue,
+    right: XPathValue,
+    string_value_of=string_value,
+) -> bool:
     """Evaluate ``left op right`` with XPath 1.0 comparison semantics.
 
     Node-set comparisons are existential: a node-set compares true if
     *some* node in it satisfies the comparison. When both operands are
     node-sets, some pair of nodes must satisfy it.
+
+    *string_value_of* is the function yielding a node's string-value;
+    the default is the spec's. The virtual-view rewriter
+    (:mod:`repro.rewrite`) substitutes one that sees only authorized
+    text, keeping every other comparison rule byte-for-byte identical.
     """
     # Booleans win first (spec 3.4): '=' / '!=' against a boolean compare
     # boolean(other side), even for node-sets — so ([] = false()) is true.
@@ -115,19 +125,19 @@ def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
     left_is_set = isinstance(left, list)
     right_is_set = isinstance(right, list)
     if left_is_set and right_is_set:
-        right_strings = {string_value(node) for node in right}
+        right_strings = {string_value_of(node) for node in right}
         return any(
-            _atomic_compare(op, string_value(node), candidate)
+            _atomic_compare(op, string_value_of(node), candidate)
             for node in left
             for candidate in right_strings
         )
     if left_is_set:
         return any(
-            _atomic_compare_mixed(op, string_value(node), right) for node in left
+            _atomic_compare_mixed(op, string_value_of(node), right) for node in left
         )
     if right_is_set:
         return any(
-            _atomic_compare_mixed(_flip(op), string_value(node), left)
+            _atomic_compare_mixed(_flip(op), string_value_of(node), left)
             for node in right
         )
     return _atomic_compare_scalars(op, left, right)

@@ -1,0 +1,180 @@
+"""Differential suite: rewritten ≡ materialized, byte for byte.
+
+For every (conflict policy × open/closed × query) combination, the
+virtual answer — guarded query over the source document, matches
+serialized through the oracle — must equal the materialized answer —
+query over the computed view, matches serialized directly. This is the
+correctness contract of :mod:`repro.rewrite` (docs/VIEWS.md).
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import policy_by_name
+from repro.core import compute_view_from_auths
+from repro.rewrite import VisibilityOracle, compile_rewrite
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xpath.evaluator import select
+
+URI = "http://d/records.xml"
+
+DOC = (
+    "<records>"
+    "<patient id='p1'><name>Alice P</name><diagnosis code='d1'>flu"
+    "<note>mild</note></diagnosis><bill>100</bill></patient>"
+    "<patient id='p2'><name>Bob Q</name><diagnosis code='d2'>measles"
+    "<note>severe</note></diagnosis><bill>250</bill></patient>"
+    "<admin><bill>999</bill><audit>internal</audit></admin>"
+    "</records>"
+)
+
+POLICIES = [
+    "denials-take-precedence",
+    "permissions-take-precedence",
+    "nothing-takes-precedence",
+    "majority-takes-precedence",
+]
+
+#: Authorization sets designed to exercise conflicts (both signs on the
+#: same nodes), bare-tag survivors (admin denied, bill below permitted)
+#: and attribute-level decisions.
+AUTH_SETS = {
+    "plain": [
+        Authorization.build("Public", f"{URI}://patient", "+", "R"),
+        Authorization.build("Public", f"{URI}://admin", "-", "R"),
+    ],
+    "conflicted": [
+        Authorization.build("Public", f"{URI}://patient", "+", "R"),
+        Authorization.build("Public", f"{URI}://patient", "-", "R"),
+        Authorization.build("Public", f"{URI}://diagnosis", "-", "R"),
+        Authorization.build("Public", f"{URI}://diagnosis", "+", "R"),
+        Authorization.build("Public", f"{URI}://name", "+", "R"),
+    ],
+    "survivor": [
+        Authorization.build("Public", f"{URI}://admin", "-", "R"),
+        Authorization.build("Public", f"{URI}://admin/bill", "+", "R"),
+        Authorization.build("Public", f"{URI}://patient/name", "+", "R"),
+    ],
+    "attributes": [
+        Authorization.build("Public", f"{URI}://patient", "+", "R"),
+        Authorization.build("Public", f"{URI}://patient/@id", "-", "R"),
+        Authorization.build("Public", f"{URI}://diagnosis/@code", "-", "R"),
+    ],
+}
+
+QUERIES = [
+    "//patient",
+    "//patient/name",
+    "//name/text()",
+    "/records/patient[1]",
+    "//patient[2]/bill",
+    "//patient[@id='p2']",
+    "//*[@code]",
+    "//@id",
+    "//bill | //name",
+    "//patient[name='Alice P']",
+    "//patient[diagnosis/note]",
+    "//patient[bill > 150]",
+    "//bill[. > 150]",
+    "//patient[contains(name, 'Q')]",
+    "//patient[starts-with(name, 'A')]",
+    "//patient[string-length(name) > 5]",
+    "//*[count(*) > 1]",
+    "//patient[position() = last()]",
+    "//note/..",
+    "//note/ancestor::patient",
+    "//name/following-sibling::bill",
+    "//bill/preceding-sibling::name",
+    "//patient/descendant::note",
+    "//records/child::*",
+    "/",
+    "//patient[not(bill < 200)]",
+    "//patient[normalize-space(name) = 'Bob Q']",
+    "//patient[sum(bill) > 200]",
+    "(//bill)[1]",
+    "//patient[substring(name, 1, 1) = 'B']",
+]
+
+
+def materialized_answer(document, auths, policy, open_policy, query):
+    view = compute_view_from_auths(
+        document,
+        auths,
+        [],
+        SubjectHierarchy(),
+        policy=policy,
+        open_policy=open_policy,
+    ).document
+    nodes = select(query, view) if view.root else []
+    return [serialize(node) for node in nodes]
+
+
+def virtual_answer(document, auths, policy, open_policy, query):
+    oracle = VisibilityOracle(
+        document,
+        auths,
+        [],
+        SubjectHierarchy(),
+        policy=policy,
+        open_policy=open_policy,
+    )
+    rewritten = compile_rewrite(query)
+    if not oracle.has_visible_root():
+        return []
+    nodes = rewritten.select(document, oracle)
+    return [oracle.serialize_match(node) for node in nodes]
+
+
+@pytest.mark.parametrize("auth_name", sorted(AUTH_SETS))
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("open_policy", [False, True])
+def test_rewritten_equals_materialized(auth_name, policy_name, open_policy):
+    document = parse_document(DOC, uri=URI)
+    auths = AUTH_SETS[auth_name]
+    policy = policy_by_name(policy_name)
+    for query in QUERIES:
+        expected = materialized_answer(
+            document, auths, policy, open_policy, query
+        )
+        actual = virtual_answer(document, auths, policy, open_policy, query)
+        assert actual == expected, (
+            f"divergence for {query!r} under {policy_name} "
+            f"(open={open_policy}, auths={auth_name})"
+        )
+
+
+def test_position_counts_view_nodes_not_source_nodes():
+    # The first source patient is hidden; [1] must select the first
+    # *visible* patient, as it would on the materialized view.
+    document = parse_document(DOC, uri=URI)
+    auths = [
+        Authorization.build("Public", f"{URI}://patient", "+", "R"),
+        Authorization.build("Public", f"{URI}://patient[1]", "-", "R"),
+    ]
+    policy = policy_by_name("denials-take-precedence")
+    expected = materialized_answer(document, auths, policy, False, "//patient[1]")
+    actual = virtual_answer(document, auths, policy, False, "//patient[1]")
+    assert actual == expected
+    assert len(actual) == 1
+    assert "p2" in actual[0]
+
+
+def test_hidden_text_never_leaks_into_comparisons():
+    # diagnosis text is hidden: a comparison against it must not match,
+    # exactly as on the materialized view.
+    document = parse_document(DOC, uri=URI)
+    auths = [
+        Authorization.build("Public", f"{URI}://patient", "+", "R"),
+        Authorization.build("Public", f"{URI}://diagnosis", "-", "R"),
+    ]
+    policy = policy_by_name("denials-take-precedence")
+    for query in (
+        "//patient[diagnosis = 'flumild']",
+        "//patient[contains(., 'measles')]",
+        "//patient[string(diagnosis) != '']",
+    ):
+        expected = materialized_answer(document, auths, policy, False, query)
+        actual = virtual_answer(document, auths, policy, False, query)
+        assert actual == expected, query

@@ -1,0 +1,168 @@
+"""Tests for the guard-injecting query rewriter."""
+
+import pytest
+
+from repro.errors import RewriteUnsupported, XPathEvaluationError, XPathSyntaxError
+from repro.rewrite import GUARD_FUNCTION, compile_rewrite
+from repro.rewrite.engine import _Rewriter
+from repro.xpath.ast import (
+    BinaryExpr,
+    FunctionCall,
+    LocationPath,
+    PathExpr,
+    UnionExpr,
+)
+from repro.xpath.parser import parse_xpath
+
+
+def guarded(source):
+    return compile_rewrite(source).guarded
+
+
+def all_steps(expr):
+    """Every Step anywhere in the guarded AST."""
+    if isinstance(expr, LocationPath):
+        for step in expr.steps:
+            yield step
+            for predicate in step.predicates:
+                yield from all_steps(predicate)
+    elif isinstance(expr, UnionExpr):
+        for part in expr.parts:
+            yield from all_steps(part)
+    elif isinstance(expr, BinaryExpr):
+        yield from all_steps(expr.left)
+        yield from all_steps(expr.right)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from all_steps(arg)
+    elif isinstance(expr, PathExpr):
+        yield from all_steps(expr.filter.primary)
+        yield from all_steps(expr.tail)
+
+
+class TestGuardInjection:
+    def test_every_step_guarded_first(self):
+        for source in (
+            "//a/b[@x]/text()",
+            "/a/b[c/d]",
+            "//a[2][b='x'] | //c",
+            "count(//a[b])",
+        ):
+            steps = list(all_steps(guarded(source)))
+            assert steps
+            for step in steps:
+                first = step.predicates[0]
+                assert isinstance(first, FunctionCall)
+                assert first.name == GUARD_FUNCTION
+
+    def test_guard_precedes_position_predicate(self):
+        # [2] must count view nodes: the guard filters first.
+        path = guarded("//b[2]")
+        last_step = path.steps[-1]
+        assert last_step.predicates[0].name == GUARD_FUNCTION
+        assert len(last_step.predicates) == 2
+
+    def test_original_ast_not_mutated(self):
+        source = "//a[b]"
+        parsed = parse_xpath(source)
+        before = parsed.unparse()
+        compile_rewrite(source)
+        assert parsed.unparse() == before
+
+
+class TestComparisonRewriting:
+    def test_node_set_comparison_uses_view_compare(self):
+        expr = guarded("//a[b = 'x']")
+        predicate = expr.steps[-1].predicates[1]
+        assert isinstance(predicate, FunctionCall)
+        assert predicate.name == "__view-cmp"
+
+    def test_scalar_comparison_untouched(self):
+        expr = guarded("//a[position() = 2]")
+        predicate = expr.steps[-1].predicates[1]
+        assert isinstance(predicate, BinaryExpr)
+        assert predicate.op == "="
+
+    def test_context_string_function_rewritten(self):
+        text = guarded("//a[string() = 'x']").unparse()
+        assert "__view-str" in text
+
+    def test_sum_uses_view_sum(self):
+        assert "__view-sum" in guarded("sum(//n)").unparse()
+
+
+class TestRewritableSubset:
+    @pytest.mark.parametrize(
+        "source, reason",
+        [
+            ("//a[lang('en')]", "function:lang"),
+            ("id('k')", "function:id"),
+            ("$var/a", "variable-reference"),
+            ("//a[nosuchfn()]", "function:nosuchfn"),
+        ],
+    )
+    def test_unsupported_raises_with_reason(self, source, reason):
+        with pytest.raises(RewriteUnsupported) as excinfo:
+            compile_rewrite(source)
+        assert excinfo.value.reason == reason
+
+    def test_syntax_errors_propagate(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_rewrite("//a[")
+
+    def test_unsupported_never_cached_as_success(self):
+        for _ in range(2):
+            with pytest.raises(RewriteUnsupported):
+                compile_rewrite("//a[lang('en')]")
+
+
+class TestCompileCache:
+    def test_identical_source_shares_plan(self):
+        assert compile_rewrite("//cache-test/a") is compile_rewrite(
+            "//cache-test/a"
+        )
+
+
+class TestRewriterCoverage:
+    def test_all_core_functions_rewritable(self):
+        # Everything in the default registry except the two
+        # view-sensitive functions must compile.
+        sources = [
+            "//a[last()]",
+            "//a[position() = 1]",
+            "count(//a) = 1",
+            "//a[name() = 'a']",
+            "//a[local-name() = 'a']",
+            "string(//a) = 'x'",
+            "//a[concat(b, 'x') = 'yx']",
+            "//a[starts-with(b, 'y')]",
+            "//a[contains(b, 'y')]",
+            "//a[substring-before(b, '-') = 'y']",
+            "//a[substring-after(b, '-') = 'z']",
+            "//a[substring(b, 1, 2) = 'yz']",
+            "//a[string-length(b) > 0]",
+            "//a[normalize-space(b) = 'y']",
+            "//a[translate(b, 'y', 'z') = 'z']",
+            "//a[boolean(b)]",
+            "//a[not(b)]",
+            "//a[true()]",
+            "//a[false()]",
+            "number(//a) > 0",
+            "sum(//a) > 0",
+            "floor(sum(//a)) = 1",
+            "ceiling(sum(//a)) = 1",
+            "round(sum(//a)) = 1",
+        ]
+        for source in sources:
+            compile_rewrite(source)
+
+    def test_non_node_set_result_raises_like_select(self):
+        from repro.rewrite import VisibilityOracle
+        from repro.subjects.hierarchy import SubjectHierarchy
+        from repro.xml.parser import parse_document
+
+        document = parse_document("<a><b>1</b></a>")
+        oracle = VisibilityOracle(document, [], [], SubjectHierarchy())
+        rewritten = compile_rewrite("count(//b)")
+        with pytest.raises(XPathEvaluationError, match="node-set"):
+            rewritten.select(document, oracle)

@@ -1,0 +1,194 @@
+"""Tests for the lazy visibility oracle.
+
+Ground truth throughout is the materialized pipeline: an oracle answer
+is correct iff it matches what :func:`compute_view_from_auths` builds.
+Node-level membership is exercised exhaustively by the differential
+query suite (``test_differential.py``); here we pin the semantics of
+each node kind and the byte-identity of match serialization.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import policy_by_name
+from repro.core import compute_view_from_auths
+from repro.core.labeling import TreeLabeler
+from repro.rewrite import VisibilityOracle
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+URI = "http://o/doc.xml"
+
+DOC = (
+    "<!-- prolog comment --><doc>"
+    "<pub k='1' s='2'>public text<note>fine print</note></pub>"
+    "<sec>secret<deep><leaf>kept</leaf></deep></sec>"
+    "<empty/>"
+    "</doc>"
+)
+
+POLICIES = [
+    "denials-take-precedence",
+    "permissions-take-precedence",
+    "nothing-takes-precedence",
+    "majority-takes-precedence",
+]
+
+
+def auths():
+    return [
+        Authorization.build("Public", f"{URI}://pub", "+", "R"),
+        Authorization.build("Public", f"{URI}://pub/@s", "-", "R"),
+        Authorization.build("Public", f"{URI}://sec", "-", "R"),
+        Authorization.build("Public", f"{URI}://leaf", "+", "R"),
+    ]
+
+
+@pytest.fixture
+def document():
+    return parse_document(DOC, uri=URI)
+
+
+@pytest.fixture
+def oracle(document):
+    return VisibilityOracle(document, auths(), [], SubjectHierarchy())
+
+
+@pytest.fixture
+def view(document):
+    return compute_view_from_auths(
+        document, auths(), [], SubjectHierarchy()
+    ).document
+
+
+class TestExistence:
+    def test_permitted_element_and_attributes(self, document, oracle):
+        pub = document.root.children[0]
+        assert pub.name == "pub"
+        assert oracle.exists(pub) is True
+        assert oracle.exists(pub.attributes["k"]) is True
+        # @s carries an explicit denial.
+        assert oracle.exists(pub.attributes["s"]) is False
+        assert oracle.exists(pub.children[0]) is True  # "public text"
+
+    def test_bare_tag_survivor_hides_text_keeps_element(
+        self, document, oracle
+    ):
+        sec = document.root.children[1]
+        assert sec.name == "sec"
+        # sec itself is denied but <leaf> below is permitted: the
+        # element survives structurally, its own text does not.
+        assert oracle.exists(sec) is True
+        assert oracle.exists(sec.children[0]) is False  # "secret"
+        deep = sec.children[1]
+        leaf = deep.children[0]
+        assert oracle.exists(deep) is True
+        assert oracle.exists(leaf) is True
+        assert oracle.exists(leaf.children[0]) is True  # "kept"
+
+    def test_unlabeled_element_pruned(self, document, oracle):
+        empty = document.root.children[2]
+        assert empty.name == "empty"
+        assert oracle.exists(empty) is False
+
+    def test_prolog_comment_never_exists(self, document, oracle):
+        prolog = document.children[0]
+        assert oracle.exists(prolog) is False
+
+    def test_document_exists_iff_view_nonempty(self, document, oracle):
+        assert oracle.exists(document) is True
+        deny_all = [Authorization.build("Public", f"{URI}://doc", "-", "R")]
+        opaque = VisibilityOracle(document, deny_all, [], SubjectHierarchy())
+        assert opaque.exists(document) is False
+        assert opaque.has_visible_root() is False
+
+
+class TestLazyLabels:
+    def test_lazy_labels_equal_full_run(self, document, oracle):
+        full = TreeLabeler(document, auths(), [], SubjectHierarchy()).run()
+        for node, label in full.labels.items():
+            assert oracle.label(node).final == label.final
+
+    def test_probe_order_does_not_matter(self, document):
+        # Deep-first probing forces the whole ancestor chain lazily.
+        oracle = VisibilityOracle(document, auths(), [], SubjectHierarchy())
+        leaf = document.root.children[1].children[1].children[0]
+        assert oracle.exists(leaf) is True
+        full = TreeLabeler(document, auths(), [], SubjectHierarchy()).run()
+        for node, label in full.labels.items():
+            assert oracle.label(node).final == label.final
+
+
+class TestStringValues:
+    def test_hidden_text_excluded(self, oracle, document):
+        value = oracle.string_value(document.root)
+        assert "secret" not in value
+        assert "public text" in value
+        assert "kept" in value
+
+    def test_document_order_preserved(self, oracle, document):
+        assert oracle.string_value(document.root) == (
+            "public textfine printkept"
+        )
+
+    def test_matches_view_string_value(self, oracle, document, view):
+        assert oracle.string_value(document.root) == view.root.text()
+        assert oracle.string_value(document) == view.root.text()
+
+    def test_attribute_and_text_pass_through(self, oracle, document):
+        pub = document.root.children[0]
+        assert oracle.string_value(pub.attributes["k"]) == "1"
+        assert oracle.string_value(pub.children[0]) == "public text"
+
+
+class TestSerializeMatch:
+    def test_element_match_serializes_like_view(self, document, oracle, view):
+        pub_source = document.root.children[0]
+        pub_view = view.root.children[0]
+        assert oracle.serialize_match(pub_source) == serialize(pub_view)
+
+    def test_survivor_match_serializes_bare_tag_subtree(
+        self, document, oracle, view
+    ):
+        sec_source = document.root.children[1]
+        sec_view = view.root.children[1]
+        text = oracle.serialize_match(sec_source)
+        assert text == serialize(sec_view)
+        assert "secret" not in text
+        assert "kept" in text
+
+    def test_document_match_serializes_whole_view(
+        self, document, oracle, view
+    ):
+        assert oracle.serialize_match(document) == serialize(view)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    @pytest.mark.parametrize("open_policy", [False, True])
+    def test_whole_view_bytes_match_under_every_policy(
+        self, document, policy_name, open_policy
+    ):
+        conflicted = auths() + [
+            Authorization.build("Public", f"{URI}://pub", "-", "R"),
+            Authorization.build("Public", f"{URI}://sec", "+", "R"),
+        ]
+        policy = policy_by_name(policy_name)
+        oracle = VisibilityOracle(
+            document,
+            conflicted,
+            [],
+            SubjectHierarchy(),
+            policy=policy,
+            open_policy=open_policy,
+        )
+        view = compute_view_from_auths(
+            document,
+            conflicted,
+            [],
+            SubjectHierarchy(),
+            policy=policy,
+            open_policy=open_policy,
+        ).document
+        assert oracle.serialize_match(document) == serialize(view)

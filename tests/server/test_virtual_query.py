@@ -1,0 +1,215 @@
+"""The virtual query path through the facade (docs/VIEWS.md).
+
+Contract:
+
+- ``query(..., virtual=True)`` returns exactly the materialized
+  answer, byte for byte — including when the expression falls outside
+  the rewritable subset and the server transparently falls back;
+- the rewrite path never materializes a view (no ``prune`` stage) and
+  reuses oracles across requests of one effective-permission class;
+- ``rewrite_requests_total`` / ``rewrite_fallback_total`` /
+  ``effective_class_collisions_total`` tell the same story the
+  timings and audit records do.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.limits import ResourceLimits
+from repro.server.cache import ViewCache
+from repro.server.request import AccessRequest, QueryRequest
+from repro.server.service import SecureXMLServer
+from repro.subjects.hierarchy import Requester
+
+URI = "http://x/records.xml"
+
+RECORDS = (
+    "<records>"
+    "<rec owner='alice' level='public'><body>a-pub</body><cost>10</cost></rec>"
+    "<rec owner='alice' level='secret'><body>a-sec</body><cost>20</cost></rec>"
+    "<rec owner='bob' level='public'><body>b-pub</body><cost>30</cost></rec>"
+    "</records>"
+)
+
+
+@pytest.fixture
+def server():
+    s = SecureXMLServer()
+    s.add_group("Staff")
+    s.add_user("alice", groups=["Staff"])
+    s.add_user("amy", groups=["Staff"])
+    s.add_user("ann", groups=["Staff"])
+    s.add_user("bob")
+    s.publish_document(URI, RECORDS)
+    s.grant(Authorization.build("Staff", f"{URI}://rec[@owner='alice']", "+", "R"))
+    s.grant(Authorization.build("Public", f"{URI}://rec[@level='public']", "+", "R"))
+    s.grant(Authorization.build("Public", f"{URI}://rec[@level='secret']/body", "-", "R"))
+    return s
+
+
+def staff(name="alice"):
+    return Requester(name, "10.0.0.1", "pc.lab.com")
+
+
+def bob():
+    return Requester("bob", "10.0.0.2", "pc2.lab.com")
+
+
+QUERIES = [
+    "//rec",
+    "//rec[@owner='alice']",
+    "//body/text()",
+    "//rec[cost > 15]",
+    "//rec[contains(body, 'pub')]",
+    "//rec[2]",
+    "//rec[position() = last()]",
+    "//cost | //body",
+    "/",
+    "//rec[lang('en')]",  # outside the subset: transparent fallback
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("requester", [staff(), bob(), Requester()])
+    def test_virtual_equals_materialized(self, server, requester):
+        for query in QUERIES:
+            materialized = server.query(QueryRequest(requester, URI, query))
+            virtual = server.query(
+                QueryRequest(requester, URI, query), virtual=True
+            )
+            assert virtual.matches == materialized.matches, query
+            assert virtual.xml_text == materialized.xml_text, query
+            assert virtual.empty == materialized.empty, query
+
+    def test_hidden_content_not_probeable(self, server):
+        response = server.query(
+            QueryRequest(bob(), URI, "//rec[body = 'a-sec']"), virtual=True
+        )
+        assert response.empty
+
+    def test_fully_denied_document_is_empty(self, server):
+        opaque = "http://x/opaque.xml"
+        server.publish_document(opaque, "<d><x>1</x></d>")
+        response = server.query(
+            QueryRequest(bob(), opaque, "//x"), virtual=True
+        )
+        assert response.empty
+        assert response.matches == []
+
+
+class TestNoMaterialization:
+    def test_rewrite_spans_present_prune_absent(self, server):
+        response = server.query(
+            QueryRequest(staff(), URI, "//rec"), virtual=True
+        )
+        assert "rewrite.plan" in response.timings
+        assert "rewrite.eval" in response.timings
+        assert "prune" not in response.timings
+        assert "label.propagate" not in response.timings
+
+    def test_fallback_runs_materialized_stages(self, server):
+        response = server.query(
+            QueryRequest(staff(), URI, "//rec[lang('en')]"), virtual=True
+        )
+        assert "rewrite.plan" in response.timings  # the attempt
+        assert "rewrite.eval" not in response.timings
+        assert "prune" in response.timings  # the fallback materialized
+
+    def test_oracle_reused_within_a_class(self, server):
+        first = server.query(QueryRequest(staff(), URI, "//rec"), virtual=True)
+        assert "authz.bind" in first.timings
+        assert "label.bind" in first.timings
+        second = server.query(
+            QueryRequest(staff(), URI, "//body"), virtual=True
+        )
+        assert "authz.bind" not in second.timings
+        assert "label.bind" not in second.timings
+
+    def test_equivalent_requesters_share_one_oracle(self, server):
+        for name in ("alice", "amy", "ann"):
+            server.query(QueryRequest(staff(name), URI, "//rec"), virtual=True)
+        assert len(server._oracles) == 1
+        assert server.metrics.value("effective_class_collisions_total") == 2
+
+    def test_grant_invalidates_shared_oracle(self, server):
+        before = server.query(QueryRequest(staff(), URI, "//rec"), virtual=True)
+        server.grant(
+            Authorization.build("Staff", f"{URI}://rec[@owner='alice']", "-", "R")
+        )
+        after = server.query(QueryRequest(staff(), URI, "//rec"), virtual=True)
+        assert "authz.bind" in after.timings  # rebuilt, not reused
+        assert len(after.matches) < len(before.matches)
+
+
+class TestMetrics:
+    def test_rewritten_outcome_counted(self, server):
+        server.query(QueryRequest(staff(), URI, "//rec"), virtual=True)
+        assert server.metrics.value("rewrite_requests_total", outcome="rewritten") == 1
+        assert server.metrics.value("rewrite_fallback_total") is None
+
+    def test_fallback_counted_with_reason(self, server):
+        server.query(
+            QueryRequest(staff(), URI, "//rec[lang('en')]"), virtual=True
+        )
+        assert server.metrics.value("rewrite_requests_total", outcome="fallback") == 1
+        assert (
+            server.metrics.value("rewrite_fallback_total", reason="function:lang") == 1
+        )
+
+    def test_plain_queries_never_touch_rewrite_metrics(self, server):
+        server.query(QueryRequest(staff(), URI, "//rec"))
+        assert server.metrics.value("rewrite_requests_total", outcome="rewritten") is None
+
+
+class TestGuards:
+    def test_deadline_trip_is_structured_and_audited_virtual(self, server):
+        response = server.query(
+            QueryRequest(staff(), URI, "//rec"),
+            limits=ResourceLimits(deadline_seconds=0.0),
+            virtual=True,
+        )
+        assert not response.ok
+        assert response.error_kind == "deadline-exceeded"
+        record = server.audit.tail(1)[0]
+        assert record.outcome == "error"
+        assert record.backend == "virtual"
+        assert server.metrics.value("rewrite_requests_total", outcome="error") == 1
+
+    def test_step_limit_applies_to_rewritten_evaluation(self, server):
+        response = server.query(
+            QueryRequest(staff(), URI, "//rec[body]"),
+            limits=ResourceLimits(max_xpath_steps=1),
+            virtual=True,
+        )
+        assert not response.ok
+        assert response.error_kind == "limit-exceeded"
+
+
+class TestAudit:
+    def test_virtual_backend_recorded(self, server):
+        server.query(QueryRequest(staff(), URI, "//rec"), virtual=True)
+        record = server.audit.tail(1)[0]
+        assert record.backend == "virtual"
+        assert "query[//rec]" in record.action
+
+    def test_fallback_records_materialized_backend(self, server):
+        server.query(
+            QueryRequest(staff(), URI, "//rec[lang('en')]"), virtual=True
+        )
+        record = server.audit.tail(1)[0]
+        assert record.backend == "dom"
+
+
+class TestClassKeyedViewCache:
+    def test_equivalent_requesters_share_one_view_entry(self):
+        cache = ViewCache()
+        server = SecureXMLServer(view_cache=cache)
+        server.add_group("Staff")
+        for name in ("alice", "amy", "ann"):
+            server.add_user(name, groups=["Staff"])
+        server.publish_document(URI, RECORDS)
+        server.grant(Authorization.build("Staff", f"{URI}://rec", "+", "R"))
+        for name in ("alice", "amy", "ann"):
+            server.serve(AccessRequest(staff(name), URI))
+        assert len(cache) == 1
+        assert server.metrics.value("effective_class_collisions_total") == 2

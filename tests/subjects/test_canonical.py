@@ -1,0 +1,252 @@
+"""Property tests for subject canonicalization (effective classes).
+
+The contract under test (``repro.subjects.canonical``):
+
+- **Soundness**: equal :class:`EffectiveClass` keys ⇒ identical
+  applicable-authorization sets for every URI and the keyed action.
+  Cached views/plans shared by class never over-share.
+- **Contrapositive**: requesters whose permissions differ anywhere
+  never collide on one class key.
+- **Collapse**: requesters that only differ in universe-irrelevant ways
+  (login name within the same groups, machine outside referenced
+  patterns, extra unreferenced credentials) share one class.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authz.authorization import Authorization
+from repro.authz.restrictions import CredentialClause
+from repro.authz.store import AuthorizationStore
+from repro.subjects.canonical import EffectiveClass
+from repro.subjects.hierarchy import Requester, SubjectHierarchy
+from repro.subjects.users import PUBLIC_GROUP, Directory
+
+URIS = ("http://h/a.xml", "http://h/b.xml")
+ACTIONS = ("read", "write")
+
+_GROUPS = ("Staff", "Medical", "Admin", "Nurses")
+_USERS = ("alice", "bob", "carol", "dave")
+_IPS = ("10.0.0.1", "10.0.0.2", "150.100.30.8", "192.168.7.9")
+_HOSTS = ("a.lab.com", "b.lab.com", "x.hospital.com", "outside.example")
+_IP_PATTERNS = ("*", "10.0.0.*", "150.100.*", "10.0.0.1")
+_SN_PATTERNS = ("*", "*.lab.com", "*.hospital.com", "a.lab.com")
+_CLAUSES = (
+    CredentialClause("role", "=", "physician"),
+    CredentialClause("level", ">=", "3"),
+    CredentialClause("badge", "present", ""),
+)
+
+
+@st.composite
+def directories(draw):
+    directory = Directory()
+    for group in _GROUPS:
+        directory.add_group(group)
+    # Random nested-group edges (acyclic by index order).
+    for i, group in enumerate(_GROUPS):
+        for parent in _GROUPS[:i]:
+            if draw(st.booleans()):
+                directory.add_member(parent, group)
+    for user in _USERS:
+        memberships = draw(
+            st.sets(st.sampled_from(_GROUPS), max_size=len(_GROUPS))
+        )
+        directory.add_user(user, tuple(sorted(memberships)))
+    return directory
+
+
+@st.composite
+def stores(draw, hierarchy):
+    store = AuthorizationStore(hierarchy)
+    count = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(count):
+        subject = (
+            draw(st.sampled_from(_GROUPS + _USERS + (PUBLIC_GROUP,))),
+            draw(st.sampled_from(_IP_PATTERNS)),
+            draw(st.sampled_from(_SN_PATTERNS)),
+        )
+        clauses = draw(
+            st.sets(st.sampled_from(_CLAUSES), max_size=2).map(tuple)
+        )
+        store.add(
+            Authorization.build(
+                subject,
+                f"{draw(st.sampled_from(URIS))}://record",
+                draw(st.sampled_from("+-")),
+                draw(st.sampled_from(("R", "L"))),
+                action=draw(st.sampled_from(ACTIONS)),
+                credentials=clauses,
+            )
+        )
+    return store
+
+
+@st.composite
+def requesters(draw):
+    creds = draw(
+        st.sets(
+            st.sampled_from(
+                (
+                    ("role", "physician"),
+                    ("role", "clerk"),
+                    ("level", "5"),
+                    ("level", "1"),
+                    ("badge", "yes"),
+                )
+            ),
+            max_size=3,
+        )
+    )
+    # Dedup by key: Requester.credential_map is a dict.
+    cred_map = {}
+    for key, value in sorted(creds):
+        cred_map[key] = value
+    return Requester(
+        user=draw(st.sampled_from(_USERS + ("mallory", "unknown-visitor"))),
+        ip=draw(st.sampled_from(_IPS)),
+        hostname=draw(st.sampled_from(_HOSTS)),
+        credentials=tuple(sorted(cred_map.items())),
+    )
+
+
+def permissions_of(store, requester, action):
+    """The full applicability verdict, URI by URI (time-blind)."""
+    return {
+        uri: tuple(store.applicable(requester, uri, action=action, at=None))
+        for uri in URIS
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_equal_class_implies_identical_permissions(data):
+    directory = data.draw(directories())
+    hierarchy = SubjectHierarchy(directory)
+    store = data.draw(stores(hierarchy))
+    first = data.draw(requesters())
+    second = data.draw(requesters())
+    for action in ACTIONS:
+        same_class = store.effective_class(
+            first, action=action
+        ) == store.effective_class(second, action=action)
+        same_permissions = permissions_of(
+            store, first, action
+        ) == permissions_of(store, second, action)
+        # Soundness: equal keys never over-share...
+        if same_class:
+            assert same_permissions, (
+                f"class collision with differing permissions: "
+                f"{first} vs {second} for {action}"
+            )
+        # ...which is exactly: distinct permissions never collide.
+        if not same_permissions:
+            assert not same_class
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_class_is_stable_for_one_requester(data):
+    directory = data.draw(directories())
+    hierarchy = SubjectHierarchy(directory)
+    store = data.draw(stores(hierarchy))
+    requester = data.draw(requesters())
+    first = store.effective_class(requester, action="read")
+    second = store.effective_class(requester, action="read")
+    assert first == second
+    assert hash(first) == hash(second)
+    assert isinstance(first, EffectiveClass)
+
+
+def test_equivalent_requesters_collapse_to_one_class():
+    directory = Directory()
+    directory.add_group("Staff")
+    for name in ("alice", "amy", "ann"):
+        directory.add_user(name, ("Staff",))
+    directory.add_user("eve")
+    hierarchy = SubjectHierarchy(directory)
+    store = AuthorizationStore(hierarchy)
+    store.add(
+        Authorization.build("Staff", "http://h/a.xml://record", "+", "R")
+    )
+
+    classes = {
+        store.effective_class(
+            Requester(user=name, ip="10.0.0.7", hostname="h.lab.com")
+        )
+        for name in ("alice", "amy", "ann")
+    }
+    assert len(classes) == 1
+    # eve is not Staff: different permissions, different class.
+    assert store.effective_class(Requester(user="eve")) not in classes
+
+
+def test_universe_irrelevant_differences_do_not_split():
+    directory = Directory()
+    directory.add_group("Staff")
+    directory.add_user("alice", ("Staff",))
+    hierarchy = SubjectHierarchy(directory)
+    store = AuthorizationStore(hierarchy)
+    store.add(
+        Authorization.build(
+            ("Staff", "10.*", "*"), "http://h/a.xml://record", "+", "R"
+        )
+    )
+    base = Requester(user="alice", ip="10.0.0.1", hostname="a.lab.com")
+    # Different machine inside the same pattern, different hostname,
+    # unreferenced credentials: all invisible to every authorization.
+    twins = (
+        Requester(user="alice", ip="10.9.9.9", hostname="b.lab.com"),
+        base.with_credentials(shoe_size="44"),
+    )
+    reference = store.effective_class(base)
+    for twin in twins:
+        assert store.effective_class(twin) == reference
+    # A machine outside the referenced pattern changes permissions and
+    # therefore the class.
+    outsider = Requester(user="alice", ip="192.168.0.1", hostname="a.lab.com")
+    assert store.effective_class(outsider) != reference
+
+
+def test_unknown_users_share_the_public_class_per_name():
+    directory = Directory()
+    directory.add_user("alice")
+    hierarchy = SubjectHierarchy(directory)
+    store = AuthorizationStore(hierarchy)
+    store.add(
+        Authorization.build(
+            PUBLIC_GROUP, "http://h/a.xml://record", "+", "R"
+        )
+    )
+    stranger = store.effective_class(Requester(user="mallory"))
+    same_stranger = store.effective_class(Requester(user="mallory"))
+    assert stranger == same_stranger
+    # Unknown users match only {name, Public}; the universe references
+    # Public alone, so all strangers (and alice) intersect to {Public}.
+    other = store.effective_class(Requester(user="trudy"))
+    assert other == stranger
+
+
+def test_action_scoped_universe_ignores_other_actions():
+    directory = Directory()
+    directory.add_group("Staff")
+    directory.add_user("alice", ("Staff",))
+    directory.add_user("amy", ("Staff",))
+    hierarchy = SubjectHierarchy(directory)
+    store = AuthorizationStore(hierarchy)
+    store.add(
+        Authorization.build("Staff", "http://h/a.xml://record", "+", "R")
+    )
+    # A write-only grant naming alice must not split the *read* classes.
+    store.add(
+        Authorization.build(
+            "alice", "http://h/a.xml://record", "+", "R", action="write"
+        )
+    )
+    alice = Requester(user="alice")
+    amy = Requester(user="amy")
+    assert store.effective_class(alice, action="read") == store.effective_class(
+        amy, action="read"
+    )
+    assert store.effective_class(
+        alice, action="write"
+    ) != store.effective_class(amy, action="write")

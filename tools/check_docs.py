@@ -7,12 +7,16 @@ Two checks over the markdown corpus (``docs/*.md``, ``README.md``,
 1. **Link check** — every relative markdown link (``[text](target)``)
    must point at a file that exists (anchors and external URLs are
    skipped; anchors within existing files are not resolved).
-2. **Example check** — every ``python`` code block in
-   docs/OBSERVABILITY.md is executed, in order, in one shared
-   namespace, so the worked examples cannot rot. Blocks build on each
-   other exactly as a reader following the document would.
+2. **Example check** — every ``python`` code block in each document
+   of ``EXECUTABLE_DOCS`` (docs/OBSERVABILITY.md, docs/VIEWS.md) is
+   executed, in order, in one shared per-document namespace, so the
+   worked examples cannot rot. Blocks build on each other exactly as
+   a reader following the document would.
 
 Run:  PYTHONPATH=src python tools/check_docs.py
+or:   PYTHONPATH=src python tools/check_docs.py --only docs/VIEWS.md
+(``--only`` restricts both checks to one document — a fresh namespace,
+so each executable document must stand on its own.)
 Exit status is non-zero on any failure; ``tests/test_docs.py`` wraps
 the same functions for the test suite and CI.
 """
@@ -36,7 +40,10 @@ DOC_FILES = sorted(
 )
 
 #: The documents whose ``python`` blocks are executed.
-EXECUTABLE_DOCS = [REPO / "docs" / "OBSERVABILITY.md"]
+EXECUTABLE_DOCS = [
+    REPO / "docs" / "OBSERVABILITY.md",
+    REPO / "docs" / "VIEWS.md",
+]
 
 _LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -87,19 +94,31 @@ def run_examples(doc: Path) -> list[str]:
     return problems
 
 
-def main() -> int:
-    problems = check_links()
-    for doc in EXECUTABLE_DOCS:
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    doc_files, executable = DOC_FILES, EXECUTABLE_DOCS
+    if argv and argv[0] == "--only":
+        if len(argv) != 2:
+            print("usage: check_docs.py [--only <document.md>]")
+            return 2
+        only = (REPO / argv[1]).resolve()
+        if not only.exists():
+            print(f"FAIL no such document: {argv[1]}")
+            return 1
+        doc_files = [only]
+        executable = [doc for doc in EXECUTABLE_DOCS if doc == only]
+    problems = check_links(doc_files)
+    for doc in executable:
         problems.extend(run_examples(doc))
     for problem in problems:
         print(f"FAIL {problem}")
     if not problems:
         link_count = sum(
-            len(list(iter_relative_links(doc.read_text()))) for doc in DOC_FILES
+            len(list(iter_relative_links(doc.read_text()))) for doc in doc_files
         )
-        block_count = sum(len(python_blocks(doc)) for doc in EXECUTABLE_DOCS)
+        block_count = sum(len(python_blocks(doc)) for doc in executable)
         print(
-            f"ok: {len(DOC_FILES)} documents, {link_count} relative links, "
+            f"ok: {len(doc_files)} documents, {link_count} relative links, "
             f"{block_count} executed examples"
         )
     return 1 if problems else 0
