@@ -1138,6 +1138,204 @@ def q1_rewrite() -> None:
     print(f"wrote {BENCH_PR7_JSON}")
 
 
+BENCH_PR8_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+
+def u1_updates() -> None:
+    """Secure updates: incremental relabeling and cache retention.
+
+    Two measurements, written to ``BENCH_PR8.json``:
+
+    - **incremental vs full relabel**: after a committed edit the
+      engine repairs labels for the edited subtree only
+      (``LabelState.apply_delta``); a non-incremental write path
+      rebinds every authorization path against the whole post-edit
+      document (``LabelState.build``). Gate: >= 5x median speedup on
+      the deep-chain edit (asserted). Whole-batch time (clone +
+      enforce + relabel) is reported alongside for context;
+    - **cache hit-rate retention**: edits confined to one writer's
+      subtree must not cost the other classes their cached views —
+      the visibility oracle proves them disjoint and the entries
+      survive with re-stamped versions, still hitting (asserted).
+    """
+    from repro.authz.authorization import Authorization
+    from repro.server.cache import ViewCache
+    from repro.server.request import AccessRequest
+    from repro.server.service import SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+    from repro.update import (
+        LabelState,
+        SetAttribute,
+        UpdateEngine,
+        UpdateRequest,
+    )
+    from repro.xml.traversal import preorder
+
+    def write_auth(path, sign="+", auth_type="R"):
+        return Authorization.build(
+            "Public", f"{URI}:{path}", sign, auth_type, action="write"
+        )
+
+    depth = 300 if FAST else 600
+    wide_nodes = 4000 if FAST else 8000
+    cases = {
+        "deep chain leaf": (
+            deep_doc(depth),
+            [write_auth("//level")],
+            SetAttribute(f"//level[@n='{depth - 1}']", "touched", "1"),
+        ),
+        "synthetic subtree": (
+            document_of_size(wide_nodes),
+            [write_auth("//archive"), write_auth("//title", auth_type="L")],
+            SetAttribute("/archive/*[./@id='n2']", "touched", "1"),
+        ),
+    }
+    engine = UpdateEngine(hierarchy())
+    requester = Requester("writer", "9.9.9.9", "h.x")
+    rows = []
+    edit_stats: dict[str, dict] = {}
+    for label, (document, auths, operation) in cases.items():
+        request = UpdateRequest.of(requester, URI, operation)
+        result = engine.apply_full(document, request, auths, [])
+        delta = result.deltas[0]
+        state = result.state
+        for node in preorder(result.document):
+            state.label(node)  # steady state: the whole view is labeled
+
+        # Incremental maintenance: repair the edited subtree's labels
+        # in the carried-over state (idempotent, so timing rounds see
+        # identical work); everything outside the subtree keeps its
+        # memoized label.
+        incremental_ms = timed(state.apply_delta, delta)
+
+        # The non-incremental comparator: drop the compiled node-set
+        # caches (the document changed), rebind every authorization
+        # path against the whole post-edit document and recompute every
+        # label.
+        def full_round(document=result.document, auths=auths):
+            for authorization in auths:
+                compiled = authorization.compiled_path("descendant")
+                if compiled is not None:
+                    compiled.invalidate()
+            rebuilt = LabelState.build(document, auths, [], hierarchy())
+            for node in preorder(document):
+                rebuilt.label(node)
+
+        full_ms = timed(full_round)
+        # Whole-batch context: clone + enforce + relabel + bookkeeping,
+        # with the label state carried across committed batches the way
+        # the facade does.
+        warm = {"doc": result.document, "state": result.state}
+
+        def batch_round(warm=warm, request=request, auths=auths):
+            out = engine.apply_full(
+                warm["doc"], request, auths, [], state=warm["state"]
+            )
+            warm["doc"], warm["state"] = out.document, out.state
+
+        batch_ms = timed(batch_round)
+        speedup = full_ms / incremental_ms
+        total_nodes = count_nodes(document)
+        edit_stats[label] = {
+            "document_nodes": total_nodes,
+            "relabeled_nodes": result.outcome.relabeled_nodes,
+            "incremental_relabel_ms": round(incremental_ms, 3),
+            "full_relabel_ms": round(full_ms, 2),
+            "whole_batch_ms": round(batch_ms, 2),
+            "speedup": round(speedup, 2),
+        }
+        rows.append([
+            label, str(total_nodes), str(result.outcome.relabeled_nodes),
+            f"{incremental_ms:.3f}", f"{full_ms:.2f}", f"{batch_ms:.2f}",
+            f"{speedup:.1f}x",
+        ])
+    table(
+        "U1 — incremental vs full relabel after an edit",
+        ["edit", "nodes", "relabeled", "incremental (ms)", "full (ms)",
+         "whole batch (ms)", "speedup"],
+        rows,
+    )
+    deep_speedup = edit_stats["deep chain leaf"]["speedup"]
+    assert deep_speedup >= 5.0, (
+        f"incremental relabel speedup {deep_speedup} below the 5x gate"
+    )
+
+    # -- cache retention: unrelated views survive the edit -------------------
+    users = 8
+    edits = 5
+    xml = "<root>" + "".join(
+        f"<sec owner='u{i}'><item>data {i}</item></sec>" for i in range(users)
+    ) + "</root>"
+    cache = ViewCache()
+    server = SecureXMLServer(view_cache=cache)
+    requesters = []
+    for index in range(users):
+        server.add_user(f"u{index}")
+        requesters.append(Requester(f"u{index}", f"10.0.0.{index}", "pc.x"))
+    server.publish_document(URI, xml)
+    for index in range(users):
+        server.grant(
+            Authorization.build(
+                (f"u{index}", "*", "*"),
+                f"{URI}://sec[@owner='u{index}']",
+                "+",
+                "R",
+            )
+        )
+    server.grant(
+        Authorization.build(
+            ("u0", "*", "*"), f"{URI}://sec[@owner='u0']", "+", "R",
+            action="write",
+        )
+    )
+    for who in requesters:
+        server.serve(AccessRequest(who, URI))  # warm every class
+    kept = dropped = 0
+    for step in range(edits):
+        outcome = server.update(
+            UpdateRequest.of(
+                requesters[0],
+                URI,
+                SetAttribute("//sec[@owner='u0']/item", "rev", str(step)),
+            )
+        )
+        kept += outcome.cache_kept
+        dropped += outcome.cache_dropped
+        server.serve(AccessRequest(requesters[0], URI))  # re-warm the writer
+    hits_before = cache.stats()["hits"]
+    for who in requesters[1:]:
+        server.serve(AccessRequest(who, URI))
+    surviving_hits = cache.stats()["hits"] - hits_before
+    retention = {
+        "classes": users,
+        "edits": edits,
+        "views_kept": kept,
+        "views_dropped": dropped,
+        "revalidated": cache.stats()["revalidated"],
+        "surviving_hits": surviving_hits,
+        "hit_retention": round(surviving_hits / (users - 1), 2),
+    }
+    assert kept == (users - 1) * edits, retention
+    assert surviving_hits == users - 1, retention
+    table(
+        f"U1 — cache retention across {edits} confined edits "
+        f"({users} requester classes)",
+        ["measure", "value"],
+        [[key, str(value)] for key, value in retention.items()],
+    )
+
+    payload = {
+        "source": "benchmarks/run_report.py (section U1-updates)",
+        "fast": FAST,
+        "edits": edit_stats,
+        "speedup_gate": {"required": 5.0, "met": deep_speedup >= 5.0},
+        "cache_retention": retention,
+    }
+    BENCH_PR8_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {BENCH_PR8_JSON}")
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     print()
@@ -1150,6 +1348,9 @@ def main() -> None:
         return
     if "--only-rewrite" in sys.argv:
         q1_rewrite()
+        return
+    if "--only-updates" in sys.argv:
+        u1_updates()
         return
     c1_view_scaling()
     c2_auth_scaling()
@@ -1167,6 +1368,7 @@ def main() -> None:
     c1_concurrency()
     c2_pool()
     q1_rewrite()
+    u1_updates()
 
 
 if __name__ == "__main__":

@@ -5,8 +5,9 @@ An authorization is the 5-tuple ⟨subject, object, action, sign, type⟩:
 - *subject* — a :class:`~repro.subjects.SubjectSpec` (element of ASH);
 - *object* — a URI, optionally extended with a path expression
   (``URI:PE``), wrapped as :class:`AuthObject`;
-- *action* — ``read`` in the paper; the field is kept generic so write
-  and update actions are expressible (the paper's future work);
+- *action* — ``read`` in the paper; ``write`` entitles the update
+  subsystem's mutations (:mod:`repro.update`), and the field stays
+  generic for further actions;
 - *sign* — ``+`` (permission) or ``-`` (denial);
 - *type* — Local, Recursive, Local-Weak or Recursive-Weak. Whether the
   authorization is instance- or schema-level is a property of where it
@@ -26,9 +27,10 @@ from repro.subjects.hierarchy import SubjectSpec
 from repro.xml.nodes import Node
 from repro.xpath.compile import CompiledXPath, RelativeMode, compile_xpath
 
-__all__ = ["Sign", "AuthType", "AuthObject", "Authorization", "READ"]
+__all__ = ["Sign", "AuthType", "AuthObject", "Authorization", "READ", "WRITE"]
 
 READ = "read"
+WRITE = "write"
 
 
 class Sign(str, Enum):

@@ -1,0 +1,137 @@
+"""Write/read policy-consistency checking (and optional repair).
+
+A write policy is *consistent* with a read policy when every node a
+subject may write is also a node that subject can see: a write grant on
+a read-hidden node is at best useless and at worst an oracle — the
+subject can probe hidden structure by observing which updates are
+denied by validation, or blind-overwrite content it cannot read.
+Bravo/Cheney/Fundulaki (arXiv 0708.2076) formalize exactly this class
+of policy faults for DTD-based XML security annotations and show that
+repairs can be computed; here the repair suggestion is the minimal
+read grant that exposes the flagged node.
+
+:func:`check_write_consistency` labels the document twice — once with
+the write policy (full :class:`~repro.core.labeling.TreeLabeler` run)
+and once with the read policy (a
+:class:`~repro.rewrite.oracle.VisibilityOracle`, which also accounts
+for the open/closed policy and structural survival in the pruned
+view) — and flags, in document order, every element or attribute whose
+write label is ``+`` but which does not exist in the requester's read
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.authz.authorization import Authorization, AuthObject
+from repro.authz.conflict import ConflictPolicy
+from repro.core.labeling import TreeLabeler
+from repro.limits import Deadline, ResourceLimits
+from repro.rewrite.oracle import VisibilityOracle
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.nodes import Attribute, Document, Element
+from repro.xml.traversal import node_path, preorder
+from repro.xpath.compile import RelativeMode
+
+__all__ = ["ConsistencyFinding", "check_write_consistency"]
+
+
+@dataclass(frozen=True)
+class ConsistencyFinding:
+    """One write-grant on a read-hidden node.
+
+    ``repair``, when requested, is the minimal read grant that would
+    expose the node (a local ``+`` read authorization on its exact
+    path) — granting it makes this finding disappear.
+    """
+
+    uri: str
+    node_path: str
+    kind: str = "write-on-hidden"
+    write_sign: str = "+"
+    detail: str = ""
+    repair: Optional[Authorization] = None
+
+
+def check_write_consistency(
+    document: Document,
+    *,
+    uri: str,
+    read_instance: list[Authorization],
+    read_schema: list[Authorization],
+    write_instance: list[Authorization],
+    write_schema: list[Authorization],
+    hierarchy: SubjectHierarchy,
+    policy: Optional[ConflictPolicy] = None,
+    open_policy: bool = False,
+    relative_mode: RelativeMode = "descendant",
+    suggest_repairs: bool = False,
+    repair_subject=None,
+    limits: Optional[ResourceLimits] = None,
+    deadline: Optional[Deadline] = None,
+) -> list[ConsistencyFinding]:
+    """Flag write-writable nodes invisible under the read policy.
+
+    The authorization lists are the *applicable* sets for one requester
+    (the caller resolves subjects first, exactly as the serving path
+    does). Findings come back in document order; with
+    ``suggest_repairs`` each carries the minimal read grant (attributed
+    to ``repair_subject``, default ``"Public"``) that exposes the node.
+    """
+    write_labels = TreeLabeler(
+        document,
+        write_instance,
+        write_schema,
+        hierarchy,
+        policy=policy,
+        relative_mode=relative_mode,
+        limits=limits,
+        deadline=deadline,
+    ).run().labels
+    oracle = VisibilityOracle(
+        document,
+        read_instance,
+        read_schema,
+        hierarchy,
+        policy=policy,
+        open_policy=open_policy,
+        relative_mode=relative_mode,
+        limits=limits,
+        deadline=deadline,
+    )
+    findings: list[ConsistencyFinding] = []
+    root = document.root
+    if root is None:
+        return findings
+    for node in preorder(root):
+        if not isinstance(node, (Element, Attribute)):
+            continue
+        label = write_labels.get(node)
+        if label is None or label.final != "+":
+            continue
+        if oracle.exists(node):
+            continue
+        repair = None
+        if suggest_repairs:
+            repair = Authorization.build(
+                repair_subject if repair_subject is not None else "Public",
+                AuthObject(uri, node_path(node)),
+                "+",
+                "L",
+                action="read",
+            )
+        kind = "element" if isinstance(node, Element) else "attribute"
+        findings.append(
+            ConsistencyFinding(
+                uri=uri,
+                node_path=node_path(node),
+                detail=(
+                    f"write grant admits this {kind} but the read policy "
+                    "hides it from the same requester"
+                ),
+                repair=repair,
+            )
+        )
+    return findings

@@ -5,6 +5,8 @@ exercised without writing Python:
 
 - ``view``     — compute one requester's view of a document under an
   XACL (the full Figure-2 pipeline);
+- ``update``   — apply authorization-checked updates (``action="write"``
+  labels) to a document, or check write/read policy consistency;
 - ``validate`` — validate a document against a DTD;
 - ``xpath``    — evaluate a path expression against a document;
 - ``loosen``   — print the loosened version of a DTD (Section 6.2);
@@ -30,6 +32,20 @@ from typing import Optional, Sequence
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+class _OperationAction(argparse.Action):
+    """Collect update operations preserving command-line order.
+
+    Every operation flag shares ``dest="operations"``, so a mixed
+    sequence like ``--set-attr ... --delete ... --insert ...`` applies
+    exactly as written — per-flag ``append`` would lose that order.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        operations = getattr(namespace, self.dest, None) or []
+        operations.append((option_string.lstrip("-"), tuple(values)))
+        setattr(namespace, self.dest, operations)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +167,74 @@ def build_parser() -> argparse.ArgumentParser:
     pool.add_argument(
         "--json", action="store_true",
         help="emit the pool stats snapshot as JSON instead of a summary",
+    )
+
+    upd = commands.add_parser(
+        "update",
+        help="apply authorization-checked updates to a document "
+        "(write-action labels; repro.update)",
+    )
+    upd.add_argument("document", help="path to the XML document")
+    upd.add_argument("--uri", required=True, help="URI the document is stored under")
+    upd.add_argument("--xacl", required=True, help="path to the XACL file")
+    upd.add_argument("--dtd", help="path to the document's DTD")
+    upd.add_argument("--dtd-uri", help="URI the DTD is published under")
+    upd.add_argument("--directory", help="subject directory file (see --help)")
+    upd.add_argument("--user", default="anonymous")
+    upd.add_argument("--ip", default="0.0.0.0")
+    upd.add_argument("--host", default="localhost")
+    upd.add_argument(
+        "--policy",
+        default="denials-take-precedence",
+        help="conflict-resolution policy name",
+    )
+    upd.add_argument(
+        "--open", action="store_true", help="open policy (ε = permit)"
+    )
+    upd.add_argument(
+        "--set-attr", nargs=3, metavar=("TARGET", "NAME", "VALUE"),
+        action=_OperationAction, dest="operations",
+        help="set an attribute on every element TARGET selects (repeatable; "
+        "operations apply in command-line order)",
+    )
+    upd.add_argument(
+        "--remove-attr", nargs=2, metavar=("TARGET", "NAME"),
+        action=_OperationAction, dest="operations",
+        help="remove an attribute",
+    )
+    upd.add_argument(
+        "--set-text", nargs=2, metavar=("TARGET", "TEXT"),
+        action=_OperationAction, dest="operations",
+        help="replace an element's text content",
+    )
+    upd.add_argument(
+        "--insert", nargs=2, metavar=("TARGET", "FRAGMENT"),
+        action=_OperationAction, dest="operations",
+        help="insert a parsed XML fragment as the last child",
+    )
+    upd.add_argument(
+        "--delete", nargs=1, metavar="TARGET",
+        action=_OperationAction, dest="operations",
+        help="delete the selected subtree",
+    )
+    upd.add_argument(
+        "--replace", nargs=2, metavar=("TARGET", "FRAGMENT"),
+        action=_OperationAction, dest="operations",
+        help="replace the selected subtree with a parsed fragment",
+    )
+    upd.add_argument(
+        "--out", metavar="FILE",
+        help="write the updated document here (default: stdout)",
+    )
+    upd.add_argument(
+        "--check-consistency", action="store_true",
+        help="instead of applying operations, flag write grants on "
+        "read-hidden nodes for this requester (exit 1 when any exist)",
+    )
+    upd.add_argument(
+        "--suggest-repairs", action="store_true",
+        help="with --check-consistency: print the minimal read grant "
+        "that would expose each flagged node",
     )
 
     exp = commands.add_parser(
@@ -412,6 +496,81 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.server.service import PolicyConfig, SecureXMLServer
+    from repro.subjects.hierarchy import Requester
+    from repro.update import (
+        DeleteNode,
+        InsertChild,
+        RemoveAttribute,
+        ReplaceSubtree,
+        SetAttribute,
+        SetText,
+        UpdateRequest,
+    )
+    from repro.xml.serializer import serialize
+
+    server = SecureXMLServer(
+        default_policy=PolicyConfig(
+            conflict_policy=args.policy, open_policy=args.open
+        )
+    )
+    if args.directory:
+        _load_directory(server, args.directory)
+    dtd_uri = args.dtd_uri
+    if args.dtd:
+        dtd_uri = dtd_uri or (args.uri + ".dtd")
+        server.publish_dtd(dtd_uri, _read(args.dtd))
+    server.publish_document(args.uri, _read(args.document), dtd_uri=dtd_uri)
+    server.attach_xacl(_read(args.xacl))
+    requester = Requester(args.user, args.ip, args.host)
+
+    if args.check_consistency:
+        findings = server.check_consistency(
+            requester, args.uri, suggest_repairs=args.suggest_repairs
+        )
+        for finding in findings:
+            print(f"{finding.node_path}: {finding.detail}")
+            if finding.repair is not None:
+                print(f"  repair: {finding.repair.unparse()}")
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1 if findings else 0
+
+    builders = {
+        "set-attr": lambda v: SetAttribute(v[0], v[1], v[2]),
+        "remove-attr": lambda v: RemoveAttribute(v[0], v[1]),
+        "set-text": lambda v: SetText(v[0], v[1]),
+        "insert": lambda v: InsertChild(v[0], v[1]),
+        "delete": lambda v: DeleteNode(v[0]),
+        "replace": lambda v: ReplaceSubtree(v[0], v[1]),
+    }
+    operations = [
+        builders[flag](values)
+        for flag, values in (getattr(args, "operations", None) or [])
+    ]
+    if not operations:
+        print("error: no operations given (see --help)", file=sys.stderr)
+        return 2
+    outcome = server.update(UpdateRequest.of(requester, args.uri, *operations))
+    if not outcome.applied:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    text = serialize(server.repository.document(args.uri))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    mode = "incremental" if outcome.incremental else "full"
+    print(
+        f"applied {outcome.operations} operation(s) touching "
+        f"{outcome.touched_nodes} node(s); version {outcome.version}, "
+        f"{mode} relabel of {outcome.relabeled_nodes} node(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_pool(args: argparse.Namespace) -> int:
     import json as json_mod
     import time
@@ -467,6 +626,7 @@ def _cmd_pool(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "view": _cmd_view,
+    "update": _cmd_update,
     "pool": _cmd_pool,
     "validate": _cmd_validate,
     "xpath": _cmd_xpath,

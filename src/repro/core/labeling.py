@@ -22,8 +22,9 @@ Text nodes (the paper's "values") inherit their parent's final sign.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.authz.authorization import AuthType, Authorization
 from repro.authz.conflict import ConflictPolicy, DenialsTakePrecedence, EPSILON
@@ -388,6 +389,102 @@ class TreeLabeler:
         for item in reversed(chain):
             labels[item] = self._label_node(item, labels[item.parent])
         return labels[node]
+
+    # -- incremental relabeling support (repro.update) ---------------------
+
+    def slot_bins(self) -> dict[Node, dict[str, list[Authorization]]]:
+        """The mutable node → slot → candidate-authorizations binning.
+
+        Binds first if needed. The update subsystem edits this mapping
+        in place when it rebinds an edited subtree through the compiled
+        stream patterns (:mod:`repro.update.relabel`); everyone else
+        should treat it as read-only.
+        """
+        self.bind()
+        return self._node_slot_auths
+
+    def authorization_slots(self) -> Iterator[tuple[Authorization, str]]:
+        """``(authorization, slot)`` pairs in binding order — instance
+        authorizations first, then schema ones, exactly as
+        :meth:`bind` bins them."""
+        for authorization in self._instance_auths:
+            yield authorization, _INSTANCE_SLOT[authorization.type]
+        for authorization in self._schema_auths:
+            yield authorization, _SCHEMA_SLOT[authorization.type]
+
+    @property
+    def relative_mode(self) -> RelativeMode:
+        return self._relative_mode
+
+    def rebase(self, document: Document | Element, node_map: dict) -> None:
+        """Re-anchor a *bound* labeler onto a cloned tree.
+
+        *node_map* maps every node of the current tree to its clone
+        (see :func:`repro.update.relabel.clone_with_map`). The bound
+        authorization bins are carried over by key remapping — no path
+        expression is re-evaluated, which is what makes incremental
+        relabeling cheap. Nodes absent from the map (none, for a full
+        clone) simply drop their bins.
+        """
+        self.bind()
+        self._document = document
+        self._root = (
+            document.root if isinstance(document, Document) else document
+        )
+        remapped: dict[Node, dict[str, list[Authorization]]] = {}
+        for node, slots in self._node_slot_auths.items():
+            new = node_map.get(node)
+            if new is not None:
+                remapped[new] = slots
+        self._node_slot_auths = remapped
+
+    def relabel_subtree(self, root: Node, labels: dict[Node, Label]) -> int:
+        """Eagerly (re)label *root* and its whole subtree into *labels*.
+
+        Overwrites any memoized entries — this is the "re-run the
+        labeler from the nearest labeled ancestor down" step after an
+        edit invalidated a subtree's labels (the ancestors' labels are
+        unaffected by construction: a node's label depends only on the
+        bins along its own root path). Returns the number of nodes
+        labeled.
+        """
+        self.bind()
+        parent = root.parent
+        if parent is None or isinstance(parent, Document):
+            label = self._initial_label(root)
+            label.compute_final()
+            labels[root] = label
+            if self._recorder is not None and isinstance(root, Element):
+                self._recorder.record_element_final(root, label)
+        else:
+            parent_label = labels.get(parent)
+            if parent_label is None:
+                parent_label = self.label_lazily(parent, labels)
+            labels[root] = self._label_node(root, parent_label)
+        count = 1
+        if isinstance(root, Element):
+            stack: list[tuple[Node, Element]] = []
+            self._push_children(root, stack)
+            while stack:
+                node, node_parent = stack.pop()
+                labels[node] = self._label_node(node, labels[node_parent])
+                count += 1
+                if isinstance(node, Element):
+                    self._push_children(node, stack)
+        return count
+
+    @contextmanager
+    def recording(self, recorder: ProvenanceRecorder):
+        """Temporarily attach *recorder* for provenance-aware lazy
+        labeling (used by the update path to capture exactly which
+        authorization admitted a write). Not thread-safe: callers must
+        hold whatever lock serializes access to this labeler."""
+        previous = self._recorder
+        self._recorder = recorder
+        try:
+            yield self
+        finally:
+            self._recorder = previous
 
     def _run(self) -> LabelingResult:
         labels: dict[Node, Label] = {}

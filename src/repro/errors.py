@@ -65,7 +65,7 @@ class RewriteUnsupported(ReproError):
     ----------
     reason:
         Machine-readable cause (e.g. ``"variable-reference"``,
-        ``"function:id"``), used as the ``reason`` label on the
+        ``"function:lang"``), used as the ``reason`` label on the
         ``rewrite_fallback_total`` counter.
     """
 

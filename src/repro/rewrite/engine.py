@@ -21,9 +21,12 @@ compiled into a **guarded query** over the source document:
 
 The guarded query is evaluated by the standard evaluator with a child
 function registry, so step budgets, deadlines and tracing all apply
-unchanged. Queries outside the rewritable subset — variable references,
-the view-sensitive functions ``id()`` and ``lang()`` (both read parts
-of the document a view may hide in ways guards cannot express), or
+unchanged. ``id()`` is rewritten to ``__view-id``, which resolves
+tokens through virtual string-values and matches only ID attributes
+visible in the view (the oracle threads the DTD's ID map). Queries
+outside the rewritable subset — variable references, the
+view-sensitive function ``lang()`` (it reads in-scope ``xml:lang``
+attributes a view may hide in ways guards cannot express), or
 unknown functions — raise :class:`~repro.errors.RewriteUnsupported`;
 the server then falls back to the materialized pipeline transparently
 (docs/VIEWS.md documents the subset and the fallback rules).
@@ -77,6 +80,7 @@ _CMP = "__view-cmp"
 _STR = "__view-str"
 _NUM = "__view-num"
 _SUM = "__view-sum"
+_ID = "__view-id"
 
 #: Expression kinds that can statically yield a node-set. Conversions of
 #: these operands must go through the oracle's virtual string-values;
@@ -87,9 +91,10 @@ _NODE_SET_KINDS = (LocationPath, UnionExpr, PathExpr, FilterExpr)
 _COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
 
 #: Functions that cannot be guarded: they read parts of the document
-#: (ID attribute values, in-scope ``xml:lang`` attributes) that a view
-#: may hide even on nodes that survive pruning.
-_VIEW_SENSITIVE = frozenset(("id", "lang"))
+#: (in-scope ``xml:lang`` attributes) that a view may hide even on
+#: nodes that survive pruning. ``id()`` used to live here; it is now
+#: rewritten to ``__view-id`` over the oracle's visible ID map.
+_VIEW_SENSITIVE = frozenset(("lang",))
 
 #: The rewritable core library: name -> (per-argument conversions,
 #: context-sensitive-when-argless). Conversions: ``"str"``/``"num"``
@@ -118,6 +123,7 @@ _FUNCTIONS: dict[str, tuple[tuple[str, ...], bool]] = {
     "false": ((), False),
     "number": (("num",), True),
     "sum": (("raw",), False),
+    "id": (("raw",), False),
     "floor": (("num",), False),
     "ceiling": (("num",), False),
     "round": (("num",), False),
@@ -163,11 +169,40 @@ def registry_for(
             raise XPathEvaluationError("sum() requires a node-set argument")
         return float(sum(to_number(oracle.string_value(node)) for node in nodes))
 
+    def view_id(context, args):
+        # Mirrors the materialized evaluator's id() over the view:
+        # tokens come from *virtual* string-values (the argument is
+        # already guarded, so only view nodes contribute), the lookup
+        # consults the DTD's ID map, and only ID attributes visible in
+        # the view can make their element findable. A visible ID
+        # attribute implies the element survives pruning, so no extra
+        # existence check is needed.
+        from repro.xml.traversal import iter_elements
+
+        value = args[0]
+        if isinstance(value, list):
+            tokens: set[str] = set()
+            for node in value:
+                tokens.update(oracle.string_value(node).split())
+        else:
+            tokens = set(to_string(value).split())
+        if not tokens:
+            return []
+        return [
+            element
+            for element in iter_elements(oracle.document)
+            if any(
+                identifier in tokens
+                for identifier in oracle.visible_ids(element)
+            )
+        ]
+
     registry.register(GUARD_FUNCTION, guard, 0, 0)
     registry.register(_CMP, view_cmp, 3, 3)
     registry.register(_STR, view_str, 1, 1)
     registry.register(_NUM, view_num, 1, 1)
     registry.register(_SUM, view_sum, 1, 1)
+    registry.register(_ID, view_id, 1, 1)
     return registry
 
 
@@ -304,6 +339,8 @@ class _Rewriter:
             ]
         if name == "sum":
             return FunctionCall(_SUM, args)
+        if name == "id":
+            return FunctionCall(_ID, args)
         return FunctionCall(name, args)
 
 

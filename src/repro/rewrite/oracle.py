@@ -120,6 +120,10 @@ class VisibilityOracle:
         self._labeler.bind()
         self._labels: dict[Node, Label] = {}
         self._survives: dict[Element, bool] = {}
+        # Compiled stream patterns for incremental refresh after an
+        # update; built on first use. False = proven unsupported.
+        self._patterns = None
+        self._id_attrs: Optional[dict[str, tuple[str, ...]]] = None
 
     # -- labels ------------------------------------------------------------
 
@@ -273,3 +277,147 @@ class VisibilityOracle:
     def lazy_labels(self) -> _LazyLabels:
         """A labels mapping (``.get``) computing labels on demand."""
         return _LazyLabels(self._labeler, self._labels)
+
+    # -- view-level ID lookup ------------------------------------------------
+
+    def id_attribute_names(self, element_name: str) -> tuple[str, ...]:
+        """The ID-typed attribute names for *element_name*.
+
+        With a DTD, attributes *declared* of type ID are authoritative
+        (per element type); without one, the attribute named ``id`` is
+        the conventional fallback — both exactly as the materialized
+        evaluator's ``id()`` resolves them.
+        """
+        if self._id_attrs is None:
+            id_attrs: dict[str, tuple[str, ...]] = {}
+            dtd = self.document.dtd
+            if dtd is not None:
+                from repro.dtd.model import AttributeType
+
+                for decl in dtd.elements.values():
+                    names = tuple(
+                        attr.name
+                        for attr in decl.attributes.values()
+                        if attr.type is AttributeType.ID
+                    )
+                    if names:
+                        id_attrs[decl.name] = names
+            self._id_attrs = id_attrs
+        if self.document.dtd is not None:
+            return self._id_attrs.get(element_name, ())
+        return ("id",)
+
+    def visible_ids(self, element: Element) -> list[str]:
+        """The element's ID attribute values *as seen in the view* —
+        an ID hidden by the policy must not make its element findable
+        through ``id()``."""
+        values: list[str] = []
+        for name in self.id_attribute_names(element.name):
+            attribute = element.attribute_node(name)
+            if attribute is not None and self.permitted(attribute):
+                values.append(attribute.value)
+        return values
+
+    # -- incremental refresh after an update ---------------------------------
+
+    def refreshed_for_update(self, document, node_map, deltas):
+        """A twin of this oracle on the post-update tree, plus whether
+        the edit affected this class's view.
+
+        *document* is the committed clone, *node_map* the old→new map
+        from :func:`repro.update.relabel.clone_with_map`, *deltas* the
+        applied :class:`~repro.update.relabel.EditDelta` sequence.
+
+        Returns ``None`` when the policy cannot be rebound
+        incrementally (the caller should rebuild from scratch), else
+        ``(refreshed_oracle, affected)``. This oracle is **not
+        mutated** beyond read-only memo probes — in-flight queries over
+        the pre-update tree keep their consistent state; the refreshed
+        twin carries every memo over by O(memo) key remapping, with the
+        edited subtrees (and each anchor's ancestor survival chain)
+        purged and rebound.
+
+        ``affected`` is ``True`` when any edited region was visible
+        before (``old_nodes`` against the pre-update tree) or is
+        visible after (``dirty`` against the refreshed twin).
+        ``False`` is a proof that the served view bytes are unchanged:
+        the pruned copy is a pure function of the visible node set;
+        the removed-or-replaced old content and the new content are
+        both invisible to this class, and every node outside the
+        edited regions keeps its label (top-down propagation) and its
+        structural survival (no visible node appeared or disappeared
+        below any ancestor).
+        """
+        import copy as _copy
+
+        from repro.update.relabel import compile_auth_patterns, rebind_subtree
+        from repro.xml.traversal import preorder
+
+        if self._patterns is None:
+            compiled = compile_auth_patterns(self._labeler)
+            self._patterns = compiled if compiled is not None else False
+        if self._patterns is False:
+            return None
+
+        # Phase 1 — before-visibility, against the current (old) tree:
+        # old_nodes are the pre-update counterparts of every edited or
+        # removed region; element survival subsumes attribute and text
+        # visibility (a visible attribute or text makes its element
+        # directly visible).
+        affected = False
+        for delta in deltas:
+            for old_root in delta.old_nodes:
+                if isinstance(old_root, Element) and self.survives(old_root):
+                    affected = True
+                    break
+            if affected:
+                break
+
+        # Phase 2 — the refreshed twin: remap every memo onto the new
+        # tree, then purge what the edit may have changed (labels and
+        # bins inside dirty regions, survival along each anchor's
+        # ancestor chain, everything under detached subtrees).
+        # TreeLabeler.rebase installs a fresh bins dict and
+        # rebind_subtree pops a node's mapping before re-binning, so
+        # the twin never writes through to this oracle's state.
+        clone = _copy.copy(self)
+        clone._labeler = _copy.copy(self._labeler)
+        clone._labeler.rebase(document, node_map)
+        clone.document = document
+        clone._labels = {
+            node_map[node]: label
+            for node, label in self._labels.items()
+            if node in node_map
+        }
+        clone._survives = {
+            node_map[node]: flag
+            for node, flag in self._survives.items()
+            if node in node_map
+        }
+        clone._id_attrs = None
+        for delta in deltas:
+            for removed in delta.removed:
+                for node in preorder(removed):
+                    clone._labels.pop(node, None)
+                    if isinstance(node, Element):
+                        clone._survives.pop(node, None)
+            if delta.dirty is not None:
+                rebind_subtree(clone._labeler, clone._patterns, delta.dirty)
+                for node in preorder(delta.dirty):
+                    clone._labels.pop(node, None)
+                    if isinstance(node, Element):
+                        clone._survives.pop(node, None)
+            ancestor = delta.anchor
+            while isinstance(ancestor, Element):
+                clone._survives.pop(ancestor, None)
+                ancestor = ancestor.parent
+
+        # Phase 3 — after-visibility, against the refreshed twin.
+        if not affected:
+            for delta in deltas:
+                if isinstance(delta.dirty, Element) and clone.survives(
+                    delta.dirty
+                ):
+                    affected = True
+                    break
+        return clone, affected

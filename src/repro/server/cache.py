@@ -110,6 +110,15 @@ class ViewCache:
         #: leader's computation (already counted in ``misses`` — the
         #: follower's lookup missed before it joined the flight).
         self.shared = 0
+        #: update-driven removals: entries dropped by
+        #: :meth:`invalidate_uri` because the edit may have changed
+        #: their bytes. Distinct from ``evictions`` (capacity) and
+        #: ``stale`` (lazy version-mismatch discovery on lookup).
+        self.invalidated = 0
+        #: entries an update provably did not affect: kept through
+        #: :meth:`invalidate_uri` with their versions re-stamped, so
+        #: the next lookup hits instead of finding them stale.
+        self.revalidated = 0
 
     @staticmethod
     def key(
@@ -226,6 +235,62 @@ class ViewCache:
         with self._lock:
             self.shared += 1
 
+    def invalidate_uri(
+        self,
+        uri: str,
+        keep=None,
+        store_version: Optional[int] = None,
+        document_version: Optional[int] = None,
+    ) -> tuple[int, int]:
+        """Subtree-granular invalidation after an update to *uri*.
+
+        *keep* is a predicate over cache keys: ``True`` means the edit
+        provably did not intersect that entry's view (the server proves
+        this with the visibility oracle), so the entry survives with
+        its ``store_version``/``document_version`` re-stamped to the
+        post-commit values — the next lookup hits instead of discarding
+        it as stale. Every other entry for *uri* is dropped. With no
+        *keep*, everything for *uri* is dropped (the pre-PR-8
+        behaviour).
+
+        Runs in two phases so the (possibly slow) keep predicate is
+        never evaluated under the cache lock: snapshot the URI's keys,
+        decide outside the lock, re-apply under the lock checking each
+        entry is still present. An entry raced in between the phases
+        for a *kept* key is re-stamped too — safe, because the keep
+        decision proved the view bytes are identical across the edit.
+
+        Returns ``(kept, dropped)``.
+        """
+        with self._lock:
+            snapshot = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == uri
+            ]
+        decisions = [
+            (key, bool(keep(key)) if keep is not None else False)
+            for key in snapshot
+        ]
+        kept = dropped = 0
+        with self._lock:
+            for key, keep_it in decisions:
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue
+                if keep_it:
+                    if store_version is not None:
+                        entry.store_version = store_version
+                    if document_version is not None:
+                        entry.document_version = document_version
+                    self.revalidated += 1
+                    kept += 1
+                else:
+                    del self._entries[key]
+                    self.invalidated += 1
+                    dropped += 1
+        return kept, dropped
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -246,11 +311,13 @@ class ViewCache:
         Keys: ``entries``, ``max_entries``, ``hits``, ``misses``,
         ``hit_rate``, ``evictions`` (capacity-driven removals),
         ``stale`` (version-mismatch removals; already counted in
-        ``misses``) and ``shared`` (single-flight reuses; their lookups
+        ``misses``), ``shared`` (single-flight reuses; their lookups
         are already counted in ``misses``, so
-        ``hits + misses == lookups`` always holds). Taken under the
-        cache lock, so the counters cohere even while other threads
-        serve.
+        ``hits + misses == lookups`` always holds), ``invalidated``
+        (update-driven removals via :meth:`invalidate_uri` — *not*
+        evictions) and ``revalidated`` (entries an update provably kept
+        valid). Taken under the cache lock, so the counters cohere even
+        while other threads serve.
         """
         with self._lock:
             total = self.hits + self.misses
@@ -263,6 +330,8 @@ class ViewCache:
                 "evictions": self.evictions,
                 "stale": self.stale,
                 "shared": self.shared,
+                "invalidated": self.invalidated,
+                "revalidated": self.revalidated,
             }
 
     def reset_stats(self) -> None:
@@ -273,3 +342,5 @@ class ViewCache:
             self.evictions = 0
             self.stale = 0
             self.shared = 0
+            self.invalidated = 0
+            self.revalidated = 0

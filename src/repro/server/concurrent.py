@@ -51,6 +51,7 @@ from typing import Iterable, Optional, Sequence, Union
 from repro.limits import ResourceLimits
 from repro.server.request import AccessRequest, QueryRequest
 from repro.subjects.hierarchy import Requester
+from repro.update import UpdateRequest
 
 __all__ = [
     "ConcurrentFrontEnd",
@@ -84,7 +85,9 @@ class StreamRequest:
 
 
 #: Anything :func:`dispatch` knows how to route.
-Request = Union[AccessRequest, QueryRequest, ExplainRequest, StreamRequest]
+Request = Union[
+    AccessRequest, QueryRequest, ExplainRequest, StreamRequest, UpdateRequest
+]
 
 
 @dataclass
@@ -118,11 +121,13 @@ def _kind_of(item: Request) -> str:
         return "query"
     if isinstance(item, ExplainRequest):
         return "explain"
+    if isinstance(item, UpdateRequest):
+        return "update"
     if isinstance(item, AccessRequest):
         return "serve"
     raise TypeError(
         f"cannot dispatch {type(item).__name__}; expected AccessRequest, "
-        "QueryRequest, ExplainRequest or StreamRequest"
+        "QueryRequest, ExplainRequest, StreamRequest or UpdateRequest"
     )
 
 
@@ -141,6 +146,8 @@ def dispatch(
     kind = _kind_of(item)
     if kind == "serve":
         return server.serve(item, limits=limits)
+    if kind == "update":
+        return server.update(item, limits=limits)
     if kind == "serve_stream":
         return server.serve_stream(
             item.request,

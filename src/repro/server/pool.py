@@ -96,13 +96,17 @@ from repro.server.request import AccessRequest, QueryRequest
 from repro.server.supervisor import CircuitBreaker, RestartPolicy, Supervisor
 from repro.subjects.hierarchy import Requester
 from repro.testing.faults import FaultPlan
+from repro.update import UpdateRequest
 
 __all__ = ["PoolOutcome", "ShardedServerPool"]
 
 #: What the pool knows how to route to a worker. ``ExplainRequest`` is
 #: deliberately absent: an Explanation holds live tree nodes and does
 #: not cross a process boundary; run explain on an in-process server.
-PoolRequest = Union[AccessRequest, QueryRequest, StreamRequest]
+#: ``UpdateRequest`` routes like reads — consistent-hashing by URI means
+#: a write always lands on the worker whose shard *owns* the document,
+#: so the mutation and every later read of that URI see one repository.
+PoolRequest = Union[AccessRequest, QueryRequest, StreamRequest, UpdateRequest]
 
 
 def _kind_of(item: PoolRequest) -> str:
@@ -110,12 +114,14 @@ def _kind_of(item: PoolRequest) -> str:
         return "serve_stream"
     if isinstance(item, QueryRequest):
         return "query"
+    if isinstance(item, UpdateRequest):
+        return "update"
     if isinstance(item, AccessRequest):
         return "serve"
     raise TypeError(
         f"cannot pool-dispatch {type(item).__name__}; expected "
-        "AccessRequest, QueryRequest or StreamRequest (explain is "
-        "in-process only)"
+        "AccessRequest, QueryRequest, StreamRequest or UpdateRequest "
+        "(explain is in-process only)"
     )
 
 
@@ -776,8 +782,24 @@ class ShardedServerPool:
             return self._fallback_server
 
     def _serve_degraded(self, pending: _Pending) -> None:
-        """Serve one request in-process on the fallback server."""
+        """Serve one request in-process on the fallback server.
+
+        Reads only: applying a *write* to the fallback replica would
+        fork the corpus from the shard owner's copy (split-brain), so
+        updates for an unhealthy shard always fail fast instead.
+        """
         if pending.done:
+            return
+        if pending.kind == "update":
+            self._finish(
+                pending,
+                "unhealthy",
+                error=PoolUnhealthy(
+                    f"shard {pending.shard} unavailable: updates are never "
+                    "served by the degraded fallback (split-brain)",
+                    shard=pending.shard,
+                ),
+            )
             return
         pending.degraded = True
         try:

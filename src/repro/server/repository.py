@@ -163,6 +163,15 @@ class StoredDocument:
             self.text = None
             self.version += 1
 
+    def exclusive(self) -> threading.RLock:
+        """The per-document lock, for callers running a multi-step
+        read-clone-apply-commit cycle (the update path): holding it
+        across the cycle rules out lost updates from two concurrent
+        writers cloning the same base tree. Reentrant, so
+        :meth:`document` and :meth:`replace_tree` may be called while
+        held. Readers never take it for plain tree access."""
+        return self._lock
+
     def source_text(self) -> str:
         """The document as text, for the streaming pipeline.
 

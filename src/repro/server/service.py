@@ -37,6 +37,7 @@ from repro.errors import (
     RepositoryError,
     ResourceError,
     RewriteUnsupported,
+    ValidationError,
 )
 from repro.limits import DEFAULT_LIMITS, Deadline, ResourceLimits
 from repro.obs.metrics import MetricsRegistry
@@ -46,7 +47,12 @@ from repro.server.audit import AuditLog
 from repro.server.cache import CachedView, ViewCache
 from repro.server.repository import Repository
 from repro.server.request import AccessRequest, AccessResponse, QueryRequest
-from repro.server.updates import UpdateEngine, UpdateOutcome, UpdateRequest
+from repro.update import (
+    UpdateDenied,
+    UpdateEngine,
+    UpdateOutcome,
+    UpdateRequest,
+)
 from repro.stream.events import DoctypeDecl, StartElement
 from repro.stream.labeler import StreamLabeler
 from repro.stream.paths import StreamPathUnsupported
@@ -168,6 +174,18 @@ class SecureXMLServer:
         # store/document versions they were built against.
         self._oracle_lock = threading.Lock()
         self._oracles: "OrderedDict" = OrderedDict()
+        # Write-path label-state reuse: (uri, write-class, action,
+        # policy, validity) -> (LabelState, store/doc versions, tree).
+        # A state is claimed (removed) by the update that reuses it —
+        # rebasing mutates it, so it must never be shared.
+        self._update_lock = threading.Lock()
+        self._update_states: "OrderedDict" = OrderedDict()
+        # cache class-key -> a representative requester of that class,
+        # recorded when a view is cached; lets the update path rebuild
+        # a visibility oracle for classes with cached views but no live
+        # oracle, to prove their entries unaffected by an edit.
+        self._requester_lock = threading.Lock()
+        self._key_requesters: "OrderedDict" = OrderedDict()
         # Attribute sink failures to this server's registry too (the
         # process-wide METRICS keeps counting regardless); an audit log
         # explicitly wired to another registry is left alone.
@@ -321,6 +339,7 @@ class SecureXMLServer:
                 policy_marker,
                 self._validity_marker(request.uri, dtd_uri, request.action, now),
             )
+            self._remember_requester(cache_key, request.requester)
             try:
                 hit = self.view_cache.get(
                     cache_key, store_version, document_version
@@ -936,64 +955,447 @@ class SecureXMLServer:
         )
         return explanation
 
-    def update(self, request: UpdateRequest) -> UpdateOutcome:
+    def update(
+        self, request: UpdateRequest, limits: Optional[ResourceLimits] = None
+    ) -> UpdateOutcome:
         """Apply a write/update batch under ``action="write"`` labels.
 
         The operations are enforced node-by-node against the requester's
         write authorizations (paper, Section 8 future work; see
-        :mod:`repro.server.updates`), applied atomically to the stored
-        document, and re-validated against its DTD. On denial or
-        validation failure nothing is changed and the exception
-        propagates; every outcome is audited.
+        :mod:`repro.update`), applied to a clone of the stored document
+        under the per-document lock (so two concurrent writers never
+        lose each other's batch), re-validated against its DTD and
+        committed with a monotonically increasing per-document version.
+        Relabeling after the edit is incremental — only the edited
+        subtrees are re-run (``outcome.relabeled_nodes``/
+        ``outcome.incremental``) — and view-cache invalidation is
+        subtree-granular: entries whose views provably did not
+        intersect the edit survive with re-stamped versions
+        (``outcome.cache_kept``/``cache_dropped``).
+
+        On denial or validation failure nothing is changed and the
+        exception propagates (audited as denied). A tripped resource
+        guard comes back as a *structured* failure: ``applied`` false,
+        ``error``/``error_kind`` set, no traceback. Applied batches
+        carry write provenance in ``outcome.admitted`` — exactly which
+        authorizations admitted each touched target.
         """
-        stored = self.repository.stored(request.uri)
-        document = stored.document()
-        now = time.time()
-        instance_auths = self.store.applicable(
-            request.requester, request.uri, request.action, at=now
-        )
-        dtd_uri = self.repository.dtd_uri_of(request.uri)
-        schema_auths = (
-            self.store.applicable(request.requester, dtd_uri, request.action, at=now)
-            if dtd_uri
-            else []
+        with self._request_scope("update") as scope:
+            outcome = self._update(request, limits)
+        outcome.detail = outcome.detail or ""
+        return outcome
+
+    def _update(
+        self, request: UpdateRequest, limits: Optional[ResourceLimits]
+    ) -> UpdateOutcome:
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
+        started = time.perf_counter()
+        stored = self._stored(
+            request.requester, request.uri, request.action, kind="update"
         )
         config = self.policy_for(request.uri)
-        engine = UpdateEngine(
-            self.hierarchy,
-            policy=config.build_policy(),
-            relative_mode=config.relative_paths,
+        policy_marker = (
+            config.conflict_policy,
+            config.open_policy,
+            config.relative_paths,
         )
-        started = time.perf_counter()
-        try:
-            updated, outcome = engine.apply(
-                document, request, instance_auths, schema_auths
+        dtd_uri = self.repository.dtd_uri_of(request.uri)
+        # The whole read-clone-apply-commit cycle runs under the
+        # per-document lock: concurrent readers stay lock-free on the
+        # old tree, but a second writer waits instead of cloning the
+        # same base and losing this batch on commit.
+        with stored.exclusive():
+            store_version = self.store.version
+            old_version = stored.version
+            now = time.time()
+            try:
+                deadline.check("request")
+                document = stored.document(limits=limits, deadline=deadline)
+            except ResourceError as exc:
+                return self._update_guard_failure(request, exc, started)
+            with span("authz.bind"):
+                instance_auths = self.store.applicable(
+                    request.requester, request.uri, request.action, at=now
+                )
+                schema_auths = (
+                    self.store.applicable(
+                        request.requester, dtd_uri, request.action, at=now
+                    )
+                    if dtd_uri
+                    else []
+                )
+            engine = UpdateEngine(
+                self.hierarchy,
+                policy=config.build_policy(),
+                relative_mode=config.relative_paths,
             )
-        except Exception as exc:
-            self.audit.record(
-                request.requester,
+            state_key = (
                 request.uri,
+                self._effective_class(request.requester, request.action),
                 request.action,
-                "denied",
-                elapsed_seconds=time.perf_counter() - started,
-                detail=str(exc),
+                policy_marker,
+                self._validity_marker(request.uri, dtd_uri, request.action, now),
             )
-            raise
-        # Commit: swap the stored tree; drop any stale source text and
-        # bump the version so cached views of the old tree go stale.
-        # The swap is atomic w.r.t. concurrent readers (per-document lock).
-        updated.uri = request.uri
-        stored.replace_tree(updated)
+            state = self._claim_update_state(
+                state_key, store_version, old_version, document
+            )
+            try:
+                result = engine.apply_full(
+                    document,
+                    request,
+                    instance_auths,
+                    schema_auths,
+                    limits=limits,
+                    deadline=deadline,
+                    state=state,
+                    collect_admitted=True,
+                )
+            except (UpdateDenied, ValidationError) as exc:
+                elapsed = time.perf_counter() - started
+                bucket = (
+                    "denied" if isinstance(exc, UpdateDenied) else "invalid"
+                )
+                self._meter(
+                    "counter", "update_requests_total", {"outcome": bucket}, 1
+                )
+                self._record_request("update", "denied", elapsed)
+                self.audit.record(
+                    request.requester,
+                    request.uri,
+                    request.action,
+                    "denied",
+                    elapsed_seconds=elapsed,
+                    detail=str(exc),
+                    backend="update",
+                )
+                raise
+            except ResourceError as exc:
+                return self._update_guard_failure(request, exc, started)
+            with span("update.commit"):
+                result.document.uri = request.uri
+                stored.replace_tree(result.document)
+                new_version = stored.version
+            self._store_update_state(
+                state_key, result.state, store_version, new_version,
+                result.document,
+            )
+            kept = dropped = 0
+            if self.view_cache is not None:
+                with span("update.invalidate"):
+                    kept, dropped = self._invalidate_after_update(
+                        request.uri, document, result,
+                        store_version, old_version, new_version,
+                        limits, deadline,
+                    )
+        outcome = result.outcome
+        outcome.version = new_version
+        outcome.cache_kept = kept
+        outcome.cache_dropped = dropped
+        elapsed = time.perf_counter() - started
+        self._meter(
+            "counter", "update_requests_total", {"outcome": "applied"}, 1
+        )
+        self._meter(
+            "counter", "relabel_nodes_total", {}, outcome.relabeled_nodes
+        )
+        self._record_request("update", "released", elapsed)
         self.audit.record(
             request.requester,
             request.uri,
             request.action,
             "released",
             visible_nodes=outcome.touched_nodes,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             detail=f"{outcome.operations} operation(s) applied",
+            backend="update",
         )
         return outcome
+
+    def _update_guard_failure(
+        self, request: UpdateRequest, exc: ResourceError, started: float
+    ) -> UpdateOutcome:
+        """Turn a tripped guard on the write path into a structured,
+        audited :class:`UpdateOutcome` instead of a raised traceback."""
+        elapsed = time.perf_counter() - started
+        trip_kind = (
+            "deadline-exceeded"
+            if isinstance(exc, DeadlineExceeded)
+            else "limit-exceeded"
+        )
+        self.metrics.counter("guard_trips_total", kind=trip_kind).inc()
+        self._meter(
+            "counter", "update_requests_total", {"outcome": "error"}, 1
+        )
+        self._record_request("update", "error", elapsed)
+        self.audit.record(
+            request.requester,
+            request.uri,
+            request.action,
+            "error",
+            elapsed_seconds=elapsed,
+            detail=f"{trip_kind}: {exc}",
+            backend="update",
+        )
+        return UpdateOutcome(applied=False, error=exc, error_kind=trip_kind)
+
+    def _claim_update_state(
+        self, key, store_version: int, document_version: int, document
+    ):
+        """Take (and remove) a reusable write-label state for *key*.
+
+        Valid only when the store and document versions it was saved
+        under still hold and the saved tree is the stored tree itself —
+        otherwise it silently rebuilds. Claiming removes the entry
+        because rebasing mutates the state in place.
+        """
+        with self._update_lock:
+            entry = self._update_states.pop(key, None)
+        if entry is None:
+            return None
+        state, entry_store_v, entry_doc_v, entry_doc = entry
+        if (
+            entry_store_v == store_version
+            and entry_doc_v == document_version
+            and entry_doc is document
+        ):
+            return state
+        return None
+
+    def _store_update_state(
+        self, key, state, store_version: int, document_version: int, document
+    ) -> None:
+        with self._update_lock:
+            self._update_states[key] = (
+                state, store_version, document_version, document,
+            )
+            self._update_states.move_to_end(key)
+            while len(self._update_states) > 16:
+                self._update_states.popitem(last=False)
+
+    def _remember_requester(self, key, requester: Requester) -> None:
+        with self._requester_lock:
+            self._key_requesters[key] = requester
+            self._key_requesters.move_to_end(key)
+            while len(self._key_requesters) > 4096:
+                self._key_requesters.popitem(last=False)
+
+    def _invalidate_after_update(
+        self,
+        uri: str,
+        old_document: Document,
+        result,
+        store_version: int,
+        old_version: int,
+        new_version: int,
+        limits: ResourceLimits,
+        deadline: Deadline,
+    ) -> tuple[int, int]:
+        """Subtree-granular cache invalidation + oracle refresh.
+
+        For every effective class with a live visibility oracle (or a
+        cached view and a known representative requester), the oracle
+        proves whether the edit intersected that class's view
+        (:meth:`VisibilityOracle.refreshed_for_update`). Proven-disjoint
+        entries survive with re-stamped versions; everything else
+        drops. Refreshed oracle twins are installed so the virtual
+        query path stays warm across updates.
+        """
+        with self._oracle_lock:
+            snapshot = [
+                (key, entry)
+                for key, entry in self._oracles.items()
+                if key[0] == uri
+            ]
+        decisions: dict = {}
+        refreshed: dict = {}
+
+        def prove(key, oracle) -> bool:
+            out = oracle.refreshed_for_update(
+                result.document, result.node_map, result.deltas
+            )
+            if out is None:
+                return False
+            twin, affected = out
+            decisions[key] = not affected
+            refreshed[key] = twin
+            return not affected
+
+        for key, (oracle, entry_store_v, entry_doc_v) in snapshot:
+            if (
+                entry_store_v != store_version
+                or entry_doc_v != old_version
+                or oracle.document is not old_document
+            ):
+                continue  # stale oracle: no proof for this class
+            prove(key, oracle)
+
+        def keep(key) -> bool:
+            if key in decisions:
+                return decisions[key]
+            oracle = self._oracle_for_cached_class(
+                key, old_document, limits, deadline
+            )
+            if oracle is None:
+                return False
+            return prove(key, oracle)
+
+        kept, dropped = self.view_cache.invalidate_uri(
+            uri,
+            keep=keep,
+            store_version=store_version,
+            document_version=new_version,
+        )
+        with self._oracle_lock:
+            for key in [k for k in self._oracles if k[0] == uri]:
+                twin = refreshed.get(key)
+                if twin is not None:
+                    self._oracles[key] = (twin, store_version, new_version)
+                else:
+                    del self._oracles[key]
+            for key, twin in refreshed.items():
+                if key not in self._oracles:
+                    self._oracles[key] = (twin, store_version, new_version)
+                    self._oracles.move_to_end(key)
+            while len(self._oracles) > 64:
+                self._oracles.popitem(last=False)
+        self._meter(
+            "counter",
+            "cache_partial_invalidations_total",
+            {"result": "kept"},
+            kept,
+        )
+        self._meter(
+            "counter",
+            "cache_partial_invalidations_total",
+            {"result": "dropped"},
+            dropped,
+        )
+        return kept, dropped
+
+    def _oracle_for_cached_class(
+        self, key, old_document: Document, limits, deadline
+    ) -> Optional[VisibilityOracle]:
+        """Rebuild the visibility oracle behind a cached view's class
+        key, using the recorded representative requester — only when
+        that requester still resolves to exactly this key (class,
+        policy and validity unchanged), so the proof the oracle
+        produces applies to the cached bytes."""
+        with self._requester_lock:
+            requester = self._key_requesters.get(key)
+        if requester is None:
+            return None
+        uri, _effective, action, _policy_marker, _validity = key
+        config = self.policy_for(uri)
+        now = time.time()
+        dtd_uri = self.repository.dtd_uri_of(uri)
+        current = ViewCache.class_key(
+            uri,
+            self._effective_class(requester, action),
+            action,
+            (
+                config.conflict_policy,
+                config.open_policy,
+                config.relative_paths,
+            ),
+            self._validity_marker(uri, dtd_uri, action, now),
+        )
+        if current != key:
+            return None
+        instance_auths = self.store.applicable(requester, uri, action, at=now)
+        schema_auths = (
+            self.store.applicable(requester, dtd_uri, action, at=now)
+            if dtd_uri
+            else []
+        )
+        try:
+            return VisibilityOracle(
+                old_document,
+                instance_auths,
+                schema_auths,
+                self.hierarchy,
+                policy=config.build_policy(),
+                open_policy=config.open_policy,
+                relative_mode=config.relative_paths,
+                limits=limits,
+                deadline=deadline,
+            )
+        except ResourceError:
+            return None
+
+    def check_consistency(
+        self,
+        requester: Requester,
+        uri: str,
+        suggest_repairs: bool = False,
+        limits: Optional[ResourceLimits] = None,
+    ):
+        """Check write/read policy consistency for *requester* on *uri*.
+
+        Flags every node the requester may write but cannot see (a
+        write grant on a read-hidden node — useless at best, a probe
+        oracle at worst); with *suggest_repairs* each finding carries
+        the minimal read grant that would expose the node, attributed
+        to the requester. Audited with backend ``update`` and outcome
+        ``accept`` (no findings) or ``repair``. Returns the list of
+        :class:`~repro.authz.consistency.ConsistencyFinding`.
+        """
+        from repro.authz.consistency import check_write_consistency
+
+        limits = limits if limits is not None else self.limits
+        deadline = limits.deadline()
+        with self._request_scope("consistency"):
+            started = time.perf_counter()
+            stored = self._stored(requester, uri, "consistency")
+            document = stored.document(limits=limits, deadline=deadline)
+            config = self.policy_for(uri)
+            now = time.time()
+            dtd_uri = self.repository.dtd_uri_of(uri)
+            findings = check_write_consistency(
+                document,
+                uri=uri,
+                read_instance=self.store.applicable(
+                    requester, uri, "read", at=now
+                ),
+                read_schema=(
+                    self.store.applicable(requester, dtd_uri, "read", at=now)
+                    if dtd_uri
+                    else []
+                ),
+                write_instance=self.store.applicable(
+                    requester, uri, "write", at=now
+                ),
+                write_schema=(
+                    self.store.applicable(requester, dtd_uri, "write", at=now)
+                    if dtd_uri
+                    else []
+                ),
+                hierarchy=self.hierarchy,
+                policy=config.build_policy(),
+                open_policy=config.open_policy,
+                relative_mode=config.relative_paths,
+                suggest_repairs=suggest_repairs,
+                repair_subject=requester.as_spec(),
+                limits=limits,
+                deadline=deadline,
+            )
+            elapsed = time.perf_counter() - started
+            outcome = "accept" if not findings else "repair"
+            self._meter(
+                "counter", "consistency_checks_total", {"outcome": outcome}, 1
+            )
+            self._record_request("consistency", outcome, elapsed)
+            self.audit.record(
+                requester,
+                uri,
+                "consistency",
+                outcome,
+                visible_nodes=len(findings),
+                elapsed_seconds=elapsed,
+                detail=f"{len(findings)} finding(s)",
+                backend="update",
+            )
+        return findings
 
     def processor_for(self, uri: str) -> SecurityProcessor:
         """A :class:`SecurityProcessor` configured with *uri*'s policy."""
@@ -1351,20 +1753,22 @@ class SecureXMLServer:
         )
         return (instance_marker, schema_marker)
 
-    def _stored(self, requester: Requester, uri: str, action: str):
+    def _stored(
+        self, requester: Requester, uri: str, action: str, kind: str = "serve"
+    ):
         """Fetch a stored document, converting any repository failure
         into an audited, typed :class:`~repro.errors.RepositoryError`."""
         try:
             return self.repository.stored(uri)
         except RepositoryError:
-            self._record_request("serve", "error")
+            self._record_request(kind, "error")
             self.audit.record(
                 requester, uri, action, "error", detail="unknown document"
             )
             raise
         except Exception as exc:
             self.metrics.counter("repository_errors_total").inc()
-            self._record_request("serve", "error")
+            self._record_request(kind, "error")
             self.audit.record(
                 requester,
                 uri,

@@ -1,46 +1,29 @@
-"""Write/update enforcement — the paper's first "further work" item.
+"""Compatibility shim — the update subsystem moved to :mod:`repro.update`.
 
-Section 8: "Issues to be investigated include ... the support for write
-and update operations on the documents", and Definition 3's footnote:
-"The support of other actions, like write, update, etc., does not
-complicate the authorization model."
-
-It indeed does not: authorizations already carry a generic ``action``
-field, so write entitlements are ordinary 5-tuples with
-``action="write"``, labeled by the very same compute-view pass. What is
-new here is the *enforcement rule* for mutations and an atomic
-apply-validate-commit cycle:
-
-- an operation may touch a node only if the node's **write label** is
-  ``+`` (closed policy: unlabeled means not writable);
-- deleting a subtree requires every node in it to be writable — a
-  requester must never destroy content that is hidden from them;
-- inserting under an element requires the element itself to be
-  writable;
-- operations are applied to a clone of the stored document; if the
-  document has a DTD, the result must still validate; only then is the
-  stored document swapped (all-or-nothing semantics).
-
-Operations form a small XUpdate-like vocabulary:
-:class:`SetAttribute`, :class:`RemoveAttribute`, :class:`SetText`,
-:class:`InsertChild`, :class:`DeleteNode`.
+The original write/update enforcement lived here; it grew into a full
+subsystem (incremental relabeling, edit deltas, reusable label state)
+and now lives in :mod:`repro.update`. Importing the old names from this
+module keeps working; new code should import from :mod:`repro.update`
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
-
-from repro.authz.conflict import ConflictPolicy
-from repro.core.labeling import TreeLabeler
-from repro.core.labels import Label
-from repro.errors import ReproError, ValidationError
-from repro.subjects.hierarchy import Requester, SubjectHierarchy
-from repro.xml.nodes import Document, Element, Node, Text
-from repro.xml.parser import parse_fragment
-from repro.xml.traversal import node_path, preorder
-from repro.xpath.compile import RelativeMode
-from repro.dtd.validator import validate
+from repro.update.engine import UpdateEngine, UpdateResult
+from repro.update.ops import (
+    DeleteNode,
+    DeleteSubtree,
+    InsertChild,
+    InsertSubtree,
+    RemoveAttribute,
+    ReplaceSubtree,
+    SetAttribute,
+    SetText,
+    UpdateDenied,
+    UpdateOperation,
+    UpdateOutcome,
+    UpdateRequest,
+)
 
 __all__ = [
     "UpdateDenied",
@@ -49,226 +32,12 @@ __all__ = [
     "SetText",
     "InsertChild",
     "DeleteNode",
+    "ReplaceSubtree",
+    "InsertSubtree",
+    "DeleteSubtree",
     "UpdateOperation",
     "UpdateRequest",
     "UpdateOutcome",
     "UpdateEngine",
+    "UpdateResult",
 ]
-
-
-class UpdateDenied(ReproError):
-    """The requester lacks write authorization for a touched node."""
-
-
-@dataclass(frozen=True)
-class SetAttribute:
-    """Set (create or overwrite) an attribute on every selected element."""
-
-    target: str  # XPath selecting elements
-    name: str
-    value: str
-
-
-@dataclass(frozen=True)
-class RemoveAttribute:
-    """Remove an attribute from every selected element, if present."""
-
-    target: str
-    name: str
-
-
-@dataclass(frozen=True)
-class SetText:
-    """Replace the text content of every selected element."""
-
-    target: str
-    text: str
-
-
-@dataclass(frozen=True)
-class InsertChild:
-    """Append a parsed XML fragment under every selected element.
-
-    ``position`` is the child index (``None`` appends at the end).
-    """
-
-    target: str
-    fragment: str
-    position: Optional[int] = None
-
-
-@dataclass(frozen=True)
-class DeleteNode:
-    """Delete every selected element (attribute targets are rejected —
-    use :class:`RemoveAttribute`)."""
-
-    target: str
-
-
-UpdateOperation = Union[SetAttribute, RemoveAttribute, SetText, InsertChild, DeleteNode]
-
-
-@dataclass(frozen=True)
-class UpdateRequest:
-    """A batch of operations on one document by one requester."""
-
-    requester: Requester
-    uri: str
-    operations: tuple[UpdateOperation, ...]
-    action: str = "write"
-
-    @classmethod
-    def of(cls, requester: Requester, uri: str, *operations: UpdateOperation):
-        return cls(requester, uri, tuple(operations))
-
-
-@dataclass
-class UpdateOutcome:
-    """What an applied (or rejected) update did."""
-
-    applied: bool
-    touched_nodes: int = 0
-    operations: int = 0
-    detail: str = ""
-    violations: list[str] = field(default_factory=list)
-
-
-class UpdateEngine:
-    """Checks and applies update batches against write labels."""
-
-    def __init__(
-        self,
-        hierarchy: SubjectHierarchy,
-        policy: Optional[ConflictPolicy] = None,
-        relative_mode: RelativeMode = "descendant",
-        validate_result: bool = True,
-    ) -> None:
-        self._hierarchy = hierarchy
-        self._policy = policy
-        self._relative_mode = relative_mode
-        self._validate_result = validate_result
-
-    def apply(
-        self,
-        document: Document,
-        request: UpdateRequest,
-        instance_auths,
-        schema_auths,
-    ) -> tuple[Document, UpdateOutcome]:
-        """Enforce and apply *request* against *document*.
-
-        Returns ``(new_document, outcome)``; *document* itself is never
-        mutated. Raises :class:`UpdateDenied` when any operation touches
-        a non-writable node and :class:`ValidationError` when the result
-        would no longer conform to the document's DTD.
-        """
-        working = document.clone(deep=True)
-        labels = TreeLabeler(
-            working,
-            instance_auths,
-            schema_auths,
-            self._hierarchy,
-            policy=self._policy,
-            relative_mode=self._relative_mode,
-        ).run().labels
-
-        touched = 0
-        for operation in request.operations:
-            touched += self._apply_one(working, operation, labels)
-
-        if self._validate_result and working.dtd is not None:
-            report = validate(working, working.dtd)
-            if not report.valid:
-                raise ValidationError(report.violations)
-
-        outcome = UpdateOutcome(
-            applied=True,
-            touched_nodes=touched,
-            operations=len(request.operations),
-        )
-        return working, outcome
-
-    # -- per-operation -----------------------------------------------------
-
-    def _apply_one(
-        self,
-        working: Document,
-        operation: UpdateOperation,
-        labels: dict[Node, Label],
-    ) -> int:
-        targets = self._writable_targets(working, operation.target, labels)
-        if isinstance(operation, SetAttribute):
-            for element in targets:
-                self._require_attribute_writable(element, operation.name, labels)
-                element.set_attribute(operation.name, operation.value)
-            return len(targets)
-        if isinstance(operation, RemoveAttribute):
-            for element in targets:
-                self._require_attribute_writable(element, operation.name, labels)
-                element.remove_attribute(operation.name)
-            return len(targets)
-        if isinstance(operation, SetText):
-            for element in targets:
-                for child in [c for c in element.children if isinstance(c, Text)]:
-                    element.remove(child)
-                element.insert(0, Text(operation.text))
-            return len(targets)
-        if isinstance(operation, InsertChild):
-            for element in targets:
-                fragment = parse_fragment(operation.fragment)
-                if operation.position is None:
-                    element.append(fragment)
-                else:
-                    element.insert(operation.position, fragment)
-            return len(targets)
-        if isinstance(operation, DeleteNode):
-            for element in targets:
-                self._require_subtree_writable(element, labels)
-                parent = element.parent
-                if isinstance(parent, Document):
-                    raise UpdateDenied("the root element may not be deleted")
-                if isinstance(parent, Element):
-                    parent.remove(element)
-            return len(targets)
-        raise ReproError(f"unknown operation {type(operation).__name__}")
-
-    # -- entitlement checks ---------------------------------------------------
-
-    def _writable_targets(
-        self, working: Document, target: str, labels: dict[Node, Label]
-    ) -> list[Element]:
-        from repro.xpath.compile import compile_xpath
-
-        nodes = compile_xpath(target, self._relative_mode).select(working)
-        elements: list[Element] = []
-        for node in nodes:
-            if not isinstance(node, Element):
-                raise UpdateDenied(
-                    f"update target {target!r} selected a non-element node "
-                    f"at {node_path(node)}"
-                )
-            self._require_writable(node, labels)
-            elements.append(node)
-        return elements
-
-    def _require_writable(self, node: Node, labels: dict[Node, Label]) -> None:
-        label = labels.get(node)
-        if label is None or label.final != "+":
-            raise UpdateDenied(
-                f"no write authorization for {node_path(node)}"
-            )
-
-    def _require_attribute_writable(
-        self, element: Element, name: str, labels: dict[Node, Label]
-    ) -> None:
-        attribute = element.attribute_node(name)
-        if attribute is not None:
-            self._require_writable(attribute, labels)
-        # A new attribute inherits the element's writability, already
-        # checked by _writable_targets.
-
-    def _require_subtree_writable(
-        self, element: Element, labels: dict[Node, Label]
-    ) -> None:
-        for node in preorder(element):
-            self._require_writable(node, labels)

@@ -1,0 +1,62 @@
+"""repro.update — authorization-checked writes with incremental relabeling.
+
+The subsystem in three layers:
+
+- :mod:`repro.update.ops` — the operation vocabulary (XUpdate-like
+  dataclasses), :class:`UpdateRequest`/:class:`UpdateOutcome`, and
+  :class:`UpdateDenied`;
+- :mod:`repro.update.relabel` — clone-with-node-map snapshots,
+  :class:`EditDelta` descriptions of applied edits, and
+  :class:`LabelState` — the reusable labeler state that repairs only
+  the edited subtree after each operation;
+- :mod:`repro.update.engine` — :class:`UpdateEngine`, which selects
+  targets, enforces write labels (closed policy: only ``+`` admits a
+  mutation), applies the edit, emits deltas and validates the result.
+
+The served entry point is :meth:`repro.server.service.SecureXMLServer.update`,
+which adds locking, per-document versions, auditing, metrics and
+subtree-granular view-cache invalidation on top.
+"""
+
+from repro.update.engine import UpdateEngine, UpdateResult
+from repro.update.ops import (
+    DeleteNode,
+    DeleteSubtree,
+    InsertChild,
+    InsertSubtree,
+    RemoveAttribute,
+    ReplaceSubtree,
+    SetAttribute,
+    SetText,
+    UpdateDenied,
+    UpdateOperation,
+    UpdateOutcome,
+    UpdateRequest,
+)
+from repro.update.relabel import (
+    EditDelta,
+    IncrementalUnsupported,
+    LabelState,
+    clone_with_map,
+)
+
+__all__ = [
+    "UpdateDenied",
+    "SetAttribute",
+    "RemoveAttribute",
+    "SetText",
+    "InsertChild",
+    "DeleteNode",
+    "ReplaceSubtree",
+    "InsertSubtree",
+    "DeleteSubtree",
+    "UpdateOperation",
+    "UpdateRequest",
+    "UpdateOutcome",
+    "UpdateEngine",
+    "UpdateResult",
+    "EditDelta",
+    "IncrementalUnsupported",
+    "LabelState",
+    "clone_with_map",
+]

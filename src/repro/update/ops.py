@@ -1,0 +1,160 @@
+"""The update vocabulary: operations, requests and outcomes.
+
+Write entitlements are ordinary authorization 5-tuples with
+``action="write"`` (Definition 3's footnote: "The support of other
+actions, like write, update, etc., does not complicate the
+authorization model"), labeled by the very same compute-view pass. The
+enforcement rule for mutations (closed policy for writes — unlabeled
+means not writable) lives in :mod:`repro.update.engine`.
+
+Operations form a small XUpdate-like vocabulary. The subtree-shaped
+aliases (:data:`InsertSubtree`, :data:`DeleteSubtree`) name the same
+operations by what they do to the tree; :class:`ReplaceSubtree` swaps a
+whole subtree for a parsed fragment in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.subjects.hierarchy import Requester
+
+__all__ = [
+    "UpdateDenied",
+    "SetAttribute",
+    "RemoveAttribute",
+    "SetText",
+    "InsertChild",
+    "DeleteNode",
+    "ReplaceSubtree",
+    "InsertSubtree",
+    "DeleteSubtree",
+    "UpdateOperation",
+    "UpdateRequest",
+    "UpdateOutcome",
+]
+
+
+class UpdateDenied(ReproError):
+    """The requester lacks write authorization for a touched node."""
+
+
+@dataclass(frozen=True)
+class SetAttribute:
+    """Set (create or overwrite) an attribute on every selected element."""
+
+    target: str  # XPath selecting elements
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class RemoveAttribute:
+    """Remove an attribute from every selected element, if present."""
+
+    target: str
+    name: str
+
+
+@dataclass(frozen=True)
+class SetText:
+    """Replace the text content of every selected element."""
+
+    target: str
+    text: str
+
+
+@dataclass(frozen=True)
+class InsertChild:
+    """Append a parsed XML fragment under every selected element.
+
+    ``position`` is the child index (``None`` appends at the end).
+    """
+
+    target: str
+    fragment: str
+    position: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeleteNode:
+    """Delete every selected element (attribute targets are rejected —
+    use :class:`RemoveAttribute`)."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class ReplaceSubtree:
+    """Replace every selected element — subtree and all — with a parsed
+    fragment, at the same child position.
+
+    Like deletion, replacing requires the *whole* old subtree to be
+    writable (a requester must never destroy content hidden from them),
+    and the root element may not be replaced.
+    """
+
+    target: str
+    fragment: str
+
+
+#: Subtree-shaped aliases for the tree-level operations.
+InsertSubtree = InsertChild
+DeleteSubtree = DeleteNode
+
+UpdateOperation = Union[
+    SetAttribute,
+    RemoveAttribute,
+    SetText,
+    InsertChild,
+    DeleteNode,
+    ReplaceSubtree,
+]
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """A batch of operations on one document by one requester."""
+
+    requester: Requester
+    uri: str
+    operations: tuple[UpdateOperation, ...]
+    action: str = "write"
+
+    @classmethod
+    def of(cls, requester: Requester, uri: str, *operations: UpdateOperation):
+        return cls(requester, uri, tuple(operations))
+
+
+@dataclass
+class UpdateOutcome:
+    """What an applied (or rejected) update did.
+
+    The first five fields predate the incremental-relabeling subsystem
+    and keep their meaning. ``version`` is the stored document's version
+    after the commit (monotonically increasing per document);
+    ``incremental`` records whether the post-edit relabeling ran
+    incrementally (``relabeled_nodes`` counts the nodes it touched);
+    ``cache_kept``/``cache_dropped`` summarize the subtree-granular
+    view-cache invalidation; ``admitted`` carries write provenance as
+    ``(node_path, (authorization, ...))`` pairs — exactly which
+    authorizations admitted each touched target. Structured failures
+    (resource guards on the server path) come back with ``applied``
+    false and ``error``/``error_kind`` set instead of a traceback.
+    """
+
+    applied: bool
+    touched_nodes: int = 0
+    operations: int = 0
+    detail: str = ""
+    violations: list[str] = field(default_factory=list)
+    version: Optional[int] = None
+    incremental: bool = False
+    relabeled_nodes: int = 0
+    cache_kept: int = 0
+    cache_dropped: int = 0
+    admitted: tuple = ()
+    error: Optional[Exception] = None
+    error_kind: Optional[str] = None

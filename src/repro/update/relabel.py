@@ -1,0 +1,359 @@
+"""Incremental relabeling after an edit (the fast half of updates).
+
+The labeling model is strictly top-down: a node's label depends only on
+the authorization bins along its own root path (propagation never flows
+sideways or upwards). An edit therefore invalidates bins and labels
+only inside the edited subtree — everything outside keeps its labels,
+and relabeling can re-run the normal :class:`~repro.core.labeling.TreeLabeler`
+machinery *from the nearest labeled ancestor down* instead of from
+scratch.
+
+Two ingredients make that cheap:
+
+1. :func:`clone_with_map` — edits apply to a deep clone (readers keep
+   walking the old tree lock-free; the commit is an atomic swap), and
+   the clone records an old→new node map so bound labeler state carries
+   over by *dict remapping* instead of re-evaluating every
+   authorization's XPath.
+2. the **stream patterns** of :mod:`repro.stream.paths` — the same
+   NFA-compiled form of authorization paths the streaming pipeline
+   uses. A pattern's match at a node is a function of the node's root
+   path (ancestor names/attributes) alone, which is exactly the
+   edit-locality property: to rebind an edited subtree we advance each
+   pattern's state down the ancestor chain once and walk just the
+   subtree.
+
+When any applicable authorization path falls outside the streamable
+subset, :class:`LabelState.apply_delta` raises
+:class:`IncrementalUnsupported` and the caller falls back to a full
+rebind — correctness is never traded for speed, the fallback is merely
+slower (and metered).
+
+The differential property — incremental relabel ≡ full relabel, for
+every edit sequence under all four conflict policies — is enforced by
+``tests/update/test_incremental.py`` and the hypothesis suite in
+``tests/properties/test_update_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.authz.authorization import Authorization
+from repro.authz.conflict import ConflictPolicy
+from repro.core.labeling import (
+    ATTRIBUTE_SLOT_DEGRADE,
+    TreeLabeler,
+)
+from repro.core.labels import Label
+from repro.errors import ReproError
+from repro.limits import Deadline, ResourceLimits
+from repro.stream.paths import (
+    StreamPathUnsupported,
+    StreamPattern,
+    compile_stream_pattern,
+)
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.xml.nodes import Attribute, Document, Element, Node
+from repro.xml.traversal import preorder
+from repro.xpath.compile import RelativeMode
+
+__all__ = [
+    "IncrementalUnsupported",
+    "EditDelta",
+    "LabelState",
+    "clone_with_map",
+    "compile_auth_patterns",
+    "rebind_subtree",
+    "states_above",
+]
+
+
+class IncrementalUnsupported(ReproError):
+    """The applicable policy cannot be rebound incrementally (an
+    authorization path is outside the streamable subset)."""
+
+
+def clone_with_map(document: Document) -> tuple[Document, dict[Node, Node]]:
+    """Deep-clone *document*, returning the clone and an old→new map.
+
+    The map covers the document node, every element, attribute and leaf
+    node — everything a labeler, oracle or cache may hold memoized
+    state against. Iterative, so arbitrarily deep documents never
+    exhaust the interpreter stack.
+    """
+    copy = Document()
+    copy.doctype_name = document.doctype_name
+    copy.system_id = document.system_id
+    copy.dtd = document.dtd
+    copy.uri = document.uri
+    copy.xml_version = document.xml_version
+    copy.encoding = document.encoding
+    copy.standalone = document.standalone
+    node_map: dict[Node, Node] = {document: copy}
+    for child in document.children:
+        if isinstance(child, Element):
+            copy.append(_clone_element(child, node_map))
+        else:
+            dup = child.clone(deep=True)
+            node_map[child] = dup
+            copy.append(dup)
+    return copy, node_map
+
+
+def _clone_element(element: Element, node_map: dict[Node, Node]) -> Element:
+    top = Element(element.name)
+    node_map[element] = top
+    for name, attr in element.attributes.items():
+        node_map[attr] = top.set_attribute(name, attr.value)
+    stack: list[tuple[Element, Element]] = [(element, top)]
+    while stack:
+        source, target = stack.pop()
+        for child in source.children:
+            if isinstance(child, Element):
+                dup = Element(child.name)
+                for name, attr in child.attributes.items():
+                    node_map[attr] = dup.set_attribute(name, attr.value)
+                node_map[child] = dup
+                target.append(dup)
+                stack.append((child, dup))
+            else:
+                leaf = child.clone(deep=True)
+                node_map[child] = leaf
+                target.append(leaf)
+    return top
+
+
+@dataclass
+class EditDelta:
+    """One applied mutation, in terms the relabeler understands.
+
+    ``dirty`` is the (attached, new-tree) subtree whose bins and labels
+    must be recomputed; ``removed`` holds detached old-content subtree
+    roots whose memoized state should be purged; ``anchor`` is the
+    element the change hangs off (for ancestor-chain survivability
+    purges on the read side); ``old_nodes`` are the corresponding
+    subtree roots in the *pre-update* tree, when the edited region
+    existed before the batch (used for before-visibility checks during
+    cache invalidation).
+    """
+
+    kind: str
+    anchor: Optional[Element]
+    dirty: Optional[Node] = None
+    removed: tuple[Node, ...] = ()
+    old_nodes: tuple[Node, ...] = ()
+
+
+def compile_auth_patterns(
+    labeler: TreeLabeler,
+) -> Optional[list[tuple[Authorization, str, StreamPattern]]]:
+    """Compile every bound authorization's path for subtree rebinding.
+
+    Returns the patterns in the labeler's binding order (instance
+    authorizations before schema ones), or ``None`` when any path is
+    outside the streamable subset — the caller must then fall back to
+    full rebinding.
+    """
+    patterns: list[tuple[Authorization, str, StreamPattern]] = []
+    try:
+        for authorization, slot in labeler.authorization_slots():
+            pattern = compile_stream_pattern(
+                authorization.object.path, labeler.relative_mode
+            )
+            patterns.append((authorization, slot, pattern))
+    except StreamPathUnsupported:
+        return None
+    return patterns
+
+
+def states_above(
+    patterns: list[tuple[Authorization, str, StreamPattern]],
+    element: Element,
+    memo: Optional[dict[Element, list[list]]] = None,
+) -> list[list]:
+    """Each pattern's NFA state at *element*'s parent — i.e. the state
+    from which entering *element* is the next transition.
+
+    Without *memo* this costs one pass over the ancestor chain. With
+    *memo* (element → per-pattern states *at* that element) the walk
+    stops at the nearest memoized ancestor and newly computed states
+    are recorded, so repeated edits near each other cost O(1) ancestor
+    work. A state memoized at a node stays valid as long as the node's
+    root path (ancestor names and attributes) is unchanged — which is
+    exactly what holds outside an edit's dirty subtree.
+    """
+    chain: list[Element] = []
+    states: Optional[list[list]] = None
+    node = element.parent
+    while isinstance(node, Element):
+        if memo is not None and node in memo:
+            states = memo[node]
+            break
+        chain.append(node)
+        node = node.parent
+    if states is None:
+        states = [pattern.initial() for (_, _, pattern) in patterns]
+    for ancestor in reversed(chain):
+        attributes = {
+            name: attr.value for name, attr in ancestor.attributes.items()
+        }
+        states = [
+            pattern.advance(state, ancestor.name, attributes)
+            for (_, _, pattern), state in zip(patterns, states)
+        ]
+        if memo is not None:
+            memo[ancestor] = states
+    return states
+
+
+def rebind_subtree(
+    labeler: TreeLabeler,
+    patterns: list[tuple[Authorization, str, StreamPattern]],
+    root: Node,
+    memo: Optional[dict[Element, list[list]]] = None,
+) -> int:
+    """Recompute the authorization bins for ``subtree(root)`` in place.
+
+    Every node of the subtree first drops its stale bins, then each
+    pattern's automaton walks down from the precomputed ancestor state,
+    binning exactly the authorizations whose paths select each element
+    or attribute — the same node-sets the DOM evaluation would produce
+    over the edited tree, by the stream/DOM equivalence the streaming
+    pipeline is built on. Returns the number of (node, authorization)
+    bindings made. *memo* (see :func:`states_above`) caches per-element
+    pattern states; entries for the subtree are refreshed as it is
+    walked.
+    """
+    bins = labeler.slot_bins()
+    for node in preorder(root):
+        bins.pop(node, None)
+    if not isinstance(root, Element) or not patterns:
+        return 0
+    bound = 0
+    stack: list[tuple[Element, list[list]]] = [
+        (root, states_above(patterns, root, memo))
+    ]
+    while stack:
+        element, above = stack.pop()
+        attributes = {
+            name: attr.value for name, attr in element.attributes.items()
+        }
+        here: list[list] = []
+        for (authorization, slot, pattern), state in zip(patterns, above):
+            advanced = pattern.advance(state, element.name, attributes)
+            here.append(advanced)
+            if pattern.accepts_element(advanced):
+                bins.setdefault(element, {}).setdefault(slot, []).append(
+                    authorization
+                )
+                bound += 1
+            if pattern.any_attr_active(advanced):
+                for name, attr in element.attributes.items():
+                    if pattern.matches_attribute(advanced, name):
+                        attr_slot = ATTRIBUTE_SLOT_DEGRADE.get(slot, slot)
+                        bins.setdefault(attr, {}).setdefault(
+                            attr_slot, []
+                        ).append(authorization)
+                        bound += 1
+        if memo is not None:
+            memo[element] = here
+        for child in element.children:
+            if isinstance(child, Element):
+                stack.append((child, here))
+    return bound
+
+
+@dataclass
+class LabelState:
+    """A reusable (labeler, memoized labels, compiled patterns) triple.
+
+    One state follows one document across edits: :meth:`rebase` carries
+    it onto the post-edit clone by key remapping, :meth:`apply_delta`
+    repairs exactly the edited subtree. ``patterns`` is ``None`` when
+    the policy is outside the streamable subset — then every delta
+    raises :class:`IncrementalUnsupported` and callers rebuild.
+    """
+
+    labeler: TreeLabeler
+    labels: dict[Node, Label] = field(default_factory=dict)
+    patterns: Optional[list[tuple[Authorization, str, StreamPattern]]] = None
+    # element → per-pattern NFA states at that element; valid while the
+    # element's root path is unchanged (purged with the dirty subtree).
+    pattern_states: dict[Element, list[list]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        document: Document,
+        instance_auths: list[Authorization],
+        schema_auths: list[Authorization],
+        hierarchy: SubjectHierarchy,
+        policy: Optional[ConflictPolicy] = None,
+        relative_mode: RelativeMode = "descendant",
+        limits: Optional[ResourceLimits] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> "LabelState":
+        labeler = TreeLabeler(
+            document,
+            instance_auths,
+            schema_auths,
+            hierarchy,
+            policy=policy,
+            relative_mode=relative_mode,
+            limits=limits,
+            deadline=deadline,
+        )
+        labeler.bind()
+        return cls(labeler, {}, compile_auth_patterns(labeler))
+
+    @property
+    def stream_safe(self) -> bool:
+        return self.patterns is not None
+
+    def label(self, node: Node) -> Label:
+        return self.labeler.label_lazily(node, self.labels)
+
+    def rebase(self, document: Document, node_map: dict[Node, Node]) -> None:
+        """Carry the state onto a clone of its document (O(memo))."""
+        self.labeler.rebase(document, node_map)
+        self.labels = {
+            node_map[node]: label
+            for node, label in self.labels.items()
+            if node in node_map
+        }
+        self.pattern_states = {
+            node_map[node]: states
+            for node, states in self.pattern_states.items()
+            if node in node_map
+        }
+
+    def apply_delta(self, delta: EditDelta) -> int:
+        """Repair bins and labels for one applied edit.
+
+        Returns the number of nodes relabeled. Raises
+        :class:`IncrementalUnsupported` when the policy cannot be
+        rebound incrementally (the caller rebuilds from scratch).
+        """
+        if self.patterns is None:
+            raise IncrementalUnsupported(
+                "an authorization path is outside the streamable subset"
+            )
+        bins = self.labeler.slot_bins()
+        for removed in delta.removed:
+            for node in preorder(removed):
+                bins.pop(node, None)
+                self.labels.pop(node, None)
+                self.pattern_states.pop(node, None)
+        relabeled = 0
+        if delta.dirty is not None:
+            for node in preorder(delta.dirty):
+                self.pattern_states.pop(node, None)
+            rebind_subtree(
+                self.labeler, self.patterns, delta.dirty, self.pattern_states
+            )
+            for node in preorder(delta.dirty):
+                self.labels.pop(node, None)
+            relabeled = self.labeler.relabel_subtree(delta.dirty, self.labels)
+        return relabeled

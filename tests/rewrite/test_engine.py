@@ -90,13 +90,15 @@ class TestComparisonRewriting:
     def test_sum_uses_view_sum(self):
         assert "__view-sum" in guarded("sum(//n)").unparse()
 
+    def test_id_uses_view_id(self):
+        assert "__view-id" in guarded("id('k')").unparse()
+
 
 class TestRewritableSubset:
     @pytest.mark.parametrize(
         "source, reason",
         [
             ("//a[lang('en')]", "function:lang"),
-            ("id('k')", "function:id"),
             ("$var/a", "variable-reference"),
             ("//a[nosuchfn()]", "function:nosuchfn"),
         ],
@@ -125,8 +127,8 @@ class TestCompileCache:
 
 class TestRewriterCoverage:
     def test_all_core_functions_rewritable(self):
-        # Everything in the default registry except the two
-        # view-sensitive functions must compile.
+        # Everything in the default registry except the view-sensitive
+        # lang() must compile.
         sources = [
             "//a[last()]",
             "//a[position() = 1]",
@@ -152,6 +154,7 @@ class TestRewriterCoverage:
             "floor(sum(//a)) = 1",
             "ceiling(sum(//a)) = 1",
             "round(sum(//a)) = 1",
+            "id('k')",
         ]
         for source in sources:
             compile_rewrite(source)

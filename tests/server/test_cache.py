@@ -139,3 +139,58 @@ class TestViewCacheUnit:
         cache.put("k", CachedView("<x/>", None, False, 1, 1, 0, 0))
         cache.clear()
         assert len(cache) == 0
+
+
+class TestInvalidateUri:
+    """Subtree-granular invalidation, at the cache-unit level."""
+
+    @staticmethod
+    def entry(store_version=0, document_version=0):
+        from repro.server.cache import CachedView
+
+        return CachedView(
+            "<x/>", None, False, 1, 1, store_version, document_version
+        )
+
+    def test_without_keep_drops_every_entry_for_the_uri(self):
+        cache = ViewCache()
+        cache.put(("u", "c1"), self.entry())
+        cache.put(("u", "c2"), self.entry())
+        cache.put(("v", "c1"), self.entry())
+        kept, dropped = cache.invalidate_uri("u")
+        assert (kept, dropped) == (0, 2)
+        assert cache.get(("v", "c1"), 0, 0) is not None  # other URI intact
+
+    def test_keep_predicate_restamps_surviving_entries(self):
+        cache = ViewCache()
+        cache.put(("u", "disjoint"), self.entry(store_version=3, document_version=7))
+        cache.put(("u", "affected"), self.entry(store_version=3, document_version=7))
+        kept, dropped = cache.invalidate_uri(
+            "u",
+            keep=lambda key: key[1] == "disjoint",
+            store_version=3,
+            document_version=8,
+        )
+        assert (kept, dropped) == (1, 1)
+        # The survivor answers lookups at the *post-commit* versions.
+        assert cache.get(("u", "disjoint"), 3, 8) is not None
+        assert cache.get(("u", "affected"), 3, 8) is None
+
+    def test_stats_distinguish_partial_invalidations(self):
+        cache = ViewCache()
+        cache.put(("u", "a"), self.entry())
+        cache.put(("u", "b"), self.entry())
+        cache.put(("u", "c"), self.entry())
+        cache.invalidate_uri("u", keep=lambda key: key[1] != "b")
+        stats = cache.stats()
+        assert stats["invalidated"] == 1
+        assert stats["revalidated"] == 2
+        # Update-driven removals are not capacity evictions.
+        assert stats["evictions"] == 0
+
+    def test_non_tuple_keys_are_untouched(self):
+        cache = ViewCache()
+        cache.put("plain", self.entry())
+        kept, dropped = cache.invalidate_uri("plain")
+        assert (kept, dropped) == (0, 0)
+        assert cache.get("plain", 0, 0) is not None

@@ -153,6 +153,81 @@ class TestPoolServing:
             assert pool.stats()["outcomes"] == {"error": 1}
 
 
+class TestPoolUpdates:
+    """Writes through the pool: owner-shard routing, no degraded writes."""
+
+    def test_update_routes_to_owner_and_is_visible_to_reads(self):
+        from repro.server.request import AccessRequest
+        from repro.subjects.hierarchy import Requester
+        from repro.update import SetAttribute, UpdateRequest
+        from tests.server.test_pool_chaos import UpdateCorpusSpec
+
+        spec = UpdateCorpusSpec()
+        uri = spec.uris()[0]
+        writer = Requester("writer", "10.0.0.1", "pc.x")
+        update = UpdateRequest.of(
+            writer, uri, SetAttribute("//note[1]", "rev", "7")
+        )
+        with ShardedServerPool(
+            spec.build_server, workers=2, shards=4
+        ) as pool:
+            pool.wait_ready()
+            outcome = pool.serve(update, timeout=30)
+            assert outcome.applied  # UpdateOutcome crossed the IPC boundary
+            assert outcome.version == 1
+            # Reads route by the same URI hash, so they land on the
+            # worker that owns the committed tree and see the new rev.
+            response = pool.serve(AccessRequest(writer, uri), timeout=30)
+        assert 'rev="7"' in response.xml_text
+
+    def test_updates_never_served_degraded(self):
+        """With the owner worker dead and its breaker open, reads fall
+        back in-process but a write fails fast with PoolUnhealthy — the
+        fallback server's copy would fork the document's history."""
+        from repro.server.request import AccessRequest
+        from repro.subjects.hierarchy import Requester
+        from repro.update import SetAttribute, UpdateRequest
+        from tests.server.test_pool_chaos import UpdateCorpusSpec
+
+        spec = UpdateCorpusSpec()
+        uri = spec.uris()[0]
+        writer = Requester("writer", "10.0.0.1", "pc.x")
+        plan = FaultPlan((FaultSpec("pool.worker.crash", times=None),))
+        with ShardedServerPool(
+            spec.build_server,
+            workers=1,
+            shards=2,
+            fault_plan=plan,
+            restart_policy=RestartPolicy(base_delay=0.02, cap=0.2),
+            supervision_interval=0.02,
+            breaker_threshold=1,
+            breaker_cooldown=60.0,
+            degraded=True,
+        ) as pool:
+            pool.wait_ready()
+            read_ok = update_unhealthy = False
+            for _ in range(20):
+                update = UpdateRequest.of(
+                    writer, uri, SetAttribute("//note[1]", "rev", "9")
+                )
+                try:
+                    pool.serve(update, timeout=30)
+                except PoolUnhealthy:
+                    update_unhealthy = True
+                except WorkerLost:
+                    pass  # breaker not open yet
+                try:
+                    response = pool.serve(AccessRequest(writer, uri), timeout=30)
+                    read_ok = read_ok or response.ok
+                except (WorkerLost, PoolUnhealthy):
+                    pass
+                if read_ok and update_unhealthy:
+                    break
+                time.sleep(0.05)
+        assert update_unhealthy, "no update failed fast with PoolUnhealthy"
+        assert read_ok, "reads never degraded to the in-process fallback"
+
+
 class TestCrashRecovery:
     def test_crash_resolves_in_flight_and_restarts(self):
         plan = FaultPlan((FaultSpec("pool.worker.crash", times=1, after=2),))

@@ -24,9 +24,11 @@ enough to debug. Three seeds run in CI's chaos job.
 import random
 import threading
 import time
+from dataclasses import dataclass
 
 import pytest
 
+from repro.authz.authorization import Authorization
 from repro.errors import (
     DeadlineExceeded,
     PoolSaturated,
@@ -35,7 +37,11 @@ from repro.errors import (
 )
 from repro.server.concurrent import dispatch
 from repro.server.pool import ShardedServerPool
+from repro.server.request import AccessRequest
+from repro.server.service import SecureXMLServer
 from repro.server.supervisor import RestartPolicy
+from repro.subjects.hierarchy import Requester
+from repro.update import SetAttribute, UpdateRequest
 from repro.workloads.traffic import TrafficSpec, request_stream
 
 SPEC = TrafficSpec(documents=6, nodes_per_document=150, seed=23)
@@ -136,5 +142,143 @@ def test_chaos_exactly_one_outcome_and_byte_identity(seed):
             assert lost_by_metric >= 1
         # sanity: the run must not have failed everything
         assert successes > 0
+    finally:
+        pool.close()
+
+
+@dataclass(frozen=True)
+class UpdateCorpusSpec:
+    """Picklable setup for the write-path chaos run.
+
+    A tiny corpus of note documents with a Public read grant and a
+    closed-form write grant for ``writer`` — every worker (and the
+    degraded fallback, built with ``shard_ids=None``) reconstructs the
+    identical state, so a restarted worker's version counters restart
+    from zero deterministically.
+    """
+
+    documents: int = 4
+    uri_template: str = "chaos://notes{index}.xml"
+
+    def uris(self) -> list[str]:
+        return [
+            self.uri_template.format(index=index)
+            for index in range(self.documents)
+        ]
+
+    def build_server(self, shard_ids=None, num_shards: int = 1):
+        from repro.server.repository import ShardRouter
+
+        router = ShardRouter(num_shards)
+        server = SecureXMLServer()
+        server.add_user("writer")
+        server.add_user("reader")
+        for uri in self.uris():
+            if shard_ids is not None and router.shard_of(uri) not in shard_ids:
+                continue
+            server.publish_document(
+                uri,
+                "<notes><note rev='0'>n1</note><note rev='0'>n2</note></notes>",
+            )
+            server.grant(Authorization.build("Public", uri, "+", "R"))
+            server.grant(
+                Authorization.build(
+                    ("writer", "*", "*"), uri, "+", "R", action="write"
+                )
+            )
+        return server
+
+
+UPDATE_SPEC = UpdateCorpusSpec()
+UPDATE_REQUEST_COUNT = 48
+
+
+def mixed_update_stream(seed):
+    """Seeded serve/update mix over the update corpus."""
+    rng = random.Random(seed)
+    writer = Requester("writer", "10.0.0.1", "pc.x")
+    reader = Requester("reader", "10.0.0.2", "pc2.x")
+    for step in range(UPDATE_REQUEST_COUNT):
+        uri = rng.choice(UPDATE_SPEC.uris())
+        if rng.random() < 0.5:
+            yield UpdateRequest.of(
+                writer, uri, SetAttribute("//note[1]", "rev", str(step))
+            )
+        else:
+            yield AccessRequest(reader, uri)
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_chaos_updates_exactly_one_outcome_and_version_monotonicity(seed):
+    """Writes under SIGKILL: every update resolves exactly once, and the
+    versions of *successful* updates per URI are monotone in submission
+    order — incremented by one, or reset (to a smaller value) only when
+    the owning worker died and was rebuilt from setup. Updates are never
+    served by the degraded fallback (that would split-brain the
+    document), so their only failure modes are the typed pool errors.
+    """
+    requests = list(mixed_update_stream(seed))
+    pool = ShardedServerPool(
+        UPDATE_SPEC.build_server,
+        workers=2,
+        shards=4,
+        restart_policy=RestartPolicy(base_delay=0.02, cap=0.2),
+        supervision_interval=0.02,
+        breaker_threshold=3,
+        breaker_cooldown=0.2,
+        degraded=True,
+    )
+    try:
+        pool.wait_ready()
+        killer = Killer(pool, seed, kills=3)
+        killer.start()
+        pendings = []
+        for request in requests:
+            pendings.append((request, pool.submit(request)))
+            time.sleep(0.004)
+        killer.join(timeout=10)
+
+        # exactly one outcome for every submission (reads and writes)
+        for index, (_, pending) in enumerate(pendings):
+            assert pending.wait(timeout=60), f"request {index} never resolved"
+            assert (pending.value is None) != (pending.error is None)
+            if pending.error is not None:
+                assert isinstance(pending.error, TYPED_ERRORS), repr(
+                    pending.error
+                )
+        stats = pool.stats()
+        assert sum(stats["outcomes"].values()) == UPDATE_REQUEST_COUNT
+
+        # version monotonicity per URI over successful updates
+        applied = 0
+        resets = 0
+        last_version: dict[str, int] = {}
+        for request, pending in pendings:
+            if not isinstance(request, UpdateRequest) or pending.error is not None:
+                continue
+            outcome = pending.value
+            assert outcome.applied  # writer holds a standing grant
+            applied += 1
+            previous = last_version.get(request.uri)
+            if previous is not None:
+                if outcome.version <= previous:
+                    resets += 1  # rebuilt worker restarted its counters
+                else:
+                    assert outcome.version == previous + 1, (
+                        f"{request.uri}: version jumped "
+                        f"{previous} -> {outcome.version}"
+                    )
+            last_version[request.uri] = outcome.version
+        assert applied > 0
+
+        lost = sum(
+            stats["metrics"].get("pool_worker_lost_total", {}).values()
+        )
+        if killer.performed == 0:
+            assert resets == 0  # no crash, no counter ever goes back
+        # a reset needs a worker death: at most every document once per loss
+        assert resets <= max(lost, stats["pool"]["restarts_total"]) * len(
+            UPDATE_SPEC.uris()
+        )
     finally:
         pool.close()

@@ -8,10 +8,10 @@ Two checks over the markdown corpus (``docs/*.md``, ``README.md``,
    must point at a file that exists (anchors and external URLs are
    skipped; anchors within existing files are not resolved).
 2. **Example check** — every ``python`` code block in each document
-   of ``EXECUTABLE_DOCS`` (docs/OBSERVABILITY.md, docs/VIEWS.md) is
-   executed, in order, in one shared per-document namespace, so the
-   worked examples cannot rot. Blocks build on each other exactly as
-   a reader following the document would.
+   of ``EXECUTABLE_DOCS`` (docs/OBSERVABILITY.md, docs/VIEWS.md,
+   docs/UPDATES.md) is executed, in order, in one shared per-document
+   namespace, so the worked examples cannot rot. Blocks build on each
+   other exactly as a reader following the document would.
 
 Run:  PYTHONPATH=src python tools/check_docs.py
 or:   PYTHONPATH=src python tools/check_docs.py --only docs/VIEWS.md
@@ -42,6 +42,7 @@ DOC_FILES = sorted(
 #: The documents whose ``python`` blocks are executed.
 EXECUTABLE_DOCS = [
     REPO / "docs" / "OBSERVABILITY.md",
+    REPO / "docs" / "UPDATES.md",
     REPO / "docs" / "VIEWS.md",
 ]
 
