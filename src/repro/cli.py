@@ -169,6 +169,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the pool stats snapshot as JSON instead of a summary",
     )
 
+    top = commands.add_parser(
+        "top",
+        help="text dashboard over a pool's deep stats (live synthetic "
+        "pool, or --stats to render a saved snapshot)",
+    )
+    top.add_argument(
+        "--stats", default=None, metavar="FILE",
+        help="render a stats(deep=True) JSON snapshot ('-' = stdin) "
+        "instead of driving a live pool",
+    )
+    top.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the live pool (default 2)",
+    )
+    top.add_argument(
+        "--shards", type=int, default=None, metavar="M",
+        help="document shards (default: one per worker)",
+    )
+    top.add_argument(
+        "--requests", type=int, default=50,
+        help="requests per refresh interval (default 50)",
+    )
+    top.add_argument(
+        "--documents", type=int, default=8, help="corpus size (default 8)"
+    )
+    top.add_argument(
+        "--nodes", type=int, default=300,
+        help="approximate nodes per document (default 300)",
+    )
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between refreshes (default 1.0)",
+    )
+    top.add_argument(
+        "--ticks", type=int, default=1, metavar="N",
+        help="how many refreshes to render before exiting (default 1; "
+        "each tick serves --requests fresh requests)",
+    )
+
     upd = commands.add_parser(
         "update",
         help="apply authorization-checked updates to a document "
@@ -601,7 +641,7 @@ def _cmd_pool(args: argparse.Namespace) -> int:
         pool.wait_ready()
         outcomes = pool.serve_many(requests, limits=limits, timeout=120)
         elapsed = time.perf_counter() - started
-        stats = pool.stats()
+        stats = pool.stats(deep=True)
     if args.json:
         print(json_mod.dumps(stats, indent=2, default=str))
         return 0
@@ -624,10 +664,50 @@ def _cmd_pool(args: argparse.Namespace) -> int:
     return 0 if ok == len(outcomes) else 1
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from repro.obs.fleet import render_top
+
+    if args.stats is not None:
+        if args.stats == "-":
+            stats = json_mod.load(sys.stdin)
+        else:
+            with open(args.stats, "r", encoding="utf-8") as handle:
+                stats = json_mod.load(handle)
+        print(render_top(stats))
+        return 0
+
+    from repro.server.pool import ShardedServerPool
+    from repro.workloads.traffic import TrafficSpec, request_stream
+
+    spec = TrafficSpec(
+        documents=args.documents,
+        nodes_per_document=args.nodes,
+        seed=args.seed,
+    )
+    with ShardedServerPool(
+        spec.build_server, workers=args.workers, shards=args.shards
+    ) as pool:
+        pool.wait_ready()
+        for tick in range(args.ticks):
+            requests = list(
+                request_stream(spec, args.requests, seed=args.seed + tick)
+            )
+            pool.serve_many(requests, timeout=120)
+            if tick:
+                time.sleep(args.interval)
+                print()
+            print(render_top(pool.stats(deep=True)))
+    return 0
+
+
 _HANDLERS = {
     "view": _cmd_view,
     "update": _cmd_update,
     "pool": _cmd_pool,
+    "top": _cmd_top,
     "validate": _cmd_validate,
     "xpath": _cmd_xpath,
     "loosen": _cmd_loosen,

@@ -9,6 +9,10 @@ Two independent, zero-dependency facilities:
 - :mod:`repro.obs.metrics` — a counter/gauge/histogram registry wired
   to cache hits, guard trips, fault firings, retries and request
   outcomes, exportable as a plain dict or Prometheus text.
+- :mod:`repro.obs.fleet` — the cross-process layer: mergeable registry
+  snapshots (:class:`FleetView`), sliding-window SLO quantiles
+  (:class:`SloTracker`), the Prometheus exposition lint and the
+  ``repro top`` dashboard renderer.
 
 This package is a dependency leaf: it imports nothing from the rest of
 ``repro``, so every layer (parser, evaluator, labeler, server) can hook
@@ -16,6 +20,14 @@ into it without cycles. See ``docs/OBSERVABILITY.md`` for the span and
 metric vocabularies and worked examples.
 """
 
+from repro.obs.fleet import (
+    FleetView,
+    SlidingWindow,
+    SloTracker,
+    lint_prometheus,
+    merge_snapshots,
+    render_top,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     METRICS,
@@ -26,8 +38,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import (
     Span,
+    TraceContext,
     Tracer,
     current_tracer,
+    reset_tracing,
     span,
     stage_totals,
     tracing,
@@ -36,13 +50,21 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FleetView",
     "Gauge",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
+    "SlidingWindow",
+    "SloTracker",
     "Span",
+    "TraceContext",
     "Tracer",
     "current_tracer",
+    "lint_prometheus",
+    "merge_snapshots",
+    "render_top",
+    "reset_tracing",
     "span",
     "stage_totals",
     "tracing",

@@ -1,0 +1,694 @@
+"""Fleet-wide observability for the multi-process serving tier.
+
+The PR 2 observability layer is strictly per-process: a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.trace.Tracer` live and die inside whichever process
+created them, so once requests are served by the sharded pool
+(:class:`~repro.server.pool.ShardedServerPool`) the parent sees only
+its own ``pool_*`` dispatch counters — the per-stage latencies, cache
+hit rates and span trees all happen in worker processes and vanish
+with them. This module is the parent-side half of closing that gap:
+
+- :class:`FleetView` merges the registry **snapshots** workers ship
+  back (piggy-backed on heartbeats and on every response — see
+  :meth:`MetricsRegistry.snapshot`) into per-worker and aggregate
+  counters/gauges/histograms. Snapshots are *cumulative*, keyed by the
+  worker's incarnation (its slot generation), and merged with
+  retire-on-death folding, so a restarted worker restarts its deltas
+  at zero without ever double-counting — the conservation invariant
+  (sum of harvested worker ``requests_total`` equals the dispatcher's
+  worker-served outcome totals) is asserted by the chaos suite.
+- :class:`SloTracker` keeps sliding-window latency quantiles
+  (p50/p95/p99) per stage, decomposing queue wait from service time.
+- :func:`lint_prometheus` is a pure-python conformance check over the
+  text exposition format (HELP/TYPE lines, label escaping, histogram
+  ``_bucket``/``_sum``/``_count`` and ``le`` ordering, duplicate
+  series) used by tests against every renderer in the repo.
+- :func:`render_top` turns a ``pool.stats(deep=True)`` snapshot into
+  the ``python -m repro top`` text dashboard.
+
+Like the rest of ``repro.obs`` this module is a dependency leaf: it
+imports nothing outside the package, and everything it merges or
+renders is plain builtin data, so it works on snapshots that crossed a
+process boundary (or were loaded back from JSON) identically.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.obs.metrics import (
+    HELP_TEXTS,
+    _escape_help,
+    _fmt,
+    _labels,
+    _sanitize,
+)
+
+__all__ = [
+    "FleetView",
+    "SlidingWindow",
+    "SloTracker",
+    "lint_prometheus",
+    "merge_snapshots",
+    "render_top",
+]
+
+#: One metric series inside a snapshot: ``(kind, name, labels, data)``.
+SnapshotEntry = tuple
+
+_COUNTER, _GAUGE, _HISTOGRAM = "counter", "gauge", "histogram"
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def _merge_hist(into: dict, data: dict) -> None:
+    """Element-wise histogram merge; on a bucket-boundary mismatch the
+    buckets are dropped (count/sum still merge) rather than lied about."""
+    into["count"] += data["count"]
+    into["sum"] += data["sum"]
+    if into.get("buckets") is None or data.get("buckets") is None:
+        into["buckets"] = None
+        into["bucket_counts"] = None
+        return
+    if list(into["buckets"]) != list(data["buckets"]):
+        into["buckets"] = None
+        into["bucket_counts"] = None
+        return
+    into["bucket_counts"] = [
+        a + b for a, b in zip(into["bucket_counts"], data["bucket_counts"])
+    ]
+
+
+def merge_snapshots(
+    snapshots: Sequence[Sequence[SnapshotEntry]], gauges: str = "last"
+) -> dict[tuple, tuple]:
+    """Merge registry snapshots into ``{series_key: (kind, name, labels,
+    data)}``.
+
+    Counters and histogram counts are *additive* — correct both across
+    the incarnations of one worker (each starts its registry at zero)
+    and across distinct workers. Gauges are not additive in general:
+    ``gauges="last"`` keeps the most recent observation (folding one
+    worker's incarnations), ``gauges="sum"`` adds them (aggregating a
+    point-in-time gauge like queue depth across workers).
+    """
+    if gauges not in ("last", "sum"):
+        raise ValueError("gauges must be 'last' or 'sum'")
+    merged: dict[tuple, tuple] = {}
+    for snapshot in snapshots:
+        for kind, name, labels, data in snapshot:
+            key = _series_key(name, labels)
+            have = merged.get(key)
+            if have is None:
+                if kind == _HISTOGRAM:
+                    data = {
+                        "buckets": list(data["buckets"])
+                        if data.get("buckets") is not None
+                        else None,
+                        "bucket_counts": list(data["bucket_counts"])
+                        if data.get("bucket_counts") is not None
+                        else None,
+                        "count": data["count"],
+                        "sum": data["sum"],
+                    }
+                merged[key] = (kind, name, dict(labels), data)
+                continue
+            _, _, _, have_data = have
+            if kind == _HISTOGRAM:
+                _merge_hist(have_data, data)
+            elif kind == _COUNTER:
+                merged[key] = (kind, name, dict(labels), have_data + data)
+            else:  # gauge
+                merged[key] = (
+                    kind,
+                    name,
+                    dict(labels),
+                    data if gauges == "last" else have_data + data,
+                )
+    return merged
+
+
+def _entries_as_dict(entries: dict[tuple, tuple]) -> dict:
+    """Shape merged entries like :meth:`MetricsRegistry.as_dict`."""
+    out: dict[str, dict] = {}
+    for kind, name, labels, data in entries.values():
+        series = out.setdefault(name, {})
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if kind == _HISTOGRAM:
+            series[label_str] = {
+                "count": data["count"],
+                "sum": data["sum"],
+                "mean": data["sum"] / data["count"] if data["count"] else 0.0,
+                "buckets": {
+                    str(edge): count
+                    for edge, count in zip(
+                        data["buckets"] or (), (data["bucket_counts"] or ())[:-1]
+                    )
+                },
+                "overflow": (data["bucket_counts"] or [0])[-1],
+            }
+        else:
+            series[label_str] = data
+    return out
+
+
+class FleetView:
+    """Merged registry snapshots from every worker incarnation.
+
+    The parent feeds it from the pool's receiver threads:
+
+    - :meth:`update` replaces the *live* snapshot of ``(worker,
+      generation)`` — snapshots are cumulative, and because workers
+      build them under their send lock, pipe order equals build order,
+      so replacement is monotone;
+    - :meth:`retire` folds a dead incarnation's last snapshot into the
+      worker's retained base exactly once (generation-checked, so a
+      racing update from the *next* incarnation is never folded — that
+      is what prevents double-counting across restarts).
+
+    Readers get per-worker and aggregate merges, a JSON-shaped
+    :meth:`as_dict`, and a Prometheus rendering in which every
+    harvested series gains a ``worker`` label plus a
+    ``pool_worker_shards{worker=...,shard=...} 1`` ownership map so
+    series can be joined per shard.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: worker -> (generation, latest cumulative snapshot)
+        self._live: dict[int, tuple[int, list]] = {}
+        #: worker -> merged entries of every dead incarnation
+        self._retired: dict[int, dict[tuple, tuple]] = {}
+        self._shards: dict[int, tuple[int, ...]] = {}
+
+    def set_shards(self, worker: int, shard_ids: Sequence[int]) -> None:
+        with self._lock:
+            self._shards[worker] = tuple(shard_ids)
+
+    def update(self, worker: int, generation: int, snapshot: list) -> None:
+        """Adopt a fresher cumulative snapshot for one incarnation.
+
+        A snapshot from an older generation than the one currently
+        live is stale (its incarnation was already retired) and is
+        dropped — folding it again would double-count.
+        """
+        with self._lock:
+            have = self._live.get(worker)
+            if have is not None and have[0] > generation:
+                return
+            self._live[worker] = (generation, snapshot)
+
+    def retire(self, worker: int, generation: int) -> None:
+        """Fold the dead incarnation's last snapshot into the base."""
+        with self._lock:
+            have = self._live.pop(worker, None)
+            if have is None:
+                return
+            if have[0] != generation:  # the next incarnation's data
+                self._live[worker] = have
+                return
+            base = self._retired.get(worker)
+            snapshots = ([] if base is None else [list(base.values())]) + [have[1]]
+            self._retired[worker] = merge_snapshots(snapshots, gauges="last")
+
+    # -- reading -------------------------------------------------------------
+
+    def _worker_entries(self, worker: int) -> dict[tuple, tuple]:
+        parts = []
+        base = self._retired.get(worker)
+        if base:
+            parts.append(list(base.values()))
+        live = self._live.get(worker)
+        if live:
+            parts.append(live[1])
+        return merge_snapshots(parts, gauges="last")
+
+    def workers(self) -> list[int]:
+        with self._lock:
+            return sorted(set(self._live) | set(self._retired))
+
+    def worker_view(self, worker: int) -> dict:
+        """One worker's merged metrics, shaped like ``as_dict()``."""
+        with self._lock:
+            return _entries_as_dict(self._worker_entries(worker))
+
+    def aggregate_entries(self) -> dict[tuple, tuple]:
+        """Cross-worker merge: counters/histograms add, gauges add too
+        (a fleet gauge like queue depth is a sum of per-worker ones)."""
+        with self._lock:
+            per_worker = [
+                list(self._worker_entries(worker).values())
+                for worker in sorted(set(self._live) | set(self._retired))
+            ]
+        return merge_snapshots(per_worker, gauges="sum")
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family over all workers and label sets —
+        the conservation checks' one-liner."""
+        total = 0.0
+        for kind, entry_name, _labels_, data in self.aggregate_entries().values():
+            if entry_name == name and kind == _COUNTER:
+                total += data
+        return total
+
+    def as_dict(self) -> dict:
+        """JSON-shaped: per-worker views plus the aggregate."""
+        with self._lock:
+            workers = sorted(set(self._live) | set(self._retired))
+            views = {
+                str(worker): _entries_as_dict(self._worker_entries(worker))
+                for worker in workers
+            }
+            shards = {str(w): list(s) for w, s in sorted(self._shards.items())}
+        return {
+            "workers": views,
+            "aggregate": _entries_as_dict(self.aggregate_entries()),
+            "shards": shards,
+        }
+
+    def render_prometheus(self) -> str:
+        """Every harvested series, ``worker``-labelled, plus the
+        ``pool_worker_shards`` ownership map — one conformant block.
+
+        Families are grouped so each gets exactly one HELP/TYPE pair
+        even when several workers (or incarnations) report it.
+        """
+        with self._lock:
+            per_worker = {
+                worker: self._worker_entries(worker)
+                for worker in sorted(set(self._live) | set(self._retired))
+            }
+            shards = dict(self._shards)
+        families: dict[str, tuple[str, list[str]]] = {}
+        for worker, entries in per_worker.items():
+            for kind, name, labels, data in entries.values():
+                sname = _sanitize(name)
+                kind_, lines = families.setdefault(sname, (kind, []))
+                labelled = dict(labels)
+                labelled["worker"] = str(worker)
+                if kind == _HISTOGRAM:
+                    if data.get("buckets") is not None:
+                        cumulative = 0
+                        for edge, count in zip(
+                            data["buckets"], data["bucket_counts"]
+                        ):
+                            cumulative += count
+                            lines.append(
+                                f"{sname}_bucket"
+                                f"{_labels(labelled, le=_fmt(edge))} {cumulative}"
+                            )
+                        cumulative += data["bucket_counts"][-1]
+                    else:
+                        cumulative = data["count"]
+                    lines.append(
+                        f"{sname}_bucket{_labels(labelled, le='+Inf')} {cumulative}"
+                    )
+                    lines.append(
+                        f"{sname}_sum{_labels(labelled)} {_fmt(data['sum'])}"
+                    )
+                    lines.append(
+                        f"{sname}_count{_labels(labelled)} {data['count']}"
+                    )
+                else:
+                    lines.append(f"{sname}{_labels(labelled)} {_fmt(data)}")
+        if shards:
+            kind_, lines = families.setdefault("pool_worker_shards", ("gauge", []))
+            for worker, shard_ids in sorted(shards.items()):
+                for shard in shard_ids:
+                    lines.append(
+                        "pool_worker_shards"
+                        f"{_labels({}, worker=str(worker), shard=str(shard))} 1"
+                    )
+        out: list[str] = []
+        for sname in sorted(families):
+            kind, lines = families[sname]
+            help_text = HELP_TEXTS.get(sname, f"repro {kind} {sname} (fleet)")
+            out.append(f"# HELP {sname} {_escape_help(help_text)}")
+            out.append(f"# TYPE {sname} {kind}")
+            out.extend(lines)
+        return "\n".join(out) + ("\n" if out else "")
+
+
+class SlidingWindow:
+    """A bounded window of recent observations with exact percentiles.
+
+    Histograms answer "distribution since boot"; SLOs ask "distribution
+    *lately*". A deque of the last *size* samples, percentiles computed
+    by nearest-rank over a sorted copy — exact, and cheap at dashboard
+    cadence for the default 512 samples.
+    """
+
+    def __init__(self, size: int = 512) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+            self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (0 <= p <= 100) over the window."""
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+            total = self.total
+        if not ordered:
+            return {"count": 0, "total": total, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+        def at(p: float) -> float:
+            rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+            return ordered[rank]
+
+        return {
+            "count": len(ordered),
+            "total": total,
+            "p50": at(50),
+            "p95": at(95),
+            "p99": at(99),
+        }
+
+
+class SloTracker:
+    """Named sliding windows — one per latency stage.
+
+    The pool records three per request: ``pool.queue_wait`` (submission
+    to pipe write), ``pool.service`` (pipe write to resolution — IPC +
+    worker work), and ``pool.e2e`` (submission to resolution, every
+    outcome included).
+    """
+
+    def __init__(self, size: int = 512) -> None:
+        self._size = size
+        self._windows: dict[str, SlidingWindow] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, stage: str, seconds: float) -> None:
+        window = self._windows.get(stage)
+        if window is None:
+            with self._lock:
+                window = self._windows.setdefault(
+                    stage, SlidingWindow(self._size)
+                )
+        window.observe(seconds)
+
+    def window(self, stage: str) -> Optional[SlidingWindow]:
+        return self._windows.get(stage)
+
+    def summary(self) -> dict[str, dict]:
+        with self._lock:
+            windows = dict(self._windows)
+        return {stage: window.summary() for stage, window in sorted(windows.items())}
+
+
+# -- Prometheus exposition lint ---------------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def _parse_labels(raw: str, line_no: int, problems: list[str]) -> Optional[dict]:
+    """Parse a ``k="v",k2="v2"`` label block, validating escaping."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL.match(raw, pos)
+        if match is None:
+            problems.append(
+                f"line {line_no}: malformed label block at offset {pos}: {raw!r}"
+            )
+            return None
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                problems.append(
+                    f"line {line_no}: expected ',' between labels in {raw!r}"
+                )
+                return None
+            pos += 1
+    return labels
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Conformance-check a text exposition (format 0.0.4) body.
+
+    Returns one message per violation (empty list = clean):
+
+    - every sample's family must be announced by exactly one ``# HELP``
+      and one ``# TYPE`` line *before* its first sample;
+    - sample lines must parse, label values must be correctly escaped
+      (``\\\\``, ``\\"``, ``\\n`` only), values must be numbers;
+    - no two samples may share a name and label set;
+    - histogram families must expose ``_bucket`` series with strictly
+      increasing ``le`` edges ending in ``+Inf``, non-decreasing
+      cumulative counts, and ``_sum``/``_count`` samples whose count
+      equals the ``+Inf`` bucket, per label set.
+    """
+    problems: list[str] = []
+    lines = [line for line in text.split("\n") if line != ""]
+    helps: set[str] = set()
+    types: dict[str, str] = {}
+    seen_series: set[tuple] = set()
+    # histogram family -> labelset -> {"buckets": [(le, value)...],
+    #                                  "sum": x | None, "count": n | None}
+    hist: dict[str, dict[tuple, dict]] = {}
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base
+        return name
+
+    for line_no, line in enumerate(lines, start=1):
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append(f"line {line_no}: malformed HELP line: {line!r}")
+                continue
+            name = parts[2]
+            if name in helps:
+                problems.append(f"line {line_no}: duplicate HELP for {name}")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {line_no}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if name in types:
+                problems.append(f"line {line_no}: duplicate TYPE for {name}")
+            types[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comments are legal
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no, problems)
+        if labels is None:
+            continue
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            problems.append(
+                f"line {line_no}: non-numeric value {match.group('value')!r}"
+            )
+            continue
+        family = family_of(name)
+        if family not in types:
+            problems.append(
+                f"line {line_no}: sample {name} has no preceding TYPE "
+                f"for family {family}"
+            )
+        if family not in helps:
+            problems.append(
+                f"line {line_no}: sample {name} has no preceding HELP "
+                f"for family {family}"
+            )
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            problems.append(
+                f"line {line_no}: duplicate series {name}"
+                f"{dict(sorted(labels.items()))}"
+            )
+        seen_series.add(series)
+        if types.get(family) == "histogram" and family != name:
+            bare = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            state = hist.setdefault(family, {}).setdefault(
+                bare, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {line_no}: {name} sample without an le label"
+                    )
+                else:
+                    le = labels["le"]
+                    state["buckets"].append(
+                        (float("inf") if le == "+Inf" else float(le), value)
+                    )
+            elif name.endswith("_sum"):
+                state["sum"] = value
+            else:
+                state["count"] = value
+
+    for family, by_labels in hist.items():
+        for bare, state in by_labels.items():
+            buckets = state["buckets"]
+            if not buckets or buckets[-1][0] != float("inf"):
+                problems.append(
+                    f"{family}{dict(bare)}: bucket series must end with le=+Inf"
+                )
+                continue
+            edges = [edge for edge, _ in buckets]
+            if edges != sorted(edges) or len(set(edges)) != len(edges):
+                problems.append(
+                    f"{family}{dict(bare)}: le edges not strictly increasing: "
+                    f"{edges}"
+                )
+            counts = [count for _, count in buckets]
+            if counts != sorted(counts):
+                problems.append(
+                    f"{family}{dict(bare)}: cumulative bucket counts decrease: "
+                    f"{counts}"
+                )
+            if state["count"] is None or state["sum"] is None:
+                problems.append(
+                    f"{family}{dict(bare)}: histogram missing _sum or _count"
+                )
+            elif state["count"] != counts[-1]:
+                problems.append(
+                    f"{family}{dict(bare)}: _count {state['count']} != "
+                    f"+Inf bucket {counts[-1]}"
+                )
+    return problems
+
+
+# -- the `repro top` dashboard ----------------------------------------------
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:8.2f}"
+
+
+def render_top(stats: dict) -> str:
+    """A one-screen text dashboard over ``pool.stats(deep=True)``.
+
+    Pure data-in/text-out (also accepts the same snapshot loaded back
+    from JSON), so ``python -m repro top --stats dump.json`` renders a
+    snapshot taken elsewhere.
+    """
+    lines: list[str] = []
+    pool = stats.get("pool", {})
+    lines.append(
+        f"pool: {pool.get('workers_alive', '?')}/{pool.get('workers', '?')} "
+        f"workers up, {pool.get('shards', '?')} shards | restarts "
+        f"{pool.get('restarts_total', 0):g} shed {pool.get('shed_total', 0):g} "
+        f"degraded {pool.get('degraded_total', 0):g}"
+    )
+    breakers = pool.get("breakers", {})
+    unhealthy = {s: b for s, b in breakers.items() if b != "closed"}
+    if unhealthy:
+        lines.append(f"breakers open/half-open: {unhealthy}")
+    outcomes = stats.get("outcomes", {})
+    if outcomes:
+        total = sum(outcomes.values())
+        parts = ", ".join(
+            f"{key}={value:g}" for key, value in sorted(outcomes.items())
+        )
+        lines.append(f"outcomes ({total:g} total): {parts}")
+    lines.append("")
+    lines.append(
+        f"{'WORKER':>6} {'STATE':>8} {'PID':>8} {'SHARDS':>10} "
+        f"{'QUEUED':>7} {'INFLT':>6} {'RESTARTS':>9}"
+    )
+    for worker in stats.get("workers", []):
+        shards = ",".join(str(s) for s in worker.get("shards", []))
+        lines.append(
+            f"{worker.get('worker', '?'):>6} {worker.get('state', '?'):>8} "
+            f"{str(worker.get('pid', '-')):>8} {shards:>10} "
+            f"{worker.get('queued', 0):>7} {worker.get('in_flight', 0):>6} "
+            f"{worker.get('restarts', 0):>9}"
+        )
+    slo = stats.get("slo", {})
+    if slo:
+        lines.append("")
+        lines.append(
+            f"{'SLO STAGE':<18} {'WINDOW':>7} {'p50 ms':>9} {'p95 ms':>9} "
+            f"{'p99 ms':>9}"
+        )
+        for stage, summary in sorted(slo.items()):
+            lines.append(
+                f"{stage:<18} {summary.get('count', 0):>7} "
+                f"{_ms(summary.get('p50', 0.0)):>9} "
+                f"{_ms(summary.get('p95', 0.0)):>9} "
+                f"{_ms(summary.get('p99', 0.0)):>9}"
+            )
+    fleet = stats.get("fleet", {})
+    aggregate = fleet.get("aggregate", {})
+    requests = aggregate.get("requests_total", {})
+    if requests:
+        lines.append("")
+        lines.append("fleet requests_total (all workers):")
+        for label_str, value in sorted(requests.items()):
+            lines.append(f"  {label_str or '(no labels)':<42} {value:>8g}")
+    hits = aggregate.get("view_cache_hits", {})
+    misses = aggregate.get("view_cache_misses", {})
+    if hits or misses:
+        hit_total = sum(hits.values())
+        miss_total = sum(misses.values())
+        denominator = hit_total + miss_total
+        rate = (hit_total / denominator * 100) if denominator else 0.0
+        lines.append(
+            f"fleet view cache: {hit_total:g} hits / {miss_total:g} misses "
+            f"({rate:.1f}% hit rate)"
+        )
+    stage_hist = aggregate.get("stage_seconds", {})
+    if stage_hist:
+        lines.append("")
+        lines.append(f"{'PIPELINE STAGE':<26} {'COUNT':>8} {'MEAN ms':>10}")
+        for label_str, data in sorted(stage_hist.items()):
+            stage = label_str.replace("stage=", "") or "?"
+            lines.append(
+                f"{stage:<26} {data.get('count', 0):>8} "
+                f"{data.get('mean', 0.0) * 1000:>10.3f}"
+            )
+    workers_reporting = len(fleet.get("workers", {}))
+    if workers_reporting:
+        lines.append("")
+        lines.append(f"{workers_reporting} worker(s) reporting metrics")
+    return "\n".join(lines)

@@ -205,6 +205,17 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` on the percentile scale (0 <= p <= 100).
+
+        The reporting surfaces (``stats()``, ``repro top``, the
+        benchmark sections) all quote p50/p95/p99; this spelling keeps
+        them uniform: ``histogram.percentile(99)``.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        return self.quantile(p / 100.0)
+
     def quantile(self, q: float) -> float:
         """Approximate the q-quantile (0 <= q <= 1) from the buckets."""
         if not 0 <= q <= 1:
@@ -362,6 +373,33 @@ class MetricsRegistry:
 
     # -- export --------------------------------------------------------------
 
+    def snapshot(self) -> list[tuple]:
+        """A picklable point-in-time dump of every metric.
+
+        Returns ``[(kind, name, labels, data), ...]`` where *data* is
+        the value for counters/gauges and a dict with ``buckets``,
+        ``bucket_counts``, ``count`` and ``sum`` for histograms — plain
+        builtins only, so a worker process can ship its whole registry
+        across a pipe (piggy-backed on heartbeats and responses) for
+        :class:`repro.obs.fleet.FleetView` to merge. Taken under the
+        registry lock: a snapshot is a consistent cut, never a torn
+        read of a half-applied ``record_batch``.
+        """
+        out: list[tuple] = []
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Histogram):
+                    data: object = {
+                        "buckets": list(metric.buckets),
+                        "bucket_counts": list(metric.bucket_counts),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                    }
+                else:
+                    data = metric.value
+                out.append((metric.kind, metric.name, dict(metric.labels), data))
+        return out
+
     def as_dict(self) -> dict:
         """A plain-data snapshot: ``{name: {label-tuple-str: value}}``.
 
@@ -395,7 +433,13 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
+        """The Prometheus text exposition format (version 0.0.4).
+
+        Each metric family is announced by one ``# HELP`` and one
+        ``# TYPE`` line before its first sample (conformance checked by
+        :func:`repro.obs.fleet.lint_prometheus`); help text comes from
+        :data:`HELP_TEXTS` with a generic fallback.
+        """
         lines: list[str] = []
         seen_types: set[str] = set()
         with self._lock:
@@ -403,6 +447,10 @@ class MetricsRegistry:
         for metric in metrics:
             name = _sanitize(metric.name)
             if name not in seen_types:
+                help_text = HELP_TEXTS.get(
+                    metric.name, f"repro {metric.kind} {metric.name}"
+                )
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
                 seen_types.add(name)
             if isinstance(metric, Histogram):
@@ -439,6 +487,36 @@ def reinit_registry_locks(registry: MetricsRegistry) -> None:
     registry._lock = fresh
     for metric in registry._metrics.values():
         metric._lock = fresh
+
+
+#: Help text for the documented metric vocabulary (docs/OBSERVABILITY.md
+#: is the catalogue of record); unknown names get a generic line so the
+#: exposition always carries HELP/TYPE for every family.
+HELP_TEXTS: dict[str, str] = {
+    "requests_total": "Requests served, by kind and outcome",
+    "request_seconds": "End-to-end request latency",
+    "stage_seconds": "Per-pipeline-stage latency",
+    "view_cache_hits": "View-cache hits",
+    "view_cache_misses": "View-cache misses",
+    "audit_sink_errors_total": "Audit sink failures (record kept in the ring)",
+    "pool_requests_total": "Pool request resolutions, by outcome",
+    "pool_worker_restarts_total": "Worker restarts performed by the supervisor",
+    "pool_worker_lost_total": "Worker deaths, by reason",
+    "pool_shed_total": "Requests shed at admission (queue full)",
+    "pool_degraded_total": "Requests served by the in-process fallback",
+    "pool_late_results_total": "Worker results arriving after resolution",
+    "pool_ipc_errors_total": "Corrupt/unparseable frames on a worker pipe",
+    "pool_queue_depth": "Queued requests per worker",
+    "pool_workers_alive": "Workers currently up",
+    "pool_breaker_state": "Circuit breaker state (0 closed, 1 half-open, 2 open)",
+    "pool_slo_seconds": "Sliding-window latency quantiles, by stage",
+    "pool_worker_shards": "Shard ownership map (value is always 1)",
+}
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (not double quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _sanitize(name: str) -> str:

@@ -35,16 +35,21 @@ Stage names are a stable, documented vocabulary — see
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "current_tracer",
+    "reset_tracing",
     "span",
     "stage_totals",
     "tracing",
@@ -113,6 +118,43 @@ class Span:
             f"<Span {self.name!r} {self.duration * 1000:.3f}ms "
             f"depth={self.depth}>"
         )
+
+
+#: Per-process trace-id sequence; combined with the pid so ids minted
+#: by a parent and its forked children never collide.
+_TRACE_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{os.getpid():08x}-{next(_TRACE_IDS):08x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable propagation envelope of one distributed trace.
+
+    Carried across process boundaries (the pool ships one with every
+    request when the submitting thread has an active tracer) so the
+    remote side can decide whether to record (``sampled``) and the
+    origin can stitch the shipped spans back under the right parent.
+    ``parent_span`` is the *name* of the span open at capture time
+    (``""`` at top level) — a human-readable anchor, not an index,
+    because the parent span has not closed (and so has no index) yet.
+    """
+
+    trace_id: str
+    parent_span: str = ""
+    sampled: bool = True
+
+    @classmethod
+    def capture(cls, tracer: Optional["Tracer"] = None) -> Optional["TraceContext"]:
+        """A context for the active (or given) tracer; None when tracing
+        is off — the disabled path stays one ContextVar read."""
+        tracer = tracer if tracer is not None else _ACTIVE.get()
+        if tracer is None:
+            return None
+        parent = tracer._stack[-1].name if tracer._stack else ""
+        return cls(trace_id=_new_trace_id(), parent_span=parent, sampled=True)
 
 
 class _NullSpan:
@@ -201,6 +243,37 @@ class Tracer:
                 live.tags,
             )
         )
+
+    def graft(
+        self, spans: Sequence[Span], at: float, depth: int = 0
+    ) -> int:
+        """Adopt *spans* recorded by a foreign tracer (another process).
+
+        The foreign spans keep their durations and relative layout but
+        are re-based so the earliest one starts at *at* — seconds in
+        **this** tracer's timebase — and every depth is shifted by
+        *depth*, placing the whole subtree under whatever local span
+        covers ``[at, ...)`` at ``depth - 1``. Cross-process clocks are
+        never compared directly: the caller chooses *at* from timings
+        it measured itself (e.g. centered inside its ``pool.ipc`` span,
+        attributing the pipe cost symmetrically). Returns the number of
+        spans adopted.
+        """
+        if not spans:
+            return 0
+        offset = at - min(span_.started for span_ in spans)
+        for span_ in spans:
+            self.spans.append(
+                Span(
+                    span_.name,
+                    span_.started + offset,
+                    span_.duration,
+                    span_.depth + depth,
+                    -1 if (span_.depth + depth) > 0 else None,
+                    dict(span_.tags) if span_.tags else None,
+                )
+            )
+        return len(spans)
 
     # -- reading ------------------------------------------------------------
 
@@ -339,3 +412,17 @@ def activate(tracer: Tracer):
 def deactivate(token) -> None:
     """Low-level: undo :func:`activate`."""
     _ACTIVE.reset(token)
+
+
+def reset_tracing() -> None:
+    """Forget any active tracer, unconditionally.
+
+    Fork safety: a ``fork()`` clones the parent's ContextVar state, so
+    a worker forked while the parent had a tracer active would silently
+    record its spans into an object the parent also appends to — two
+    processes, one (logically shared, physically copied) tracer. Worker
+    boot calls this so the child always starts untraced; per-request
+    tracers are then activated explicitly from the shipped
+    :class:`TraceContext`.
+    """
+    _ACTIVE.set(None)

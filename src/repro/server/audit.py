@@ -44,13 +44,27 @@ class AuditRecord:
     #: Which enforcement engine produced the decision: the DOM pipeline
     #: ("dom") or the streaming one ("stream").
     backend: str = "dom"
+    #: Originating worker index and document shard, for records written
+    #: inside a :class:`~repro.server.pool.ShardedServerPool` worker (or
+    #: by the pool's dispatcher about a worker). ``None`` outside the
+    #: pool — these stay joinable against fleet metrics' ``worker``/
+    #: ``shard`` labels and filterable via ``tools/audit_query.py
+    #: --worker/--shard``.
+    worker: Optional[int] = None
+    shard: Optional[int] = None
 
     def __str__(self) -> str:
         stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(self.timestamp))
+        origin = ""
+        if self.worker is not None or self.shard is not None:
+            origin = (
+                f" [worker={self.worker if self.worker is not None else '-'}"
+                f" shard={self.shard if self.shard is not None else '-'}]"
+            )
         return (
             f"{stamp} {self.requester} {self.action} {self.uri} -> "
             f"{self.outcome} ({self.visible_nodes}/{self.total_nodes} nodes, "
-            f"{self.elapsed_seconds * 1000:.2f} ms)"
+            f"{self.elapsed_seconds * 1000:.2f} ms){origin}"
         )
 
     def to_json(self) -> str:
@@ -99,6 +113,12 @@ class AuditLog:
     #: The owning server's registry, when there is one; sink failures
     #: are counted here in addition to the process-wide ``METRICS``.
     metrics: Optional[MetricsRegistry] = None
+    #: Pool-worker identity stamping: a worker process sets ``worker``
+    #: to its index and ``shard_resolver`` to its router's ``shard_of``
+    #: at boot, so every record it writes carries the originating
+    #: worker/shard without the service layer knowing about the pool.
+    worker: Optional[int] = None
+    shard_resolver: Optional[Callable[[str], int]] = None
     _records: deque = field(default_factory=deque, repr=False)
 
     def __post_init__(self) -> None:
@@ -117,7 +137,16 @@ class AuditLog:
         elapsed_seconds: float = 0.0,
         detail: str = "",
         backend: str = "dom",
+        worker: Optional[int] = None,
+        shard: Optional[int] = None,
     ) -> AuditRecord:
+        if worker is None:
+            worker = self.worker
+        if shard is None and self.shard_resolver is not None:
+            try:
+                shard = self.shard_resolver(uri)
+            except Exception:
+                shard = None
         entry = AuditRecord(
             timestamp=time.time(),
             requester=str(requester),
@@ -129,6 +158,8 @@ class AuditLog:
             elapsed_seconds=elapsed_seconds,
             detail=detail,
             backend=backend,
+            worker=worker,
+            shard=shard,
         )
         # Lock-free: a deque append (with maxlen eviction) is one
         # atomic, documented-thread-safe C call.

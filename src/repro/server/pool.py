@@ -13,10 +13,32 @@ label N documents at once.
 What crosses the process boundary is data only, over one duplex pipe
 per worker: pickled requests (with
 :class:`~repro.limits.ResourceLimits` carrying the *remaining* deadline
-budget — see :meth:`ResourceLimits.for_transfer`), pickled responses
-or typed exceptions, and heartbeats. The parent keeps a bounded queue
-per worker and pipelines up to ``pipeline_depth`` requests down the
-pipe before waiting, so the pipe round-trip amortizes.
+budget — see :meth:`ResourceLimits.for_transfer` — and, when the
+submitting thread is tracing, a
+:class:`~repro.obs.trace.TraceContext`), pickled responses or typed
+exceptions (piggy-backing the worker's span tree and a cumulative
+metrics snapshot), and heartbeats (also carrying snapshots). The
+parent keeps a bounded queue per worker and pipelines up to
+``pipeline_depth`` requests down the pipe before waiting, so the pipe
+round-trip amortizes.
+
+The pool is also a *fleet observability* aggregation point:
+
+- **Trace propagation** — a request submitted under an active tracer
+  resolves with one stitched span tree: synthesized ``pool.dispatch``,
+  ``pool.queue_wait`` and ``pool.ipc`` spans plus the worker's own
+  pipeline spans (``request.serve``, ``parse.xml``, ``label.*``, ...)
+  grafted inside ``pool.ipc`` — ``Tracer.export_chrome()`` renders the
+  whole cross-process timeline.
+- **Metrics harvesting** — worker registries merge into
+  :attr:`ShardedServerPool.fleet` (a
+  :class:`~repro.obs.fleet.FleetView`); ``stats(deep=True)`` forces a
+  fresh round, ``render_prometheus()`` emits dispatcher + per-worker
+  series in one scrape, and worker ``requests_total`` conserves
+  against dispatcher outcomes even across SIGKILLed incarnations.
+- **SLO windows** — per-stage sliding-window p50/p95/p99
+  (queue-wait vs service vs end-to-end) via :attr:`slo`, published as
+  ``pool_slo_seconds`` gauges and rendered by ``python -m repro top``.
 
 Robustness is the point, not an afterthought (the paper's processor is
 the availability bottleneck of the architecture it sketches):
@@ -87,8 +109,9 @@ from repro.errors import (
     WorkerLost,
 )
 from repro.limits import Deadline, ResourceLimits
+from repro.obs.fleet import FleetView, SloTracker
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import span
+from repro.obs.trace import Span, TraceContext, Tracer, current_tracer, span
 from repro.server.audit import AuditLog
 from repro.server.concurrent import StreamRequest, dispatch
 from repro.server.repository import ShardRouter
@@ -164,6 +187,23 @@ class PoolOutcome:
         return self.error is None
 
 
+class _TraceState:
+    """Per-request trace bookkeeping captured at submit time.
+
+    Held only when the submitting thread had an active tracer: the
+    tracer itself, the stack depth the synthesized ``pool.dispatch``
+    span must sit at, and the :class:`TraceContext` shipped to the
+    worker. ``_stitch`` consumes it exactly once at resolution.
+    """
+
+    __slots__ = ("tracer", "depth", "ctx")
+
+    def __init__(self, tracer: Tracer, depth: int, ctx: TraceContext) -> None:
+        self.tracer = tracer
+        self.depth = depth
+        self.ctx = ctx
+
+
 class _Pending:
     """One submitted request awaiting its single resolution.
 
@@ -173,6 +213,11 @@ class _Pending:
     response, duplicate exit handling, deadline sweep racing a result)
     sees False and backs off. The winning path, and only it, counts
     the outcome metric.
+
+    Two clocks per request: ``sent_at`` (``time.monotonic``) feeds the
+    supervisor's hang detection, while ``t_submitted``/``t_sent``
+    (``time.perf_counter``) feed SLO windows and trace stitching —
+    perf_counter because that is the tracer's timebase.
     """
 
     __slots__ = (
@@ -185,6 +230,10 @@ class _Pending:
         "worker",
         "degraded",
         "sent_at",
+        "t_submitted",
+        "t_sent",
+        "trace",
+        "worker_spans",
         "done",
         "value",
         "error",
@@ -211,6 +260,10 @@ class _Pending:
         self.worker = worker
         self.degraded = False
         self.sent_at: Optional[float] = None
+        self.t_submitted = time.perf_counter()
+        self.t_sent: Optional[float] = None
+        self.trace: Optional[_TraceState] = None
+        self.worker_spans: Optional[list] = None
         self.done = False
         self.value: Optional[object] = None
         self.error: Optional[BaseException] = None
@@ -267,8 +320,13 @@ class _WorkerSlot:
         self.shard_ids = shard_ids
         self.lock = threading.Lock()
         self.wake = threading.Condition(self.lock)
+        # Serializes parent-side conn.send across the sender loop, the
+        # on-demand snapshot request and close(): Connection.send is
+        # not safe for concurrent writers on one pipe.
+        self.send_mutex = threading.Lock()
         self.queue: deque[_Pending] = deque()
         self.in_flight: dict[int, _Pending] = {}
+        self.last_snap_token = 0
         self.state = "down"  # "starting" | "up" | "down"
         self.conn = None
         self.process: Optional[multiprocessing.process.BaseProcess] = None
@@ -292,6 +350,7 @@ def _worker_main(
     fault_plan_json: Optional[str],
     heartbeat_interval: float,
     hang_seconds: float,
+    harvest: bool = True,
 ) -> None:
     """Entry point of one worker process.
 
@@ -299,28 +358,50 @@ def _worker_main(
     space — including any lock a *parent* thread happened to hold at
     the fork instant, with no thread left in the child to release it —
     so before anything can touch shared module state the child (1)
-    replaces the locks of the inherited process-wide metrics registry
-    and (2) rebinds ``repro.testing.faults.FAULTS`` to a brand-new
+    replaces the locks of the inherited process-wide metrics registry,
+    (2) rebinds ``repro.testing.faults.FAULTS`` to a brand-new
     injector, which also guarantees faults armed in the parent's tests
-    never leak into a worker. Then the serialized fault plan (if any)
-    is armed for *this* worker and the shard's server is built.
+    never leak into a worker, and (3) forgets any tracer the parent's
+    submitting thread had active at the fork instant
+    (:func:`~repro.obs.trace.reset_tracing`) — otherwise worker spans
+    would be recorded into the parent's (copied) tracer object instead
+    of a per-request one. Then the serialized fault plan (if any) is
+    armed for *this* worker and the shard's server is built, its audit
+    log stamped with this worker's identity so pooled audit records
+    can be joined against fleet metrics.
+
+    When *harvest* is on (the default), every heartbeat and every
+    response carries a cumulative :meth:`MetricsRegistry.snapshot` of
+    the server's registry, built **inside the send lock** so pipe
+    order equals build order — the parent's replace-on-update merge
+    stays monotone. Shipping one with each response is what makes the
+    conservation invariant exact even under SIGKILL: a request the
+    dispatcher counted as ``ok``/``error`` had its worker-side count
+    delivered on the very same message.
     """
+    import repro.obs.trace as trace_mod
     import repro.testing.faults as faults_mod
     from repro.obs import metrics as metrics_mod
     from repro.testing.faults import InjectedFault
 
     metrics_mod.reinit_registry_locks(metrics_mod.METRICS)
     faults_mod.FAULTS = faults_mod.FaultInjector()
+    trace_mod.reset_tracing()
     if fault_plan_json:
         FaultPlan.from_json(fault_plan_json).arm_into(
             faults_mod.FAULTS, worker=worker_id
         )
 
     server = setup(shard_ids, num_shards)
+    server.audit.worker = worker_id
+    server.audit.shard_resolver = ShardRouter(num_shards).shard_of
 
     send_lock = threading.Lock()
     stop = threading.Event()
     processed = [0]
+
+    def registry_snapshot():
+        return server.metrics.snapshot() if harvest else None
 
     def heartbeat() -> None:
         seq = 0
@@ -328,7 +409,8 @@ def _worker_main(
             seq += 1
             try:
                 with send_lock:
-                    conn.send(("hb", worker_id, seq, processed[0]))
+                    conn.send(("hb", worker_id, seq, processed[0],
+                               registry_snapshot()))
             except Exception:
                 return
             stop.wait(heartbeat_interval)
@@ -347,9 +429,20 @@ def _worker_main(
                 continue
             if message[0] == "stop":
                 break
+            if message[0] == "snap":
+                # On-demand harvest (stats(deep=True)): echo the token
+                # with a fresh cumulative snapshot.
+                token = message[1] if len(message) > 1 else 0
+                try:
+                    with send_lock:
+                        conn.send(("snapres", token, registry_snapshot()))
+                except Exception:
+                    break
+                continue
             if message[0] != "req":
                 continue
-            _, req_id, _kind, item, limits = message
+            _, req_id, _kind, item, limits = message[:5]
+            trace_ctx = message[5] if len(message) > 5 else None
 
             # Process-level fault points (armed via a FaultPlan): the
             # injector raises, and the *site* decides what the fault
@@ -369,14 +462,36 @@ def _worker_main(
                     conn.send_bytes(b"\x00not-a-pickle")
                 continue
 
+            # Cross-process trace propagation: a sampled TraceContext
+            # activates a per-request tracer; the service layer reuses
+            # the active tracer, so the whole pipeline's spans land on
+            # it and ride back with the response for stitching.
+            request_tracer = None
+            activation = None
+            if trace_ctx is not None and getattr(trace_ctx, "sampled", False):
+                request_tracer = Tracer()
+                activation = trace_mod.activate(request_tracer)
             try:
                 result = dispatch(server, item, limits=limits)
                 ok, payload = True, result
             except Exception as exc:
                 ok, payload = False, exc
+            finally:
+                if activation is not None:
+                    trace_mod.deactivate(activation)
+            extras = None
+            if harvest or request_tracer is not None:
+                extras = {
+                    "spans": request_tracer.spans
+                    if request_tracer is not None
+                    else None,
+                    "snapshot": None,
+                }
             try:
                 with send_lock:
-                    conn.send(("res", req_id, ok, payload))
+                    if extras is not None:
+                        extras["snapshot"] = registry_snapshot()
+                    conn.send(("res", req_id, ok, payload, extras))
             except (EOFError, OSError, BrokenPipeError):
                 break
             except Exception as exc:
@@ -390,7 +505,10 @@ def _worker_main(
                 )
                 try:
                     with send_lock:
-                        conn.send(("res", req_id, False, fallback))
+                        conn.send(
+                            ("res", req_id, False, fallback,
+                             {"spans": None, "snapshot": registry_snapshot()})
+                        )
                 except Exception:
                     break
             processed[0] += 1
@@ -440,6 +558,13 @@ class ShardedServerPool:
         deterministic process-level faults.
     mp_context:
         ``"fork"`` (default), ``"spawn"`` or ``"forkserver"``.
+    harvest:
+        When True (default), workers piggy-back cumulative metric
+        snapshots on every heartbeat and response; the parent merges
+        them into :attr:`fleet` (a :class:`~repro.obs.fleet.FleetView`)
+        so ``stats(deep=True)`` and ``render_prometheus()`` see every
+        worker's counters. Off, the fleet view stays empty and the
+        wire messages shrink — an A/B handle for the overhead bench.
     tracer / metrics / audit:
         Observability wiring; fresh private instances by default.
     """
@@ -463,6 +588,7 @@ class ShardedServerPool:
         fault_plan: Optional[FaultPlan] = None,
         mp_context: str = "fork",
         supervision_interval: float = 0.05,
+        harvest: bool = True,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         audit: Optional[AuditLog] = None,
@@ -489,6 +615,10 @@ class ShardedServerPool:
         self.degraded = degraded
         self.limits = limits
         self.fault_plan_json = fault_plan.to_json() if fault_plan else None
+        self.harvest_enabled = harvest
+        self.fleet = FleetView()
+        self.slo = SloTracker()
+        self._snap_tokens = itertools.count(1)
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.audit = audit if audit is not None else AuditLog()
@@ -515,6 +645,7 @@ class ShardedServerPool:
             for index in range(workers)
         ]
         for slot in self._slots:
+            self.fleet.set_shards(slot.index, slot.shard_ids)
             threading.Thread(
                 target=self._sender_loop,
                 args=(slot,),
@@ -540,6 +671,7 @@ class ShardedServerPool:
                 self.fault_plan_json,
                 self.heartbeat_interval,
                 self.hang_timeout * 100,  # fault-injected hang outlives every timeout
+                self.harvest_enabled,
             ),
             name=f"repro-pool-worker-{slot.index}",
             daemon=True,
@@ -573,6 +705,7 @@ class ShardedServerPool:
                 "restarted",
                 detail=f"attempt {slot.attempts}",
                 backend="pool",
+                worker=slot.index,
             )
             self._start_worker(slot)
 
@@ -591,6 +724,14 @@ class ShardedServerPool:
         with slot.lock:
             if slot.generation != generation or slot.state == "down":
                 return
+            # Fold the dead incarnation's last snapshot into the fleet
+            # base *before* the restart can start a new generation —
+            # retire() is generation-checked, and this thread is the
+            # dying generation's own receiver, so no update for this
+            # generation can arrive after it. Restart resets the
+            # worker's registry to zero; folding here is what keeps
+            # requests_total conserved across SIGKILLs.
+            self.fleet.retire(slot.index, generation)
             slot.state = "down"
             slot.up_since = None
             slot.pid = None
@@ -626,6 +767,7 @@ class ShardedServerPool:
             "worker-lost",
             detail=reason,
             backend="pool",
+            worker=slot.index,
         )
         if process is not None:
             process.join(timeout=1.0)
@@ -683,16 +825,20 @@ class ShardedServerPool:
                 conn = slot.conn
                 generation = slot.generation
             wire = ("req", pending.req_id, pending.kind, pending.item,
-                    pending.wire_limits())
+                    pending.wire_limits(),
+                    pending.trace.ctx if pending.trace is not None else None)
             pending.sent_at = time.monotonic()
+            pending.t_sent = time.perf_counter()
             try:
-                conn.send(wire)
+                with slot.send_mutex:
+                    conn.send(wire)
             except Exception:
                 # Never delivered: put it back at the head. If the
                 # worker died, the exit handler may have resolved it
                 # already (WorkerLost) — the done-check on pop and the
                 # resolve-once protocol make the requeue harmless.
                 pending.sent_at = None
+                pending.t_sent = None
                 with slot.lock:
                     if slot.in_flight.pop(pending.req_id, None) is not None:
                         slot.queue.appendleft(pending)
@@ -729,12 +875,32 @@ class ShardedServerPool:
                     slot.pid = message[2]
                     slot.wake.notify_all()
             elif tag == "hb":
-                pass  # the timestamp update above is the whole point
+                # The timestamp update above is the liveness half; the
+                # optional 5th element is a piggy-backed cumulative
+                # metrics snapshot (pipe order == build order, so a
+                # plain replace keeps the fleet view monotone).
+                if len(message) > 4 and message[4] is not None:
+                    self.fleet.update(slot.index, generation, message[4])
+            elif tag == "snapres":
+                token = message[1]
+                if len(message) > 2 and message[2] is not None:
+                    self.fleet.update(slot.index, generation, message[2])
+                with slot.lock:
+                    if (
+                        slot.generation == generation
+                        and token > slot.last_snap_token
+                    ):
+                        slot.last_snap_token = token
             elif tag == "res":
-                _, req_id, ok, payload = message
+                _, req_id, ok, payload = message[:4]
+                extras = message[4] if len(message) > 4 else None
+                if extras is not None and extras.get("snapshot") is not None:
+                    self.fleet.update(slot.index, generation, extras["snapshot"])
                 with slot.lock:
                     pending = slot.in_flight.pop(req_id, None)
                     slot.wake.notify_all()  # a pipeline slot freed up
+                if pending is not None and extras is not None:
+                    pending.worker_spans = extras.get("spans")
                 if pending is None or pending.done:
                     # Deadline sweep (or exit handling) got there first.
                     self.metrics.counter("pool_late_results_total").inc()
@@ -765,7 +931,14 @@ class ShardedServerPool:
     ) -> bool:
         """Resolve *pending* (first resolution wins) and count the
         outcome exactly once — the conservation law the chaos tests
-        assert: sum(pool_requests_total) == submissions."""
+        assert: sum(pool_requests_total) == submissions.
+
+        Trace stitching happens *before* the resolve: the waiter may
+        read its tracer the instant the event sets, so the synthesized
+        ``pool.*`` spans and the grafted worker subtree must already be
+        on it by then.
+        """
+        self._stitch(pending, outcome)
         first = (
             pending.resolve_error(error)
             if error is not None
@@ -773,7 +946,75 @@ class ShardedServerPool:
         )
         if first:
             self.metrics.counter("pool_requests_total", outcome=outcome).inc()
+            now = time.perf_counter()
+            if outcome in ("ok", "error") and pending.t_sent is not None:
+                self.slo.observe(
+                    "pool.queue_wait", pending.t_sent - pending.t_submitted
+                )
+                self.slo.observe("pool.service", now - pending.t_sent)
+            self.slo.observe("pool.e2e", now - pending.t_submitted)
         return first
+
+    def _stitch(self, pending: _Pending, outcome: str) -> None:
+        """Synthesize this request's dispatcher-side spans and graft the
+        worker's shipped subtree, all on the *originating* tracer.
+
+        The live ``with span(...)`` pattern cannot express these spans:
+        submit() returns before the request resolves, so the region is
+        open across threads. Instead the spans are built retroactively
+        from the request's own perf_counter marks, in the originating
+        tracer's timebase:
+
+        - ``pool.dispatch``   submit → resolution (whole pool residency)
+        - ``pool.queue_wait`` submit → pipe send
+        - ``pool.ipc``        pipe send → resolution (pipe + worker)
+        - worker spans        grafted inside ``pool.ipc``, centered so
+          the pipe cost ``ipc − worker`` is attributed symmetrically
+          (cross-process clocks are never compared directly).
+
+        Consumed exactly once: the trace state is taken atomically so a
+        racing late path finds ``None`` and does nothing.
+        """
+        with pending._lock:
+            trace, pending.trace = pending.trace, None
+        if trace is None:
+            return
+        tracer = trace.tracer
+        t0 = pending.t_submitted - tracer._created
+        t_end = time.perf_counter() - tracer._created
+        depth = trace.depth
+        parent = -1 if depth > 0 else None
+        tracer.spans.append(
+            Span(
+                "pool.dispatch",
+                t0,
+                t_end - t0,
+                depth,
+                parent,
+                {
+                    "shard": pending.shard,
+                    "worker": pending.worker,
+                    "outcome": outcome,
+                    "trace_id": trace.ctx.trace_id,
+                },
+            )
+        )
+        if pending.t_sent is None:
+            return
+        ts = pending.t_sent - tracer._created
+        tracer.spans.append(
+            Span("pool.queue_wait", t0, ts - t0, depth + 1, -1, None)
+        )
+        tracer.spans.append(
+            Span("pool.ipc", ts, t_end - ts, depth + 1, -1, None)
+        )
+        spans = pending.worker_spans
+        if spans:
+            extent = max(s.started + s.duration for s in spans) - min(
+                s.started for s in spans
+            )
+            slack = max(0.0, (t_end - ts) - extent)
+            tracer.graft(spans, at=ts + slack / 2, depth=depth + 2)
 
     def _fallback(self):
         with self._fallback_lock:
@@ -818,6 +1059,7 @@ class ShardedServerPool:
                 "degraded",
                 detail=f"shard {pending.shard} unhealthy; served in-process",
                 backend="pool",
+                shard=pending.shard,
             )
 
     def _serve_degraded_batch(self, pendings: list[_Pending]) -> None:
@@ -870,6 +1112,17 @@ class ShardedServerPool:
                 ),
             )
 
+    def _refresh_slo_gauges(self) -> None:
+        """Publish the sliding-window quantiles as gauges (called from
+        the supervisor's tick, next to :meth:`_update_gauges`)."""
+        for stage, summary in self.slo.summary().items():
+            for quantile in ("p50", "p95", "p99"):
+                value = summary.get(quantile)
+                if value is not None:
+                    self.metrics.gauge(
+                        "pool_slo_seconds", stage=stage, quantile=quantile
+                    ).set(value)
+
     def _update_gauges(self) -> None:
         alive = 0
         for slot in self._slots:
@@ -893,11 +1146,18 @@ class ShardedServerPool:
     ) -> _Pending:
         """Route one request; returns its pending resolution slot.
 
-        Admission control happens here, under a ``pool.dispatch``
-        span: circuit-breaker check (open → degraded in-process serve,
-        or fail-fast :class:`PoolUnhealthy`), then the bounded queue
-        (full → shed with :class:`PoolSaturated`). The returned
-        pending always resolves to exactly one outcome.
+        Admission control happens here: circuit-breaker check (open →
+        degraded in-process serve, or fail-fast
+        :class:`PoolUnhealthy`), then the bounded queue (full → shed
+        with :class:`PoolSaturated`). The returned pending always
+        resolves to exactly one outcome.
+
+        If the submitting thread has an active tracer, a
+        :class:`TraceContext` is captured here and shipped with the
+        request; at resolution :meth:`_stitch` synthesizes the
+        ``pool.dispatch`` / ``pool.queue_wait`` / ``pool.ipc`` spans
+        and grafts the worker's pipeline spans under them, so one
+        ``export_chrome()`` shows the whole cross-process timeline.
         """
         if self._closing:
             raise RuntimeError("the pool is closed")
@@ -911,47 +1171,53 @@ class ShardedServerPool:
         pending = _Pending(
             next(self._ids), kind, item, limits, deadline, shard, slot.index
         )
-        with span("pool.dispatch", shard=shard, worker=slot.index):
-            if not self._breakers[shard].allow():
-                if self.degraded:
-                    self._serve_degraded(pending)
-                else:
-                    self._finish(
-                        pending,
-                        "unhealthy",
-                        error=PoolUnhealthy(
-                            f"shard {shard}'s circuit breaker is open and "
-                            "degradation is disabled",
-                            shard=shard,
-                        ),
-                    )
-                return pending
-            with slot.lock:
-                full = len(slot.queue) >= self.queue_depth
-                if not full:
-                    slot.queue.append(pending)
-                    slot.wake.notify_all()
-            if full:
-                self.metrics.counter("pool_shed_total").inc()
-                self.audit.record(
-                    _requester_of(item),
-                    _uri_of(item),
-                    "shed",
-                    "shed",
-                    detail=f"worker {slot.index} queue full "
-                    f"(depth {self.queue_depth})",
-                    backend="pool",
-                )
+        tracer = current_tracer()
+        if tracer is not None:
+            pending.trace = _TraceState(
+                tracer, len(tracer._stack), TraceContext.capture(tracer)
+            )
+        if not self._breakers[shard].allow():
+            if self.degraded:
+                self._serve_degraded(pending)
+            else:
                 self._finish(
                     pending,
-                    "shed",
-                    error=PoolSaturated(
-                        f"worker {slot.index}'s queue is full "
-                        f"(depth {self.queue_depth}); request shed",
-                        worker=slot.index,
-                        depth=self.queue_depth,
+                    "unhealthy",
+                    error=PoolUnhealthy(
+                        f"shard {shard}'s circuit breaker is open and "
+                        "degradation is disabled",
+                        shard=shard,
                     ),
                 )
+            return pending
+        with slot.lock:
+            full = len(slot.queue) >= self.queue_depth
+            if not full:
+                slot.queue.append(pending)
+                slot.wake.notify_all()
+        if full:
+            self.metrics.counter("pool_shed_total").inc()
+            self.audit.record(
+                _requester_of(item),
+                _uri_of(item),
+                "shed",
+                "shed",
+                detail=f"worker {slot.index} queue full "
+                f"(depth {self.queue_depth})",
+                backend="pool",
+                worker=slot.index,
+                shard=shard,
+            )
+            self._finish(
+                pending,
+                "shed",
+                error=PoolSaturated(
+                    f"worker {slot.index}'s queue is full "
+                    f"(depth {self.queue_depth}); request shed",
+                    worker=slot.index,
+                    depth=self.queue_depth,
+                ),
+            )
         return pending
 
     def serve(
@@ -999,10 +1265,51 @@ class ShardedServerPool:
         states = {slot.index: slot.state for slot in self._slots}
         raise TimeoutError(f"pool not ready after {timeout}s: {states}")
 
-    def stats(self) -> dict:
+    def harvest(self, timeout: float = 1.0) -> None:
+        """Request a fresh metrics snapshot from every live worker and
+        wait (up to *timeout*) for the answers to land in :attr:`fleet`.
+
+        Tokened: each round sends one monotonically increasing token;
+        a worker's ``snapres`` echo proves its snapshot is at least as
+        fresh as this call. Workers that die mid-round are simply
+        skipped — their last snapshot was already folded by retire().
+        """
+        if not self.harvest_enabled:
+            return
+        token = next(self._snap_tokens)
+        targets = []
+        for slot in self._slots:
+            with slot.lock:
+                if slot.state != "up" or slot.conn is None:
+                    continue
+                conn = slot.conn
+            try:
+                with slot.send_mutex:
+                    conn.send(("snap", token))
+            except Exception:
+                continue
+            targets.append(slot)
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            done = True
+            for slot in targets:
+                with slot.lock:
+                    if slot.state == "up" and slot.last_snap_token < token:
+                        done = False
+            if done:
+                return
+            time.sleep(0.005)
+
+    def stats(self, deep: bool = False) -> dict:
         """Pool health + request accounting, shaped like
         :meth:`SecureXMLServer.stats` one tier up (JSON-serializable).
+
+        ``deep=True`` first runs a synchronous :meth:`harvest` round so
+        the ``fleet`` section reflects every live worker *right now*
+        rather than as of its last heartbeat/response.
         """
+        if deep:
+            self.harvest()
         outcomes: dict[str, float] = {}
         for metric in self.metrics:
             if metric.name == "pool_requests_total":
@@ -1043,11 +1350,25 @@ class ShardedServerPool:
             "outcomes": outcomes,
             "audit_records": len(self.audit),
             "metrics": self.metrics.as_dict(),
+            "slo": self.slo.summary(),
+            "fleet": self.fleet.as_dict(),
         }
 
-    def render_prometheus(self) -> str:
-        """The pool's metrics in Prometheus text exposition format."""
-        return self.metrics.render_prometheus()
+    def render_prometheus(self, fleet: bool = True) -> str:
+        """The pool's metrics in Prometheus text exposition format.
+
+        With ``fleet=True`` (default) the harvested per-worker series
+        (each labelled ``worker="N"``, plus the ``pool_worker_shards``
+        ownership map) are appended — one scrape covers the dispatcher
+        and every worker. The two families are disjoint (``pool_*`` vs
+        pipeline names), so the concatenation is lint-clean.
+        """
+        text = self.metrics.render_prometheus()
+        if fleet:
+            fleet_text = self.fleet.render_prometheus()
+            if fleet_text:
+                text = text + fleet_text
+        return text
 
     # -- shutdown -------------------------------------------------------------
 
@@ -1078,7 +1399,8 @@ class ShardedServerPool:
                 )
             if conn is not None:
                 try:
-                    conn.send(("stop",))
+                    with slot.send_mutex:
+                        conn.send(("stop",))
                 except Exception:
                     pass
         deadline = time.monotonic() + timeout

@@ -126,9 +126,9 @@ def _histogram_summary(histogram) -> dict:
     return {
         "count": histogram.count,
         "mean": histogram.mean,
-        "p50": histogram.quantile(0.5),
-        "p95": histogram.quantile(0.95),
-        "p99": histogram.quantile(0.99),
+        "p50": histogram.percentile(50),
+        "p95": histogram.percentile(95),
+        "p99": histogram.percentile(99),
     }
 
 

@@ -136,8 +136,12 @@ class Supervisor:
 
     Then expired deadlines are swept (queued requests fail fast with
     :class:`~repro.errors.DeadlineExceeded`; see
-    ``ShardedServerPool._sweep_deadlines``) and the health gauges
-    refreshed. The loop runs under ``tracing(tracer)`` when the pool
+    ``ShardedServerPool._sweep_deadlines``) and the health and
+    sliding-window SLO gauges (``pool_slo_seconds``) refreshed.
+    Heartbeats processed each tick also piggy-back worker metric
+    snapshots into the pool's fleet view — supervision traffic doubles
+    as the harvesting channel. The loop runs under ``tracing(tracer)``
+    when the pool
     was given one, so its spans land in the same trace stream as
     request dispatch.
     """
@@ -218,3 +222,4 @@ class Supervisor:
                         pool._restart_slot(slot)
         pool._sweep_deadlines()
         pool._update_gauges()
+        pool._refresh_slo_gauges()

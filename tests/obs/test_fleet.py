@@ -1,0 +1,293 @@
+"""Fleet-wide observability: snapshot merging, incarnation folding,
+sliding-window SLOs, trace context propagation and the top renderer."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.fleet import (
+    FleetView,
+    SlidingWindow,
+    SloTracker,
+    lint_prometheus,
+    merge_snapshots,
+    render_top,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceContext, Tracer, tracing
+
+
+def snapshot_of(**counters) -> list:
+    registry = MetricsRegistry()
+    for name, value in counters.items():
+        registry.counter(name).inc(value)
+    return registry.snapshot()
+
+
+class TestMergeSnapshots:
+    def test_counters_add_across_snapshots(self):
+        merged = merge_snapshots(
+            [snapshot_of(requests_total=3), snapshot_of(requests_total=4)]
+        )
+        (entry,) = merged.values()
+        assert entry[0] == "counter"
+        assert entry[3] == 7
+
+    def test_label_sets_stay_distinct(self):
+        a = MetricsRegistry()
+        a.counter("requests_total", outcome="released").inc(2)
+        b = MetricsRegistry()
+        b.counter("requests_total", outcome="denied").inc(1)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert len(merged) == 2
+
+    def test_gauges_last_vs_sum(self):
+        a = MetricsRegistry()
+        a.gauge("depth").set(3)
+        b = MetricsRegistry()
+        b.gauge("depth").set(5)
+        snapshots = [a.snapshot(), b.snapshot()]
+        (last,) = merge_snapshots(snapshots, gauges="last").values()
+        (summed,) = merge_snapshots(snapshots, gauges="sum").values()
+        assert last[3] == 5
+        assert summed[3] == 8
+
+    def test_histograms_merge_element_wise(self):
+        a = MetricsRegistry()
+        a.histogram("request_seconds").observe(0.001)
+        b = MetricsRegistry()
+        b.histogram("request_seconds").observe(0.001)
+        b.histogram("request_seconds").observe(100.0)  # overflow bucket
+        (entry,) = merge_snapshots([a.snapshot(), b.snapshot()]).values()
+        data = entry[3]
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(100.002)
+        assert sum(data["bucket_counts"]) == 3
+
+    def test_mismatched_buckets_drop_buckets_keep_totals(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(5.0,)).observe(0.5)
+        (entry,) = merge_snapshots([a.snapshot(), b.snapshot()]).values()
+        assert entry[3]["buckets"] is None
+        assert entry[3]["count"] == 2
+
+    def test_rejects_unknown_gauge_mode(self):
+        with pytest.raises(ValueError):
+            merge_snapshots([], gauges="max")
+
+
+class TestFleetView:
+    def test_aggregates_across_workers(self):
+        view = FleetView()
+        view.update(0, 1, snapshot_of(requests_total=3))
+        view.update(1, 1, snapshot_of(requests_total=5))
+        assert view.counter_total("requests_total") == 8
+        assert view.workers() == [0, 1]
+
+    def test_update_replaces_within_one_incarnation(self):
+        view = FleetView()
+        view.update(0, 1, snapshot_of(requests_total=3))
+        view.update(0, 1, snapshot_of(requests_total=7))  # cumulative
+        assert view.counter_total("requests_total") == 7
+
+    def test_retire_folds_exactly_once(self):
+        view = FleetView()
+        view.update(0, 1, snapshot_of(requests_total=7))
+        view.retire(0, 1)
+        assert view.counter_total("requests_total") == 7
+        view.retire(0, 1)  # second retire: live slot empty, no effect
+        assert view.counter_total("requests_total") == 7
+
+    def test_restart_resets_deltas_without_double_counting(self):
+        view = FleetView()
+        view.update(0, 1, snapshot_of(requests_total=7))
+        view.retire(0, 1)
+        # The next incarnation starts its registry from zero.
+        view.update(0, 2, snapshot_of(requests_total=2))
+        assert view.counter_total("requests_total") == 9
+        view.retire(0, 2)
+        assert view.counter_total("requests_total") == 9
+
+    def test_stale_generation_update_is_dropped(self):
+        view = FleetView()
+        view.update(0, 2, snapshot_of(requests_total=4))
+        view.update(0, 1, snapshot_of(requests_total=100))  # stale gen
+        assert view.counter_total("requests_total") == 4
+
+    def test_retire_spares_next_incarnations_data(self):
+        view = FleetView()
+        view.update(0, 2, snapshot_of(requests_total=4))
+        view.retire(0, 1)  # a late retire for the previous incarnation
+        assert view.counter_total("requests_total") == 4
+        view.retire(0, 2)
+        assert view.counter_total("requests_total") == 4
+
+    def test_as_dict_is_json_safe(self):
+        view = FleetView()
+        view.set_shards(0, (0, 2))
+        registry = MetricsRegistry()
+        registry.counter("requests_total", outcome="released").inc(2)
+        registry.histogram("request_seconds").observe(0.01)
+        registry.gauge("depth").set(1)
+        view.update(0, 1, registry.snapshot())
+        data = json.loads(json.dumps(view.as_dict()))
+        assert data["shards"] == {"0": [0, 2]}
+        assert "requests_total" in data["aggregate"]
+        assert "requests_total" in data["workers"]["0"]
+
+    def test_render_prometheus_is_lint_clean_and_worker_labelled(self):
+        view = FleetView()
+        view.set_shards(0, (0,))
+        view.set_shards(1, (1,))
+        for worker in (0, 1):
+            registry = MetricsRegistry()
+            registry.counter("requests_total", outcome="released").inc(1)
+            registry.histogram("request_seconds").observe(0.005)
+            view.update(worker, 1, registry.snapshot())
+        text = view.render_prometheus()
+        assert lint_prometheus(text) == []
+        assert 'worker="0"' in text and 'worker="1"' in text
+        assert 'pool_worker_shards{shard="1",worker="1"} 1' in text
+
+    def test_empty_view_renders_empty_or_shards_only(self):
+        assert lint_prometheus(FleetView().render_prometheus()) == []
+
+
+class TestSlidingWindow:
+    def test_percentiles_nearest_rank(self):
+        window = SlidingWindow(size=100)
+        for value in range(1, 101):
+            window.observe(float(value))
+        assert window.percentile(50) == 50.0
+        assert window.percentile(95) == 95.0
+        assert window.percentile(99) == 99.0
+        assert window.percentile(0) == 1.0
+        assert window.percentile(100) == 100.0
+
+    def test_window_slides(self):
+        window = SlidingWindow(size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            window.observe(value)
+        assert len(window) == 4
+        assert window.total == 5
+        assert window.percentile(50) == 3.0
+
+    def test_empty_summary(self):
+        assert SlidingWindow().summary()["count"] == 0
+
+    def test_rejects_bad_sizes_and_percentiles(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(size=0)
+        with pytest.raises(ValueError):
+            SlidingWindow().percentile(101)
+
+
+class TestSloTracker:
+    def test_named_stages(self):
+        tracker = SloTracker()
+        tracker.observe("pool.e2e", 0.010)
+        tracker.observe("pool.e2e", 0.020)
+        tracker.observe("pool.queue_wait", 0.001)
+        summary = tracker.summary()
+        assert set(summary) == {"pool.e2e", "pool.queue_wait"}
+        assert summary["pool.e2e"]["count"] == 2
+        assert summary["pool.e2e"]["p50"] == pytest.approx(0.010)
+
+    def test_summary_is_json_safe(self):
+        tracker = SloTracker()
+        tracker.observe("s", 0.5)
+        json.dumps(tracker.summary())
+
+
+class TestTraceContext:
+    def test_capture_requires_a_tracer(self):
+        assert TraceContext.capture() is None
+
+    def test_capture_records_open_parent_span(self):
+        with tracing() as tracer:
+            with tracer.span("outer"):
+                ctx = TraceContext.capture()
+        assert ctx is not None
+        assert ctx.parent_span == "outer"
+        assert ctx.sampled
+
+    def test_trace_ids_unique_and_pid_prefixed(self):
+        with tracing():
+            a = TraceContext.capture()
+            b = TraceContext.capture()
+        assert a.trace_id != b.trace_id
+
+    def test_pickles_across_process_boundary_protocols(self):
+        ctx = TraceContext(trace_id="t-1", parent_span="request.serve")
+        clone = pickle.loads(pickle.dumps(ctx, protocol=2))
+        assert clone == ctx
+
+
+class TestGraft:
+    def test_grafted_spans_rebase_and_deepen(self):
+        tracer = Tracer()
+        foreign = [
+            Span("request.serve", 0.5, 0.010, 0, None),
+            Span("label", 0.502, 0.004, 1, -1),
+        ]
+        adopted = tracer.graft(foreign, at=1.0, depth=2)
+        assert adopted == 2
+        serve = next(s for s in tracer.spans if s.name == "request.serve")
+        label = next(s for s in tracer.spans if s.name == "label")
+        assert serve.started == pytest.approx(1.0)
+        assert label.started == pytest.approx(1.002)
+        assert serve.depth == 2 and label.depth == 3
+        assert serve.parent == -1  # resolved by span_tree()
+
+    def test_graft_nothing(self):
+        assert Tracer().graft([], at=0.0) == 0
+
+
+class TestRenderTop:
+    def test_renders_a_full_stats_snapshot(self):
+        stats = {
+            "pool": {
+                "workers": 2, "shards": 4, "workers_alive": 1,
+                "restarts_total": 3, "shed_total": 1, "degraded_total": 0,
+                "breakers": {"0": "open", "1": "closed"},
+            },
+            "outcomes": {"ok": 10.0, "error": 2.0},
+            "workers": [
+                {"worker": 0, "state": "up", "pid": 123, "shards": [0, 2],
+                 "queued": 1, "in_flight": 2, "restarts": 3},
+                {"worker": 1, "state": "down", "pid": None, "shards": [1, 3],
+                 "queued": 0, "in_flight": 0, "restarts": 0},
+            ],
+            "slo": {
+                "pool.e2e": {"count": 12, "total": 12, "p50": 0.004,
+                             "p95": 0.009, "p99": 0.011},
+            },
+            "fleet": {
+                "workers": {"0": {}},
+                "aggregate": {
+                    "requests_total": {"kind=serve,outcome=released": 10.0},
+                    "view_cache_hits": {"": 6.0},
+                    "view_cache_misses": {"": 2.0},
+                    "stage_seconds": {
+                        "stage=label": {"count": 10, "mean": 0.003},
+                    },
+                },
+            },
+        }
+        text = render_top(stats)
+        assert "1/2 workers up" in text
+        assert "open" in text
+        assert "pool.e2e" in text
+        assert "kind=serve,outcome=released" in text
+        assert "75.0% hit rate" in text
+        assert "label" in text
+        assert "1 worker(s) reporting metrics" in text
+
+    def test_survives_json_round_trip(self):
+        stats = {"pool": {}, "workers": [], "outcomes": {}}
+        assert render_top(json.loads(json.dumps(stats)))

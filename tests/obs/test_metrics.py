@@ -89,6 +89,20 @@ class TestHistogram:
         with pytest.raises(ValueError):
             registry.histogram("h").quantile(1.5)
 
+    def test_percentile_is_quantile_on_the_100_scale(self, registry):
+        histogram = registry.histogram("seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(50) == histogram.quantile(0.5)
+        assert histogram.percentile(99) == histogram.quantile(0.99)
+        assert histogram.percentile(0) == 0.0
+
+    def test_percentile_range_checked(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").percentile(101)
+        with pytest.raises(ValueError):
+            registry.histogram("h").percentile(-1)
+
     def test_default_buckets_are_sorted_latencies(self):
         assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
 
@@ -109,6 +123,32 @@ class TestExport:
         assert histogram["count"] == 1
         assert histogram["buckets"]["0.1"] == 1
 
+    def test_snapshot_shape_and_picklability(self, registry):
+        import pickle
+
+        registry.counter("requests_total", outcome="released").inc(2)
+        registry.gauge("entries").set(3)
+        registry.histogram("seconds", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        entries = {(kind, name): data for kind, name, _, data in snapshot}
+        assert entries[("counter", "requests_total")] == 2
+        assert entries[("gauge", "entries")] == 3
+        histogram = entries[("histogram", "seconds")]
+        assert histogram["count"] == 1
+        assert histogram["buckets"] == [0.1, 1.0]
+        assert sum(histogram["bucket_counts"]) == 1
+        # labels travel as hashable items, the whole thing pickles at
+        # the oldest protocol a pipe might negotiate
+        clone = pickle.loads(pickle.dumps(snapshot, protocol=2))
+        assert clone == snapshot
+
+    def test_snapshot_is_a_cut_not_a_view(self, registry):
+        counter = registry.counter("requests_total")
+        counter.inc(2)
+        snapshot = registry.snapshot()
+        counter.inc(5)
+        assert snapshot[0][3] == 2  # later increments don't leak in
+
     def test_prometheus_render(self, registry):
         registry.counter("requests_total", outcome="released").inc(2)
         registry.histogram("request_seconds", buckets=(0.1, 1.0)).observe(0.05)
@@ -120,6 +160,18 @@ class TestExport:
         assert 'request_seconds_bucket{le="+Inf"} 1' in text
         assert 'request_seconds_count 1' in text
         assert text.endswith("\n")
+
+    def test_prometheus_help_lines_precede_types(self, registry):
+        registry.counter("requests_total", outcome="released").inc()
+        registry.counter("made_up_total").inc()
+        lines = registry.render_prometheus().splitlines()
+        # every family: one HELP immediately before its TYPE
+        assert "# HELP requests_total Requests served, by kind and outcome" in lines
+        assert "# HELP made_up_total repro counter made_up_total" in lines
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                name = line.split()[2]
+                assert lines[index - 1].startswith(f"# HELP {name} ")
 
     def test_prometheus_bucket_counts_are_cumulative(self, registry):
         histogram = registry.histogram("s", buckets=(0.1, 1.0))

@@ -1,0 +1,126 @@
+"""Prometheus text-exposition conformance, for every renderer we ship.
+
+``lint_prometheus`` is itself under test here (seeded violations must
+be caught), and then pointed at the real renderers: a served
+``SecureXMLServer`` registry, a live pool (dispatcher + harvested
+fleet series), and a standalone ``FleetView``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.fleet import FleetView, lint_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLintCatchesViolations:
+    def test_clean_minimal_exposition(self):
+        text = (
+            "# HELP requests_total count\n"
+            "# TYPE requests_total counter\n"
+            'requests_total{outcome="released"} 3\n'
+        )
+        assert lint_prometheus(text) == []
+
+    def test_missing_type(self):
+        text = "# HELP x c\nx 1\n"
+        assert any("no preceding TYPE" in p for p in lint_prometheus(text))
+
+    def test_missing_help(self):
+        text = "# TYPE x counter\nx 1\n"
+        assert any("no preceding HELP" in p for p in lint_prometheus(text))
+
+    def test_duplicate_series(self):
+        text = (
+            "# HELP x c\n# TYPE x counter\n"
+            'x{a="1"} 1\nx{a="1"} 2\n'
+        )
+        assert any("duplicate series" in p for p in lint_prometheus(text))
+
+    def test_duplicate_type(self):
+        text = "# HELP x c\n# TYPE x counter\n# TYPE x counter\nx 1\n"
+        assert any("duplicate TYPE" in p for p in lint_prometheus(text))
+
+    def test_non_numeric_value(self):
+        text = "# HELP x c\n# TYPE x gauge\nx up\n"
+        assert any("non-numeric" in p for p in lint_prometheus(text))
+
+    def test_bad_label_escaping(self):
+        text = '# HELP x c\n# TYPE x counter\nx{a="b\\q"} 1\n'
+        assert any("malformed label" in p for p in lint_prometheus(text))
+
+    def test_escaped_quote_and_newline_are_legal(self):
+        text = (
+            "# HELP x c\n# TYPE x counter\n"
+            'x{a="say \\"hi\\"",b="line\\nbreak"} 1\n'
+        )
+        assert lint_prometheus(text) == []
+
+    def test_histogram_must_end_with_inf(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1\nh_sum 1\nh_count 1\n'
+        )
+        assert any("+Inf" in p for p in lint_prometheus(text))
+
+    def test_histogram_cumulative_counts_must_not_decrease(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\nh_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        assert any("decrease" in p for p in lint_prometheus(text))
+
+    def test_histogram_count_must_match_inf_bucket(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 4\n'
+        )
+        assert any("_count" in p for p in lint_prometheus(text))
+
+    def test_histogram_missing_sum(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\nh_count 3\n'
+        )
+        assert any("missing _sum" in p for p in lint_prometheus(text))
+
+    def test_unparseable_sample(self):
+        text = "# HELP x c\n# TYPE x counter\n{oops} 1\n"
+        assert any("unparseable" in p for p in lint_prometheus(text))
+
+
+class TestRealRenderers:
+    def test_registry_with_escapy_labels_is_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", outcome="released").inc()
+        registry.counter("odd_total", label='say "hi"\nnow\\here').inc()
+        registry.histogram("request_seconds", kind="serve").observe(0.004)
+        registry.gauge("depth").set(2)
+        assert lint_prometheus(registry.render_prometheus()) == []
+
+    def test_served_server_exposition_is_clean(self, served_server):
+        server, requester, uri = served_server
+        from repro.server.request import AccessRequest
+
+        server.serve(AccessRequest(requester, uri))
+        assert lint_prometheus(server.metrics.render_prometheus()) == []
+
+    def test_fleet_view_exposition_is_clean(self):
+        view = FleetView()
+        view.set_shards(0, (0, 1))
+        registry = MetricsRegistry()
+        registry.counter("requests_total", outcome="released").inc(2)
+        registry.histogram("request_seconds", kind="serve").observe(0.004)
+        registry.histogram("stage_seconds", stage="label").observe(0.002)
+        view.update(0, 1, registry.snapshot())
+        assert lint_prometheus(view.render_prometheus()) == []
+
+
+@pytest.fixture
+def served_server():
+    from repro.workloads.traffic import TrafficSpec
+
+    spec = TrafficSpec(documents=1, nodes_per_document=60, seed=3)
+    return spec.build_server(None, 1), spec.requesters()[0], spec.uris()[0]

@@ -122,7 +122,7 @@ def test_chaos_exactly_one_outcome_and_byte_identity(seed):
                 assert isinstance(pending.error, TYPED_ERRORS), repr(pending.error)
 
         # 3. counters conserve despite the carnage
-        stats = pool.stats()
+        stats = pool.stats(deep=True)
         assert sum(stats["outcomes"].values()) == REQUEST_COUNT
         audited_restarts = sum(
             1 for record in pool.audit.tail(1000) if record.outcome == "restarted"
@@ -140,6 +140,23 @@ def test_chaos_exactly_one_outcome_and_byte_identity(seed):
         assert audited_lost == lost_by_metric
         if killer.performed:
             assert lost_by_metric >= 1
+
+        # 4. harvested fleet counters conserve across SIGKILL restarts.
+        # Every ok/error response shipped its own cumulative snapshot,
+        # so the fleet total is at least the dispatched count; a
+        # heartbeat may have harvested a request whose response then
+        # died in the pipe, so the excess is bounded by worker-lost.
+        # No restart may double-count (retire folds each incarnation
+        # exactly once), which the upper bound also enforces.
+        fleet_total = pool.fleet.counter_total("requests_total")
+        dispatched = sum(
+            value
+            for outcome, value in stats["outcomes"].items()
+            if outcome in ("ok", "error")
+        )
+        lost = stats["outcomes"].get("worker-lost", 0)
+        assert dispatched <= fleet_total <= dispatched + lost
+
         # sanity: the run must not have failed everything
         assert successes > 0
     finally:
@@ -246,8 +263,17 @@ def test_chaos_updates_exactly_one_outcome_and_version_monotonicity(seed):
                 assert isinstance(pending.error, TYPED_ERRORS), repr(
                     pending.error
                 )
-        stats = pool.stats()
+        stats = pool.stats(deep=True)
         assert sum(stats["outcomes"].values()) == UPDATE_REQUEST_COUNT
+        fleet_total = pool.fleet.counter_total("requests_total")
+        dispatched = sum(
+            value
+            for outcome, value in stats["outcomes"].items()
+            if outcome in ("ok", "error")
+        )
+        assert dispatched <= fleet_total <= dispatched + stats[
+            "outcomes"
+        ].get("worker-lost", 0)
 
         # version monotonicity per URI over successful updates
         applied = 0

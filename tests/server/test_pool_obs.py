@@ -1,0 +1,321 @@
+"""Fleet observability through the pool: cross-process trace
+stitching, metrics harvesting, SLO windows, tracer fork hygiene and
+worker/shard-stamped audit records.
+
+One pool per test class (module-scoped fixtures would couple restart
+tests to trace tests); corpora are small — these tests assert
+plumbing, not throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.fleet import lint_prometheus
+from repro.obs.trace import Tracer, current_tracer, tracing
+from repro.server.pool import ShardedServerPool
+from repro.server.supervisor import RestartPolicy
+from repro.testing.faults import FaultPlan, FaultSpec
+from repro.workloads.traffic import TrafficSpec, request_stream
+
+SPEC = TrafficSpec(documents=4, nodes_per_document=120, seed=31)
+
+
+def _serve_all(pool, count=12, seed=2, **kwargs):
+    requests = list(request_stream(SPEC, count, seed=seed))
+    outcomes = pool.serve_many(requests, timeout=120, **kwargs)
+    assert all(outcome.ok for outcome in outcomes), [
+        outcome.error for outcome in outcomes if not outcome.ok
+    ]
+    return outcomes
+
+
+def _tracer_must_be_clean(shard_ids, num_shards):
+    """A pool setup that refuses to boot under a leaked parent tracer."""
+    if current_tracer() is not None:
+        raise RuntimeError("parent tracer leaked across fork into worker")
+    return SPEC.build_server(shard_ids, num_shards)
+
+
+class TestTraceStitching:
+    def test_one_stitched_tree_per_request(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            request = next(iter(request_stream(SPEC, 1, seed=4, query_share=0)))
+            with tracing(Tracer()) as tracer:
+                pool.serve(request, timeout=120)
+        names = [span.name for span in tracer.spans]
+        # Dispatcher-side synthesized spans...
+        assert "pool.dispatch" in names
+        assert "pool.queue_wait" in names
+        assert "pool.ipc" in names
+        # ...and the worker-side pipeline spans, grafted in.
+        assert "request.serve" in names
+        assert any(name.startswith("label") for name in names)
+
+        tree = {span.name: span for span in tracer.span_tree()}
+        dispatch = tree["pool.dispatch"]
+        queue_wait = tree["pool.queue_wait"]
+        ipc = tree["pool.ipc"]
+        serve = tree["request.serve"]
+        # Containment: queue_wait and ipc partition dispatch; the
+        # worker subtree sits inside ipc.
+        assert dispatch.depth == 0
+        assert queue_wait.depth == ipc.depth == 1
+        assert serve.depth == 2
+        assert dispatch.started <= queue_wait.started
+        assert queue_wait.started + queue_wait.duration <= (
+            ipc.started + 1e-9
+        )
+        assert ipc.started - 1e-9 <= serve.started
+        assert (
+            serve.started + serve.duration
+            <= ipc.started + ipc.duration + 1e-9
+        )
+        assert dispatch.tags["outcome"] == "ok"
+        assert "trace_id" in dispatch.tags
+
+    def test_export_chrome_renders_the_merged_timeline(self, tmp_path):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            request = next(iter(request_stream(SPEC, 1, seed=4, query_share=0)))
+            with tracing(Tracer()) as tracer:
+                pool.serve(request, timeout=120)
+        path = tmp_path / "trace.json"
+        text = tracer.export_chrome(str(path))
+        events = json.loads(text)["traceEvents"]
+        assert json.loads(path.read_text()) == json.loads(text)
+        names = {event["name"] for event in events}
+        assert {"pool.dispatch", "pool.ipc", "request.serve"} <= names
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_untraced_requests_ship_no_context(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            outcomes = _serve_all(pool)
+            assert all(outcome.ok for outcome in outcomes)
+            # No tracer active: nothing stitched anywhere, and the
+            # request still resolves (the wire tolerates ctx=None).
+
+
+class TestTracerForkHygiene:
+    def test_worker_boots_untraced_even_when_parent_traces(self):
+        # The pool forks while this thread's tracer is active; without
+        # reset_tracing() at worker boot the setup below would raise
+        # and the pool would never come up.
+        with tracing(Tracer()):
+            with ShardedServerPool(_tracer_must_be_clean, workers=2) as pool:
+                pool.wait_ready()
+                _serve_all(pool, count=4)
+
+    def test_restarted_worker_also_boots_untraced(self):
+        with tracing(Tracer()):
+            with ShardedServerPool(
+                _tracer_must_be_clean,
+                workers=1,
+                restart_policy=RestartPolicy(base_delay=0.01, cap=0.1),
+                breaker_threshold=100,
+            ) as pool:
+                pool.wait_ready()
+                pool._kill_slot(pool._slots[0], "test-kill")
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if (
+                        pool._slots[0].state == "up"
+                        and pool._slots[0].restarts > 0
+                    ):
+                        break
+                    time.sleep(0.01)
+                assert pool._slots[0].restarts > 0
+                _serve_all(pool, count=4)
+
+
+class TestHarvesting:
+    def test_deep_stats_conserve_worker_counts(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            _serve_all(pool, count=16)
+            stats = pool.stats(deep=True)
+            fleet_total = pool.fleet.counter_total("requests_total")
+        dispatched = sum(
+            value
+            for outcome, value in stats["outcomes"].items()
+            if outcome in ("ok", "error")
+        )
+        assert fleet_total == dispatched == 16
+        json.dumps(stats)  # the whole deep snapshot stays JSON-safe
+        assert stats["slo"]["pool.e2e"]["count"] == 16
+        assert set(stats["fleet"]["workers"]) == {"0", "1"}
+
+    def test_harvest_off_keeps_fleet_empty(self):
+        with ShardedServerPool(
+            SPEC.build_server, workers=2, harvest=False
+        ) as pool:
+            pool.wait_ready()
+            _serve_all(pool)
+            stats = pool.stats(deep=True)
+        assert stats["fleet"]["workers"] == {}
+        assert pool.fleet.counter_total("requests_total") == 0
+
+    def test_merged_prometheus_is_lint_clean_with_worker_labels(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            _serve_all(pool)
+            pool.stats(deep=True)
+            pool._update_gauges()
+            pool._refresh_slo_gauges()
+            text = pool.render_prometheus()
+            dispatcher_only = pool.render_prometheus(fleet=False)
+        assert lint_prometheus(text) == []
+        assert 'requests_total{kind="serve",outcome="released",worker="' in text
+        assert "pool_worker_shards{" in text
+        assert "pool_slo_seconds{" in text
+        assert 'worker_shards' not in dispatcher_only
+
+    def test_restart_resets_deltas_without_double_counting(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.worker.crash", times=1, after=4, worker=0)]
+        )
+        with ShardedServerPool(
+            SPEC.build_server,
+            workers=1,
+            fault_plan=plan,
+            restart_policy=RestartPolicy(base_delay=0.01, cap=0.1),
+            breaker_threshold=100,
+        ) as pool:
+            pool.wait_ready()
+            requests = list(request_stream(SPEC, 20, seed=6))
+            outcomes = pool.serve_many(requests, timeout=120)
+            ok = sum(1 for outcome in outcomes if outcome.ok)
+            errors = sum(
+                1
+                for outcome in outcomes
+                if outcome.error is not None
+                and type(outcome.error).__name__ not in ("WorkerLost",)
+            )
+            stats = pool.stats(deep=True)
+            fleet_total = pool.fleet.counter_total("requests_total")
+            restarts = stats["pool"]["restarts_total"]
+        assert restarts >= 1
+        dispatched = sum(
+            value
+            for outcome_name, value in stats["outcomes"].items()
+            if outcome_name in ("ok", "error")
+        )
+        assert fleet_total == dispatched
+        assert ok == dispatched - errors
+
+
+class TestSloWindows:
+    def test_queue_wait_plus_service_bounds_e2e(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            _serve_all(pool, count=10)
+            slo = pool.slo.summary()
+        assert set(slo) >= {"pool.e2e", "pool.queue_wait", "pool.service"}
+        assert slo["pool.queue_wait"]["p50"] <= slo["pool.e2e"]["p50"]
+        assert slo["pool.service"]["p50"] <= slo["pool.e2e"]["p50"]
+
+    def test_slo_gauges_published_by_supervisor_tick(self):
+        with ShardedServerPool(SPEC.build_server, workers=2) as pool:
+            pool.wait_ready()
+            _serve_all(pool, count=6)
+            pool.supervisor.tick()
+            value = pool.metrics.value(
+                "pool_slo_seconds", stage="pool.e2e", quantile="p99"
+            )
+        assert value is not None and value > 0
+
+
+def _audited_setup(shard_ids, num_shards):
+    """Attach a per-process JSONL sink so the parent can read worker
+    audit records back from disk (each worker writes its own file)."""
+    from repro.server.audit_sink import JsonlAuditSink
+
+    server = SPEC.build_server(shard_ids, num_shards)
+    directory = os.environ["REPRO_TEST_AUDIT_DIR"]
+    server.audit.sink = JsonlAuditSink(
+        os.path.join(directory, f"audit-{os.getpid()}.jsonl")
+    )
+    return server
+
+
+class TestPooledAuditProvenance:
+    def test_worker_records_carry_worker_and_shard(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_AUDIT_DIR", str(tmp_path))
+        with ShardedServerPool(_audited_setup, workers=2, shards=4) as pool:
+            pool.wait_ready()
+            _serve_all(pool, count=12)
+        records = []
+        for name in os.listdir(tmp_path):
+            with open(tmp_path / name, "r", encoding="utf-8") as handle:
+                records.extend(json.loads(line) for line in handle if line.strip())
+        assert records
+        workers_seen = {record["worker"] for record in records}
+        assert workers_seen <= {0, 1} and len(workers_seen) == 2
+        for record in records:
+            assert record["shard"] in (0, 1, 2, 3)
+            # Consistent hash: the worker that wrote it owns the shard.
+            assert record["shard"] % 2 == record["worker"]
+
+    def test_audit_query_filters_by_worker_and_shard(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        tool = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "tools"
+            / "audit_query.py"
+        )
+        spec = importlib.util.spec_from_file_location("audit_query", tool)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        audit_main = module.main
+
+        log = tmp_path / "audit.jsonl"
+        rows = [
+            {"timestamp": 1.0, "requester": "u", "uri": "a", "action": "read",
+             "outcome": "released", "worker": 0, "shard": 2},
+            {"timestamp": 2.0, "requester": "u", "uri": "b", "action": "read",
+             "outcome": "released", "worker": 1, "shard": 3},
+            {"timestamp": 3.0, "requester": "u", "uri": "c", "action": "read",
+             "outcome": "released"},
+        ]
+        log.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+
+        assert audit_main([str(log), "--worker", "1", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [record["uri"] for record in out] == ["b"]
+
+        assert audit_main([str(log), "--shard", "2", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [record["uri"] for record in out] == ["a"]
+
+        assert audit_main([str(log), "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 3
+
+    def test_parent_supervision_records_carry_worker(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.worker.crash", times=1, after=1, worker=0)]
+        )
+        with ShardedServerPool(
+            SPEC.build_server,
+            workers=1,
+            fault_plan=plan,
+            restart_policy=RestartPolicy(base_delay=0.01, cap=0.1),
+            breaker_threshold=100,
+        ) as pool:
+            pool.wait_ready()
+            requests = list(request_stream(SPEC, 8, seed=6))
+            pool.serve_many(requests, timeout=120)
+            supervision = [
+                record
+                for record in pool.audit
+                if record.action == "supervise"
+            ]
+        assert supervision
+        assert all(record.worker == 0 for record in supervision)

@@ -24,6 +24,10 @@ Examples::
 
     # Last 20 streaming-backend records, as JSON
     python tools/audit_query.py audit.jsonl --backend stream --tail 20 --json
+
+    # Everything worker 2 served (pooled records carry worker/shard)
+    python tools/audit_query.py audit.jsonl --worker 2
+    python tools/audit_query.py audit.jsonl --shard 1 --aggregate outcome
 """
 
 from __future__ import annotations
@@ -96,6 +100,10 @@ def matches(record: dict, args: argparse.Namespace) -> bool:
         str(record.get("action", "")).startswith(a) for a in args.action
     ):
         return False
+    if args.worker and record.get("worker") not in args.worker:
+        return False
+    if args.shard and record.get("shard") not in args.shard:
+        return False
     stamp = float(record.get("timestamp", 0.0))
     if args.since is not None and stamp < args.since:
         return False
@@ -109,11 +117,20 @@ def render(record: dict) -> str:
         "%Y-%m-%dT%H:%M:%S", time.gmtime(float(record.get("timestamp", 0.0)))
     )
     detail = record.get("detail") or ""
+    origin = ""
+    if record.get("worker") is not None or record.get("shard") is not None:
+        worker = record.get("worker")
+        shard = record.get("shard")
+        origin = (
+            f" [worker={'-' if worker is None else worker}"
+            f" shard={'-' if shard is None else shard}]"
+        )
     return (
         f"{stamp} [{record.get('backend', 'dom')}] "
         f"{record.get('requester', '?')} {record.get('action', '?')} "
         f"{record.get('uri', '?')} -> {record.get('outcome', '?')} "
         f"({record.get('visible_nodes', 0)}/{record.get('total_nodes', 0)} nodes)"
+        + origin
         + (f" -- {detail}" if detail else "")
     )
 
@@ -147,6 +164,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="keep actions with this prefix (read, explain, query, ...)",
     )
     parser.add_argument(
+        "--worker", action="append", type=int, metavar="N",
+        help="keep records written by pool worker N",
+    )
+    parser.add_argument(
+        "--shard", action="append", type=int, metavar="N",
+        help="keep records for documents of shard N",
+    )
+    parser.add_argument(
         "--since", type=parse_when, help="epoch seconds or ISO-8601 lower bound"
     )
     parser.add_argument(
@@ -158,8 +183,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--aggregate",
         metavar="FIELD",
-        help="histogram of FIELD (outcome, requester, uri, backend, action)"
-        " over the matches instead of listing them",
+        help="histogram of FIELD (outcome, requester, uri, backend, action, "
+        "worker, shard) over the matches instead of listing them",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json reports and flag metric regressions.
+
+Every benchmark section of ``benchmarks/run_report.py`` writes one
+``BENCH_PRn.json`` artifact. This tool diffs two (or more) of them —
+a committed baseline against a fresh run in CI, or the whole PR
+trajectory at once — walking every numeric leaf by its JSON path and
+reporting per-metric deltas. Exits non-zero when any *regression*
+exceeds the threshold, so it can gate a pipeline.
+
+Whether a change is a regression depends on the metric's direction:
+
+- **lower is better** for latencies and overheads — paths whose last
+  key contains ``_ms``, ``_ns``, ``_seconds`` or ``overhead``;
+- **higher is better** for rates and wins — ``speedup``,
+  ``requests_per_s``, ``_per_s``, ``hit``, ``retention``;
+- everything else is *informational*: reported, never gated
+  (counts, sizes and config echoes drift legitimately).
+
+Only paths present in **both** files are compared; added or removed
+paths are listed but never gate (a new PR legitimately adds sections).
+``--ignore PATTERN`` (repeatable, ``fnmatch`` globs over the dotted
+path) demotes matching paths to informational — still reported, never
+gated — for metrics known to be noise at CI sample sizes (e.g. the
+sub-millisecond SLO-window percentiles of a ``--fast`` run).
+
+Examples::
+
+    # CI gate: fresh O3 output vs the committed baseline, 25% budget,
+    # tiny-window SLO percentiles excluded from gating
+    python tools/bench_diff.py BENCH_PR9.json /tmp/BENCH_PR9.json \\
+        --threshold 25 --ignore 'slo.*'
+
+    # The whole trajectory, informational
+    python tools/bench_diff.py BENCH_PR2.json BENCH_PR6.json \\
+        BENCH_PR9.json --all
+
+The tool parses raw JSON and needs no ``repro`` install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from typing import Iterator, Optional, Sequence
+
+LOWER_BETTER = ("_ms", "_ns", "_seconds", "overhead")
+HIGHER_BETTER = ("speedup", "requests_per_s", "_per_s", "hit", "retention")
+
+
+def direction_of(path: str) -> Optional[str]:
+    """'lower' | 'higher' | None (informational) for a metric path."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    for marker in LOWER_BETTER:
+        if marker in leaf:
+            return "lower"
+    for marker in HIGHER_BETTER:
+        if marker in leaf:
+            return "higher"
+    return None
+
+
+def numeric_leaves(node, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf, depth-first.
+
+    Booleans are excluded (``True`` is an ``int`` to Python but a gate
+    flag to the reports); list elements are addressed by index.
+    """
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+        return
+    if isinstance(node, dict):
+        for key in sorted(node):
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(node[key], child_prefix)
+    elif isinstance(node, list):
+        for index, child in enumerate(node):
+            child_prefix = f"{prefix}[{index}]" if prefix else f"[{index}]"
+            yield from numeric_leaves(child, child_prefix)
+
+
+def diff_reports(
+    old: dict, new: dict, threshold: float,
+    ignore: Sequence[str] = (),
+) -> tuple[list[dict], list[str], list[str]]:
+    """Per-path deltas plus the added/removed path lists.
+
+    Each delta row: ``{path, old, new, delta_pct, direction,
+    regression}``. ``delta_pct`` is None when the old value is 0 (the
+    ratio is undefined); such rows gate only if direction-bad and the
+    new value is nonzero... which cannot be expressed as a percentage,
+    so they are flagged with ``delta_pct=None, regression=True``.
+    Paths matching any *ignore* glob are demoted to informational
+    (``direction=None``): reported, never gated.
+    """
+    old_leaves = dict(numeric_leaves(old))
+    new_leaves = dict(numeric_leaves(new))
+    added = sorted(set(new_leaves) - set(old_leaves))
+    removed = sorted(set(old_leaves) - set(new_leaves))
+    rows: list[dict] = []
+    for path in sorted(set(old_leaves) & set(new_leaves)):
+        before, after = old_leaves[path], new_leaves[path]
+        if any(fnmatch.fnmatch(path, pattern) for pattern in ignore):
+            direction = None
+        else:
+            direction = direction_of(path)
+        if before == 0:
+            delta_pct = None
+            worse = after > 0 if direction == "lower" else False
+        else:
+            delta_pct = (after - before) / abs(before) * 100
+            if direction == "lower":
+                worse = delta_pct > threshold
+            elif direction == "higher":
+                worse = delta_pct < -threshold
+            else:
+                worse = False
+        rows.append(
+            {
+                "path": path,
+                "old": before,
+                "new": after,
+                "delta_pct": delta_pct,
+                "direction": direction,
+                "regression": bool(worse and direction is not None),
+            }
+        )
+    return rows, added, removed
+
+
+def render_rows(rows: list[dict], show_all: bool) -> Iterator[str]:
+    for row in rows:
+        if not show_all and not row["regression"] and row["direction"] is None:
+            continue
+        if row["delta_pct"] is None:
+            delta = "   n/a "
+        else:
+            delta = f"{row['delta_pct']:+7.1f}%"
+        marker = " !! REGRESSION" if row["regression"] else ""
+        direction = {"lower": "<", "higher": ">", None: "."}[row["direction"]]
+        yield (
+            f"{delta} {direction} {row['path']}: "
+            f"{row['old']:g} -> {row['new']:g}{marker}"
+        )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n", 1)[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "reports", nargs="+",
+        help="two or more BENCH_*.json files, oldest first; consecutive "
+        "pairs are diffed",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="regression budget in percent (default 10); any directional "
+        "metric moving the wrong way by more than this fails the run",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="GLOB",
+        help="fnmatch glob over dotted paths; matches are reported but "
+        "never gated (repeatable)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="print every compared path, not just directional ones",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    args = parser.parse_args(argv)
+    if len(args.reports) < 2:
+        parser.error("need at least two reports to diff")
+
+    loaded = []
+    for path in args.reports:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded.append((path, json.load(handle)))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+
+    failed = False
+    output = []
+    for (old_name, old), (new_name, new) in zip(loaded, loaded[1:]):
+        rows, added, removed = diff_reports(
+            old, new, args.threshold, ignore=args.ignore
+        )
+        regressions = [row for row in rows if row["regression"]]
+        failed = failed or bool(regressions)
+        if args.json:
+            output.append(
+                {
+                    "old": old_name,
+                    "new": new_name,
+                    "threshold_pct": args.threshold,
+                    "metrics": rows,
+                    "added": added,
+                    "removed": removed,
+                    "regressions": len(regressions),
+                }
+            )
+            continue
+        print(f"== {old_name} -> {new_name} (threshold {args.threshold:g}%)")
+        for line in render_rows(rows, args.all):
+            print(f"  {line}")
+        if added:
+            print(f"  {len(added)} path(s) only in {new_name}")
+        if removed:
+            print(f"  {len(removed)} path(s) only in {old_name}")
+        print(
+            f"  {len(rows)} compared, {len(regressions)} regression(s)"
+        )
+    if args.json:
+        print(json.dumps(output, indent=2))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
