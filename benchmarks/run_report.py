@@ -1551,6 +1551,130 @@ def o3_fleet() -> None:
     print(f"wrote {BENCH_PR9_JSON}")
 
 
+BENCH_PR3_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+BENCH_PR10_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+
+
+def s1_stream() -> None:
+    """S1 regression budget: the rebuilt streaming engine vs the DOM path.
+
+    The PR3 baseline left the streaming backend ~4x *slower* than DOM
+    (bounded memory bought with per-character stepping). After the
+    bulk-scan tokenizer + precompiled labeler dispatch rebuild the
+    budget flips and is enforced here, written to ``BENCH_PR10.json``:
+
+    - **throughput gate**: end-to-end ``serve_stream`` p50 must be at
+      least as fast as ``serve`` on the 10k-node workload (asserted;
+      a ``--fast`` run gets a 15% noise allowance);
+    - **memory gate**: the streaming peak heap must stay *below* the
+      DOM peak at every size, and — on a full run that reaches the
+      150k-node document — within 2x of the PR3 baseline's 150k
+      streaming peak, so the speedup provably did not trade away the
+      O(depth) working set;
+    - **reader throughput**: tokenizer-only Mchars/s on the 10k-node
+      document, the least noisy view of the bulk-scan rewrite
+      (informational; diffed across runs by ``tools/bench_diff.py``).
+    """
+    import bench_stream
+
+    from repro.stream.reader import StreamReader
+    from repro.workloads.generator import synthetic_document
+
+    sizes = [2_000, 10_000] if FAST else [2_000, 10_000, 50_000, 150_000]
+    rows = []
+    display = []
+    for nodes in sizes:
+        row = bench_stream.bench_size(nodes)
+        speedup = row["dom"]["p50_ms"] / row["stream"]["p50_ms"]
+        row["stream_vs_dom_speedup"] = round(speedup, 3)
+        rows.append(row)
+        display.append([
+            str(nodes),
+            f"{row['dom']['p50_ms']:.1f}",
+            f"{row['stream']['p50_ms']:.1f}",
+            f"{row['stream_vs_dom_speedup']:.2f}x",
+            f"{row['dom']['peak_heap_kib']:.0f}",
+            f"{row['stream']['peak_heap_kib']:.0f}",
+        ])
+    table(
+        "S1 — streaming vs DOM after the bulk-scan rebuild",
+        ["nodes", "DOM p50 (ms)", "stream p50 (ms)", "speedup",
+         "DOM peak (KiB)", "stream peak (KiB)"],
+        display,
+    )
+
+    # -- throughput gate -----------------------------------------------------
+    ten_k = next(row for row in rows if row["nodes"] == 10_000)
+    floor = 0.85 if FAST else 1.0
+    assert ten_k["stream_vs_dom_speedup"] >= floor, (
+        f"stream throughput gate: serve_stream is "
+        f"{ten_k['stream_vs_dom_speedup']:.2f}x DOM at 10k nodes "
+        f"(floor {floor})"
+    )
+
+    # -- memory gates --------------------------------------------------------
+    for row in rows:
+        assert row["stream"]["peak_heap_kib"] < row["dom"]["peak_heap_kib"], (
+            f"stream peak {row['stream']['peak_heap_kib']} KiB >= DOM peak "
+            f"{row['dom']['peak_heap_kib']} KiB at {row['nodes']} nodes"
+        )
+    memory_gate = {"dom_exceeded_at_any_size": False}
+    largest = rows[-1]
+    if largest["nodes"] == 150_000 and BENCH_PR3_JSON.exists():
+        pr3 = json.loads(BENCH_PR3_JSON.read_text())
+        pr3_peak = next(
+            (entry["stream"]["peak_heap_kib"]
+             for entry in pr3.get("sizes", ())
+             if entry["nodes"] == 150_000),
+            None,
+        )
+        if pr3_peak is not None:
+            budget = 2 * pr3_peak
+            assert largest["stream"]["peak_heap_kib"] <= budget, (
+                f"stream peak {largest['stream']['peak_heap_kib']} KiB at "
+                f"150k nodes exceeds 2x the PR3 baseline ({budget} KiB)"
+            )
+            memory_gate["pr3_peak_150k_kib"] = pr3_peak
+            memory_gate["budget_150k_kib"] = round(budget, 1)
+            memory_gate["peak_150k_kib"] = largest["stream"]["peak_heap_kib"]
+
+    # -- tokenizer-only throughput -------------------------------------------
+    document = synthetic_document(10_000, uri=URI)
+    text = serialize(document)
+    samples = []
+    for _ in range(ROUNDS):
+        reader = StreamReader()
+        start = time.perf_counter()
+        for offset in range(0, len(text), 65536):
+            reader.feed(text[offset : offset + 65536])
+        reader.close()
+        samples.append(time.perf_counter() - start)
+    reader_mchars_per_s = len(text) / statistics.median(samples) / 1e6
+    print()
+    print(
+        f"tokenizer-only: {reader_mchars_per_s:.2f} Mchars/s "
+        f"({len(text)} chars, 64 KiB chunks)"
+    )
+
+    payload = {
+        "source": "benchmarks/run_report.py (section S1-stream)",
+        "fast": FAST,
+        "sizes": rows,
+        "gates": {
+            "speedup_floor_10k": floor,
+            "speedup_10k": ten_k["stream_vs_dom_speedup"],
+            "memory": memory_gate,
+        },
+        "reader": {
+            "input_chars": len(text),
+            "reader_mchars_per_s": round(reader_mchars_per_s, 3),
+        },
+    }
+    BENCH_PR10_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"wrote {BENCH_PR10_JSON}")
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     print()
@@ -1570,6 +1694,9 @@ def main() -> None:
     if "--only-fleet" in sys.argv:
         o3_fleet()
         return
+    if "--only-stream" in sys.argv:
+        s1_stream()
+        return
     c1_view_scaling()
     c2_auth_scaling()
     c3_pipeline()
@@ -1588,6 +1715,7 @@ def main() -> None:
     q1_rewrite()
     u1_updates()
     o3_fleet()
+    s1_stream()
 
 
 if __name__ == "__main__":

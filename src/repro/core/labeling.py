@@ -81,6 +81,9 @@ ATTRIBUTE_SLOT_DEGRADE = {"R": "L", "RW": "LW", "RD": "LD"}
 _INSTANCE_SLOT = INSTANCE_SLOT
 _SCHEMA_SLOT = SCHEMA_SLOT
 
+#: Shared empty attribute view for predicate-free dispatch steps.
+_NO_ATTRS: dict[str, str] = {}
+
 
 def most_specific(
     authorizations: list[Authorization], hierarchy: SubjectHierarchy
@@ -526,6 +529,8 @@ class TreeLabeler:
     # -- authorization binning ------------------------------------------------
 
     def _bin_authorizations(self) -> None:
+        if self._bin_via_nfa():
+            return
         root_context: Node = self._document
         for authorization in self._instance_auths:
             slot = _INSTANCE_SLOT[authorization.type]
@@ -533,6 +538,96 @@ class TreeLabeler:
         for authorization in self._schema_auths:
             slot = _SCHEMA_SLOT[authorization.type]
             self._bin_one(authorization, slot, root_context)
+
+    def _bin_via_nfa(self) -> bool:
+        """Bind every authorization in ONE tree walk, when possible.
+
+        All paths are compiled to the streaming NFA matchers in *exact*
+        mode (:func:`repro.stream.paths.compile_stream_pattern`); a
+        single preorder walk then advances the joint
+        :class:`~repro.stream.paths.PatternDispatch` state per element
+        and bins every accepting authorization — the per-node slot
+        lists come out in the same order the per-authorization XPath
+        evaluations would have produced (instance list first, then
+        schema, both in list order). Any path outside the exactly-
+        streamable subset returns ``False`` and the legacy one-XPath-
+        per-authorization binning runs instead.
+        """
+        if not isinstance(self._document, Document):
+            # An Element context anchors absolute paths differently;
+            # keep the evaluator's semantics for that rare case.
+            return False
+        # Deferred import: repro.stream imports this module at load time.
+        from repro.stream.paths import (
+            PatternDispatch,
+            StreamPathUnsupported,
+            compile_stream_pattern,
+        )
+
+        entries: list[tuple[Authorization, str]] = []
+        patterns = []
+        try:
+            for authorization, slot in self.authorization_slots():
+                patterns.append(
+                    compile_stream_pattern(
+                        authorization.object.path, self._relative_mode, exact=True
+                    )
+                )
+                entries.append((authorization, slot))
+        except StreamPathUnsupported:
+            return False
+        self._evaluated += len(entries)
+        root = self._root
+        if root is None or not entries:
+            return True
+        dispatch = PatternDispatch(patterns)
+        bins = self._node_slot_auths
+        degrade = self._ATTRIBUTE_SLOT
+        deadline = self._deadline
+        stack: list[tuple[Element, object]] = [(root, dispatch.initial)]
+        visited = 0
+        while stack:
+            element, parent_state = stack.pop()
+            attributes = element.attributes
+            if attributes and parent_state.preds:
+                values = {
+                    name: attribute.value
+                    for name, attribute in attributes.items()
+                }
+            else:
+                values = _NO_ATTRS
+            state = dispatch.advance(parent_state, element.name, values)
+            if state.accepts:
+                slots = bins.get(element)
+                if slots is None:
+                    slots = {}
+                    bins[element] = slots
+                for index in state.accepts:
+                    authorization, slot = entries[index]
+                    slots.setdefault(slot, []).append(authorization)
+            if attributes and state.attr_entries:
+                for index, tails in state.attr_entries:
+                    authorization, slot = entries[index]
+                    slot = degrade.get(slot, slot)
+                    for name, attribute in attributes.items():
+                        for tail in tails:
+                            if tail is None or tail == name:
+                                attr_slots = bins.get(attribute)
+                                if attr_slots is None:
+                                    attr_slots = {}
+                                    bins[attribute] = attr_slots
+                                attr_slots.setdefault(slot, []).append(
+                                    authorization
+                                )
+                                break
+            for child in element.children:
+                if isinstance(child, Element):
+                    stack.append((child, state))
+            if deadline is not None:
+                visited += 1
+                if visited % self._DEADLINE_STRIDE == 0:
+                    deadline.check("authorization binding")
+        return True
 
     _ATTRIBUTE_SLOT = ATTRIBUTE_SLOT_DEGRADE
 

@@ -67,7 +67,12 @@ from repro.stream.events import (
     StartElement,
     StreamEvent,
 )
-from repro.stream.paths import StreamPattern, compile_stream_pattern
+from repro.stream.paths import (
+    DispatchNode,
+    PatternDispatch,
+    StreamPattern,
+    compile_stream_pattern,
+)
 from repro.stream.writer import StreamWriter
 from repro.subjects.hierarchy import SubjectHierarchy
 from repro.xpath.compile import RelativeMode
@@ -105,14 +110,14 @@ class _CompiledAuth:
 class _Frame:
     """One open element."""
 
-    __slots__ = ("name", "label", "permitted", "emitted", "states", "in_text_run")
+    __slots__ = ("name", "label", "permitted", "emitted", "node", "in_text_run")
 
-    def __init__(self, name, label, permitted, states):
+    def __init__(self, name, label, permitted, node):
         self.name = name
         self.label = label
         self.permitted = permitted
         self.emitted = False
-        self.states = states
+        self.node = node
         self.in_text_run = False
 
 
@@ -169,8 +174,32 @@ class StreamLabeler:
                     compile_stream_pattern(auth.object.path, relative_mode),
                 )
             )
-        self._doc_states = [entry.pattern.initial() for entry in self._compiled]
+        # One DFA over the joint state of every pattern: per element,
+        # advancing *all* authorizations is one dict lookup once warm,
+        # and each distinct joint state resolves its slot signs once.
+        self._dispatch = PatternDispatch(
+            [entry.pattern for entry in self._compiled]
+        )
         self._doc_label = Label()
+        # node -> resolved ((slot, sign), ...) for its accepting auths.
+        self._sign_cache: dict[DispatchNode, tuple] = {}
+        # (node, parent R/RW/RD) -> interned (Label, permitted). Labels
+        # handed out from here are shared and must never be mutated.
+        self._label_cache: dict[tuple, tuple[Label, bool]] = {}
+        # id(element label) -> whether unauthorized attributes survive.
+        self._inherit_cache: dict[int, bool] = {}
+        # (node, attr name, id(element label)) -> keep?
+        self._attr_cache: dict[tuple, bool] = {}
+        self._handlers = {
+            Characters: self._on_text,
+            StartElement: self._on_start,
+            EndElement: self._on_end,
+            CommentEvent: self._on_comment,
+            PIEvent: self._on_pi,
+            StartDocument: self._on_start_document,
+            DoctypeDecl: self._on_doctype,
+            EndDocument: self._on_end_document,
+        }
         self._frames: list[_Frame] = []
         self._emitted_depth = 0  # emitted frames form a stack prefix
         self._pending_bytes = 0
@@ -202,8 +231,11 @@ class StreamLabeler:
         """Consume the next batch of events."""
         stats = self.stats
         deadline = self._deadline
+        handlers = self._handlers
         for event in events:
-            self._handle(event)
+            handler = handlers.get(type(event))
+            if handler is not None:
+                handler(event)
             stats.events += 1
             if deadline is not None and stats.events % _DEADLINE_STRIDE == 0:
                 deadline.check("stream labeling")
@@ -211,26 +243,28 @@ class StreamLabeler:
     # -- dispatch ------------------------------------------------------------
 
     def _handle(self, event: StreamEvent) -> None:
-        if isinstance(event, Characters):
-            self._on_text(event)
-        elif isinstance(event, StartElement):
-            self._on_start(event)
-        elif isinstance(event, EndElement):
-            self._on_end()
-        elif isinstance(event, CommentEvent):
-            self._on_misc_value(event.data, None)
-        elif isinstance(event, PIEvent):
-            self._on_misc_value(event.data, event.target)
-        elif isinstance(event, StartDocument):
-            self._writer.start_document(
-                event.xml_version, event.encoding, event.standalone
-            )
-        elif isinstance(event, DoctypeDecl):
-            self.doctype_name = event.name
-            self.system_id = event.system_id
-            self.dtd = event.dtd
-        elif isinstance(event, EndDocument):
-            self._finished = True
+        handler = self._handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+    def _on_comment(self, event: CommentEvent) -> None:
+        self._on_misc_value(event.data, None)
+
+    def _on_pi(self, event: PIEvent) -> None:
+        self._on_misc_value(event.data, event.target)
+
+    def _on_start_document(self, event: StartDocument) -> None:
+        self._writer.start_document(
+            event.xml_version, event.encoding, event.standalone
+        )
+
+    def _on_doctype(self, event: DoctypeDecl) -> None:
+        self.doctype_name = event.name
+        self.system_id = event.system_id
+        self.dtd = event.dtd
+
+    def _on_end_document(self, event: EndDocument) -> None:
+        self._finished = True
 
     # -- elements ------------------------------------------------------------
 
@@ -241,39 +275,32 @@ class StreamLabeler:
         if frames:
             parent = frames[-1]
             parent.in_text_run = False
-            parent_states = parent.states
+            parent_node = parent.node
             parent_label = parent.label
         else:
-            parent_states = self._doc_states
+            parent_node = self._dispatch.initial
             parent_label = self._doc_label
 
-        # Advance every pattern and bin the matching authorizations
-        # into label slots (the paper's initial_label, step 1a).
-        states: list = []
-        slot_auths: dict[str, list[Authorization]] = {}
-        any_attr_tail = False
-        for entry, parent_state in zip(self._compiled, parent_states):
-            state = entry.pattern.advance(parent_state, name, attributes)
-            states.append(state)
-            if entry.pattern.accepts_element(state):
-                slot_auths.setdefault(entry.slot, []).append(entry.auth)
-            if attributes and entry.pattern.any_attr_active(state):
-                any_attr_tail = True
+        # One DFA step advances every pattern at once (the paper's
+        # initial_label, step 1a); the node's slot signs and propagated
+        # label are resolved once per distinct (state, parent-label)
+        # pair and shared thereafter.
+        node = self._dispatch.advance(parent_node, name, attributes)
+        key = (node, parent_label.R, parent_label.RW, parent_label.RD)
+        cached = self._label_cache.get(key)
+        if cached is None:
+            label = Label()
+            for slot, sign in self._node_signs(node):
+                setattr(label, slot, sign)
+            propagate_element_label(label, parent_label)
+            cached = (label, label.permitted_under(self._open_policy))
+            self._label_cache[key] = cached
+        label, permitted = cached
 
-        label = Label()
-        for slot, auths in slot_auths.items():
-            setattr(
-                label, slot, resolve_slot_sign(auths, self._hierarchy, self._policy)
-            )
-        propagate_element_label(label, parent_label)
-        permitted = label.permitted_under(self._open_policy)
-
-        kept_attrs = self._decide_attributes(
-            attributes, states, label, any_attr_tail
-        )
+        kept_attrs = self._decide_attributes(attributes, node, label)
 
         self.stats.total_nodes += 1 + len(attributes)
-        frame = _Frame(name, label, permitted, states)
+        frame = _Frame(name, label, permitted, node)
         frames.append(frame)
 
         if permitted or kept_attrs:
@@ -296,42 +323,72 @@ class StreamLabeler:
                 self.stats.peak_pending_bytes = self._pending_bytes
             self._check_pending_budget()
 
+    def _node_signs(self, node: DispatchNode) -> tuple:
+        """Resolved ``(slot, sign)`` pairs for the authorizations whose
+        element part accepts at *node* — fixed per node, cached."""
+        signs = self._sign_cache.get(node)
+        if signs is None:
+            slot_auths: dict[str, list[Authorization]] = {}
+            compiled = self._compiled
+            for index in node.accepts:
+                entry = compiled[index]
+                slot_auths.setdefault(entry.slot, []).append(entry.auth)
+            signs = tuple(
+                (slot, resolve_slot_sign(auths, self._hierarchy, self._policy))
+                for slot, auths in slot_auths.items()
+            )
+            self._sign_cache[node] = signs
+        return signs
+
     def _decide_attributes(
-        self,
-        attributes: dict[str, str],
-        states: list,
-        element_label: Label,
-        any_attr_tail: bool,
+        self, attributes: dict[str, str], node: DispatchNode, element_label: Label
     ) -> list[str]:
         if not attributes:
             return []
         open_policy = self._open_policy
-        if not any_attr_tail:
+        if not node.attr_entries:
             # No pattern can select these attributes: they all share the
             # label an unauthorized attribute inherits from the element.
-            inherited = Label()
-            propagate_attribute_label(inherited, element_label)
-            if inherited.permitted_under(open_policy):
-                return list(attributes)
-            return []
+            # Element labels are interned, so the verdict caches by id.
+            keep_all = self._inherit_cache.get(id(element_label))
+            if keep_all is None:
+                inherited = Label()
+                propagate_attribute_label(inherited, element_label)
+                keep_all = inherited.permitted_under(open_policy)
+                self._inherit_cache[id(element_label)] = keep_all
+            return list(attributes) if keep_all else []
         kept: list[str] = []
+        label_id = id(element_label)
+        cache = self._attr_cache
+        compiled = self._compiled
         for attr_name in attributes:
-            slot_auths: dict[str, list[Authorization]] = {}
-            for entry, state in zip(self._compiled, states):
-                if entry.pattern.matches_attribute(state, attr_name):
-                    # Recursive slots degrade on attributes (terminal
-                    # nodes), as in TreeLabeler._bin_one.
-                    slot = ATTRIBUTE_SLOT_DEGRADE.get(entry.slot, entry.slot)
-                    slot_auths.setdefault(slot, []).append(entry.auth)
-            attr_label = Label()
-            for slot, auths in slot_auths.items():
-                setattr(
-                    attr_label,
-                    slot,
-                    resolve_slot_sign(auths, self._hierarchy, self._policy),
-                )
-            propagate_attribute_label(attr_label, element_label)
-            if attr_label.permitted_under(open_policy):
+            key = (node, attr_name, label_id)
+            keep = cache.get(key)
+            if keep is None:
+                slot_auths: dict[str, list[Authorization]] = {}
+                for index, tails in node.attr_entries:
+                    for tail in tails:
+                        if tail is None or tail == attr_name:
+                            entry = compiled[index]
+                            # Recursive slots degrade on attributes
+                            # (terminal nodes), as in TreeLabeler._bin_one.
+                            slot = ATTRIBUTE_SLOT_DEGRADE.get(
+                                entry.slot, entry.slot
+                            )
+                            slot_auths.setdefault(slot, []).append(entry.auth)
+                            break
+                attr_label = Label()
+                for slot, auths in slot_auths.items():
+                    setattr(
+                        attr_label,
+                        slot,
+                        resolve_slot_sign(auths, self._hierarchy, self._policy),
+                    )
+                propagate_attribute_label(attr_label, element_label)
+                keep = attr_label.permitted_under(open_policy)
+                if len(cache) < 65536:  # hostile vocabularies stay bounded
+                    cache[key] = keep
+            if keep:
                 kept.append(attr_name)
         return kept
 
@@ -347,7 +404,7 @@ class StreamLabeler:
             self.stats.emitted_elements += 1
         # (the new top frame is emitted by the caller, with attributes)
 
-    def _on_end(self) -> None:
+    def _on_end(self, event: EndElement) -> None:
         frame = self._frames.pop()
         if frame.emitted:
             self._writer.end_element()

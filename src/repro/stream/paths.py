@@ -59,6 +59,8 @@ __all__ = [
     "DESCENDANT_GLUE",
     "PathProgram",
     "StreamPattern",
+    "PatternDispatch",
+    "DispatchNode",
     "compile_stream_pattern",
 ]
 
@@ -250,28 +252,242 @@ class StreamPattern:
         return any(state for state in states)
 
 
+#: Per-node transition-memo cap. Nodes (interned state tuples) are
+#: bounded by the reachable subset construction, but *transitions* are
+#: keyed by element name and would otherwise grow with the document's
+#: vocabulary — a streamed document must not accumulate O(distinct
+#: names) memory. Past the cap, lookups still work; they just recompute.
+_TRANS_CACHE_CAP = 4096
+
+
+class DispatchNode:
+    """One interned joint state of every compiled program.
+
+    ``states`` is the flat tuple of per-program NFA states (one
+    frozenset per program, across all patterns in pattern order).
+    Everything an element event needs is precomputed at interning time:
+
+    - ``accepts`` — indices of the *patterns* (not programs) whose
+      element part selects a node in this state, in pattern order — the
+      same order the labelers bin authorizations in;
+    - ``attr_entries`` — ``(pattern_index, tail_names)`` pairs for the
+      patterns with an active attribute tail here (``None`` in
+      *tail_names* is ``@*``);
+    - ``preds`` / ``pred_bit`` — the distinct attribute predicates any
+      outgoing transition depends on, and their bit positions in the
+      transition-key mask;
+    - ``trans`` — the memoized ``(child_name, predicate_mask)`` →
+      :class:`DispatchNode` transitions.
+
+    Nodes compare and hash by identity; the dispatch interns them so
+    identical joint states are the same object.
+    """
+
+    __slots__ = ("states", "preds", "pred_bit", "trans", "accepts", "attr_entries")
+
+    def __init__(self, states: tuple) -> None:
+        self.states = states
+        self.trans: dict = {}
+        self.preds: tuple = ()
+        self.pred_bit: dict = {}
+        self.accepts: tuple = ()
+        self.attr_entries: tuple = ()
+
+
+class PatternDispatch:
+    """A lazily-built DFA over the joint state of many patterns.
+
+    The per-element work of the streaming labeler — advance every
+    pattern's NFA, collect accepting patterns, collect active attribute
+    tails — collapses to one dict lookup per element once a transition
+    is warm: ``(name, predicate_mask)`` → child node, where the mask
+    packs the outcomes of the few attribute predicates this state
+    actually depends on (``0`` when the element has no attributes,
+    since no predicate matches an empty attribute set).
+
+    The same object drives both backends: the streaming labeler walks
+    it event-by-event and :class:`repro.core.labeling.TreeLabeler` walks
+    it node-by-node, so one construction binds authorizations for
+    either pipeline.
+    """
+
+    __slots__ = ("_programs", "_nodes", "initial")
+
+    def __init__(self, patterns: list[StreamPattern]) -> None:
+        self._programs: list[tuple[int, PathProgram]] = [
+            (index, program)
+            for index, pattern in enumerate(patterns)
+            for program in pattern.programs
+        ]
+        self._nodes: dict[tuple, DispatchNode] = {}
+        self.initial = self._intern(
+            tuple(program.initial() for _, program in self._programs)
+        )
+
+    def advance(
+        self, node: DispatchNode, name: str, attributes: dict[str, str]
+    ) -> DispatchNode:
+        """The child node entered from *node* by an element event."""
+        mask = 0
+        if attributes and node.preds:
+            for bit, predicate in enumerate(node.preds):
+                if predicate.matches(attributes):
+                    mask |= 1 << bit
+        key = (name, mask)
+        child = node.trans.get(key)
+        if child is None:
+            child = self._build(node, name, mask)
+            if len(node.trans) < _TRANS_CACHE_CAP:
+                node.trans[key] = child
+        return child
+
+    def _build(self, node: DispatchNode, name: str, mask: int) -> DispatchNode:
+        pred_bit = node.pred_bit
+        new_states = []
+        for (_, program), states in zip(self._programs, node.states):
+            out: set[int] = set()
+            steps = program.steps
+            for position in states:
+                if position >= len(steps):
+                    continue
+                step = steps[position]
+                if step is DESCENDANT_GLUE:
+                    out.add(position)  # position+1 came from the ε-closure
+                    continue
+                if step.name is not None and step.name != name:
+                    continue
+                for predicate in step.predicates:
+                    if not (mask >> pred_bit[predicate]) & 1:
+                        break
+                else:
+                    out.add(position + 1)
+            new_states.append(program._closure(out))
+        return self._intern(tuple(new_states))
+
+    def _intern(self, states: tuple) -> DispatchNode:
+        node = self._nodes.get(states)
+        if node is not None:
+            return node
+        node = DispatchNode(states)
+        self._nodes[states] = node
+        preds: list[AttrPredicate] = []
+        pred_bit: dict[AttrPredicate, int] = {}
+        accepts: list[int] = []
+        attr_tails: dict[int, list] = {}
+        for (pattern_index, program), state in zip(self._programs, states):
+            accepting = len(program.steps) in state
+            if accepting:
+                if program.attr is None:
+                    if not accepts or accepts[-1] != pattern_index:
+                        accepts.append(pattern_index)
+                else:
+                    tails = attr_tails.setdefault(pattern_index, [])
+                    if program.attr.name not in tails:
+                        tails.append(program.attr.name)
+            for position in state:
+                if position >= len(program.steps):
+                    continue
+                step = program.steps[position]
+                if step is not DESCENDANT_GLUE:
+                    for predicate in step.predicates:
+                        if predicate not in pred_bit:
+                            pred_bit[predicate] = len(preds)
+                            preds.append(predicate)
+        node.preds = tuple(preds)
+        node.pred_bit = pred_bit
+        node.accepts = tuple(accepts)
+        node.attr_entries = tuple(
+            (pattern_index, tuple(tails))
+            for pattern_index, tails in attr_tails.items()
+        )
+        return node
+
+
 def compile_stream_pattern(
-    path: Optional[str], relative_mode: RelativeMode = "descendant"
+    path: Optional[str],
+    relative_mode: RelativeMode = "descendant",
+    exact: bool = False,
 ) -> StreamPattern:
     """Compile an authorization path for streaming evaluation.
 
     ``None`` (a bare-URI object) denotes the document's root element.
     Raises :class:`StreamPathUnsupported` for expressions outside the
     streamable subset.
+
+    With ``exact=True`` the compilation additionally rejects paths the
+    stream matcher represents *lossily* rather than equivalently —
+    paths whose final selecting step could bind text, comment or
+    document nodes under the XPath evaluator (``text()``/``comment()``/
+    ``node()`` tests on the child or descendant axes, bare ``/``,
+    trailing ``//`` or ``.``). For a pattern compiled exactly, the set
+    of element/attribute nodes the matcher accepts equals the node-set
+    ``Authorization.select_nodes`` would bin — which is what lets
+    :class:`repro.core.labeling.TreeLabeler` bind every authorization
+    in one tree walk instead of one XPath evaluation each.
     """
     if path is None:
         return StreamPattern(source=None, programs=[ROOT_PROGRAM])
-    return _compile_cached(path, relative_mode)
+    return _compile_cached(path, relative_mode, exact)
 
 
 @lru_cache(maxsize=1024)
-def _compile_cached(path: str, relative_mode: RelativeMode) -> StreamPattern:
+def _compile_cached(
+    path: str, relative_mode: RelativeMode, exact: bool
+) -> StreamPattern:
     # compile_xpath parses (with its own memoization) and applies the
     # same relative-path anchoring as the DOM pipeline, so both backends
     # see the identical AST.
     ast = compile_xpath(path, relative_mode).ast
-    programs = [_compile_path(part, path) for part in _union_parts(ast, path)]
+    parts = _union_parts(ast, path)
+    if exact:
+        for part in parts:
+            _check_exact(part, path)
+    programs = [_compile_path(part, path) for part in parts]
     return StreamPattern(source=path, programs=programs)
+
+
+def _check_exact(ast: Expr, source: str) -> None:
+    """Reject a union part whose stream compilation would be lossy.
+
+    Only the *final selecting step* can diverge: intermediate
+    ``text()``/``comment()`` steps make the whole path select nothing
+    under both engines (such nodes have no children), and intermediate
+    ``node()`` tests behave like ``*`` because only elements have
+    children. A final step, though, decides what gets binned — so it
+    must provably select only elements (child/descendant axis with a
+    name or ``*`` test) or only attributes (the attribute axis, whose
+    principal node type filters everything else out).
+    """
+    if not isinstance(ast, LocationPath):
+        raise StreamPathUnsupported(
+            f"cannot stream {type(ast).__name__} expression {source!r}"
+        )
+    steps = list(ast.steps)
+    # Trailing self::node() steps are ε: they keep the previous step's
+    # selection. (Self steps with other tests are rejected downstream.)
+    while (
+        steps
+        and steps[-1].axis is Axis.SELF
+        and steps[-1].test.kind is NodeTestKind.NODE
+        and not steps[-1].predicates
+    ):
+        steps.pop()
+    if not steps:
+        raise StreamPathUnsupported(
+            f"cannot bind {source!r} exactly: selects the document node"
+        )
+    last = steps[-1]
+    if last.axis is Axis.ATTRIBUTE:
+        return
+    if last.axis in (Axis.CHILD, Axis.DESCENDANT) and last.test.kind in (
+        NodeTestKind.NAME,
+        NodeTestKind.WILDCARD,
+    ):
+        return
+    raise StreamPathUnsupported(
+        f"cannot bind {source!r} exactly: the final step may select "
+        "non-element nodes"
+    )
 
 
 def _union_parts(ast: Expr, source: str) -> list[Expr]:

@@ -48,6 +48,11 @@ class StreamWriter:
         chunk_size: int = 65536,
         collect: bool = True,
     ) -> None:
+        if sink is None and not collect:
+            raise ValueError(
+                "StreamWriter with collect=False and no sink would discard "
+                "all output; pass a sink or keep collect=True"
+            )
         self._sink = sink
         self._chunk_size = max(1, chunk_size)
         self._collect = collect
@@ -91,13 +96,21 @@ class StreamWriter:
 
     def start_element(self, name: str, attributes=()) -> None:
         self._close_open_tag()
-        parts = [f"<{name}"]
+        # Append pieces straight into the shared parts buffer — no
+        # per-element intermediate join.
+        parts = self._parts
+        parts.append("<" + name)
+        buffered = self._buffered + len(name) + 1
         items = attributes.items() if hasattr(attributes, "items") else attributes
         for attr_name, value in items:
-            parts.append(f' {attr_name}="{escape_attribute(value)}"')
-        self._write("".join(parts))
+            piece = f' {attr_name}="{escape_attribute(value)}"'
+            parts.append(piece)
+            buffered += len(piece)
+        self._buffered = buffered
         self._stack.append(name)
         self._open_tag = True
+        if buffered >= self._chunk_size:
+            self._flush()
 
     def end_element(self) -> None:
         name = self._stack.pop()
@@ -142,7 +155,7 @@ class StreamWriter:
         if not self._parts:
             return
         chunk = "".join(self._parts)
-        self._parts = []
+        self._parts.clear()  # reuse the list across flushes
         self._buffered = 0
         self._chars_written += len(chunk)
         if self._collect:

@@ -12,6 +12,8 @@ processors implement.
 
 from __future__ import annotations
 
+import re
+
 __all__ = [
     "is_xml_char",
     "is_name_start_char",
@@ -20,6 +22,8 @@ __all__ = [
     "is_nmtoken",
     "is_whitespace",
     "WHITESPACE",
+    "NAME_RE",
+    "INVALID_XML_CHAR_RE",
 ]
 
 #: The four XML whitespace characters (production ``S``).
@@ -60,6 +64,34 @@ def _in_ranges(code: int, ranges: tuple[tuple[int, int], ...]) -> bool:
         if low <= code <= high:
             return True
     return False
+
+
+def _char_class(ranges: tuple[tuple[int, int], ...]) -> str:
+    """A regex character-class body covering exactly *ranges*."""
+    parts = []
+    for low, high in ranges:
+        if low == high:
+            parts.append(re.escape(chr(low)))
+        else:
+            parts.append(f"{re.escape(chr(low))}-{re.escape(chr(high))}")
+    return "".join(parts)
+
+
+_NAME_START_CLASS = _char_class(_NAME_START_RANGES)
+_NAME_CLASS = _NAME_START_CLASS + _char_class(_NAME_EXTRA_RANGES)
+
+#: Matches one complete XML ``Name`` at the given position — the bulk
+#: equivalent of an :func:`is_name_start_char` check followed by an
+#: :func:`is_name_char` scan, used by the hot tokenizer paths.
+NAME_RE = re.compile(f"[{_NAME_START_CLASS}][{_NAME_CLASS}]*")
+
+#: Finds the first character *not* allowed by production ``Char`` — the
+#: bulk complement of :func:`is_xml_char`. ``search`` returning ``None``
+#: means the whole string is clean (one C-level scan instead of one
+#: Python call per character).
+INVALID_XML_CHAR_RE = re.compile(
+    "[^\t\n\r -퟿-�\U00010000-\U0010ffff]"
+)
 
 
 def is_xml_char(ch: str) -> bool:

@@ -162,6 +162,12 @@ class XMLParser:
         limits: Optional[ResourceLimits] = None,
         deadline: Optional[Deadline] = None,
     ) -> None:
+        # Normalize line endings once, up front (XML 1.0 section 2.11).
+        # The input budget charges *normalized* characters — as the
+        # streaming reader does — so the same document costs the same
+        # through either backend regardless of its line endings.
+        if "\r" in text:
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
         if limits is not None and limits.max_input_bytes is not None:
             if len(text) > limits.max_input_bytes:
                 raise XMLLimitExceeded(
@@ -171,9 +177,6 @@ class XMLParser:
                     value=len(text),
                     maximum=limits.max_input_bytes,
                 )
-        # Normalize line endings once, up front (XML 1.0 section 2.11).
-        if "\r" in text:
-            text = text.replace("\r\n", "\n").replace("\r", "\n")
         self._text = text
         self._pos = 0
         self._len = len(text)

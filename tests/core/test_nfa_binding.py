@@ -1,0 +1,133 @@
+"""Single-walk NFA binding vs the legacy per-authorization xpath scan.
+
+``TreeLabeler._bin_authorizations`` now tries to bind every
+authorization in one preorder walk driven by the shared
+:class:`~repro.stream.paths.PatternDispatch` automaton, falling back to
+the legacy per-auth ``xpath.eval`` loop whenever any path fails
+*exact-mode* stream compilation. These tests pin the contract: both
+binders must produce the same per-node slot bins **in the same order**
+(binning order feeds conflict resolution), and therefore the same
+final labels.
+"""
+
+import pytest
+
+from repro.authz.authorization import Authorization
+from repro.core.labeling import TreeLabeler
+from repro.stream.paths import StreamPathUnsupported, compile_stream_pattern
+from repro.subjects.hierarchy import SubjectHierarchy
+from repro.workloads.generator import synthetic_authorizations, synthetic_document
+from repro.xml.parser import parse_document
+
+
+def auth(path, sign, auth_type):
+    # AuthObject notation is URI[:PE]; None means the bare-URI object,
+    # which denotes the document root.
+    obj = "d.xml" if path is None else f"d.xml:{path}"
+    return Authorization.build(("Public", "*", "*"), obj, sign, auth_type)
+
+
+def bind_both_ways(document, instance, schema):
+    hierarchy = SubjectHierarchy()
+    nfa = TreeLabeler(document, instance, schema, hierarchy)
+    legacy = TreeLabeler(document, instance, schema, hierarchy)
+    legacy._bin_via_nfa = lambda: False  # force the per-auth xpath path
+    used_nfa = nfa._bin_via_nfa()
+    legacy._bin_authorizations()
+    return nfa, legacy, used_nfa
+
+
+def assert_equivalent(document, instance, schema, expect_nfa=None):
+    nfa, legacy, used_nfa = bind_both_ways(document, instance, schema)
+    if expect_nfa is not None:
+        assert used_nfa is expect_nfa
+    if not used_nfa:
+        nfa._bin_authorizations()  # let the fallback fill the bins
+    bins_nfa, bins_legacy = nfa._node_slot_auths, legacy._node_slot_auths
+    assert set(bins_nfa) == set(bins_legacy)
+    for node in bins_nfa:
+        assert bins_nfa[node] == bins_legacy[node], node
+    finals_nfa = nfa.run().labels
+    finals_legacy = legacy.run().labels
+    assert set(finals_nfa) == set(finals_legacy)
+    for node in finals_nfa:
+        assert finals_nfa[node].final == finals_legacy[node].final
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bins_and_finals_match_legacy(self, seed):
+        document = synthetic_document(nodes=300, seed=seed)
+        instance, schema = synthetic_authorizations(
+            document, count=10, seed=seed * 7 + 1,
+            dtd_uri="d.dtd", schema_share=0.3,
+        )
+        assert_equivalent(document, instance, schema)
+
+
+DOC = (
+    '<lab name="x"><project type="public"><paper cat="private">'
+    "<title>S</title></paper><paper cat='public'/></project>"
+    '<project type="internal"/></lab>'
+)
+
+EXACT_CASES = [
+    [("//paper[./@cat='private']", "-", "R")],
+    [("//project/@type", "+", "L")],
+    [("//project/@*", "-", "LW")],
+    [(None, "+", "R")],  # bare URI: binds the root
+    [("/lab/project", "+", "L"), ("//paper", "-", "RW")],
+    [("//paper/@cat | //title", "+", "R")],
+    [("/lab//title", "+", "R")],
+    [("//project[./@type='public']//title", "+", "R")],
+]
+
+LOSSY_CASES = [
+    [("//title/text()", "+", "R")],
+    [("//comment()", "-", "L")],
+    [("//node()", "+", "R")],
+    [("/", "+", "R")],
+    [("//paper[1]", "+", "R")],
+]
+
+
+class TestHandWrittenCases:
+    @pytest.mark.parametrize("case", EXACT_CASES, ids=range(len(EXACT_CASES)))
+    def test_exact_paths_bind_via_nfa(self, case):
+        document = parse_document(DOC, uri="d.xml")
+        auths = [auth(path, sign, slot) for path, sign, slot in case]
+        assert_equivalent(document, auths, [], expect_nfa=True)
+
+    @pytest.mark.parametrize("case", LOSSY_CASES, ids=range(len(LOSSY_CASES)))
+    def test_lossy_paths_fall_back_and_still_agree(self, case):
+        document = parse_document(DOC, uri="d.xml")
+        auths = [auth(path, sign, slot) for path, sign, slot in case]
+        assert_equivalent(document, auths, [], expect_nfa=False)
+
+
+class TestExactModeCompilation:
+    """exact=True must reject exactly the paths whose stream semantics
+    diverge from ``xpath.eval`` — anything not selecting elements or
+    attributes by a final child/descendant/attribute step."""
+
+    @pytest.mark.parametrize(
+        "path",
+        ["//paper", "/lab/project", "//project/@type", "//paper/@*",
+         "//a//b", "//paper[./@cat='x']", "//title/self::node()"],
+    )
+    def test_accepts(self, path):
+        compile_stream_pattern(path, exact=True)
+
+    @pytest.mark.parametrize(
+        "path",
+        ["//title/text()", "//comment()", "//node()", "/", "/self::node()"],
+    )
+    def test_rejects(self, path):
+        with pytest.raises(StreamPathUnsupported):
+            compile_stream_pattern(path, exact=True)
+
+    @pytest.mark.parametrize(
+        "path", ["//title/text()", "//node()", "//comment()"]
+    )
+    def test_non_exact_mode_still_accepts_lossy(self, path):
+        compile_stream_pattern(path, exact=False)

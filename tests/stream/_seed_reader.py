@@ -1,59 +1,22 @@
-"""An incremental (feed-style) XML tokenizer.
+"""The SEED per-character StreamReader, frozen as a differential oracle.
 
-:class:`StreamReader` accepts the document in arbitrary chunks and
-emits :mod:`repro.stream.events`. It recognizes exactly the language of
-:class:`repro.xml.parser.XMLParser` — same character classes, same
-attribute-value normalization, same reference resolution, same
-well-formedness checks — so a tree rebuilt from its events is identical
-to a DOM parse of the same text (property-tested, including against the
-frozen seed per-character reader in ``tests/stream/_seed_reader.py``).
-
-The hot loop is *bulk-scanning*: instead of stepping character by
-character, the tokenizer jumps straight to the next construct boundary
-with ``str.find`` (``<``, ``>``, ``]]>``, ``-->``, ``?>``) and
-precompiled regexes (XML names, invalid characters), and it consumes
-input by advancing an offset into the buffer rather than re-slicing the
-string per construct. Each ``feed`` compacts the consumed prefix away
-once, so the retained memory is still only the unconsumed tail.
-
-The reader holds back only what it must:
-
-- the unconsumed tail of the current construct (a start tag until its
-  ``>``, a comment until ``-->``, one text segment until the next
-  markup — or, for long runs, just the unsafe suffix);
-- an ``&`` reference that has not yet seen its ``;``
-  (:func:`repro.xml.escape.incomplete_reference_suffix` — the
-  chunk-boundary fix shared with ``parse_document_chunks``);
-- a trailing ``]`` / ``]]`` (the ``]]>``-in-character-data check may
-  span chunks) and a trailing ``\\r`` (EOL normalization may pair it
-  with a ``\\n`` from the next chunk).
-
-That carry-over buffer is bounded by
-``ResourceLimits.max_stream_buffer_bytes``; documents of any length
-stream in constant memory as long as no single construct exceeds the
-budget.
-
-Input-budget accounting (``max_input_bytes``) charges *normalized*
-characters — after ``\\r\\n`` → ``\\n`` folding — exactly as the DOM
-parser does, so the same document costs the same through either
-backend regardless of its line endings.
+This is a verbatim snapshot of ``repro/stream/reader.py`` as it stood
+before the bulk-scan rebuild (PR 10), kept **only** so the property
+suites can prove the rebuilt reader emits an identical event stream
+under every chunking. It is not part of the library; nothing under
+``src/`` may import it. Delete it once the rebuilt reader has survived
+a few releases.
 """
+
 
 from __future__ import annotations
 
-import re
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import LimitExceeded, XMLLimitExceeded, XMLSyntaxError
 from repro.limits import Deadline, ResourceLimits
-from repro.xml.chars import (
-    INVALID_XML_CHAR_RE,
-    NAME_RE,
-    WHITESPACE,
-    is_name_char,
-    is_name_start_char,
-)
-from repro.xml.escape import resolve_references
+from repro.xml.chars import WHITESPACE, is_name_char, is_name_start_char, is_xml_char
+from repro.xml.escape import incomplete_reference_suffix, resolve_references
 from repro.stream.events import (
     Characters,
     CommentEvent,
@@ -66,7 +29,7 @@ from repro.stream.events import (
     StreamEvent,
 )
 
-__all__ = ["StreamReader", "iter_events"]
+__all__ = ["SeedStreamReader", "seed_iter_events"]
 
 _PROLOG = 0
 _CONTENT = 1
@@ -75,12 +38,8 @@ _EPILOG = 2
 #: Events between two deadline checks.
 _DEADLINE_STRIDE = 256
 
-#: Characters a DOCTYPE scanner must stop at: quotes open literals,
-#: brackets track the internal subset, '>' may end the declaration.
-_DOCTYPE_SCAN = re.compile(r"[\"'\[\]>]")
 
-
-class StreamReader:
+class SeedStreamReader:
     """One incremental parse; feed() chunks, then close()."""
 
     def __init__(
@@ -93,7 +52,6 @@ class StreamReader:
             deadline if deadline is not None and not deadline.unbounded else None
         )
         self._buf = ""
-        self._pos = 0
         self._pending_cr = False
         self._line = 1
         self._col = 1
@@ -112,13 +70,13 @@ class StreamReader:
 
     @property
     def chars_fed(self) -> int:
-        """Normalized characters accepted so far (after CRLF folding)."""
+        """Raw characters accepted so far (pre-normalization)."""
         return self._chars_fed
 
     @property
     def buffered(self) -> int:
         """Characters currently held back."""
-        return len(self._buf) - self._pos + (1 if self._pending_cr else 0)
+        return len(self._buf) + (1 if self._pending_cr else 0)
 
     # -- public -------------------------------------------------------------
 
@@ -128,32 +86,20 @@ class StreamReader:
             raise ValueError("reader already closed")
         events: list[StreamEvent] = []
         if chunk:
-            prefix = ""
+            self._chars_fed += len(chunk)
+            self._check_input_budget()
             if self._pending_cr:
                 self._pending_cr = False
                 if not chunk.startswith("\n"):
-                    prefix = "\n"
+                    self._buf += "\n"
             if chunk.endswith("\r"):
                 self._pending_cr = True
                 chunk = chunk[:-1]
             if "\r" in chunk:
                 chunk = chunk.replace("\r\n", "\n").replace("\r", "\n")
-            added = prefix + chunk if prefix else chunk
-            if added:
-                # Budget accounting is post-normalization, matching the
-                # DOM parser: a CRLF document costs its folded length.
-                self._chars_fed += len(added)
-                self._check_input_budget()
-                if self._pos:
-                    # Compact the consumed prefix away exactly once per
-                    # feed; within a pump the buffer is immutable and
-                    # consumption is just an offset bump.
-                    self._buf = self._buf[self._pos :] + added
-                    self._pos = 0
-                else:
-                    self._buf += added
-                self._pump(events, at_eof=False)
-                self._check_buffer_budget()
+            self._buf += chunk
+            self._pump(events, at_eof=False)
+            self._check_buffer_budget()
         if self._deadline is not None:
             self._deadline.check("stream parse")
         return events
@@ -164,15 +110,12 @@ class StreamReader:
             raise ValueError("reader already closed")
         if self._pending_cr:
             self._pending_cr = False
-            self._chars_fed += 1
-            self._check_input_budget()
-            self._buf = self._buf[self._pos :] + "\n"
-            self._pos = 0
+            self._buf += "\n"
         events: list[StreamEvent] = []
         self._pump(events, at_eof=True)
         if self._state == _CONTENT:
             self._fail(f"unterminated element <{self._stack[-1]}>")
-        if self._pos < len(self._buf):
+        if self._buf:
             if self._state == _EPILOG:
                 self._fail("unexpected content after root element")
             self._fail("expected root element")
@@ -204,42 +147,40 @@ class StreamReader:
 
     def _step_misc(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        n = len(buf)
         if self._at_start:
-            if not at_eof and n - pos < 6 and "<?xml ".startswith(buf[pos:]):
+            if not at_eof and len(buf) < 6 and "<?xml ".startswith(buf):
                 return False
-            if buf.startswith("<?xml", pos) and (
-                pos + 5 == n or buf[pos + 5] in WHITESPACE
+            if buf.startswith("<?xml") and (
+                len(buf) == 5 or buf[5] in WHITESPACE
             ):
                 return self._read_xml_declaration(events, at_eof)
             self._at_start = False
         # Inter-construct whitespace is consumed silently.
-        i = pos
-        while i < n and buf[i] in WHITESPACE:
+        i = 0
+        while i < len(buf) and buf[i] in WHITESPACE:
             i += 1
-        if i > pos:
-            self._consume(i - pos)
-            pos = i
+        if i:
+            self._consume(i)
+            buf = self._buf
             self._at_start = False
-        if pos >= n:
+        if not buf:
             return False
-        if buf[pos] != "<":
+        if buf[0] != "<":
             if self._state == _EPILOG:
                 self._fail("unexpected content after root element")
             self._fail("expected root element")
-        if buf.startswith("<!--", pos):
+        if buf.startswith("<!--"):
             return self._read_comment(events, at_eof)
-        if not at_eof and n - pos < 4 and "<!--".startswith(buf[pos:]):
+        if not at_eof and len(buf) < 4 and "<!--".startswith(buf):
             return False
         if self._state == _PROLOG:
-            if buf.startswith("<!DOCTYPE", pos):
+            if buf.startswith("<!DOCTYPE"):
                 return self._read_doctype(events, at_eof)
-            if not at_eof and n - pos < 9 and "<!DOCTYPE".startswith(buf[pos:]):
+            if not at_eof and len(buf) < 9 and "<!DOCTYPE".startswith(buf):
                 return False
-        if buf.startswith("<?", pos):
+        if buf.startswith("<?"):
             return self._read_pi(events, at_eof)
-        if not at_eof and n - pos < 2:
+        if not at_eof and len(buf) < 2:
             return False
         if self._state == _EPILOG:
             self._fail("unexpected content after root element")
@@ -248,13 +189,12 @@ class StreamReader:
     def _read_xml_declaration(
         self, events: list[StreamEvent], at_eof: bool
     ) -> bool:
-        pos = self._pos
-        end = self._find_unquoted("?>", pos + 5)
+        end = self._find_unquoted(self._buf, "?>", 5)
         if end is None:
             if not at_eof:
                 return False
             self._fail("unterminated XML declaration")
-        body = self._buf[pos + 5 : end]
+        body = self._buf[5:end]
         attrs = self._parse_pseudo_attributes(body)
         version = attrs.get("version")
         if version is None:
@@ -265,7 +205,7 @@ class StreamReader:
             if standalone_raw not in ("yes", "no"):
                 self._fail("standalone must be 'yes' or 'no'")
             standalone = standalone_raw == "yes"
-        self._consume(end + 2 - pos)
+        self._consume(end + 2)
         self._at_start = False
         self._started = True
         events.append(
@@ -285,11 +225,13 @@ class StreamReader:
                 i += 1
             if i >= n:
                 return attrs
+            start = i
             if not is_name_start_char(body[i]):
                 self._fail("expected a name")
-            match = NAME_RE.match(body, i)
-            name = match.group()
-            i = match.end()
+            i += 1
+            while i < n and is_name_char(body[i]):
+                i += 1
+            name = body[start:i]
             while i < n and body[i] in WHITESPACE:
                 i += 1
             if i >= n or body[i] != "=":
@@ -309,46 +251,36 @@ class StreamReader:
     def _read_doctype(self, events: list[StreamEvent], at_eof: bool) -> bool:
         if self._seen_doctype:
             self._fail("multiple DOCTYPE declarations")
-        pos = self._pos
-        end = self._find_doctype_end()
+        end = self._find_doctype_end(self._buf)
         if end is None:
             if not at_eof:
                 return False
             self._fail("unterminated DOCTYPE declaration")
         self._ensure_started(events)
-        name, system_id, dtd = self._parse_doctype_body(self._buf[pos + 9 : end])
+        name, system_id, dtd = self._parse_doctype_body(self._buf[9:end])
         self._seen_doctype = True
-        self._consume(end + 1 - pos)
+        self._consume(end + 1)
         events.append(DoctypeDecl(name=name, system_id=system_id, dtd=dtd))
         return True
 
-    def _find_doctype_end(self) -> Optional[int]:
-        """Index of the ``>`` closing the DOCTYPE, skipping literals and
-        the bracketed internal subset; None when it has not arrived."""
-        buf = self._buf
+    @staticmethod
+    def _find_doctype_end(buf: str) -> Optional[int]:
         depth = 0
-        i = self._pos + 9
-        while True:
-            match = _DOCTYPE_SCAN.search(buf, i)
-            if match is None:
-                return None
-            ch = match.group()
-            at = match.start()
-            if ch in "'\"":
-                closing = buf.find(ch, at + 1)
-                if closing == -1:
-                    return None
-                i = closing + 1
+        quote: Optional[str] = None
+        for i in range(9, len(buf)):
+            ch = buf[i]
+            if quote is not None:
+                if ch == quote:
+                    quote = None
+            elif ch in "'\"":
+                quote = ch
             elif ch == "[":
                 depth += 1
-                i = at + 1
             elif ch == "]":
                 depth -= 1
-                i = at + 1
-            elif depth == 0:
-                return at
-            else:
-                i = at + 1
+            elif ch == ">" and depth == 0:
+                return i
+        return None
 
     def _parse_doctype_body(
         self, body: str
@@ -441,115 +373,100 @@ class StreamReader:
 
     def _step_content(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        n = len(buf)
-        if pos >= n:
+        if not buf:
             return False
-        if buf[pos] != "<":
+        if buf[0] != "<":
             return self._read_text(events, at_eof)
         self._segment_open = False
-        if pos + 1 >= n:
-            # A lone '<': at EOF the start-tag parser produces the right
-            # error; otherwise wait for the discriminating character.
-            if at_eof:
-                return self._read_start_tag(events, at_eof)
-            return False
-        second = buf[pos + 1]
-        if second == "/":
+        if buf.startswith("</"):
             return self._read_end_tag(events, at_eof)
-        if second == "!":
-            if buf.startswith("<!--", pos):
-                return self._read_comment(events, at_eof)
-            if buf.startswith("<![CDATA[", pos):
-                return self._read_cdata(events, at_eof)
-            head = buf[pos : pos + 9]
+        if buf.startswith("<!--"):
+            return self._read_comment(events, at_eof)
+        if buf.startswith("<![CDATA["):
+            return self._read_cdata(events, at_eof)
+        if buf.startswith("<?"):
+            return self._read_pi(events, at_eof)
+        if buf.startswith("<!"):
             if not at_eof and (
-                "<!--".startswith(head) or "<![CDATA[".startswith(head)
+                "<!--".startswith(buf) or "<![CDATA[".startswith(buf)
             ):
                 return False
             self._fail("declarations are not allowed in content")
-        if second == "?":
-            return self._read_pi(events, at_eof)
+        if not at_eof and len(buf) < 9 and (
+            "<!--".startswith(buf) or "<![CDATA[".startswith(buf) or buf == "<"
+        ):
+            return False
         return self._read_start_tag(events, at_eof)
 
     def _read_text(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        idx = buf.find("<", pos)
+        idx = buf.find("<")
+        if idx == 0:
+            return True
         if idx == -1:
             if at_eof:
                 self._fail(f"unterminated element <{self._stack[-1]}>")
             # No markup in sight: emit the safe prefix so huge text runs
             # stream in bounded memory, holding back anything a later
             # chunk could complete into a reference, ']]>' or CRLF.
-            amp = buf.rfind("&", pos)
-            if amp != -1 and buf.find(";", amp) == -1:
-                hold = len(buf) - amp
-            elif buf.endswith("]]"):
-                hold = 2
-            elif buf.endswith("]"):
-                hold = 1
-            else:
-                hold = 0
-            end = len(buf) - hold
-            if end <= pos:
+            hold = incomplete_reference_suffix(buf)
+            if hold == 0:
+                if buf.endswith("]]"):
+                    hold = 2
+                elif buf.endswith("]"):
+                    hold = 1
+            raw = buf[: len(buf) - hold] if hold else buf
+            if not raw:
                 return False
-            self._emit_text(events, pos, end, final=False)
+            self._emit_text(events, raw, final=False)
             return True
-        self._emit_text(events, pos, idx, final=True)
+        self._emit_text(events, buf[:idx], final=True)
         return True
 
-    def _emit_text(
-        self, events: list[StreamEvent], start: int, end: int, final: bool
-    ) -> None:
-        raw = self._buf[start:end]
+    def _emit_text(self, events: list[StreamEvent], raw: str, final: bool) -> None:
         if "]]>" in raw:
             self._fail("']]>' not allowed in character data")
-        bad = INVALID_XML_CHAR_RE.search(raw)
-        if bad is not None:
-            self._fail(
-                f"invalid character U+{ord(bad.group()):04X} in character data"
-            )
-        if "&" in raw:
-            data = resolve_references(
-                raw, self._entities, self._line, self._col,
-                self._max_chars, self._max_depth,
-            )
-        else:
-            data = raw
+        for ch in raw:
+            if not is_xml_char(ch):
+                self._fail(f"invalid character U+{ord(ch):04X} in character data")
+        data = resolve_references(
+            raw, self._entities, self._line, self._col,
+            self._max_chars, self._max_depth,
+        )
         events.append(
             Characters(data, cdata=False, new_segment=not self._segment_open)
         )
         self._segment_open = not final
-        self._consume(end - start)
+        self._consume(len(raw))
 
     def _read_cdata(self, events: list[StreamEvent], at_eof: bool) -> bool:
-        pos = self._pos
-        end = self._buf.find("]]>", pos + 9)
+        end = self._buf.find("]]>", 9)
         if end == -1:
             if not at_eof:
                 return False
             self._fail("unterminated CDATA section")
-        events.append(Characters(self._buf[pos + 9 : end], cdata=True))
-        self._consume(end + 3 - pos)
+        events.append(Characters(self._buf[9:end], cdata=True))
+        self._consume(end + 3)
         return True
 
     def _read_end_tag(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        end = buf.find(">", pos + 2)
+        end = buf.find(">", 2)
         if end == -1:
             if not at_eof:
                 return False
             self._fail(f"unterminated element <{self._stack[-1]}>")
-        match = NAME_RE.match(buf, pos + 2, end)
-        if match is None:
+        body = buf[2:end]
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
             self._fail("expected a name")
-        closing = match.group()
-        i = match.end()
-        while i < end and buf[i] in WHITESPACE:
+        i += 1
+        while i < n and is_name_char(body[i]):
             i += 1
-        if i != end:
+        closing = body[:i]
+        while i < n and body[i] in WHITESPACE:
+            i += 1
+        if i != n:
             self._fail("expected '>'")
         current = self._stack[-1]
         if closing != current:
@@ -557,7 +474,7 @@ class StreamReader:
                 f"mismatched end tag: expected </{current}>, found </{closing}>"
             )
         self._stack.pop()
-        self._consume(end + 1 - pos)
+        self._consume(end + 1)
         events.append(EndElement(closing))
         if not self._stack:
             self._state = _EPILOG
@@ -565,8 +482,7 @@ class StreamReader:
 
     def _read_comment(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        end = buf.find("--", pos + 4)
+        end = buf.find("--", 4)
         if end == -1 or end + 2 >= len(buf):
             if end != -1 and at_eof:
                 self._fail("expected '-->'")
@@ -576,115 +492,114 @@ class StreamReader:
         if buf[end + 2] != ">":
             self._fail("expected '-->'")
         self._ensure_started(events)
-        events.append(CommentEvent(buf[pos + 4 : end]))
-        self._consume(end + 3 - pos)
+        events.append(CommentEvent(buf[4:end]))
+        self._consume(end + 3)
         return True
 
     def _read_pi(self, events: list[StreamEvent], at_eof: bool) -> bool:
         buf = self._buf
-        pos = self._pos
-        end = buf.find("?>", pos + 2)
+        end = buf.find("?>", 2)
         if end == -1:
             if not at_eof:
                 return False
             self._fail("unterminated processing instruction")
-        match = NAME_RE.match(buf, pos + 2, end)
-        if match is None:
+        body = buf[2:end]
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
             self._fail("expected a name")
-        target = match.group()
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        target = body[:i]
         if target.lower() == "xml":
             self._fail("processing instruction target may not be 'xml'")
-        i = match.end()
         data = ""
-        if i < end:
-            if buf[i] not in WHITESPACE:
+        if i < n:
+            if body[i] not in WHITESPACE:
                 self._fail("expected '?>'")
-            while i < end and buf[i] in WHITESPACE:
+            while i < n and body[i] in WHITESPACE:
                 i += 1
-            data = buf[i:end]
+            data = body[i:]
         self._ensure_started(events)
         events.append(PIEvent(target, data))
-        self._consume(end + 2 - pos)
+        self._consume(end + 2)
         return True
 
     def _read_start_tag(self, events: list[StreamEvent], at_eof: bool) -> bool:
-        pos = self._pos
-        end = self._find_unquoted(">", pos + 1)
+        buf = self._buf
+        end = self._find_unquoted(buf, ">", 1)
         if end is None:
             if not at_eof:
                 return False
-            return self._parse_tag(events, pos + 1, len(self._buf), at_eof=True)
-        return self._parse_tag(events, pos + 1, end, at_eof=False)
+            return self._parse_tag_slice(events, buf[1:], at_eof=True)
+        return self._parse_tag_slice(events, buf[1:end], at_eof=False)
 
-    def _parse_tag(
-        self, events: list[StreamEvent], start: int, end: int, at_eof: bool
+    def _parse_tag_slice(
+        self, events: list[StreamEvent], body: str, at_eof: bool
     ) -> bool:
-        """Parse ``name attrs...[/]`` — ``buf[start:end]`` is the inside
-        of a start tag."""
-        buf = self._buf
-        match = NAME_RE.match(buf, start, end)
-        if match is None:
+        """Parse ``name attrs...[/]`` (the inside of a start tag)."""
+        i, n = 0, len(body)
+        if i >= n or not is_name_start_char(body[i]):
             self._fail("expected a name")
-        name = match.group()
-        i = match.end()
+        i += 1
+        while i < n and is_name_char(body[i]):
+            i += 1
+        name = body[:i]
         attributes: dict[str, str] = {}
         self_closing = False
         while True:
             before = i
-            while i < end and buf[i] in WHITESPACE:
+            while i < n and body[i] in WHITESPACE:
                 i += 1
-            if i >= end:
+            if i >= n:
                 if at_eof:
                     self._fail(f"unterminated element <{name}>")
                 break
-            if buf[i] == "/":
+            if body[i] == "/":
                 if at_eof:  # the '>' never arrived
                     self._fail(f"unterminated element <{name}>")
-                if i + 1 != end:
+                if i + 1 != n:
                     self._fail("expected '>'")
                 self_closing = True
                 break
             if before == i:
                 self._fail("expected whitespace before attribute")
-            match = NAME_RE.match(buf, i, end)
-            if match is None:
+            start = i
+            if not is_name_start_char(body[i]):
                 self._fail("expected a name")
-            attr_name = match.group()
-            i = match.end()
+            i += 1
+            while i < n and is_name_char(body[i]):
+                i += 1
+            attr_name = body[start:i]
             if attr_name in attributes:
                 self._fail(f"duplicate attribute {attr_name!r}")
-            while i < end and buf[i] in WHITESPACE:
+            while i < n and body[i] in WHITESPACE:
                 i += 1
-            if i >= end or buf[i] != "=":
+            if i >= n or body[i] != "=":
                 self._fail("expected '='")
             i += 1
-            while i < end and buf[i] in WHITESPACE:
+            while i < n and body[i] in WHITESPACE:
                 i += 1
-            if i >= end or buf[i] not in "'\"":
+            if i >= n or body[i] not in "'\"":
                 self._fail("attribute value must be quoted")
-            quote = buf[i]
-            closing = buf.find(quote, i + 1, end)
+            quote = body[i]
+            closing = body.find(quote, i + 1)
             if closing == -1:
                 self._fail("unterminated attribute value")
-            raw = buf[i + 1 : closing]
+            raw = body[i + 1 : closing]
             if "<" in raw:
                 self._fail("'<' not allowed in attribute value")
             i = closing + 1
             # Attribute-value normalization: *literal* whitespace becomes
             # a plain space; whitespace produced by character references
             # survives, so normalize before resolving.
-            if "\t" in raw:
-                raw = raw.replace("\t", " ")
-            if "\n" in raw:
-                raw = raw.replace("\n", " ")
-            if "&" in raw:
-                raw = resolve_references(
-                    raw, self._entities, self._line, self._col,
-                    self._max_chars, self._max_depth,
-                )
-            attributes[attr_name] = raw
+            raw = raw.replace("\t", " ").replace("\n", " ")
+            attributes[attr_name] = resolve_references(
+                raw, self._entities, self._line, self._col,
+                self._max_chars, self._max_depth,
+            )
         self._ensure_started(events)
-        self._consume(end + 1 - self._pos)  # the tag body plus '<' and '>'
+        self._consume(n + 2)  # the tag body plus '<' and '>'
         events.append(StartElement(name, attributes))
         if self._state == _PROLOG:
             self._state = _CONTENT
@@ -733,11 +648,10 @@ class StreamReader:
 
     def _check_buffer_budget(self) -> None:
         limits = self._limits
-        held = len(self._buf) - self._pos
         if (
             limits is not None
             and limits.max_stream_buffer_bytes is not None
-            and held > limits.max_stream_buffer_bytes
+            and len(self._buf) > limits.max_stream_buffer_bytes
         ):
             raise XMLLimitExceeded(
                 "streaming hold-back buffer exceeds the "
@@ -746,7 +660,7 @@ class StreamReader:
                 self._line,
                 self._col,
                 limit="max_stream_buffer_bytes",
-                value=held,
+                value=len(self._buf),
                 maximum=limits.max_stream_buffer_bytes,
             )
 
@@ -755,55 +669,43 @@ class StreamReader:
             self._started = True
             events.append(StartDocument())
 
-    def _find_unquoted(self, token: str, start: int) -> Optional[int]:
-        """First index of *token* at/after *start*, outside quotes.
-
-        Jumps ``str.find`` to ``str.find`` instead of walking characters:
-        find the next candidate token, check whether a quote opens before
-        it, and if so leap past the quoted literal.
-        """
-        buf = self._buf
-        i = start
-        while True:
-            at = buf.find(token, i)
-            if at == -1:
-                return None
-            single = buf.find("'", i, at)
-            double = buf.find('"', i, at)
-            if single == -1 and double == -1:
-                return at
-            if single == -1 or (double != -1 and double < single):
-                quote = double
-            else:
-                quote = single
-            closing = buf.find(buf[quote], quote + 1)
-            if closing == -1:
-                return None  # literal still open; need more input
-            i = closing + 1
+    @staticmethod
+    def _find_unquoted(buf: str, token: str, start: int) -> Optional[int]:
+        """First index of *token* at/after *start*, outside quotes."""
+        quote: Optional[str] = None
+        first = token[0]
+        for i in range(start, len(buf)):
+            ch = buf[i]
+            if quote is not None:
+                if ch == quote:
+                    quote = None
+            elif ch in "'\"":
+                quote = ch
+            elif ch == first and buf.startswith(token, i):
+                return i
+        return None
 
     def _consume(self, count: int) -> None:
-        buf = self._buf
-        start = self._pos
-        end = start + count
-        newlines = buf.count("\n", start, end)
+        consumed = self._buf[:count]
+        self._buf = self._buf[count:]
+        newlines = consumed.count("\n")
         if newlines:
             self._line += newlines
-            self._col = end - buf.rfind("\n", start, end)
+            self._col = count - consumed.rfind("\n")
         else:
             self._col += count
-        self._pos = end
 
     def _fail(self, message: str) -> None:
         raise XMLSyntaxError(message, self._line, self._col)
 
 
-def iter_events(
+def seed_iter_events(
     chunks: Iterable[str],
     limits: Optional[ResourceLimits] = None,
     deadline: Optional[Deadline] = None,
 ) -> Iterator[StreamEvent]:
     """Pull-parse *chunks* into a stream of events."""
-    reader = StreamReader(limits=limits, deadline=deadline)
+    reader = SeedStreamReader(limits=limits, deadline=deadline)
     for chunk in chunks:
         yield from reader.feed(chunk)
     yield from reader.close()

@@ -1,0 +1,160 @@
+"""Boundary-condition pins for the bulk-scan reader.
+
+Every regression here was a real hazard of the offset-buffer rebuild:
+the ``<?xml `` prefix hold in misc context, the ``_pending_cr`` carry
+across chunk boundaries and into ``close()``, and the input budget,
+which must charge *normalized* (post-CRLF-folding) characters in both
+the streaming reader and the DOM parser so the same document costs the
+same under either line-ending convention.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import XMLLimitExceeded
+from repro.limits import DEFAULT_LIMITS
+from repro.stream.events import Characters
+from repro.stream.reader import StreamReader
+from repro.xml.parser import parse_document
+
+DOCS = [
+    '<?xml version="1.0"?><r a="v">t</r>',
+    "<?xml version='1.0' encoding='utf-8' standalone='yes'?>\n<r/>",
+    "<r><!-- c --><![CDATA[<&]]><?pi d?>x&amp;&#65;</r>",
+    "<!DOCTYPE r [<!ENTITY e \"ee\">]><r>&e;</r>",
+    "<r>a\r\nb\rc</r>\r\n",
+    "<r>]]</r>",
+    "<a><b x='1' y='2'/><b>t1<c/>t2</b></a>",
+]
+
+
+def events_for(text, size=None, limits=None):
+    reader = StreamReader(limits=limits)
+    events = []
+    if size is None:
+        events.extend(reader.feed(text))
+    else:
+        for start in range(0, len(text), size):
+            events.extend(reader.feed(text[start : start + size]))
+    events.extend(reader.close())
+    return merge_continuations(events)
+
+
+def merge_continuations(events):
+    """Join batched ``Characters`` continuations into whole text nodes.
+
+    The reader may emit one DOM text node as several ``Characters``
+    events (``new_segment=False`` marks continuations) depending on
+    where chunk boundaries fall; the *logical* stream — one event per
+    text node — must not depend on chunking.
+    """
+    merged = []
+    for event in events:
+        if (
+            isinstance(event, Characters)
+            and not event.new_segment
+            and merged
+            and isinstance(merged[-1], Characters)
+        ):
+            prev = merged[-1]
+            merged[-1] = Characters(
+                data=prev.data + event.data,
+                cdata=prev.cdata and event.cdata,
+                new_segment=prev.new_segment,
+            )
+        else:
+            merged.append(event)
+    return merged
+
+
+class TestChunkSizeParity:
+    @pytest.mark.parametrize("doc", DOCS, ids=range(len(DOCS)))
+    @pytest.mark.parametrize("size", range(1, 9))
+    def test_all_chunk_sizes_1_to_8(self, doc, size):
+        assert events_for(doc, size) == events_for(doc)
+
+
+class TestXmlDeclPrefixHold:
+    def test_decl_split_one_char_at_a_time(self):
+        # "<?xml " must be held back until the reader can tell a
+        # declaration from a PI whose target merely starts with "xml".
+        doc = '<?xml version="1.0" encoding="utf-8"?><r/>'
+        assert events_for(doc, 1) == events_for(doc)
+
+    def test_pi_target_prefixed_with_xml_split(self):
+        doc = "<?xmlish data?><r/>"
+        assert events_for(doc, 1) == events_for(doc)
+
+    def test_decl_like_pi_after_root_rejected_identically(self):
+        doc = "<r/><?xml version='1.0'?>"
+        with pytest.raises(Exception) as whole:
+            events_for(doc)
+        with pytest.raises(Exception) as split:
+            events_for(doc, 1)
+        assert type(split.value) is type(whole.value)
+
+
+class TestPendingCarriageReturn:
+    def test_cr_lf_split_across_chunks(self):
+        reader = StreamReader()
+        events = list(reader.feed("<r>a\r"))
+        events += reader.feed("\nb</r>")
+        events += reader.close()
+        assert merge_continuations(events) == events_for("<r>a\nb</r>")
+
+    def test_lone_cr_in_final_chunk_before_close(self):
+        # A trailing "\r" with no following "\n" is held as pending;
+        # close() must materialize it as the normalized "\n".
+        assert events_for("<r>a</r>\r") == events_for("<r>a</r>\n")
+
+    def test_cr_only_document_tail_one_char_chunks(self):
+        assert events_for("<r>a\r</r>\r", 1) == events_for("<r>a\n</r>\n")
+
+    def test_pending_cr_counts_toward_buffered(self):
+        # A held "\r" is unconsumed input: it must show up in the
+        # buffered count even though it is not in the scan buffer.
+        reader = StreamReader()
+        reader.feed("<r>abc")
+        base = reader.buffered
+        reader.feed("\r")
+        assert reader.buffered == base + 1
+
+
+class TestNormalizedInputBudget:
+    LF_DOC = "<r>\n<a>x</a>\n<a>y</a>\n</r>\n"
+
+    def limits(self, budget):
+        return dataclasses.replace(DEFAULT_LIMITS, max_input_bytes=budget)
+
+    def test_crlf_and_lf_cost_the_same_in_stream_reader(self):
+        lf = self.LF_DOC
+        crlf = lf.replace("\n", "\r\n")
+        exact = self.limits(len(lf))
+        # Budget equal to the normalized length admits both spellings.
+        events_for(lf, 3, exact)
+        events_for(crlf, 3, exact)
+        # One character short rejects both.
+        short = self.limits(len(lf) - 1)
+        with pytest.raises(XMLLimitExceeded):
+            events_for(lf, 3, short)
+        with pytest.raises(XMLLimitExceeded):
+            events_for(crlf, 3, short)
+
+    def test_crlf_and_lf_cost_the_same_in_dom_parser(self):
+        lf = self.LF_DOC
+        crlf = lf.replace("\n", "\r\n")
+        exact = self.limits(len(lf))
+        parse_document(lf, limits=exact)
+        parse_document(crlf, limits=exact)
+        short = self.limits(len(lf) - 1)
+        with pytest.raises(XMLLimitExceeded):
+            parse_document(lf, limits=short)
+        with pytest.raises(XMLLimitExceeded):
+            parse_document(crlf, limits=short)
+
+    def test_pending_cr_charged_at_close(self):
+        doc = "<r/>\r"
+        events_for(doc, limits=self.limits(5))
+        with pytest.raises(XMLLimitExceeded):
+            events_for(doc, limits=self.limits(4))

@@ -1,0 +1,86 @@
+"""StreamWriter contract tests: sink relay, collect modes, reuse."""
+
+import pytest
+
+from repro.stream import iter_events
+from repro.stream.writer import StreamWriter
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+DOC = (
+    '<?xml version="1.0"?>\n'
+    '<lab name="x"><project type="public"><paper cat="a &amp; b">'
+    "<title>S&lt;1&gt;</title></paper><paper/></project>"
+    "<note></note></lab>"
+)
+
+
+def pump(writer):
+    """Replay DOC's event stream into *writer*; return end_document()."""
+    for event in iter_events([DOC]):
+        kind = type(event).__name__
+        if kind == "StartDocument":
+            writer.start_document(event.xml_version, event.encoding, event.standalone)
+        elif kind == "StartElement":
+            writer.start_element(event.name, event.attributes)
+        elif kind == "EndElement":
+            writer.end_element()
+        elif kind == "Characters":
+            writer.text(event.data)
+    return writer.end_document()
+
+
+class TestConstructorContract:
+    def test_collect_false_without_sink_raises(self):
+        with pytest.raises(ValueError, match="collect=False and no sink"):
+            StreamWriter(sink=None, collect=False)
+
+    def test_collect_false_with_sink_is_fine(self):
+        StreamWriter(sink=lambda chunk: None, collect=False)
+
+    def test_default_collects(self):
+        writer = StreamWriter()
+        writer.start_element("r")
+        writer.end_element()
+        assert writer.end_document() == "<r/>"
+
+
+class TestSinkRelay:
+    def test_relay_is_byte_identical_to_collected(self):
+        collected = pump(StreamWriter())
+        reference = serialize(parse_document(DOC), doctype=False)
+        assert collected == reference
+
+        for chunk_size in (1, 7, 64, 65536):
+            relayed: list[str] = []
+            writer = StreamWriter(
+                sink=relayed.append, chunk_size=chunk_size, collect=False
+            )
+            result = pump(writer)
+            assert result == ""  # nothing collected in relay mode
+            assert "".join(relayed) == reference
+
+    def test_collect_and_sink_together_agree(self):
+        relayed: list[str] = []
+        writer = StreamWriter(sink=relayed.append, chunk_size=5, collect=True)
+        collected = pump(writer)
+        assert "".join(relayed) == collected
+
+    def test_small_chunk_size_emits_early(self):
+        relayed: list[str] = []
+        writer = StreamWriter(sink=relayed.append, chunk_size=4, collect=False)
+        writer.start_document()
+        writer.start_element("root")
+        writer.text("body")
+        # Output must already be leaving before the document ends.
+        assert relayed
+        writer.end_element()
+        writer.end_document()
+
+    def test_chars_written_tracks_total(self):
+        writer = StreamWriter(sink=lambda chunk: None, chunk_size=3, collect=False)
+        writer.start_element("a")
+        writer.text("xy")
+        writer.end_element()
+        writer.end_document()
+        assert writer.chars_written == len("<a>xy</a>")
